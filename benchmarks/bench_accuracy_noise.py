@@ -1,0 +1,54 @@
+"""E12 — the VLDB'05 accuracy study: success rate vs. att noise.
+
+Paper shape to reproduce: "the Random approach finds a high percentage
+of correct solutions over a wide range of att accuracies"; quality
+ordering and independent-set assembly behave comparably, with running
+times in seconds.  The table prints success rate and λ-accuracy per
+(schema, noise, method); the pytest-benchmark entries time one search
+per method at moderate noise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.accuracy import run_accuracy
+from repro.experiments.report import format_table
+from repro.matching.search import find_embedding
+from repro.workloads.library import SCHEMA_LIBRARY
+from repro.workloads.noise import expand_schema, noisy_att
+
+
+@pytest.mark.table
+def test_table_e12_accuracy_vs_noise(capsys):
+    rows = run_accuracy(schemas=("bib", "mondial", "orders"),
+                        noises=(0.0, 0.25, 0.5, 0.75, 1.0),
+                        methods=("random", "quality", "indepset"),
+                        trials=3, seed=1)
+    with capsys.disabled():
+        print()
+        print(format_table([r.as_dict() for r in rows],
+                           title="[E12] success & λ-accuracy vs att noise "
+                                 "(VLDB'05 accuracy study)"))
+    # Shape assertions: at zero noise everything succeeds with perfect
+    # λ-accuracy; success stays high across the sweep.
+    for row in rows:
+        if row.noise == 0.0:
+            assert row.success_rate == 1.0
+            assert row.lambda_accuracy == 1.0
+    overall = sum(r.success_rate for r in rows) / len(rows)
+    assert overall >= 0.8
+
+
+@pytest.mark.parametrize("method", ["random", "quality", "indepset"])
+def test_bench_search_at_noise(benchmark, method):
+    expansion = expand_schema(SCHEMA_LIBRARY["mondial"](), seed=11)
+    att = noisy_att(expansion, 0.5, seed=5)
+
+    def run():
+        result = find_embedding(expansion.source, expansion.target, att,
+                                method=method, seed=2)
+        assert result.found
+        return result
+
+    benchmark(run)

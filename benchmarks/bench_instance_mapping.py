@@ -1,0 +1,37 @@
+"""E14 — InstMap cost: linear in the document sizes (Section 4.2).
+
+The table shows per-node cost staying flat as documents grow 64×; the
+benchmarks time σd on three sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instmap import InstMap
+from repro.dtd.generate import InstanceGenerator
+from repro.experiments.complexity import run_instmap_growth
+from repro.experiments.report import format_table
+from repro.xtree.nodes import tree_size
+
+
+@pytest.mark.table
+def test_table_e14_instmap_linear(capsys):
+    rows = run_instmap_growth(sizes=(100, 400, 1600, 6400), seed=4)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="[E14] InstMap: time vs |T| "
+                                       "(expected linear, flat us/node)"))
+    # Per-node cost must not blow up across a 64x size range.
+    per_node = [row["us/node"] for row in rows]
+    assert max(per_node) <= 12 * max(0.5, min(per_node))
+
+
+@pytest.mark.parametrize("star_mean", [2.0, 6.0, 14.0])
+def test_bench_instmap_sizes(benchmark, school, star_mean):
+    generator = InstanceGenerator(school.classes, seed=8, max_depth=14,
+                                  star_mean=star_mean)
+    instance = generator.generate()
+    instmap = InstMap(school.sigma1)
+    result = benchmark(lambda: instmap.apply(instance))
+    assert tree_size(result.tree) >= tree_size(instance)

@@ -1,0 +1,46 @@
+"""E14 — inverse cost: structural σd⁻¹ vs the query-driven proof
+algorithm (Theorems 3.3 / 4.3(a): at most quadratic).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instmap import InstMap
+from repro.core.inverse import invert
+from repro.core.inverse_queries import invert_via_queries
+from repro.dtd.generate import InstanceGenerator
+from repro.experiments.complexity import run_inverse_growth
+from repro.experiments.report import format_table
+
+
+@pytest.mark.table
+def test_table_e14_inverse_growth(capsys):
+    rows = run_inverse_growth(sizes=(100, 400, 1600), seed=5,
+                              include_query_driven=True)
+    with capsys.disabled():
+        print()
+        print(format_table(rows,
+                           title="[E14] inverse: structural vs "
+                                 "query-driven (Thm 3.3 proof algorithm)"))
+    # The structural inverse dominates the query-driven one.
+    for row in rows:
+        assert row["structural-sec"] <= row["query-driven-sec"] + 0.001
+
+
+def _image(school, star_mean):
+    generator = InstanceGenerator(school.classes, seed=2, max_depth=12,
+                                  star_mean=star_mean)
+    instance = generator.generate()
+    return instance, InstMap(school.sigma1).apply(instance)
+
+
+@pytest.mark.parametrize("star_mean", [2.0, 8.0])
+def test_bench_structural_inverse(benchmark, school, star_mean):
+    _instance, mapped = _image(school, star_mean)
+    benchmark(lambda: invert(school.sigma1, mapped.tree))
+
+
+def test_bench_query_driven_inverse(benchmark, school):
+    _instance, mapped = _image(school, 2.0)
+    benchmark(lambda: invert_via_queries(school.sigma1, mapped.tree))

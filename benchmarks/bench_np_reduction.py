@@ -1,0 +1,67 @@
+"""E11 — the 3SAT reduction: agreement with DPLL and search cost growth.
+
+The table confirms sat ⟺ embedding on a family of formulas; the
+benchmarks time the exact solver on the reduction instances (expected
+exponential growth — this is the point of Theorem 5.1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import format_table
+from repro.matching.exact import exact_embedding
+from repro.matching.reduction import dpll_satisfiable, reduction_from_3sat
+
+FORMULAS = {
+    "1sat": [((1, True),)],
+    "1unsat": [((1, True),), ((1, False),)],
+    "2sat": [((1, True), (2, True)), ((1, False), (2, True))],
+    "2unsat": [((1, True), (2, True)), ((1, True), (2, False)),
+               ((1, False), (2, True)), ((1, False), (2, False))],
+    "3sat": [((1, True), (2, False), (3, True)),
+             ((1, False), (2, True), (3, False)),
+             ((2, True), (3, True), (1, True))],
+}
+
+
+def _solve(formula):
+    reduction = reduction_from_3sat(formula)
+    return exact_embedding(reduction.source, reduction.target,
+                           reduction.att, max_len=4, max_paths=64,
+                           max_candidates=8, node_budget=500_000)
+
+
+@pytest.mark.table
+def test_table_e11_reduction(capsys):
+    rows = []
+    for name, formula in FORMULAS.items():
+        sat = dpll_satisfiable(formula) is not None
+        import time
+
+        started = time.perf_counter()
+        embedding = _solve(formula)
+        elapsed = time.perf_counter() - started
+        rows.append({
+            "formula": name,
+            "clauses": len(formula),
+            "dpll": "SAT" if sat else "UNSAT",
+            "embedding": "found" if embedding else "none",
+            "agree": (embedding is not None) == sat,
+            "solver-sec": round(elapsed, 3),
+        })
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="[E11] Theorem 5.1 reduction vs DPLL"))
+    assert all(row["agree"] for row in rows)
+
+
+@pytest.mark.parametrize("name", ["1sat", "2sat", "3sat"])
+def test_bench_exact_on_reduction(benchmark, name):
+    formula = FORMULAS[name]
+    result = benchmark(lambda: _solve(formula))
+    assert result is not None
+
+
+def test_bench_dpll(benchmark):
+    benchmark(lambda: [dpll_satisfiable(f) for f in FORMULAS.values()])

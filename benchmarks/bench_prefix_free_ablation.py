@@ -1,0 +1,102 @@
+"""E15 — heuristic internals: the prefix-free DFS vs blind enumeration.
+
+Section 5.2 solves the prefix-free path problem with a DFS variant that
+does not mark targets done.  The ablation compares that assignment
+procedure against picking paths independently and rejecting on
+conflict (the naive alternative), on productions with many siblings.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+import pytest
+
+from repro.dtd.parser import parse_compact
+from repro.experiments.report import format_table
+from repro.matching.prefix_free import (
+    PathKind,
+    PathRequest,
+    enumerate_paths,
+    prefix_free_assign,
+)
+
+
+def _wide_target(width: int):
+    """A target where siblings genuinely compete: ``width`` identical
+    ``w`` children (Fig. 3(c)-style repetition), so every request's
+    first candidate collides and position qualifiers must be spread."""
+    w_list = ", ".join("w" for _ in range(width))
+    return parse_compact("\n".join([
+        f"x -> {w_list}",
+        "w -> y, z",
+        "y -> str",
+        "z -> str",
+    ]))
+
+
+def _requests(width: int):
+    # One y-request and one z-request per repeated w slot: the
+    # assignments must pick pairwise-distinct position qualifiers.
+    out = []
+    for _ in range(width):
+        out.append(PathRequest(PathKind.AND, "y"))
+        out.append(PathRequest(PathKind.AND, "z"))
+    return out
+
+
+def _naive_product_assign(dtd, start, requests, cap=200_000):
+    """Blind alternative: try every combination of candidate paths."""
+    candidate_lists = [enumerate_paths(dtd, start, request)
+                       for request in requests]
+    tried = 0
+    for combo in itertools.product(*candidate_lists):
+        tried += 1
+        if tried > cap:
+            return None, tried
+        ok = True
+        for i, p1 in enumerate(combo):
+            for p2 in combo[i + 1:]:
+                if p1.is_prefix_of(p2) or p2.is_prefix_of(p1):
+                    ok = False
+                    break
+            if not ok:
+                break
+        if ok:
+            return list(combo), tried
+    return None, tried
+
+
+@pytest.mark.table
+def test_table_e15_ablation(capsys):
+    rows = []
+    for width in (2, 4, 6):
+        dtd = _wide_target(width)
+        requests = _requests(width)
+        started = time.perf_counter()
+        assigned = prefix_free_assign(dtd, "x", requests)
+        dfs_time = time.perf_counter() - started
+        started = time.perf_counter()
+        _naive, tried = _naive_product_assign(dtd, "x", requests)
+        naive_time = time.perf_counter() - started
+        rows.append({
+            "siblings": len(requests),
+            "dfs-ms": round(1e3 * dfs_time, 3),
+            "naive-ms": round(1e3 * naive_time, 3),
+            "naive-combos": tried,
+            "solved": assigned is not None,
+        })
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="[E15] prefix-free assignment: "
+                                       "DFS vs product enumeration"))
+    assert all(row["solved"] for row in rows)
+
+
+@pytest.mark.parametrize("width", [4, 8])
+def test_bench_prefix_free_dfs(benchmark, width):
+    dtd = _wide_target(width)
+    requests = _requests(width)
+    result = benchmark(lambda: prefix_free_assign(dtd, "x", requests))
+    assert result is not None

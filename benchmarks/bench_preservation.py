@@ -1,0 +1,82 @@
+"""E6 — end-to-end information preservation throughput.
+
+Times the full pipeline (map → invert → translate → evaluate →
+compare) that the property tests run, on the school example — the
+operational cost of the paper's guarantees.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.anfa.evaluate import evaluate_anfa_set
+from repro.core.instmap import InstMap
+from repro.core.inverse import invert
+from repro.core.translate import Translator
+from repro.dtd.generate import InstanceGenerator
+from repro.experiments.report import format_table
+from repro.workloads.queries import random_queries
+from repro.xpath.evaluator import evaluate_set
+from repro.xtree.nodes import tree_equal, tree_size
+
+
+@pytest.fixture(scope="module")
+def pipeline(school):
+    instance = InstanceGenerator(school.classes, seed=4, max_depth=10,
+                                 star_mean=3.0).generate()
+    instmap = InstMap(school.sigma1)
+    mapped = instmap.apply(instance)
+    translator = Translator(school.sigma1)
+    queries = random_queries(school.classes, 8, seed=7, max_steps=6)
+    return school, instance, instmap, mapped, translator, queries
+
+
+@pytest.mark.table
+def test_table_e6_pipeline(pipeline, capsys):
+    school, instance, _instmap, mapped, translator, queries = pipeline
+    preserved = 0
+    for query in queries:
+        anfa = translator.translate(query)
+        target = evaluate_anfa_set(anfa, mapped.tree).map_ids(mapped.idM)
+        source = evaluate_set(query, instance)
+        if target.ids == source.ids and target.strings == source.strings:
+            preserved += 1
+    roundtrip = tree_equal(invert(school.sigma1, mapped.tree), instance)
+    rows = [{
+        "|T1|": tree_size(instance),
+        "|T2|": tree_size(mapped.tree),
+        "queries": len(queries),
+        "preserved": preserved,
+        "invertible": roundtrip,
+    }]
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="[E6] information preservation, "
+                                       "end to end"))
+    assert preserved == len(queries) and roundtrip
+
+
+def test_bench_full_pipeline(benchmark, pipeline):
+    school, instance, instmap, _mapped, _translator, queries = pipeline
+
+    def run():
+        mapped = instmap.apply(instance)
+        assert tree_equal(invert(school.sigma1, mapped.tree), instance)
+        translator = Translator(school.sigma1)
+        for query in queries[:4]:
+            anfa = translator.translate(query)
+            target = evaluate_anfa_set(anfa, mapped.tree)
+            target.map_ids(mapped.idM)
+
+    benchmark(run)
+
+
+def test_bench_anfa_evaluation(benchmark, pipeline):
+    _school, _instance, _instmap, mapped, translator, queries = pipeline
+    anfas = [translator.translate(q) for q in queries]
+    benchmark(lambda: [evaluate_anfa_set(a, mapped.tree) for a in anfas])
+
+
+def test_bench_source_evaluation(benchmark, pipeline):
+    _school, instance, _instmap, _mapped, _translator, queries = pipeline
+    benchmark(lambda: [evaluate_set(q, instance) for q in queries])

@@ -1,0 +1,56 @@
+"""E7/E14 — query translation: ANFA sizes vs. the Theorem 4.3 bound.
+
+``|Tr(Q)| = O(|Q|·|σ|·|S1|)``, computed in ``O(|Q|²·|σ|·|S1|²)``.
+The table reports measured automaton sizes against the bound; the
+benchmark times translation of the Example 4.8 query and of larger
+random queries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.translate import Translator
+from repro.experiments.complexity import run_translation_growth
+from repro.experiments.report import format_table
+from repro.workloads.queries import random_queries
+from repro.xpath.parser import parse_xr
+
+
+@pytest.mark.table
+def test_table_e14_translation_growth(capsys):
+    rows = run_translation_growth(counts=(6, 12, 24), seed=3, max_steps=8)
+    with capsys.disabled():
+        print()
+        print(format_table(rows,
+                           title="[E14] |Tr(Q)| vs the O(|Q||σ||S1|) bound"))
+    assert all(row["within-bound"] for row in rows)
+
+
+def test_bench_translate_example_4_8(benchmark, school):
+    translator = Translator(school.sigma1)
+    query = parse_xr(
+        "class[cno/text()='CS331']/(type/regular/prereq/class)*")
+
+    def run():
+        return Translator(school.sigma1).translate(query)
+
+    benchmark(run)
+
+
+def test_bench_translate_random_batch(benchmark, school):
+    queries = random_queries(school.classes, 10, seed=9, max_steps=7)
+
+    def run():
+        translator = Translator(school.sigma1)
+        return [translator.translate(query) for query in queries]
+
+    benchmark(run)
+
+
+def test_bench_translate_memoised(benchmark, school):
+    """Re-translation with a warm memo (the DP of Theorem 4.3)."""
+    translator = Translator(school.sigma1)
+    query = parse_xr("(class/type/regular/prereq/class)*/cno/text()")
+    translator.translate(query)
+    benchmark(lambda: translator.translate(query))

@@ -1,0 +1,48 @@
+"""E13 — the VLDB'05 efficiency study: running time vs. schema size.
+
+Paper shape: heuristics handle schemas "up to a few hundred nodes" with
+running times "in the range of seconds or minutes".  We sweep random
+sources expanded into targets of a few hundred types and verify times
+stay within that envelope (they are far faster here — modern hardware —
+but the growth curve is the reproducible shape).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import format_table
+from repro.experiments.scalability import run_scalability
+from repro.matching.search import find_embedding
+from repro.workloads.noise import expand_schema, noisy_att
+from repro.workloads.synthetic import random_dtd
+
+
+@pytest.mark.table
+def test_table_e13_scalability(capsys):
+    rows = run_scalability(sizes=(10, 20, 40, 80, 120),
+                           methods=("quality", "random"),
+                           noise=0.3, seed=2)
+    with capsys.disabled():
+        print()
+        print(format_table([r.as_dict() for r in rows],
+                           title="[E13] search time vs schema size "
+                                 "(targets up to a few hundred types)"))
+    assert all(row.success for row in rows)
+    # The paper's envelope: seconds-to-minutes; assert generous bound.
+    assert max(row.seconds for row in rows) < 120.0
+
+
+@pytest.mark.parametrize("size", [20, 60, 120])
+def test_bench_search_by_size(benchmark, size):
+    source = random_dtd(size, seed=size + 1)
+    expansion = expand_schema(source, seed=3)
+    att = noisy_att(expansion, 0.3, seed=4)
+
+    def run():
+        result = find_embedding(expansion.source, expansion.target, att,
+                                method="quality", seed=1)
+        assert result.found
+        return result
+
+    benchmark(run)

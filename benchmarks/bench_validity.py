@@ -1,0 +1,62 @@
+"""E4 — Fig. 3 validity scenarios plus validation throughput.
+
+The table reprints the five scenario verdicts; the benchmark times
+whole-embedding validation (the PTIME check of Theorem 5.1's NP
+membership argument).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import format_table
+from repro.workloads.library import fig3_scenarios
+from repro.workloads.noise import expand_schema
+from repro.workloads.synthetic import random_dtd
+
+
+@pytest.mark.table
+def test_table_e4_fig3_verdicts(capsys):
+    rows = []
+    for scenario in fig3_scenarios():
+        valid = (scenario.embedding is not None
+                 and scenario.embedding.is_valid())
+        rows.append({
+            "scenario": f"Fig.3({scenario.key})",
+            "valid": valid,
+            "paper": scenario.expect_valid,
+            "agree": valid == scenario.expect_valid,
+            "note": scenario.note[:60],
+        })
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="[E4] Fig.3 validity verdicts"))
+    assert all(row["agree"] for row in rows)
+
+
+def test_bench_validation_school(benchmark, school):
+    def run():
+        # Re-validate from scratch (no cached classifications).
+        from repro.core.embedding import SchemaEmbedding
+
+        fresh = SchemaEmbedding(school.sigma1.source, school.sigma1.target,
+                                dict(school.sigma1.lam),
+                                dict(school.sigma1.paths))
+        assert fresh.is_valid()
+
+    benchmark(run)
+
+
+def test_bench_validation_large(benchmark):
+    expansion = expand_schema(random_dtd(80, seed=3), seed=5)
+
+    def run():
+        from repro.core.embedding import SchemaEmbedding
+
+        fresh = SchemaEmbedding(expansion.embedding.source,
+                                expansion.embedding.target,
+                                dict(expansion.embedding.lam),
+                                dict(expansion.embedding.paths))
+        assert fresh.is_valid()
+
+    benchmark(run)

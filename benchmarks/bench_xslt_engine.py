@@ -1,0 +1,76 @@
+"""E9 — the XSLT realisation: generated stylesheets vs native algorithms.
+
+Times the forward stylesheet against InstMap and the inverse stylesheet
+against the structural inverse (the paper positions XSLT as the
+practical carrier of σd; the native algorithms are the spec).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instmap import InstMap
+from repro.core.inverse import invert
+from repro.dtd.generate import InstanceGenerator
+from repro.experiments.report import format_table
+from repro.xslt.engine import apply_stylesheet
+from repro.xslt.forward import forward_stylesheet
+from repro.xslt.inverse import inverse_stylesheet
+from repro.xtree.nodes import tree_equal, tree_size
+
+
+@pytest.fixture(scope="module")
+def setup(school):
+    instance = InstanceGenerator(school.classes, seed=6, max_depth=12,
+                                 star_mean=5.0).generate()
+    forward = forward_stylesheet(school.sigma1)
+    inverse = inverse_stylesheet(school.sigma1)
+    instmap = InstMap(school.sigma1)
+    image = instmap.apply(instance).tree
+    return school, instance, forward, inverse, instmap, image
+
+
+@pytest.mark.table
+def test_table_e9_agreement(setup, capsys):
+    school, instance, forward, inverse, instmap, image = setup
+    via_xslt = apply_stylesheet(forward, instance)
+    recovered = apply_stylesheet(inverse, image)
+    rows = [{
+        "|T1|": tree_size(instance),
+        "|T2|": tree_size(image),
+        "xslt-forward == InstMap": tree_equal(via_xslt, image),
+        "xslt-inverse == source": tree_equal(recovered, instance),
+        "forward-rules": len(forward.rules),
+        "inverse-rules": len(inverse.rules),
+    }]
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="[E9] generated XSLT vs native "
+                                       "algorithms"))
+    assert rows[0]["xslt-forward == InstMap"]
+    assert rows[0]["xslt-inverse == source"]
+
+
+def test_bench_xslt_forward(benchmark, setup):
+    _school, instance, forward, _inv, _im, _image = setup
+    benchmark(lambda: apply_stylesheet(forward, instance))
+
+
+def test_bench_native_instmap(benchmark, setup):
+    _school, instance, _fwd, _inv, instmap, _image = setup
+    benchmark(lambda: instmap.apply(instance))
+
+
+def test_bench_xslt_inverse(benchmark, setup):
+    _school, _instance, _fwd, inverse, _im, image = setup
+    benchmark(lambda: apply_stylesheet(inverse, image))
+
+
+def test_bench_native_inverse(benchmark, setup):
+    school, _instance, _fwd, _inv, _im, image = setup
+    benchmark(lambda: invert(school.sigma1, image))
+
+
+def test_bench_stylesheet_generation(benchmark, school):
+    benchmark(lambda: (forward_stylesheet(school.sigma1),
+                       inverse_stylesheet(school.sigma1)))

@@ -1,0 +1,25 @@
+"""Benchmark fixtures: print tables once per session, time with
+pytest-benchmark.  Run with ``pytest benchmarks/ --benchmark-only``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.library import school_example
+from repro.workloads.noise import expand_schema
+from repro.workloads.synthetic import random_dtd
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers",
+                            "table: prints a paper-style results table")
+
+
+@pytest.fixture(scope="session")
+def school():
+    return school_example()
+
+
+@pytest.fixture(scope="session")
+def mid_expansion():
+    return expand_schema(random_dtd(40, seed=7), seed=3)

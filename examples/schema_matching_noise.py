@@ -1,0 +1,48 @@
+"""Best-effort matching under noisy similarity (the VLDB'05 setting).
+
+Sweeps the similarity-noise knob on one schema and reports, per
+heuristic, how often a valid embedding is found and how close its λ is
+to the ground truth — a miniature of experiment E12.
+
+Run:  python examples/schema_matching_noise.py
+"""
+
+from repro.experiments.accuracy import run_accuracy
+from repro.experiments.report import format_table
+from repro.matching.search import find_embedding
+from repro.workloads.library import SCHEMA_LIBRARY
+from repro.workloads.noise import expand_schema, noisy_att
+
+
+def main() -> None:
+    rows = run_accuracy(schemas=("orders",),
+                        noises=(0.0, 0.5, 1.0),
+                        methods=("random", "quality", "indepset"),
+                        trials=3, seed=13)
+    print(format_table([r.as_dict() for r in rows],
+                       title="orders schema: success & λ-accuracy vs "
+                             "similarity noise"))
+
+    # Zoom in on one noisy run: which types get mis-matched?
+    expansion = expand_schema(SCHEMA_LIBRARY["orders"](), seed=13)
+    att = noisy_att(expansion, 1.0, seed=99)
+    result = find_embedding(expansion.source, expansion.target, att,
+                            method="quality", seed=0)
+    assert result.found
+    print("\nmismatched types at noise=1.0 (quality-ordered):")
+    mismatches = [(a, b, expansion.lam[a])
+                  for a, b in sorted(result.embedding.lam.items())
+                  if expansion.lam[a] != b]
+    if not mismatches:
+        print("  none — ground truth recovered despite full noise")
+    for source_type, found, truth in mismatches:
+        print(f"  {source_type:12s} -> {found:18s} (truth: {truth}, "
+              f"att {att.get(source_type, found):.2f} vs "
+              f"{att.get(source_type, truth):.2f})")
+    print("\nnote: a mismatched λ can still be a *valid* embedding — "
+          "information is preserved either way (Theorem 4.3); the "
+          "similarity matrix is what carries the semantics.")
+
+
+if __name__ == "__main__":
+    main()

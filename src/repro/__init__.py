@@ -1,0 +1,30 @@
+"""Reproduction of "Information Preserving XML Schema Embedding".
+
+Fan & Bohannon, VLDB 2005 (journal version: ACM TODS 33(1), 2008).
+
+The package implements, from scratch:
+
+* an XML instance-tree model with node identities (:mod:`repro.xtree`);
+* DTDs in the paper's normal form, their schema graphs, consistency
+  checking and minimum default instances (:mod:`repro.dtd`);
+* regular XPath ``XR`` [Marx 2004] with a parser and an evaluator
+  (:mod:`repro.xpath`);
+* annotated NFAs (ANFAs) for representing translated queries
+  (:mod:`repro.anfa`);
+* schema embeddings, the derived instance mapping ``InstMap``, its
+  inverse, and schema-directed query translation (:mod:`repro.core`);
+* an XSLT-subset engine plus stylesheet generators for the embedding
+  and its inverse (:mod:`repro.xslt`);
+* heuristic and exact algorithms for *finding* embeddings, the
+  simulation baseline and the NP-hardness reduction
+  (:mod:`repro.matching`);
+* schema/workload generators and the experiment harness
+  (:mod:`repro.workloads`, :mod:`repro.experiments`).
+
+See ``README.md`` for a guided tour and ``DESIGN.md`` for the
+paper-to-module map.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

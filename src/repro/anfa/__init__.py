@@ -1,0 +1,51 @@
+"""Annotated nondeterministic finite automata — ANFAs (Section 4.4).
+
+The paper represents translated regular-XPath queries as NFAs whose
+states carry qualifier annotations (θ) referring to named sub-automata
+(ν).  This package implements:
+
+* :mod:`repro.anfa.model` — the automaton, qualifier trees, and the
+  *call transition* refinement (R6 in DESIGN.md) used for positional
+  qualifiers (the "mild augmentation" the paper's framework allows);
+* :mod:`repro.anfa.construct` — building the ANFA ``M_Q`` of a source
+  query (cases (a)–(i) of Section 4.4);
+* :mod:`repro.anfa.evaluate` — direct evaluation of an ANFA on an XML
+  tree (polynomial; the paper cites [Fan et al. 2007] for this style);
+* :mod:`repro.anfa.to_regex` — state elimination back to an XR
+  expression (worst-case exponential, per [Ehrenfeucht & Zeiger 1976]).
+"""
+
+from repro.anfa.model import (
+    ANFA,
+    CallSpec,
+    QualAtomExists,
+    QualAtomPos,
+    QualAtomText,
+    QualExpr,
+    QualFalse,
+    QualTrue,
+    qual_and,
+    qual_not,
+    qual_or,
+)
+from repro.anfa.construct import anfa_of_query
+from repro.anfa.evaluate import evaluate_anfa, evaluate_anfa_set
+from repro.anfa.to_regex import anfa_to_xr
+
+__all__ = [
+    "ANFA",
+    "CallSpec",
+    "QualAtomExists",
+    "QualAtomPos",
+    "QualAtomText",
+    "QualExpr",
+    "QualFalse",
+    "QualTrue",
+    "anfa_of_query",
+    "anfa_to_xr",
+    "evaluate_anfa",
+    "evaluate_anfa_set",
+    "qual_and",
+    "qual_not",
+    "qual_or",
+]

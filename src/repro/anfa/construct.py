@@ -1,0 +1,171 @@
+"""Building the ANFA ``M_Q`` of a source query (Section 4.4, cases a–i).
+
+This is the *representation* side of the paper's automaton framework:
+any XR query can be coded as an ANFA whose direct evaluation agrees
+with the XR semantics (tested against :mod:`repro.xpath.evaluator`).
+Schema-directed *translation* (which additionally maps the query across
+an embedding) lives in :mod:`repro.core.translate` and uses the same
+automaton algebra.
+
+Construction cases:
+
+(a) ``ε``       — one state, final;
+(b) ``A``       — two states joined by a label transition;
+(c) ``p1 ∪ p2`` — union (fresh start, ε to both embedded copies);
+(d) ``p1/p2``, ``p/text()`` — concatenation via ε transitions;
+(e) ``p[q]``    — θ annotations on the final states, or a call
+                  transition when ``q`` contains ``position()``
+                  (refinement R6);
+(f)–(i) qualifiers — boolean trees over sub-automata;
+plus ``p*`` as the Kleene closure and ``//`` as a wildcard loop.
+"""
+
+from __future__ import annotations
+
+from repro.anfa.model import (
+    ANFA,
+    CallSpec,
+    QualAtomExists,
+    QualAtomPos,
+    QualAtomText,
+    QualExpr,
+    QualTrue,
+    STR_LAB,
+    qual_and,
+    qual_has_position,
+    qual_not,
+    qual_or,
+)
+from repro.xpath.ast import (
+    DescOrSelf,
+    EmptyPath,
+    Label,
+    PathExpr,
+    QAnd,
+    QNot,
+    QOr,
+    QPath,
+    QPos,
+    QText,
+    QTrue,
+    Qualified,
+    Qualifier,
+    Seq,
+    Star,
+    TextStep,
+    Union,
+)
+
+
+def anfa_of_query(query: PathExpr) -> ANFA:
+    """Build the ANFA representing a (source-side) XR/X query.
+
+    >>> from repro.xpath.parser import parse_xr
+    >>> m = anfa_of_query(parse_xr("A/B"))
+    >>> sorted(m.finals.values())
+    [None]
+    """
+    return _build(query).trim()
+
+
+def _build(query: PathExpr) -> ANFA:
+    if isinstance(query, EmptyPath):
+        anfa = ANFA()
+        anfa.set_final(anfa.start, None)
+        return anfa
+    if isinstance(query, Label):
+        anfa = ANFA()
+        final = anfa.new_state()
+        anfa.add_label(anfa.start, query.name, final)
+        anfa.set_final(final, None)
+        return anfa
+    if isinstance(query, TextStep):
+        anfa = ANFA()
+        final = anfa.new_state()
+        anfa.add_str(anfa.start, final)
+        anfa.set_final(final, STR_LAB)
+        return anfa
+    if isinstance(query, DescOrSelf):
+        # Wildcard loop: (any-child)*, final everywhere on the loop.
+        anfa = ANFA()
+        anfa.add_label(anfa.start, "*", anfa.start)
+        anfa.set_final(anfa.start, None)
+        return anfa
+    if isinstance(query, Union):
+        left, right = _build(query.left), _build(query.right)
+        anfa = ANFA()
+        left_map = anfa.embed(left)
+        right_map = anfa.embed(right)
+        anfa.add_eps(anfa.start, left_map[left.start])
+        anfa.add_eps(anfa.start, right_map[right.start])
+        return anfa
+    if isinstance(query, Seq):
+        left, right = _build(query.left), _build(query.right)
+        anfa = ANFA()
+        left_map = anfa.embed(left)
+        right_map = anfa.embed(right)
+        anfa.add_eps(anfa.start, left_map[left.start])
+        for state, lab in left.finals.items():
+            anfa.clear_final(left_map[state])
+            if lab != STR_LAB:  # strings have no continuation
+                anfa.add_eps(left_map[state], right_map[right.start])
+        return anfa
+    if isinstance(query, Star):
+        inner = _build(query.inner)
+        anfa = ANFA()
+        inner_map = anfa.embed(inner)
+        anfa.set_final(anfa.start, None)   # p^0
+        anfa.add_eps(anfa.start, inner_map[inner.start])
+        for state, lab in inner.finals.items():
+            if lab != STR_LAB:
+                anfa.add_eps(inner_map[state], inner_map[inner.start])
+        return anfa
+    if isinstance(query, Qualified):
+        inner = _build(query.inner)
+        qual = _build_qualifier(query.qual)
+        if not qual_has_position(qual):
+            # Fresh accept-only states: θ kills runs entering a state,
+            # and star finals also have pass-through transitions.
+            for state, lab in list(inner.finals.items()):
+                inner.clear_final(state)
+                accept = inner.new_state()
+                inner.add_eps(state, accept)
+                inner.set_final(accept, lab)
+                inner.annotate(accept, qual)
+            return inner
+        # Positional qualifier: realise via a call transition so the
+        # result-list index is available (refinement R6).
+        anfa = ANFA()
+        elem_dst = anfa.new_state()
+        str_dst = anfa.new_state()
+        anfa.set_final(elem_dst, None)
+        anfa.set_final(str_dst, STR_LAB)
+        labs = sorted(inner.final_labs(), key=lambda lab: lab or "")
+        anfa.add_call(anfa.start, CallSpec(
+            sub=inner,
+            quals=tuple((lab, qual) for lab in labs),
+            dst_by_lab=tuple(
+                (lab, str_dst if lab == STR_LAB else elem_dst)
+                for lab in labs)))
+        return anfa
+    raise TypeError(f"cannot build an ANFA for {query!r}")
+
+
+def _build_qualifier(qual: Qualifier) -> QualExpr:
+    if isinstance(qual, QTrue):
+        return QualTrue()
+    if isinstance(qual, QPos):
+        return QualAtomPos(qual.k)
+    if isinstance(qual, QPath):
+        return QualAtomExists(_build(qual.path).trim())
+    if isinstance(qual, QText):
+        return QualAtomText(_build(qual.path).trim(), qual.value)
+    if isinstance(qual, QNot):
+        return qual_not(_build_qualifier(qual.inner))
+    if isinstance(qual, QAnd):
+        return qual_and(_build_qualifier(qual.left),
+                        _build_qualifier(qual.right))
+    if isinstance(qual, QOr):
+        return qual_or(_build_qualifier(qual.left),
+                       _build_qualifier(qual.right))
+    raise TypeError(f"cannot build a qualifier for {qual!r}")

@@ -1,0 +1,466 @@
+"""The ANFA data model (Section 4.4, with refinement R6).
+
+An ANFA ``M = (K, Σ, δ, s, F, θ)`` has
+
+* **label transitions** — move from a node to a child with the given
+  tag; an optional local position selects the k-th same-labelled child
+  (this encodes the ``position()`` qualifiers of XR *paths*);
+* **ε transitions** — stay on the current node;
+* **str transitions** — move to the string values of text children;
+* **call transitions** (refinement R6) — evaluate a sub-ANFA at the
+  current node and continue from each result, filtered by a
+  per-label-qualifier with access to the result's *list position*.
+  This realises the translation of source qualifiers containing
+  ``position()`` where the paper's flat θ annotation is not precise
+  enough, and is exactly the "mild augmentation" the paper's automaton
+  framework allows;
+* **θ annotations** — a boolean qualifier attached to a state; a run
+  entering the state at node ``v`` survives only if the qualifier holds
+  at ``v``.  Atoms reference sub-ANFAs (the paper's ν naming of
+  sub-automata is realised by direct object references; see
+  :meth:`ANFA.nu` for the named view).
+
+Final states carry a *lab* — the source element type reached
+(``lab(f, M, A)`` in the paper), used by the schema-directed
+translation to pick the continuation context.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+#: lab value for text results.
+STR_LAB = "#str"
+
+
+# -- qualifier expressions ------------------------------------------------
+
+class QualExpr:
+    """Boolean qualifier tree attached to states / call filters."""
+
+    def size(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class QualTrue(QualExpr):
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class QualFalse(QualExpr):
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class QualAtomExists(QualExpr):
+    """``[p]`` — the sub-automaton has a non-empty result."""
+
+    sub: "ANFA"
+
+    def size(self) -> int:
+        return 1 + self.sub.size()
+
+    def __str__(self) -> str:
+        return f"exists({self.sub.name})"
+
+
+@dataclass(frozen=True)
+class QualAtomText(QualExpr):
+    """``[p/text() = 'c']`` — the sub-automaton (ending in str
+    transitions) produces the string ``value``."""
+
+    sub: "ANFA"
+    value: str
+
+    def size(self) -> int:
+        return 1 + self.sub.size()
+
+    def __str__(self) -> str:
+        return f"text({self.sub.name})='{self.value}'"
+
+
+@dataclass(frozen=True)
+class QualAtomPos(QualExpr):
+    """``position() = k`` w.r.t. the enclosing call's result list."""
+
+    k: int
+
+    def __str__(self) -> str:
+        return f"position()={self.k}"
+
+
+@dataclass(frozen=True)
+class QualNot(QualExpr):
+    inner: QualExpr
+
+    def size(self) -> int:
+        return 1 + self.inner.size()
+
+    def __str__(self) -> str:
+        return f"not({self.inner})"
+
+
+@dataclass(frozen=True)
+class QualAnd(QualExpr):
+    left: QualExpr
+    right: QualExpr
+
+    def size(self) -> int:
+        return 1 + self.left.size() + self.right.size()
+
+    def __str__(self) -> str:
+        return f"({self.left} and {self.right})"
+
+
+@dataclass(frozen=True)
+class QualOr(QualExpr):
+    left: QualExpr
+    right: QualExpr
+
+    def size(self) -> int:
+        return 1 + self.left.size() + self.right.size()
+
+    def __str__(self) -> str:
+        return f"({self.left} or {self.right})"
+
+
+def qual_and(left: QualExpr, right: QualExpr) -> QualExpr:
+    if isinstance(left, QualTrue):
+        return right
+    if isinstance(right, QualTrue):
+        return left
+    return QualAnd(left, right)
+
+
+def qual_or(left: QualExpr, right: QualExpr) -> QualExpr:
+    if isinstance(left, QualFalse):
+        return right
+    if isinstance(right, QualFalse):
+        return left
+    return QualOr(left, right)
+
+
+def qual_not(inner: QualExpr) -> QualExpr:
+    if isinstance(inner, QualTrue):
+        return QualFalse()
+    if isinstance(inner, QualFalse):
+        return QualTrue()
+    return QualNot(inner)
+
+
+def qual_has_position(qual: QualExpr) -> bool:
+    if isinstance(qual, QualAtomPos):
+        return True
+    if isinstance(qual, (QualAnd, QualOr)):
+        return qual_has_position(qual.left) or qual_has_position(qual.right)
+    if isinstance(qual, QualNot):
+        return qual_has_position(qual.inner)
+    return False
+
+
+# -- transitions -------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LabelEdge:
+    label: str
+    pos: Optional[int]  # local: k-th same-labelled child
+    dst: int
+
+
+@dataclass(frozen=True)
+class EpsEdge:
+    dst: int
+
+
+@dataclass(frozen=True)
+class StrEdge:
+    dst: int
+
+
+@dataclass(frozen=True)
+class CallSpec:
+    """A call transition: run ``sub`` at the current node; for each
+    result with lab ``L`` at list position ``i``, continue at
+    ``dst_by_lab[L]`` provided ``quals[L]`` holds for ``(item, i)``."""
+
+    sub: "ANFA"
+    quals: tuple[tuple[Optional[str], QualExpr], ...]
+    dst_by_lab: tuple[tuple[Optional[str], int], ...]
+
+    def qual_for(self, lab: Optional[str]) -> QualExpr:
+        for key, qual in self.quals:
+            if key == lab:
+                return qual
+        return QualTrue()
+
+    def dst_for(self, lab: Optional[str]) -> Optional[int]:
+        for key, dst in self.dst_by_lab:
+            if key == lab:
+                return dst
+        return None
+
+
+Edge = Union[LabelEdge, EpsEdge, StrEdge, CallSpec]
+
+_anfa_names = itertools.count(1)
+
+
+class ANFA:
+    """A mutable ANFA, built by the construction/translation code.
+
+    States are integers local to the automaton.  ``embed`` copies
+    another automaton's states into this one (used by the union /
+    concatenation / Kleene-star constructions and by the
+    schema-directed translation, which stitches per-type copies
+    together with ε transitions).
+    """
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.name = name or f"M{next(_anfa_names)}"
+        self._count = 0
+        self.start = self.new_state()
+        self.finals: dict[int, Optional[str]] = {}
+        self.label_edges: dict[int, list[LabelEdge]] = {}
+        self.eps_edges: dict[int, list[int]] = {}
+        self.str_edges: dict[int, list[int]] = {}
+        self.call_edges: dict[int, list[CallSpec]] = {}
+        self.theta: dict[int, QualExpr] = {}
+
+    # -- construction ------------------------------------------------------
+    def new_state(self) -> int:
+        state = self._count
+        self._count += 1
+        return state
+
+    def add_label(self, src: int, label: str, dst: int,
+                  pos: Optional[int] = None) -> None:
+        self.label_edges.setdefault(src, []).append(LabelEdge(label, pos, dst))
+
+    def add_eps(self, src: int, dst: int) -> None:
+        self.eps_edges.setdefault(src, []).append(dst)
+
+    def add_str(self, src: int, dst: int) -> None:
+        self.str_edges.setdefault(src, []).append(dst)
+
+    def add_call(self, src: int, spec: CallSpec) -> None:
+        self.call_edges.setdefault(src, []).append(spec)
+
+    def set_final(self, state: int, lab: Optional[str]) -> None:
+        self.finals[state] = lab
+
+    def clear_final(self, state: int) -> None:
+        self.finals.pop(state, None)
+
+    def annotate(self, state: int, qual: QualExpr) -> None:
+        existing = self.theta.get(state)
+        self.theta[state] = qual if existing is None else qual_and(existing,
+                                                                   qual)
+
+    def embed(self, other: "ANFA") -> dict[int, int]:
+        """Copy ``other``'s states and transitions; return the state map.
+
+        Finals and θ are copied; the caller decides how to wire the
+        start state and whether to keep the copied finals.  Sub-ANFAs
+        inside θ / call specs are shared by reference (they are never
+        mutated after construction).
+        """
+        mapping = {state: self.new_state() for state in range(other._count)}
+        for src, edges in other.label_edges.items():
+            for edge in edges:
+                self.add_label(mapping[src], edge.label, mapping[edge.dst],
+                               edge.pos)
+        for src, dsts in other.eps_edges.items():
+            for dst in dsts:
+                self.add_eps(mapping[src], mapping[dst])
+        for src, dsts in other.str_edges.items():
+            for dst in dsts:
+                self.add_str(mapping[src], mapping[dst])
+        for src, specs in other.call_edges.items():
+            for spec in specs:
+                remapped = CallSpec(
+                    sub=spec.sub,
+                    quals=spec.quals,
+                    dst_by_lab=tuple((lab, mapping[dst])
+                                     for lab, dst in spec.dst_by_lab))
+                self.add_call(mapping[src], remapped)
+        for state, lab in other.finals.items():
+            self.set_final(mapping[state], lab)
+        for state, qual in other.theta.items():
+            self.theta[mapping[state]] = qual
+        return mapping
+
+    # -- views ----------------------------------------------------------------
+    def states(self) -> range:
+        return range(self._count)
+
+    def is_fail(self) -> bool:
+        """No final states — the ``Fail`` automaton of Section 4.4."""
+        return not self.finals
+
+    def final_labs(self) -> set[Optional[str]]:
+        return set(self.finals.values())
+
+    def out_edges(self, state: int) -> Iterator[Edge]:
+        for edge in self.label_edges.get(state, []):
+            yield edge
+        for dst in self.eps_edges.get(state, []):
+            yield EpsEdge(dst)
+        for dst in self.str_edges.get(state, []):
+            yield StrEdge(dst)
+        for spec in self.call_edges.get(state, []):
+            yield spec
+
+    def edge_count(self) -> int:
+        return (sum(len(v) for v in self.label_edges.values())
+                + sum(len(v) for v in self.eps_edges.values())
+                + sum(len(v) for v in self.str_edges.values())
+                + sum(len(v) for v in self.call_edges.values()))
+
+    def size(self) -> int:
+        """States + transitions + annotation sizes (|Tr(Q)| in Thm 4.3)."""
+        total = self._count + self.edge_count()
+        for qual in self.theta.values():
+            total += qual.size()
+        for specs in self.call_edges.values():
+            for spec in specs:
+                total += spec.sub.size()
+                for _lab, qual in spec.quals:
+                    total += qual.size()
+        return total
+
+    def nu(self) -> dict[str, "ANFA"]:
+        """The ν view: sub-automata referenced by θ / call transitions,
+        keyed by their generated names (the paper's ``X_i ↦ M_i``)."""
+        out: dict[str, ANFA] = {}
+
+        def visit_qual(qual: QualExpr) -> None:
+            if isinstance(qual, (QualAtomExists, QualAtomText)):
+                if qual.sub.name not in out:
+                    out[qual.sub.name] = qual.sub
+                    visit(qual.sub)
+            elif isinstance(qual, (QualAnd, QualOr)):
+                visit_qual(qual.left)
+                visit_qual(qual.right)
+            elif isinstance(qual, QualNot):
+                visit_qual(qual.inner)
+
+        def visit(anfa: "ANFA") -> None:
+            for qual in anfa.theta.values():
+                visit_qual(qual)
+            for specs in anfa.call_edges.values():
+                for spec in specs:
+                    if spec.sub.name not in out:
+                        out[spec.sub.name] = spec.sub
+                        visit(spec.sub)
+                    for _lab, qual in spec.quals:
+                        visit_qual(qual)
+
+        visit(self)
+        return out
+
+    # -- trimming ----------------------------------------------------------------
+    def trim(self) -> "ANFA":
+        """Remove states that cannot reach a final state (the paper's
+        "standard useless state removal"), keeping reachable-from-start
+        states only.  Returns a fresh automaton."""
+        forward: set[int] = set()
+        stack = [self.start]
+        while stack:
+            state = stack.pop()
+            if state in forward:
+                continue
+            forward.add(state)
+            for edge in self.out_edges(state):
+                if isinstance(edge, LabelEdge):
+                    stack.append(edge.dst)
+                elif isinstance(edge, (EpsEdge, StrEdge)):
+                    stack.append(edge.dst)
+                else:
+                    stack.extend(dst for _lab, dst in edge.dst_by_lab)
+
+        # Backward reachability from finals over reversed edges.
+        reverse: dict[int, set[int]] = {}
+
+        def link(src: int, dst: int) -> None:
+            reverse.setdefault(dst, set()).add(src)
+
+        for src in self.states():
+            for edge in self.out_edges(src):
+                if isinstance(edge, LabelEdge):
+                    link(src, edge.dst)
+                elif isinstance(edge, (EpsEdge, StrEdge)):
+                    link(src, edge.dst)
+                else:
+                    for _lab, dst in edge.dst_by_lab:
+                        link(src, dst)
+        backward: set[int] = set()
+        stack = [f for f in self.finals if f in forward]
+        while stack:
+            state = stack.pop()
+            if state in backward:
+                continue
+            backward.add(state)
+            stack.extend(reverse.get(state, ()))
+
+        keep = forward & backward
+        keep.add(self.start)
+
+        trimmed = ANFA(name=self.name)
+        mapping: dict[int, int] = {self.start: trimmed.start}
+        for state in sorted(keep):
+            if state not in mapping:
+                mapping[state] = trimmed.new_state()
+        for src in keep:
+            for edge in self.out_edges(src):
+                if isinstance(edge, LabelEdge) and edge.dst in keep:
+                    trimmed.add_label(mapping[src], edge.label,
+                                      mapping[edge.dst], edge.pos)
+                elif isinstance(edge, EpsEdge) and edge.dst in keep:
+                    trimmed.add_eps(mapping[src], mapping[edge.dst])
+                elif isinstance(edge, StrEdge) and edge.dst in keep:
+                    trimmed.add_str(mapping[src], mapping[edge.dst])
+                elif isinstance(edge, CallSpec):
+                    kept_dsts = tuple((lab, mapping[dst])
+                                      for lab, dst in edge.dst_by_lab
+                                      if dst in keep)
+                    if kept_dsts:
+                        trimmed.add_call(mapping[src], CallSpec(
+                            edge.sub, edge.quals, kept_dsts))
+        for state, lab in self.finals.items():
+            if state in keep:
+                trimmed.set_final(mapping[state], lab)
+        for state, qual in self.theta.items():
+            if state in keep:
+                trimmed.theta[mapping[state]] = qual
+        return trimmed
+
+    def describe(self) -> str:
+        """A readable dump used in docs/tests."""
+        lines = [f"ANFA {self.name}: start={self.start}, "
+                 f"finals={self.finals}"]
+        for state in self.states():
+            for edge in self.out_edges(state):
+                if isinstance(edge, LabelEdge):
+                    pos = f"[{edge.pos}]" if edge.pos else ""
+                    lines.append(f"  {state} --{edge.label}{pos}--> {edge.dst}")
+                elif isinstance(edge, EpsEdge):
+                    lines.append(f"  {state} --eps--> {edge.dst}")
+                elif isinstance(edge, StrEdge):
+                    lines.append(f"  {state} --str--> {edge.dst}")
+                else:
+                    lines.append(
+                        f"  {state} --call({edge.sub.name})--> "
+                        f"{dict(edge.dst_by_lab)}")
+        for state, qual in self.theta.items():
+            lines.append(f"  theta({state}) = {qual}")
+        return "\n".join(lines)
+
+
+def fail_anfa() -> ANFA:
+    """The ``Fail`` automaton: a start state, no transitions, no finals."""
+    return ANFA(name="Fail")

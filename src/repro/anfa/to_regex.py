@@ -1,0 +1,193 @@
+"""State elimination: ANFA → XR expression (Section 4.4).
+
+"the automaton may itself be translated into regular XPath, [but] this
+translation subsumes the translation of finite-state automata to
+regular expressions, an EXPTIME-complete problem [Ehrenfeucht & Zeiger
+1976]" — hence the paper keeps translated queries in automaton form.
+This module provides the conversion anyway (useful for inspection and
+for round-trip testing on small queries), via the classic GNFA
+elimination with XR expressions as edge labels.
+
+θ annotations are folded into incoming edges as ``[q]`` qualifiers;
+call transitions become ``p[q]`` sub-expressions recursively.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.anfa.model import (
+    ANFA,
+    CallSpec,
+    QualAnd,
+    QualAtomExists,
+    QualAtomPos,
+    QualAtomText,
+    QualExpr,
+    QualFalse,
+    QualNot,
+    QualOr,
+    QualTrue,
+    STR_LAB,
+)
+from repro.xpath.ast import (
+    EmptyPath,
+    Label,
+    PathExpr,
+    QAnd,
+    QNot,
+    QOr,
+    QPath,
+    QPos,
+    QText,
+    QTrue,
+    Qualified,
+    Qualifier,
+    Seq,
+    Star,
+    TextStep,
+    Union,
+)
+
+
+class RegexConversionError(ValueError):
+    """The automaton has no equivalent expression we can build."""
+
+
+def _seq(left: Optional[PathExpr], right: Optional[PathExpr],
+         ) -> Optional[PathExpr]:
+    if left is None or right is None:
+        return None
+    if isinstance(left, EmptyPath):
+        return right
+    if isinstance(right, EmptyPath):
+        return left
+    return Seq(left, right)
+
+
+def _union(left: Optional[PathExpr], right: Optional[PathExpr],
+           ) -> Optional[PathExpr]:
+    if left is None:
+        return right
+    if right is None:
+        return left
+    if left == right:
+        return left
+    return Union(left, right)
+
+
+def _star(inner: Optional[PathExpr]) -> Optional[PathExpr]:
+    if inner is None or isinstance(inner, EmptyPath):
+        return EmptyPath()
+    return Star(inner)
+
+
+def _convert_qual(qual: QualExpr) -> Qualifier:
+    if isinstance(qual, QualTrue):
+        return QTrue()
+    if isinstance(qual, QualFalse):
+        return QNot(QTrue())
+    if isinstance(qual, QualAtomPos):
+        return QPos(qual.k)
+    if isinstance(qual, QualAtomExists):
+        return QPath(anfa_to_xr(qual.sub))
+    if isinstance(qual, QualAtomText):
+        return QText(anfa_to_xr(qual.sub), qual.value)
+    if isinstance(qual, QualNot):
+        return QNot(_convert_qual(qual.inner))
+    if isinstance(qual, QualAnd):
+        return QAnd(_convert_qual(qual.left), _convert_qual(qual.right))
+    if isinstance(qual, QualOr):
+        return QOr(_convert_qual(qual.left), _convert_qual(qual.right))
+    raise TypeError(f"unknown qualifier {qual!r}")
+
+
+def _call_expr(spec: CallSpec, lab: Optional[str]) -> PathExpr:
+    sub_expr = anfa_to_xr(spec.sub, only_lab=lab)
+    qual = spec.qual_for(lab)
+    if isinstance(qual, QualTrue):
+        return sub_expr
+    return Qualified(sub_expr, _convert_qual(qual))
+
+
+def anfa_to_xr(anfa: ANFA, only_lab: Optional[str] = "#any") -> PathExpr:
+    """Convert an ANFA to an equivalent XR expression.
+
+    ``only_lab`` restricts to final states with the given lab (used
+    when a call transition continues differently per lab); the default
+    sentinel ``"#any"`` keeps all finals.
+
+    Raises :class:`RegexConversionError` for the Fail automaton and for
+    wildcard transitions (which have no schema-free XR equivalent).
+    """
+    trimmed = anfa.trim()
+    gnfa_start = -1
+    gnfa_accept = -2
+    edges: dict[tuple[int, int], PathExpr] = {}
+
+    def add_edge(src: int, dst: int, expr: PathExpr) -> None:
+        theta = trimmed.theta.get(dst)
+        if theta is not None and dst != gnfa_accept:
+            expr = Qualified(expr, _convert_qual(theta))
+            if isinstance(expr.inner, EmptyPath):
+                expr = Qualified(EmptyPath(), _convert_qual(theta))
+        existing = edges.get((src, dst))
+        merged = _union(existing, expr)
+        assert merged is not None
+        edges[(src, dst)] = merged
+
+    add_edge(gnfa_start, trimmed.start, EmptyPath())
+    for state in trimmed.states():
+        for edge in trimmed.label_edges.get(state, []):
+            if edge.label == "*":
+                raise RegexConversionError(
+                    "wildcard transitions need a schema alphabet")
+            expr: PathExpr = Label(edge.label)
+            if edge.pos is not None:
+                expr = Qualified(expr, QPos(edge.pos))
+            add_edge(state, edge.dst, expr)
+        for dst in trimmed.eps_edges.get(state, []):
+            add_edge(state, dst, EmptyPath())
+        for dst in trimmed.str_edges.get(state, []):
+            add_edge(state, dst, TextStep())
+        for spec in trimmed.call_edges.get(state, []):
+            for lab, dst in spec.dst_by_lab:
+                add_edge(state, dst, _call_expr(spec, lab))
+    for state, lab in trimmed.finals.items():
+        if only_lab == "#any" or lab == only_lab:
+            # θ of the final state is already folded into its incoming
+            # edges; the accept edge itself is unannotated.
+            existing = edges.get((state, gnfa_accept))
+            merged = _union(existing, EmptyPath())
+            assert merged is not None
+            edges[(state, gnfa_accept)] = merged
+
+    states = [s for s in trimmed.states()]
+    if not any(dst == gnfa_accept for (_src, dst) in edges):
+        raise RegexConversionError("the automaton accepts nothing (Fail)")
+
+    for victim in states:
+        self_loop = edges.pop((victim, victim), None)
+        loop_expr = _star(self_loop) if self_loop is not None else EmptyPath()
+        incoming = [(src, expr) for (src, dst), expr in edges.items()
+                    if dst == victim and src != victim]
+        outgoing = [(dst, expr) for (src, dst), expr in edges.items()
+                    if src == victim and dst != victim]
+        for (src, _e) in incoming:
+            edges.pop((src, victim))
+        for (dst, _e) in outgoing:
+            edges.pop((victim, dst))
+        for src, in_expr in incoming:
+            for dst, out_expr in outgoing:
+                through = _seq(_seq(in_expr, loop_expr), out_expr)
+                if through is None:
+                    continue
+                existing = edges.get((src, dst))
+                merged = _union(existing, through)
+                assert merged is not None
+                edges[(src, dst)] = merged
+
+    result = edges.get((gnfa_start, gnfa_accept))
+    if result is None:
+        raise RegexConversionError("no accepting path survived elimination")
+    return result

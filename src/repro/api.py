@@ -1,0 +1,112 @@
+"""The stable public API surface, re-exported in one place.
+
+Downstream users can depend on this module; internals may move between
+subpackages without breaking ``from repro.api import …``.
+
+Typical flow::
+
+    from repro import api
+
+    source = api.parse_dtd(open("source.dtd").read())
+    target = api.parse_dtd(open("target.dtd").read())
+    att = api.SimilarityMatrix.from_names(source, target)
+    sigma = api.find_embedding(source, target, att).embedding
+
+    mapped = api.apply_embedding(sigma, api.parse_xml(doc_text))
+    recovered = api.invert(sigma, mapped.tree)
+    anfa = api.translate_query(sigma, api.parse_xr("a/b/text()"))
+    answer = api.evaluate_anfa_set(anfa, mapped.tree)
+"""
+
+from repro.anfa.evaluate import evaluate_anfa, evaluate_anfa_set
+from repro.anfa.to_regex import anfa_to_xr
+from repro.core.embedding import SchemaEmbedding, build_embedding
+from repro.core.errors import (
+    EmbeddingError,
+    InverseError,
+    TranslationError,
+    ValidityViolation,
+)
+from repro.core.instmap import InstMap, MappingResult, apply_embedding
+from repro.core.inverse import invert
+from repro.core.multi import integrate, merge_dtds
+from repro.core.preservation import (
+    check_information_preserving,
+    check_invertible,
+    check_query_preserving,
+    check_type_safe,
+)
+from repro.core.similarity import SimilarityMatrix, name_similarity
+from repro.core.smallmodel import check_bounds, simplify_embedding
+from repro.core.translate import Translator, translate_query
+from repro.dtd.generate import random_instance
+from repro.dtd.model import DTD
+from repro.dtd.parser import parse_compact, parse_dtd
+from repro.dtd.serialize import dtd_to_compact, dtd_to_text
+from repro.dtd.validate import conforms, validate
+from repro.matching.search import SearchResult, find_embedding
+from repro.matching.simulation import simulation_mapping
+from repro.xpath.evaluator import ResultSet, evaluate, evaluate_set
+from repro.xpath.parser import parse_xr
+from repro.xpath.paths import XRPath
+from repro.xslt.engine import apply_stylesheet
+from repro.xslt.forward import forward_stylesheet
+from repro.xslt.inverse import inverse_stylesheet
+from repro.xslt.serialize import stylesheet_to_xslt
+from repro.xtree.nodes import ElementNode, TextNode, tree_equal, tree_size
+from repro.xtree.parser import parse_xml
+from repro.xtree.serialize import to_string
+
+__all__ = [
+    "DTD",
+    "ElementNode",
+    "EmbeddingError",
+    "InstMap",
+    "InverseError",
+    "MappingResult",
+    "ResultSet",
+    "SchemaEmbedding",
+    "SearchResult",
+    "SimilarityMatrix",
+    "TextNode",
+    "TranslationError",
+    "Translator",
+    "ValidityViolation",
+    "XRPath",
+    "anfa_to_xr",
+    "apply_embedding",
+    "apply_stylesheet",
+    "build_embedding",
+    "check_bounds",
+    "check_information_preserving",
+    "check_invertible",
+    "check_query_preserving",
+    "check_type_safe",
+    "conforms",
+    "dtd_to_compact",
+    "dtd_to_text",
+    "evaluate",
+    "evaluate_anfa",
+    "evaluate_anfa_set",
+    "evaluate_set",
+    "find_embedding",
+    "forward_stylesheet",
+    "integrate",
+    "inverse_stylesheet",
+    "invert",
+    "merge_dtds",
+    "name_similarity",
+    "parse_compact",
+    "parse_dtd",
+    "parse_xml",
+    "parse_xr",
+    "random_instance",
+    "simplify_embedding",
+    "simulation_mapping",
+    "stylesheet_to_xslt",
+    "to_string",
+    "translate_query",
+    "tree_equal",
+    "tree_size",
+    "validate",
+]

@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands mirror the paper's workflow:
+
+* ``embed``     — find a schema embedding between two DTD files and
+  print it (λ + paths), optionally as JSON;
+* ``map``       — apply an embedding to a source document (σd);
+* ``invert``    — recover the source document from a mapped one (σd⁻¹);
+* ``translate`` — translate an XR query; print the ANFA and, when
+  state elimination stays small, the equivalent XR expression;
+* ``xslt``      — emit the generated σd / σd⁻¹ stylesheets;
+* ``validate``  — check a document against a DTD.
+
+Embeddings are (de)serialised as JSON: λ plus ``A B occ path`` rows —
+the declarative transformation-language artifact of Section 4.5.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.core.embedding import SchemaEmbedding, build_embedding
+from repro.core.instmap import InstMap
+from repro.core.inverse import invert
+from repro.core.similarity import SimilarityMatrix
+from repro.core.translate import translate_query
+from repro.anfa.to_regex import RegexConversionError, anfa_to_xr
+from repro.dtd.model import DTD
+from repro.dtd.parser import parse_compact, parse_dtd
+from repro.dtd.validate import ConformanceError, validate
+from repro.matching.search import find_embedding
+from repro.xpath.parser import parse_xr
+from repro.xslt.forward import forward_stylesheet
+from repro.xslt.inverse import inverse_stylesheet
+from repro.xslt.serialize import stylesheet_to_xslt
+from repro.xtree.parser import parse_xml
+from repro.xtree.serialize import to_string
+
+
+def _load_dtd(path: str, root: Optional[str] = None) -> DTD:
+    text = Path(path).read_text()
+    if "<!ELEMENT" in text:
+        return parse_dtd(text, root=root, name=Path(path).stem)
+    return parse_compact(text, root=root, name=Path(path).stem)
+
+
+def embedding_to_json(embedding: SchemaEmbedding) -> str:
+    payload = {
+        "lam": embedding.lam,
+        "paths": [{"source": a, "child": b, "occ": occ, "path": str(p)}
+                  for (a, b, occ), p in sorted(embedding.paths.items())],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def embedding_from_json(text: str, source: DTD,
+                        target: DTD) -> SchemaEmbedding:
+    payload = json.loads(text)
+    paths = {(row["source"], row["child"], row.get("occ", 1)): row["path"]
+             for row in payload["paths"]}
+    return build_embedding(source, target, payload["lam"],
+                           paths)  # type: ignore[arg-type]
+
+
+def _cmd_embed(args: argparse.Namespace) -> int:
+    source = _load_dtd(args.source)
+    target = _load_dtd(args.target)
+    if args.att:
+        att = SimilarityMatrix()
+        for row in json.loads(Path(args.att).read_text()):
+            att.set(row["source"], row["target"], row["score"])
+    elif args.match_names:
+        att = SimilarityMatrix.from_names(source, target)
+        att.set(source.root, target.root, 1.0)
+    else:
+        att = SimilarityMatrix.permissive()
+    result = find_embedding(source, target, att, method=args.method,
+                            seed=args.seed, restarts=args.restarts)
+    if not result.found:
+        print("no valid schema embedding found", file=sys.stderr)
+        return 1
+    assert result.embedding is not None
+    print(f"# found by {result.method} in {result.seconds:.3f}s, "
+          f"quality {result.quality:.2f}", file=sys.stderr)
+    output = embedding_to_json(result.embedding)
+    if args.out:
+        Path(args.out).write_text(output)
+    else:
+        print(output)
+    return 0
+
+
+def _load_embedding(args: argparse.Namespace) -> SchemaEmbedding:
+    source = _load_dtd(args.source)
+    target = _load_dtd(args.target)
+    embedding = embedding_from_json(Path(args.embedding).read_text(),
+                                    source, target)
+    embedding.check()
+    return embedding
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    embedding = _load_embedding(args)
+    document = parse_xml(Path(args.document).read_text())
+    result = InstMap(embedding).apply(document)
+    print(to_string(result.tree))
+    return 0
+
+
+def _cmd_invert(args: argparse.Namespace) -> int:
+    embedding = _load_embedding(args)
+    document = parse_xml(Path(args.document).read_text())
+    print(to_string(invert(embedding, document)))
+    return 0
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    embedding = _load_embedding(args)
+    query = parse_xr(args.query)
+    anfa = translate_query(embedding, query)
+    if anfa.is_fail():
+        print("# the query selects nothing over the source schema",
+              file=sys.stderr)
+    print(anfa.describe())
+    if args.regex:
+        try:
+            print(f"# as XR: {anfa_to_xr(anfa)}")
+        except RegexConversionError as exc:
+            print(f"# no small XR form: {exc}", file=sys.stderr)
+    return 0
+
+
+def _cmd_xslt(args: argparse.Namespace) -> int:
+    embedding = _load_embedding(args)
+    sheet = (inverse_stylesheet(embedding) if args.inverse
+             else forward_stylesheet(embedding))
+    print(stylesheet_to_xslt(sheet))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    dtd = _load_dtd(args.schema)
+    document = parse_xml(Path(args.document).read_text())
+    try:
+        validate(document, dtd)
+    except ConformanceError as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    print("valid")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Information-preserving XML schema embedding "
+                    "(Fan & Bohannon, VLDB 2005)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    embed = sub.add_parser("embed", help="find a schema embedding")
+    embed.add_argument("source")
+    embed.add_argument("target")
+    embed.add_argument("--att", help="JSON similarity rows "
+                       '[{"source","target","score"}]')
+    embed.add_argument("--match-names", action="store_true",
+                       help="derive att from a name matcher")
+    embed.add_argument("--method", default="auto",
+                       choices=["auto", "random", "quality", "indepset",
+                                "exact"])
+    embed.add_argument("--seed", type=int, default=0)
+    embed.add_argument("--restarts", type=int, default=20)
+    embed.add_argument("--out")
+    embed.set_defaults(func=_cmd_embed)
+
+    for name, func, extra in [("map", _cmd_map, "source document"),
+                              ("invert", _cmd_invert, "mapped document")]:
+        cmd = sub.add_parser(name, help=f"apply σd{'⁻¹' if name == 'invert' else ''}")
+        cmd.add_argument("source")
+        cmd.add_argument("target")
+        cmd.add_argument("embedding", help="embedding JSON from 'embed'")
+        cmd.add_argument("document", help=extra)
+        cmd.set_defaults(func=func)
+
+    translate = sub.add_parser("translate",
+                               help="translate an XR query (Tr)")
+    translate.add_argument("source")
+    translate.add_argument("target")
+    translate.add_argument("embedding")
+    translate.add_argument("query")
+    translate.add_argument("--regex", action="store_true",
+                           help="also run state elimination back to XR")
+    translate.set_defaults(func=_cmd_translate)
+
+    xslt = sub.add_parser("xslt", help="emit the generated stylesheet")
+    xslt.add_argument("source")
+    xslt.add_argument("target")
+    xslt.add_argument("embedding")
+    xslt.add_argument("--inverse", action="store_true")
+    xslt.set_defaults(func=_cmd_xslt)
+
+    check = sub.add_parser("validate", help="validate a document")
+    check.add_argument("schema")
+    check.add_argument("document")
+    check.set_defaults(func=_cmd_validate)
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,64 @@
+"""The paper's primary contribution (Sections 4.1–4.5).
+
+* :mod:`repro.core.similarity` — similarity matrices ``att``;
+* :mod:`repro.core.embedding` — schema embeddings ``σ = (λ, path)`` and
+  their validity conditions;
+* :mod:`repro.core.instmap` — the derived instance mapping ``σd``
+  (algorithm InstMap, Fig. 5) with the ``idM`` node-id mapping;
+* :mod:`repro.core.inverse` — ``σd⁻¹`` (native structural algorithm);
+* :mod:`repro.core.inverse_queries` — the query-driven inverse from the
+  proof of Theorem 3.3;
+* :mod:`repro.core.delta` — the path mapping δ of Theorem 4.1;
+* :mod:`repro.core.translate` — schema-directed query translation ``Tr``
+  producing ANFAs (Section 4.4);
+* :mod:`repro.core.naive` — the broken edge-substitution translation of
+  Fig. 7, kept as a baseline;
+* :mod:`repro.core.preservation` — executable checks of invertibility
+  and query preservation (Section 2.3);
+* :mod:`repro.core.multi` — multi-source integration (Section 4.5);
+* :mod:`repro.core.smallmodel` — path simplification per Theorem 4.10;
+* :mod:`repro.core.separation` — the separating mappings of Theorem 3.1;
+* :mod:`repro.core.partial` — partial information preservation
+  (the Section 7 future-work direction, implemented).
+"""
+
+from repro.core.errors import (
+    EmbeddingError,
+    InverseError,
+    TranslationError,
+    ValidityViolation,
+)
+from repro.core.similarity import SimilarityMatrix, name_similarity
+from repro.core.embedding import SchemaEmbedding, build_embedding
+from repro.core.instmap import InstMap, MappingResult, apply_embedding
+from repro.core.inverse import invert
+from repro.core.delta import delta_path
+from repro.core.partial import Projection, project_dtd
+from repro.core.translate import translate_query
+from repro.core.preservation import (
+    check_invertible,
+    check_query_preserving,
+    check_type_safe,
+)
+
+__all__ = [
+    "EmbeddingError",
+    "InstMap",
+    "InverseError",
+    "MappingResult",
+    "Projection",
+    "SchemaEmbedding",
+    "SimilarityMatrix",
+    "TranslationError",
+    "ValidityViolation",
+    "apply_embedding",
+    "build_embedding",
+    "check_invertible",
+    "check_query_preserving",
+    "check_type_safe",
+    "delta_path",
+    "invert",
+    "name_similarity",
+    "project_dtd",
+    "translate_query",
+]

@@ -1,0 +1,85 @@
+"""The path mapping δ (proof of Theorem 4.1).
+
+δ maps XR paths over the source schema to XR paths over the target by
+substituting ``path(A_i, A_{i+1})`` for each step.  Source ``position``
+qualifiers are resolved structurally:
+
+* on a concatenation step, ``B[position()=k]`` selects the k-th
+  occurrence edge — the corresponding occurrence path is substituted;
+* on a star step, ``B[position()=k]`` pins the multiplicity carrier of
+  the STAR path to instance ``k`` (Theorem 3.3's
+  ``Tr(ρ/B[position()=k])``); without a qualifier the carrier stays
+  unpinned, denoting all instances in order;
+* on a disjunction step no qualifier is allowed (alternatives are
+  distinct).
+
+Theorem 4.1(1): δ is injective on XR paths from the root — reproduced
+as a property test in ``tests/test_delta.py``.
+"""
+
+from __future__ import annotations
+
+from repro.core.embedding import STR_KEY, SchemaEmbedding
+from repro.core.errors import TranslationError
+from repro.dtd.model import Concat, Disjunction, Star, Str
+from repro.xpath.paths import XRPath
+
+
+def delta_path(embedding: SchemaEmbedding, source_path: XRPath,
+               start_type: str | None = None) -> XRPath:
+    """δ(ρ): translate a source XR path into the target schema.
+
+    ``start_type`` defaults to the source root; the returned path is
+    relative to the image of ``start_type``.
+    """
+    source = embedding.source
+    current = start_type if start_type is not None else source.root
+    if current not in source.elements:
+        raise TranslationError(f"unknown source type {current!r}")
+    result = XRPath(())
+
+    for step in source_path.steps:
+        production = source.production(current)
+        if isinstance(production, Concat):
+            count = production.occurrence_count(step.label)
+            if count == 0:
+                raise TranslationError(
+                    f"{step.label!r} is not a child of {current!r}")
+            occ = step.pos if step.pos is not None else 1
+            if not 1 <= occ <= count:
+                raise TranslationError(
+                    f"occurrence {occ} of {step.label!r} out of range "
+                    f"under {current!r}")
+            segment = embedding.path_for(current, step.label, occ)
+        elif isinstance(production, Disjunction):
+            if step.label not in production.children:
+                raise TranslationError(
+                    f"{step.label!r} is not an alternative of {current!r}")
+            if step.pos not in (None, 1):
+                raise TranslationError(
+                    f"position {step.pos} invalid on disjunction child "
+                    f"{step.label!r}")
+            segment = embedding.path_for(current, step.label)
+        elif isinstance(production, Star):
+            if step.label != production.child:
+                raise TranslationError(
+                    f"{step.label!r} is not the star child of {current!r}")
+            segment = embedding.path_for(current, step.label)
+            if step.pos is not None:
+                info = embedding.info((current, step.label, 1))
+                segment = segment.with_pinned_carrier(step.pos,
+                                                      info.carrier_index)
+        else:
+            raise TranslationError(
+                f"{current!r} has no element children (P({current}) = "
+                f"{production})")
+        result = result.concat(segment)
+        current = step.label
+
+    if source_path.text:
+        production = source.production(current)
+        if not isinstance(production, Str):
+            raise TranslationError(
+                f"text() step requires P({current!r}) = str")
+        result = result.concat(embedding.str_path(current))
+    return result

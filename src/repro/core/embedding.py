@@ -1,0 +1,349 @@
+"""Schema embeddings ``σ = (λ, path)`` and their validity (Section 4.1).
+
+A *path mapping* from ``S1`` to ``S2`` is a pair of a type mapping
+``λ : E1 → E2`` (with ``λ(r1) = r2``) and a function ``path`` assigning
+to each schema-graph edge ``(A, B)`` an XR path from ``λ(A)`` to
+``λ(B)`` in ``S2``.  The mapping is *valid for A* when, based on
+``P1(A)``:
+
+* concatenation — each ``path(A, Bi)`` is an AND path, and is not a
+  prefix of any sibling ``path(A, Bj)``;
+* disjunction — each path is an OR path, prefix-free among siblings,
+  and (refinement R1) the first divergence of any two sibling paths is
+  on OR edges of the same target disjunction node; for an optional type
+  (footnote 1) the path must not occur in the default completion of
+  ``λ(A)`` (refinement R2);
+* star — the path is a STAR path;
+* str — the path is an AND path ending with ``text()``.
+
+A *schema embedding* w.r.t. a similarity matrix ``att`` is a path
+mapping valid for every ``A`` whose λ is valid w.r.t. ``att``.
+
+Edges are keyed ``(A, B, occ)`` — ``occ`` distinguishes repeated
+concatenation children (Fig. 3(c)); a ``str`` production's pseudo-edge
+is keyed ``(A, STR_KEY, 1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Optional, Union
+
+from repro.core.errors import (
+    EmbeddingError,
+    ValidityViolation,
+    ViolationCode,
+)
+from repro.core.similarity import SimilarityMatrix
+from repro.dtd.mindef import MinDef
+from repro.dtd.model import (
+    DTD,
+    Concat,
+    Disjunction,
+    EdgeKind,
+    Empty,
+    Star,
+    Str,
+)
+from repro.xpath.evaluator import evaluate
+from repro.xpath.paths import (
+    PathClassError,
+    PathInfo,
+    XRPath,
+    classify_path,
+    first_divergence,
+)
+
+#: Pseudo-child used to key the path of a ``str`` production.
+STR_KEY = "#str"
+
+EdgeKey = tuple[str, str, int]
+
+
+@dataclass
+class SchemaEmbedding:
+    """A schema embedding from ``source`` to ``target`` (Section 4.1)."""
+
+    source: DTD
+    target: DTD
+    lam: dict[str, str]
+    paths: dict[EdgeKey, XRPath]
+    _infos: dict[EdgeKey, PathInfo] = field(
+        default_factory=dict, repr=False, compare=False)
+    _mindef: Optional[MinDef] = field(
+        default=None, repr=False, compare=False)
+
+    # -- accessors --------------------------------------------------------
+    def path_for(self, source_type: str, child: str, occ: int = 1) -> XRPath:
+        """``path(A, B)`` for the occ-th occurrence edge."""
+        try:
+            return self.paths[(source_type, child, occ)]
+        except KeyError:
+            raise EmbeddingError(
+                f"no path for edge ({source_type}, {child}, {occ})") from None
+
+    def str_path(self, source_type: str) -> XRPath:
+        """``path(A, str)`` for a ``str`` production."""
+        return self.path_for(source_type, STR_KEY)
+
+    def target_mindef(self) -> MinDef:
+        if self._mindef is None:
+            self._mindef = MinDef(self.target)
+        return self._mindef
+
+    def edge_keys(self) -> Iterator[tuple[EdgeKey, str]]:
+        """All required edge keys with the expected endpoint type.
+
+        Yields ``((A, B, occ), end_type)`` where ``end_type`` is λ(B)
+        for element edges and the ``str``-producing type for text paths
+        (checked structurally rather than via λ).
+        """
+        for source_type, production in self.source.elements.items():
+            if isinstance(production, Concat):
+                seen: dict[str, int] = {}
+                for child in production.children:
+                    seen[child] = seen.get(child, 0) + 1
+                    yield ((source_type, child, seen[child]), child)
+            elif isinstance(production, Disjunction):
+                for child in production.children:
+                    yield ((source_type, child, 1), child)
+            elif isinstance(production, Star):
+                yield ((source_type, production.child, 1), production.child)
+            elif isinstance(production, Str):
+                yield ((source_type, STR_KEY, 1), STR_KEY)
+
+    def info(self, key: EdgeKey) -> PathInfo:
+        """Cached schema-graph classification of ``paths[key]``."""
+        cached = self._infos.get(key)
+        if cached is not None:
+            return cached
+        source_type = key[0]
+        info = classify_path(self.paths[key], self.target,
+                             self.lam[source_type])
+        self._infos[key] = info
+        return info
+
+    def size(self) -> int:
+        """``|σ|``: total length of all paths (complexity bounds §4.5)."""
+        return sum(len(path) for path in self.paths.values()) + len(self.lam)
+
+    def quality(self, att: SimilarityMatrix) -> float:
+        """``qual(σ, att)`` (Section 4.1)."""
+        return att.quality(self.lam)
+
+    # -- validity ----------------------------------------------------------
+    def violations(self, att: Optional[SimilarityMatrix] = None,
+                   ) -> list[ValidityViolation]:
+        """All violated validity conditions (empty list = valid)."""
+        out: list[ValidityViolation] = []
+        self._check_lambda(att, out)
+        if out:
+            # With a broken λ the path conditions are not well-posed.
+            return out
+        for source_type, production in self.source.elements.items():
+            if isinstance(production, Concat):
+                self._check_concat(source_type, production, out)
+            elif isinstance(production, Disjunction):
+                self._check_disjunction(source_type, production, out)
+            elif isinstance(production, Star):
+                self._check_star(source_type, production, out)
+            elif isinstance(production, Str):
+                self._check_str(source_type, out)
+        return out
+
+    def is_valid(self, att: Optional[SimilarityMatrix] = None) -> bool:
+        return not self.violations(att)
+
+    def check(self, att: Optional[SimilarityMatrix] = None) -> "SchemaEmbedding":
+        """Raise :class:`EmbeddingError` listing all violations."""
+        found = self.violations(att)
+        if found:
+            rendered = "\n  ".join(str(v) for v in found)
+            raise EmbeddingError(
+                f"invalid schema embedding ({len(found)} violations):\n"
+                f"  {rendered}")
+        return self
+
+    # -- individual conditions ---------------------------------------------
+    def _check_lambda(self, att: Optional[SimilarityMatrix],
+                      out: list[ValidityViolation]) -> None:
+        for source_type in self.source.types:
+            if source_type not in self.lam:
+                out.append(ValidityViolation(
+                    ViolationCode.LAMBDA_MISSING, source_type))
+            elif self.lam[source_type] not in self.target.elements:
+                out.append(ValidityViolation(
+                    ViolationCode.LAMBDA_MISSING, source_type,
+                    f"λ({source_type}) = {self.lam[source_type]!r} "
+                    "is not a target type"))
+        if self.lam.get(self.source.root) != self.target.root:
+            out.append(ValidityViolation(
+                ViolationCode.BAD_ROOT, self.source.root,
+                f"λ({self.source.root}) must be {self.target.root}"))
+        if att is not None:
+            for source_type, target_type in self.lam.items():
+                if att.get(source_type, target_type) <= 0.0:
+                    out.append(ValidityViolation(
+                        ViolationCode.LAMBDA_INVALID, source_type,
+                        f"att({source_type}, {target_type}) = 0"))
+
+    def _classified(self, key: EdgeKey, expected_child: str,
+                    out: list[ValidityViolation]) -> Optional[PathInfo]:
+        """Fetch + classify a path; record structural violations."""
+        source_type = key[0]
+        path = self.paths.get(key)
+        if path is None:
+            out.append(ValidityViolation(
+                ViolationCode.MISSING_PATH, source_type,
+                f"edge ({key[0]}, {key[1]}, occ {key[2]})"))
+            return None
+        if path.is_empty():
+            out.append(ValidityViolation(
+                ViolationCode.EMPTY_PATH, source_type, str(key)))
+            return None
+        try:
+            info = self.info(key)
+        except PathClassError as exc:
+            out.append(ValidityViolation(
+                ViolationCode.NOT_LABEL_PATH, source_type, str(exc)))
+            return None
+        if expected_child != STR_KEY:
+            expected_end = self.lam[expected_child]
+            if info.end_type != expected_end:
+                out.append(ValidityViolation(
+                    ViolationCode.WRONG_ENDPOINT, source_type,
+                    f"path {path} ends at {info.end_type!r}, "
+                    f"expected λ({expected_child}) = {expected_end!r}"))
+                return None
+        return info
+
+    def _check_concat(self, source_type: str, production: Concat,
+                      out: list[ValidityViolation]) -> None:
+        infos: list[tuple[EdgeKey, PathInfo]] = []
+        seen: dict[str, int] = {}
+        for child in production.children:
+            seen[child] = seen.get(child, 0) + 1
+            key = (source_type, child, seen[child])
+            info = self._classified(key, child, out)
+            if info is None:
+                continue
+            if not info.is_and_path():
+                out.append(ValidityViolation(
+                    ViolationCode.NOT_AND_PATH, source_type,
+                    f"path({source_type},{child}#{seen[child]}) = "
+                    f"{info.path} (OR edge or unpinned star)"))
+                continue
+            infos.append((key, info))
+        self._check_prefix_free(source_type, infos, out)
+
+    def _check_disjunction(self, source_type: str, production: Disjunction,
+                           out: list[ValidityViolation]) -> None:
+        infos: list[tuple[EdgeKey, PathInfo]] = []
+        for child in production.children:
+            key = (source_type, child, 1)
+            info = self._classified(key, child, out)
+            if info is None:
+                continue
+            if not info.is_or_path():
+                out.append(ValidityViolation(
+                    ViolationCode.NOT_OR_PATH, source_type,
+                    f"path({source_type},{child}) = {info.path}"))
+                continue
+            infos.append((key, info))
+        self._check_prefix_free(source_type, infos, out)
+        # R1: pairwise first divergence on OR edges.
+        for i, (key1, info1) in enumerate(infos):
+            for key2, info2 in infos[i + 1:]:
+                div = first_divergence(info1.path, info2.path)
+                if div is None:
+                    continue  # prefix conflict already recorded
+                if (info1.edges[div].kind is not EdgeKind.OR
+                        or info2.edges[div].kind is not EdgeKind.OR):
+                    out.append(ValidityViolation(
+                        ViolationCode.OR_DIVERGENCE, source_type,
+                        f"{info1.path} vs {info2.path} diverge on "
+                        f"{info1.edges[div].kind}/{info2.edges[div].kind} "
+                        "edges"))
+        # R2: optional alternatives must be absent from the default
+        # completion of λ(A).
+        if production.optional:
+            default = self.target_mindef().instance(self.lam[source_type])
+            for _key, info in infos:
+                if evaluate(info.path.to_expr(), default):
+                    out.append(ValidityViolation(
+                        ViolationCode.OPTIONAL_SIGNAL, source_type,
+                        f"{info.path} matches mindef({self.lam[source_type]})"))
+
+    def _check_star(self, source_type: str, production: Star,
+                    out: list[ValidityViolation]) -> None:
+        key = (source_type, production.child, 1)
+        info = self._classified(key, production.child, out)
+        if info is not None and not info.is_star_path():
+            out.append(ValidityViolation(
+                ViolationCode.NOT_STAR_PATH, source_type,
+                f"path({source_type},{production.child}) = {info.path}"))
+
+    def _check_str(self, source_type: str,
+                   out: list[ValidityViolation]) -> None:
+        key = (source_type, STR_KEY, 1)
+        path = self.paths.get(key)
+        if path is None:
+            out.append(ValidityViolation(
+                ViolationCode.MISSING_PATH, source_type,
+                f"path({source_type}, str)"))
+            return
+        if not path.text:
+            out.append(ValidityViolation(
+                ViolationCode.NOT_TEXT_PATH, source_type,
+                f"{path} does not end with text()"))
+            return
+        try:
+            info = self.info(key)
+        except PathClassError as exc:
+            out.append(ValidityViolation(
+                ViolationCode.NOT_LABEL_PATH, source_type, str(exc)))
+            return
+        if info.has_or or info.unpinned_star_indices:
+            out.append(ValidityViolation(
+                ViolationCode.NOT_TEXT_PATH, source_type,
+                f"{path} must be an AND path ending in text()"))
+
+    def _check_prefix_free(self, source_type: str,
+                           infos: list[tuple[EdgeKey, PathInfo]],
+                           out: list[ValidityViolation]) -> None:
+        for i, (_key1, info1) in enumerate(infos):
+            for _key2, info2 in infos[i + 1:]:
+                if info1.path.is_prefix_of(info2.path):
+                    out.append(ValidityViolation(
+                        ViolationCode.PREFIX_CONFLICT, source_type,
+                        f"{info1.path} is a prefix of {info2.path}"))
+                elif info2.path.is_prefix_of(info1.path):
+                    out.append(ValidityViolation(
+                        ViolationCode.PREFIX_CONFLICT, source_type,
+                        f"{info2.path} is a prefix of {info1.path}"))
+
+
+PathLike = Union[str, XRPath]
+
+
+def build_embedding(source: DTD, target: DTD, lam: Mapping[str, str],
+                    paths: Mapping[Union[tuple[str, str], EdgeKey], PathLike],
+                    ) -> SchemaEmbedding:
+    """Convenience constructor: parse path strings, default occ to 1.
+
+    ``paths`` keys may be ``(A, B)`` or ``(A, B, occ)``; ``"str"`` or
+    ``STR_KEY`` both key a text path.  See Example 4.2 reproduced in
+    ``repro.workloads.library``.
+    """
+    parsed: dict[EdgeKey, XRPath] = {}
+    for key, value in paths.items():
+        if len(key) == 2:
+            source_type, child = key  # type: ignore[misc]
+            occ = 1
+        else:
+            source_type, child, occ = key  # type: ignore[misc]
+        if child == "str":
+            child = STR_KEY
+        path = XRPath.parse(value) if isinstance(value, str) else value
+        parsed[(source_type, child, occ)] = path
+    return SchemaEmbedding(source, target, dict(lam), parsed)

@@ -1,0 +1,50 @@
+"""Exception hierarchy and validity-violation records for the core."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class EmbeddingError(ValueError):
+    """A schema embedding is ill-formed or violates validity conditions."""
+
+
+class InverseError(ValueError):
+    """The inverse mapping could not reconstruct the source document."""
+
+
+class TranslationError(ValueError):
+    """Query translation failed (e.g. the query is not over the source)."""
+
+
+class ViolationCode(enum.Enum):
+    """Why a path mapping fails the Section 4.1 validity conditions."""
+
+    BAD_ROOT = "root must map to root"
+    LAMBDA_MISSING = "type mapping is not total"
+    LAMBDA_INVALID = "att(A, lambda(A)) must be positive"
+    MISSING_PATH = "no path for a schema edge"
+    NOT_LABEL_PATH = "path does not denote a label path in the target"
+    WRONG_ENDPOINT = "path does not end at lambda(B)"
+    EMPTY_PATH = "XR paths must be nonempty"
+    NOT_AND_PATH = "concatenation edge requires an AND path"
+    NOT_OR_PATH = "disjunction edge requires an OR path"
+    NOT_STAR_PATH = "star edge requires a STAR path"
+    NOT_TEXT_PATH = "str production requires an AND path ending in text()"
+    PREFIX_CONFLICT = "sibling paths must be prefix-free"
+    OR_DIVERGENCE = "disjunction paths must diverge on OR edges (R1)"
+    OPTIONAL_SIGNAL = "optional alternative indistinguishable from default (R2)"
+
+
+@dataclass(frozen=True)
+class ValidityViolation:
+    """One violated condition, attributed to a source type/edge."""
+
+    code: ViolationCode
+    source_type: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        suffix = f": {self.detail}" if self.detail else ""
+        return f"[{self.code.name}] at {self.source_type!r}{suffix}"

@@ -1,0 +1,274 @@
+"""The instance-level mapping ``σd`` — algorithm InstMap (Section 4.2).
+
+Given a valid embedding ``σ = (λ, path) : S1 → S2`` and an instance
+``T1`` of ``S1``, InstMap builds ``T2 = σd(T1)`` top-down by repeatedly
+replacing a *hot* node with the *production fragment* of its source
+node (Fig. 5):
+
+1. the root of ``T2`` is a copy of the root of ``T1`` relabelled
+   ``λ(r1)``, and is hot;
+2. the production fragment ``pfrag_A(v)`` of a source node ``v`` of
+   type ``A`` adds, for each child ``v'`` of ``v``, the target path
+   ``path(A, B)`` below the image of ``v`` — sharing the longest prefix
+   already present — and marks the path's endpoint hot with
+   ``src = v'``;
+3. required target positions not on any path are padded with minimum
+   default instances (``mindef``), and children are sorted into
+   production/position order;
+4. the node-id mapping ``idM`` records, for every hot node (and every
+   text node copied for a ``str`` production), the source node it was
+   mapped from.
+
+The algorithm runs in time linear in ``|T1| + |T2|`` (each source node
+enters the hot set exactly once).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+from repro.core.embedding import STR_KEY, EdgeKey, SchemaEmbedding
+from repro.core.errors import EmbeddingError
+from repro.dtd.mindef import DEFAULT_STRING, MinDef
+from repro.dtd.model import (
+    Concat,
+    Disjunction,
+    EdgeKind,
+    Empty,
+    Star,
+    Str,
+)
+from repro.xpath.paths import PathInfo
+from repro.xtree.nodes import ElementNode, TextNode
+
+_SlotKey = Hashable
+
+
+@dataclass
+class MappingResult:
+    """``σd(T1)`` together with the id mapping of Section 2.3."""
+
+    tree: ElementNode
+    #: ``idM``: target node id -> source node id (partial; defined on
+    #: images of source nodes, undefined on padding).
+    idM: dict[int, int]
+    #: the inverse view, source id -> target id (σd is injective,
+    #: Theorem 4.1, so this is well defined).
+    source_to_target: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.source_to_target:
+            self.source_to_target = {s: t for t, s in self.idM.items()}
+
+
+class InstMap:
+    """A compiled instance mapping for one (validated) embedding."""
+
+    def __init__(self, embedding: SchemaEmbedding, validate: bool = True) -> None:
+        if validate:
+            embedding.check()
+        self.embedding = embedding
+        self.source = embedding.source
+        self.target = embedding.target
+        self.mindef = MinDef(self.target)
+        # Pre-classify every edge path once.
+        self._infos: dict[EdgeKey, PathInfo] = {
+            key: embedding.info(key) for key, _ in embedding.edge_keys()}
+
+    # ------------------------------------------------------------------
+    def __call__(self, source_root: ElementNode) -> MappingResult:
+        return self.apply(source_root)
+
+    def apply(self, source_root: ElementNode) -> MappingResult:
+        """Run InstMap on ``T1`` (Fig. 5)."""
+        if source_root.tag != self.source.root:
+            raise EmbeddingError(
+                f"instance root <{source_root.tag}> is not the source root "
+                f"<{self.source.root}>")
+        target_root = ElementNode(self.embedding.lam[source_root.tag])
+        id_map: dict[int, int] = {target_root.node_id: source_root.node_id}
+        hot: deque[tuple[ElementNode, ElementNode]] = deque(
+            [(target_root, source_root)])
+        while hot:
+            image, source_node = hot.popleft()
+            fragment = _FragmentBuilder(self, image)
+            hot.extend(fragment.build(source_node, id_map))
+        return MappingResult(target_root, id_map)
+
+    def info(self, key: EdgeKey) -> PathInfo:
+        return self._infos[key]
+
+
+class _FragmentBuilder:
+    """Builds one production fragment ``pfrag_A(v)`` in place.
+
+    ``slots`` tracks, per created node, which production positions /
+    star instances / OR choice its children occupy — the paper's
+    ``pos()`` bookkeeping.  Completion then pads missing required
+    positions with mindef copies and sorts children into slot order.
+    """
+
+    def __init__(self, instmap: InstMap, root: ElementNode) -> None:
+        self.instmap = instmap
+        self.root = root
+        self.slots: dict[int, dict[_SlotKey, ElementNode]] = {
+            root.node_id: {}}
+        self.hot_ids: set[int] = set()
+
+    # -- path walking -----------------------------------------------------
+    def _slot_key(self, parent: ElementNode, step, edge,
+                  carrier_instance: Optional[int]) -> _SlotKey:
+        production = self.instmap.target.production(parent.tag)
+        if edge.kind is EdgeKind.AND:
+            assert isinstance(production, Concat)
+            occ = step.pos if step.pos is not None else 1
+            return ("c", production.index_of_occurrence(step.label, occ))
+        if edge.kind is EdgeKind.OR:
+            return ("o",)
+        assert edge.kind is EdgeKind.STAR
+        if step.pos is not None:
+            return ("s", step.pos)
+        if carrier_instance is None:
+            raise EmbeddingError(
+                f"unpinned star step {step} outside a STAR path walk")
+        return ("s", carrier_instance)
+
+    def _walk(self, info: PathInfo,
+              carrier_instance: Optional[int] = None) -> ElementNode:
+        """Add ``info.path`` below the fragment root, sharing the longest
+        existing prefix; return the endpoint (the hot leaf)."""
+        node = self.root
+        for step, edge in zip(info.path.steps, info.edges):
+            slot_map = self.slots[node.node_id]
+            key = self._slot_key(node, step, edge, carrier_instance)
+            existing = slot_map.get(key)
+            if existing is not None:
+                if existing.tag != step.label:
+                    raise EmbeddingError(
+                        f"conflicting OR choices under <{node.tag}>: "
+                        f"{existing.tag} vs {step.label}")
+                node = existing
+                continue
+            child = ElementNode(step.label)
+            node.append(child)
+            slot_map[key] = child
+            self.slots[child.node_id] = {}
+            node = child
+        if self.slots[node.node_id]:
+            raise EmbeddingError(
+                f"path endpoint <{node.tag}> is interior to a sibling path "
+                "(prefix-free condition violated)")
+        return node
+
+    # -- fragment construction ---------------------------------------------
+    def build(self, source_node: ElementNode, id_map: dict[int, int],
+              ) -> list[tuple[ElementNode, ElementNode]]:
+        instmap = self.instmap
+        source_type = source_node.tag
+        expected = instmap.embedding.lam[source_type]
+        if self.root.tag != expected:
+            raise EmbeddingError(
+                f"image of <{source_type}> has tag <{self.root.tag}>, "
+                f"expected λ({source_type}) = {expected}")
+        production = instmap.source.production(source_type)
+        new_hot: list[tuple[ElementNode, ElementNode]] = []
+
+        if isinstance(production, Str):
+            info = instmap.info((source_type, STR_KEY, 1))
+            holder = self._walk(info)
+            source_text = source_node.children[0]
+            assert isinstance(source_text, TextNode)
+            text = TextNode(source_text.value)
+            holder.append(text)
+            id_map[text.node_id] = source_text.node_id
+        elif isinstance(production, (Empty,)):
+            pass
+        elif isinstance(production, Concat):
+            seen: dict[str, int] = {}
+            for child in source_node.element_children():
+                seen[child.tag] = seen.get(child.tag, 0) + 1
+                info = instmap.info((source_type, child.tag, seen[child.tag]))
+                leaf = self._walk(info)
+                self.hot_ids.add(leaf.node_id)
+                id_map[leaf.node_id] = child.node_id
+                new_hot.append((leaf, child))
+        elif isinstance(production, Disjunction):
+            chosen = source_node.element_children()
+            if chosen:
+                child = chosen[0]
+                info = instmap.info((source_type, child.tag, 1))
+                leaf = self._walk(info)
+                self.hot_ids.add(leaf.node_id)
+                id_map[leaf.node_id] = child.node_id
+                new_hot.append((leaf, child))
+        elif isinstance(production, Star):
+            info = instmap.info((source_type, production.child, 1))
+            for instance, child in enumerate(
+                    source_node.element_children(), start=1):
+                leaf = self._walk(info, carrier_instance=instance)
+                self.hot_ids.add(leaf.node_id)
+                id_map[leaf.node_id] = child.node_id
+                new_hot.append((leaf, child))
+
+        self._complete(self.root)
+        return new_hot
+
+    # -- completion ----------------------------------------------------------
+    def _complete(self, node: ElementNode) -> None:
+        """Pad required positions with mindef and sort children by slot."""
+        if node.node_id in self.hot_ids:
+            return  # will become the root of its own fragment
+        slot_map = self.slots.get(node.node_id)
+        if slot_map is None:
+            return  # mindef filler: already complete
+        production = self.instmap.target.production(node.tag)
+        mindef = self.instmap.mindef
+
+        if isinstance(production, Str):
+            if node.child_text() is None:
+                node.append(TextNode(DEFAULT_STRING))
+            return
+        if isinstance(production, Empty):
+            return
+
+        ordered: list[ElementNode] = []
+        if isinstance(production, Concat):
+            for index, child_type in enumerate(production.children):
+                key = ("c", index)
+                child = slot_map.get(key)
+                if child is None:
+                    child = mindef.instance(child_type)
+                    slot_map[key] = child
+                ordered.append(child)
+        elif isinstance(production, Disjunction):
+            child = slot_map.get(("o",))
+            if child is None:
+                choice = mindef.default_choice[node.tag]
+                if choice is not None:
+                    child = mindef.instance(choice)
+            if child is not None:
+                ordered.append(child)
+        elif isinstance(production, Star):
+            instances = sorted(k[1] for k in slot_map)  # type: ignore[index]
+            if instances:
+                top = max(instances)
+                for position in range(1, top + 1):
+                    child = slot_map.get(("s", position))
+                    if child is None:
+                        child = mindef.instance(production.child)
+                        slot_map[("s", position)] = child
+                    ordered.append(child)
+
+        node.children = []
+        for child in ordered:
+            node.append(child)
+        for child in ordered:
+            self._complete(child)
+
+
+def apply_embedding(embedding: SchemaEmbedding, source_root: ElementNode,
+                    validate: bool = True) -> MappingResult:
+    """One-shot ``σd(T1)``: compile and run InstMap."""
+    return InstMap(embedding, validate=validate).apply(source_root)

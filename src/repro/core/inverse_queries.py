@@ -1,0 +1,120 @@
+"""The query-driven inverse from the proof of Theorem 3.3.
+
+The theorem shows that query preservation w.r.t. XR *implies*
+invertibility by exhibiting an inverse that only uses the query
+translation function ``Tr``: the source tree is regrown top-down, and
+the children of each node are discovered by translating XR paths
+``ρ/A[position()=k]`` and evaluating them on the target document.
+
+This is asymptotically slower than the structural inverse in
+:mod:`repro.core.inverse` (each node costs a query evaluation) but it
+exercises exactly the argument of the proof; the test suite checks both
+agree, and ``benchmarks/bench_inverse.py`` compares their cost.
+
+The proof cases, by the production ``A → α`` of the node being grown:
+
+1. ``α = A1, …, An`` — evaluate ``Tr(ρ/Ai[position()=k])`` for each
+   occurrence; each returns a singleton;
+2. ``α = A1 + … + An`` — evaluate ``Tr(ρ/Ai)``; exactly one alternative
+   answers non-empty;
+3. ``α = B*`` — evaluate ``Tr(ρ/B[position()=k])`` for k = 1, 2, …
+   until the first empty answer;
+4. ``α = str`` — evaluate ``Tr(ρ/text())``;
+5. ``α = ε`` — nothing to do.
+"""
+
+from __future__ import annotations
+
+from repro.anfa.evaluate import evaluate_anfa
+from repro.core.delta import delta_path
+from repro.core.embedding import SchemaEmbedding
+from repro.core.errors import InverseError
+from repro.dtd.model import Concat, Disjunction, Empty, Star, Str
+from repro.xpath.paths import PathStep, XRPath
+from repro.xtree.nodes import ElementNode, TextNode
+
+
+class _QueryInverter:
+    def __init__(self, embedding: SchemaEmbedding,
+                 target_root: ElementNode) -> None:
+        self.embedding = embedding
+        self.source = embedding.source
+        self.target_root = target_root
+
+    def _answer(self, rho: XRPath) -> list:
+        """Evaluate ``Tr(ρ)`` on the target document.
+
+        ``ρ`` is an XR path over the source; δ composed with the path
+        automaton plays the role of ``Tr`` restricted to XR paths (the
+        only queries the proof needs)."""
+        translated = delta_path(self.embedding, rho)
+        from repro.xpath.evaluator import evaluate
+
+        return evaluate(translated.to_expr(), self.target_root)
+
+    def grow(self, rho: XRPath, source_type: str) -> ElementNode:
+        """Grow the subtree of the (unique) node identified by ρ."""
+        node = ElementNode(source_type)
+        production = self.source.production(source_type)
+
+        if isinstance(production, Str):
+            strings = [item for item in self._answer(
+                XRPath(rho.steps, text=True)) if isinstance(item, str)]
+            if len(strings) != 1:
+                raise InverseError(
+                    f"Tr({rho}/text()) returned {len(strings)} strings")
+            node.append(TextNode(strings[0]))
+        elif isinstance(production, Empty):
+            pass
+        elif isinstance(production, Concat):
+            seen: dict[str, int] = {}
+            for child_type in production.children:
+                seen[child_type] = seen.get(child_type, 0) + 1
+                step = PathStep(child_type,
+                                seen[child_type]
+                                if production.occurrence_count(child_type) > 1
+                                else None)
+                child_rho = XRPath(rho.steps + (step,))
+                answer = self._answer(child_rho)
+                if len(answer) != 1:
+                    raise InverseError(
+                        f"Tr({child_rho}) returned {len(answer)} nodes, "
+                        "expected a singleton")
+                node.append(self.grow(child_rho, child_type))
+        elif isinstance(production, Disjunction):
+            matches = []
+            for child_type in production.children:
+                child_rho = XRPath(rho.steps + (PathStep(child_type),))
+                if self._answer(child_rho):
+                    matches.append((child_type, child_rho))
+            if len(matches) > 1:
+                raise InverseError(
+                    f"alternatives {[m[0] for m in matches]} all answered "
+                    f"below {rho}")
+            if not matches and not production.optional:
+                raise InverseError(f"no alternative answered below {rho}")
+            if matches:
+                child_type, child_rho = matches[0]
+                node.append(self.grow(child_rho, child_type))
+        elif isinstance(production, Star):
+            k = 1
+            while True:
+                child_rho = XRPath(
+                    rho.steps + (PathStep(production.child, k),))
+                if not self._answer(child_rho):
+                    break
+                node.append(self.grow(child_rho, production.child))
+                k += 1
+        return node
+
+
+def invert_via_queries(embedding: SchemaEmbedding,
+                       target_root: ElementNode) -> ElementNode:
+    """Reconstruct ``T1`` from ``σd(T1)`` via translated XR paths
+    (the algorithm in the proof of Theorem 3.3)."""
+    if target_root.tag != embedding.target.root:
+        raise InverseError(
+            f"document root <{target_root.tag}> is not the target root "
+            f"<{embedding.target.root}>")
+    inverter = _QueryInverter(embedding, target_root)
+    return inverter.grow(XRPath(()), embedding.source.root)

@@ -1,0 +1,196 @@
+"""Multiple sources into one target (Section 4.5, Example 4.9).
+
+The paper integrates documents of several source DTDs ``S1 … Sn`` into
+a single target instance by embedding each ``Si`` independently
+(``σi : Si → S``) — Example 4.9 merges a class document (σ1 of Example
+4.2) and a student document (σ2) into one ``school`` instance.
+
+Two mechanisms are provided:
+
+* :func:`merge_dtds` — the schema-level construction sketched in the
+  paper: a fresh root whose production concatenates the source roots
+  (sources with clashing type names are prefixed apart first).  Finding
+  one embedding ``σ' : S' → S`` then yields all the ``σi`` at once.
+* :func:`integrate` — the instance-level overlay: run InstMap per
+  source and merge the target trees.  Merging requires the embeddings
+  to be *non-interfering*: at any node where two sources both map real
+  data, concatenation/disjunction children must agree structurally and
+  star instance lists may come from at most one source.  The school
+  example satisfies this (courses vs. students subtrees).
+
+After :func:`integrate`, each source document is recovered by the
+ordinary inverse ``σi⁻¹`` — tested in ``tests/test_multi_source.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.embedding import SchemaEmbedding
+from repro.core.errors import EmbeddingError
+from repro.core.instmap import InstMap, MappingResult
+from repro.dtd.model import (
+    DTD,
+    Concat,
+    Disjunction,
+    Empty,
+    Production,
+    Star,
+    Str,
+)
+from repro.xtree.nodes import ElementNode, Node, TextNode
+
+
+class IntegrationConflict(EmbeddingError):
+    """Two sources map real data onto conflicting target structure."""
+
+
+# -- schema-level merge -------------------------------------------------------
+
+def merge_dtds(sources: list[DTD], root_name: str = "merged",
+               name: str = "merged") -> tuple[DTD, list[dict[str, str]]]:
+    """Merge source DTDs into one ``S'`` with a fresh concatenation root.
+
+    Returns the merged DTD and, per source, the renaming applied to its
+    types (identity when names were already disjoint).  This realises
+    the paper's ``r' → P1(r1), …, Pn(rn)`` construction in normal form:
+    the fresh root concatenates the (renamed) source roots, each keeping
+    its own production.
+    """
+    renamings: list[dict[str, str]] = []
+    used: set[str] = {root_name}
+    merged: dict[str, Production] = {}
+    renamed_roots: list[str] = []
+
+    for index, source in enumerate(sources):
+        renaming: dict[str, str] = {}
+        for element_type in source.types:
+            if element_type in used:
+                renaming[element_type] = f"s{index}.{element_type}"
+        renamed = source.renamed(renaming) if renaming else source
+        renamings.append(renaming)
+        used.update(renamed.types)
+        merged.update(renamed.elements)
+        renamed_roots.append(renamed.root)
+
+    merged[root_name] = Concat(tuple(renamed_roots))
+    return DTD(merged, root_name, name), renamings
+
+
+# -- instance-level overlay ------------------------------------------------------
+
+@dataclass
+class IntegrationResult:
+    """The merged target tree plus each source's ``idM``."""
+
+    tree: ElementNode
+    results: list[MappingResult]
+
+    def idM(self, index: int) -> dict[int, int]:
+        return self.results[index].idM
+
+
+def _live_ids(result: MappingResult) -> set[int]:
+    """Target nodes that carry (or dominate) real source data."""
+    live: set[int] = set()
+    root = result.tree
+
+    def visit(node: Node) -> bool:
+        found = node.node_id in result.idM
+        if isinstance(node, ElementNode):
+            for child in node.children:
+                if visit(child):
+                    found = True
+        if found:
+            live.add(node.node_id)
+        return found
+
+    visit(root)
+    return live
+
+
+class _Merger:
+    def __init__(self, target: DTD, live1: set[int], live2: set[int]) -> None:
+        self.target = target
+        self.live1 = live1
+        self.live2 = live2
+
+    def merge(self, node1: ElementNode, node2: ElementNode,
+              path: str) -> ElementNode:
+        if node1.tag != node2.tag:
+            raise IntegrationConflict(
+                f"tag clash at {path}: <{node1.tag}> vs <{node2.tag}>")
+        alive1 = node1.node_id in self.live1
+        alive2 = node2.node_id in self.live2
+        if not alive2:
+            return node1
+        if not alive1:
+            return node2
+
+        production = self.target.production(node1.tag)
+        here = f"{path}/{node1.tag}"
+        if isinstance(production, Str):
+            value1, value2 = node1.child_text(), node2.child_text()
+            if value1 != value2:
+                raise IntegrationConflict(
+                    f"text clash at {here}: {value1!r} vs {value2!r}")
+            return node1
+        if isinstance(production, Empty):
+            return node1
+        if isinstance(production, Concat):
+            merged = ElementNode(node1.tag, node_id=node1.node_id)
+            for child1, child2 in zip(node1.element_children(),
+                                      node2.element_children()):
+                merged.append(self.merge(child1, child2, here))
+            return merged
+        if isinstance(production, Disjunction):
+            kids1 = node1.element_children()
+            kids2 = node2.element_children()
+            if kids1 and kids2:
+                if kids1[0].tag != kids2[0].tag:
+                    raise IntegrationConflict(
+                        f"disjunction clash at {here}: {kids1[0].tag} vs "
+                        f"{kids2[0].tag}")
+                merged = ElementNode(node1.tag, node_id=node1.node_id)
+                merged.append(self.merge(kids1[0], kids2[0], here))
+                return merged
+            return node1 if kids1 else node2
+        assert isinstance(production, Star)
+        kids1 = [k for k in node1.element_children()
+                 if k.node_id in self.live1]
+        kids2 = [k for k in node2.element_children()
+                 if k.node_id in self.live2]
+        if kids1 and kids2:
+            raise IntegrationConflict(
+                f"both sources contribute star instances at {here}; "
+                "embeddings must be non-interfering")
+        return node1 if kids1 or not kids2 else node2
+
+
+def integrate(embeddings: list[SchemaEmbedding],
+              instances: list[ElementNode]) -> IntegrationResult:
+    """Map each instance with its embedding and overlay the results.
+
+    All embeddings must share the same target DTD.  Raises
+    :class:`IntegrationConflict` when the embeddings interfere.
+    """
+    if len(embeddings) != len(instances):
+        raise EmbeddingError("one instance per embedding required")
+    if not embeddings:
+        raise EmbeddingError("nothing to integrate")
+    target = embeddings[0].target
+    for embedding in embeddings[1:]:
+        if embedding.target is not target and \
+                embedding.target.elements != target.elements:
+            raise EmbeddingError("embeddings must share the target DTD")
+
+    results = [InstMap(embedding).apply(instance)
+               for embedding, instance in zip(embeddings, instances)]
+    merged_tree = results[0].tree
+    live = _live_ids(results[0])
+    for result in results[1:]:
+        other_live = _live_ids(result)
+        merger = _Merger(target, live, other_live)
+        merged_tree = merger.merge(merged_tree, result.tree, "")
+        live |= other_live
+    return IntegrationResult(merged_tree, results)

@@ -1,0 +1,125 @@
+"""The naive edge-substitution translation (Fig. 7) — a broken baseline.
+
+Section 4.4 motivates schema-directed translation by showing that the
+"appealing idea" of replacing each step ``child::B`` with ``path(·, B)``
+textually is incorrect:
+
+1. a tag may have several parents with different paths
+   (``path(B, A) ≠ path(C, A)`` when translating ``(B ∪ C)/A``);
+2. required target nodes added by InstMap (mindef padding) are matched
+   by the substituted query even though no source node maps to them —
+   the Fig. 7 example: ``r/(A ∪ B ∪ C)*`` returns the padded ``C``
+   child of ``B`` on the target although ``B`` has no ``C`` child in
+   the source.
+
+``naive_translate`` implements that strategy faithfully (substituting
+the union of all edge paths for each label) so tests and the ablation
+benchmark can demonstrate the failure and quantify how often it bites.
+"""
+
+from __future__ import annotations
+
+from repro.core.embedding import STR_KEY, SchemaEmbedding
+from repro.xpath.ast import (
+    DescOrSelf,
+    EmptyPath,
+    Label,
+    PathExpr,
+    QAnd,
+    QNot,
+    QOr,
+    QPath,
+    QText,
+    Qualified,
+    Qualifier,
+    Seq,
+    Star,
+    TextStep,
+    Union,
+    lower_descendants,
+    union_of,
+)
+
+
+def naive_translate(embedding: SchemaEmbedding, query: PathExpr) -> PathExpr:
+    """Textually substitute ``path(A, B)`` for each label step ``B``.
+
+    When ``B`` has several incoming source edges the substitution is
+    the union of their paths (the best the strategy can do).  The
+    result is an XR query over the *target* — generally **not**
+    equivalent to ``Q`` (Fig. 7); see ``tests/test_fig7_naive.py``.
+    """
+    if query.__class__ is DescOrSelf or _has_descendant(query):
+        query = lower_descendants(query, embedding.source.types)
+    return _rewrite(embedding, query)
+
+
+def _has_descendant(query) -> bool:
+    from repro.xpath.ast import contains_descendant
+
+    return contains_descendant(query)
+
+
+def _paths_into(embedding: SchemaEmbedding, label: str) -> list[PathExpr]:
+    out: list[PathExpr] = []
+    seen: set[str] = set()
+    for (source_type, child, _occ), path in sorted(
+            embedding.paths.items(), key=lambda kv: kv[0]):
+        if child != label:
+            continue
+        rendered = str(path)
+        if rendered in seen:
+            continue
+        seen.add(rendered)
+        out.append(path.to_expr())
+    return out
+
+
+def _rewrite(embedding: SchemaEmbedding, node: PathExpr) -> PathExpr:
+    if isinstance(node, Label):
+        pieces = _paths_into(embedding, node.name)
+        if not pieces:
+            return node  # dangling label: keep as-is (matches nothing)
+        return union_of(pieces)
+    if isinstance(node, TextStep):
+        pieces = []
+        for (source_type, child, _occ), path in embedding.paths.items():
+            if child == STR_KEY:
+                pieces.append(path.to_expr())
+        unique = []
+        seen: set[str] = set()
+        for piece in pieces:
+            if str(piece) not in seen:
+                seen.add(str(piece))
+                unique.append(piece)
+        return union_of(unique) if unique else node
+    if isinstance(node, EmptyPath):
+        return node
+    if isinstance(node, Seq):
+        return Seq(_rewrite(embedding, node.left),
+                   _rewrite(embedding, node.right))
+    if isinstance(node, Union):
+        return Union(_rewrite(embedding, node.left),
+                     _rewrite(embedding, node.right))
+    if isinstance(node, Star):
+        return Star(_rewrite(embedding, node.inner))
+    if isinstance(node, Qualified):
+        return Qualified(_rewrite(embedding, node.inner),
+                         _rewrite_qual(embedding, node.qual))
+    raise TypeError(f"cannot rewrite {node!r}")
+
+
+def _rewrite_qual(embedding: SchemaEmbedding, qual: Qualifier) -> Qualifier:
+    if isinstance(qual, QPath):
+        return QPath(_rewrite(embedding, qual.path))
+    if isinstance(qual, QText):
+        return QText(_rewrite(embedding, qual.path), qual.value)
+    if isinstance(qual, QNot):
+        return QNot(_rewrite_qual(embedding, qual.inner))
+    if isinstance(qual, QAnd):
+        return QAnd(_rewrite_qual(embedding, qual.left),
+                    _rewrite_qual(embedding, qual.right))
+    if isinstance(qual, QOr):
+        return QOr(_rewrite_qual(embedding, qual.left),
+                   _rewrite_qual(embedding, qual.right))
+    return qual

@@ -1,0 +1,137 @@
+"""Partial information preservation (paper Section 7, future work).
+
+"one often wants to select part of the source data and require this
+part of data to be transformed to a target document without loss of
+information, instead of insisting on lossless mapping of the entire
+source data."
+
+This module implements the natural schema-level reading: the user names
+source element types to **forget**; the source DTD is *projected* by
+removing those types (and everything only reachable through them), and
+documents are projected accordingly.  A schema embedding of the
+projected DTD then gives mappings that are information preserving
+*w.r.t. the kept part*:
+
+* ``σd(project(T))`` is type safe;
+* the inverse recovers ``project(T)`` exactly;
+* every XR query that only mentions kept types is preserved.
+
+Projection rules per production (keeping the DTD in normal form):
+
+* concatenation — dropped children are removed; an emptied
+  concatenation becomes ε;
+* disjunction — dropped alternatives are removed; if any alternative
+  was dropped the disjunction becomes optional (an instance whose
+  chosen child was forgotten projects to an empty element);
+* star — a dropped child empties the star;
+* ``str`` / ε — unchanged (``str`` cannot be partially dropped).
+
+The root cannot be forgotten.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.dtd.model import (
+    DTD,
+    Concat,
+    Disjunction,
+    Empty,
+    Production,
+    SchemaError,
+    Star,
+    Str,
+)
+from repro.xtree.nodes import ElementNode, Node, TextNode
+
+
+@dataclass
+class Projection:
+    """A projected schema plus its instance-level projection."""
+
+    original: DTD
+    projected: DTD
+    dropped: frozenset[str]
+
+    def project_instance(self, tree: ElementNode) -> ElementNode:
+        """Project a conforming instance: forget dropped subtrees."""
+        projected = _project_node(tree, self.dropped)
+        assert projected is not None, "the root cannot be dropped"
+        return projected
+
+
+def _closure_of_drop(dtd: DTD, drop: set[str]) -> set[str]:
+    """Types reachable only through dropped types are dropped too."""
+    kept_reachable = {dtd.root}
+    frontier = [dtd.root]
+    while frontier:
+        current = frontier.pop()
+        for edge in dtd.edges_from(current):
+            child = edge.child
+            if child in drop or child in kept_reachable:
+                continue
+            kept_reachable.add(child)
+            frontier.append(child)
+    return set(dtd.types) - kept_reachable
+
+
+def project_dtd(dtd: DTD, drop: Iterable[str]) -> Projection:
+    """Project a DTD by forgetting the given element types.
+
+    >>> from repro.dtd.parser import parse_compact
+    >>> d = parse_compact("a -> b, c\\nb -> str\\nc -> str")
+    >>> project_dtd(d, ["c"]).projected.production("a")
+    Concat(children=('b',))
+    """
+    requested = set(drop)
+    unknown = requested - set(dtd.types)
+    if unknown:
+        raise SchemaError(f"cannot drop unknown types {sorted(unknown)}")
+    if dtd.root in requested:
+        raise SchemaError("the root type cannot be dropped")
+    dropped = _closure_of_drop(dtd, requested)
+
+    elements: dict[str, Production] = {}
+    for element_type in dtd.types:
+        if element_type in dropped:
+            continue
+        elements[element_type] = _project_production(
+            dtd.production(element_type), dropped)
+    projected = DTD(elements, dtd.root, name=f"{dtd.name}-projected")
+    return Projection(dtd, projected, frozenset(dropped))
+
+
+def _project_production(production: Production,
+                        dropped: set[str]) -> Production:
+    if isinstance(production, (Str, Empty)):
+        return production
+    if isinstance(production, Concat):
+        kept = tuple(c for c in production.children if c not in dropped)
+        return Concat(kept) if kept else Empty()
+    if isinstance(production, Disjunction):
+        kept = tuple(c for c in production.children if c not in dropped)
+        lost_some = len(kept) < len(production.children)
+        if not kept:
+            return Empty()
+        return Disjunction(kept,
+                           optional=production.optional or lost_some)
+    assert isinstance(production, Star)
+    if production.child in dropped:
+        return Empty()
+    return production
+
+
+def _project_node(node: Node, dropped: frozenset[str]):
+    if isinstance(node, TextNode):
+        return TextNode(node.value)
+    assert isinstance(node, ElementNode)
+    if node.tag in dropped:
+        return None
+    projected = ElementNode(node.tag)
+    for child in node.children:
+        projected_child = _project_node(child, dropped)
+        if projected_child is not None:
+            projected.append(projected_child)
+    return projected

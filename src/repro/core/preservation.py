@@ -1,0 +1,136 @@
+"""Executable information-preservation checks (Sections 2.3 and 4.5).
+
+These are the paper's definitions turned into test oracles:
+
+* **type safety** — ``σd(T)`` conforms to the target DTD (Theorem 4.1);
+* **invertibility** — ``σd⁻¹(σd(T)) = T`` under the paper's tree
+  equality (Theorem 4.3(a));
+* **query preservation w.r.t. XR** — ``Q(T) = idM(Tr(Q)(σd(T)))``
+  for given queries (Theorem 4.3(b)): ids returned on the target side
+  are mapped back through ``idM`` and compared, and string values are
+  compared directly (the Section 2.3 semantics).
+
+Each check returns a :class:`PreservationReport` carrying the failures
+(empty = the property held on the sample), so the same functions serve
+the property-based tests and the fault-injection tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.anfa.evaluate import evaluate_anfa_set
+from repro.core.embedding import SchemaEmbedding
+from repro.core.instmap import InstMap, MappingResult
+from repro.core.inverse import invert
+from repro.core.translate import Translator
+from repro.dtd.validate import ConformanceError, validate
+from repro.xpath.ast import PathExpr
+from repro.xpath.evaluator import evaluate_set
+from repro.xtree.nodes import ElementNode, tree_equal
+from repro.xtree.serialize import to_string
+
+
+@dataclass
+class PreservationReport:
+    """Outcome of a preservation check over a sample of instances."""
+
+    property_name: str
+    checked: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __str__(self) -> str:
+        status = "ok" if self.ok else f"{len(self.failures)} failures"
+        return f"{self.property_name}: {self.checked} checked, {status}"
+
+
+def check_type_safe(embedding: SchemaEmbedding,
+                    instances: Iterable[ElementNode],
+                    ) -> PreservationReport:
+    """σd is type safe: every image conforms to the target schema."""
+    report = PreservationReport("type safety")
+    instmap = InstMap(embedding)
+    for instance in instances:
+        report.checked += 1
+        result = instmap.apply(instance)
+        try:
+            validate(result.tree, embedding.target)
+        except ConformanceError as exc:
+            report.failures.append(
+                f"instance #{report.checked}: {exc}")
+    return report
+
+
+def check_invertible(embedding: SchemaEmbedding,
+                     instances: Iterable[ElementNode],
+                     ) -> PreservationReport:
+    """σd is invertible: the inverse reconstructs the source exactly."""
+    report = PreservationReport("invertibility")
+    instmap = InstMap(embedding)
+    for instance in instances:
+        report.checked += 1
+        result = instmap.apply(instance)
+        recovered = invert(embedding, result.tree)
+        if not tree_equal(recovered, instance):
+            report.failures.append(
+                f"instance #{report.checked}: reconstruction differs\n"
+                f"  source:    {to_string(instance, indent=None)}\n"
+                f"  recovered: {to_string(recovered, indent=None)}")
+    return report
+
+
+def check_query_preserving(embedding: SchemaEmbedding,
+                           queries: Sequence[PathExpr],
+                           instances: Iterable[ElementNode],
+                           mapped: Optional[Sequence[MappingResult]] = None,
+                           ) -> PreservationReport:
+    """σd preserves the given XR queries: ``Q(T) = idM(Tr(Q)(σd(T)))``."""
+    report = PreservationReport("query preservation")
+    instmap = InstMap(embedding)
+    translator = Translator(embedding)
+    materialised = list(instances)
+    images = (list(mapped) if mapped is not None
+              else [instmap.apply(t) for t in materialised])
+    translated = [translator.translate(q) for q in queries]
+
+    for instance, image in zip(materialised, images):
+        for query, anfa in zip(queries, translated):
+            report.checked += 1
+            source_result = evaluate_set(query, instance)
+            target_result = evaluate_anfa_set(anfa, image.tree)
+            missing = [i for i in target_result.ids if i not in image.idM]
+            if missing:
+                report.failures.append(
+                    f"query {query}: target result contains non-image "
+                    f"nodes {missing}")
+                continue
+            mapped_back = target_result.map_ids(image.idM)
+            if (mapped_back.ids != source_result.ids
+                    or mapped_back.strings != source_result.strings):
+                report.failures.append(
+                    f"query {query}: source {sorted(source_result.ids)} / "
+                    f"{sorted(source_result.strings)} vs mapped-back "
+                    f"{sorted(mapped_back.ids)} / "
+                    f"{sorted(mapped_back.strings)}")
+    return report
+
+
+def check_information_preserving(embedding: SchemaEmbedding,
+                                 queries: Sequence[PathExpr],
+                                 instances: Sequence[ElementNode],
+                                 ) -> list[PreservationReport]:
+    """All three checks (the paper's "information preserving" = both
+    invertible and query preserving; type safety per Theorem 4.1)."""
+    return [
+        check_type_safe(embedding, instances),
+        check_invertible(embedding, instances),
+        check_query_preserving(embedding, queries, instances),
+    ]

@@ -1,0 +1,149 @@
+"""The separating mappings of Theorem 3.1 (and Example 2.1 / Fig. 2).
+
+Theorem 3.1 splits invertibility from query preservation:
+
+1. the **chain mapping** of Fig. 2 is invertible but not query
+   preserving w.r.t. the XPath fragment ``X``: the source query ``//B``
+   needs the target query ``A^{3k+2}`` — expressible in ``XR`` as
+   ``A/A/(A/A/A)*`` but not in ``X`` (no Kleene star);
+2. the **sorting mapping** (reordering ``A`` children by string value)
+   is query preserving w.r.t. ``X`` without ``position()`` but not
+   invertible (the original order is lost).
+
+Both mappings are *not* schema embeddings (the chain mapping maps AND
+edges onto OR paths; the sorting mapping is not injective) — they exist
+precisely to show what the embedding framework rules out.
+"""
+
+from __future__ import annotations
+
+from repro.dtd.model import DTD, Concat, Disjunction, Empty, Star, Str
+from repro.dtd.parser import parse_compact
+from repro.xpath.ast import PathExpr
+from repro.xpath.parser import parse_xr
+from repro.xtree.nodes import ElementNode, TextNode
+
+
+# -- Theorem 3.1(1): the Fig. 2 chain mapping ---------------------------------
+
+def fig2_source_dtd() -> DTD:
+    """``S1``: r → A;  A → B, C;  B → A + ε;  C → ε."""
+    return parse_compact("""
+        r -> A
+        A -> B, C
+        B -> A + eps
+        C -> eps
+    """, name="fig2-source")
+
+
+def fig2_target_dtd() -> DTD:
+    """``S2``: r → A;  A → A + ε."""
+    return parse_compact("""
+        r -> A
+        A -> A + eps
+    """, name="fig2-target")
+
+
+def fig2_map(source_root: ElementNode) -> tuple[ElementNode, dict[int, int]]:
+    """The mapping σd of Example 2.1: every source node becomes one
+    link of a single ``A`` chain.
+
+    ``path(r,A) = A``, ``path(A,B) = A``, ``path(A,C) = A/A``,
+    ``path(B,A) = A/A`` — source ``A``/``B``/``C`` nodes land at chain
+    depths ``3k+1`` / ``3k+2`` / ``3k+3``.  Returns the target tree and
+    ``idM`` (target id → source id).
+    """
+    target_root = ElementNode("r")
+    id_map = {target_root.node_id: source_root.node_id}
+    chain_tip = target_root
+
+    def extend(count: int) -> ElementNode:
+        nonlocal chain_tip
+        for _ in range(count):
+            nxt = ElementNode("A")
+            chain_tip.append(nxt)
+            chain_tip = nxt
+        return chain_tip
+
+    node = source_root.element_children()[0] if source_root.element_children() else None
+    # Walk the source spine r/A/B/A/B/… building the chain.
+    current = node
+    while current is not None:
+        assert current.tag == "A"
+        a_image = extend(1)                    # A at depth 3k+1
+        id_map[a_image.node_id] = current.node_id
+        b_child = current.children_tagged("B")[0]
+        c_child = current.children_tagged("C")[0]
+        b_image = extend(1)                    # B at depth 3k+2
+        id_map[b_image.node_id] = b_child.node_id
+        c_image = extend(1)                    # C at depth 3k+3
+        id_map[c_image.node_id] = c_child.node_id
+        descend = b_child.children_tagged("A")
+        current = descend[0] if descend else None
+    return target_root, id_map
+
+
+def fig2_unmap(target_root: ElementNode) -> ElementNode:
+    """The inverse of :func:`fig2_map` — σd is invertible."""
+    source_root = ElementNode("r")
+    chain: list[ElementNode] = []
+    node = target_root
+    while node.element_children():
+        node = node.element_children()[0]
+        chain.append(node)
+    if len(chain) % 3 != 0:
+        raise ValueError("chain length must be a multiple of 3")
+    parent = source_root
+    for index in range(0, len(chain), 3):
+        a_node = ElementNode("A")
+        parent.append(a_node)
+        b_node = ElementNode("B")
+        c_node = ElementNode("C")
+        a_node.append(b_node)
+        a_node.append(c_node)
+        parent = b_node
+    return source_root
+
+
+def fig2_translated_descendant_b() -> PathExpr:
+    """The target XR query equivalent to the source ``//B``:
+    ``A^{3k+2}``, i.e. ``A/A/(A/A/A)*`` — expressible in XR but not in
+    the fragment ``X`` (the separation of Theorem 3.1(1))."""
+    return parse_xr("A/A/(A/A/A)*")
+
+
+def fig2_source_descendant_b() -> PathExpr:
+    return parse_xr("//B")
+
+
+# -- Theorem 3.1(2): the sorting mapping -----------------------------------------
+
+def sorting_dtd() -> DTD:
+    """``S1 = S2``: r → A*;  A → str."""
+    return parse_compact("""
+        r -> A*
+        A -> str
+    """, name="sorting")
+
+
+def sorting_map(source_root: ElementNode) -> ElementNode:
+    """Reorder the ``A`` children by their string values.
+
+    A bijection on nodes, but the original child order is lost, so the
+    mapping is **not invertible**; yet every ``X`` query without
+    ``position()`` (forms ``ε``, ``A``, ``A[q]`` with text-equality
+    qualifiers) is preserved by the identity translation.
+    """
+    target_root = ElementNode("r")
+    children = sorted(source_root.element_children(),
+                      key=lambda a: a.child_text() or "")
+    for child in children:
+        copy = ElementNode("A")
+        copy.append(TextNode(child.child_text() or ""))
+        target_root.append(copy)
+    return target_root
+
+
+def sorting_translate(query: PathExpr) -> PathExpr:
+    """The identity translation — sufficient for position-free ``X``."""
+    return query

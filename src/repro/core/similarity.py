@@ -1,0 +1,141 @@
+"""Similarity matrices ``att`` (paper Section 4.1).
+
+``att`` is an ``|E1| × |E2|`` matrix over ``[0, 1]``; ``att(A, B)``
+scores the suitability of mapping source type ``A`` to target type
+``B``, as produced by domain experts or a schema-matching tool (the
+paper cites LSD, Cupid, SemInt as producers).  A type mapping λ is
+*valid* w.r.t. ``att`` when ``att(A, λ(A)) > 0`` for every ``A``
+(threshold θ = 0, as in the paper).
+
+Besides the matrix container this module provides simple name-based
+matchers (exact, edit-distance, trigram) that stand in for the external
+matching tools when experiments need a machine-generated ``att``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Optional
+
+from repro.dtd.model import DTD
+
+
+def _levenshtein(a: str, b: str) -> int:
+    """Classic DP edit distance (small strings: tag names)."""
+    if a == b:
+        return 0
+    if not a or not b:
+        return max(len(a), len(b))
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(min(previous[j] + 1,
+                               current[j - 1] + 1,
+                               previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+def _trigrams(name: str) -> set[str]:
+    padded = f"##{name.lower()}##"
+    return {padded[i:i + 3] for i in range(len(padded) - 2)}
+
+
+def name_similarity(a: str, b: str) -> float:
+    """A blended [0,1] name similarity: exact > edit distance > trigram.
+
+    >>> name_similarity("course", "course")
+    1.0
+    >>> 0.0 < name_similarity("cno", "course_no") < 1.0
+    True
+    """
+    a_norm = a.lower().replace("-", "_")
+    b_norm = b.lower().replace("-", "_")
+    if a_norm == b_norm:
+        return 1.0
+    edit = 1.0 - _levenshtein(a_norm, b_norm) / max(len(a_norm), len(b_norm))
+    ta, tb = _trigrams(a_norm), _trigrams(b_norm)
+    tri = len(ta & tb) / len(ta | tb) if ta | tb else 0.0
+    score = max(0.0, 0.5 * edit + 0.5 * tri)
+    return round(score, 6)
+
+
+@dataclass
+class SimilarityMatrix:
+    """The matrix ``att``, stored sparsely with a default score."""
+
+    entries: dict[tuple[str, str], float] = field(default_factory=dict)
+    default: float = 0.0
+
+    def get(self, source_type: str, target_type: str) -> float:
+        return self.entries.get((source_type, target_type), self.default)
+
+    def set(self, source_type: str, target_type: str, value: float) -> None:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"att values live in [0,1], got {value}")
+        self.entries[(source_type, target_type)] = value
+
+    def candidates(self, source_type: str, target_types: Iterable[str],
+                   threshold: float = 0.0) -> list[tuple[str, float]]:
+        """Target types admissible for ``source_type``, best first.
+
+        The paper fixes θ = 0: a candidate needs ``att > θ``.
+        """
+        scored = [(t, self.get(source_type, t)) for t in target_types]
+        admissible = [(t, s) for t, s in scored if s > threshold]
+        admissible.sort(key=lambda pair: (-pair[1], pair[0]))
+        return admissible
+
+    def quality(self, lam: Mapping[str, str]) -> float:
+        """``qual(σ, att) = Σ_A att(A, λ(A))`` (Section 4.1)."""
+        return sum(self.get(a, b) for a, b in lam.items())
+
+    def is_valid_lambda(self, lam: Mapping[str, str]) -> bool:
+        return all(self.get(a, b) > 0.0 for a, b in lam.items())
+
+    # -- constructors ----------------------------------------------------
+    @staticmethod
+    def permissive(score: float = 1.0) -> "SimilarityMatrix":
+        """No restrictions: every pair scores ``score`` (Example 4.2)."""
+        return SimilarityMatrix(default=score)
+
+    @staticmethod
+    def exact_names(source: DTD, target: DTD,
+                    extra: Optional[Mapping[tuple[str, str], float]] = None,
+                    ) -> "SimilarityMatrix":
+        """1.0 for identical names, plus explicit extra correspondences."""
+        matrix = SimilarityMatrix()
+        target_types = set(target.types)
+        for source_type in source.types:
+            if source_type in target_types:
+                matrix.set(source_type, source_type, 1.0)
+        for (a, b), value in (extra or {}).items():
+            matrix.set(a, b, value)
+        return matrix
+
+    @staticmethod
+    def from_names(source: DTD, target: DTD,
+                   matcher: Callable[[str, str], float] = name_similarity,
+                   threshold: float = 0.25) -> "SimilarityMatrix":
+        """Machine-generated matrix via a name matcher (stands in for
+        the LSD/Cupid-style tools the paper's experiments assume)."""
+        matrix = SimilarityMatrix()
+        for source_type in source.types:
+            for target_type in target.types:
+                score = matcher(source_type, target_type)
+                if score >= threshold:
+                    matrix.set(source_type, target_type, score)
+        return matrix
+
+    @staticmethod
+    def from_mapping(lam: Mapping[str, str]) -> "SimilarityMatrix":
+        """The unambiguous matrix induced by a known ground-truth λ."""
+        matrix = SimilarityMatrix()
+        for source_type, target_type in lam.items():
+            matrix.set(source_type, target_type, 1.0)
+        return matrix
+
+    def copy(self) -> "SimilarityMatrix":
+        return SimilarityMatrix(dict(self.entries), self.default)

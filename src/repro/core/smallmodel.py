@@ -1,0 +1,103 @@
+"""The small-model property of embeddings (Theorem 4.10).
+
+If a valid embedding exists, one exists whose paths obey::
+
+    |path(A, B)| ≤ k·|E2|        A a concatenation type (k = |P1(A)|)
+    |path(A, B)| ≤ (k+1)·|E2|    A a disjunction type
+    |path(A, B)| ≤ 2·|E2|        A a Kleene closure
+    |path(A, B)| ≤ |E2|          B = str
+
+The proof removes redundant cycles from the paths; this module makes
+that constructive: :func:`simplify_embedding` greedily splices out
+schema-graph cycles from every path as long as the embedding stays
+valid, and :func:`theorem_bound` exposes the bounds (used to cap the
+search space in :mod:`repro.matching` and checked by
+``tests/test_small_model.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.embedding import STR_KEY, EdgeKey, SchemaEmbedding
+from repro.dtd.model import Concat, Disjunction, Production, Star, Str
+from repro.xpath.paths import XRPath
+
+
+def theorem_bound(production: Production, target_type_count: int) -> int:
+    """The Theorem 4.10 length bound for paths of one production."""
+    if isinstance(production, Concat):
+        return max(1, production.size()) * target_type_count
+    if isinstance(production, Disjunction):
+        return (production.size() + 1) * target_type_count
+    if isinstance(production, Star):
+        return 2 * target_type_count
+    if isinstance(production, Str):
+        return target_type_count
+    return target_type_count
+
+
+def _type_sequence(embedding: SchemaEmbedding, key: EdgeKey,
+                   path: XRPath) -> list[str]:
+    """Element types visited: λ(A), then each step's label."""
+    sequence = [embedding.lam[key[0]]]
+    sequence.extend(step.label for step in path.steps)
+    return sequence
+
+
+def _try_splice(embedding: SchemaEmbedding, key: EdgeKey) -> Optional[XRPath]:
+    """Find one cycle whose removal keeps the embedding valid."""
+    path = embedding.paths[key]
+    types = _type_sequence(embedding, key, path)
+    length = len(path.steps)
+    # Prefer removing the longest cycle first.
+    for span in range(length, 0, -1):
+        for start in range(0, length - span + 1):
+            if types[start] != types[start + span]:
+                continue
+            candidate = XRPath(path.steps[:start] + path.steps[start + span:],
+                               path.text)
+            if candidate.is_empty():
+                continue
+            trial = SchemaEmbedding(
+                embedding.source, embedding.target, embedding.lam,
+                {**embedding.paths, key: candidate})
+            if trial.is_valid():
+                return candidate
+    return None
+
+
+def simplify_embedding(embedding: SchemaEmbedding) -> SchemaEmbedding:
+    """Remove redundant cycles from every path (Theorem 4.10 proof).
+
+    Returns a new valid embedding with the same λ whose paths are at
+    most as long as the originals; repeated until no single cycle can
+    be removed.
+    """
+    current = SchemaEmbedding(embedding.source, embedding.target,
+                              dict(embedding.lam), dict(embedding.paths))
+    changed = True
+    while changed:
+        changed = False
+        for key in list(current.paths):
+            shorter = _try_splice(current, key)
+            if shorter is not None:
+                current = SchemaEmbedding(
+                    current.source, current.target, current.lam,
+                    {**current.paths, key: shorter})
+                changed = True
+    return current
+
+
+def check_bounds(embedding: SchemaEmbedding) -> list[str]:
+    """Paths exceeding their Theorem 4.10 bound (empty = all within)."""
+    violations: list[str] = []
+    target_types = embedding.target.node_count()
+    for (source_type, child, occ), path in embedding.paths.items():
+        production = embedding.source.production(source_type)
+        bound = theorem_bound(production, target_types)
+        if len(path) > bound:
+            violations.append(
+                f"path({source_type},{child}#{occ}) has length "
+                f"{len(path)} > bound {bound}")
+    return violations

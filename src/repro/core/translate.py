@@ -1,0 +1,328 @@
+"""Schema-directed translation ``Tr`` of XR queries (Section 4.4).
+
+``Tr`` maps an XR query over the source schema ``S1`` to an ANFA over
+the target such that ``Q(T) = Tr(Q)(σd(T))`` modulo ``idM`` for every
+instance ``T`` (Theorem 4.2).  The translation is *schema-directed*:
+each subquery is translated relative to every source element type it
+may be evaluated at — the local translation ``Trl(Q1, A)`` — and final
+states carry ``lab(f, M, A)``, the source type reached, which selects
+the continuation context (this is what the naive edge-substitution of
+Fig. 7 gets wrong; see :mod:`repro.core.naive`).
+
+Cases (mirroring the paper):
+
+(a) ``ε``        — single final state labelled ``A``;
+(b) a label ``B`` — the automaton coding ``path(A, B)`` (a union over
+    occurrence edges when ``B`` repeats in ``P1(A)``; the unpinned
+    multiplicity carrier when ``P1(A) = B*``), or ``Fail`` if ``B`` is
+    not a child of ``A``;
+(b') ``text()``  — the automaton coding ``path(A, str)``;
+(c) union        — automaton union, labs preserved;
+(d) concatenation — finals labelled ``B`` are ε-wired into one embedded
+    copy of ``Trl(p2, B)``;
+(e) qualifiers   — θ annotations per final lab; when the qualifier
+    contains ``position()`` it becomes a *call transition* whose filter
+    sees the result-list index (refinement R6);
+(f)–(j) qualifier translation into boolean trees over sub-ANFAs;
+(k) Kleene star  — the worklist construction over source types with
+    ``visited`` flags, ε-wiring same-lab finals back to the per-type
+    entry states (at most ``|S1|`` iterations).
+
+The ANFA size is bounded by ``O(|Q| · |σ| · |S1|)`` (Theorem 4.3),
+measured in ``benchmarks/bench_query_translation.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.anfa.model import (
+    ANFA,
+    CallSpec,
+    QualAtomExists,
+    QualAtomPos,
+    QualAtomText,
+    QualExpr,
+    QualFalse,
+    QualTrue,
+    STR_LAB,
+    fail_anfa,
+    qual_and,
+    qual_has_position,
+    qual_not,
+    qual_or,
+)
+from repro.core.embedding import STR_KEY, SchemaEmbedding
+from repro.core.errors import TranslationError
+from repro.dtd.model import Concat, Disjunction, Star as StarProd, Str
+from repro.xpath.ast import (
+    EmptyPath,
+    Label,
+    PathExpr,
+    QAnd,
+    QNot,
+    QOr,
+    QPath,
+    QPos,
+    QText,
+    QTrue,
+    Qualified,
+    Qualifier,
+    Seq,
+    Star,
+    TextStep,
+    Union,
+    contains_descendant,
+    lower_descendants,
+)
+from repro.xpath.paths import XRPath
+
+
+class Translator:
+    """Compiled translator for one embedding (memoises ``Trl``)."""
+
+    def __init__(self, embedding: SchemaEmbedding) -> None:
+        self.embedding = embedding
+        self.source = embedding.source
+        self._memo: dict[tuple[int, str], ANFA] = {}
+
+    # -- public -------------------------------------------------------------
+    def translate(self, query: PathExpr,
+                  context_type: Optional[str] = None) -> ANFA:
+        """``Tr(Q) = Trl(Q, r1)`` (or at an explicit context type)."""
+        context = context_type or self.source.root
+        if context not in self.source.elements:
+            raise TranslationError(f"unknown source type {context!r}")
+        if contains_descendant(query):
+            query = lower_descendants(query, self.source.types)
+        return self.trl(query, context).trim()
+
+    # -- Trl ------------------------------------------------------------------
+    def trl(self, query: PathExpr, context: str) -> ANFA:
+        key = (id(query), context)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        built = self._trl(query, context)
+        self._memo[key] = built
+        return built
+
+    def _trl(self, query: PathExpr, context: str) -> ANFA:
+        if isinstance(query, EmptyPath):
+            anfa = ANFA()
+            anfa.set_final(anfa.start, context)
+            return anfa
+        if isinstance(query, Label):
+            return self._trl_label(query.name, context)
+        if isinstance(query, TextStep):
+            return self._trl_text(context)
+        if isinstance(query, Union):
+            return self._trl_union(query, context)
+        if isinstance(query, Seq):
+            return self._trl_seq(query, context)
+        if isinstance(query, Qualified):
+            return self._trl_qualified(query, context)
+        if isinstance(query, Star):
+            return self._trl_star(query, context)
+        raise TranslationError(f"cannot translate {query!r}")
+
+    # -- case (b): labels ------------------------------------------------------
+    def _path_anfa(self, path: XRPath, lab: Optional[str]) -> ANFA:
+        """A linear automaton coding one XR path (with local positions)."""
+        anfa = ANFA()
+        state = anfa.start
+        for step in path.steps:
+            nxt = anfa.new_state()
+            anfa.add_label(state, step.label, nxt, step.pos)
+            state = nxt
+        if path.text:
+            nxt = anfa.new_state()
+            anfa.add_str(state, nxt)
+            state = nxt
+            lab = STR_LAB
+        anfa.set_final(state, lab)
+        return anfa
+
+    def _trl_label(self, label: str, context: str) -> ANFA:
+        production = self.source.production(context)
+        segments: list[XRPath] = []
+        if isinstance(production, Concat):
+            count = production.occurrence_count(label)
+            segments = [self.embedding.path_for(context, label, occ)
+                        for occ in range(1, count + 1)]
+        elif isinstance(production, Disjunction):
+            if label in production.children:
+                segments = [self.embedding.path_for(context, label)]
+        elif isinstance(production, StarProd):
+            if label == production.child:
+                segments = [self.embedding.path_for(context, label)]
+        if not segments:
+            return fail_anfa()
+        if len(segments) == 1:
+            return self._path_anfa(segments[0], label)
+        anfa = ANFA()
+        for segment in segments:
+            piece = self._path_anfa(segment, label)
+            mapping = anfa.embed(piece)
+            anfa.add_eps(anfa.start, mapping[piece.start])
+        return anfa
+
+    def _trl_text(self, context: str) -> ANFA:
+        production = self.source.production(context)
+        if not isinstance(production, Str):
+            return fail_anfa()
+        return self._path_anfa(self.embedding.str_path(context), STR_LAB)
+
+    # -- cases (c)/(d) -----------------------------------------------------------
+    def _trl_union(self, query: Union, context: str) -> ANFA:
+        left = self.trl(query.left, context)
+        right = self.trl(query.right, context)
+        if left.is_fail():
+            return right
+        if right.is_fail():
+            return left
+        anfa = ANFA()
+        left_map = anfa.embed(left)
+        right_map = anfa.embed(right)
+        anfa.add_eps(anfa.start, left_map[left.start])
+        anfa.add_eps(anfa.start, right_map[right.start])
+        return anfa
+
+    def _trl_seq(self, query: Seq, context: str) -> ANFA:
+        first = self.trl(query.left, context)
+        if first.is_fail():
+            return fail_anfa()
+        anfa = ANFA()
+        first_map = anfa.embed(first)
+        anfa.add_eps(anfa.start, first_map[first.start])
+        # One embedded continuation per distinct lab.
+        entries: dict[str, Optional[int]] = {}
+        for state, lab in first.finals.items():
+            anfa.clear_final(first_map[state])
+            if lab is None or lab == STR_LAB:
+                continue  # strings have no continuation
+            if lab not in entries:
+                continuation = self.trl(query.right, lab)
+                if continuation.is_fail():
+                    entries[lab] = None
+                else:
+                    mapping = anfa.embed(continuation)
+                    entries[lab] = mapping[continuation.start]
+            entry = entries[lab]
+            if entry is not None:
+                anfa.add_eps(first_map[state], entry)
+        return anfa
+
+    # -- case (e): qualifiers -------------------------------------------------------
+    def _trl_qualified(self, query: Qualified, context: str) -> ANFA:
+        inner = self.trl(query.inner, context)
+        if inner.is_fail():
+            return fail_anfa()
+        labs = sorted(inner.final_labs(), key=lambda lab: lab or "")
+        quals = {lab: self.trl_qual(query.qual, lab) for lab in labs}
+
+        if not any(qual_has_position(q) for q in quals.values()):
+            # θ-annotation route (the paper's case (e)).  The qualifier
+            # goes on a *fresh* accept-only state reached by ε from the
+            # old final: θ kills runs entering its state, and a final
+            # state of a Kleene-star automaton also has pass-through
+            # transitions that the qualifier must not affect.
+            anfa = ANFA()
+            mapping = anfa.embed(inner)
+            anfa.add_eps(anfa.start, mapping[inner.start])
+            for state, lab in inner.finals.items():
+                anfa.clear_final(mapping[state])
+                accept = anfa.new_state()
+                anfa.add_eps(mapping[state], accept)
+                anfa.set_final(accept, lab)
+                anfa.annotate(accept, quals[lab])
+            return anfa
+
+        # Positional qualifier: call transition with list-index filter.
+        anfa = ANFA()
+        dst_by_lab = []
+        for lab in labs:
+            dst = anfa.new_state()
+            anfa.set_final(dst, lab)
+            dst_by_lab.append((lab, dst))
+        anfa.add_call(anfa.start, CallSpec(
+            sub=inner,
+            quals=tuple((lab, quals[lab]) for lab in labs),
+            dst_by_lab=tuple(dst_by_lab)))
+        return anfa
+
+    # -- cases (f)-(j): qualifier translation ------------------------------------------
+    def trl_qual(self, qual: Qualifier, lab: Optional[str]) -> QualExpr:
+        if isinstance(qual, QTrue):
+            return QualTrue()
+        if isinstance(qual, QPos):
+            return QualAtomPos(qual.k)
+        if lab is None or lab == STR_LAB:
+            # Path qualifiers never hold on string values.
+            if isinstance(qual, (QPath, QText)):
+                return QualFalse()
+        if isinstance(qual, QPath):
+            sub = self.trl(qual.path, lab)  # type: ignore[arg-type]
+            if sub.is_fail():
+                return QualFalse()
+            return QualAtomExists(sub.trim())
+        if isinstance(qual, QText):
+            sub = self.trl(qual.path, lab)  # type: ignore[arg-type]
+            if sub.is_fail():
+                return QualFalse()
+            return QualAtomText(sub.trim(), qual.value)
+        if isinstance(qual, QNot):
+            return qual_not(self.trl_qual(qual.inner, lab))
+        if isinstance(qual, QAnd):
+            return qual_and(self.trl_qual(qual.left, lab),
+                            self.trl_qual(qual.right, lab))
+        if isinstance(qual, QOr):
+            return qual_or(self.trl_qual(qual.left, lab),
+                           self.trl_qual(qual.right, lab))
+        raise TranslationError(f"cannot translate qualifier {qual!r}")
+
+    # -- case (k): Kleene star ------------------------------------------------------
+    def _trl_star(self, query: Star, context: str) -> ANFA:
+        anfa = ANFA()
+        anfa.set_final(anfa.start, context)  # p^0
+
+        entries: dict[str, Optional[int]] = {}
+        copies: list[tuple[dict[int, int], ANFA]] = []
+        pending = [context]
+        while pending:
+            source_type = pending.pop()
+            if source_type in entries:
+                continue
+            body = self.trl(query.inner, source_type)
+            if body.is_fail():
+                entries[source_type] = None
+                continue
+            mapping = anfa.embed(body)
+            entries[source_type] = mapping[body.start]
+            copies.append((mapping, body))
+            for lab in body.final_labs():
+                if lab is not None and lab != STR_LAB and lab not in entries:
+                    pending.append(lab)
+
+        start_entry = entries.get(context)
+        if start_entry is not None:
+            anfa.add_eps(anfa.start, start_entry)
+        for mapping, body in copies:
+            for state, lab in body.finals.items():
+                if lab is None or lab == STR_LAB:
+                    continue
+                entry = entries.get(lab)
+                if entry is not None:
+                    anfa.add_eps(mapping[state], entry)
+        return anfa
+
+
+def translate_query(embedding: SchemaEmbedding, query: PathExpr,
+                    context_type: Optional[str] = None) -> ANFA:
+    """One-shot ``Tr(Q)`` over ``embedding`` (Theorem 4.2).
+
+    The result is an ANFA over target documents; evaluate it with
+    :func:`repro.anfa.evaluate.evaluate_anfa` and map ids back through
+    ``idM`` to recover ``Q(T)``.
+    """
+    return Translator(embedding).translate(query, context_type)

@@ -1,0 +1,65 @@
+"""DTD schemas in the paper's normal form (Section 2.1).
+
+A DTD is ``(E, P, r)``: a finite set of element types, a production for
+each type, and a root type.  Productions take one of the forms::
+
+    α ::= str | ε | B1, …, Bn | B1 + … + Bn | B*
+
+i.e. PCDATA, empty, concatenation (children may repeat), disjunction
+(one-and-only-one child; optionally with an ε alternative, footnote 1),
+and Kleene star.  Arbitrary DTD content models are brought into this
+normal form by :func:`repro.dtd.normalize.normalize_dtd`, which
+introduces fresh element types (linear time, per Section 2.1).
+
+The *schema graph* view (Section 2.1) exposes AND / OR / STAR edges with
+occurrence labels for repeated concatenation children.
+"""
+
+from repro.dtd.model import (
+    DTD,
+    Concat,
+    Disjunction,
+    Edge,
+    EdgeKind,
+    Empty,
+    EPSILON,
+    Production,
+    Star,
+    Str,
+)
+from repro.dtd.parser import DTDParseError, parse_dtd, parse_compact
+from repro.dtd.normalize import normalize_dtd
+from repro.dtd.consistency import (
+    consistent_types,
+    is_consistent,
+    remove_useless_types,
+)
+from repro.dtd.mindef import MinDef, mindef_tree
+from repro.dtd.validate import ConformanceError, conforms, validate
+from repro.dtd.generate import random_instance
+
+__all__ = [
+    "DTD",
+    "Concat",
+    "Disjunction",
+    "DTDParseError",
+    "Edge",
+    "EdgeKind",
+    "Empty",
+    "EPSILON",
+    "MinDef",
+    "Production",
+    "Star",
+    "Str",
+    "ConformanceError",
+    "conforms",
+    "consistent_types",
+    "is_consistent",
+    "mindef_tree",
+    "normalize_dtd",
+    "parse_compact",
+    "parse_dtd",
+    "random_instance",
+    "remove_useless_types",
+    "validate",
+]

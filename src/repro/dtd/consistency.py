@@ -1,0 +1,127 @@
+"""Consistency of DTDs: useless-type detection and removal (Section 2.1).
+
+A DTD is *consistent* if every element type appears in some instance.
+A type is useless when it is not *productive* (cannot derive a finite
+subtree) or not *reachable* from the root through productive types.
+The paper notes the conversion to a consistent DTD takes ``O(|S|^2)``
+time along the lines of useless-symbol removal for CFGs; the fixpoint
+below is the direct analogue.
+"""
+
+from __future__ import annotations
+
+from repro.dtd.model import (
+    DTD,
+    Concat,
+    Disjunction,
+    Empty,
+    Production,
+    SchemaError,
+    Star,
+    Str,
+)
+
+
+def productive_types(dtd: DTD) -> set[str]:
+    """Types that derive at least one finite tree (least fixpoint).
+
+    ``str``/``ε`` productions are productive; a star is productive with
+    zero children; a concatenation needs all children productive; a
+    disjunction needs one productive alternative (or the ε alternative).
+    """
+    productive: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for element_type, production in dtd.elements.items():
+            if element_type in productive:
+                continue
+            if _production_productive(production, productive):
+                productive.add(element_type)
+                changed = True
+    return productive
+
+
+def _production_productive(production: Production,
+                           productive: set[str]) -> bool:
+    if isinstance(production, (Str, Empty, Star)):
+        return True
+    if isinstance(production, Concat):
+        return all(c in productive for c in production.children)
+    if isinstance(production, Disjunction):
+        if production.optional:
+            return True
+        return any(c in productive for c in production.children)
+    raise SchemaError(f"unknown production {production!r}")
+
+
+def consistent_types(dtd: DTD) -> set[str]:
+    """Types that appear in at least one instance of the DTD.
+
+    A type is useful iff it is productive and reachable from the root
+    via edges leading into productive types.  An unproductive star child
+    or disjunction alternative can never materialise, so reachability
+    must not pass through it.
+    """
+    productive = productive_types(dtd)
+    if dtd.root not in productive:
+        return set()
+    useful = {dtd.root}
+    frontier = [dtd.root]
+    while frontier:
+        parent = frontier.pop()
+        for edge in dtd.edges_from(parent):
+            child = edge.child
+            if child in productive and child not in useful:
+                useful.add(child)
+                frontier.append(child)
+    return useful
+
+
+def is_consistent(dtd: DTD) -> bool:
+    """``True`` iff every declared type appears in some instance."""
+    return consistent_types(dtd) == set(dtd.elements)
+
+
+def remove_useless_types(dtd: DTD) -> DTD:
+    """Return a consistent DTD with the same instance set ``I(S)``.
+
+    Useless disjunction alternatives and star children are dropped;
+    concatenations containing a useless child make the parent useless in
+    turn (already excluded by the fixpoint).  Raises if the root itself
+    is unproductive (then ``I(S)`` is empty and no consistent equivalent
+    exists).
+    """
+    useful = consistent_types(dtd)
+    if not useful:
+        raise SchemaError(
+            f"DTD {dtd.name!r} has no instances (root is unproductive)")
+    if useful == set(dtd.elements):
+        return dtd
+
+    elements: dict[str, Production] = {}
+    for element_type in dtd.elements:
+        if element_type not in useful:
+            continue
+        production = dtd.production(element_type)
+        elements[element_type] = _restrict(production, useful)
+    return DTD(elements, dtd.root, dtd.name)
+
+
+def _restrict(production: Production, useful: set[str]) -> Production:
+    if isinstance(production, Concat):
+        # All children of a useful concatenation type are useful.
+        assert all(c in useful for c in production.children)
+        return production
+    if isinstance(production, Disjunction):
+        kept = tuple(c for c in production.children if c in useful)
+        if not kept and not production.optional:
+            raise SchemaError("useful disjunction lost all alternatives")
+        if not kept:
+            return Empty()
+        return Disjunction(kept, production.optional)
+    if isinstance(production, Star):
+        if production.child not in useful:
+            return Empty()
+        return production
+    return production

@@ -1,0 +1,133 @@
+"""Minimum default instances (paper Section 4.2).
+
+For each element type ``A`` of a consistent DTD, ``mindef(A)`` is a fixed
+default instance, used by InstMap to pad the target document so that it
+conforms to the target schema.  The paper computes it via a ``rank``
+fixpoint:
+
+* ``P(A) = str``  -> an ``A`` node with a ``#s`` text child, rank 0;
+* ``P(A) = B*``   -> a childless ``A`` node, rank 0;
+* ``P(A) = B1,…,Bn`` -> once all children have rank 0, an ``A`` node
+  with children ``mindef(B1) … mindef(Bn)``;
+* ``P(A) = B1+…+Bn`` -> once some alternative has rank 0, an ``A`` node
+  whose single child is ``mindef(Bj)`` for the *smallest* rank-0
+  alternative w.r.t. a fixed order on the types.
+
+We fix the order to be alphabetical — this reproduces Example 4.3, where
+``mindef(category)`` chooses the ``advanced`` alternative over
+``mandatory``.  For an optional disjunction (footnote 1, ``A → B + ε``)
+the ε alternative is the minimum, so ``mindef(A)`` is a childless node;
+this also gives refinement R2 (DESIGN.md) the strongest signalling
+behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dtd.model import (
+    DTD,
+    Concat,
+    Disjunction,
+    Empty,
+    SchemaError,
+    Star,
+    Str,
+)
+from repro.xtree.nodes import ElementNode, TextNode, copy_tree
+
+#: The fixed default string value ``#s`` of Section 4.2.
+DEFAULT_STRING = "#s"
+
+
+class MinDef:
+    """Minimum default instances for one DTD, computed once and cached."""
+
+    def __init__(self, dtd: DTD) -> None:
+        self.dtd = dtd
+        self.rank: dict[str, int] = {}
+        #: the chosen alternative per disjunction type (None = ε)
+        self.default_choice: dict[str, Optional[str]] = {}
+        self._templates: dict[str, ElementNode] = {}
+        self._compute_ranks()
+
+    # ------------------------------------------------------------------
+    def _compute_ranks(self) -> None:
+        """The fixpoint of Section 4.2: rank 1 -> 0 as prerequisites land."""
+        rank = {element_type: 1 for element_type in self.dtd.elements}
+        for element_type, production in self.dtd.elements.items():
+            if isinstance(production, (Str, Star, Empty)):
+                rank[element_type] = 0
+            elif isinstance(production, Disjunction) and production.optional:
+                rank[element_type] = 0
+                self.default_choice[element_type] = None
+
+        changed = True
+        while changed:
+            changed = False
+            for element_type, production in self.dtd.elements.items():
+                if rank[element_type] == 0:
+                    continue
+                if isinstance(production, Concat):
+                    if all(rank[c] == 0 for c in production.children):
+                        rank[element_type] = 0
+                        changed = True
+                elif isinstance(production, Disjunction):
+                    done = sorted(c for c in production.children
+                                  if rank[c] == 0)
+                    if done:
+                        rank[element_type] = 0
+                        self.default_choice[element_type] = done[0]
+                        changed = True
+        bad = sorted(t for t, r in rank.items() if r == 1)
+        if bad:
+            raise SchemaError(
+                f"DTD {self.dtd.name!r} is inconsistent; no finite instance "
+                f"for types {bad} (run remove_useless_types first)")
+        self.rank = rank
+
+    # ------------------------------------------------------------------
+    def template(self, element_type: str) -> ElementNode:
+        """The cached mindef tree (do not mutate; see :meth:`instance`)."""
+        cached = self._templates.get(element_type)
+        if cached is not None:
+            return cached
+        production = self.dtd.production(element_type)
+        node = ElementNode(element_type)
+        if isinstance(production, Str):
+            node.append(TextNode(DEFAULT_STRING))
+        elif isinstance(production, (Star, Empty)):
+            pass
+        elif isinstance(production, Concat):
+            for child in production.children:
+                node.append(self.template(child))
+        elif isinstance(production, Disjunction):
+            choice = self.default_choice[element_type]
+            if choice is not None:
+                node.append(self.template(choice))
+        self._templates[element_type] = node
+        return node
+
+    def instance(self, element_type: str) -> ElementNode:
+        """A fresh copy of ``mindef(element_type)`` with fresh node ids."""
+        copy = copy_tree(self.template(element_type))
+        assert isinstance(copy, ElementNode)
+        return copy
+
+    def size(self, element_type: str) -> int:
+        """Number of nodes in ``mindef(element_type)``."""
+        from repro.xtree.nodes import tree_size
+
+        return tree_size(self.template(element_type))
+
+
+def mindef_tree(dtd: DTD, element_type: str) -> ElementNode:
+    """One-shot convenience wrapper around :class:`MinDef`.
+
+    >>> from repro.dtd.parser import parse_compact
+    >>> d = parse_compact("a -> b, c\\nb -> str\\nc -> d*\\nd -> str")
+    >>> from repro.xtree.serialize import to_string
+    >>> print(to_string(mindef_tree(d, "a"), indent=None))
+    <a><b>#s</b><c/></a>
+    """
+    return MinDef(dtd).instance(element_type)

@@ -1,0 +1,205 @@
+"""Normal-form conversion for general DTD content models (Section 2.1).
+
+The paper's normal form restricts each production to::
+
+    str | ε | B1, …, Bn | B1 + … + Bn | B*
+
+"any DTD S can be converted to S' of this form (in linear time) by
+introducing new element types".  This module implements that conversion:
+a general content model is a regular expression over element names
+(:class:`Regex` and subclasses); every composite sub-expression that sits
+where a plain element type is required gets a fresh element type.
+
+``B?`` becomes a disjunction with the ε alternative (footnote 1), and
+``B+`` becomes ``B, X`` with ``X → B*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dtd.model import (
+    DTD,
+    Concat,
+    Disjunction,
+    Empty,
+    Production,
+    SchemaError,
+    Star,
+    Str,
+)
+
+
+class Regex:
+    """A general DTD content model (before normalisation)."""
+
+
+@dataclass(frozen=True)
+class RName(Regex):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class RPCDATA(Regex):
+    def __str__(self) -> str:
+        return "#PCDATA"
+
+
+@dataclass(frozen=True)
+class REmpty(Regex):
+    def __str__(self) -> str:
+        return "EMPTY"
+
+
+@dataclass(frozen=True)
+class RSeq(Regex):
+    items: tuple[Regex, ...]
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(i) for i in self.items) + ")"
+
+
+@dataclass(frozen=True)
+class RChoice(Regex):
+    items: tuple[Regex, ...]
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(i) for i in self.items) + ")"
+
+
+@dataclass(frozen=True)
+class RStar(Regex):
+    item: Regex
+
+    def __str__(self) -> str:
+        return f"{self.item}*"
+
+
+@dataclass(frozen=True)
+class RPlus(Regex):
+    item: Regex
+
+    def __str__(self) -> str:
+        return f"{self.item}+"
+
+
+@dataclass(frozen=True)
+class ROpt(Regex):
+    item: Regex
+
+    def __str__(self) -> str:
+        return f"{self.item}?"
+
+
+class _Normalizer:
+    """Stateful conversion of a whole schema; generates fresh types."""
+
+    def __init__(self, declared: dict[str, Regex]) -> None:
+        self.declared = declared
+        self.out: dict[str, Production] = {}
+        self._fresh = 0
+        self._taken = set(declared)
+
+    def fresh_type(self, hint: str) -> str:
+        while True:
+            self._fresh += 1
+            candidate = f"{hint}.g{self._fresh}"
+            if candidate not in self._taken:
+                self._taken.add(candidate)
+                return candidate
+
+    # ------------------------------------------------------------------
+    def atom(self, regex: Regex, hint: str) -> str:
+        """Return an element type standing for ``regex``.
+
+        A plain name stands for itself; any composite expression gets a
+        fresh element type whose production is the normalisation of the
+        expression.
+        """
+        if isinstance(regex, RName):
+            return regex.name
+        fresh = self.fresh_type(hint)
+        self.out[fresh] = self.production_for(fresh, regex)
+        return fresh
+
+    def production_for(self, owner: str, regex: Regex) -> Production:
+        """Normalise ``regex`` into a single normal-form production."""
+        if isinstance(regex, RPCDATA):
+            return Str()
+        if isinstance(regex, REmpty):
+            return Empty()
+        if isinstance(regex, RName):
+            # A bare name is a singleton concatenation.
+            return Concat((regex.name,))
+        if isinstance(regex, RSeq):
+            children = tuple(self.atom(item, owner) for item in regex.items)
+            return Concat(children)
+        if isinstance(regex, RChoice):
+            optional = any(isinstance(item, REmpty) for item in regex.items)
+            alts: list[str] = []
+            for item in regex.items:
+                if isinstance(item, REmpty):
+                    continue
+                if isinstance(item, ROpt):
+                    optional = True
+                    item = item.item
+                alts.append(self.atom(item, owner))
+            if len(set(alts)) != len(alts):
+                raise SchemaError(
+                    f"{owner!r}: duplicate alternatives in a disjunction")
+            return Disjunction(tuple(alts), optional=optional)
+        if isinstance(regex, RStar):
+            return Star(self.atom(regex.item, owner))
+        if isinstance(regex, RPlus):
+            # B+  ==>  B, X  with  X -> B*
+            base = self.atom(regex.item, owner)
+            star_type = self.fresh_type(owner)
+            self.out[star_type] = Star(base)
+            return Concat((base, star_type))
+        if isinstance(regex, ROpt):
+            # B?  ==>  B + ε  (footnote 1); (B1|…|Bn)? folds directly
+            # into an optional disjunction.
+            if isinstance(regex.item, RChoice):
+                inner = self.production_for(owner, regex.item)
+                assert isinstance(inner, Disjunction)
+                return Disjunction(inner.children, optional=True)
+            return Disjunction((self.atom(regex.item, owner),), optional=True)
+        raise SchemaError(f"{owner!r}: unsupported content model {regex!r}")
+
+    def run(self, root: str, name: str) -> DTD:
+        for element_type, regex in self.declared.items():
+            self.out[element_type] = self.production_for(element_type, regex)
+        return DTD(self.out, root, name)
+
+
+def normalize_dtd(declared: dict[str, Regex], root: str,
+                  name: str = "dtd") -> DTD:
+    """Convert general content models to a normal-form :class:`DTD`.
+
+    >>> d = normalize_dtd({"a": RSeq((RName("b"), RStar(RName("b")))),
+    ...                    "b": RPCDATA()}, root="a")
+    >>> sorted(d.types)[:2]
+    ['a', 'a.g1']
+    """
+    missing = set()
+    for regex in declared.values():
+        missing |= _referenced(regex) - set(declared)
+    if missing:
+        raise SchemaError(f"undeclared element types: {sorted(missing)}")
+    return _Normalizer(declared).run(root, name)
+
+
+def _referenced(regex: Regex) -> set[str]:
+    if isinstance(regex, RName):
+        return {regex.name}
+    if isinstance(regex, (RSeq, RChoice)):
+        out: set[str] = set()
+        for item in regex.items:
+            out |= _referenced(item)
+        return out
+    if isinstance(regex, (RStar, RPlus, ROpt)):
+        return _referenced(regex.item)
+    return set()

@@ -1,0 +1,281 @@
+"""Parsers for DTD declarations and compact production strings.
+
+Two surfaces:
+
+* :func:`parse_dtd` — real ``<!ELEMENT …>`` declaration syntax with
+  general content models (sequences, choices, ``? * +``, nesting),
+  normalised into the paper's normal form via
+  :mod:`repro.dtd.normalize`;
+* :func:`parse_production` / :func:`parse_compact` — a compact
+  normal-form-only syntax used by tests and workloads::
+
+      "b, c, b"      concatenation (repeats allowed)
+      "b + c"        disjunction
+      "b + eps"      optional type (footnote 1)
+      "b*"           Kleene star
+      "str"          PCDATA
+      "eps"          empty
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.dtd.model import (
+    DTD,
+    Concat,
+    Disjunction,
+    Empty,
+    Production,
+    SchemaError,
+    Star,
+    Str,
+)
+from repro.dtd.normalize import (
+    RChoice,
+    REmpty,
+    RName,
+    ROpt,
+    RPCDATA,
+    RPlus,
+    RSeq,
+    RStar,
+    Regex,
+    normalize_dtd,
+)
+
+
+class DTDParseError(ValueError):
+    """Raised on malformed DTD text."""
+
+
+_NAME_RE = re.compile(r"[A-Za-z_][\w.\-]*")
+
+
+class _ContentScanner:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.source) and self.source[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        self.skip_ws()
+        return self.source[self.pos] if self.pos < len(self.source) else ""
+
+    def take(self, char: str) -> bool:
+        if self.peek() == char:
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, char: str) -> None:
+        if not self.take(char):
+            raise DTDParseError(
+                f"expected {char!r} at position {self.pos} in "
+                f"{self.source!r}")
+
+    def name(self) -> str:
+        self.skip_ws()
+        match = _NAME_RE.match(self.source, self.pos)
+        if not match:
+            raise DTDParseError(
+                f"expected a name at position {self.pos} in {self.source!r}")
+        self.pos = match.end()
+        return match.group()
+
+    def at_end(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.source)
+
+
+def _modifier(scanner: _ContentScanner, regex: Regex) -> Regex:
+    if scanner.take("*"):
+        return RStar(regex)
+    if scanner.take("+"):
+        return RPlus(regex)
+    if scanner.take("?"):
+        return ROpt(regex)
+    return regex
+
+
+def _parse_cp(scanner: _ContentScanner) -> Regex:
+    """content particle: name or parenthesised group, with modifier."""
+    if scanner.peek() == "(":
+        return _parse_group(scanner)
+    if scanner.peek() == "#":
+        scanner.pos += 1
+        word = scanner.name()
+        if word != "PCDATA":
+            raise DTDParseError(f"unknown keyword #{word}")
+        return RPCDATA()
+    return _modifier(scanner, RName(scanner.name()))
+
+
+def _parse_group(scanner: _ContentScanner) -> Regex:
+    scanner.expect("(")
+    first = _parse_cp(scanner)
+    items = [first]
+    separator = ""
+    while True:
+        ch = scanner.peek()
+        if ch == ")":
+            scanner.pos += 1
+            break
+        if ch in (",", "|"):
+            if separator and ch != separator:
+                raise DTDParseError(
+                    "cannot mix ',' and '|' at the same level in "
+                    f"{scanner.source!r}")
+            separator = ch
+            scanner.pos += 1
+            items.append(_parse_cp(scanner))
+        else:
+            raise DTDParseError(
+                f"unexpected character {ch!r} in {scanner.source!r}")
+    if len(items) == 1:
+        inner: Regex = items[0]
+    elif separator == ",":
+        inner = RSeq(tuple(items))
+    else:
+        if any(isinstance(i, RPCDATA) for i in items):
+            raise DTDParseError(
+                "mixed content models (#PCDATA | …) are outside the "
+                "paper's DTD normal form")
+        inner = RChoice(tuple(items))
+    return _modifier(scanner, inner)
+
+
+def parse_content_model(source: str) -> Regex:
+    """Parse a single ``<!ELEMENT>`` content model string."""
+    scanner = _ContentScanner(source.strip())
+    if scanner.at_end():
+        raise DTDParseError("empty content model")
+    word_match = _NAME_RE.match(scanner.source, scanner.pos)
+    if word_match and word_match.group() in ("EMPTY", "ANY"):
+        if word_match.group() == "ANY":
+            raise DTDParseError("ANY content is not supported")
+        scanner.pos = word_match.end()
+        regex: Regex = REmpty()
+    else:
+        regex = _parse_cp(scanner)
+    if not scanner.at_end():
+        raise DTDParseError(f"trailing content in {source!r}")
+    if isinstance(regex, RStar) and isinstance(regex.item, RPCDATA):
+        # "(#PCDATA)*" is how some DTDs write plain PCDATA.
+        regex = RPCDATA()
+    return regex
+
+
+_ELEMENT_RE = re.compile(r"<!ELEMENT\s+([\w.\-]+)\s+(.*?)>", re.DOTALL)
+_COMMENT_RE = re.compile(r"<!--.*?-->", re.DOTALL)
+_ATTLIST_RE = re.compile(r"<!ATTLIST\s+.*?>", re.DOTALL)
+
+
+def parse_dtd(source: str, root: str | None = None, name: str = "dtd") -> DTD:
+    """Parse ``<!ELEMENT>`` declarations into a normal-form :class:`DTD`.
+
+    ``root`` defaults to the first declared element.  ``<!ATTLIST>``
+    declarations and comments are skipped (the paper's data model is
+    attribute-free).
+
+    >>> d = parse_dtd('''
+    ...   <!ELEMENT db (class*)>
+    ...   <!ELEMENT class (cno, title)>
+    ...   <!ELEMENT cno (#PCDATA)>
+    ...   <!ELEMENT title (#PCDATA)>
+    ... ''')
+    >>> d.root
+    'db'
+    """
+    cleaned = _COMMENT_RE.sub("", source)
+    cleaned = _ATTLIST_RE.sub("", cleaned)
+    declared: dict[str, Regex] = {}
+    first: str | None = None
+    for match in _ELEMENT_RE.finditer(cleaned):
+        element_type, content = match.group(1), match.group(2)
+        if element_type in declared:
+            raise DTDParseError(f"duplicate declaration of {element_type!r}")
+        declared[element_type] = parse_content_model(content)
+        if first is None:
+            first = element_type
+    if not declared:
+        raise DTDParseError("no <!ELEMENT> declarations found")
+    root = root or first
+    assert root is not None
+    if root not in declared:
+        raise DTDParseError(f"root {root!r} is not declared")
+    return normalize_dtd(declared, root, name)
+
+
+# -- compact normal-form syntax ----------------------------------------
+
+_EPS_WORDS = {"eps", "epsilon", "#eps", ""}
+
+
+def parse_production(source: str) -> Production:
+    """Parse the compact normal-form production syntax (module docstring).
+
+    >>> parse_production("b + eps")
+    Disjunction(children=('b',), optional=True)
+    """
+    stripped = source.strip()
+    if stripped in ("str", "#PCDATA"):
+        return Str()
+    if stripped in _EPS_WORDS:
+        return Empty()
+    if "+" in stripped:
+        parts = [p.strip() for p in stripped.split("+")]
+        optional = any(p in _EPS_WORDS for p in parts)
+        children = tuple(p for p in parts if p not in _EPS_WORDS)
+        return Disjunction(children, optional=optional)
+    if stripped.endswith("*"):
+        inner = stripped[:-1].strip()
+        if "," in inner or not inner:
+            raise DTDParseError(f"bad star production {source!r}")
+        return Star(inner)
+    children = tuple(p.strip() for p in stripped.split(","))
+    if any(not _NAME_RE.fullmatch(c) for c in children):
+        raise DTDParseError(f"bad production {source!r}")
+    return Concat(children)
+
+
+def parse_compact(spec: str, root: str | None = None, name: str = "dtd") -> DTD:
+    """Parse a multi-line compact schema description.
+
+    One production per line, ``type -> rhs``; blank lines and ``#``
+    comments are skipped.  The first type is the default root.
+
+    >>> d = parse_compact('''
+    ...     db -> class*
+    ...     class -> cno, title
+    ...     cno -> str
+    ...     title -> str
+    ... ''')
+    >>> d.production("class")
+    Concat(children=('cno', 'title'))
+    """
+    elements: dict[str, Production] = {}
+    first: str | None = None
+    for raw_line in spec.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if "->" not in line:
+            raise DTDParseError(f"expected 'type -> production': {raw_line!r}")
+        lhs, rhs = line.split("->", 1)
+        element_type = lhs.strip()
+        if not _NAME_RE.fullmatch(element_type):
+            raise DTDParseError(f"bad element type {element_type!r}")
+        if element_type in elements:
+            raise DTDParseError(f"duplicate production for {element_type!r}")
+        elements[element_type] = parse_production(rhs)
+        if first is None:
+            first = element_type
+    if not elements:
+        raise DTDParseError("empty schema description")
+    root = root or first
+    assert root is not None
+    return DTD(elements, root, name)

@@ -1,0 +1,60 @@
+"""Render DTDs back to ``<!ELEMENT>`` declarations and compact text.
+
+The normal form is a strict subset of DTD content models, so the
+rendering is exact: ``parse_dtd(dtd_to_text(S)) ≡ S`` up to the
+declaration order (round-trip tested in ``tests/test_dtd_serialize.py``).
+"""
+
+from __future__ import annotations
+
+from repro.dtd.model import (
+    DTD,
+    Concat,
+    Disjunction,
+    Empty,
+    Production,
+    SchemaError,
+    Star,
+    Str,
+)
+
+
+def production_to_content(production: Production) -> str:
+    """One production as a DTD content model."""
+    if isinstance(production, Str):
+        return "(#PCDATA)"
+    if isinstance(production, Empty):
+        return "EMPTY"
+    if isinstance(production, Concat):
+        return "(" + ", ".join(production.children) + ")"
+    if isinstance(production, Disjunction):
+        body = "(" + " | ".join(production.children) + ")"
+        return body + "?" if production.optional else body
+    if isinstance(production, Star):
+        return f"({production.child})*"
+    raise SchemaError(f"unknown production {production!r}")
+
+
+def dtd_to_text(dtd: DTD) -> str:
+    """The whole schema as ``<!ELEMENT>`` declarations (root first).
+
+    >>> from repro.dtd.parser import parse_compact
+    >>> print(dtd_to_text(parse_compact("a -> b\\nb -> str")))
+    <!ELEMENT a (b)>
+    <!ELEMENT b (#PCDATA)>
+    """
+    ordered = [dtd.root] + [t for t in dtd.types if t != dtd.root]
+    lines = [f"<!ELEMENT {element_type} "
+             f"{production_to_content(dtd.production(element_type))}>"
+             for element_type in ordered]
+    return "\n".join(lines)
+
+
+def dtd_to_compact(dtd: DTD) -> str:
+    """The compact ``type -> rhs`` syntax (root first)."""
+    ordered = [dtd.root] + [t for t in dtd.types if t != dtd.root]
+    lines = []
+    for element_type in ordered:
+        production = dtd.production(element_type)
+        lines.append(f"{element_type} -> {production}")
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Conformance of XML trees to DTDs (the instance definition, Section 2.1).
+
+An instance ``T`` of ``S = (E, P, r)`` is an ordered tree where the root
+is labelled ``r`` and every ``A``-element's child-label word is in the
+regular language of ``P(A)``.  In normal form the languages are trivial
+to check shape-by-shape.
+"""
+
+from __future__ import annotations
+
+from repro.dtd.model import (
+    DTD,
+    Concat,
+    Disjunction,
+    Empty,
+    SchemaError,
+    Star,
+    Str,
+)
+from repro.xtree.nodes import ElementNode, Node, TextNode
+
+
+class ConformanceError(ValueError):
+    """Raised by :func:`validate` with the offending node and reason."""
+
+    def __init__(self, message: str, node: Node) -> None:
+        super().__init__(message)
+        self.node = node
+
+
+def validate(tree: ElementNode, dtd: DTD) -> None:
+    """Raise :class:`ConformanceError` unless ``tree`` conforms to ``dtd``."""
+    if tree.tag != dtd.root:
+        raise ConformanceError(
+            f"root is <{tree.tag}>, expected <{dtd.root}>", tree)
+    stack: list[ElementNode] = [tree]
+    while stack:
+        node = stack.pop()
+        _validate_node(node, dtd)
+        stack.extend(node.element_children())
+
+
+def _validate_node(node: ElementNode, dtd: DTD) -> None:
+    if node.tag not in dtd.elements:
+        raise ConformanceError(f"unknown element type <{node.tag}>", node)
+    production = dtd.production(node.tag)
+
+    if isinstance(production, Str):
+        if len(node.children) != 1 or not isinstance(node.children[0], TextNode):
+            raise ConformanceError(
+                f"<{node.tag}> must contain exactly one text node", node)
+        return
+
+    # All other shapes are element-only content.
+    for child in node.children:
+        if isinstance(child, TextNode):
+            raise ConformanceError(
+                f"<{node.tag}> must not contain text (P({node.tag}) = "
+                f"{production})", node)
+    labels = [c.tag for c in node.element_children()]
+
+    if isinstance(production, Empty):
+        if labels:
+            raise ConformanceError(f"<{node.tag}> must be empty", node)
+    elif isinstance(production, Concat):
+        if tuple(labels) != production.children:
+            raise ConformanceError(
+                f"<{node.tag}> children {labels} do not match concatenation "
+                f"({production})", node)
+    elif isinstance(production, Disjunction):
+        if len(labels) == 0:
+            if not production.optional:
+                raise ConformanceError(
+                    f"<{node.tag}> needs one of {production.children}", node)
+        elif len(labels) > 1 or labels[0] not in production.children:
+            raise ConformanceError(
+                f"<{node.tag}> children {labels} do not match disjunction "
+                f"({production})", node)
+    elif isinstance(production, Star):
+        bad = [l for l in labels if l != production.child]
+        if bad:
+            raise ConformanceError(
+                f"<{node.tag}> may only contain <{production.child}> "
+                f"children, found {bad}", node)
+    else:  # pragma: no cover - exhaustive
+        raise SchemaError(f"unknown production {production!r}")
+
+
+def conforms(tree: ElementNode, dtd: DTD) -> bool:
+    """Boolean wrapper around :func:`validate` (type safety checks)."""
+    try:
+        validate(tree, dtd)
+    except ConformanceError:
+        return False
+    return True

@@ -1,0 +1,26 @@
+"""Experiment drivers reproducing the paper's evaluation (DESIGN.md E12–E15).
+
+Each driver returns plain row dictionaries; the benchmarks print them
+as tables (and record timings via pytest-benchmark), and
+``EXPERIMENTS.md`` archives a reference run.
+"""
+
+from repro.experiments.report import format_table
+from repro.experiments.accuracy import AccuracyRow, run_accuracy
+from repro.experiments.scalability import ScalabilityRow, run_scalability
+from repro.experiments.complexity import (
+    run_instmap_growth,
+    run_inverse_growth,
+    run_translation_growth,
+)
+
+__all__ = [
+    "AccuracyRow",
+    "ScalabilityRow",
+    "format_table",
+    "run_accuracy",
+    "run_instmap_growth",
+    "run_inverse_growth",
+    "run_scalability",
+    "run_translation_growth",
+]

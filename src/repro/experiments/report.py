@@ -1,0 +1,38 @@
+"""Minimal ASCII table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, Any]],
+                 columns: Sequence[str] | None = None,
+                 title: str | None = None) -> str:
+    """Render rows as an aligned ASCII table.
+
+    >>> print(format_table([{"a": 1, "b": "x"}]))
+    a | b
+    --+--
+    1 | x
+    """
+    if not rows:
+        return "(no rows)"
+    columns = list(columns or rows[0].keys())
+    rendered = [[_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered))
+              for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(col.ljust(w) for col, w in zip(columns, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(w)
+                                for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

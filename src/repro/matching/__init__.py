@@ -1,0 +1,40 @@
+"""Algorithms for *computing* schema embeddings (Section 5 / VLDB'05).
+
+The Schema-Embedding problem — given ``S1``, ``S2`` and ``att``, find a
+valid embedding — is NP-complete (Theorem 5.1; the reduction lives in
+:mod:`repro.matching.reduction`), and stays NP-complete for both of its
+natural halves, Local-Embedding and Assemble-Embedding (Theorems
+5.2/5.3).  The practical algorithms are therefore heuristic:
+
+* :mod:`repro.matching.prefix_free` — candidate-path enumeration and
+  the prefix-free path DFS of Section 5.2;
+* :mod:`repro.matching.local` — local embeddings: one production's
+  edges mapped to prefix-free paths, given candidate targets;
+* :mod:`repro.matching.assemble` — assembling local embeddings into a
+  global one: the **Random** and **Quality-Ordered** strategies;
+* :mod:`repro.matching.indepset` — the third strategy: reduction to
+  max-weight independent set plus a greedy/swap heuristic (standing in
+  for [Busygin et al. 2002]);
+* :mod:`repro.matching.exact` — exhaustive search (ground truth for
+  small schemas);
+* :mod:`repro.matching.simulation` — the conventional graph-similarity
+  (simulation) baseline that cannot map Fig. 1;
+* :mod:`repro.matching.search` — the user-facing ``find_embedding``.
+"""
+
+from repro.matching.search import SearchResult, find_embedding
+from repro.matching.exact import exact_embedding
+from repro.matching.simulation import simulation_mapping
+from repro.matching.reduction import (
+    dpll_satisfiable,
+    reduction_from_3sat,
+)
+
+__all__ = [
+    "SearchResult",
+    "dpll_satisfiable",
+    "exact_embedding",
+    "find_embedding",
+    "reduction_from_3sat",
+    "simulation_mapping",
+]

@@ -1,0 +1,156 @@
+"""Assembling local embeddings: Random and Quality-Ordered (Section 5.2).
+
+The assembly walks the source schema from the root (so λ(A) is fixed
+by the time A's own production is processed), finds a local mapping per
+production, and commits its child assignments.  On failure the whole
+attempt restarts with a fresh random seed — the paper: "If the attempt
+fails, new random orderings can be used in an attempt to find
+additional local mappings."
+
+* **Random** — types visited in randomised BFS order, candidate images
+  and paths in random order;
+* **Quality-Ordered** — candidates in decreasing ``att`` order; within
+  a BFS layer, types with higher best-scores go first ("start with
+  'better' mappings in an effort to find a good solution").
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Optional
+
+from repro.core.embedding import SchemaEmbedding
+from repro.core.similarity import SimilarityMatrix
+from repro.dtd.model import DTD
+from repro.matching.local import LocalEmbedder, LocalMapping, LocalSearchConfig
+from repro.xpath.paths import XRPath
+
+
+def _bfs_order(source: DTD) -> list[str]:
+    order: list[str] = []
+    seen = {source.root}
+    queue = deque([source.root])
+    while queue:
+        current = queue.popleft()
+        order.append(current)
+        for edge in source.edges_from(current):
+            if edge.child not in seen:
+                seen.add(edge.child)
+                queue.append(edge.child)
+    # Unreachable types (inconsistent schemas) go last.
+    order.extend(t for t in source.types if t not in seen)
+    return order
+
+
+def _attempt(embedder: LocalEmbedder, source: DTD, target: DTD,
+             att: SimilarityMatrix, rng: Optional[random.Random],
+             quality_ordered: bool) -> Optional[SchemaEmbedding]:
+    lam: dict[str, str] = {source.root: target.root}
+    paths: dict[tuple[str, str, int], XRPath] = {}
+
+    order = _bfs_order(source)
+    if rng is not None and not quality_ordered:
+        # Shuffle within the constraint that parents precede children:
+        # a random topological-ish order via per-layer shuffles.
+        order = _shuffled_layers(source, rng)
+    elif quality_ordered:
+        order.sort(key=lambda t: -max(
+            [att.get(t, c) for c in target.types] or [0.0]))
+        order.remove(source.root)
+        order.insert(0, source.root)
+        order = _stable_parents_first(source, order)
+
+    for source_type in order:
+        if source_type not in lam:
+            # Parent hasn't fixed it (unreachable type): pick best.
+            candidates = att.candidates(source_type, target.types)
+            if not candidates:
+                return None
+            lam[source_type] = candidates[0][0]
+        mapping = embedder.find(source_type, lam[source_type], lam, rng)
+        if mapping is None:
+            return None
+        for child, image in mapping.child_images.items():
+            existing = lam.get(child)
+            if existing is not None and existing != image:
+                return None  # conflict with an earlier commitment
+            lam[child] = image
+        paths.update(mapping.paths)
+
+    embedding = SchemaEmbedding(source, target, lam, paths)
+    if not embedding.is_valid(att):
+        return None
+    return embedding
+
+
+def _shuffled_layers(source: DTD, rng: random.Random) -> list[str]:
+    order: list[str] = []
+    seen = {source.root}
+    layer = [source.root]
+    while layer:
+        rng.shuffle(layer)
+        order.extend(layer)
+        nxt: list[str] = []
+        for current in layer:
+            for edge in source.edges_from(current):
+                if edge.child not in seen:
+                    seen.add(edge.child)
+                    nxt.append(edge.child)
+        layer = nxt
+    order.extend(t for t in source.types if t not in seen)
+    return order
+
+
+def _stable_parents_first(source: DTD, preferred: list[str]) -> list[str]:
+    """Reorder ``preferred`` so every type follows one of its parents
+    (greedy topological repair keeping the preference order)."""
+    placed: set[str] = set()
+    available = {source.root}
+    order: list[str] = []
+    remaining = list(preferred)
+    while remaining:
+        chosen = next((t for t in remaining if t in available), None)
+        if chosen is None:
+            chosen = remaining[0]
+        remaining.remove(chosen)
+        order.append(chosen)
+        placed.add(chosen)
+        for edge in source.edges_from(chosen):
+            available.add(edge.child)
+    return order
+
+
+def assemble_random(source: DTD, target: DTD, att: SimilarityMatrix,
+                    seed: int = 0, restarts: int = 20,
+                    config: Optional[LocalSearchConfig] = None,
+                    ) -> Optional[SchemaEmbedding]:
+    """The Random assembly strategy: shuffled orders, many restarts."""
+    embedder = LocalEmbedder(source, target, att, config)
+    rng = random.Random(seed)
+    for _attempt_index in range(max(1, restarts)):
+        result = _attempt(embedder, source, target, att,
+                          random.Random(rng.random()), quality_ordered=False)
+        if result is not None:
+            return result
+    return None
+
+
+def assemble_quality(source: DTD, target: DTD, att: SimilarityMatrix,
+                     seed: int = 0, restarts: int = 5,
+                     config: Optional[LocalSearchConfig] = None,
+                     ) -> Optional[SchemaEmbedding]:
+    """The Quality-Ordered strategy: greedy by att, few restarts, then
+    random fallback attempts (mirroring the paper's combination)."""
+    embedder = LocalEmbedder(source, target, att, config)
+    result = _attempt(embedder, source, target, att, None,
+                      quality_ordered=True)
+    if result is not None:
+        return result
+    rng = random.Random(seed)
+    for _attempt_index in range(max(0, restarts - 1)):
+        result = _attempt(embedder, source, target, att,
+                          random.Random(rng.random()), quality_ordered=True)
+        if result is not None:
+            return result
+    return None

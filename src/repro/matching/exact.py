@@ -1,0 +1,112 @@
+"""Exhaustive search for schema embeddings (ground truth).
+
+Complete backtracking over λ assignments and candidate paths — the NP
+algorithm of Theorem 5.1 ("guess a mapping, check it"), made
+deterministic.  Exponential: intended for small schemas (tests, the
+3SAT reduction, accuracy baselines).  Completeness is relative to the
+path enumeration caps, which default to the Theorem 4.10 small-model
+bounds truncated at ``max_len``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.embedding import SchemaEmbedding
+from repro.core.similarity import SimilarityMatrix
+from repro.dtd.model import DTD
+from repro.matching.assemble import _bfs_order
+from repro.matching.local import LocalEmbedder, LocalSearchConfig
+from repro.xpath.paths import XRPath
+
+
+def exact_embedding(source: DTD, target: DTD, att: SimilarityMatrix,
+                    max_len: int = 6, max_paths: int = 64,
+                    max_candidates: int = 16,
+                    node_budget: int = 200_000,
+                    ) -> Optional[SchemaEmbedding]:
+    """Find *some* valid embedding by complete backtracking, or ``None``.
+
+    >>> from repro.workloads.library import fig3_scenarios
+    >>> from repro.core.similarity import SimilarityMatrix
+    >>> sc = [s for s in fig3_scenarios() if s.key == "c"][0]
+    >>> att = SimilarityMatrix.permissive()
+    >>> exact_embedding(sc.source, sc.target, att) is not None
+    True
+    """
+    config = LocalSearchConfig(max_len=max_len, max_paths=max_paths,
+                               max_candidates=max_candidates,
+                               max_nodes=node_budget)
+    embedder = LocalEmbedder(source, target, att, config)
+    order = _bfs_order(source)
+    budget = [node_budget]
+
+    def candidates_for(source_type: str, lam: dict[str, str]) -> list[str]:
+        if source_type == source.root:
+            return [target.root]
+        if source_type in lam:
+            return [lam[source_type]]
+        ranked = att.candidates(source_type, target.types)
+        return [t for t, _score in ranked][:max_candidates]
+
+    def backtrack(position: int, lam: dict[str, str],
+                  paths: dict[tuple[str, str, int], XRPath],
+                  ) -> Optional[SchemaEmbedding]:
+        if budget[0] <= 0:
+            return None
+        budget[0] -= 1
+        if position == len(order):
+            embedding = SchemaEmbedding(source, target, dict(lam),
+                                        dict(paths))
+            return embedding if embedding.is_valid(att) else None
+        source_type = order[position]
+        for image in candidates_for(source_type, lam):
+            # Enumerate local mappings for this image, trying each
+            # child-image/path combination the embedder can produce.
+            for mapping in _all_local(embedder, source_type, image, lam):
+                new_lam = dict(lam)
+                new_lam[source_type] = image
+                conflict = False
+                for child, child_image in mapping.child_images.items():
+                    if new_lam.get(child, child_image) != child_image:
+                        conflict = True
+                        break
+                    new_lam[child] = child_image
+                if conflict:
+                    continue
+                new_paths = dict(paths)
+                new_paths.update(mapping.paths)
+                result = backtrack(position + 1, new_lam, new_paths)
+                if result is not None:
+                    return result
+        return None
+
+    return backtrack(0, {source.root: target.root}, {})
+
+
+def _all_local(embedder: LocalEmbedder, source_type: str, image: str,
+               lam: dict[str, str]):
+    """Local mappings for one (type, image) pair.
+
+    The local embedder returns its first solution per image; to stay
+    complete we re-run it with each admissible combination of child
+    images pinned.  Child-image combinations are enumerated lazily.
+    """
+    production = embedder.source.production(source_type)
+    child_types = sorted(set(production.child_types()))
+    free = [c for c in child_types if c not in lam]
+
+    def combos(index: int, fixed: dict[str, str]):
+        if index == len(free):
+            mapping = embedder.find(source_type, image, {**lam, **fixed})
+            if mapping is not None:
+                yield mapping
+            return
+        child = free[index]
+        ranked = embedder.att.candidates(child, embedder.target.types)
+        for candidate, _score in ranked[:embedder.config.max_candidates]:
+            fixed[child] = candidate
+            yield from combos(index + 1, fixed)
+            del fixed[child]
+
+    yield from combos(0, {})

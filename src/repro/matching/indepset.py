@@ -1,0 +1,180 @@
+"""Independent-set assembly (the third VLDB'05 strategy).
+
+"The final approach reduces the Assemble-Embeddings problem to that of
+finding high-weight independent sets in a graph, and uses an existing
+heuristic solution [Busygin et al. 2002]."
+
+Vertices are candidate local mappings (several per source production);
+two vertices conflict when they assign some source type to different
+target types.  A global embedding is an independent set containing
+exactly one vertex per source type whose assignments are mutually
+consistent.  We weight vertices by their ``att`` quality and run a
+greedy maximum-weight heuristic with randomised restarts and a 1-swap
+improvement pass — the same role the QUALEX heuristic plays in the
+paper's experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.embedding import SchemaEmbedding
+from repro.core.similarity import SimilarityMatrix
+from repro.dtd.model import DTD
+from repro.matching.assemble import _bfs_order
+from repro.matching.local import LocalEmbedder, LocalMapping, LocalSearchConfig
+from repro.xpath.paths import XRPath
+
+
+@dataclass
+class _Vertex:
+    index: int
+    mapping: LocalMapping
+    weight: float
+
+
+def _conflicts(a: LocalMapping, b: LocalMapping) -> bool:
+    assignments = a.assignments()
+    for source_type, image in b.assignments().items():
+        if assignments.get(source_type, image) != image:
+            return True
+    return False
+
+
+def _enumerate_vertices(embedder: LocalEmbedder, source: DTD, target: DTD,
+                        rng: random.Random,
+                        per_type: int) -> dict[str, list[_Vertex]]:
+    """Candidate local mappings per source type.
+
+    The root is pinned to the target root; other types draw images from
+    the att candidates.  Child images inside a candidate are free — the
+    independent-set structure resolves cross-production consistency.
+    """
+    vertices: dict[str, list[_Vertex]] = {}
+    counter = 0
+    for source_type in _bfs_order(source):
+        fixed = ({source.root: target.root}
+                 if source_type == source.root else {})
+        found = embedder.find_all(source_type, fixed, rng, limit=per_type)
+        bucket: list[_Vertex] = []
+        for mapping in found:
+            bucket.append(_Vertex(counter, mapping, mapping.quality))
+            counter += 1
+        vertices[source_type] = bucket
+    return vertices
+
+
+def assemble_indepset(source: DTD, target: DTD, att: SimilarityMatrix,
+                      seed: int = 0, restarts: int = 10,
+                      per_type: int = 6,
+                      config: Optional[LocalSearchConfig] = None,
+                      ) -> Optional[SchemaEmbedding]:
+    """Greedy max-weight independent-set assembly with restarts.
+
+    Each restart re-randomises the vertex enumeration and greedy tie
+    breaking; a swap pass tries replacing a committed vertex when a
+    type has no compatible candidate left.
+    """
+    embedder = LocalEmbedder(source, target, att, config)
+    rng = random.Random(seed)
+
+    for _restart in range(max(1, restarts)):
+        attempt_rng = random.Random(rng.random())
+        vertices = _enumerate_vertices(embedder, source, target,
+                                       attempt_rng, per_type)
+        if not vertices.get(source.root):
+            continue
+        result = _greedy_select(source, target, att, vertices, attempt_rng,
+                                embedder)
+        if result is not None:
+            return result
+    return None
+
+
+def _greedy_select(source: DTD, target: DTD, att: SimilarityMatrix,
+                   vertices: dict[str, list[_Vertex]],
+                   rng: random.Random,
+                   embedder: LocalEmbedder) -> Optional[SchemaEmbedding]:
+    chosen: dict[str, _Vertex] = {}
+    fresh_index = [10_000_000]
+
+    def consistent(vertex: _Vertex) -> bool:
+        return all(not _conflicts(vertex.mapping, other.mapping)
+                   for other in chosen.values())
+
+    def implied_images() -> dict[str, str]:
+        implied: dict[str, str] = {}
+        for vertex in chosen.values():
+            implied.update(vertex.mapping.assignments())
+        return implied
+
+    def demand_vertex(source_type: str, image: str,
+                      implied: dict[str, str]) -> Optional[_Vertex]:
+        """Generate a vertex with a pinned image on demand: the static
+        buckets cannot anticipate every image another vertex assigns."""
+        mapping = embedder.find(source_type, image, implied)
+        if mapping is None:
+            return None
+        fresh_index[0] += 1
+        return _Vertex(fresh_index[0], mapping, mapping.quality)
+
+    pending = set(vertices)
+    repairs = 3 * len(vertices) + 10
+    while pending:
+        implied = implied_images()
+        best: Optional[tuple[str, _Vertex]] = None
+        # First serve types whose image is already forced by chosen
+        # vertices (keeps the independent set completable).
+        forced = sorted(t for t in pending if t in implied)
+        for source_type in forced:
+            image = implied[source_type]
+            candidate = next(
+                (v for v in vertices[source_type]
+                 if v.mapping.image == image and consistent(v)), None)
+            if candidate is None:
+                candidate = demand_vertex(source_type, image, implied)
+                if candidate is not None and not consistent(candidate):
+                    candidate = None
+            if candidate is not None:
+                best = (source_type, candidate)
+                break
+            # Forced type has no compatible vertex: conflict.
+            best = None
+            break
+        else:
+            for source_type in sorted(pending):
+                for vertex in vertices[source_type]:
+                    if not consistent(vertex):
+                        continue
+                    if best is None or vertex.weight > best[1].weight:
+                        best = (source_type, vertex)
+                    break  # buckets quality-ordered: first feasible wins
+        if best is None:
+            # 1-swap repair: drop a random committed vertex and retry
+            # the blocked types with its alternatives.
+            repairs -= 1
+            if not chosen or repairs <= 0:
+                return None
+            victim_type = rng.choice(sorted(chosen))
+            victim = chosen.pop(victim_type)
+            pending.add(victim_type)
+            alternatives = [v for v in vertices[victim_type]
+                            if v.index != victim.index]
+            vertices[victim_type] = alternatives
+            continue
+        source_type, vertex = best
+        chosen[source_type] = vertex
+        pending.discard(source_type)
+
+    lam: dict[str, str] = {}
+    paths: dict[tuple[str, str, int], XRPath] = {}
+    for vertex in chosen.values():
+        for key, value in vertex.mapping.assignments().items():
+            lam[key] = value
+        paths.update(vertex.mapping.paths)
+    embedding = SchemaEmbedding(source, target, lam, paths)
+    if not embedding.is_valid(att):
+        return None
+    return embedding

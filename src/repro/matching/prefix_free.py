@@ -1,0 +1,183 @@
+"""Candidate paths and the prefix-free path problem (Section 5.2).
+
+Two tools:
+
+* :func:`enumerate_paths` — all XR paths of a requested *kind* (AND /
+  OR / STAR / text) from a start type, up to length and count caps.
+  The caps default to practical values well below the Theorem 4.10
+  worst-case bounds; the exact solver can raise them.
+* :func:`prefix_free_assign` — the paper's formulation: given a source
+  node ``s`` and targets ``t1 … tn``, find pairwise prefix-free paths
+  ``s → ti``.  Solved by the depth-first variant the paper sketches —
+  "upon finding a path from s to some target ti, [return] from that
+  search without marking ti as done" — with backtracking over
+  assignment choices.  Used directly by the local-embedding search and
+  compared against naive enumeration in the E15 ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.dtd.model import (
+    DTD,
+    Concat,
+    Disjunction,
+    Star as StarProd,
+    Str,
+)
+from repro.xpath.paths import PathStep, XRPath
+
+
+class PathKind(enum.Enum):
+    """Requested path classification (Section 4.1)."""
+
+    AND = "and"    # concatenation edges: no OR, stars pinned
+    OR = "or"      # disjunction edges: ≥1 OR edge, no stars
+    STAR = "star"  # star edges: one unpinned carrier
+    TEXT = "text"  # str productions: AND-shaped, ends at a str type
+
+
+@dataclass(frozen=True)
+class PathRequest:
+    """One edge's requirements: reach ``end`` (or any str type for
+    TEXT) via a path of the given kind."""
+
+    kind: PathKind
+    end: Optional[str]  # None only for TEXT
+
+
+def _steps_for(dtd: DTD, current: str,
+               kind: PathKind, star_seen: bool) -> Iterator[tuple[PathStep, str, bool]]:
+    """Successor steps consistent with the path kind.
+
+    Yields (step, next_type, star_seen') triples.  ``star_seen`` tracks
+    whether the STAR carrier has been consumed.
+    """
+    production = dtd.production(current)
+    if isinstance(production, Concat):
+        seen: dict[str, int] = {}
+        for child in production.children:
+            seen[child] = seen.get(child, 0) + 1
+            pos = seen[child] if production.occurrence_count(child) > 1 else None
+            yield PathStep(child, pos), child, star_seen
+    elif isinstance(production, Disjunction):
+        if kind is not PathKind.OR:
+            return
+        for child in production.children:
+            yield PathStep(child), child, star_seen
+    elif isinstance(production, StarProd):
+        if kind is PathKind.OR:
+            return
+        if kind is PathKind.STAR and not star_seen:
+            # The multiplicity carrier: unpinned.
+            yield PathStep(production.child), production.child, True
+        elif kind in (PathKind.AND, PathKind.TEXT):
+            # Pinned star instance (R3); position 1 is canonical.
+            yield (PathStep(production.child, 1), production.child,
+                   star_seen)
+
+
+def _satisfies(dtd: DTD, path: tuple[PathStep, ...], current: str,
+               request: PathRequest, has_or: bool, star_seen: bool) -> bool:
+    if not path:
+        return False
+    if request.kind is PathKind.AND:
+        return current == request.end
+    if request.kind is PathKind.OR:
+        return current == request.end and has_or
+    if request.kind is PathKind.STAR:
+        return current == request.end and star_seen
+    assert request.kind is PathKind.TEXT
+    return isinstance(dtd.production(current), Str)
+
+
+def enumerate_paths(dtd: DTD, start: str, request: PathRequest,
+                    max_len: int = 8, max_count: int = 16) -> list[XRPath]:
+    """All paths of the requested kind, shortest first.
+
+    >>> from repro.workloads.library import school_example
+    >>> school = school_example().school
+    >>> req = PathRequest(PathKind.OR, "regular")
+    >>> [str(p) for p in enumerate_paths(school, "category", req, max_len=2)]
+    ['mandatory/regular']
+    """
+    results: list[XRPath] = []
+    if request.kind is PathKind.TEXT and isinstance(dtd.production(start),
+                                                    Str):
+        # Zero element steps: the bare "text()" path (Example 4.2's
+        # path1(A, str) = text()).
+        results.append(XRPath((), text=True))
+    # Iterative-deepening flavoured BFS over (type, path, flags).
+    frontier: list[tuple[str, tuple[PathStep, ...], bool, bool]] = [
+        (start, (), False, False)]
+    while frontier and len(results) < max_count:
+        next_frontier: list[tuple[str, tuple[PathStep, ...], bool, bool]] = []
+        for current, path, has_or, star_seen in frontier:
+            if len(path) >= max_len:
+                continue
+            production = dtd.production(current)
+            is_or_parent = isinstance(production, Disjunction)
+            for step, nxt, star_after in _steps_for(dtd, current,
+                                                    request.kind, star_seen):
+                new_path = path + (step,)
+                new_or = has_or or is_or_parent
+                if _satisfies(dtd, new_path, nxt, request, new_or,
+                              star_after):
+                    text = request.kind is PathKind.TEXT
+                    results.append(XRPath(new_path, text=text))
+                    if len(results) >= max_count:
+                        break
+                next_frontier.append((nxt, new_path, new_or, star_after))
+            if len(results) >= max_count:
+                break
+        frontier = next_frontier
+    return results
+
+
+def _is_prefix_conflict(p1: XRPath, p2: XRPath) -> bool:
+    return p1.is_prefix_of(p2) or p2.is_prefix_of(p1)
+
+
+def prefix_free_assign(dtd: DTD, start: str, requests: list[PathRequest],
+                       max_len: int = 8, max_count: int = 16,
+                       order: Optional[list[int]] = None,
+                       extra_check: Optional[
+                           Callable[[list[Optional[XRPath]]], bool]] = None,
+                       ) -> Optional[list[XRPath]]:
+    """Assign pairwise prefix-free paths to all requests, or ``None``.
+
+    Backtracking over per-request candidate lists (the DFS enumeration
+    above); ``order`` permutes the assignment order (the Random
+    heuristic feeds shuffled orders); ``extra_check`` lets the caller
+    impose additional pairwise conditions (the OR-divergence refinement
+    R1) on partial assignments.
+    """
+    count = len(requests)
+    sequence = order if order is not None else list(range(count))
+    candidates = [enumerate_paths(dtd, start, requests[i], max_len,
+                                  max_count) for i in range(count)]
+    chosen: list[Optional[XRPath]] = [None] * count
+
+    def backtrack(position: int) -> bool:
+        if position == count:
+            return True
+        index = sequence[position]
+        for candidate in candidates[index]:
+            if any(other is not None
+                   and _is_prefix_conflict(candidate, other)
+                   for other in chosen):
+                continue
+            chosen[index] = candidate
+            if extra_check is None or extra_check(chosen):
+                if backtrack(position + 1):
+                    return True
+            chosen[index] = None
+        return False
+
+    if not backtrack(0):
+        return None
+    assert all(path is not None for path in chosen)
+    return [path for path in chosen if path is not None]

@@ -1,0 +1,192 @@
+"""The NP-hardness reduction of Theorem 5.1 (Fig. 8) plus a DPLL solver.
+
+Given a 3SAT instance ``φ = C1 ∧ … ∧ Cn`` over variables ``x1 … xm``,
+two nonrecursive concatenation-only DTDs are built such that φ is
+satisfiable iff a valid schema embedding ``S1 → S2`` exists (with the
+unrestricted similarity matrix):
+
+* ``S1``: ``r → C1,…,Cn,Y1,…,Ym``; clause type ``Ci`` has ``n+i``
+  ``Z`` children (its *signature*); variable type ``Ys`` has ``2n+s``
+  ``W`` children;
+* ``S2``: ``r → X1,…,Xm``; ``Xi → Ti, Fi``; ``Ti`` has a child ``Cj``
+  for every clause in which ``xi`` occurs positively plus ``2n+i``
+  ``W`` children; ``Fi`` likewise for negative occurrences; clause
+  types again have their ``Z`` signatures.
+
+``Ys ↦ Ts/Fs`` encodes the *negation* of a truth assignment: mapping
+``Ys`` under ``Ts`` claims the root path ``Xs/Ts`` and thereby
+prefix-blocks every clause route ``Xs/Ts/Ci``, so a clause type can
+reach its ``S2`` counterpart iff some literal satisfies it under the
+encoded assignment.
+
+**Reproduction note.**  With the *fully* unrestricted similarity
+matrix of the proof sketch, the W/Z occurrence counts alone do not pin
+the λ images: our exact solver found "pair-stealing" embeddings for
+unsatisfiable formulas (e.g. ``Y1 ↦ F1, Y2 ↦ T1`` with ``λ(W) = Z``
+threading Y2's W children through clause signatures, liberating the
+``X2`` gadget for unconstrained clause routing).  The conference
+version's figure presumably carries details lost in the text.  We
+therefore expose the reduction with the similarity matrix restricted
+exactly as Theorem 5.2 describes for Local-Embedding ("source elements
+are restricted to map to exactly two target elements"): infrastructure
+types are pinned to their namesakes and each ``Ys`` may map to ``Ts``
+or ``Fs`` — the truth choice, which is the entire source of hardness.
+With that matrix the equivalence *φ satisfiable ⟺ embedding exists*
+is validated in both directions against :func:`dpll_satisfiable` in
+``tests/test_np_reduction.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.similarity import SimilarityMatrix
+from repro.dtd.model import DTD, Concat, Empty
+
+#: A literal is (variable index ≥ 1, polarity); a clause is a tuple of
+#: literals; a formula is a sequence of clauses.
+Literal = tuple[int, bool]
+Clause = tuple[Literal, ...]
+Formula = Sequence[Clause]
+
+
+@dataclass
+class Reduction:
+    """The two DTDs built from a formula, plus the similarity matrix
+    restricting λ as in Theorem 5.2 (see the module docstring)."""
+
+    formula: tuple[Clause, ...]
+    source: DTD  # S1
+    target: DTD  # S2
+    att: SimilarityMatrix
+    n_clauses: int
+    n_vars: int
+
+
+def _variables(formula: Formula) -> int:
+    return max((abs(v) for clause in formula for v, _p in clause),
+               default=0)
+
+
+def reduction_from_3sat(formula: Formula) -> Reduction:
+    """Build (S1, S2) per the proof of Theorem 5.1.
+
+    >>> red = reduction_from_3sat([((1, True), (2, False))])
+    >>> red.source.root, red.target.root
+    ('r', 'r')
+    """
+    clauses = tuple(tuple(clause) for clause in formula)
+    n = len(clauses)
+    m = _variables(clauses)
+    if n == 0 or m == 0:
+        raise ValueError("need at least one clause and one variable")
+
+    # -- S1 ----------------------------------------------------------------
+    s1: dict[str, Concat | Empty] = {}
+    clause_types = [f"C{i}" for i in range(1, n + 1)]
+    var_types = [f"Y{s}" for s in range(1, m + 1)]
+    s1["r"] = Concat(tuple(clause_types + var_types))
+    for i, name in enumerate(clause_types, start=1):
+        s1[name] = Concat(("Z",) * (n + i))
+    for s, name in enumerate(var_types, start=1):
+        s1[name] = Concat(("W",) * (2 * n + s))
+    s1["Z"] = Empty()
+    s1["W"] = Empty()
+    source = DTD(dict(s1), "r", name=f"3sat-src-{n}x{m}")
+
+    # -- S2 ----------------------------------------------------------------
+    s2: dict[str, Concat | Empty] = {}
+    x_types = [f"X{i}" for i in range(1, m + 1)]
+    s2["r"] = Concat(tuple(x_types))
+    for i in range(1, m + 1):
+        s2[f"X{i}"] = Concat((f"T{i}", f"F{i}"))
+        positive = [f"C{j}" for j, clause in enumerate(clauses, start=1)
+                    if (i, True) in clause]
+        negative = [f"C{j}" for j, clause in enumerate(clauses, start=1)
+                    if (i, False) in clause]
+        s2[f"T{i}"] = Concat(tuple(positive + ["W"] * (2 * n + i)))
+        s2[f"F{i}"] = Concat(tuple(negative + ["W"] * (2 * n + i)))
+    for j in range(1, n + 1):
+        s2[f"C{j}"] = Concat(("Z",) * (n + j))
+    s2["Z"] = Empty()
+    s2["W"] = Empty()
+    target = DTD(dict(s2), "r", name=f"3sat-tgt-{n}x{m}")
+
+    # -- att: pin infrastructure; leave only the truth choices open.
+    att = SimilarityMatrix()
+    att.set("r", "r", 1.0)
+    att.set("Z", "Z", 1.0)
+    att.set("W", "W", 1.0)
+    for j in range(1, n + 1):
+        att.set(f"C{j}", f"C{j}", 1.0)
+    for s in range(1, m + 1):
+        att.set(f"Y{s}", f"T{s}", 1.0)
+        att.set(f"Y{s}", f"F{s}", 1.0)
+
+    return Reduction(clauses, source, target, att, n, m)
+
+
+def assignment_to_embedding_hint(reduction: Reduction,
+                                 assignment: dict[int, bool],
+                                 ) -> dict[str, str]:
+    """The λ the proof constructs from a satisfying assignment:
+    λ(Ys) = Fs if xs is true else Ts (the *negation* coding)."""
+    lam = {"r": "r", "Z": "Z", "W": "W"}
+    for i in range(1, reduction.n_clauses + 1):
+        lam[f"C{i}"] = f"C{i}"
+    for s in range(1, reduction.n_vars + 1):
+        lam[f"Y{s}"] = f"F{s}" if assignment.get(s, False) else f"T{s}"
+    return lam
+
+
+# -- DPLL ---------------------------------------------------------------------
+
+def dpll_satisfiable(formula: Formula,
+                     ) -> Optional[dict[int, bool]]:
+    """A satisfying assignment, or ``None`` (classic DPLL with unit
+    propagation and pure-literal elimination)."""
+    clauses = [frozenset((v if p else -v) for v, p in clause)
+               for clause in formula]
+    return _dpll(clauses, {})
+
+
+def _dpll(clauses: list[frozenset[int]],
+          assignment: dict[int, bool]) -> Optional[dict[int, bool]]:
+    clauses, assignment = _propagate(clauses, dict(assignment))
+    if clauses is None:
+        return None
+    if not clauses:
+        return assignment
+    variable = abs(next(iter(next(iter(clauses)))))
+    for value in (True, False):
+        literal = variable if value else -variable
+        result = _dpll(clauses + [frozenset([literal])],
+                       assignment)
+        if result is not None:
+            result.setdefault(variable, value)
+            return result
+    return None
+
+
+def _propagate(clauses: list[frozenset[int]], assignment: dict[int, bool],
+               ):
+    work = list(clauses)
+    while True:
+        unit = next((c for c in work if len(c) == 1), None)
+        if unit is None:
+            return work, assignment
+        literal = next(iter(unit))
+        variable, value = abs(literal), literal > 0
+        if assignment.get(variable, value) != value:
+            return None, assignment
+        assignment[variable] = value
+        new_work = []
+        for clause in work:
+            if literal in clause:
+                continue
+            reduced = clause - {-literal}
+            if not reduced:
+                return None, assignment
+            new_work.append(reduced)
+        work = new_work

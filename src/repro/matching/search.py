@@ -1,0 +1,90 @@
+"""The user-facing Schema-Embedding solver (Section 5's PROBLEM box).
+
+``find_embedding(S1, S2, att, method=…)`` dispatches to:
+
+* ``"random"``          — randomised assembly with restarts;
+* ``"quality"``         — quality-ordered assembly;
+* ``"indepset"``        — independent-set assembly;
+* ``"exact"``           — complete backtracking (small schemas);
+* ``"auto"`` (default)  — quality, then random, then indepset.
+
+Returns a :class:`SearchResult` with the embedding (validated), the
+method that succeeded, its quality ``qual(σ, att)`` and wall time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.embedding import SchemaEmbedding
+from repro.core.similarity import SimilarityMatrix
+from repro.dtd.model import DTD
+from repro.matching.assemble import assemble_quality, assemble_random
+from repro.matching.exact import exact_embedding
+from repro.matching.indepset import assemble_indepset
+from repro.matching.local import LocalSearchConfig
+
+METHODS = ("auto", "random", "quality", "indepset", "exact")
+
+
+@dataclass
+class SearchResult:
+    """Outcome of an embedding search."""
+
+    embedding: Optional[SchemaEmbedding]
+    method: str
+    seconds: float
+    quality: float = 0.0
+
+    @property
+    def found(self) -> bool:
+        return self.embedding is not None
+
+
+def find_embedding(source: DTD, target: DTD,
+                   att: Optional[SimilarityMatrix] = None,
+                   method: str = "auto", seed: int = 0,
+                   restarts: int = 20,
+                   config: Optional[LocalSearchConfig] = None,
+                   ) -> SearchResult:
+    """Solve Schema-Embedding heuristically (or exactly).
+
+    >>> from repro.workloads.library import school_example
+    >>> bundle = school_example()
+    >>> result = find_embedding(bundle.classes, bundle.school)
+    >>> result.found
+    True
+    """
+    att = att or SimilarityMatrix.permissive()
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; pick from {METHODS}")
+    started = time.perf_counter()
+    embedding: Optional[SchemaEmbedding] = None
+    used = method
+
+    if method in ("quality", "auto"):
+        embedding = assemble_quality(source, target, att, seed=seed,
+                                     restarts=max(1, restarts // 4),
+                                     config=config)
+        used = "quality"
+    if embedding is None and method in ("random", "auto"):
+        embedding = assemble_random(source, target, att, seed=seed,
+                                    restarts=restarts, config=config)
+        used = "random"
+    if embedding is None and method in ("indepset", "auto"):
+        embedding = assemble_indepset(source, target, att, seed=seed,
+                                      restarts=max(1, restarts // 2),
+                                      config=config)
+        used = "indepset"
+    if embedding is None and method == "exact":
+        embedding = exact_embedding(source, target, att)
+        used = "exact"
+
+    elapsed = time.perf_counter() - started
+    quality = embedding.quality(att) if embedding is not None else 0.0
+    if embedding is not None:
+        embedding.check(att)
+    return SearchResult(embedding, used if embedding else method,
+                        elapsed, quality)

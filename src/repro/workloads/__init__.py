@@ -1,0 +1,37 @@
+"""Schemas, noise models and query workloads for tests and benchmarks.
+
+* :mod:`repro.workloads.library` — the paper's Fig. 1 school example
+  (with the σ1/σ2 embeddings of Examples 4.2/4.9), the five Fig. 3
+  validity scenarios, and a library of realistic DTDs modelled on the
+  kinds of sources the VLDB'05 study used (bibliographies, auctions,
+  geographic and genealogy data, …);
+* :mod:`repro.workloads.noise` — the *expansion* generator (derive a
+  structurally richer target with a known ground-truth embedding) and
+  the similarity-matrix noise model of the accuracy experiments;
+* :mod:`repro.workloads.synthetic` — random consistent DTDs of a given
+  size (scalability experiments, property tests);
+* :mod:`repro.workloads.queries` — random XR query generation over a
+  schema (query-preservation and translation experiments).
+"""
+
+from repro.workloads.library import (
+    SCHEMA_LIBRARY,
+    SchoolExample,
+    fig3_scenarios,
+    school_example,
+)
+from repro.workloads.noise import Expansion, expand_schema, noisy_att
+from repro.workloads.synthetic import random_dtd
+from repro.workloads.queries import random_queries
+
+__all__ = [
+    "Expansion",
+    "SCHEMA_LIBRARY",
+    "SchoolExample",
+    "expand_schema",
+    "fig3_scenarios",
+    "noisy_att",
+    "random_dtd",
+    "random_queries",
+    "school_example",
+]

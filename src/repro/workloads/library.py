@@ -1,0 +1,417 @@
+"""Named schemas: the paper's figures plus realistic DTD sources.
+
+The school integration scenario reproduces Fig. 1 with the embeddings
+σ1 (Example 4.2, classes) and σ2 (Example 4.9, students).  The five
+Fig. 3 scenarios carry their expected validity verdicts from
+Example 4.1.  The remaining entries model the *kinds* of real-life and
+benchmark schemas the VLDB'05 experimental study drew on (DBLP-style
+bibliographies, XMark-style auctions, Mondial-style geography, GedML
+genealogy, order/catalog data) — the study only needs realistic shapes
+and sizes with controllable noise, so hand-modelled equivalents
+preserve the relevant behaviour (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.embedding import SchemaEmbedding, build_embedding
+from repro.core.similarity import SimilarityMatrix
+from repro.dtd.model import DTD
+from repro.dtd.parser import parse_compact
+
+
+# -- Fig. 1: the school integration scenario --------------------------------------
+
+@dataclass
+class SchoolExample:
+    """Fig. 1 and Examples 4.2 / 4.4 / 4.8 / 4.9 in one bundle."""
+
+    classes: DTD      # S0, Fig. 1(a)
+    students: DTD     # S1, Fig. 1(b)
+    school: DTD       # S,  Fig. 1(c)
+    sigma1: SchemaEmbedding   # Example 4.2: S0 -> S
+    sigma2: SchemaEmbedding   # Example 4.9: S1 -> S
+    att: SimilarityMatrix
+
+
+def school_example() -> SchoolExample:
+    """Build the Fig. 1 schemas and the paper's two embeddings.
+
+    >>> bundle = school_example()
+    >>> bundle.sigma1.is_valid() and bundle.sigma2.is_valid()
+    True
+    """
+    classes = parse_compact("""
+        db -> class*
+        class -> cno, title, type
+        cno -> str
+        title -> str
+        type -> regular + project
+        regular -> prereq
+        prereq -> class*
+        project -> str
+    """, name="classes-S0")
+
+    students = parse_compact("""
+        db -> student*
+        student -> ssn, name, taking
+        ssn -> str
+        name -> str
+        taking -> cno*
+        cno -> str
+    """, name="students-S1")
+
+    school = parse_compact("""
+        school -> courses, students
+        courses -> current, history
+        current -> course*
+        history -> course*
+        course -> basic, category
+        basic -> cno, credit, class
+        class -> semester*
+        semester -> title, year, term, instructor
+        category -> mandatory + advanced
+        mandatory -> regular + lab
+        advanced -> project + seminar
+        regular -> required, elective
+        required -> prereq
+        elective -> prereq
+        prereq -> course*
+        lab -> str
+        seminar -> str
+        project -> str
+        students -> student*
+        student -> ssn, name, gpa, taking
+        taking -> cno*
+        ssn -> str
+        name -> str
+        gpa -> str
+        cno -> str
+        credit -> str
+        title -> str
+        year -> str
+        term -> str
+        instructor -> str
+    """, name="school-S")
+
+    # Example 4.2: σ1 = (λ1, path1).
+    sigma1 = build_embedding(classes, school,
+        lam={"db": "school", "class": "course", "type": "category",
+             "cno": "cno", "title": "title", "regular": "regular",
+             "project": "project", "prereq": "prereq"},
+        paths={
+            ("db", "class"): "courses/current/course",
+            ("class", "cno"): "basic/cno",
+            ("class", "title"): "basic/class/semester[position()=1]/title",
+            ("class", "type"): "category",
+            ("type", "regular"): "mandatory/regular",
+            ("type", "project"): "advanced/project",
+            ("regular", "prereq"): "required/prereq",
+            ("prereq", "class"): "course",
+            ("cno", "str"): "text()",
+            ("title", "str"): "text()",
+            ("project", "str"): "text()",
+        })
+
+    # Example 4.9: σ2 = (λ2, path2).
+    sigma2 = build_embedding(students, school,
+        lam={"db": "school", "student": "student", "ssn": "ssn",
+             "name": "name", "taking": "taking", "cno": "cno"},
+        paths={
+            ("db", "student"): "students/student",
+            ("student", "ssn"): "ssn",
+            ("student", "name"): "name",
+            ("student", "taking"): "taking",
+            ("taking", "cno"): "cno",
+            ("ssn", "str"): "text()",
+            ("name", "str"): "text()",
+            ("cno", "str"): "text()",
+        })
+
+    # Example 4.2's att imposes no restrictions.
+    att = SimilarityMatrix.permissive()
+    return SchoolExample(classes, students, school, sigma1, sigma2, att)
+
+
+# -- Fig. 3: the five validity scenarios ------------------------------------------
+
+@dataclass
+class Fig3Scenario:
+    """One of the Fig. 3 / Example 4.1 scenarios."""
+
+    key: str
+    source: DTD
+    target: DTD
+    #: the candidate embedding, or None when the paper says none exists
+    embedding: Optional[SchemaEmbedding]
+    expect_valid: bool
+    note: str
+
+
+def fig3_scenarios() -> list[Fig3Scenario]:
+    """The scenarios (a)–(e) with Example 4.1's verdicts."""
+    scenarios: list[Fig3Scenario] = []
+
+    # (a) source A -> B, C (concat); target A' -> B' + C' (disjunction):
+    # B and C must coexist but only one of B'/C' can — no valid mapping.
+    source_a = parse_compact("A -> B, C\nB -> str\nC -> str", name="fig3a-src")
+    target_a = parse_compact(
+        "Ap -> Bp + Cp\nBp -> str\nCp -> str", name="fig3a-tgt")
+    scenarios.append(Fig3Scenario(
+        "a", source_a, target_a,
+        build_embedding(source_a, target_a,
+                        lam={"A": "Ap", "B": "Bp", "C": "Cp"},
+                        paths={("A", "B"): "Bp", ("A", "C"): "Cp",
+                               ("B", "str"): "text()",
+                               ("C", "str"): "text()"}),
+        expect_valid=False,
+        note="AND edges mapped onto OR edges violate the path type "
+             "condition"))
+
+    # (b) source A -> B* ; target A' -> B' (a single B'): the target
+    # cannot accommodate multiple B elements.
+    source_b = parse_compact("A -> B*\nB -> str", name="fig3b-src")
+    target_b = parse_compact("Ap -> Bp\nBp -> str", name="fig3b-tgt")
+    scenarios.append(Fig3Scenario(
+        "b", source_b, target_b,
+        build_embedding(source_b, target_b,
+                        lam={"A": "Ap", "B": "Bp"},
+                        paths={("A", "B"): "Bp", ("B", "str"): "text()"}),
+        expect_valid=False,
+        note="a star edge needs a STAR path"))
+
+    # (c) source A -> B, C with λ(B)=λ(C)=B'; target A' -> B', B':
+    # valid via position() qualifiers.
+    source_c = parse_compact("A -> B, C\nB -> str\nC -> str", name="fig3c-src")
+    target_c = parse_compact("Ap -> Bp, Bp\nBp -> str", name="fig3c-tgt")
+    scenarios.append(Fig3Scenario(
+        "c", source_c, target_c,
+        build_embedding(source_c, target_c,
+                        lam={"A": "Ap", "B": "Bp", "C": "Bp"},
+                        paths={("A", "B"): "Bp[position()=1]",
+                               ("A", "C"): "Bp[position()=2]",
+                               ("B", "str"): "text()",
+                               ("C", "str"): "text()"}),
+        expect_valid=True,
+        note="two source types may share a target type (Fig. 3(c))"))
+
+    # (d) prefix violation: path(A,B) a prefix of path(A,C).
+    source_d = parse_compact("A -> B, C\nB -> str\nC -> str", name="fig3d-src")
+    target_d = parse_compact(
+        "Ap -> Bp\nBp -> Cp\nCp -> str", name="fig3d-tgt")
+    scenarios.append(Fig3Scenario(
+        "d", source_d, target_d,
+        build_embedding(source_d, target_d,
+                        lam={"A": "Ap", "B": "Bp", "C": "Cp"},
+                        paths={("A", "B"): "Bp", ("A", "C"): "Bp/Cp",
+                               ("B", "str"): "text()",
+                               ("C", "str"): "text()"}),
+        expect_valid=False,
+        note="prefix-free condition violated (Fig. 3(d))"))
+
+    # (e) recursion in the target: a valid embedding exists by
+    # unfolding the cycle once.  (The exact Fig. 3(e) productions are
+    # not recoverable from the text; this scenario reproduces the
+    # stated phenomenon — a cyclic target whose cycle must be unfolded
+    # once, with a position() pin making the unfolded path
+    # deterministic.)
+    source_e = parse_compact("A -> B, C\nB -> str\nC -> str", name="fig3e-src")
+    target_e = parse_compact("""
+        Ap -> Bp, Sp
+        Sp -> Ap*
+        Bp -> str
+    """, name="fig3e-tgt")
+    scenarios.append(Fig3Scenario(
+        "e", source_e, target_e,
+        build_embedding(source_e, target_e,
+                        lam={"A": "Ap", "B": "Bp", "C": "Bp"},
+                        paths={("A", "B"): "Bp",
+                               ("A", "C"): "Sp/Ap[position()=1]/Bp",
+                               ("B", "str"): "text()",
+                               ("C", "str"): "text()"}),
+        expect_valid=True,
+        note="cyclic target: path(A,C) unfolds the Ap cycle once "
+             "(Fig. 3(e))"))
+
+    return scenarios
+
+
+# -- realistic schema library ------------------------------------------------------
+
+def _bib() -> DTD:
+    return parse_compact("""
+        bib -> entry*
+        entry -> article + book + phd
+        article -> title, authors, journal, year
+        book -> title, authors, publisher, year
+        phd -> title, author, school, year
+        authors -> author*
+        author -> str
+        title -> str
+        journal -> str
+        publisher -> str
+        school -> str
+        year -> str
+    """, name="bib")
+
+
+def _dblp() -> DTD:
+    return parse_compact("""
+        dblp -> record*
+        record -> inproceedings + article2 + www
+        inproceedings -> key, ititle, iauthors, booktitle, ipages, iyear
+        article2 -> key, atitle, aauthors, journal, volume, apages, ayear
+        www -> key, wtitle, url
+        iauthors -> iauthor*
+        aauthors -> aauthor*
+        iauthor -> str
+        aauthor -> str
+        key -> str
+        ititle -> str
+        atitle -> str
+        wtitle -> str
+        booktitle -> str
+        journal -> str
+        volume -> str
+        ipages -> str
+        apages -> str
+        iyear -> str
+        ayear -> str
+        url -> str
+    """, name="dblp")
+
+
+def _auction() -> DTD:
+    """XMark-flavoured auction site."""
+    return parse_compact("""
+        site -> regions, people, auctions
+        regions -> africa, asia, europe
+        africa -> item*
+        asia -> item*
+        europe -> item*
+        item -> iname, payment, description, shipping
+        iname -> str
+        payment -> str
+        shipping -> str
+        description -> text + parlist
+        text -> str
+        parlist -> listitem*
+        listitem -> str
+        people -> person*
+        person -> pname, email, watches
+        pname -> str
+        email -> str
+        watches -> watch*
+        watch -> str
+        auctions -> open_auction*
+        open_auction -> seller, quantity, bids
+        seller -> str
+        quantity -> str
+        bids -> bid*
+        bid -> bidder, increase
+        bidder -> str
+        increase -> str
+    """, name="auction")
+
+
+def _mondial() -> DTD:
+    """Mondial-flavoured geography."""
+    return parse_compact("""
+        mondial -> country*
+        country -> cname, capital, population, provinces, borders
+        cname -> str
+        capital -> str
+        population -> str
+        provinces -> province*
+        province -> prname, prpop, cities
+        prname -> str
+        prpop -> str
+        cities -> city*
+        city -> ctname, ctpop
+        ctname -> str
+        ctpop -> str
+        borders -> border*
+        border -> str
+    """, name="mondial")
+
+
+def _genealogy() -> DTD:
+    """GedML-flavoured genealogy (recursive)."""
+    return parse_compact("""
+        gedcom -> indi*
+        indi -> persname, birth, famc
+        persname -> str
+        birth -> date, place
+        date -> str
+        place -> str
+        famc -> family + eps
+        family -> husb, wife, children
+        husb -> indi2 + eps
+        wife -> indi2 + eps
+        indi2 -> persname
+        children -> indi*
+    """, name="genealogy")
+
+
+def _orders() -> DTD:
+    """TPC-flavoured orders/catalog."""
+    return parse_compact("""
+        store -> catalog, orders
+        catalog -> product*
+        product -> sku, prodname, price, category2
+        sku -> str
+        prodname -> str
+        price -> str
+        category2 -> electronics + grocery + apparel
+        electronics -> warranty
+        warranty -> str
+        grocery -> expiry
+        expiry -> str
+        apparel -> size
+        size -> str
+        orders -> order*
+        order -> oid, customer, lines, status
+        oid -> str
+        customer -> custname, address
+        custname -> str
+        address -> str
+        lines -> line*
+        line -> lsku, qty
+        lsku -> str
+        qty -> str
+        status -> open + shipped + cancelled
+        open -> eta
+        eta -> str
+        shipped -> tracking
+        tracking -> str
+        cancelled -> reason
+        reason -> str
+    """, name="orders")
+
+
+def _parts() -> DTD:
+    """Recursive bill-of-materials."""
+    return parse_compact("""
+        bom -> part*
+        part -> pno, pdesc, subparts
+        pno -> str
+        pdesc -> str
+        subparts -> part*
+    """, name="parts")
+
+
+#: Named source schemas for the experiments (sizes 10–60 types; the
+#: expansion generator grows targets to "a few hundred nodes").
+SCHEMA_LIBRARY: dict[str, Callable[[], DTD]] = {
+    "bib": _bib,
+    "dblp": _dblp,
+    "auction": _auction,
+    "mondial": _mondial,
+    "genealogy": _genealogy,
+    "orders": _orders,
+    "parts": _parts,
+    "school-classes": lambda: school_example().classes,
+    "school-students": lambda: school_example().students,
+}

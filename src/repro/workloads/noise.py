@@ -1,0 +1,267 @@
+"""Target expansion and similarity noise — the VLDB'05 experiment setup.
+
+The paper's experimental study "map[s] schemas taken from real-life and
+benchmark sources to copies of these schemas with varying amounts of
+introduced noise".  Two generators reproduce that setup:
+
+* :func:`expand_schema` — derive from a source DTD a structurally
+  *richer* target with a known ground-truth embedding: every source
+  edge may be stretched into a wrapper chain (edge → path, the essence
+  of schema embedding), junk siblings/alternatives are added (the
+  "more general and thus more complex" target of the paper's
+  motivation), and types may be renamed;
+* :func:`noisy_att` — perturb the ground-truth similarity matrix:
+  with probability ``noise`` per source type, spurious candidate
+  matches are added and the true match may be degraded.  This is the
+  ambiguity knob of the accuracy experiment (E12 in DESIGN.md): at
+  noise 0 the matrix is unambiguous (polynomial case, Section 5.2); as
+  noise grows the heuristics must search.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.embedding import SchemaEmbedding, build_embedding
+from repro.core.similarity import SimilarityMatrix
+from repro.dtd.model import (
+    DTD,
+    Concat,
+    Disjunction,
+    Empty,
+    Production,
+    Star,
+    Str,
+)
+from repro.xpath.paths import PathStep, XRPath
+
+
+@dataclass
+class Expansion:
+    """A generated target with its ground-truth embedding."""
+
+    source: DTD
+    target: DTD
+    embedding: SchemaEmbedding
+
+    @property
+    def lam(self) -> dict[str, str]:
+        return self.embedding.lam
+
+
+class _Expander:
+    def __init__(self, source: DTD, seed: int, wrap_max: int,
+                 junk_prob: float, rename: bool) -> None:
+        self.source = source
+        self.rng = random.Random(seed)
+        self.wrap_max = wrap_max
+        self.junk_prob = junk_prob
+        self.rename = rename
+        self.elements: dict[str, Production] = {}
+        self._fresh = 0
+        self.lam = {t: (f"{t}_t" if rename else t) for t in source.types}
+        self.paths: dict[tuple[str, str], str] = {}
+
+    # ------------------------------------------------------------------
+    def fresh(self, prefix: str) -> str:
+        self._fresh += 1
+        return f"{prefix}{self._fresh}"
+
+    def _junk_type(self) -> str:
+        """A fresh padding type with a rank-0 production."""
+        name = self.fresh("junk")
+        roll = self.rng.random()
+        if roll < 0.4:
+            self.elements[name] = Str()
+        elif roll < 0.6:
+            self.elements[name] = Empty()
+        elif roll < 0.8:
+            leaf = self.fresh("junkleaf")
+            self.elements[leaf] = Str()
+            self.elements[name] = Star(leaf)
+        else:
+            leaf = self.fresh("junkleaf")
+            self.elements[leaf] = Str()
+            self.elements[name] = Concat((leaf,))
+        return name
+
+    def _with_junk(self, children: list[str]) -> tuple[str, ...]:
+        """Intersperse junk siblings into a concatenation."""
+        out: list[str] = []
+        for child in children:
+            if self.rng.random() < self.junk_prob:
+                out.append(self._junk_type())
+            out.append(child)
+        if self.rng.random() < self.junk_prob:
+            out.append(self._junk_type())
+        return tuple(out)
+
+    def _chain(self, length: int, endpoint: str, prefix: str) -> tuple[str, list[str]]:
+        """Build ``w1 → w2 → … → endpoint``; return (w1, step labels)."""
+        if length <= 0:
+            return endpoint, [endpoint]
+        head = self.fresh(prefix)
+        steps = [head]
+        current = head
+        for index in range(1, length):
+            nxt = self.fresh(prefix)
+            self.elements[current] = Concat(self._with_junk([nxt]))
+            steps.append(nxt)
+            current = nxt
+        self.elements[current] = Concat(self._with_junk([endpoint]))
+        steps.append(endpoint)
+        return head, steps
+
+    def _wrap_length(self) -> int:
+        return self.rng.randint(0, self.wrap_max)
+
+    # ------------------------------------------------------------------
+    def expand_type(self, source_type: str) -> None:
+        image = self.lam[source_type]
+        production = self.source.production(source_type)
+
+        if isinstance(production, Str):
+            length = self._wrap_length()
+            if length == 0:
+                self.elements[image] = Str()
+                self.paths[(source_type, "str")] = "text()"
+            else:
+                head, steps = self._chain(length, self.fresh("strleaf"), "w")
+                self.elements[steps[-1]] = Str()
+                self.elements[image] = Concat(self._with_junk([head]))
+                self.paths[(source_type, "str")] = "/".join(steps) + "/text()"
+        elif isinstance(production, Empty):
+            if self.rng.random() < self.junk_prob:
+                self.elements[image] = Concat((self._junk_type(),))
+            else:
+                self.elements[image] = Empty()
+        elif isinstance(production, Concat):
+            entries: list[str] = []
+            plans: list[tuple[str, int, list[str]]] = []
+            seen: dict[str, int] = {}
+            for child in production.children:
+                seen[child] = seen.get(child, 0) + 1
+                head, steps = self._chain(self._wrap_length(),
+                                          self.lam[child], "w")
+                entries.append(head)
+                plans.append((child, seen[child], steps))
+            target_children = self._with_junk(entries)
+            self.elements[image] = Concat(target_children)
+            # Repeated first steps (duplicate source children mapped
+            # through zero-length chains) need position qualifiers —
+            # exactly the Fig. 3(c) situation.
+            head_totals: dict[str, int] = {}
+            for head in entries:
+                head_totals[head] = head_totals.get(head, 0) + 1
+            head_seen: dict[str, int] = {}
+            for (child, occ, steps), head in zip(plans, entries):
+                head_seen[head] = head_seen.get(head, 0) + 1
+                rendered = list(steps)
+                if head_totals[head] > 1:
+                    rendered[0] = f"{head}[position()={head_seen[head]}]"
+                self.paths[(source_type, child, occ)] = "/".join(rendered)
+        elif isinstance(production, Disjunction):
+            alternatives: list[str] = []
+            for child in production.children:
+                length = self._wrap_length()
+                head, steps = self._chain(length, self.lam[child], "alt")
+                alternatives.append(head)
+                self.paths[(source_type, child)] = "/".join(steps)
+            while self.rng.random() < self.junk_prob:
+                alternatives.append(self._junk_type())
+            self.rng.shuffle(alternatives)
+            self.elements[image] = Disjunction(tuple(alternatives),
+                                               optional=production.optional)
+    def expand(self) -> Expansion:
+        for source_type in self.source.types:
+            production = self.source.production(source_type)
+            if isinstance(production, Star):
+                self._expand_star(source_type, production)
+            else:
+                self.expand_type(source_type)
+        target = DTD(self.elements, self.lam[self.source.root],
+                     name=f"{self.source.name}-expanded")
+        embedding = build_embedding(
+            self.source, target, self.lam,
+            {key: XRPath.parse(path) for key, path in self.paths.items()})
+        embedding.check()
+        return Expansion(self.source, target, embedding)
+
+    def _expand_star(self, source_type: str, production: Star) -> None:
+        image = self.lam[source_type]
+        child = production.child
+        prefix_len = self._wrap_length()
+        suffix_len = self._wrap_length()
+
+        # Suffix: instance type K → … → λ(B).
+        if suffix_len == 0:
+            instance_type = self.lam[child]
+            suffix_steps: list[str] = [instance_type]
+        else:
+            instance_type, suffix_steps = self._chain(
+                suffix_len, self.lam[child], "inst")
+
+        # Prefix: λ(A) → c1 → … → cp, with P(cp) = K*.
+        if prefix_len == 0:
+            self.elements[image] = Star(instance_type)
+            prefix_steps: list[str] = []
+        else:
+            head = self.fresh("pre")
+            prefix_steps = [head]
+            current = head
+            for _ in range(1, prefix_len):
+                nxt = self.fresh("pre")
+                self.elements[current] = Concat(self._with_junk([nxt]))
+                prefix_steps.append(nxt)
+                current = nxt
+            self.elements[current] = Star(instance_type)
+            self.elements[image] = Concat(self._with_junk([head]))
+        self.paths[(source_type, child)] = "/".join(
+            prefix_steps + suffix_steps)
+
+
+def expand_schema(source: DTD, seed: int = 0, wrap_max: int = 2,
+                  junk_prob: float = 0.3, rename: bool = False) -> Expansion:
+    """Expand a source DTD into a richer target with a known embedding.
+
+    >>> from repro.workloads.library import SCHEMA_LIBRARY
+    >>> exp = expand_schema(SCHEMA_LIBRARY["bib"](), seed=1)
+    >>> exp.embedding.is_valid()
+    True
+    """
+    expander = _Expander(source, seed, wrap_max, junk_prob, rename)
+    return expander.expand()
+
+
+def noisy_att(expansion: Expansion, noise: float, seed: int = 0,
+              max_spurious: int = 3,
+              degrade: bool = True) -> SimilarityMatrix:
+    """Perturb the ground-truth similarity matrix (experiment E12).
+
+    With probability ``noise`` per source type: up to ``max_spurious``
+    spurious target candidates are added with scores in [0.3, 1.0];
+    with probability ``noise/2`` the true entry degrades to [0.5, 0.95].
+    ``noise = 0`` reproduces the unambiguous matrix (each source type
+    has exactly one candidate), which Section 5.2 shows is solvable in
+    polynomial time.
+    """
+    rng = random.Random(seed)
+    att = SimilarityMatrix()
+    target_types = list(expansion.target.types)
+    for source_type in expansion.source.types:
+        truth = expansion.lam[source_type]
+        true_score = 1.0
+        if degrade and rng.random() < noise / 2:
+            true_score = rng.uniform(0.5, 0.95)
+        att.set(source_type, truth, round(true_score, 4))
+        if rng.random() < noise:
+            count = rng.randint(1, max_spurious)
+            for _ in range(count):
+                candidate = rng.choice(target_types)
+                if candidate == truth:
+                    continue
+                att.set(source_type, candidate,
+                        round(rng.uniform(0.3, 1.0), 4))
+    return att

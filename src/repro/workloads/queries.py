@@ -1,0 +1,173 @@
+"""Random XR query generation over a source DTD.
+
+Queries exercise every construct of the paper's grammar (Section 2.2):
+child steps, unions, qualifiers (path existence, text equality,
+position, boolean combinations), Kleene stars over schema cycles, and
+``text()`` tails.  Generated queries are *schema-aware* — steps follow
+schema edges — so they return non-trivial results on generated
+instances; the translation tests rely on this to exercise ``Tr``
+deeply rather than on vacuously-empty queries.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.dtd.model import (
+    DTD,
+    Concat,
+    Disjunction,
+    Star as StarProd,
+    Str,
+)
+from repro.xpath.ast import (
+    EmptyPath,
+    Label,
+    PathExpr,
+    QAnd,
+    QNot,
+    QOr,
+    QPath,
+    QPos,
+    QText,
+    Qualified,
+    Qualifier,
+    Seq,
+    Star,
+    TextStep,
+    Union,
+    seq_of,
+)
+
+
+class QueryGenerator:
+    """Reusable generator bound to one source DTD."""
+
+    def __init__(self, dtd: DTD, seed: int = 0,
+                 string_pool: Optional[list[str]] = None) -> None:
+        self.dtd = dtd
+        self.rng = random.Random(seed)
+        self.string_pool = string_pool or ["alpha", "bravo", "#s", "x"]
+        self._cycles = self._find_cycles()
+
+    # ------------------------------------------------------------------
+    def _children(self, element_type: str) -> list[str]:
+        return sorted({e.child for e in self.dtd.edges_from(element_type)})
+
+    def _find_cycles(self) -> dict[str, list[str]]:
+        """Short label cycles per type (for meaningful ``p*`` queries)."""
+        cycles: dict[str, list[str]] = {}
+        for start in self.dtd.types:
+            path = self._bfs_cycle(start)
+            if path:
+                cycles[start] = path
+        return cycles
+
+    def _bfs_cycle(self, start: str) -> Optional[list[str]]:
+        from collections import deque
+
+        queue = deque([(start, [])])
+        seen = {start}
+        while queue:
+            current, path = queue.popleft()
+            if len(path) > 6:
+                continue
+            for edge in self.dtd.edges_from(current):
+                new_path = path + [edge.child]
+                if edge.child == start and path:
+                    return new_path
+                if edge.child == start and not path:
+                    return new_path  # self loop
+                if edge.child not in seen:
+                    seen.add(edge.child)
+                    queue.append((edge.child, new_path))
+        return None
+
+    # ------------------------------------------------------------------
+    def _random_walk(self, context: str, max_len: int) -> tuple[list[str], str]:
+        labels: list[str] = []
+        current = context
+        for _ in range(self.rng.randint(1, max_len)):
+            children = self._children(current)
+            if not children:
+                break
+            nxt = self.rng.choice(children)
+            labels.append(nxt)
+            current = nxt
+        return labels, current
+
+    def _qualifier(self, context: str, depth: int) -> Qualifier:
+        roll = self.rng.random()
+        if roll < 0.35:
+            labels, end = self._random_walk(context, 2)
+            if not labels:
+                return QPos(1)
+            path = seq_of(Label(l) for l in labels)
+            if isinstance(self.dtd.production(end), Str) \
+                    and self.rng.random() < 0.5:
+                return QText(Seq(path, TextStep()),
+                             self.rng.choice(self.string_pool))
+            return QPath(path)
+        if roll < 0.5:
+            return QPos(self.rng.randint(1, 3))
+        if roll < 0.65 and depth < 2:
+            return QNot(self._qualifier(context, depth + 1))
+        if roll < 0.85 and depth < 2:
+            return QAnd(self._qualifier(context, depth + 1),
+                        self._qualifier(context, depth + 1))
+        if depth < 2:
+            return QOr(self._qualifier(context, depth + 1),
+                       self._qualifier(context, depth + 1))
+        return QPos(1)
+
+    def _segment(self, context: str, budget: int) -> tuple[PathExpr, str]:
+        """One step (possibly a union / starred cycle / qualified)."""
+        children = self._children(context)
+        if not children:
+            return EmptyPath(), context
+        roll = self.rng.random()
+        if roll < 0.12 and context in self._cycles:
+            cycle = self._cycles[context]
+            return Star(seq_of(Label(l) for l in cycle)), context
+        label = self.rng.choice(children)
+        expr: PathExpr = Label(label)
+        end = label
+        if roll < 0.30 and len(children) > 1:
+            other = self.rng.choice([c for c in children if c != label])
+            expr = Union(Label(label), Label(other))
+            # A union's continuation context: pick one branch for the
+            # rest of the walk (translation handles both).
+            end = self.rng.choice([label, other])
+        if self.rng.random() < 0.3:
+            expr = Qualified(expr, self._qualifier(end, 0))
+        return expr, end
+
+    def generate(self, max_steps: int = 5) -> PathExpr:
+        context = self.dtd.root
+        parts: list[PathExpr] = []
+        for _ in range(self.rng.randint(1, max_steps)):
+            segment, context = self._segment(context, max_steps)
+            if isinstance(segment, EmptyPath):
+                break
+            parts.append(segment)
+        if not parts:
+            children = self._children(self.dtd.root)
+            parts = [Label(children[0])] if children else [EmptyPath()]
+        production = self.dtd.production(context)
+        if isinstance(production, Str) and self.rng.random() < 0.5:
+            parts.append(TextStep())
+        return seq_of(parts)
+
+
+def random_queries(dtd: DTD, count: int, seed: int = 0,
+                   max_steps: int = 5) -> list[PathExpr]:
+    """Generate ``count`` random XR queries over ``dtd``.
+
+    >>> from repro.workloads.synthetic import random_dtd
+    >>> qs = random_queries(random_dtd(10, seed=1), 5, seed=2)
+    >>> len(qs)
+    5
+    """
+    generator = QueryGenerator(dtd, seed=seed)
+    return [generator.generate(max_steps) for _ in range(count)]

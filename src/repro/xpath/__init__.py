@@ -1,0 +1,80 @@
+"""Regular XPath ``XR`` and the XPath fragment ``X`` (paper Section 2.2).
+
+Grammar (Marx 2004, as quoted in the paper)::
+
+    p ::= ε | A | p/text() | p/p | p ∪ p | p* | p[q]
+    q ::= p | p/text() = 'c' | position() = k | ¬q | q ∧ q | q ∨ q
+
+The fragment ``X`` replaces ``p*`` with ``p//p`` (descendant-or-self).
+Concrete syntax accepted by :func:`parse_xr`: ``/`` child steps, ``//``
+descendant-or-self, ``|`` or ``∪`` union, postfix ``*`` Kleene star,
+``[…]`` qualifiers with ``not/and/or``, ``position()=k``,
+``p/text()='c'`` and ``.`` for the empty path.
+
+Evaluation follows Section 2.2: the result of ``p`` at a context node is
+the set of node ids reachable via ``p`` plus the string values produced
+by ``…/text()`` sub-queries.
+"""
+
+from repro.xpath.ast import (
+    DescOrSelf,
+    EmptyPath,
+    Label,
+    PathExpr,
+    QAnd,
+    QNot,
+    QOr,
+    QPath,
+    QPos,
+    QText,
+    QTrue,
+    Qualified,
+    Qualifier,
+    Seq,
+    Star,
+    TextStep,
+    Union,
+    contains_descendant,
+    contains_star,
+    lower_descendants,
+    query_size,
+    seq_of,
+    union_of,
+)
+from repro.xpath.parser import XPathParseError, parse_qualifier, parse_xr
+from repro.xpath.evaluator import ResultSet, evaluate, evaluate_set
+from repro.xpath.paths import PathStep, XRPath
+
+__all__ = [
+    "DescOrSelf",
+    "EmptyPath",
+    "Label",
+    "PathExpr",
+    "PathStep",
+    "QAnd",
+    "QNot",
+    "QOr",
+    "QPath",
+    "QPos",
+    "QText",
+    "QTrue",
+    "Qualified",
+    "Qualifier",
+    "ResultSet",
+    "Seq",
+    "Star",
+    "TextStep",
+    "Union",
+    "XPathParseError",
+    "XRPath",
+    "contains_descendant",
+    "contains_star",
+    "evaluate",
+    "evaluate_set",
+    "lower_descendants",
+    "parse_qualifier",
+    "parse_xr",
+    "query_size",
+    "seq_of",
+    "union_of",
+]

@@ -1,0 +1,294 @@
+"""AST for regular XPath ``XR`` queries (paper Section 2.2).
+
+Nodes are immutable dataclasses with structural equality, so query
+translation can memoise on sub-expressions.  ``str()`` renders back to
+the concrete syntax accepted by :func:`repro.xpath.parser.parse_xr`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from typing import Iterable
+
+
+class PathExpr:
+    """Base class of path expressions ``p``."""
+
+    def __truediv__(self, other: "PathExpr") -> "PathExpr":
+        return Seq(self, other)
+
+    def __or__(self, other: "PathExpr") -> "PathExpr":
+        return Union(self, other)
+
+    def star(self) -> "PathExpr":
+        return Star(self)
+
+    def where(self, qual: "Qualifier") -> "PathExpr":
+        return Qualified(self, qual)
+
+
+class Qualifier:
+    """Base class of qualifiers ``q``."""
+
+    def __and__(self, other: "Qualifier") -> "Qualifier":
+        return QAnd(self, other)
+
+    def __or__(self, other: "Qualifier") -> "Qualifier":
+        return QOr(self, other)
+
+    def __invert__(self) -> "Qualifier":
+        return QNot(self)
+
+
+# -- path expressions ---------------------------------------------------
+
+@dataclass(frozen=True)
+class EmptyPath(PathExpr):
+    """``ε`` — the empty path (self)."""
+
+    def __str__(self) -> str:
+        return "."
+
+
+@dataclass(frozen=True)
+class Label(PathExpr):
+    """``A`` — a child step to elements labelled ``name``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TextStep(PathExpr):
+    """``text()`` — step to the string values of text children."""
+
+    def __str__(self) -> str:
+        return "text()"
+
+
+@dataclass(frozen=True)
+class Seq(PathExpr):
+    """``p1/p2`` — composition."""
+
+    left: PathExpr
+    right: PathExpr
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.left, Union)}/{_wrap(self.right, Union)}"
+
+
+@dataclass(frozen=True)
+class Union(PathExpr):
+    """``p1 ∪ p2``."""
+
+    left: PathExpr
+    right: PathExpr
+
+    def __str__(self) -> str:
+        return f"{self.left} | {self.right}"
+
+
+@dataclass(frozen=True)
+class Star(PathExpr):
+    """``p*`` — the Kleene closure (the regular-XPath extension)."""
+
+    inner: PathExpr
+
+    def __str__(self) -> str:
+        return f"({self.inner})*"
+
+
+@dataclass(frozen=True)
+class DescOrSelf(PathExpr):
+    """``//`` — descendant-or-self, the ``X`` fragment's replacement
+    for ``p*``.  Over a DTD with alphabet Σ it is definable in ``XR`` as
+    ``(A1 ∪ … ∪ An)*``; :func:`lower_descendants` performs that
+    rewriting when a schema is available.
+    """
+
+    def __str__(self) -> str:
+        return "descendant-or-self()"
+
+
+@dataclass(frozen=True)
+class Qualified(PathExpr):
+    """``p[q]``."""
+
+    inner: PathExpr
+    qual: "Qualifier"
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner, (Union, Seq))}[{self.qual}]"
+
+
+# -- qualifiers ----------------------------------------------------------
+
+@dataclass(frozen=True)
+class QTrue(Qualifier):
+    """``true`` — always holds (definable as ``[ε]``, Section 2.2)."""
+
+    def __str__(self) -> str:
+        return "true()"
+
+
+@dataclass(frozen=True)
+class QPath(Qualifier):
+    """``p`` — the path has a non-empty result."""
+
+    path: PathExpr
+
+    def __str__(self) -> str:
+        return str(self.path)
+
+
+@dataclass(frozen=True)
+class QText(Qualifier):
+    """``p/text() = 'c'`` (``path`` already includes the text() step)."""
+
+    path: PathExpr
+    value: str
+
+    def __str__(self) -> str:
+        return f"{self.path}='{self.value}'"
+
+
+@dataclass(frozen=True)
+class QPos(Qualifier):
+    """``position() = k``."""
+
+    k: int
+
+    def __str__(self) -> str:
+        return f"position()={self.k}"
+
+
+@dataclass(frozen=True)
+class QNot(Qualifier):
+    inner: Qualifier
+
+    def __str__(self) -> str:
+        return f"not({self.inner})"
+
+
+@dataclass(frozen=True)
+class QAnd(Qualifier):
+    left: Qualifier
+    right: Qualifier
+
+    def __str__(self) -> str:
+        return f"({self.left} and {self.right})"
+
+
+@dataclass(frozen=True)
+class QOr(Qualifier):
+    left: Qualifier
+    right: Qualifier
+
+    def __str__(self) -> str:
+        return f"({self.left} or {self.right})"
+
+
+# -- helpers --------------------------------------------------------------
+
+def _wrap(expr: PathExpr, kinds) -> str:
+    rendered = str(expr)
+    return f"({rendered})" if isinstance(expr, kinds) else rendered
+
+
+def seq_of(parts: Iterable[PathExpr]) -> PathExpr:
+    """Left-associated composition of several steps (ε for no parts)."""
+    items = list(parts)
+    if not items:
+        return EmptyPath()
+    return reduce(Seq, items)
+
+
+def union_of(parts: Iterable[PathExpr]) -> PathExpr:
+    items = list(parts)
+    if not items:
+        raise ValueError("union of nothing")
+    return reduce(Union, items)
+
+
+def query_size(expr: PathExpr | Qualifier) -> int:
+    """``|Q|`` — the number of AST nodes (used in complexity bounds)."""
+    if isinstance(expr, (Seq, Union, QAnd, QOr)):
+        return 1 + query_size(expr.left) + query_size(expr.right)
+    if isinstance(expr, Star):
+        return 1 + query_size(expr.inner)
+    if isinstance(expr, Qualified):
+        return 1 + query_size(expr.inner) + query_size(expr.qual)
+    if isinstance(expr, QNot):
+        return 1 + query_size(expr.inner)
+    if isinstance(expr, (QPath, QText)):
+        return 1 + query_size(expr.path)
+    return 1
+
+
+def contains_star(expr: PathExpr | Qualifier) -> bool:
+    """Whether the expression uses the regular-XPath ``p*`` construct."""
+    if isinstance(expr, Star):
+        return True
+    if isinstance(expr, (Seq, Union, QAnd, QOr)):
+        return contains_star(expr.left) or contains_star(expr.right)
+    if isinstance(expr, Qualified):
+        return contains_star(expr.inner) or contains_star(expr.qual)
+    if isinstance(expr, QNot):
+        return contains_star(expr.inner)
+    if isinstance(expr, (QPath, QText)):
+        return contains_star(expr.path)
+    return False
+
+
+def contains_descendant(expr: PathExpr | Qualifier) -> bool:
+    """Whether the expression uses ``//`` (the ``X`` fragment axis)."""
+    if isinstance(expr, DescOrSelf):
+        return True
+    if isinstance(expr, (Seq, Union, QAnd, QOr)):
+        return contains_descendant(expr.left) or contains_descendant(expr.right)
+    if isinstance(expr, Qualified):
+        return contains_descendant(expr.inner) or contains_descendant(expr.qual)
+    if isinstance(expr, QNot):
+        return contains_descendant(expr.inner)
+    if isinstance(expr, (QPath, QText)):
+        return contains_descendant(expr.path)
+    return False
+
+
+def lower_descendants(expr, alphabet: Iterable[str]):
+    """Rewrite ``//`` into ``(A1 ∪ … ∪ An)*`` over the given alphabet.
+
+    This turns an ``X`` query into a plain ``XR`` query relative to a
+    schema, which is how the translation machinery consumes it.
+    """
+    labels = sorted(set(alphabet))
+
+    def lower(node):
+        if isinstance(node, DescOrSelf):
+            if not labels:
+                return EmptyPath()
+            return Star(union_of(Label(name) for name in labels))
+        if isinstance(node, Seq):
+            return Seq(lower(node.left), lower(node.right))
+        if isinstance(node, Union):
+            return Union(lower(node.left), lower(node.right))
+        if isinstance(node, Star):
+            return Star(lower(node.inner))
+        if isinstance(node, Qualified):
+            return Qualified(lower(node.inner), lower(node.qual))
+        if isinstance(node, QPath):
+            return QPath(lower(node.path))
+        if isinstance(node, QText):
+            return QText(lower(node.path), node.value)
+        if isinstance(node, QNot):
+            return QNot(lower(node.inner))
+        if isinstance(node, QAnd):
+            return QAnd(lower(node.left), lower(node.right))
+        if isinstance(node, QOr):
+            return QOr(lower(node.left), lower(node.right))
+        return node
+
+    return lower(expr)

@@ -1,0 +1,209 @@
+"""Evaluation of ``XR`` queries on XML trees (paper Section 2.2).
+
+``v[[p]]`` is the set of (a) nodes reachable from the context node ``v``
+via ``p`` and (b) string values contributed by ``…/text()`` sub-queries.
+Internally we work with document-order *lists* so that ``position()``
+qualifiers have well-defined XPath semantics; :class:`ResultSet` is the
+set view used for equivalence checks (ids are compared after applying
+``idM`` on the target side, per Section 2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Optional, Union as TUnion
+
+from repro.xpath.ast import (
+    DescOrSelf,
+    EmptyPath,
+    Label,
+    PathExpr,
+    QAnd,
+    QNot,
+    QOr,
+    QPath,
+    QPos,
+    QText,
+    QTrue,
+    Qualified,
+    Qualifier,
+    Seq,
+    Star,
+    TextStep,
+    Union,
+)
+from repro.xtree.nodes import ElementNode, TextNode
+
+#: Evaluation items: element nodes, or PCDATA string values.
+Item = TUnion[ElementNode, str]
+
+
+@dataclass(frozen=True)
+class ResultSet:
+    """The set view of a query answer: node ids plus string values."""
+
+    ids: frozenset[int]
+    strings: frozenset[str]
+
+    @staticmethod
+    def of(items: Iterable[Item]) -> "ResultSet":
+        ids = set()
+        strings = set()
+        for item in items:
+            if isinstance(item, str):
+                strings.add(item)
+            else:
+                ids.add(item.node_id)
+        return ResultSet(frozenset(ids), frozenset(strings))
+
+    def map_ids(self, id_map: Mapping[int, int]) -> "ResultSet":
+        """Apply a node-id mapping such as ``idM`` (Section 2.3).
+
+        Ids without an image are kept as-is prefixed impossible;
+        equivalence tests require totality, so a missing id raises.
+        """
+        mapped = frozenset(id_map[i] for i in self.ids)
+        return ResultSet(mapped, self.strings)
+
+    def is_empty(self) -> bool:
+        return not self.ids and not self.strings
+
+    def __len__(self) -> int:
+        return len(self.ids) + len(self.strings)
+
+
+class _Evaluator:
+    def __init__(self, root: ElementNode) -> None:
+        self._order: dict[int, int] = {}
+        self._next = 0
+        self._index(root)
+
+    def _index(self, root: ElementNode) -> None:
+        for node in root.iter():
+            self._order[node.node_id] = self._next
+            self._next += 1
+
+    def order_key(self, item: Item) -> tuple[int, int]:
+        if isinstance(item, str):
+            return (1, 0)
+        return (0, self._order.get(item.node_id, 1 << 30))
+
+    def _dedup(self, items: list[Item]) -> list[Item]:
+        seen_ids: set[int] = set()
+        seen_strings: set[str] = set()
+        out: list[Item] = []
+        for item in items:
+            if isinstance(item, str):
+                if item not in seen_strings:
+                    seen_strings.add(item)
+                    out.append(item)
+            elif item.node_id not in seen_ids:
+                seen_ids.add(item.node_id)
+                out.append(item)
+        # Elements in document order; strings keep discovery order after.
+        elements = sorted((i for i in out if not isinstance(i, str)),
+                          key=self.order_key)
+        strings = [i for i in out if isinstance(i, str)]
+        return [*elements, *strings]
+
+    # ------------------------------------------------------------------
+    def eval(self, expr: PathExpr, node: Item) -> list[Item]:
+        if isinstance(expr, EmptyPath):
+            return [node]
+        if isinstance(node, str):
+            # Strings have no further structure.
+            return []
+        if isinstance(expr, Label):
+            return list(node.children_tagged(expr.name))
+        if isinstance(expr, TextStep):
+            return [c.value for c in node.children
+                    if isinstance(c, TextNode)]
+        if isinstance(expr, Seq):
+            out: list[Item] = []
+            for item in self.eval(expr.left, node):
+                out.extend(self.eval(expr.right, item))
+            return self._dedup(out)
+        if isinstance(expr, Union):
+            return self._dedup(self.eval(expr.left, node)
+                               + self.eval(expr.right, node))
+        if isinstance(expr, Star):
+            return self._closure(expr.inner, node)
+        if isinstance(expr, DescOrSelf):
+            return list(node.iter_elements())
+        if isinstance(expr, Qualified):
+            items = self._dedup(self.eval(expr.inner, node))
+            size = len(items)
+            kept = [item for position, item in enumerate(items, start=1)
+                    if self.holds(expr.qual, item, position, size)]
+            return kept
+        raise TypeError(f"cannot evaluate {expr!r}")
+
+    def _closure(self, inner: PathExpr, node: Item) -> list[Item]:
+        """``p*`` — reflexive-transitive closure of ``p`` from ``node``."""
+        result: list[Item] = [node]
+        seen_ids = {node.node_id} if not isinstance(node, str) else set()
+        seen_strings = {node} if isinstance(node, str) else set()
+        frontier: list[Item] = [node]
+        while frontier:
+            current = frontier.pop()
+            if isinstance(current, str):
+                continue
+            for item in self.eval(inner, current):
+                if isinstance(item, str):
+                    if item not in seen_strings:
+                        seen_strings.add(item)
+                        result.append(item)
+                elif item.node_id not in seen_ids:
+                    seen_ids.add(item.node_id)
+                    result.append(item)
+                    frontier.append(item)
+        return self._dedup(result)
+
+    # ------------------------------------------------------------------
+    def holds(self, qual: Qualifier, item: Item, position: int,
+              size: int) -> bool:
+        if isinstance(qual, QTrue):
+            return True
+        if isinstance(qual, QPos):
+            return position == qual.k
+        if isinstance(qual, QPath):
+            return bool(self.eval(qual.path, item))
+        if isinstance(qual, QText):
+            return any(isinstance(result, str) and result == qual.value
+                       for result in self.eval(qual.path, item))
+        if isinstance(qual, QNot):
+            return not self.holds(qual.inner, item, position, size)
+        if isinstance(qual, QAnd):
+            return (self.holds(qual.left, item, position, size)
+                    and self.holds(qual.right, item, position, size))
+        if isinstance(qual, QOr):
+            return (self.holds(qual.left, item, position, size)
+                    or self.holds(qual.right, item, position, size))
+        raise TypeError(f"cannot evaluate qualifier {qual!r}")
+
+
+def evaluate(expr: PathExpr, context: ElementNode) -> list[Item]:
+    """Evaluate ``expr`` at ``context``; document-ordered item list.
+
+    >>> from repro.xtree.nodes import elem
+    >>> from repro.xpath.parser import parse_xr
+    >>> t = elem("r", elem("a", "x"), elem("a", "y"))
+    >>> evaluate(parse_xr("a[position()=2]/text()"), t)
+    ['y']
+    """
+    root = context.root()
+    assert isinstance(root, ElementNode)
+    return _Evaluator(root).eval(expr, context)
+
+
+def evaluate_set(expr: PathExpr, context: ElementNode) -> ResultSet:
+    """``v[[p]]`` as a :class:`ResultSet` (ids + strings)."""
+    return ResultSet.of(evaluate(expr, context))
+
+
+def holds_at(qual: Qualifier, node: ElementNode,
+             position: int = 1, size: int = 1) -> bool:
+    """Evaluate a qualifier at a node (used by XSLT match patterns)."""
+    root = node.root()
+    assert isinstance(root, ElementNode)
+    return _Evaluator(root).holds(qual, node, position, size)

@@ -1,0 +1,267 @@
+"""Parser for the concrete ``XR`` syntax (paper Section 2.2).
+
+Examples from the paper all parse::
+
+    courses/current/course[basic/cno/text()='CS331']/
+        (category/mandatory/regular/required/prereq/course)*
+    //B
+    (A/(B | C))*
+    A[position()=2]
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.xpath.ast import (
+    DescOrSelf,
+    EmptyPath,
+    Label,
+    PathExpr,
+    QAnd,
+    QNot,
+    QOr,
+    QPath,
+    QPos,
+    QText,
+    QTrue,
+    Qualified,
+    Qualifier,
+    Seq,
+    Star,
+    TextStep,
+    Union,
+)
+
+
+class XPathParseError(ValueError):
+    """Raised on malformed XR syntax."""
+
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<dslash>//)
+  | (?P<slash>/)
+  | (?P<union>\||∪)
+  | (?P<star>\*)
+  | (?P<lpar>\()
+  | (?P<rpar>\))
+  | (?P<lbr>\[)
+  | (?P<rbr>\])
+  | (?P<eq>=)
+  | (?P<bang>!|¬)
+  | (?P<dot>\.)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<number>\d+)
+  | (?P<name>[A-Za-z_][\w.\-]*)
+""", re.VERBOSE)
+
+_KEYWORDS = {"and", "or", "not", "text", "position", "true", "union"}
+
+
+class _Tokens:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.items: list[tuple[str, str]] = []
+        pos = 0
+        while pos < len(source):
+            match = _TOKEN_RE.match(source, pos)
+            if not match:
+                raise XPathParseError(
+                    f"unexpected character {source[pos]!r} at {pos} "
+                    f"in {source!r}")
+            pos = match.end()
+            kind = match.lastgroup
+            if kind == "ws":
+                continue
+            assert kind is not None
+            self.items.append((kind, match.group()))
+        self.index = 0
+
+    def peek(self, offset: int = 0) -> tuple[str, str]:
+        position = self.index + offset
+        if position < len(self.items):
+            return self.items[position]
+        return ("eof", "")
+
+    def next(self) -> tuple[str, str]:
+        token = self.peek()
+        self.index += 1
+        return token
+
+    def take(self, kind: str, value: Optional[str] = None) -> bool:
+        actual_kind, actual_value = self.peek()
+        if actual_kind == kind and (value is None or actual_value == value):
+            self.index += 1
+            return True
+        return False
+
+    def expect(self, kind: str) -> str:
+        actual_kind, actual_value = self.next()
+        if actual_kind != kind:
+            raise XPathParseError(
+                f"expected {kind}, found {actual_value!r} in {self.source!r}")
+        return actual_value
+
+
+def parse_xr(source: str) -> PathExpr:
+    """Parse an ``XR`` (or ``X``) query string.
+
+    >>> print(parse_xr("A/B[position()=2] | //C"))
+    A/B[position()=2] | descendant-or-self()/C
+    """
+    tokens = _Tokens(source)
+    expr = _parse_union(tokens)
+    if tokens.peek()[0] != "eof":
+        raise XPathParseError(
+            f"trailing tokens at {tokens.peek()[1]!r} in {source!r}")
+    return expr
+
+
+def parse_qualifier(source: str) -> Qualifier:
+    """Parse a qualifier string (the ``q`` grammar)."""
+    tokens = _Tokens(source)
+    qual = _parse_qual_or(tokens)
+    if tokens.peek()[0] != "eof":
+        raise XPathParseError(
+            f"trailing tokens at {tokens.peek()[1]!r} in {source!r}")
+    return qual
+
+
+# -- path grammar ---------------------------------------------------------
+
+def _parse_union(tokens: _Tokens) -> PathExpr:
+    expr = _parse_seq(tokens)
+    while tokens.take("union") or tokens.take("name", "union"):
+        expr = Union(expr, _parse_seq(tokens))
+    return expr
+
+
+def _parse_seq(tokens: _Tokens) -> PathExpr:
+    # A leading // means descendant-or-self from the context node.
+    if tokens.take("dslash"):
+        expr: PathExpr = Seq(DescOrSelf(), _parse_postfix(tokens))
+    else:
+        expr = _parse_postfix(tokens)
+    while True:
+        if tokens.take("slash"):
+            expr = Seq(expr, _parse_postfix(tokens))
+        elif tokens.take("dslash"):
+            expr = Seq(expr, Seq(DescOrSelf(), _parse_postfix(tokens)))
+        else:
+            return expr
+
+
+def _parse_postfix(tokens: _Tokens) -> PathExpr:
+    expr = _parse_atom(tokens)
+    while True:
+        if tokens.take("star"):
+            expr = Star(expr)
+        elif tokens.take("lbr"):
+            qual = _parse_qual_or(tokens)
+            tokens.expect("rbr")
+            expr = Qualified(expr, qual)
+        else:
+            return expr
+
+
+def _parse_atom(tokens: _Tokens) -> PathExpr:
+    kind, value = tokens.peek()
+    if kind == "lpar":
+        tokens.next()
+        expr = _parse_union(tokens)
+        tokens.expect("rpar")
+        return expr
+    if kind == "dot":
+        tokens.next()
+        return EmptyPath()
+    if kind == "name":
+        if value == "text" and tokens.peek(1) == ("lpar", "("):
+            tokens.next()
+            tokens.next()
+            tokens.expect("rpar")
+            return TextStep()
+        tokens.next()
+        return Label(value)
+    raise XPathParseError(
+        f"expected a step, found {value!r} in {tokens.source!r}")
+
+
+# -- qualifier grammar ------------------------------------------------------
+
+def _parse_qual_or(tokens: _Tokens) -> Qualifier:
+    qual = _parse_qual_and(tokens)
+    while tokens.peek() == ("name", "or"):
+        tokens.next()
+        qual = QOr(qual, _parse_qual_and(tokens))
+    return qual
+
+
+def _parse_qual_and(tokens: _Tokens) -> Qualifier:
+    qual = _parse_qual_not(tokens)
+    while tokens.peek() == ("name", "and"):
+        tokens.next()
+        qual = QAnd(qual, _parse_qual_not(tokens))
+    return qual
+
+
+def _parse_qual_not(tokens: _Tokens) -> Qualifier:
+    if tokens.take("bang"):
+        return QNot(_parse_qual_not(tokens))
+    if tokens.peek() == ("name", "not") and tokens.peek(1) == ("lpar", "("):
+        tokens.next()
+        tokens.next()
+        qual = _parse_qual_or(tokens)
+        tokens.expect("rpar")
+        return QNot(qual)
+    return _parse_qual_atom(tokens)
+
+
+def _parse_qual_atom(tokens: _Tokens) -> Qualifier:
+    kind, value = tokens.peek()
+    if kind == "name" and value == "true" and tokens.peek(1) == ("lpar", "("):
+        tokens.next()
+        tokens.next()
+        tokens.expect("rpar")
+        return QTrue()
+    if (kind == "name" and value == "position"
+            and tokens.peek(1) == ("lpar", "(")):
+        tokens.next()
+        tokens.next()
+        tokens.expect("rpar")
+        tokens.expect("eq")
+        number = tokens.expect("number")
+        return QPos(int(number))
+    if kind == "lpar":
+        # Could be a parenthesised boolean or a parenthesised path;
+        # try boolean first by scanning for and/or/not at depth 1.
+        if _looks_boolean(tokens):
+            tokens.next()
+            qual = _parse_qual_or(tokens)
+            tokens.expect("rpar")
+            return qual
+    # Otherwise: a path, optionally compared to a string.
+    path = _parse_union(tokens)
+    if tokens.take("eq"):
+        literal = tokens.expect("string")
+        return QText(path, literal[1:-1])
+    return QPath(path)
+
+
+def _looks_boolean(tokens: _Tokens) -> bool:
+    """Peek inside ``(...)`` for top-level and/or/not — cheap disambiguation."""
+    depth = 0
+    for offset in range(len(tokens.items) - tokens.index):
+        kind, value = tokens.peek(offset)
+        if kind == "lpar":
+            depth += 1
+        elif kind == "rpar":
+            depth -= 1
+            if depth == 0:
+                return False
+        elif depth == 1 and kind == "name" and value in ("and", "or", "not"):
+            return True
+        elif kind == "eof":
+            return False
+    return False

@@ -1,0 +1,298 @@
+"""XR paths — the path subclass used by schema embeddings (Section 4.1).
+
+An *XR path* over a DTD is ``ρ = η1/…/ηk`` where each ``ηi`` is ``A[q]``
+with ``q`` either ``true`` or a ``position()`` qualifier, such that ρ
+denotes a label path in the schema graph carrying all position labels.
+
+Classification (paper Section 4.1, with the shape refinements R3/R4 of
+DESIGN.md):
+
+* **AND path** — no OR edges; every star edge carries a position
+  qualifier (so the path denotes exactly one node per context);
+* **OR path** — at least one OR edge, no star edges;
+* **STAR path** — no OR edges; exactly one *unqualified* star edge (the
+  multiplicity carrier); no other star edge anywhere on the path;
+* a **text path** additionally ends with ``text()`` and its last element
+  type has a ``str`` production.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dtd.model import (
+    DTD,
+    Concat,
+    Disjunction,
+    Edge,
+    EdgeKind,
+    Star as StarProd,
+    Str,
+)
+from repro.xpath.ast import (
+    EmptyPath,
+    Label,
+    PathExpr,
+    QPos,
+    Qualified,
+    TextStep,
+    seq_of,
+)
+
+
+class PathClassError(ValueError):
+    """Raised when a path does not denote a label path in the schema."""
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One step ``A[position()=k]`` (``pos=None`` when unqualified)."""
+
+    label: str
+    pos: Optional[int] = None
+
+    def __str__(self) -> str:
+        if self.pos is None:
+            return self.label
+        return f"{self.label}[position()={self.pos}]"
+
+
+_STEP_RE = re.compile(
+    r"^(?P<label>[\w.\-]+)(\[\s*position\(\)\s*=\s*(?P<pos>\d+)\s*\])?$")
+
+
+@dataclass(frozen=True)
+class XRPath:
+    """An XR path: qualified label steps, optionally ending in text()."""
+
+    steps: tuple[PathStep, ...]
+    text: bool = False
+
+    # -- construction ---------------------------------------------------
+    @staticmethod
+    def parse(source: str) -> "XRPath":
+        """Parse e.g. ``basic/class/semester[position()=1]/title``.
+
+        ``text()`` may only appear as the last step; a bare ``text()``
+        is the empty-step text path (Example 4.2: ``path1(A,str) =
+        text()``).
+        """
+        parts = [p.strip() for p in source.strip().split("/")]
+        steps: list[PathStep] = []
+        text = False
+        for index, part in enumerate(parts):
+            if part == "text()":
+                if index != len(parts) - 1:
+                    raise PathClassError(
+                        f"text() must be the final step in {source!r}")
+                text = True
+                continue
+            match = _STEP_RE.match(part)
+            if not match:
+                raise PathClassError(f"bad path step {part!r} in {source!r}")
+            pos = match.group("pos")
+            steps.append(PathStep(match.group("label"),
+                                  int(pos) if pos else None))
+        return XRPath(tuple(steps), text)
+
+    def __str__(self) -> str:
+        rendered = [str(step) for step in self.steps]
+        if self.text:
+            rendered.append("text()")
+        return "/".join(rendered) if rendered else "."
+
+    # -- structure ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.steps) + (1 if self.text else 0)
+
+    def is_empty(self) -> bool:
+        return not self.steps and not self.text
+
+    def is_prefix_of(self, other: "XRPath") -> bool:
+        """Prefix relation on XR paths (Section 4.1).
+
+        Equal paths count as prefixes (they would map two source items
+        to the same target node).  A text path is a prefix only of
+        itself — text() has no continuation.
+        """
+        if self.text:
+            return other.text and self.steps == other.steps
+        if len(self.steps) > len(other.steps):
+            return False
+        return other.steps[:len(self.steps)] == self.steps
+
+    def concat(self, other: "XRPath") -> "XRPath":
+        if self.text:
+            raise PathClassError("cannot extend a text path")
+        return XRPath(self.steps + other.steps, other.text)
+
+    def prefix(self, length: int) -> "XRPath":
+        return XRPath(self.steps[:length], False)
+
+    def with_pinned_carrier(self, position: int, carrier_index: int) -> "XRPath":
+        """Pin the star-carrier step at ``carrier_index`` to ``position``.
+
+        Used when a source star edge's path is instantiated for the
+        k-th child, and by δ when a source qualifier ``B[position()=k]``
+        crosses a star edge (Theorem 3.3's ``Tr(ρ/B[position()=k])``).
+        The caller obtains ``carrier_index`` from
+        :attr:`PathInfo.carrier_index`.
+        """
+        if not 0 <= carrier_index < len(self.steps):
+            raise PathClassError(f"no step {carrier_index} in {self}")
+        step = self.steps[carrier_index]
+        if step.pos is not None:
+            raise PathClassError(f"step {step} is already pinned")
+        out = list(self.steps)
+        out[carrier_index] = PathStep(step.label, position)
+        return XRPath(tuple(out), self.text)
+
+    # -- conversion -------------------------------------------------------
+    def to_expr(self) -> PathExpr:
+        """The equivalent :mod:`repro.xpath.ast` expression."""
+        parts: list[PathExpr] = []
+        for step in self.steps:
+            expr: PathExpr = Label(step.label)
+            if step.pos is not None:
+                expr = Qualified(expr, QPos(step.pos))
+            parts.append(expr)
+        if self.text:
+            parts.append(TextStep())
+        if not parts:
+            return EmptyPath()
+        return seq_of(parts)
+
+
+@dataclass(frozen=True)
+class PathInfo:
+    """The schema-graph classification of one XR path."""
+
+    path: XRPath            # normalised (implied positions resolved)
+    edges: tuple[Edge, ...]
+    end_type: str           # type of the node the path arrives at
+    or_indices: tuple[int, ...]        # steps traversing OR edges
+    star_indices: tuple[int, ...]      # steps traversing STAR edges
+    unpinned_star_indices: tuple[int, ...]
+
+    @property
+    def has_or(self) -> bool:
+        return bool(self.or_indices)
+
+    @property
+    def has_star(self) -> bool:
+        return bool(self.star_indices)
+
+    def is_and_path(self) -> bool:
+        """AND path: nonempty, no OR edges, all star steps pinned (R3)."""
+        return (not self.path.is_empty() and not self.has_or
+                and not self.unpinned_star_indices)
+
+    def is_or_path(self) -> bool:
+        """OR path: at least one OR edge, no star edges."""
+        return self.has_or and not self.has_star
+
+    def is_star_path(self) -> bool:
+        """STAR path: a single unpinned star carrier, no OR edges, and
+        no other star edge before or after the carrier (R4)."""
+        return (not self.has_or
+                and len(self.star_indices) == 1
+                and len(self.unpinned_star_indices) == 1)
+
+    @property
+    def carrier_index(self) -> int:
+        """Index of the multiplicity-carrier step of a STAR path."""
+        if not self.is_star_path():
+            raise PathClassError(f"{self.path} is not a STAR path")
+        return self.unpinned_star_indices[0]
+
+
+def classify_path(path: XRPath, dtd: DTD, start_type: str) -> PathInfo:
+    """Walk ``path`` through the schema graph of ``dtd`` from
+    ``start_type``; normalise implied positions and classify edges.
+
+    Raises :class:`PathClassError` if the path does not denote a label
+    path (Section 4.1 requires XR paths to represent schema paths).
+    """
+    current = start_type
+    edges: list[Edge] = []
+    steps: list[PathStep] = []
+    or_indices: list[int] = []
+    star_indices: list[int] = []
+    unpinned: list[int] = []
+
+    for index, step in enumerate(path.steps):
+        production = dtd.production(current)
+        if isinstance(production, Concat):
+            count = production.occurrence_count(step.label)
+            if count == 0:
+                raise PathClassError(
+                    f"{step.label!r} is not a child of {current!r}")
+            if count > 1 and step.pos is None:
+                raise PathClassError(
+                    f"step {step} needs a position() qualifier: "
+                    f"{step.label!r} occurs {count} times in P({current})")
+            occ = step.pos if step.pos is not None else 1
+            if not 1 <= occ <= count:
+                raise PathClassError(
+                    f"occurrence {occ} of {step.label!r} out of range "
+                    f"in P({current})")
+            edge = dtd.edge(current, step.label, occ)
+            assert edge is not None
+            edges.append(edge)
+            # Normalise: drop a redundant [position()=1] on unique children.
+            steps.append(PathStep(step.label,
+                                  step.pos if count > 1 else None))
+        elif isinstance(production, Disjunction):
+            if step.label not in production.children:
+                raise PathClassError(
+                    f"{step.label!r} is not an alternative of {current!r}")
+            if step.pos is not None and step.pos != 1:
+                raise PathClassError(
+                    f"position {step.pos} invalid on OR edge {step}")
+            edge = dtd.edge(current, step.label)
+            assert edge is not None
+            edges.append(edge)
+            or_indices.append(index)
+            steps.append(PathStep(step.label, None))
+        elif isinstance(production, StarProd):
+            if step.label != production.child:
+                raise PathClassError(
+                    f"{step.label!r} is not the star child of {current!r}")
+            edge = dtd.edge(current, step.label)
+            assert edge is not None
+            edges.append(edge)
+            star_indices.append(index)
+            if step.pos is None:
+                unpinned.append(index)
+            steps.append(step)
+        else:
+            raise PathClassError(
+                f"{current!r} has no element children (P({current}) = "
+                f"{production})")
+        current = step.label
+
+    if path.text:
+        production = dtd.production(current)
+        if not isinstance(production, Str):
+            raise PathClassError(
+                f"text() requires P({current!r}) = str, got {production}")
+
+    return PathInfo(
+        path=XRPath(tuple(steps), path.text),
+        edges=tuple(edges),
+        end_type=current,
+        or_indices=tuple(or_indices),
+        star_indices=tuple(star_indices),
+        unpinned_star_indices=tuple(unpinned),
+    )
+
+
+def first_divergence(p1: XRPath, p2: XRPath) -> Optional[int]:
+    """Index of the first differing step, or ``None`` if one path is a
+    prefix of the other (Theorem 4.1's ``ρ/η1/…`` decomposition)."""
+    for index, (s1, s2) in enumerate(zip(p1.steps, p2.steps)):
+        if s1 != s2:
+            return index
+    return None

@@ -1,0 +1,52 @@
+"""An XSLT subset: model, engine, and stylesheet generators (Section 4.3).
+
+The paper expresses both the instance mapping ``σd`` and its inverse
+``σd⁻¹`` as XSLT stylesheets in a simplified processing model: a
+stylesheet is a set of template rules ``(match, mode, output)`` whose
+output fragments contain *apply-templates* leaves ``(select, mode)``.
+This package implements:
+
+* :mod:`repro.xslt.model` — template rules, patterns, output fragments;
+* :mod:`repro.xslt.engine` — the Section 4.3 processing model
+  (worklist of context nodes, dummy-node substitution);
+* :mod:`repro.xslt.forward` — the stylesheet for ``σd`` (cases 1–4:
+  concatenation / disjunction / star prefix+suffix with modes / str);
+* :mod:`repro.xslt.inverse` — the stylesheet for ``σd⁻¹`` (``invt(C)``,
+  with one mode per *source* type — refinement R5 — so non-injective λ
+  stays unambiguous);
+* :mod:`repro.xslt.serialize` — rendering to ``<xsl:stylesheet>`` text.
+
+Tests verify that running the generated stylesheets on the engine
+agrees with :mod:`repro.core.instmap` / :mod:`repro.core.inverse`.
+"""
+
+from repro.xslt.model import (
+    OutApply,
+    OutElem,
+    OutItem,
+    OutText,
+    Pattern,
+    Select,
+    Stylesheet,
+    TemplateRule,
+)
+from repro.xslt.engine import XSLTError, apply_stylesheet
+from repro.xslt.forward import forward_stylesheet
+from repro.xslt.inverse import inverse_stylesheet
+from repro.xslt.serialize import stylesheet_to_xslt
+
+__all__ = [
+    "OutApply",
+    "OutElem",
+    "OutItem",
+    "OutText",
+    "Pattern",
+    "Select",
+    "Stylesheet",
+    "TemplateRule",
+    "XSLTError",
+    "apply_stylesheet",
+    "forward_stylesheet",
+    "inverse_stylesheet",
+    "stylesheet_to_xslt",
+]

@@ -1,0 +1,88 @@
+"""The XSLT processing model (Section 4.3, after [Wadler 2000]).
+
+Processing revolves around context nodes: a rule matching the context
+node is instantiated; each apply-templates leaf evaluates its select
+expression against the context node, and the resulting source nodes are
+processed recursively (in order), their outputs splicing into the
+fragment.  The recursion here is exactly the paper's worklist ``C`` of
+(source node, dummy target node) pairs.
+
+A built-in rule copies text nodes (the paper adds "a template that
+matches a text node and generates a copy of that node"); any other
+unmatched node is an error — the generated stylesheets are total over
+their schemas, so a miss indicates a bug or a non-conforming document.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.xslt.model import (
+    OutApply,
+    OutElem,
+    OutItem,
+    OutText,
+    Stylesheet,
+    select_nodes,
+)
+from repro.xtree.nodes import ElementNode, Node, TextNode
+
+
+class XSLTError(ValueError):
+    """No rule matched, or the output was not a single element."""
+
+
+class _Engine:
+    def __init__(self, stylesheet: Stylesheet) -> None:
+        self.stylesheet = stylesheet
+
+    def process(self, node: Node, mode: Optional[str]) -> list[Node]:
+        rule = self.stylesheet.find(node, mode)
+        if rule is None:
+            if isinstance(node, TextNode):
+                return [TextNode(node.value)]  # built-in text copy
+            raise XSLTError(
+                f"no template matches <{getattr(node, 'tag', '?')}> "
+                f"in mode {mode!r}")
+        if isinstance(node, TextNode):
+            return self._instantiate_forest(rule.output, None)
+        assert isinstance(node, ElementNode)
+        return self._instantiate_forest(rule.output, node)
+
+    def _instantiate_forest(self, items: list[OutItem],
+                            context: Optional[ElementNode]) -> list[Node]:
+        out: list[Node] = []
+        for item in items:
+            out.extend(self._instantiate(item, context))
+        return out
+
+    def _instantiate(self, item: OutItem,
+                     context: Optional[ElementNode]) -> list[Node]:
+        if isinstance(item, OutText):
+            return [TextNode(item.value)]
+        if isinstance(item, OutElem):
+            element = ElementNode(item.tag)
+            for child in self._instantiate_forest(item.children, context):
+                element.append(child)
+            return [element]
+        assert isinstance(item, OutApply)
+        if context is None:
+            raise XSLTError("apply-templates inside a text-node template")
+        selected = select_nodes(context, item.select)
+        out: list[Node] = []
+        for node in selected:
+            out.extend(self.process(node, item.mode))
+        return out
+
+
+def apply_stylesheet(stylesheet: Stylesheet, source_root: ElementNode,
+                     ) -> ElementNode:
+    """Run the stylesheet; the result must be a single element tree."""
+    forest = _Engine(stylesheet).process(source_root,
+                                         stylesheet.initial_mode)
+    elements = [n for n in forest if isinstance(n, ElementNode)]
+    if len(elements) != 1 or len(forest) != 1:
+        raise XSLTError(
+            f"stylesheet produced {len(forest)} top-level nodes, "
+            "expected exactly one element")
+    return elements[0]

@@ -1,0 +1,283 @@
+"""XSLT code generation for ``σd`` (Section 4.3, "An XSLT Template for σd").
+
+One or more template rules per source production, following the paper:
+
+1. ``P1(A) = B1,…,Bn`` — one rule ``match=A`` whose body is the
+   constant production-fragment skeleton with an apply-templates node
+   per hot leaf (Example 4.6's ``class → course`` template);
+2. ``P1(A) = B1+…+Bn`` — one rule per alternative, ``match=A[Bi]``,
+   whose body is the ``path(A,Bi)`` skeleton (Example 4.6's two
+   ``type`` templates); an optional type additionally gets a bare
+   fallback rule emitting the default completion;
+3. ``P1(A) = B*`` — a *prefix* rule (``match=A``) building
+   ``λ(A)/C1/…/Ck`` with ``apply-templates select=B mode=M-A`` under
+   the star node, and a *suffix* rule (``match=B mode=M-A``) building
+   ``Ck+1/…/Cn`` with ``apply-templates select="."`` at the bottom
+   (Example 4.6's ``db`` prefix/suffix pair);
+4. ``P1(A) = str`` — like (1) with the path's endpoint holding
+   ``apply-templates select=text()`` (the built-in rule copies the
+   text node).
+
+Mindef padding is inlined into the rule bodies as literal fragments —
+exactly what Example 4.6 shows (``<credit> #s </credit>``).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.core.embedding import STR_KEY, SchemaEmbedding
+from repro.core.errors import EmbeddingError
+from repro.dtd.mindef import DEFAULT_STRING, MinDef
+from repro.dtd.model import (
+    Concat,
+    Disjunction,
+    EdgeKind,
+    Empty,
+    Star,
+    Str,
+)
+from repro.xpath.paths import PathInfo, PathStep, XRPath
+from repro.xslt.model import (
+    OutApply,
+    OutElem,
+    OutItem,
+    OutText,
+    Pattern,
+    Select,
+    Stylesheet,
+    TemplateRule,
+)
+from repro.xtree.nodes import ElementNode, TextNode
+
+
+def _mindef_out(mindef: MinDef, element_type: str) -> OutElem:
+    """Convert a mindef template tree into literal output items."""
+    def convert(node: ElementNode) -> OutElem:
+        out = OutElem(node.tag)
+        for child in node.children:
+            if isinstance(child, TextNode):
+                out.append(OutText(child.value))
+            else:
+                out.append(convert(child))
+        return out
+
+    return convert(mindef.template(element_type))
+
+
+class _Skeleton:
+    """A schema-level production fragment over output items.
+
+    Mirrors the slot bookkeeping of
+    :class:`repro.core.instmap._FragmentBuilder`, but the hot leaves
+    hold apply-templates nodes and the padding is inlined literally.
+    """
+
+    def __init__(self, embedding: SchemaEmbedding, mindef: MinDef,
+                 root_tag: str) -> None:
+        self.embedding = embedding
+        self.target = embedding.target
+        self.mindef = mindef
+        self.root = OutElem(root_tag)
+        self.slots: dict[int, dict[Hashable, OutItem]] = {id(self.root): {}}
+
+    def _slot_key(self, parent: OutElem, step: PathStep, kind: EdgeKind,
+                  star_slot: Optional[int]) -> Hashable:
+        production = self.target.production(parent.tag)
+        if kind is EdgeKind.AND:
+            assert isinstance(production, Concat)
+            occ = step.pos if step.pos is not None else 1
+            return ("c", production.index_of_occurrence(step.label, occ))
+        if kind is EdgeKind.OR:
+            return ("o",)
+        if step.pos is not None:
+            return ("s", step.pos)
+        if star_slot is None:
+            raise EmbeddingError(f"unpinned star step {step} in a skeleton")
+        return ("s", star_slot)
+
+    def add_path(self, steps: tuple[PathStep, ...], kinds: tuple[EdgeKind, ...],
+                 payload: OutItem, star_slot: Optional[int] = None) -> None:
+        """Create the chain for ``steps[:-1]`` and put ``payload`` at the
+        final step's slot (the hot position)."""
+        assert steps, "paths are nonempty"
+        node = self.root
+        for index, (step, kind) in enumerate(zip(steps, kinds)):
+            slot_map = self.slots[id(node)]
+            key = self._slot_key(node, step, kind, star_slot)
+            last = index == len(steps) - 1
+            if last:
+                if key in slot_map:
+                    raise EmbeddingError(
+                        f"slot for {step} already used (prefix conflict)")
+                slot_map[key] = payload
+                return
+            existing = slot_map.get(key)
+            if existing is not None:
+                assert isinstance(existing, OutElem)
+                node = existing
+                continue
+            child = OutElem(step.label)
+            slot_map[key] = child
+            self.slots[id(child)] = {}
+            node = child
+
+    def add_text_path(self, steps: tuple[PathStep, ...],
+                      kinds: tuple[EdgeKind, ...], payload: OutItem) -> None:
+        """Walk *all* element steps; attach ``payload`` as the endpoint's
+        text content (case 4: ``path(A, str)``)."""
+        node = self.root
+        for step, kind in zip(steps, kinds):
+            slot_map = self.slots[id(node)]
+            key = self._slot_key(node, step, kind, None)
+            existing = slot_map.get(key)
+            if existing is None:
+                child = OutElem(step.label)
+                slot_map[key] = child
+                self.slots[id(child)] = {}
+                node = child
+            else:
+                assert isinstance(existing, OutElem)
+                node = existing
+        self.slots[id(node)][("t",)] = payload
+
+    # ------------------------------------------------------------------
+    def finish(self) -> OutElem:
+        self._complete(self.root)
+        return self.root
+
+    def _complete(self, node: OutElem) -> None:
+        slot_map = self.slots.get(id(node))
+        if slot_map is None:
+            return  # literal mindef or payload
+        production = self.target.production(node.tag)
+        ordered: list[OutItem] = []
+
+        if isinstance(production, Str):
+            payload = slot_map.get(("t",))
+            node.children = [payload if payload is not None
+                             else OutText(DEFAULT_STRING)]
+            return
+        if isinstance(production, Empty):
+            node.children = []
+            return
+        if isinstance(production, Concat):
+            for index, child_type in enumerate(production.children):
+                child = slot_map.get(("c", index))
+                if child is None:
+                    child = _mindef_out(self.mindef, child_type)
+                ordered.append(child)
+        elif isinstance(production, Disjunction):
+            child = slot_map.get(("o",))
+            if child is None:
+                choice = self.mindef.default_choice[node.tag]
+                if choice is not None:
+                    child = _mindef_out(self.mindef, choice)
+            if child is not None:
+                ordered.append(child)
+        elif isinstance(production, Star):
+            positions = sorted(key[1] for key in slot_map)  # type: ignore[index]
+            if positions:
+                top = max(positions)
+                for position in range(1, top + 1):
+                    child = slot_map.get(("s", position))
+                    if child is None:
+                        child = _mindef_out(self.mindef, production.child)
+                    ordered.append(child)
+
+        node.children = ordered
+        for child in ordered:
+            if isinstance(child, OutElem):
+                self._complete(child)
+
+
+def _select_step(label: str, occ: Optional[int]) -> Select:
+    return Select(XRPath((PathStep(label, occ),)))
+
+
+def forward_stylesheet(embedding: SchemaEmbedding,
+                       validate: bool = True) -> Stylesheet:
+    """Generate the σd stylesheet for a valid embedding (Section 4.3).
+
+    Running it through :func:`repro.xslt.engine.apply_stylesheet` yields
+    the same tree as InstMap (modulo node ids) — see
+    ``tests/test_xslt_forward.py``.
+    """
+    if validate:
+        embedding.check()
+    mindef = MinDef(embedding.target)
+    sheet = Stylesheet()
+    lam = embedding.lam
+
+    for source_type, production in embedding.source.elements.items():
+        image = lam[source_type]
+        if isinstance(production, Concat):
+            skeleton = _Skeleton(embedding, mindef, image)
+            seen: dict[str, int] = {}
+            for child in production.children:
+                seen[child] = seen.get(child, 0) + 1
+                info = embedding.info((source_type, child, seen[child]))
+                repeated = production.occurrence_count(child) > 1
+                payload = OutApply(_select_step(
+                    child, seen[child] if repeated else None))
+                skeleton.add_path(info.path.steps,
+                                  tuple(e.kind for e in info.edges), payload)
+            sheet.add(TemplateRule(Pattern(source_type), [skeleton.finish()],
+                                   name=f"fwd-{source_type}"))
+        elif isinstance(production, Disjunction):
+            bare_needed = production.optional or len(production.children) > 1
+            for child in production.children:
+                info = embedding.info((source_type, child, 1))
+                skeleton = _Skeleton(embedding, mindef, image)
+                skeleton.add_path(info.path.steps,
+                                  tuple(e.kind for e in info.edges),
+                                  OutApply(_select_step(child, None)))
+                pattern = (Pattern(source_type, XRPath((PathStep(child),)))
+                           if bare_needed else Pattern(source_type))
+                sheet.add(TemplateRule(pattern, [skeleton.finish()],
+                                       name=f"fwd-{source_type}-{child}"))
+            if production.optional:
+                # ε alternative: emit the pure default completion.
+                skeleton = _Skeleton(embedding, mindef, image)
+                sheet.add(TemplateRule(Pattern(source_type),
+                                       [skeleton.finish()],
+                                       name=f"fwd-{source_type}-eps"))
+        elif isinstance(production, Star):
+            info = embedding.info((source_type, production.child, 1))
+            carrier = info.carrier_index
+            mode = f"M-{source_type}"
+            kinds = tuple(e.kind for e in info.edges)
+            # Prefix rule: λ(A)/C1/…/Ck with the apply node under Ck.
+            skeleton = _Skeleton(embedding, mindef, image)
+            prefix_steps = info.path.steps[:carrier + 1]
+            skeleton.add_path(prefix_steps, kinds[:carrier + 1],
+                              OutApply(_select_step(production.child, None),
+                                       mode=mode),
+                              star_slot=1)
+            sheet.add(TemplateRule(Pattern(source_type), [skeleton.finish()],
+                                   name=f"fwd-{source_type}-prefix"))
+            # Suffix rule: Ck+1/…/Cn with apply-templates select=".".
+            suffix_steps = info.path.steps[carrier:]
+            apply_self = OutApply(Select(None))
+            if len(suffix_steps) == 1:
+                body: list[OutItem] = [apply_self]
+            else:
+                inner = _Skeleton(embedding, mindef, suffix_steps[0].label)
+                inner.add_path(suffix_steps[1:], kinds[carrier + 1:],
+                               apply_self)
+                body = [inner.finish()]
+            sheet.add(TemplateRule(Pattern(production.child), body, mode=mode,
+                                   name=f"fwd-{source_type}-suffix"))
+        elif isinstance(production, Str):
+            info = embedding.info((source_type, STR_KEY, 1))
+            skeleton = _Skeleton(embedding, mindef, image)
+            skeleton.add_text_path(info.path.steps,
+                                   tuple(e.kind for e in info.edges),
+                                   OutApply(Select(XRPath((), text=True))))
+            sheet.add(TemplateRule(Pattern(source_type), [skeleton.finish()],
+                                   name=f"fwd-{source_type}"))
+        elif isinstance(production, Empty):
+            skeleton = _Skeleton(embedding, mindef, image)
+            sheet.add(TemplateRule(Pattern(source_type), [skeleton.finish()],
+                                   name=f"fwd-{source_type}"))
+    return sheet

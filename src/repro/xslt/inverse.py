@@ -1,0 +1,102 @@
+"""XSLT code generation for ``σd⁻¹`` (Section 4.3, ``invt(C)``).
+
+One or more rules per source type ``A`` (with ``C = λ(A)``):
+
+1. ``P1(A) = B1,…,Bn`` — a rule whose output root is ``<A>`` with one
+   apply-templates child per ``Bi``, ``select = path(A, Bi)``
+   (Example 4.5's ``course → class`` template);
+2. ``P1(A) = B1+…+Bn`` — ``n`` rules with match condition
+   ``C[path(A,Bi)]`` (Example 4.5's two ``category`` templates); an
+   optional type gets an additional bare fallback emitting ``<A/>``;
+3. ``P1(A) = B*`` — a single rule whose apply-templates select is
+   ``path(A, B)`` with the multiplicity carrier unpinned, returning all
+   instances in order;
+4. ``P1(A) = str`` — a single rule selecting the text path (the
+   engine's built-in text rule copies the value).
+
+**Refinement R5**: the paper uses one global mode ``MDATA``; when λ is
+not injective (allowed — Fig. 3(c)) two source types share a target tag
+and their templates would collide.  We give each source type its own
+mode ``inv-A``; every apply-templates names the child's mode, so
+dispatch is exact.  For injective λ this degenerates to the paper's
+scheme (modes are then redundant).
+"""
+
+from __future__ import annotations
+
+from repro.core.embedding import STR_KEY, SchemaEmbedding
+from repro.dtd.model import (
+    Concat,
+    Disjunction,
+    Empty,
+    Star,
+    Str,
+)
+from repro.xslt.model import (
+    OutApply,
+    OutElem,
+    Pattern,
+    Select,
+    Stylesheet,
+    TemplateRule,
+)
+
+
+def _mode(source_type: str) -> str:
+    return f"inv-{source_type}"
+
+
+def inverse_stylesheet(embedding: SchemaEmbedding,
+                       validate: bool = True) -> Stylesheet:
+    """Generate the σd⁻¹ stylesheet (Section 4.3).
+
+    Running it on ``σd(T)`` reproduces ``T`` — see
+    ``tests/test_xslt_inverse.py``.
+    """
+    if validate:
+        embedding.check()
+    sheet = Stylesheet(initial_mode=_mode(embedding.source.root))
+    lam = embedding.lam
+
+    for source_type, production in embedding.source.elements.items():
+        image = lam[source_type]
+        mode = _mode(source_type)
+        if isinstance(production, Concat):
+            root = OutElem(source_type)
+            seen: dict[str, int] = {}
+            for child in production.children:
+                seen[child] = seen.get(child, 0) + 1
+                info = embedding.info((source_type, child, seen[child]))
+                root.append(OutApply(Select(info.path), mode=_mode(child)))
+            sheet.add(TemplateRule(Pattern(image), [root], mode=mode,
+                                   name=f"inv-{source_type}"))
+        elif isinstance(production, Disjunction):
+            for child in production.children:
+                info = embedding.info((source_type, child, 1))
+                root = OutElem(source_type)
+                root.append(OutApply(Select(info.path), mode=_mode(child)))
+                sheet.add(TemplateRule(
+                    Pattern(image, qualifier=info.path), [root], mode=mode,
+                    name=f"inv-{source_type}-{child}"))
+            if production.optional:
+                sheet.add(TemplateRule(
+                    Pattern(image), [OutElem(source_type)], mode=mode,
+                    name=f"inv-{source_type}-eps"))
+        elif isinstance(production, Star):
+            info = embedding.info((source_type, production.child, 1))
+            root = OutElem(source_type)
+            root.append(OutApply(Select(info.path),
+                                 mode=_mode(production.child)))
+            sheet.add(TemplateRule(Pattern(image), [root], mode=mode,
+                                   name=f"inv-{source_type}"))
+        elif isinstance(production, Str):
+            info = embedding.info((source_type, STR_KEY, 1))
+            root = OutElem(source_type)
+            # Select ends in text(); the built-in rule copies the node.
+            root.append(OutApply(Select(info.path), mode=None))
+            sheet.add(TemplateRule(Pattern(image), [root], mode=mode,
+                                   name=f"inv-{source_type}"))
+        elif isinstance(production, Empty):
+            sheet.add(TemplateRule(Pattern(image), [OutElem(source_type)],
+                                   mode=mode, name=f"inv-{source_type}"))
+    return sheet

@@ -1,0 +1,175 @@
+"""The XSLT-subset data model (Section 4.3).
+
+A stylesheet ``X`` is a set of template rules ``r = (match(r), mode(r),
+output(r))``:
+
+* ``match`` — a *pattern*: an element tag (optionally with an
+  existence qualifier, e.g. ``category[mandatory/regular]``) or
+  ``text()``;
+* ``mode`` — a symbol partitioning the rules; ``None`` is the default
+  mode.  The star-edge construction uses per-type modes (``M-db`` in
+  Example 4.6) and the inverse stylesheet uses one mode per source
+  type (refinement R5);
+* ``output`` — a forest of literal elements/text with
+  *apply-templates* leaves ``(select, mode)``.
+
+Selects are XR paths (child steps with optional positions, optionally
+ending in ``text()``) or ``.`` (self) — exactly the forms the paper's
+constructions emit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.xpath.paths import XRPath
+from repro.xtree.nodes import ElementNode, Node, TextNode
+
+#: Pseudo-tag for text-node patterns.
+TEXT_PATTERN = "#text"
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A match pattern: tag (or ``text()``) plus an optional qualifier
+    path whose non-empty evaluation gates the match."""
+
+    tag: str
+    qualifier: Optional[XRPath] = None
+
+    def matches(self, node: Node) -> bool:
+        if isinstance(node, TextNode):
+            return self.tag == TEXT_PATTERN
+        assert isinstance(node, ElementNode)
+        if node.tag != self.tag:
+            return False
+        if self.qualifier is None:
+            return True
+        return bool(_select_nodes(node, Select(self.qualifier)))
+
+    @property
+    def specificity(self) -> int:
+        """Qualified patterns beat bare ones (XSLT default priorities)."""
+        return 1 if self.qualifier is not None else 0
+
+    def __str__(self) -> str:
+        if self.tag == TEXT_PATTERN:
+            return "text()"
+        if self.qualifier is None:
+            return self.tag
+        return f"{self.tag}[{self.qualifier}]"
+
+
+@dataclass(frozen=True)
+class Select:
+    """An apply-templates select expression: an XR path or ``.``."""
+
+    path: Optional[XRPath] = None  # None = self (".")
+
+    def __str__(self) -> str:
+        return "." if self.path is None else str(self.path)
+
+
+def _select_nodes(context: ElementNode, select: Select) -> list[Node]:
+    """Evaluate a select against a context node, returning *nodes*
+    (including text nodes, which the evaluator proper renders as
+    strings — the engine needs their identity to copy them)."""
+    if select.path is None:
+        return [context]
+    frontier: list[ElementNode] = [context]
+    for step in select.path.steps:
+        new_frontier: list[ElementNode] = []
+        for node in frontier:
+            matches = node.children_tagged(step.label)
+            if step.pos is not None:
+                matches = (matches[step.pos - 1:step.pos]
+                           if len(matches) >= step.pos else [])
+            new_frontier.extend(matches)
+        frontier = new_frontier
+    if select.path.text:
+        out: list[Node] = []
+        for node in frontier:
+            out.extend(c for c in node.children if isinstance(c, TextNode))
+        return out
+    return list(frontier)
+
+
+# -- output fragments -------------------------------------------------------
+
+class OutItem:
+    """Base class of output-fragment items."""
+
+
+@dataclass
+class OutElem(OutItem):
+    """A literal element with child items."""
+
+    tag: str
+    children: list[OutItem] = field(default_factory=list)
+
+    def append(self, item: OutItem) -> OutItem:
+        self.children.append(item)
+        return item
+
+
+@dataclass
+class OutText(OutItem):
+    """A literal text node."""
+
+    value: str
+
+
+@dataclass
+class OutApply(OutItem):
+    """An apply-templates node ``(select, mode)``."""
+
+    select: Select
+    mode: Optional[str] = None
+
+
+@dataclass
+class TemplateRule:
+    """``(match, mode, output)`` — one template rule."""
+
+    match: Pattern
+    output: list[OutItem]
+    mode: Optional[str] = None
+    name: str = ""
+
+    def __str__(self) -> str:
+        mode = f" mode={self.mode!r}" if self.mode else ""
+        return f"template match={self.match}{mode}"
+
+
+@dataclass
+class Stylesheet:
+    """An ordered rule set with XSLT-style most-specific-first dispatch."""
+
+    rules: list[TemplateRule] = field(default_factory=list)
+    #: mode used for the initial context node
+    initial_mode: Optional[str] = None
+
+    def add(self, rule: TemplateRule) -> TemplateRule:
+        self.rules.append(rule)
+        return rule
+
+    def find(self, node: Node, mode: Optional[str]) -> Optional[TemplateRule]:
+        """The matching rule: highest specificity, then declaration order."""
+        best: Optional[TemplateRule] = None
+        for rule in self.rules:
+            if rule.mode != mode:
+                continue
+            if not rule.match.matches(node):
+                continue
+            if best is None or rule.match.specificity > best.match.specificity:
+                best = rule
+        return best
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+
+def select_nodes(context: ElementNode, select: Select) -> list[Node]:
+    """Public wrapper used by the engine."""
+    return _select_nodes(context, select)

@@ -1,0 +1,71 @@
+"""Render a stylesheet to ``<xsl:stylesheet>`` text (Section 4.3).
+
+The output matches the shape of the paper's Examples 4.5/4.6 and is
+valid XSLT 1.0 for the constructs used (template rules, modes,
+apply-templates with select).  The engine consumes the in-memory model
+directly; this renderer exists for inspection, documentation and
+interoperability with external processors.
+"""
+
+from __future__ import annotations
+
+from repro.xslt.model import (
+    OutApply,
+    OutElem,
+    OutItem,
+    OutText,
+    Stylesheet,
+    TemplateRule,
+)
+from repro.xtree.serialize import escape_text
+
+_HEADER = ('<xsl:stylesheet version="1.0" '
+           'xmlns:xsl="http://www.w3.org/1999/XSL/Transform">')
+
+
+def stylesheet_to_xslt(sheet: Stylesheet) -> str:
+    """Serialise the rule set.
+
+    >>> from repro.xslt.model import Pattern, TemplateRule, OutElem
+    >>> s = Stylesheet(); _ = s.add(TemplateRule(Pattern("a"), [OutElem("b")]))
+    >>> print(stylesheet_to_xslt(s))  # doctest: +ELLIPSIS
+    <xsl:stylesheet version="1.0" ...>
+      <xsl:template match="a">
+        <b/>
+      </xsl:template>
+    </xsl:stylesheet>
+    """
+    lines = [_HEADER]
+    for rule in sheet.rules:
+        lines.extend(_render_rule(rule))
+    lines.append("</xsl:stylesheet>")
+    return "\n".join(lines)
+
+
+def _render_rule(rule: TemplateRule) -> list[str]:
+    mode = f' mode="{rule.mode}"' if rule.mode else ""
+    lines = [f'  <xsl:template match="{rule.match}"{mode}>']
+    for item in rule.output:
+        lines.extend(_render_item(item, depth=2))
+    lines.append("  </xsl:template>")
+    return lines
+
+
+def _render_item(item: OutItem, depth: int) -> list[str]:
+    pad = "  " * depth
+    if isinstance(item, OutText):
+        return [pad + escape_text(item.value)]
+    if isinstance(item, OutApply):
+        mode = f' mode="{item.mode}"' if item.mode else ""
+        return [f'{pad}<xsl:apply-templates select="{item.select}"{mode}/>']
+    assert isinstance(item, OutElem)
+    if not item.children:
+        return [f"{pad}<{item.tag}/>"]
+    if len(item.children) == 1 and isinstance(item.children[0], OutText):
+        body = escape_text(item.children[0].value)
+        return [f"{pad}<{item.tag}>{body}</{item.tag}>"]
+    lines = [f"{pad}<{item.tag}>"]
+    for child in item.children:
+        lines.extend(_render_item(child, depth + 1))
+    lines.append(f"{pad}</{item.tag}>")
+    return lines

@@ -1,0 +1,40 @@
+"""XML instance trees with node identities (paper Section 2.1).
+
+An XML instance is an ordered, node-labelled tree.  Element nodes carry a
+tag; text nodes carry a string value (PCDATA).  Every node — including
+text nodes — carries a node id drawn from a countably infinite set ``U``
+(here: Python ints, unique within a tree).
+
+The module deliberately avoids ``xml.etree``/lxml: the paper's machinery
+needs explicit node identities, the ``idM`` mapping, and the paper's own
+tree-equality notion, all of which are first-class here.
+"""
+
+from repro.xtree.nodes import (
+    ElementNode,
+    Node,
+    TextNode,
+    XMLTree,
+    document_order,
+    elem,
+    text,
+    tree_equal,
+    tree_size,
+)
+from repro.xtree.parser import XMLParseError, parse_xml
+from repro.xtree.serialize import to_string
+
+__all__ = [
+    "ElementNode",
+    "Node",
+    "TextNode",
+    "XMLTree",
+    "XMLParseError",
+    "document_order",
+    "elem",
+    "text",
+    "parse_xml",
+    "to_string",
+    "tree_equal",
+    "tree_size",
+]

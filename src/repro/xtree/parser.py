@@ -1,0 +1,250 @@
+"""A small XML document parser producing :class:`repro.xtree.ElementNode`.
+
+Supports the subset of XML the paper's data model uses: elements, text,
+comments, processing instructions (skipped), CDATA sections and the five
+predefined entities.  Attributes are parsed and *rejected by default*
+(DTD instances in the paper are attribute-free) unless
+``allow_attributes=True``, in which case they are ignored.
+
+Hand-rolled rather than ``xml.etree`` so that node ids are assigned at
+parse time and whitespace handling matches the paper's element-only
+content models (whitespace-only text between elements is dropped).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.xtree.nodes import ElementNode, TextNode
+
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
+
+
+class XMLParseError(ValueError):
+    """Raised on malformed input, with position information."""
+
+    def __init__(self, message: str, pos: int, source: str) -> None:
+        line = source.count("\n", 0, pos) + 1
+        col = pos - source.rfind("\n", 0, pos)
+        super().__init__(f"{message} at line {line}, column {col}")
+        self.pos = pos
+
+
+class _Scanner:
+    """Cursor over the source string with primitive lexing helpers."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.source)
+
+    def peek(self, width: int = 1) -> str:
+        return self.source[self.pos:self.pos + width]
+
+    def advance(self, width: int = 1) -> str:
+        chunk = self.source[self.pos:self.pos + width]
+        self.pos += width
+        return chunk
+
+    def skip_ws(self) -> None:
+        while not self.eof() and self.source[self.pos].isspace():
+            self.pos += 1
+
+    def expect(self, literal: str) -> None:
+        if not self.source.startswith(literal, self.pos):
+            raise XMLParseError(f"expected {literal!r}", self.pos, self.source)
+        self.pos += len(literal)
+
+    def read_until(self, literal: str) -> str:
+        end = self.source.find(literal, self.pos)
+        if end < 0:
+            raise XMLParseError(f"unterminated construct, missing {literal!r}",
+                                self.pos, self.source)
+        chunk = self.source[self.pos:end]
+        self.pos = end + len(literal)
+        return chunk
+
+    def read_name(self) -> str:
+        start = self.pos
+        while (not self.eof()
+               and (self.source[self.pos].isalnum()
+                    or self.source[self.pos] in "_-.:")):
+            self.pos += 1
+        if self.pos == start:
+            raise XMLParseError("expected a name", self.pos, self.source)
+        return self.source[start:self.pos]
+
+
+def _decode_entities(raw: str, scanner: _Scanner) -> str:
+    if "&" not in raw:
+        return raw
+    out: list[str] = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = raw.find(";", i)
+        if end < 0:
+            raise XMLParseError("unterminated entity reference",
+                                scanner.pos, scanner.source)
+        name = raw[i + 1:end]
+        if name.startswith("#x") or name.startswith("#X"):
+            out.append(chr(int(name[2:], 16)))
+        elif name.startswith("#"):
+            out.append(chr(int(name[1:])))
+        elif name in _ENTITIES:
+            out.append(_ENTITIES[name])
+        else:
+            raise XMLParseError(f"unknown entity &{name};",
+                                scanner.pos, scanner.source)
+        i = end + 1
+    return "".join(out)
+
+
+def _skip_misc(scanner: _Scanner) -> None:
+    """Skip comments, PIs, doctype declarations and whitespace."""
+    while True:
+        scanner.skip_ws()
+        if scanner.peek(4) == "<!--":
+            scanner.advance(4)
+            scanner.read_until("-->")
+        elif scanner.peek(2) == "<?":
+            scanner.advance(2)
+            scanner.read_until("?>")
+        elif scanner.peek(2) == "<!" and scanner.peek(9).upper() == "<!DOCTYPE":
+            # Skip a doctype, tracking bracket nesting for internal subsets.
+            depth = 0
+            while not scanner.eof():
+                ch = scanner.advance()
+                if ch == "[":
+                    depth += 1
+                elif ch == "]":
+                    depth -= 1
+                elif ch == ">" and depth <= 0:
+                    break
+        else:
+            return
+
+
+def _parse_attributes(scanner: _Scanner, allow: bool) -> None:
+    """Consume attributes inside a start tag (ignored or rejected)."""
+    while True:
+        scanner.skip_ws()
+        ch = scanner.peek()
+        if ch in (">", "/", ""):
+            return
+        name = scanner.read_name()
+        scanner.skip_ws()
+        scanner.expect("=")
+        scanner.skip_ws()
+        quote = scanner.advance()
+        if quote not in ("'", '"'):
+            raise XMLParseError("expected quoted attribute value",
+                                scanner.pos, scanner.source)
+        scanner.read_until(quote)
+        if not allow:
+            raise XMLParseError(
+                f"attribute {name!r} not supported by the paper's data model "
+                "(pass allow_attributes=True to ignore attributes)",
+                scanner.pos, scanner.source)
+
+
+def _parse_element(scanner: _Scanner, allow_attributes: bool,
+                   keep_whitespace: bool) -> ElementNode:
+    scanner.expect("<")
+    tag = scanner.read_name()
+    node = ElementNode(tag)
+    _parse_attributes(scanner, allow_attributes)
+    if scanner.peek(2) == "/>":
+        scanner.advance(2)
+        return node
+    scanner.expect(">")
+
+    # Text segments: (content, is_cdata) — CDATA bypasses entity decoding.
+    buffer: list[tuple[str, bool]] = []
+
+    def flush_text() -> None:
+        if not buffer:
+            return
+        # Group contiguous segments so entity references spanning
+        # several character chunks decode as one run.
+        groups: list[tuple[str, bool]] = []
+        for chunk, is_cdata in buffer:
+            if groups and groups[-1][1] == is_cdata:
+                groups[-1] = (groups[-1][0] + chunk, is_cdata)
+            else:
+                groups.append((chunk, is_cdata))
+        decoded = "".join(
+            chunk if is_cdata else _decode_entities(chunk, scanner)
+            for chunk, is_cdata in groups)
+        has_cdata = any(is_cdata for _chunk, is_cdata in buffer)
+        buffer.clear()
+        if decoded and (keep_whitespace or has_cdata or decoded.strip()):
+            value = (decoded if keep_whitespace or has_cdata
+                     else decoded.strip())
+            node.append(TextNode(value))
+
+    while True:
+        if scanner.eof():
+            raise XMLParseError(f"unterminated element <{tag}>",
+                                scanner.pos, scanner.source)
+        if scanner.peek(2) == "</":
+            flush_text()
+            scanner.advance(2)
+            close = scanner.read_name()
+            if close != tag:
+                raise XMLParseError(
+                    f"mismatched end tag </{close}>, expected </{tag}>",
+                    scanner.pos, scanner.source)
+            scanner.skip_ws()
+            scanner.expect(">")
+            return node
+        if scanner.peek(4) == "<!--":
+            flush_text()
+            scanner.advance(4)
+            scanner.read_until("-->")
+        elif scanner.peek(9) == "<![CDATA[":
+            scanner.advance(9)
+            buffer.append((scanner.read_until("]]>"), True))
+        elif scanner.peek(2) == "<?":
+            flush_text()
+            scanner.advance(2)
+            scanner.read_until("?>")
+        elif scanner.peek() == "<":
+            flush_text()
+            node.append(_parse_element(scanner, allow_attributes,
+                                       keep_whitespace))
+        else:
+            buffer.append((scanner.advance(), False))
+
+
+def parse_xml(source: str, allow_attributes: bool = False,
+              keep_whitespace: bool = False) -> ElementNode:
+    """Parse an XML document string into an element tree.
+
+    >>> t = parse_xml("<class><cno>CS331</cno><title>DB</title></class>")
+    >>> t.tag, t.children_tagged("cno")[0].child_text()
+    ('class', 'CS331')
+    """
+    scanner = _Scanner(source)
+    _skip_misc(scanner)
+    if scanner.eof() or scanner.peek() != "<":
+        raise XMLParseError("expected a root element", scanner.pos, source)
+    root = _parse_element(scanner, allow_attributes, keep_whitespace)
+    _skip_misc(scanner)
+    if not scanner.eof():
+        raise XMLParseError("trailing content after the root element",
+                            scanner.pos, source)
+    return root
+
+
+def parse_fragment(source: str) -> Optional[ElementNode]:
+    """Parse a fragment, returning ``None`` for pure whitespace."""
+    if not source.strip():
+        return None
+    return parse_xml(source)

@@ -1,0 +1,50 @@
+"""Serialisation of XML trees back to text."""
+
+from __future__ import annotations
+
+from repro.xtree.nodes import ElementNode, Node, TextNode
+
+_ESCAPES = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;")]
+
+
+def escape_text(value: str) -> str:
+    for raw, cooked in _ESCAPES:
+        value = value.replace(raw, cooked)
+    return value
+
+
+def to_string(node: Node, indent: int | None = 2, show_ids: bool = False) -> str:
+    """Serialise a tree.
+
+    ``indent=None`` produces a compact single-line form; otherwise a
+    pretty-printed form with the given indent width.  ``show_ids`` adds
+    ``id=`` pseudo-attributes — handy when inspecting ``idM`` mappings,
+    mirroring how the paper suggests exposing ids via ``generate-id()``.
+    """
+    pieces: list[str] = []
+    _render(node, pieces, 0, indent, show_ids)
+    joiner = "\n" if indent is not None else ""
+    return joiner.join(pieces)
+
+
+def _render(node: Node, out: list[str], depth: int, indent: int | None,
+            show_ids: bool) -> None:
+    pad = " " * (indent * depth) if indent is not None else ""
+    if isinstance(node, TextNode):
+        out.append(pad + escape_text(node.value))
+        return
+    assert isinstance(node, ElementNode)
+    attr = f' id="{node.node_id}"' if show_ids else ""
+    if not node.children:
+        out.append(f"{pad}<{node.tag}{attr}/>")
+        return
+    only_text = all(isinstance(c, TextNode) for c in node.children)
+    if only_text:
+        body = "".join(escape_text(c.value) for c in node.children
+                       if isinstance(c, TextNode))
+        out.append(f"{pad}<{node.tag}{attr}>{body}</{node.tag}>")
+        return
+    out.append(f"{pad}<{node.tag}{attr}>")
+    for child in node.children:
+        _render(child, out, depth + 1, indent, show_ids)
+    out.append(f"{pad}</{node.tag}>")

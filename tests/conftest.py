@@ -1,0 +1,32 @@
+"""Shared fixtures: the paper's running example and common workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.similarity import SimilarityMatrix
+from repro.workloads.library import SCHEMA_LIBRARY, school_example
+from repro.workloads.noise import expand_schema
+
+
+@pytest.fixture(scope="session")
+def school():
+    """The Fig. 1 bundle (schemas + σ1 + σ2 + att)."""
+    return school_example()
+
+
+@pytest.fixture(scope="session")
+def permissive_att():
+    return SimilarityMatrix.permissive()
+
+
+@pytest.fixture(scope="session")
+def bib_expansion():
+    """A small expanded target with ground-truth embedding."""
+    return expand_schema(SCHEMA_LIBRARY["bib"](), seed=11)
+
+
+@pytest.fixture(scope="session")
+def orders_expansion():
+    """A mid-size expansion exercising disjunctions and stars."""
+    return expand_schema(SCHEMA_LIBRARY["orders"](), seed=23)

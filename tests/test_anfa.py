@@ -1,0 +1,122 @@
+"""ANFA model, construction and evaluation tests (Section 4.4).
+
+The construction cases (a)–(i) are validated by checking that direct
+ANFA evaluation agrees with the reference XR evaluator on a corpus of
+queries and documents.
+"""
+
+import pytest
+
+from repro.anfa.construct import anfa_of_query
+from repro.anfa.evaluate import evaluate_anfa, evaluate_anfa_set
+from repro.anfa.model import ANFA, fail_anfa
+from repro.anfa.to_regex import RegexConversionError, anfa_to_xr
+from repro.xpath.evaluator import evaluate_set
+from repro.xpath.parser import parse_xr
+from repro.xtree.parser import parse_xml
+
+DOC = parse_xml(
+    "<r>"
+    "<a><b>one</b><c><b>deep</b></c></a>"
+    "<a><b>two</b></a>"
+    "<a><b>three</b><d>delta</d></a>"
+    "</r>")
+
+QUERIES = [
+    ".",
+    "a",
+    "a/b",
+    "a/b/text()",
+    "a | a/c",
+    "(a | c)*",
+    "a[b/text()='two']",
+    "a[not(d)]/b",
+    "a[position()=2]/b/text()",
+    "a[d or c]/b",
+    "a/c/b | a/b",
+    "(a/c)*/b",
+    "//b",
+    "//b/text()",
+    "a[b][position()=1]",
+    "a[not(position()=2)]",
+]
+
+
+@pytest.mark.parametrize("source", QUERIES)
+def test_anfa_evaluation_matches_reference(source):
+    query = parse_xr(source)
+    anfa = anfa_of_query(query)
+    assert evaluate_anfa_set(anfa, DOC) == evaluate_set(query, DOC)
+
+
+def test_fail_automaton():
+    assert fail_anfa().is_fail()
+    assert evaluate_anfa(fail_anfa(), DOC) == []
+
+
+def test_embed_copies_states():
+    inner = anfa_of_query(parse_xr("a/b"))
+    outer = ANFA()
+    mapping = outer.embed(inner)
+    assert len(mapping) == inner._count
+    assert outer.finals  # finals copied
+
+
+def test_trim_removes_dead_states():
+    anfa = ANFA()
+    dead = anfa.new_state()
+    live = anfa.new_state()
+    anfa.add_label(anfa.start, "a", live)
+    anfa.add_label(anfa.start, "x", dead)  # dead: no final reachable
+    anfa.set_final(live, None)
+    trimmed = anfa.trim()
+    assert trimmed._count == 2
+    assert not trimmed.is_fail()
+
+
+def test_size_accounts_for_annotations():
+    plain = anfa_of_query(parse_xr("a"))
+    qualified = anfa_of_query(parse_xr("a[b/c]"))
+    assert qualified.size() > plain.size()
+
+
+def test_nu_view_collects_subautomata():
+    anfa = anfa_of_query(parse_xr("a[b and not(c/text()='x')]"))
+    named = anfa.nu()
+    assert len(named) == 2  # the b automaton and the c/text() automaton
+
+
+def test_describe_is_readable():
+    anfa = anfa_of_query(parse_xr("a[b]"))
+    text = anfa.describe()
+    assert "--a-->" in text and "theta" in text
+
+
+@pytest.mark.parametrize("source", [
+    "a", "a/b", "a | b", "(a)*", "a/b/text()", "a[b]", "a[b/text()='x']",
+])
+def test_state_elimination_roundtrip(source):
+    """ANFA -> XR -> evaluation agrees with the original query."""
+    query = parse_xr(source)
+    anfa = anfa_of_query(query)
+    recovered = anfa_to_xr(anfa)
+    assert evaluate_set(recovered, DOC) == evaluate_set(query, DOC)
+
+
+def test_state_elimination_rejects_fail():
+    with pytest.raises(RegexConversionError):
+        anfa_to_xr(fail_anfa())
+
+
+def test_state_elimination_rejects_wildcard():
+    anfa = anfa_of_query(parse_xr("//b"))
+    with pytest.raises(RegexConversionError):
+        anfa_to_xr(anfa)
+
+
+def test_evaluation_is_memoised_across_contexts():
+    """Kleene-star queries revisit nodes; results stay consistent."""
+    doc = parse_xml("<r><n><n><n><leaf>x</leaf></n></n></n></r>")
+    query = parse_xr("(n)*/leaf/text()")
+    anfa = anfa_of_query(query)
+    assert evaluate_anfa(anfa, doc) == ["x"]

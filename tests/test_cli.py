@@ -1,0 +1,117 @@
+"""CLI round-trip tests: embed → map → translate → invert via files."""
+
+import json
+
+import pytest
+
+from repro.cli import embedding_from_json, embedding_to_json, main
+from repro.workloads.library import school_example
+from repro.dtd.serialize import dtd_to_text
+from repro.xtree.nodes import tree_equal
+from repro.xtree.parser import parse_xml
+from repro.xtree.serialize import to_string
+
+
+@pytest.fixture()
+def files(tmp_path, school):
+    source_path = tmp_path / "classes.dtd"
+    source_path.write_text(dtd_to_text(school.classes))
+    target_path = tmp_path / "school.dtd"
+    target_path.write_text(dtd_to_text(school.school))
+    doc_path = tmp_path / "doc.xml"
+    doc_path.write_text(
+        "<db><class><cno>CS331</cno><title>DB</title>"
+        "<type><project>p1</project></type></class></db>")
+    return tmp_path, source_path, target_path, doc_path
+
+
+@pytest.fixture()
+def school(request):
+    return school_example()
+
+
+def test_embedding_json_roundtrip(school):
+    text = embedding_to_json(school.sigma1)
+    rebuilt = embedding_from_json(text, school.classes, school.school)
+    assert rebuilt.lam == school.sigma1.lam
+    assert rebuilt.paths == school.sigma1.paths
+    rebuilt.check()
+
+
+def test_cli_embed_map_invert(files, capsys):
+    tmp_path, source_path, target_path, doc_path = files
+    embedding_path = tmp_path / "sigma.json"
+    code = main(["embed", str(source_path), str(target_path),
+                 "--out", str(embedding_path), "--seed", "1"])
+    assert code == 0
+    assert json.loads(embedding_path.read_text())["lam"]
+
+    code = main(["map", str(source_path), str(target_path),
+                 str(embedding_path), str(doc_path)])
+    assert code == 0
+    mapped_text = capsys.readouterr().out
+    mapped_path = tmp_path / "mapped.xml"
+    mapped_path.write_text(mapped_text)
+
+    code = main(["invert", str(source_path), str(target_path),
+                 str(embedding_path), str(mapped_path)])
+    assert code == 0
+    recovered = parse_xml(capsys.readouterr().out)
+    assert tree_equal(recovered, parse_xml(doc_path.read_text()))
+
+
+def test_cli_translate(files, capsys):
+    tmp_path, source_path, target_path, doc_path = files
+    embedding_path = tmp_path / "sigma.json"
+    assert main(["embed", str(source_path), str(target_path),
+                 "--out", str(embedding_path), "--seed", "1"]) == 0
+    code = main(["translate", str(source_path), str(target_path),
+                 str(embedding_path), "class/cno/text()"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "ANFA" in output and "-->" in output
+
+
+def test_cli_xslt(files, capsys):
+    tmp_path, source_path, target_path, doc_path = files
+    embedding_path = tmp_path / "sigma.json"
+    assert main(["embed", str(source_path), str(target_path),
+                 "--out", str(embedding_path), "--seed", "1"]) == 0
+    assert main(["xslt", str(source_path), str(target_path),
+                 str(embedding_path)]) == 0
+    assert "<xsl:stylesheet" in capsys.readouterr().out
+    assert main(["xslt", str(source_path), str(target_path),
+                 str(embedding_path), "--inverse"]) == 0
+    assert "xsl:apply-templates" in capsys.readouterr().out
+
+
+def test_cli_validate(files, capsys):
+    _tmp, source_path, _target, doc_path = files
+    assert main(["validate", str(source_path), str(doc_path)]) == 0
+    assert "valid" in capsys.readouterr().out
+
+
+def test_cli_validate_rejects(files, tmp_path, capsys):
+    _tmp, source_path, _target, _doc = files
+    bad = tmp_path / "bad.xml"
+    bad.write_text("<db><wrong/></db>")
+    assert main(["validate", str(source_path), str(bad)]) == 1
+
+
+def test_cli_embed_failure_exit_code(tmp_path):
+    source = tmp_path / "s.dtd"
+    source.write_text("<!ELEMENT a (b*)><!ELEMENT b (#PCDATA)>")
+    target = tmp_path / "t.dtd"
+    target.write_text("<!ELEMENT x (y)><!ELEMENT y (#PCDATA)>")
+    assert main(["embed", str(source), str(target)]) == 1
+
+
+def test_cli_att_file(files, tmp_path):
+    _tmp, source_path, target_path, _doc = files
+    att_path = tmp_path / "att.json"
+    # An att that blocks everything except an identity-ish core — the
+    # search must fail because most types have no candidates.
+    att_path.write_text(json.dumps([
+        {"source": "db", "target": "school", "score": 1.0}]))
+    assert main(["embed", str(source_path), str(target_path),
+                 "--att", str(att_path)]) == 1

@@ -1,0 +1,106 @@
+"""δ path-mapping tests (proof of Theorem 4.1: δ is injective)."""
+
+import itertools
+
+import pytest
+
+from repro.core.delta import delta_path
+from repro.core.errors import TranslationError
+from repro.dtd.model import Concat, Disjunction, Star, Str
+from repro.xpath.paths import PathStep, XRPath
+
+
+def _source_paths(dtd, max_len):
+    """All XR paths from the root up to a given length, with explicit
+    positions on star steps (as the Theorem 3.3 proof uses them)."""
+    collected: list[tuple] = []
+    frontier: list[tuple] = [()]
+    for _ in range(max_len):
+        new = []
+        for path in frontier:
+            current = path[-1].label if path else dtd.root
+            production = dtd.production(current)
+            if isinstance(production, Concat):
+                seen = {}
+                for child in production.children:
+                    seen[child] = seen.get(child, 0) + 1
+                    pos = (seen[child]
+                           if production.occurrence_count(child) > 1 else None)
+                    new.append(path + (PathStep(child, pos),))
+            elif isinstance(production, Disjunction):
+                for child in production.children:
+                    new.append(path + (PathStep(child),))
+            elif isinstance(production, Star):
+                for pos in (1, 2):
+                    new.append(path + (PathStep(production.child, pos),))
+        collected.extend(new)
+        frontier = new
+        if not new:
+            break
+    return [XRPath(p) for p in collected]
+
+
+def test_delta_on_sigma1_examples(school):
+    sigma = school.sigma1
+    assert str(delta_path(sigma, XRPath.parse("class[position()=1]"))) == \
+        "courses/current/course[position()=1]"
+    assert str(delta_path(sigma, XRPath.parse("class[position()=2]/cno"))) == \
+        "courses/current/course[position()=2]/basic/cno"
+    assert str(delta_path(
+        sigma, XRPath.parse("class[position()=1]/type/regular"))) == \
+        "courses/current/course[position()=1]/category/mandatory/regular"
+
+
+def test_delta_unpinned_star(school):
+    assert str(delta_path(school.sigma1, XRPath.parse("class"))) == \
+        "courses/current/course"
+
+
+def test_delta_text_path(school):
+    path = XRPath(( PathStep("class", 1), PathStep("cno")), text=True)
+    assert str(delta_path(school.sigma1, path)) == \
+        "courses/current/course[position()=1]/basic/cno/text()"
+
+
+def test_delta_rejects_non_edges(school):
+    with pytest.raises(TranslationError):
+        delta_path(school.sigma1, XRPath.parse("cno"))  # not a root child
+    with pytest.raises(TranslationError):
+        delta_path(school.sigma1, XRPath.parse("class/ghost"))
+
+
+def test_delta_rejects_text_on_non_str(school):
+    with pytest.raises(TranslationError):
+        delta_path(school.sigma1, XRPath((PathStep("class", 1),), text=True))
+
+
+def test_delta_injective_school(school):
+    """Theorem 4.1(1): δ maps distinct root paths to distinct paths."""
+    source_paths = _source_paths(school.classes, 4)
+    images = {}
+    for path in source_paths:
+        image = str(delta_path(school.sigma1, path))
+        assert image not in images, \
+            f"δ({path}) collides with δ({images[image]})"
+        images[image] = path
+
+
+def test_delta_injective_expansion(bib_expansion):
+    source_paths = _source_paths(bib_expansion.source, 4)
+    images = [str(delta_path(bib_expansion.embedding, p))
+              for p in source_paths]
+    assert len(set(images)) == len(images)
+
+
+def test_delta_prefix_structure(school):
+    """δ maps prefixes to prefixes (the substitution is per-step)."""
+    long = XRPath.parse("class[position()=1]/type/regular")
+    short = XRPath.parse("class[position()=1]/type")
+    d_long = delta_path(school.sigma1, long)
+    d_short = delta_path(school.sigma1, short)
+    assert d_short.is_prefix_of(d_long)
+
+
+def test_delta_with_start_type(school):
+    assert str(delta_path(school.sigma1, XRPath.parse("cno"),
+                          start_type="class")) == "basic/cno"

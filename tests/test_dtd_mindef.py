@@ -1,0 +1,106 @@
+"""Unit tests: minimum default instances (Section 4.2, Example 4.3)."""
+
+import pytest
+
+from repro.dtd.mindef import DEFAULT_STRING, MinDef, mindef_tree
+from repro.dtd.model import SchemaError
+from repro.dtd.parser import parse_compact
+from repro.dtd.validate import conforms
+from repro.workloads.library import school_example
+from repro.xtree.serialize import to_string
+
+
+def test_str_mindef_is_hash_s():
+    dtd = parse_compact("a -> str")
+    assert to_string(mindef_tree(dtd, "a"), indent=None) == \
+        f"<a>{DEFAULT_STRING}</a>"
+
+
+def test_star_mindef_is_childless():
+    dtd = parse_compact("a -> b*\nb -> str")
+    assert to_string(mindef_tree(dtd, "a"), indent=None) == "<a/>"
+
+
+def test_concat_mindef_has_all_children():
+    dtd = parse_compact("a -> b, c\nb -> str\nc -> d*\nd -> str")
+    assert to_string(mindef_tree(dtd, "a"), indent=None) == \
+        "<a><b>#s</b><c/></a>"
+
+
+def test_disjunction_mindef_picks_alphabetical_minimum():
+    """Example 4.3: mindef(category) chooses 'advanced' over
+    'mandatory' — the fixed order on types is alphabetical."""
+    bundle = school_example()
+    mindef = MinDef(bundle.school)
+    rendered = to_string(mindef.template("category"), indent=None)
+    assert rendered.startswith("<category><advanced>")
+    assert mindef.default_choice["category"] == "advanced"
+
+
+def test_example_4_3_mindef_student():
+    """mindef(student) from Example 4.3 (gpa added in the journal
+    version's Fig. 1(c))."""
+    bundle = school_example()
+    rendered = to_string(MinDef(bundle.school).template("student"),
+                         indent=None)
+    assert rendered == ("<student><ssn>#s</ssn><name>#s</name>"
+                        "<gpa>#s</gpa><taking/></student>")
+
+
+def test_example_4_3_mindef_prereq():
+    bundle = school_example()
+    assert to_string(MinDef(bundle.school).template("prereq"),
+                     indent=None) == "<prereq/>"
+
+
+def test_optional_disjunction_defaults_to_epsilon():
+    dtd = parse_compact("a -> b + eps\nb -> str")
+    mindef = MinDef(dtd)
+    assert mindef.default_choice["a"] is None
+    assert to_string(mindef.template("a"), indent=None) == "<a/>"
+
+
+def test_disjunction_skips_unproductive_alternative():
+    dtd = parse_compact("r -> a\na -> zz + b\nb -> str\nzz -> zz")
+    # 'zz' never reaches rank 0; the DTD is inconsistent overall.
+    with pytest.raises(SchemaError):
+        MinDef(dtd)
+    from repro.dtd.consistency import remove_useless_types
+
+    cleaned = remove_useless_types(dtd)
+    assert MinDef(cleaned).default_choice["a"] == "b"
+
+
+def test_recursive_schema_mindef_terminates():
+    dtd = parse_compact("r -> a\na -> r + b\nb -> str")
+    mindef = MinDef(dtd)
+    assert to_string(mindef.template("a"), indent=None) == "<a><b>#s</b></a>"
+
+
+def test_mindef_conforms_to_schema():
+    bundle = school_example()
+    mindef = MinDef(bundle.school)
+    for element_type in bundle.school.types:
+        # Validate against a sub-schema rooted at the type.
+        from repro.dtd.model import DTD
+
+        sub = DTD(dict(bundle.school.elements), element_type)
+        assert conforms(mindef.instance(element_type), sub), element_type
+
+
+def test_instance_returns_fresh_ids():
+    dtd = parse_compact("a -> b\nb -> str")
+    mindef = MinDef(dtd)
+    first, second = mindef.instance("a"), mindef.instance("a")
+    assert first.node_id != second.node_id
+
+
+def test_rank_zero_everywhere_on_consistent_schema():
+    bundle = school_example()
+    mindef = MinDef(bundle.school)
+    assert all(rank == 0 for rank in mindef.rank.values())
+
+
+def test_mindef_size():
+    dtd = parse_compact("a -> b, c\nb -> str\nc -> str")
+    assert MinDef(dtd).size("a") == 5

@@ -1,0 +1,134 @@
+"""Unit tests: DTD normal form, schema graph, edges (Section 2.1)."""
+
+import pytest
+
+from repro.dtd.model import (
+    DTD,
+    Concat,
+    Disjunction,
+    Edge,
+    EdgeKind,
+    Empty,
+    SchemaError,
+    Star,
+    Str,
+    make_dtd,
+)
+from repro.dtd.parser import parse_compact
+
+
+def test_production_shapes():
+    assert Str().size() == 1
+    assert Empty().size() == 0
+    assert Concat(("a", "b")).size() == 2
+    assert Disjunction(("a",), optional=True).size() == 2
+    assert Star("a").size() == 1
+
+
+def test_concat_occurrences():
+    production = Concat(("a", "b", "a", "a"))
+    assert production.occurrence(0) == 1
+    assert production.occurrence(2) == 2
+    assert production.occurrence(3) == 3
+    assert production.occurrence_count("a") == 3
+    assert production.index_of_occurrence("a", 2) == 2
+    with pytest.raises(SchemaError):
+        production.index_of_occurrence("a", 4)
+
+
+def test_disjunction_rejects_duplicates():
+    with pytest.raises(SchemaError):
+        Disjunction(("a", "a"))
+
+
+def test_disjunction_epsilon_marker_normalised():
+    production = Disjunction(("a", "#eps"))
+    assert production.children == ("a",)
+    assert production.optional
+
+
+def test_concat_rejects_epsilon():
+    with pytest.raises(SchemaError):
+        Concat(("a", "#eps"))
+
+
+def test_dangling_reference_rejected():
+    with pytest.raises(SchemaError):
+        DTD({"r": Concat(("missing",))}, "r")
+
+
+def test_undefined_root_rejected():
+    with pytest.raises(SchemaError):
+        DTD({"a": Str()}, "r")
+
+
+def test_edges_and_kinds():
+    dtd = parse_compact("""
+        r -> a, b, a
+        a -> c + d
+        b -> e*
+        c -> str
+        d -> str
+        e -> str
+    """)
+    r_edges = dtd.edges_from("r")
+    assert [(e.child, e.kind, e.occ) for e in r_edges] == [
+        ("a", EdgeKind.AND, 1), ("b", EdgeKind.AND, 1),
+        ("a", EdgeKind.AND, 2)]
+    assert dtd.edge("r", "a", 2) == Edge("r", "a", EdgeKind.AND, 2)
+    assert dtd.edge("r", "a", 3) is None
+    assert dtd.edge_kind("a", "c") is EdgeKind.OR
+    assert dtd.edge_kind("b", "e") is EdgeKind.STAR
+    assert dtd.edge_kind("r", "zzz") is None
+
+
+def test_all_edges_count():
+    dtd = parse_compact("r -> a, b\na -> str\nb -> str")
+    assert len(list(dtd.all_edges())) == 2
+
+
+def test_recursive_detection():
+    flat = parse_compact("r -> a\na -> str")
+    assert not flat.is_recursive()
+    loop = parse_compact("r -> a\na -> r + eps")
+    assert loop.is_recursive()
+    self_loop = parse_compact("r -> r*")
+    assert self_loop.is_recursive()
+
+
+def test_reachable_types():
+    dtd = parse_compact("r -> a\na -> str\nzzz -> str", root="r")
+    assert dtd.reachable_types() == {"r", "a"}
+
+
+def test_size_counts_types_and_productions():
+    dtd = parse_compact("r -> a, b\na -> str\nb -> eps")
+    # 3 types + concat(2) + str(1) + eps(0)
+    assert dtd.size() == 6
+
+
+def test_renamed():
+    dtd = parse_compact("r -> a, a\na -> b + eps\nb -> str")
+    renamed = dtd.renamed({"a": "x", "r": "root"})
+    assert renamed.root == "root"
+    assert renamed.production("root") == Concat(("x", "x"))
+    assert renamed.production("x") == Disjunction(("b",), optional=True)
+
+
+def test_renamed_must_not_merge():
+    dtd = parse_compact("r -> a, b\na -> str\nb -> str")
+    with pytest.raises(SchemaError):
+        dtd.renamed({"a": "b"})
+
+
+def test_with_production():
+    dtd = parse_compact("r -> a\na -> str")
+    updated = dtd.with_production("a", Empty())
+    assert isinstance(updated.production("a"), Empty)
+    assert isinstance(dtd.production("a"), Str)  # original untouched
+
+
+def test_make_dtd_mixed_specs():
+    dtd = make_dtd("r", r="a, b", a=Str(), b=["c"], c="str")
+    assert dtd.production("r") == Concat(("a", "b"))
+    assert dtd.production("b") == Concat(("c",))

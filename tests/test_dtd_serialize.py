@@ -1,0 +1,58 @@
+"""DTD serializer round-trips (plus property tests via hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtd.parser import parse_compact, parse_dtd
+from repro.dtd.serialize import dtd_to_compact, dtd_to_text
+from repro.workloads.library import SCHEMA_LIBRARY, school_example
+from repro.workloads.synthetic import random_dtd
+
+
+def _equivalent(a, b) -> bool:
+    return (a.root == b.root
+            and set(a.types) == set(b.types)
+            and all(a.production(t) == b.production(t) for t in a.types))
+
+
+def test_school_roundtrip_text():
+    school = school_example().school
+    rebuilt = parse_dtd(dtd_to_text(school), root=school.root)
+    assert _equivalent(school, rebuilt)
+
+
+def test_school_roundtrip_compact():
+    school = school_example().school
+    rebuilt = parse_compact(dtd_to_compact(school), root=school.root)
+    assert _equivalent(school, rebuilt)
+
+
+def test_library_roundtrips():
+    for name, factory in SCHEMA_LIBRARY.items():
+        dtd = factory()
+        rebuilt = parse_dtd(dtd_to_text(dtd), root=dtd.root)
+        assert _equivalent(dtd, rebuilt), name
+
+
+@given(st.integers(1, 40), st.integers(0, 1000), st.floats(0, 0.5))
+@settings(max_examples=40, deadline=None)
+def test_random_dtd_roundtrip(size, seed, recursive_p):
+    dtd = random_dtd(size, seed=seed, recursive_p=recursive_p)
+    rebuilt = parse_dtd(dtd_to_text(dtd), root=dtd.root)
+    assert _equivalent(dtd, rebuilt)
+    rebuilt_compact = parse_compact(dtd_to_compact(dtd), root=dtd.root)
+    assert _equivalent(dtd, rebuilt_compact)
+
+
+def test_optional_disjunction_rendering():
+    dtd = parse_compact("a -> b + eps\nb -> str")
+    text = dtd_to_text(dtd)
+    assert "(b)?" in text
+    rebuilt = parse_dtd(text)
+    assert rebuilt.production("a").optional
+
+
+def test_repeated_children_rendering():
+    dtd = parse_compact("a -> b, b\nb -> str")
+    rebuilt = parse_dtd(dtd_to_text(dtd))
+    assert rebuilt.production("a").children == ("b", "b")

@@ -1,0 +1,94 @@
+"""Unit tests: instance conformance (the Section 2.1 definition)."""
+
+import pytest
+
+from repro.dtd.parser import parse_compact
+from repro.dtd.validate import ConformanceError, conforms, validate
+from repro.xtree.nodes import elem
+from repro.xtree.parser import parse_xml
+
+DTD = parse_compact("""
+    db -> rec*
+    rec -> k, v, opt
+    k -> str
+    v -> str
+    opt -> flag + eps
+    flag -> eps
+""")
+
+
+def _doc(body: str):
+    return parse_xml(body)
+
+
+def test_conforming_document():
+    doc = _doc("<db><rec><k>a</k><v>b</v><opt><flag/></opt></rec></db>")
+    validate(doc, DTD)
+    assert conforms(doc, DTD)
+
+
+def test_optional_alternative_may_be_absent():
+    doc = _doc("<db><rec><k>a</k><v>b</v><opt/></rec></db>")
+    assert conforms(doc, DTD)
+
+
+def test_wrong_root():
+    assert not conforms(_doc("<rec/>"), DTD)
+
+
+def test_unknown_element():
+    doc = _doc("<db><mystery/></db>")
+    with pytest.raises(ConformanceError) as err:
+        validate(doc, DTD)
+    assert "mystery" in str(err.value)
+
+
+def test_star_rejects_foreign_children():
+    doc = _doc("<db><k>a</k></db>")
+    assert not conforms(doc, DTD)
+
+
+def test_concat_order_matters():
+    doc = _doc("<db><rec><v>b</v><k>a</k><opt/></rec></db>")
+    assert not conforms(doc, DTD)
+
+
+def test_concat_missing_child():
+    doc = _doc("<db><rec><k>a</k><v>b</v></rec></db>")
+    assert not conforms(doc, DTD)
+
+
+def test_str_requires_single_text():
+    doc = elem("db", elem("rec", elem("k"), elem("v", "b"), elem("opt")))
+    assert not conforms(doc, DTD)
+
+
+def test_str_rejects_element_content():
+    doc = _doc("<db><rec><k><v>no</v></k><v>b</v><opt/></rec></db>")
+    assert not conforms(doc, DTD)
+
+
+def test_empty_production_rejects_children():
+    doc = _doc("<db><rec><k>a</k><v>b</v><opt><flag><k>x</k></flag>"
+               "</opt></rec></db>")
+    assert not conforms(doc, DTD)
+
+
+def test_disjunction_rejects_two_children():
+    dtd = parse_compact("a -> b + c\nb -> eps\nc -> eps")
+    doc = elem("a", elem("b"), elem("c"))
+    assert not conforms(doc, dtd)
+
+
+def test_element_only_content_rejects_text():
+    doc = elem("db", elem("rec"))
+    doc.children[0].append(elem("k", "a"))
+    from repro.xtree.nodes import TextNode
+
+    doc.children[0].append(TextNode("stray"))
+    assert not conforms(doc, DTD)
+
+
+def test_star_accepts_many():
+    body = "".join("<rec><k>a</k><v>b</v><opt/></rec>" for _ in range(5))
+    assert conforms(_doc(f"<db>{body}</db>"), DTD)

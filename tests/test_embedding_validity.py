@@ -1,0 +1,208 @@
+"""Unit tests: schema embedding validity conditions (Section 4.1 + R1/R2)."""
+
+import pytest
+
+from repro.core.embedding import STR_KEY, SchemaEmbedding, build_embedding
+from repro.core.errors import EmbeddingError, ViolationCode
+from repro.core.similarity import SimilarityMatrix
+from repro.dtd.parser import parse_compact
+
+
+def _codes(embedding, att=None):
+    return {v.code for v in embedding.violations(att)}
+
+
+def test_school_sigma1_valid(school):
+    assert school.sigma1.violations() == []
+    assert school.sigma1.is_valid(school.att)
+    school.sigma1.check(school.att)  # must not raise
+
+
+def test_school_sigma2_valid(school):
+    assert school.sigma2.is_valid(school.att)
+
+
+def test_missing_path_detected():
+    source = parse_compact("a -> b\nb -> str")
+    target = parse_compact("x -> y\ny -> str")
+    embedding = build_embedding(source, target, {"a": "x", "b": "y"},
+                                {("a", "b"): "y"})
+    assert ViolationCode.MISSING_PATH in _codes(embedding)  # b's text path
+
+
+def test_root_must_map_to_root():
+    source = parse_compact("a -> b\nb -> str")
+    target = parse_compact("x -> y\ny -> str")
+    embedding = build_embedding(source, target, {"a": "y", "b": "y"},
+                                {("a", "b"): "y", ("b", "str"): "text()"})
+    assert ViolationCode.BAD_ROOT in _codes(embedding)
+
+
+def test_lambda_total():
+    source = parse_compact("a -> b\nb -> str")
+    target = parse_compact("x -> y\ny -> str")
+    embedding = SchemaEmbedding(source, target, {"a": "x"}, {})
+    assert ViolationCode.LAMBDA_MISSING in _codes(embedding)
+
+
+def test_att_validity_threshold():
+    source = parse_compact("a -> b\nb -> str")
+    target = parse_compact("x -> y\ny -> str")
+    embedding = build_embedding(source, target, {"a": "x", "b": "y"},
+                                {("a", "b"): "y", ("b", "str"): "text()"})
+    att = SimilarityMatrix()      # all zeros
+    assert ViolationCode.LAMBDA_INVALID in _codes(embedding, att)
+    att.set("a", "x", 0.9)
+    att.set("b", "y", 0.1)
+    assert embedding.is_valid(att)
+
+
+def test_and_edge_needs_and_path():
+    """Fig. 3(a): concatenation onto disjunction is invalid."""
+    source = parse_compact("a -> b, c\nb -> str\nc -> str")
+    target = parse_compact("x -> y + z\ny -> str\nz -> str")
+    embedding = build_embedding(
+        source, target, {"a": "x", "b": "y", "c": "z"},
+        {("a", "b"): "y", ("a", "c"): "z",
+         ("b", "str"): "text()", ("c", "str"): "text()"})
+    assert ViolationCode.NOT_AND_PATH in _codes(embedding)
+
+
+def test_star_edge_needs_star_path():
+    """Fig. 3(b): star onto a single child is invalid."""
+    source = parse_compact("a -> b*\nb -> str")
+    target = parse_compact("x -> y\ny -> str")
+    embedding = build_embedding(source, target, {"a": "x", "b": "y"},
+                                {("a", "b"): "y", ("b", "str"): "text()"})
+    assert ViolationCode.NOT_STAR_PATH in _codes(embedding)
+
+
+def test_prefix_conflict_detected():
+    """Fig. 3(d): path(A,B) a prefix of path(A,C)."""
+    source = parse_compact("a -> b, c\nb -> str\nc -> str")
+    target = parse_compact("x -> y\ny -> z\nz -> str")
+    embedding = build_embedding(
+        source, target, {"a": "x", "b": "y", "c": "z"},
+        {("a", "b"): "y", ("a", "c"): "y/z",
+         ("b", "str"): "text()", ("c", "str"): "text()"})
+    assert ViolationCode.PREFIX_CONFLICT in _codes(embedding)
+
+
+def test_equal_paths_are_prefix_conflict():
+    source = parse_compact("a -> b, c\nb -> str\nc -> str")
+    target = parse_compact("x -> y, z\ny -> str\nz -> str")
+    embedding = build_embedding(
+        source, target, {"a": "x", "b": "y", "c": "y"},
+        {("a", "b"): "y", ("a", "c"): "y",
+         ("b", "str"): "text()", ("c", "str"): "text()"})
+    assert ViolationCode.PREFIX_CONFLICT in _codes(embedding)
+
+
+def test_or_divergence_refinement_r1():
+    """Two OR paths sharing the OR edge but diverging on AND edges are
+    rejected (mindef padding would fake the absent alternative)."""
+    source = parse_compact("a -> b + c\nb -> str\nc -> str")
+    target = parse_compact("x -> w + v\nw -> y, z\nv -> str\n"
+                           "y -> str\nz -> str")
+    embedding = build_embedding(
+        source, target, {"a": "x", "b": "y", "c": "z"},
+        {("a", "b"): "w/y", ("a", "c"): "w/z",
+         ("b", "str"): "text()", ("c", "str"): "text()"})
+    assert ViolationCode.OR_DIVERGENCE in _codes(embedding)
+
+
+def test_or_divergence_valid_when_alternatives_differ():
+    source = parse_compact("a -> b + c\nb -> str\nc -> str")
+    target = parse_compact("x -> w + v\nw -> y\nv -> z\ny -> str\nz -> str")
+    embedding = build_embedding(
+        source, target, {"a": "x", "b": "y", "c": "z"},
+        {("a", "b"): "w/y", ("a", "c"): "v/z",
+         ("b", "str"): "text()", ("c", "str"): "text()"})
+    assert embedding.is_valid()
+
+
+def test_optional_signalling_refinement_r2():
+    """An optional alternative whose path appears in the default
+    completion of λ(A) is rejected."""
+    source = parse_compact("a -> b + eps\nb -> str")
+    # Target disjunction is NOT optional: mindef picks an alternative,
+    # and the only alternative is the path itself.
+    target = parse_compact("x -> y + z\ny -> str\nz -> str")
+    embedding = build_embedding(
+        source, target, {"a": "x", "b": "y"},
+        {("a", "b"): "y", ("b", "str"): "text()"})
+    assert ViolationCode.OPTIONAL_SIGNAL in _codes(embedding)
+    # With an alphabetically-earlier junk alternative, mindef picks the
+    # junk and the signal is unambiguous.
+    target2 = parse_compact("x -> a0pad + y\na0pad -> eps\ny -> str")
+    embedding2 = build_embedding(
+        source, target2, {"a": "x", "b": "y"},
+        {("a", "b"): "y", ("b", "str"): "text()"})
+    assert embedding2.is_valid()
+
+
+def test_wrong_endpoint_detected():
+    source = parse_compact("a -> b\nb -> str")
+    target = parse_compact("x -> y, z\ny -> str\nz -> str")
+    embedding = build_embedding(
+        source, target, {"a": "x", "b": "y"},
+        {("a", "b"): "z", ("b", "str"): "text()"})
+    assert ViolationCode.WRONG_ENDPOINT in _codes(embedding)
+
+
+def test_empty_path_rejected():
+    from repro.xpath.paths import XRPath
+
+    source = parse_compact("a -> b\nb -> str")
+    target = parse_compact("x -> y\ny -> str")
+    embedding = SchemaEmbedding(
+        source, target, {"a": "x", "b": "y"},
+        {("a", "b", 1): XRPath(()),
+         ("b", STR_KEY, 1): XRPath((), text=True)})
+    assert ViolationCode.EMPTY_PATH in _codes(embedding)
+
+
+def test_text_path_must_end_in_text():
+    source = parse_compact("a -> b\nb -> str")
+    target = parse_compact("x -> y\ny -> str")
+    embedding = build_embedding(
+        source, target, {"a": "x", "b": "y"},
+        {("a", "b"): "y", ("b", "str"): XRPathNoText()})
+    assert ViolationCode.NOT_TEXT_PATH in _codes(embedding)
+
+
+def XRPathNoText():
+    from repro.xpath.paths import XRPath
+
+    return XRPath.parse("y")  # element path, no text()
+
+
+def test_check_raises_with_all_violations():
+    source = parse_compact("a -> b*\nb -> str")
+    target = parse_compact("x -> y\ny -> str")
+    embedding = build_embedding(source, target, {"a": "x", "b": "y"},
+                                {("a", "b"): "y", ("b", "str"): "text()"})
+    with pytest.raises(EmbeddingError) as err:
+        embedding.check()
+    assert "NOT_STAR_PATH" in str(err.value)
+
+
+def test_quality_metric(school):
+    att = SimilarityMatrix.permissive(0.5)
+    assert school.sigma1.quality(att) == pytest.approx(
+        0.5 * len(school.sigma1.lam))
+
+
+def test_size_metric(school):
+    assert school.sigma1.size() > len(school.sigma1.lam)
+
+
+def test_repeated_children_share_paths_via_positions():
+    """Fig. 3(c): two source types onto one target type."""
+    source = parse_compact("a -> b, c\nb -> str\nc -> str")
+    target = parse_compact("x -> y, y\ny -> str")
+    embedding = build_embedding(
+        source, target, {"a": "x", "b": "y", "c": "y"},
+        {("a", "b"): "y[position()=1]", ("a", "c"): "y[position()=2]",
+         ("b", "str"): "text()", ("c", "str"): "text()"})
+    assert embedding.is_valid()

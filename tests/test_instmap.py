@@ -1,0 +1,183 @@
+"""E5: InstMap — production fragments, mindef padding, idM (Section 4.2)."""
+
+import pytest
+
+from repro.core.embedding import build_embedding
+from repro.core.errors import EmbeddingError
+from repro.core.instmap import InstMap, apply_embedding
+from repro.dtd.generate import random_instance
+from repro.dtd.parser import parse_compact
+from repro.dtd.validate import conforms, validate
+from repro.xtree.nodes import elem, tree_size
+from repro.xtree.parser import parse_xml
+from repro.xtree.serialize import to_string
+
+
+def test_example_4_4_structure(school):
+    """The Example 4.4 walkthrough: one class maps into the school
+    skeleton with history/credit/... padded by mindef."""
+    source = parse_xml(
+        "<db><class><cno>CS331</cno><title>DB</title>"
+        "<type><regular><prereq/></regular></type></class></db>")
+    result = InstMap(school.sigma1).apply(source)
+    tree = result.tree
+    validate(tree, school.school)
+
+    assert tree.tag == "school"
+    courses = tree.children_tagged("courses")[0]
+    # history is a mindef default: a childless history node.
+    history = courses.children_tagged("history")[0]
+    assert history.children == []
+    course = courses.children_tagged("current")[0].children_tagged("course")[0]
+    basic = course.children_tagged("basic")[0]
+    assert basic.children_tagged("cno")[0].child_text() == "CS331"
+    # credit is padded with #s.
+    assert basic.children_tagged("credit")[0].child_text() == "#s"
+    semester = basic.children_tagged("class")[0].children_tagged("semester")[0]
+    assert semester.children_tagged("title")[0].child_text() == "DB"
+    assert semester.children_tagged("year")[0].child_text() == "#s"
+    # category routes through mandatory/regular.
+    category = course.children_tagged("category")[0]
+    mandatory = category.children_tagged("mandatory")[0]
+    assert mandatory.children_tagged("regular")
+    # students side is pure mindef: an empty students list.
+    assert tree.children_tagged("students")[0].children == []
+
+
+def test_idm_maps_images_to_sources(school):
+    source = parse_xml(
+        "<db><class><cno>CS331</cno><title>DB</title>"
+        "<type><project>p1</project></type></class></db>")
+    result = InstMap(school.sigma1).apply(source)
+    # Every source element has an image (σd is injective, Thm 4.1).
+    source_ids = {node.node_id for node in source.iter()}
+    mapped_sources = set(result.idM.values())
+    assert source_ids == mapped_sources
+    # And the mapping is a bijection onto its domain.
+    assert len(result.idM) == len(source_ids)
+    assert set(result.source_to_target) == source_ids
+
+
+def test_idm_respects_tags(school):
+    source = parse_xml(
+        "<db><class><cno>1</cno><title>t</title>"
+        "<type><project>p</project></type></class></db>")
+    result = InstMap(school.sigma1).apply(source)
+    lam = school.sigma1.lam
+    for target_id, source_id in result.idM.items():
+        target_node = result.tree.find_by_id(target_id)
+        source_node = source.find_by_id(source_id)
+        assert target_node is not None and source_node is not None
+        if source_node.is_text():
+            assert target_node.is_text()
+            assert target_node.value == source_node.value
+        else:
+            assert target_node.tag == lam[source_node.tag]
+
+
+def test_type_safety_on_random_instances(school):
+    instmap = InstMap(school.sigma1)
+    for seed in range(8):
+        instance = random_instance(school.classes, seed=seed, max_depth=9)
+        result = instmap.apply(instance)
+        validate(result.tree, school.school)
+
+
+def test_star_children_keep_order(school):
+    source = parse_xml(
+        "<db>"
+        "<class><cno>1</cno><title>a</title><type><project>x</project></type></class>"
+        "<class><cno>2</cno><title>b</title><type><project>y</project></type></class>"
+        "<class><cno>3</cno><title>c</title><type><project>z</project></type></class>"
+        "</db>")
+    result = InstMap(school.sigma1).apply(source)
+    current = result.tree.children_tagged("courses")[0] \
+        .children_tagged("current")[0]
+    cnos = [course.children_tagged("basic")[0].children_tagged("cno")[0]
+            .child_text() for course in current.children_tagged("course")]
+    assert cnos == ["1", "2", "3"]
+
+
+def test_empty_star_produces_empty_carrier(school):
+    result = InstMap(school.sigma1).apply(parse_xml("<db/>"))
+    validate(result.tree, school.school)
+    current = result.tree.children_tagged("courses")[0] \
+        .children_tagged("current")[0]
+    assert current.children == []
+
+
+def test_invalid_embedding_rejected_at_compile_time():
+    source = parse_compact("a -> b*\nb -> str")
+    target = parse_compact("x -> y\ny -> str")
+    embedding = build_embedding(source, target, {"a": "x", "b": "y"},
+                                {("a", "b"): "y", ("b", "str"): "text()"})
+    with pytest.raises(EmbeddingError):
+        InstMap(embedding)
+
+
+def test_wrong_instance_root_rejected(school):
+    instmap = InstMap(school.sigma1)
+    with pytest.raises(EmbeddingError):
+        instmap.apply(elem("class"))
+
+
+def test_linear_output_growth(school):
+    """InstMap output is linear in the input (Section 4.2: the
+    algorithm is linear in the larger of T1, T2)."""
+    sizes = []
+    instmap = InstMap(school.sigma1)
+    for count in (1, 2, 4, 8):
+        body = ("<class><cno>1</cno><title>t</title>"
+                "<type><project>p</project></type></class>") * count
+        result = instmap.apply(parse_xml(f"<db>{body}</db>"))
+        sizes.append(tree_size(result.tree))
+    deltas = [b - a for a, b in zip(sizes, sizes[1:])]
+    # Doubling the classes adds proportional target nodes.
+    assert deltas[1] == pytest.approx(2 * deltas[0], rel=0.01)
+    assert deltas[2] == pytest.approx(2 * deltas[1], rel=0.01)
+
+
+def test_expansion_ground_truth_instmap(bib_expansion):
+    instmap = InstMap(bib_expansion.embedding)
+    for seed in range(5):
+        instance = random_instance(bib_expansion.source, seed=seed)
+        result = instmap.apply(instance)
+        validate(result.tree, bib_expansion.target)
+
+
+def test_students_sigma2_instmap(school):
+    source = parse_xml(
+        "<db><student><ssn>123</ssn><name>Ann</name>"
+        "<taking><cno>CS331</cno><cno>CS240</cno></taking></student></db>")
+    result = InstMap(school.sigma2).apply(source)
+    validate(result.tree, school.school)
+    student = result.tree.children_tagged("students")[0] \
+        .children_tagged("student")[0]
+    assert student.children_tagged("ssn")[0].child_text() == "123"
+    assert student.children_tagged("gpa")[0].child_text() == "#s"
+    cnos = [c.child_text() for c in
+            student.children_tagged("taking")[0].children_tagged("cno")]
+    assert cnos == ["CS331", "CS240"]
+    # The courses side is all mindef.
+    assert result.tree.children_tagged("courses")[0] \
+        .children_tagged("current")[0].children == []
+
+
+def test_disjunction_conflict_raises():
+    """Manually corrupt: two source children forced through one OR slot
+    (cannot happen for valid embeddings; guards the internal error)."""
+    from repro.core.embedding import SchemaEmbedding
+    from repro.xpath.paths import XRPath
+
+    source = parse_compact("a -> b, c\nb -> str\nc -> str")
+    target = parse_compact("x -> w\nw -> y + z\ny -> str\nz -> str")
+    # Invalid on purpose: AND edges onto OR paths.
+    embedding = SchemaEmbedding(
+        source, target, {"a": "x", "b": "y", "c": "z"},
+        {("a", "b", 1): XRPath.parse("w/y"),
+         ("a", "c", 1): XRPath.parse("w/z"),
+         ("b", "#str", 1): XRPath.parse("text()"),
+         ("c", "#str", 1): XRPath.parse("text()")})
+    instmap = InstMap(embedding, validate=False)
+    with pytest.raises(EmbeddingError):
+        instmap.apply(parse_xml("<a><b>1</b><c>2</c></a>"))

@@ -1,0 +1,201 @@
+"""Matching algorithms: prefix-free paths, local embeddings, assembly."""
+
+import random
+
+import pytest
+
+from repro.core.similarity import SimilarityMatrix
+from repro.matching.assemble import assemble_quality, assemble_random
+from repro.matching.indepset import assemble_indepset
+from repro.matching.local import LocalEmbedder, LocalSearchConfig
+from repro.matching.prefix_free import (
+    PathKind,
+    PathRequest,
+    enumerate_paths,
+    prefix_free_assign,
+)
+from repro.matching.search import find_embedding
+from repro.workloads.library import school_example
+from repro.workloads.noise import expand_schema, noisy_att
+
+SCHOOL = school_example()
+
+
+# -- path enumeration ------------------------------------------------------
+
+def test_enumerate_and_paths():
+    paths = enumerate_paths(SCHOOL.school, "course",
+                            PathRequest(PathKind.AND, "title"), max_len=5)
+    rendered = [str(p) for p in paths]
+    assert "basic/class/semester[position()=1]/title" in rendered
+
+
+def test_enumerate_or_paths():
+    paths = enumerate_paths(SCHOOL.school, "category",
+                            PathRequest(PathKind.OR, "regular"))
+    assert [str(p) for p in paths] == ["mandatory/regular"]
+
+
+def test_enumerate_star_paths():
+    paths = enumerate_paths(SCHOOL.school, "school",
+                            PathRequest(PathKind.STAR, "course"), max_len=3)
+    assert {str(p) for p in paths} == {"courses/current/course",
+                                       "courses/history/course"}
+
+
+def test_enumerate_text_paths_includes_bare():
+    paths = enumerate_paths(SCHOOL.school, "cno",
+                            PathRequest(PathKind.TEXT, None))
+    assert str(paths[0]) == "text()"
+
+
+def test_enumerate_respects_length_cap():
+    paths = enumerate_paths(SCHOOL.school, "school",
+                            PathRequest(PathKind.AND, "cno"), max_len=2)
+    assert paths == []
+
+
+def test_enumerate_or_paths_exclude_stars():
+    paths = enumerate_paths(SCHOOL.school, "school",
+                            PathRequest(PathKind.OR, "regular"), max_len=8)
+    # regular sits below course, which requires a star edge — no OR
+    # path can reach it from school.
+    assert paths == []
+
+
+def test_prefix_free_assign_basic():
+    requests = [PathRequest(PathKind.AND, "cno"),
+                PathRequest(PathKind.AND, "title"),
+                PathRequest(PathKind.AND, "category")]
+    paths = prefix_free_assign(SCHOOL.school, "course", requests)
+    assert paths is not None
+    for i, p1 in enumerate(paths):
+        for p2 in paths[i + 1:]:
+            assert not p1.is_prefix_of(p2) and not p2.is_prefix_of(p1)
+
+
+def test_prefix_free_assign_conflicting_targets():
+    """Two requests to the same end need positions or distinct routes."""
+    from repro.dtd.parser import parse_compact
+
+    target = parse_compact("x -> y, y\ny -> str")
+    requests = [PathRequest(PathKind.AND, "y"),
+                PathRequest(PathKind.AND, "y")]
+    paths = prefix_free_assign(target, "x", requests)
+    assert paths is not None
+    assert {str(p) for p in paths} == {"y[position()=1]", "y[position()=2]"}
+
+
+def test_prefix_free_assign_impossible():
+    from repro.dtd.parser import parse_compact
+
+    target = parse_compact("x -> y\ny -> str")
+    requests = [PathRequest(PathKind.AND, "y"),
+                PathRequest(PathKind.AND, "y")]
+    assert prefix_free_assign(target, "x", requests) is None
+
+
+# -- local embeddings ---------------------------------------------------------
+
+def test_local_embedder_reproduces_sigma1_paths():
+    att = SimilarityMatrix.permissive()
+    embedder = LocalEmbedder(SCHOOL.classes, SCHOOL.school, att)
+    truth = SCHOOL.sigma1.lam
+    mapping = embedder.find("class", "course", truth)
+    assert mapping is not None
+    assert str(mapping.paths[("class", "title", 1)]) == \
+        "basic/class/semester[position()=1]/title"
+
+
+def test_local_embedder_feasibility_filter():
+    att = SimilarityMatrix.permissive()
+    embedder = LocalEmbedder(SCHOOL.classes, SCHOOL.school, att)
+    assert embedder.feasible("class", "course")
+    assert not embedder.feasible("class", "gpa")   # str type: no children
+    assert not embedder.feasible("db", "cno")
+
+
+def test_local_embedder_respects_att_threshold():
+    att = SimilarityMatrix()  # all zero: nothing admissible
+    embedder = LocalEmbedder(SCHOOL.classes, SCHOOL.school, att)
+    assert embedder.find("db", "school", {"db": "school"}) is None
+
+
+def test_local_embedder_quality_sums_att():
+    att = SimilarityMatrix.permissive(0.5)
+    embedder = LocalEmbedder(SCHOOL.classes, SCHOOL.school, att)
+    mapping = embedder.find("cno", "cno", {"cno": "cno"})
+    assert mapping is not None
+    assert mapping.quality == pytest.approx(0.5)
+
+
+def test_find_all_returns_alternatives():
+    att = SimilarityMatrix.permissive()
+    embedder = LocalEmbedder(SCHOOL.classes, SCHOOL.school, att)
+    mappings = embedder.find_all("type", {}, rng=None, limit=4)
+    assert len(mappings) >= 1
+    assert all(m.source_type == "type" for m in mappings)
+
+
+# -- assembly strategies ---------------------------------------------------------
+
+@pytest.mark.parametrize("assemble", [assemble_random, assemble_quality,
+                                      assemble_indepset])
+def test_assembly_strategies_solve_school(assemble):
+    att = SimilarityMatrix.permissive()
+    embedding = assemble(SCHOOL.classes, SCHOOL.school, att, seed=7,
+                         restarts=30)
+    assert embedding is not None
+    assert embedding.is_valid(att)
+
+
+@pytest.mark.parametrize("method", ["random", "quality", "indepset"])
+def test_methods_on_noisy_expansion(method):
+    expansion = expand_schema(school_example().classes, seed=4)
+    att = noisy_att(expansion, 0.6, seed=9)
+    result = find_embedding(expansion.source, expansion.target, att,
+                            method=method, seed=1, restarts=25)
+    assert result.found
+    assert result.embedding is not None
+    assert result.embedding.is_valid(att)
+
+
+def test_search_returns_quality_and_time():
+    att = SimilarityMatrix.permissive()
+    result = find_embedding(SCHOOL.students, SCHOOL.school, att, seed=2)
+    assert result.found
+    assert result.seconds >= 0.0
+    assert result.quality == pytest.approx(len(result.embedding.lam))
+
+
+def test_search_unknown_method_rejected():
+    with pytest.raises(ValueError):
+        find_embedding(SCHOOL.classes, SCHOOL.school, method="magic")
+
+
+def test_search_failure_reported():
+    """A target that cannot host the source at all."""
+    from repro.dtd.parser import parse_compact
+
+    source = parse_compact("a -> b*\nb -> str")
+    target = parse_compact("x -> y\ny -> str")   # no star anywhere
+    result = find_embedding(source, target, method="auto", restarts=5)
+    assert not result.found
+    assert result.embedding is None
+
+
+def test_found_embeddings_are_information_preserving():
+    """End-to-end: search → InstMap → inverse on random instances."""
+    from repro.core.instmap import InstMap
+    from repro.core.inverse import invert
+    from repro.dtd.generate import random_instance
+    from repro.xtree.nodes import tree_equal
+
+    att = SimilarityMatrix.permissive()
+    result = find_embedding(SCHOOL.classes, SCHOOL.school, att, seed=5)
+    assert result.found and result.embedding is not None
+    instmap = InstMap(result.embedding)
+    for seed in range(4):
+        instance = random_instance(SCHOOL.classes, seed=seed, max_depth=7)
+        mapped = instmap.apply(instance)
+        assert tree_equal(invert(result.embedding, mapped.tree), instance)

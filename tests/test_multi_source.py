@@ -1,0 +1,100 @@
+"""Section 4.5 / Example 4.9: integrating multiple sources."""
+
+import pytest
+
+from repro.core.instmap import InstMap
+from repro.core.inverse import invert
+from repro.core.multi import (
+    IntegrationConflict,
+    integrate,
+    merge_dtds,
+)
+from repro.dtd.generate import random_instance
+from repro.dtd.validate import validate
+from repro.xtree.nodes import tree_equal
+from repro.xtree.parser import parse_xml
+
+
+@pytest.fixture()
+def docs(school):
+    classes_doc = parse_xml(
+        "<db><class><cno>CS331</cno><title>DB</title>"
+        "<type><regular><prereq/></regular></type></class></db>")
+    students_doc = parse_xml(
+        "<db><student><ssn>1</ssn><name>Ann</name>"
+        "<taking><cno>CS331</cno></taking></student></db>")
+    return classes_doc, students_doc
+
+
+def test_example_4_9_integration(school, docs):
+    classes_doc, students_doc = docs
+    result = integrate([school.sigma1, school.sigma2],
+                       [classes_doc, students_doc])
+    validate(result.tree, school.school)
+    # Both sides landed in one tree.
+    school_tree = result.tree
+    current = school_tree.children_tagged("courses")[0] \
+        .children_tagged("current")[0]
+    assert len(current.children_tagged("course")) == 1
+    students = school_tree.children_tagged("students")[0]
+    assert len(students.children_tagged("student")) == 1
+
+
+def test_integration_each_source_recoverable(school, docs):
+    classes_doc, students_doc = docs
+    result = integrate([school.sigma1, school.sigma2],
+                       [classes_doc, students_doc])
+    assert tree_equal(invert(school.sigma1, result.tree), classes_doc)
+    assert tree_equal(invert(school.sigma2, result.tree), students_doc)
+
+
+def test_integration_random_instances(school):
+    for seed in range(4):
+        classes_doc = random_instance(school.classes, seed=seed, max_depth=7)
+        students_doc = random_instance(school.students, seed=seed + 50)
+        result = integrate([school.sigma1, school.sigma2],
+                           [classes_doc, students_doc])
+        validate(result.tree, school.school)
+        assert tree_equal(invert(school.sigma1, result.tree), classes_doc)
+        assert tree_equal(invert(school.sigma2, result.tree), students_doc)
+
+
+def test_interfering_sources_detected(school, docs):
+    classes_doc, _students = docs
+    # Same embedding twice: both contribute star instances at current.
+    with pytest.raises(IntegrationConflict):
+        integrate([school.sigma1, school.sigma1],
+                  [classes_doc, classes_doc])
+
+
+def test_integration_requires_matching_lengths(school, docs):
+    with pytest.raises(Exception):
+        integrate([school.sigma1], list(docs))
+
+
+def test_merge_dtds_disjoint(school):
+    merged, renamings = merge_dtds([school.classes, school.students])
+    # Shared type names (db, cno) get prefixed in the second source.
+    assert renamings[0] == {}
+    assert "db" in renamings[1] and renamings[1]["db"] == "s1.db"
+    assert merged.root == "merged"
+    assert merged.production("merged").children == ("db", "s1.db")
+    from repro.dtd.consistency import is_consistent
+
+    assert is_consistent(merged)
+
+
+def test_merge_dtds_preserves_instances(school):
+    merged, renamings = merge_dtds([school.classes, school.students])
+    from repro.xtree.nodes import elem
+
+    classes_doc = random_instance(school.classes, seed=1, max_depth=6)
+    students_doc = random_instance(school.students, seed=2)
+    # Rename the students doc's tags per the renaming.
+    def rename(node):
+        node.tag = renamings[1].get(node.tag, node.tag)
+        for child in node.element_children():
+            rename(child)
+    rename(students_doc)
+    combined = elem("merged", classes_doc, students_doc)
+    validate(combined, merged)

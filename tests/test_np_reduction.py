@@ -1,0 +1,106 @@
+"""E11: the Theorem 5.1 reduction, cross-checked against DPLL."""
+
+import pytest
+
+from repro.core.similarity import SimilarityMatrix
+from repro.matching.exact import exact_embedding
+from repro.matching.reduction import (
+    assignment_to_embedding_hint,
+    dpll_satisfiable,
+    reduction_from_3sat,
+)
+
+#: (formula, satisfiable?) — small instances the exact solver can do.
+FORMULAS = [
+    ([((1, True),)], True),
+    ([((1, True),), ((1, False),)], False),
+    ([((1, True), (2, True))], True),
+    ([((1, True), (2, True)), ((1, False), (2, True)),
+      ((2, False), (1, True))], True),
+    ([((1, True), (2, True)), ((1, True), (2, False)),
+      ((1, False), (2, True)), ((1, False), (2, False))], False),
+    ([((1, True), (2, False), (3, True)),
+      ((1, False), (2, True), (3, False))], True),
+]
+
+
+@pytest.mark.parametrize("formula,expected", FORMULAS)
+def test_dpll(formula, expected):
+    model = dpll_satisfiable(formula)
+    assert (model is not None) == expected
+    if model is not None:
+        for clause in formula:
+            assert any(model.get(v, False) == p for v, p in clause)
+
+
+def test_reduction_shapes():
+    reduction = reduction_from_3sat(FORMULAS[3][0])
+    assert reduction.n_clauses == 3 and reduction.n_vars == 2
+    # Both DTDs are nonrecursive and concatenation-only (Theorem 5.1:
+    # "remains NP-hard for nonrecursive DTDs defined with
+    # concatenation types only").
+    assert not reduction.source.is_recursive()
+    assert not reduction.target.is_recursive()
+    # Clause signatures: Ci has n+i Z children.
+    assert reduction.source.production("C1").children == ("Z",) * 4
+    assert reduction.source.production("C3").children == ("Z",) * 6
+    # Variable widths: Ys has 2n+s W children.
+    assert reduction.source.production("Y2").children == ("W",) * 8
+
+
+@pytest.mark.parametrize("formula,expected", FORMULAS)
+def test_satisfiable_iff_embedding_exists(formula, expected):
+    """The reduction's correctness, both directions, empirically
+    (with the Theorem 5.2-style restricted att; see the module
+    docstring of repro.matching.reduction for why the fully
+    unrestricted matrix admits pair-stealing shortcuts)."""
+    reduction = reduction_from_3sat(formula)
+    embedding = exact_embedding(reduction.source, reduction.target,
+                                reduction.att,
+                                max_len=4, max_paths=64, max_candidates=32,
+                                node_budget=400_000)
+    assert (embedding is not None) == expected
+    if embedding is not None:
+        embedding.check(reduction.att)
+
+
+def test_unrestricted_att_admits_pair_stealing():
+    """The reproduction finding: with att(A,B)=1 everywhere, the OCR'd
+    gadget is *not* sound — an unsatisfiable formula still embeds via
+    Y1 ↦ F1, Y2 ↦ T1 (both onto pair 1), liberating the X2 gadget."""
+    formula = [((1, True), (2, True)), ((1, True), (2, False)),
+               ((1, False), (2, True)), ((1, False), (2, False))]
+    assert dpll_satisfiable(formula) is None
+    reduction = reduction_from_3sat(formula)
+    embedding = exact_embedding(reduction.source, reduction.target,
+                                SimilarityMatrix.permissive(),
+                                max_len=4, max_paths=64, max_candidates=32,
+                                node_budget=400_000)
+    assert embedding is not None  # the documented shortcut
+    claimed = {embedding.lam["Y1"], embedding.lam["Y2"]}
+    assert claimed.issubset({"T1", "F1"}) or \
+        claimed.issubset({"T2", "F2"}) or len(claimed) == 2
+
+
+def test_satisfying_assignment_yields_embedding_hint():
+    formula = FORMULAS[3][0]
+    reduction = reduction_from_3sat(formula)
+    model = dpll_satisfiable(formula)
+    assert model is not None
+    lam = assignment_to_embedding_hint(reduction, model)
+    # λ uses the negation coding: Ys -> Fs iff xs true.
+    for variable, value in model.items():
+        assert lam[f"Y{variable}"] == (f"F{variable}" if value
+                                       else f"T{variable}")
+    # The hinted λ extends to a full valid embedding.
+    att = SimilarityMatrix.from_mapping(lam)
+    embedding = exact_embedding(reduction.source, reduction.target, att,
+                                max_len=4, max_paths=64, max_candidates=4)
+    assert embedding is not None
+    for source_type, image in lam.items():
+        assert embedding.lam[source_type] == image
+
+
+def test_reduction_rejects_trivial_input():
+    with pytest.raises(ValueError):
+        reduction_from_3sat([])

@@ -1,0 +1,112 @@
+"""Partial information preservation (Section 7 extension)."""
+
+import pytest
+
+from repro.core.instmap import InstMap
+from repro.core.inverse import invert
+from repro.core.partial import project_dtd
+from repro.core.similarity import SimilarityMatrix
+from repro.core.translate import Translator
+from repro.anfa.evaluate import evaluate_anfa_set
+from repro.dtd.generate import random_instance
+from repro.dtd.model import Concat, Disjunction, Empty, SchemaError
+from repro.dtd.validate import validate
+from repro.matching.search import find_embedding
+from repro.xpath.evaluator import evaluate_set
+from repro.xpath.parser import parse_xr
+from repro.xtree.nodes import tree_equal
+from repro.xtree.parser import parse_xml
+
+
+def test_project_concat_drops_children(school):
+    projection = project_dtd(school.classes, ["title"])
+    assert projection.projected.production("class") == \
+        Concat(("cno", "type"))
+    assert "title" in projection.dropped
+
+
+def test_project_closure_drops_orphans(school):
+    # Dropping 'type' orphans regular/project/prereq (prereq is only
+    # reachable through regular) — all are dropped transitively.
+    projection = project_dtd(school.classes, ["type"])
+    assert {"type", "regular", "project", "prereq"} <= projection.dropped
+    assert set(projection.projected.types) == {"db", "class", "cno",
+                                               "title"}
+
+
+def test_project_disjunction_becomes_optional(school):
+    projection = project_dtd(school.classes, ["project"])
+    production = projection.projected.production("type")
+    assert isinstance(production, Disjunction)
+    assert production.children == ("regular",)
+    assert production.optional
+
+
+def test_project_star_child_empties():
+    from repro.dtd.parser import parse_compact
+
+    dtd = parse_compact("r -> x, k\nx -> y*\ny -> str\nk -> str")
+    projection = project_dtd(dtd, ["y"])
+    assert isinstance(projection.projected.production("x"), Empty)
+
+
+def test_project_rejects_root_and_unknown(school):
+    with pytest.raises(SchemaError):
+        project_dtd(school.classes, ["db"])
+    with pytest.raises(SchemaError):
+        project_dtd(school.classes, ["ghost"])
+
+
+def test_projected_instances_conform(school):
+    projection = project_dtd(school.classes, ["title", "project"])
+    for seed in range(5):
+        instance = random_instance(school.classes, seed=seed, max_depth=8)
+        projected = projection.project_instance(instance)
+        validate(projected, projection.projected)
+
+
+def test_partial_preservation_end_to_end(school):
+    """Embed the projection into the school target: the kept part is
+    information preserving; the dropped part is gone by construction."""
+    projection = project_dtd(school.classes, ["title"])
+    att = SimilarityMatrix.permissive()
+    result = find_embedding(projection.projected, school.school, att,
+                            seed=3)
+    assert result.found
+    sigma = result.embedding
+
+    instance = parse_xml(
+        "<db><class><cno>CS331</cno><title>secret</title>"
+        "<type><project>p</project></type></class></db>")
+    projected = projection.project_instance(instance)
+    mapped = InstMap(sigma).apply(projected)
+    validate(mapped.tree, school.school)
+
+    # Inverse recovers exactly the projection (not the original).
+    recovered = invert(sigma, mapped.tree)
+    assert tree_equal(recovered, projected)
+    assert not tree_equal(recovered, instance)
+
+    # Queries over kept types are preserved.
+    translator = Translator(sigma)
+    for source in ["class/cno/text()", "class[cno/text()='CS331']",
+                   "class/type/project/text()"]:
+        query = parse_xr(source)
+        expected = evaluate_set(query, projected)
+        anfa = translator.translate(query)
+        answered = evaluate_anfa_set(anfa, mapped.tree).map_ids(mapped.idM)
+        assert answered.strings == expected.strings
+        assert answered.ids == expected.ids
+
+    # Queries over the dropped type answer empty on the projection.
+    title_query = parse_xr("class/title/text()")
+    assert evaluate_set(title_query, instance).strings == \
+        frozenset({"secret"})
+    assert evaluate_set(title_query, projected).strings == frozenset()
+
+
+def test_projection_identity_when_nothing_dropped(school):
+    projection = project_dtd(school.classes, [])
+    assert projection.dropped == frozenset()
+    instance = random_instance(school.classes, seed=1, max_depth=7)
+    assert tree_equal(projection.project_instance(instance), instance)

@@ -1,0 +1,88 @@
+"""Hypothesis property tests: parser/serializer round-trips and
+cross-implementation agreement (XR evaluator vs ANFA)."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.anfa.construct import anfa_of_query
+from repro.anfa.evaluate import evaluate_anfa_set
+from repro.dtd.generate import random_instance
+from repro.workloads.queries import random_queries
+from repro.workloads.synthetic import random_dtd
+from repro.xpath.evaluator import evaluate_set
+from repro.xpath.parser import parse_xr
+from repro.xtree.nodes import ElementNode, TextNode, tree_equal
+from repro.xtree.parser import parse_xml
+from repro.xtree.serialize import to_string
+
+_SETTINGS = dict(max_examples=40, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+_TAGS = st.sampled_from(["a", "b", "c", "data", "x-y", "n_1"])
+_TEXTS = st.text(
+    alphabet=st.characters(codec="utf-8",
+                           blacklist_categories=("Cs", "Cc")),
+    min_size=1, max_size=12).filter(lambda s: s.strip() == s and s)
+
+
+@st.composite
+def _trees(draw, depth=0):
+    node = ElementNode(draw(_TAGS))
+    last_was_text = False
+    if depth < 3:
+        for _ in range(draw(st.integers(0, 3))):
+            if draw(st.booleans()):
+                node.append(draw(_trees(depth=depth + 1)))
+                last_was_text = False
+            elif not last_was_text:
+                # Adjacent text nodes merge on serialisation (standard
+                # XML behaviour), so don't generate them.
+                node.append(TextNode(draw(_TEXTS)))
+                last_was_text = True
+    return node
+
+
+@given(_trees())
+@settings(**_SETTINGS)
+def test_xml_roundtrip_property(tree):
+    # Compact form: whitespace-significant values survive exactly when
+    # elements have pure-text content (our data model's shape).
+    rendered = to_string(tree, indent=None)
+    reparsed = parse_xml(rendered, keep_whitespace=True)
+    assert tree_equal(reparsed, tree)
+
+
+@given(st.integers(0, 100_000), st.integers(2, 14))
+@settings(**_SETTINGS)
+def test_xr_parser_roundtrip_property(seed, size):
+    dtd = random_dtd(size, seed=seed % 1000, recursive_p=0.2)
+    for query in random_queries(dtd, 3, seed=seed):
+        rendered = str(query)
+        assert parse_xr(rendered) == query, rendered
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_anfa_matches_evaluator_property(seed):
+    """Source-side ANFA construction ≡ the direct XR evaluator."""
+    rng = random.Random(seed)
+    dtd = random_dtd(rng.randint(3, 12), seed=seed % 997,
+                     recursive_p=0.25)
+    instance = random_instance(dtd, seed=seed % 991, max_depth=6)
+    for query in random_queries(dtd, 4, seed=seed % 983):
+        direct = evaluate_set(query, instance)
+        via_anfa = evaluate_anfa_set(anfa_of_query(query), instance)
+        assert direct == via_anfa, str(query)
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_instance_generator_conforms_property(seed):
+    from repro.dtd.validate import conforms
+
+    dtd = random_dtd(seed % 17 + 2, seed=seed % 1009, recursive_p=0.3)
+    assert conforms(random_instance(dtd, seed=seed), dtd)

@@ -1,0 +1,118 @@
+"""Why the DESIGN.md refinements R1/R2 are load-bearing.
+
+Each test builds an embedding that satisfies the paper's *literal*
+conditions but violates a refinement, bypasses validation, and shows
+information is actually lost — the failure the refinement prevents.
+"""
+
+import pytest
+
+from repro.core.embedding import SchemaEmbedding
+from repro.core.errors import InverseError, ViolationCode
+from repro.core.instmap import InstMap
+from repro.core.inverse import invert
+from repro.dtd.parser import parse_compact
+from repro.dtd.validate import conforms
+from repro.xpath.paths import XRPath
+from repro.xtree.nodes import tree_equal
+from repro.xtree.parser import parse_xml
+
+
+def _r1_violating_embedding():
+    """Two OR paths sharing the OR edge, diverging on AND edges:
+    prefix-free and OR-typed (the paper's letter), but the absent
+    alternative's path is faked by mindef padding."""
+    source = parse_compact("a -> b + c\nb -> str\nc -> str")
+    target = parse_compact(
+        "x -> w + v\nw -> y, z\nv -> str\ny -> str\nz -> str")
+    return SchemaEmbedding(
+        source, target, {"a": "x", "b": "y", "c": "z"},
+        {("a", "b", 1): XRPath.parse("w/y"),
+         ("a", "c", 1): XRPath.parse("w/z"),
+         ("b", "#str", 1): XRPath.parse("text()"),
+         ("c", "#str", 1): XRPath.parse("text()")})
+
+
+def test_r1_violation_is_detected():
+    embedding = _r1_violating_embedding()
+    codes = {v.code for v in embedding.violations()}
+    assert ViolationCode.OR_DIVERGENCE in codes
+
+
+def test_r1_violation_loses_information():
+    """Bypass validation: the two source alternatives map to images
+    that differ only in which slot holds real data vs #s padding —
+    and for the value '#s' itself the images *collide*."""
+    embedding = _r1_violating_embedding()
+    instmap = InstMap(embedding, validate=False)
+
+    doc_b = parse_xml("<a><b>#s</b></a>")
+    doc_c = parse_xml("<a><c>#s</c></a>")
+    image_b = instmap.apply(doc_b).tree
+    image_c = instmap.apply(doc_c).tree
+    # Both conform to the target...
+    assert conforms(image_b, embedding.target)
+    assert conforms(image_c, embedding.target)
+    # ...and are indistinguishable: σd is not injective on documents,
+    # so no inverse can exist (the R1 failure mode).
+    assert tree_equal(image_b, image_c)
+    # The strict inverse detects the ambiguity instead of guessing.
+    with pytest.raises(InverseError):
+        invert(embedding, image_b)
+
+
+def _r2_violating_embedding():
+    """An optional alternative whose path coincides with the target's
+    default completion: presence and absence look identical."""
+    source = parse_compact("a -> b + eps\nb -> str")
+    target = parse_compact("x -> y + z\ny -> str\nz -> str")
+    return SchemaEmbedding(
+        source, target, {"a": "x", "b": "y"},
+        {("a", "b", 1): XRPath.parse("y"),
+         ("b", "#str", 1): XRPath.parse("text()")})
+
+
+def test_r2_violation_is_detected():
+    embedding = _r2_violating_embedding()
+    codes = {v.code for v in embedding.violations()}
+    assert ViolationCode.OPTIONAL_SIGNAL in codes
+
+
+def test_r2_violation_loses_information():
+    embedding = _r2_violating_embedding()
+    instmap = InstMap(embedding, validate=False)
+    present = parse_xml("<a><b>#s</b></a>")   # ε-alternative's twin
+    absent = parse_xml("<a/>")
+    image_present = instmap.apply(present).tree
+    image_absent = instmap.apply(absent).tree
+    # mindef picks the y alternative with #s — identical to the real
+    # b-image carrying the value '#s'.
+    assert tree_equal(image_present, image_absent)
+    recovered = invert(embedding, image_absent)
+    # The inverse returns one candidate; since both sources share the
+    # image, the other one is necessarily mis-reconstructed.
+    assert tree_equal(recovered, present) != tree_equal(recovered, absent)
+
+
+def test_r3_unpinned_star_detected(school):
+    """R3: a star step inside an AND path must be pinned — otherwise
+    the path denotes several nodes and σd is ill-defined."""
+    sigma = school.sigma1
+    broken = SchemaEmbedding(
+        sigma.source, sigma.target, dict(sigma.lam),
+        {**sigma.paths,
+         ("class", "title", 1): XRPath.parse("basic/class/semester/title")})
+    codes = {v.code for v in broken.violations()}
+    assert ViolationCode.NOT_AND_PATH in codes
+
+
+def test_r4_star_path_shape_detected():
+    """R4: a STAR path needs exactly one unpinned carrier."""
+    source = parse_compact("a -> b*\nb -> str")
+    target = parse_compact("x -> s\ns -> i*\ni -> j*\nj -> str")
+    two_stars = SchemaEmbedding(
+        source, target, {"a": "x", "b": "j"},
+        {("a", "b", 1): XRPath.parse("s/i/j"),
+         ("b", "#str", 1): XRPath.parse("text()")})
+    codes = {v.code for v in two_stars.violations()}
+    assert ViolationCode.NOT_STAR_PATH in codes

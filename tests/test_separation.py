@@ -1,0 +1,131 @@
+"""E2/E3: the Theorem 3.1 separations, executed.
+
+(1) the Fig. 2 chain mapping is invertible; its ``//B`` translation is
+    the XR query ``A/A/(A/A/A)*`` (not in the fragment X);
+(2) the sorting mapping preserves position-free X queries but is not
+    invertible (two sources, one image).
+"""
+
+import pytest
+
+from repro.core.separation import (
+    fig2_map,
+    fig2_source_dtd,
+    fig2_source_descendant_b,
+    fig2_target_dtd,
+    fig2_translated_descendant_b,
+    fig2_unmap,
+    sorting_dtd,
+    sorting_map,
+    sorting_translate,
+)
+from repro.dtd.validate import validate
+from repro.xpath.ast import contains_star
+from repro.xpath.evaluator import evaluate_set
+from repro.xpath.parser import parse_xr
+from repro.xtree.nodes import elem, tree_equal
+
+
+def _chain_instance(depth: int):
+    """r/A(B(A(…)),C) with `depth` A-levels."""
+    node = None
+    for _ in range(depth):
+        inner = elem("B") if node is None else elem("B", node)
+        node = elem("A", inner, elem("C"))
+    assert node is not None
+    return elem("r", node)
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3, 5])
+def test_fig2_mapping_type_safe(depth):
+    instance = _chain_instance(depth)
+    validate(instance, fig2_source_dtd())
+    image, _idm = fig2_map(instance)
+    validate(image, fig2_target_dtd())
+    # The image is a pure chain of 3·depth A nodes.
+    count = 0
+    node = image
+    while node.element_children():
+        node = node.element_children()[0]
+        count += 1
+    assert count == 3 * depth
+
+
+@pytest.mark.parametrize("depth", [1, 2, 4])
+def test_fig2_invertible(depth):
+    instance = _chain_instance(depth)
+    image, _idm = fig2_map(instance)
+    assert tree_equal(fig2_unmap(image), instance)
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3, 4])
+def test_fig2_descendant_b_equivalence(depth):
+    """//B on the source ≡ A^{3k+2} on the target (via idM)."""
+    instance = _chain_instance(depth)
+    image, idm = fig2_map(instance)
+    source_result = evaluate_set(fig2_source_descendant_b(), instance)
+    target_result = evaluate_set(fig2_translated_descendant_b(), image)
+    assert frozenset(idm[i] for i in target_result.ids) == source_result.ids
+    assert len(source_result.ids) == depth
+
+
+def test_fig2_translation_needs_kleene_star():
+    """The equivalent target query uses p* — outside the fragment X.
+
+    (That A^{3k+2} is not expressible in X at all is Theorem 3.1's
+    pumping-style argument; here we check the witness query's shape.)
+    """
+    assert contains_star(fig2_translated_descendant_b())
+
+
+def test_fig2_no_fixed_depth_x_query_works():
+    """Any fixed star-free chain A/…/A misses deep B images."""
+    deep = _chain_instance(4)
+    image, idm = fig2_map(deep)
+    source_ids = evaluate_set(fig2_source_descendant_b(), deep).ids
+    for fixed_depth in range(1, 9):
+        query = parse_xr("/".join(["A"] * fixed_depth))
+        result = evaluate_set(query, image)
+        mapped = frozenset(idm[i] for i in result.ids)
+        assert mapped != source_ids or len(source_ids) <= 1
+
+
+def test_sorting_map_not_invertible():
+    """Two distinct sources with the same image: no inverse exists."""
+    first = elem("r", elem("A", "zeta"), elem("A", "alpha"))
+    second = elem("r", elem("A", "alpha"), elem("A", "zeta"))
+    assert not tree_equal(first, second)
+    assert tree_equal(sorting_map(first), sorting_map(second))
+
+
+def test_sorting_map_type_safe():
+    instance = elem("r", elem("A", "b"), elem("A", "a"))
+    validate(sorting_map(instance), sorting_dtd())
+
+
+@pytest.mark.parametrize("source", [
+    ".", "A", "A[text()='alpha']", "A[not(text()='zeta')]",
+    "A/text()",
+])
+def test_sorting_preserves_position_free_queries(source):
+    """Identity translation works for X without position() — the
+    query answers are order-insensitive sets."""
+    instance = elem("r", elem("A", "zeta"), elem("A", "alpha"),
+                    elem("A", "mid"))
+    image = sorting_map(instance)
+    query = parse_xr(source)
+    translated = sorting_translate(query)
+    src = evaluate_set(query, instance)
+    tgt = evaluate_set(translated, image)
+    # Ids differ (fresh nodes) but cardinalities and strings agree —
+    # the bijection of the proof.
+    assert len(src.ids) == len(tgt.ids)
+    assert src.strings == tgt.strings
+
+
+def test_sorting_breaks_positional_queries():
+    instance = elem("r", elem("A", "zeta"), elem("A", "alpha"))
+    image = sorting_map(instance)
+    query = parse_xr("A[position()=1]/text()")
+    assert evaluate_set(query, instance).strings == frozenset({"zeta"})
+    assert evaluate_set(query, image).strings == frozenset({"alpha"})

@@ -1,0 +1,86 @@
+"""Similarity matrices and name matchers (Section 4.1)."""
+
+import pytest
+
+from repro.core.similarity import SimilarityMatrix, name_similarity
+from repro.dtd.parser import parse_compact
+
+SOURCE = parse_compact("a -> b, c\nb -> str\nc -> str")
+TARGET = parse_compact("a -> b, x\nb -> str\nx -> str")
+
+
+def test_get_set_and_bounds():
+    att = SimilarityMatrix()
+    att.set("a", "a", 0.5)
+    assert att.get("a", "a") == 0.5
+    assert att.get("a", "zzz") == 0.0
+    with pytest.raises(ValueError):
+        att.set("a", "a", 1.5)
+
+
+def test_permissive_default():
+    att = SimilarityMatrix.permissive(0.7)
+    assert att.get("anything", "goes") == 0.7
+
+
+def test_candidates_sorted_and_thresholded():
+    att = SimilarityMatrix()
+    att.set("a", "x", 0.4)
+    att.set("a", "y", 0.9)
+    att.set("a", "z", 0.0)
+    ranked = att.candidates("a", ["x", "y", "z", "w"])
+    assert ranked == [("y", 0.9), ("x", 0.4)]
+    assert att.candidates("a", ["x"], threshold=0.5) == []
+
+
+def test_candidates_tie_break_alphabetical():
+    att = SimilarityMatrix.permissive()
+    ranked = att.candidates("a", ["zz", "aa", "mm"])
+    assert [t for t, _s in ranked] == ["aa", "mm", "zz"]
+
+
+def test_quality_and_validity():
+    att = SimilarityMatrix()
+    att.set("a", "a", 0.5)
+    att.set("b", "b", 0.25)
+    lam = {"a": "a", "b": "b"}
+    assert att.quality(lam) == pytest.approx(0.75)
+    assert att.is_valid_lambda(lam)
+    assert not att.is_valid_lambda({"a": "a", "c": "x"})
+
+
+def test_exact_names_with_extras():
+    att = SimilarityMatrix.exact_names(SOURCE, TARGET,
+                                       extra={("c", "x"): 0.6})
+    assert att.get("a", "a") == 1.0
+    assert att.get("b", "b") == 1.0
+    assert att.get("c", "x") == 0.6
+    assert att.get("c", "b") == 0.0
+
+
+def test_from_mapping_unambiguous():
+    att = SimilarityMatrix.from_mapping({"a": "a", "b": "x"})
+    assert att.candidates("b", ["a", "b", "x"]) == [("x", 1.0)]
+
+
+def test_from_names_threshold():
+    att = SimilarityMatrix.from_names(SOURCE, TARGET, threshold=0.99)
+    assert att.get("a", "a") == 1.0
+    assert att.get("c", "x") == 0.0
+
+
+def test_copy_is_independent():
+    att = SimilarityMatrix()
+    att.set("a", "a", 1.0)
+    clone = att.copy()
+    clone.set("a", "a", 0.2)
+    assert att.get("a", "a") == 1.0
+
+
+def test_name_similarity_properties():
+    assert name_similarity("x", "x") == 1.0
+    assert name_similarity("Pub-Date", "pub_date") == 1.0
+    assert 0.0 <= name_similarity("qqq", "zzz") <= 0.2
+    # Symmetry.
+    assert name_similarity("course", "courses") == \
+        name_similarity("courses", "course")

@@ -1,0 +1,63 @@
+"""The graph-similarity baseline: where it works and where it fails."""
+
+import pytest
+
+from repro.core.similarity import SimilarityMatrix
+from repro.dtd.parser import parse_compact
+from repro.matching.simulation import greatest_simulation, simulation_mapping
+
+
+def test_identical_schemas_simulate():
+    dtd = parse_compact("r -> a, b\na -> str\nb -> c*\nc -> str")
+    mapping = simulation_mapping(dtd, dtd)
+    assert mapping == {t: t for t in dtd.types}
+
+
+def test_fig1_not_simulatable(school):
+    """The paper's core motivation: "one cannot map S0 to S by graph
+    similarity" — the school target restructures the class data."""
+    assert simulation_mapping(school.classes, school.school) is None
+    assert simulation_mapping(school.students, school.school) is None
+
+
+def test_embedding_succeeds_where_simulation_fails(school):
+    """Schema embedding strictly generalises similarity on Fig. 1."""
+    from repro.matching.search import find_embedding
+
+    assert simulation_mapping(school.classes, school.school) is None
+    result = find_embedding(school.classes, school.school,
+                            SimilarityMatrix.permissive(), seed=1)
+    assert result.found
+
+
+def test_simulation_respects_edge_kinds():
+    source = parse_compact("r -> a*\na -> str")
+    target = parse_compact("r -> a\na -> str")  # AND edge, not STAR
+    assert simulation_mapping(source, target) is None
+
+
+def test_simulation_respects_att():
+    dtd = parse_compact("r -> a\na -> str")
+    att = SimilarityMatrix()
+    att.set("r", "r", 1.0)   # 'a' has no admissible image
+    assert simulation_mapping(dtd, dtd, att) is None
+
+
+def test_greatest_simulation_is_a_simulation():
+    source = parse_compact("r -> a\na -> b + c\nb -> str\nc -> str")
+    target = parse_compact(
+        "r -> a, x\na -> b + c\nx -> str\nb -> str\nc -> str")
+    att = SimilarityMatrix.permissive()
+    relation = greatest_simulation(source, target, att)
+    for (a, c) in relation:
+        for edge in source.edges_from(a):
+            assert any(candidate.kind is edge.kind
+                       and (edge.child, candidate.child) in relation
+                       for candidate in target.edges_from(c))
+
+
+def test_simulation_into_larger_target():
+    source = parse_compact("r -> a\na -> str")
+    target = parse_compact("r -> a, b\na -> str\nb -> str")
+    mapping = simulation_mapping(source, target)
+    assert mapping == {"r": "r", "a": "a"}

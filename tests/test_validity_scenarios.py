@@ -1,0 +1,61 @@
+"""E4: the five Fig. 3 scenarios with Example 4.1's verdicts."""
+
+import pytest
+
+from repro.core.instmap import apply_embedding
+from repro.core.inverse import invert
+from repro.dtd.generate import random_instance
+from repro.dtd.validate import conforms
+from repro.workloads.library import fig3_scenarios
+from repro.xtree.nodes import tree_equal
+
+SCENARIOS = {scenario.key: scenario for scenario in fig3_scenarios()}
+
+
+@pytest.mark.parametrize("key", sorted(SCENARIOS))
+def test_verdict_matches_paper(key):
+    scenario = SCENARIOS[key]
+    valid = (scenario.embedding is not None
+             and scenario.embedding.is_valid())
+    assert valid == scenario.expect_valid, scenario.note
+
+
+@pytest.mark.parametrize("key", [k for k, s in SCENARIOS.items()
+                                 if s.expect_valid])
+def test_valid_scenarios_roundtrip(key):
+    scenario = SCENARIOS[key]
+    assert scenario.embedding is not None
+    for seed in range(5):
+        instance = random_instance(scenario.source, seed=seed)
+        result = apply_embedding(scenario.embedding, instance)
+        assert conforms(result.tree, scenario.target)
+        assert tree_equal(invert(scenario.embedding, result.tree), instance)
+
+
+def test_scenario_c_uses_positions():
+    scenario = SCENARIOS["c"]
+    assert scenario.embedding is not None
+    rendered = sorted(str(p) for p in scenario.embedding.paths.values())
+    assert "Bp[position()=1]" in rendered
+    assert "Bp[position()=2]" in rendered
+
+
+def test_scenario_e_unfolds_cycle():
+    scenario = SCENARIOS["e"]
+    assert scenario.embedding is not None
+    assert scenario.target.is_recursive()
+    longest = max(scenario.embedding.paths.values(), key=len)
+    assert len(longest) >= 3  # the unfolded cycle
+
+
+def test_exact_solver_agrees_with_verdicts():
+    """The exhaustive solver reaches the same conclusions."""
+    from repro.core.similarity import SimilarityMatrix
+    from repro.matching.exact import exact_embedding
+
+    att = SimilarityMatrix.permissive()
+    for key, scenario in sorted(SCENARIOS.items()):
+        found = exact_embedding(scenario.source, scenario.target, att,
+                                max_len=5)
+        assert (found is not None) == scenario.expect_valid, \
+            f"scenario {key}: {scenario.note}"

@@ -1,0 +1,134 @@
+"""Workload generators: library schemas, expansion, noise, synthesis."""
+
+import pytest
+
+from repro.core.similarity import SimilarityMatrix
+from repro.dtd.consistency import is_consistent
+from repro.dtd.generate import random_instance
+from repro.dtd.validate import conforms
+from repro.workloads.library import SCHEMA_LIBRARY, school_example
+from repro.workloads.noise import expand_schema, noisy_att
+from repro.workloads.queries import random_queries
+from repro.workloads.synthetic import random_dtd
+from repro.xpath.evaluator import evaluate_set
+
+
+@pytest.mark.parametrize("name", sorted(SCHEMA_LIBRARY))
+def test_library_schemas_consistent(name):
+    dtd = SCHEMA_LIBRARY[name]()
+    assert is_consistent(dtd)
+    assert conforms(random_instance(dtd, seed=1), dtd)
+
+
+def test_school_bundle_complete():
+    bundle = school_example()
+    assert bundle.sigma1.is_valid(bundle.att)
+    assert bundle.sigma2.is_valid(bundle.att)
+    # σ1 reproduces the Example 4.2 paths verbatim.
+    assert str(bundle.sigma1.path_for("class", "title")) == \
+        "basic/class/semester[position()=1]/title"
+    assert str(bundle.sigma1.path_for("type", "regular")) == \
+        "mandatory/regular"
+    assert str(bundle.sigma2.path_for("db", "student")) == \
+        "students/student"
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_expansion_embedding_always_valid(seed):
+    source = SCHEMA_LIBRARY["orders"]()
+    expansion = expand_schema(source, seed=seed)
+    assert expansion.embedding.is_valid()
+    assert is_consistent(expansion.target)
+    assert expansion.target.node_count() > source.node_count()
+
+
+@pytest.mark.parametrize("wrap_max,junk_prob", [(0, 0.0), (1, 0.1),
+                                                (3, 0.6)])
+def test_expansion_knobs(wrap_max, junk_prob):
+    source = SCHEMA_LIBRARY["bib"]()
+    expansion = expand_schema(source, seed=3, wrap_max=wrap_max,
+                              junk_prob=junk_prob)
+    assert expansion.embedding.is_valid()
+    if wrap_max == 0 and junk_prob == 0.0:
+        # Pure copy: the target equals the source modulo naming.
+        assert expansion.target.node_count() == source.node_count()
+
+
+def test_expansion_rename():
+    source = SCHEMA_LIBRARY["parts"]()
+    expansion = expand_schema(source, seed=1, rename=True)
+    assert expansion.lam["part"] == "part_t"
+    assert expansion.embedding.is_valid()
+
+
+def test_noisy_att_zero_noise_is_unambiguous(bib_expansion):
+    att = noisy_att(bib_expansion, 0.0, seed=1)
+    for source_type in bib_expansion.source.types:
+        candidates = att.candidates(source_type,
+                                    bib_expansion.target.types)
+        assert [c for c, _s in candidates] == \
+            [bib_expansion.lam[source_type]]
+
+
+def test_noisy_att_adds_ambiguity(bib_expansion):
+    att = noisy_att(bib_expansion, 1.0, seed=1)
+    ambiguous = sum(
+        1 for source_type in bib_expansion.source.types
+        if len(att.candidates(source_type,
+                              bib_expansion.target.types)) > 1)
+    assert ambiguous > 0
+
+
+def test_noisy_att_truth_always_admissible(bib_expansion):
+    att = noisy_att(bib_expansion, 1.0, seed=7)
+    for source_type in bib_expansion.source.types:
+        assert att.get(source_type, bib_expansion.lam[source_type]) > 0
+
+
+@pytest.mark.parametrize("size", [1, 5, 20, 60])
+def test_random_dtd_sizes(size):
+    dtd = random_dtd(size, seed=size)
+    assert dtd.node_count() == size
+    assert is_consistent(dtd)
+
+
+def test_random_dtd_recursive_flag():
+    recursive_found = any(random_dtd(20, seed=s, recursive_p=0.6)
+                          .is_recursive() for s in range(6))
+    assert recursive_found
+
+
+def test_random_dtd_instances_conform():
+    for seed in range(5):
+        dtd = random_dtd(15, seed=seed, recursive_p=0.3)
+        instance = random_instance(dtd, seed=seed)
+        assert conforms(instance, dtd)
+
+
+def test_random_queries_parse_and_run(school):
+    queries = random_queries(school.classes, 20, seed=3)
+    assert len(queries) == 20
+    instance = random_instance(school.classes, seed=8, max_depth=8)
+    non_empty = 0
+    for query in queries:
+        result = evaluate_set(query, instance)
+        if len(result):
+            non_empty += 1
+    # Schema-aware generation should hit the instance often.
+    assert non_empty >= len(queries) // 3
+
+
+def test_similarity_from_names(school):
+    att = SimilarityMatrix.from_names(school.classes, school.school)
+    assert att.get("cno", "cno") == 1.0
+    assert att.get("class", "class") == 1.0
+    candidates = att.candidates("title", school.school.types)
+    assert candidates[0][0] == "title"
+
+
+def test_name_similarity_metric():
+    from repro.core.similarity import name_similarity
+
+    assert name_similarity("Course", "course") == 1.0
+    assert name_similarity("cno", "xyz") < 0.3
+    assert name_similarity("student", "students") > 0.6

@@ -1,0 +1,120 @@
+"""Unit tests: XR evaluation semantics (Section 2.2, Marx 2004)."""
+
+import pytest
+
+from repro.xpath.evaluator import ResultSet, evaluate, evaluate_set, holds_at
+from repro.xpath.parser import parse_qualifier, parse_xr
+from repro.xtree.parser import parse_xml
+
+DOC = parse_xml("""
+<r>
+  <a><b>one</b><c><b>deep</b></c></a>
+  <a><b>two</b></a>
+  <a><b>three</b><d>delta</d></a>
+</r>
+""".strip())
+
+
+def _tags(items):
+    return [item if isinstance(item, str) else item.tag for item in items]
+
+
+def test_child_step():
+    assert _tags(evaluate(parse_xr("a"), DOC)) == ["a", "a", "a"]
+
+
+def test_child_chain_and_text():
+    assert evaluate(parse_xr("a/b/text()"), DOC) == ["one", "two", "three"]
+
+
+def test_empty_path_is_self():
+    items = evaluate(parse_xr("."), DOC)
+    assert len(items) == 1 and items[0] is DOC
+
+
+def test_union_dedup_document_order():
+    items = evaluate(parse_xr("a/b | a"), DOC)
+    # 3 a's and 3 direct b's, in document order: a,b,a,b,a,b
+    assert _tags(items) == ["a", "b", "a", "b", "a", "b"]
+
+
+def test_descendant_or_self():
+    items = evaluate(parse_xr("//b"), DOC)
+    assert len(items) == 4  # includes the nested one
+
+
+def test_descendant_text():
+    assert set(evaluate(parse_xr("//b/text()"), DOC)) == \
+        {"one", "two", "three", "deep"}
+
+
+def test_position_qualifier():
+    assert evaluate(parse_xr("a[position()=2]/b/text()"), DOC) == ["two"]
+
+
+def test_position_out_of_range():
+    assert evaluate(parse_xr("a[position()=9]"), DOC) == []
+
+
+def test_path_existence_qualifier():
+    assert evaluate(parse_xr("a[d]/b/text()"), DOC) == ["three"]
+
+
+def test_text_equality_qualifier():
+    assert evaluate(parse_xr("a[b/text()='two']/b/text()"), DOC) == ["two"]
+
+
+def test_negation_and_conjunction():
+    items = evaluate(parse_xr("a[not(d) and not(c)]/b/text()"), DOC)
+    assert items == ["two"]
+
+
+def test_disjunction_qualifier():
+    items = evaluate(parse_xr("a[d or c]/b/text()"), DOC)
+    assert items == ["one", "three"]
+
+
+def test_star_reflexive():
+    items = evaluate(parse_xr("(a)*"), DOC)
+    assert _tags(items) == ["r", "a", "a", "a"]
+
+
+def test_star_transitive():
+    doc = parse_xml("<r><n><n><n/></n></n></r>")
+    items = evaluate(parse_xr("(n)*"), doc)
+    assert len(items) == 4  # r + 3 nested n's
+
+
+def test_star_with_qualifier_filter():
+    items = evaluate(parse_xr("(a | a/c)*[b]"), DOC)
+    # nodes reachable with a b child: the three a's and the c.
+    assert sorted(_tags(items)) == ["a", "a", "a", "c"]
+
+
+def test_strings_have_no_children():
+    assert evaluate(parse_xr("a/b/text()/b"), DOC) == []
+
+
+def test_result_set_ids_and_strings():
+    result = evaluate_set(parse_xr("a/b/text() | a"), DOC)
+    assert len(result.ids) == 3
+    assert result.strings == frozenset({"one", "two", "three"})
+
+
+def test_result_set_map_ids():
+    result = ResultSet(frozenset({1, 2}), frozenset({"x"}))
+    mapped = result.map_ids({1: 10, 2: 20})
+    assert mapped.ids == frozenset({10, 20})
+    with pytest.raises(KeyError):
+        result.map_ids({1: 10})
+
+
+def test_holds_at():
+    a_nodes = DOC.children_tagged("a")
+    assert holds_at(parse_qualifier("d"), a_nodes[2])
+    assert not holds_at(parse_qualifier("d"), a_nodes[0])
+
+
+def test_qualifier_true():
+    assert evaluate(parse_xr("a[true()]"), DOC) == \
+        evaluate(parse_xr("a"), DOC)

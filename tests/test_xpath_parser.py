@@ -1,0 +1,133 @@
+"""Unit tests: XR concrete syntax (Section 2.2)."""
+
+import pytest
+
+from repro.xpath.ast import (
+    DescOrSelf,
+    EmptyPath,
+    Label,
+    QAnd,
+    QNot,
+    QPath,
+    QPos,
+    QText,
+    Qualified,
+    Seq,
+    Star,
+    TextStep,
+    Union,
+    contains_descendant,
+    contains_star,
+    lower_descendants,
+    query_size,
+)
+from repro.xpath.parser import XPathParseError, parse_qualifier, parse_xr
+
+
+def test_single_label():
+    assert parse_xr("A") == Label("A")
+
+
+def test_child_chain():
+    assert parse_xr("A/B/C") == Seq(Seq(Label("A"), Label("B")), Label("C"))
+
+
+def test_empty_path_dot():
+    assert parse_xr(".") == EmptyPath()
+
+
+def test_text_tail():
+    assert parse_xr("A/text()") == Seq(Label("A"), TextStep())
+
+
+def test_union_both_spellings():
+    assert parse_xr("A | B") == Union(Label("A"), Label("B"))
+    assert parse_xr("A ∪ B") == Union(Label("A"), Label("B"))
+
+
+def test_star_postfix():
+    assert parse_xr("(A/B)*") == Star(Seq(Label("A"), Label("B")))
+    assert parse_xr("A*") == Star(Label("A"))
+
+
+def test_descendant_or_self():
+    expr = parse_xr("//B")
+    assert expr == Seq(DescOrSelf(), Label("B"))
+    assert contains_descendant(expr)
+
+
+def test_descendant_infix():
+    expr = parse_xr("A//B")
+    assert expr == Seq(Label("A"), Seq(DescOrSelf(), Label("B")))
+
+
+def test_position_qualifier():
+    assert parse_xr("A[position()=2]") == Qualified(Label("A"), QPos(2))
+
+
+def test_text_equality_qualifier():
+    expr = parse_xr("A[B/text()='x']")
+    assert expr == Qualified(Label("A"),
+                             QText(Seq(Label("B"), TextStep()), "x"))
+
+
+def test_boolean_qualifiers():
+    expr = parse_xr("A[not(B) and position()=1]")
+    assert expr == Qualified(Label("A"),
+                             QAnd(QNot(QPath(Label("B"))), QPos(1)))
+
+
+def test_nested_boolean_parentheses():
+    expr = parse_xr("A[(B or C) and not(D)]")
+    assert isinstance(expr, Qualified)
+    assert isinstance(expr.qual, QAnd)
+
+
+def test_parenthesised_path_qualifier():
+    expr = parse_xr("A[(B/C)]")
+    assert expr == Qualified(Label("A"), QPath(Seq(Label("B"), Label("C"))))
+
+
+def test_example_4_7_query_parses():
+    query = parse_xr(
+        "courses/current/course[basic/cno/text()='CS331']/"
+        "(category/mandatory/regular/required/prereq/course)*")
+    assert contains_star(query)
+    assert query_size(query) > 10
+
+
+def test_example_4_8_query_parses():
+    query = parse_xr(
+        "class[cno/text()='CS331']/(type/regular/prereq/class)*")
+    assert contains_star(query)
+
+
+def test_roundtrip_through_str():
+    for source in ["A/B[C]", "(A | B)*/text()", "A[position()=3]",
+                   "A[not(B/text()='v')]", "."]:
+        expr = parse_xr(source)
+        assert parse_xr(str(expr)) == expr
+
+
+def test_lower_descendants():
+    lowered = lower_descendants(parse_xr("//B"), ["A", "B"])
+    assert not contains_descendant(lowered)
+    assert contains_star(lowered)
+
+
+def test_parse_qualifier_entry_point():
+    assert parse_qualifier("position()=2") == QPos(2)
+    assert parse_qualifier("A and B") == QAnd(QPath(Label("A")),
+                                              QPath(Label("B")))
+
+
+def test_errors():
+    for bad in ["", "A/", "A[", "A]", "A[position()=]", "A | ", "(A"]:
+        with pytest.raises(XPathParseError):
+            parse_xr(bad)
+
+
+def test_query_size_counts_nodes():
+    assert query_size(parse_xr("A")) == 1
+    assert query_size(parse_xr("A/B")) == 3
+    assert query_size(parse_xr("A[B]")) > 3

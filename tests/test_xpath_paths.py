@@ -1,0 +1,172 @@
+"""Unit tests: XR paths and their schema classification (Section 4.1)."""
+
+import pytest
+
+from repro.xpath.paths import (
+    PathClassError,
+    PathStep,
+    XRPath,
+    classify_path,
+    first_divergence,
+)
+from repro.workloads.library import school_example
+
+SCHOOL = school_example().school
+
+
+def test_parse_and_render():
+    path = XRPath.parse("basic/class/semester[position()=1]/title")
+    assert path.steps == (PathStep("basic"), PathStep("class"),
+                          PathStep("semester", 1), PathStep("title"))
+    assert str(path) == "basic/class/semester[position()=1]/title"
+
+
+def test_parse_text_path():
+    path = XRPath.parse("text()")
+    assert path.steps == () and path.text
+    assert str(path) == "text()"
+
+
+def test_text_must_be_last():
+    with pytest.raises(PathClassError):
+        XRPath.parse("a/text()/b")
+
+
+def test_bad_step_rejected():
+    with pytest.raises(PathClassError):
+        XRPath.parse("a[2]/b")
+
+
+def test_prefix_relation():
+    p1 = XRPath.parse("a/b")
+    p2 = XRPath.parse("a/b/c")
+    assert p1.is_prefix_of(p2)
+    assert not p2.is_prefix_of(p1)
+    assert p1.is_prefix_of(p1)  # equality counts (Section 4.1)
+
+
+def test_prefix_respects_positions():
+    pinned1 = XRPath.parse("a[position()=1]/b")
+    pinned2 = XRPath.parse("a[position()=2]/b")
+    assert not pinned1.is_prefix_of(pinned2)
+
+
+def test_text_path_prefix_only_of_itself():
+    text_path = XRPath.parse("a/text()")
+    longer = XRPath.parse("a/b")
+    assert not text_path.is_prefix_of(longer)
+    assert text_path.is_prefix_of(XRPath.parse("a/text()"))
+
+
+def test_concat_paths():
+    joined = XRPath.parse("a/b").concat(XRPath.parse("c/text()"))
+    assert str(joined) == "a/b/c/text()"
+    with pytest.raises(PathClassError):
+        XRPath.parse("a/text()").concat(XRPath.parse("b"))
+
+
+def test_classify_and_path():
+    info = classify_path(XRPath.parse("basic/cno"), SCHOOL, "course")
+    assert info.is_and_path()
+    assert not info.is_or_path() and not info.is_star_path()
+    assert info.end_type == "cno"
+
+
+def test_classify_or_path():
+    info = classify_path(XRPath.parse("mandatory/regular"), SCHOOL,
+                         "category")
+    assert info.is_or_path()
+    # Both steps are OR edges: category -> mandatory -> regular|lab.
+    assert info.or_indices == (0, 1)
+
+
+def test_classify_star_path_with_suffix():
+    info = classify_path(XRPath.parse("courses/current/course"), SCHOOL,
+                         "school")
+    assert info.is_star_path()
+    assert info.carrier_index == 2
+
+
+def test_classify_pinned_star_is_and():
+    info = classify_path(
+        XRPath.parse("basic/class/semester[position()=1]/title"),
+        SCHOOL, "course")
+    assert info.is_and_path()
+    assert not info.is_star_path()
+
+
+def test_unpinned_star_in_and_context_detected():
+    info = classify_path(XRPath.parse("basic/class/semester"), SCHOOL,
+                         "course")
+    assert not info.is_and_path()      # R3: star must be pinned
+    assert info.is_star_path()
+
+
+def test_classify_rejects_non_schema_path():
+    with pytest.raises(PathClassError):
+        classify_path(XRPath.parse("nope"), SCHOOL, "course")
+
+
+def test_classify_rejects_descend_through_str():
+    with pytest.raises(PathClassError):
+        classify_path(XRPath.parse("cno/zzz"), SCHOOL, "basic")
+
+
+def test_classify_text_requires_str_endpoint():
+    with pytest.raises(PathClassError):
+        classify_path(XRPath.parse("basic/text()"), SCHOOL, "course")
+    info = classify_path(XRPath.parse("basic/cno/text()"), SCHOOL, "course")
+    assert info.end_type == "cno"
+
+
+def test_classify_normalises_redundant_position():
+    info = classify_path(XRPath.parse("basic[position()=1]/cno"), SCHOOL,
+                         "course")
+    assert info.path.steps[0].pos is None
+
+
+def test_classify_requires_position_on_repeated_children():
+    from repro.dtd.parser import parse_compact
+
+    dtd = parse_compact("a -> b, b\nb -> str")
+    with pytest.raises(PathClassError):
+        classify_path(XRPath.parse("b"), dtd, "a")
+    info = classify_path(XRPath.parse("b[position()=2]"), dtd, "a")
+    assert info.path.steps[0].pos == 2
+
+
+def test_classify_out_of_range_position():
+    from repro.dtd.parser import parse_compact
+
+    dtd = parse_compact("a -> b, b\nb -> str")
+    with pytest.raises(PathClassError):
+        classify_path(XRPath.parse("b[position()=3]"), dtd, "a")
+
+
+def test_first_divergence():
+    p1 = XRPath.parse("a/b/c")
+    p2 = XRPath.parse("a/x/c")
+    assert first_divergence(p1, p2) == 1
+    assert first_divergence(p1, XRPath.parse("a/b")) is None
+
+
+def test_with_pinned_carrier():
+    path = XRPath.parse("courses/current/course")
+    info = classify_path(path, SCHOOL, "school")
+    pinned = path.with_pinned_carrier(3, info.carrier_index)
+    assert str(pinned) == "courses/current/course[position()=3]"
+    with pytest.raises(PathClassError):
+        pinned.with_pinned_carrier(1, info.carrier_index)
+
+
+def test_to_expr_roundtrip_semantics():
+    from repro.xpath.parser import parse_xr
+
+    path = XRPath.parse("a/b[position()=2]/text()")
+    assert str(path.to_expr()) == str(parse_xr("a/b[position()=2]/text()"))
+
+
+def test_len_counts_text():
+    assert len(XRPath.parse("a/b")) == 2
+    assert len(XRPath.parse("a/text()")) == 2
+    assert len(XRPath.parse("text()")) == 1

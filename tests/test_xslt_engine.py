@@ -1,0 +1,131 @@
+"""XSLT-subset engine tests (the Section 4.3 processing model)."""
+
+import pytest
+
+from repro.xpath.paths import XRPath
+from repro.xslt.engine import XSLTError, apply_stylesheet
+from repro.xslt.model import (
+    OutApply,
+    OutElem,
+    OutText,
+    Pattern,
+    Select,
+    Stylesheet,
+    TemplateRule,
+    select_nodes,
+)
+from repro.xtree.nodes import TextNode
+from repro.xtree.parser import parse_xml
+from repro.xtree.serialize import to_string
+
+DOC = parse_xml("<db><rec><k>a</k><v>1</v></rec><rec><k>b</k><v>2</v></rec></db>")
+
+
+def _sheet(*rules, initial_mode=None):
+    sheet = Stylesheet(initial_mode=initial_mode)
+    for rule in rules:
+        sheet.add(rule)
+    return sheet
+
+
+def test_literal_output():
+    sheet = _sheet(TemplateRule(Pattern("db"), [OutElem("out")]))
+    result = apply_stylesheet(sheet, DOC)
+    assert to_string(result, indent=None) == "<out/>"
+
+
+def test_apply_templates_select_and_recurse():
+    sheet = _sheet(
+        TemplateRule(Pattern("db"), [
+            OutElem("keys", [OutApply(Select(XRPath.parse("rec/k")))])]),
+        TemplateRule(Pattern("k"), [
+            OutElem("key", [OutApply(Select(XRPath((), text=True)))])]))
+    result = apply_stylesheet(sheet, DOC)
+    assert to_string(result, indent=None) == \
+        "<keys><key>a</key><key>b</key></keys>"
+
+
+def test_builtin_text_copy():
+    sheet = _sheet(
+        TemplateRule(Pattern("db"), [
+            OutElem("t", [OutApply(Select(XRPath.parse("rec/v/text()")))])]))
+    result = apply_stylesheet(sheet, DOC)
+    assert to_string(result, indent=None) == "<t>12</t>"
+
+
+def test_modes_partition_rules():
+    sheet = _sheet(
+        TemplateRule(Pattern("db"), [
+            OutElem("r", [OutApply(Select(XRPath.parse("rec")), mode="m1"),
+                          OutApply(Select(XRPath.parse("rec")), mode="m2")])]),
+        TemplateRule(Pattern("rec"), [OutElem("one")], mode="m1"),
+        TemplateRule(Pattern("rec"), [OutElem("two")], mode="m2"))
+    result = apply_stylesheet(sheet, DOC)
+    assert to_string(result, indent=None) == \
+        "<r><one/><one/><two/><two/></r>"
+
+
+def test_qualified_pattern_beats_bare():
+    sheet = _sheet(
+        TemplateRule(Pattern("rec"), [OutElem("plain")]),
+        TemplateRule(Pattern("rec", XRPath.parse("k")), [OutElem("has-k")]),
+        TemplateRule(Pattern("db"), [
+            OutElem("r", [OutApply(Select(XRPath.parse("rec")))])]))
+    result = apply_stylesheet(sheet, DOC)
+    assert to_string(result, indent=None) == "<r><has-k/><has-k/></r>"
+
+
+def test_select_self():
+    sheet = _sheet(
+        TemplateRule(Pattern("db"), [
+            OutElem("r", [OutApply(Select(XRPath.parse("rec")), mode="w")])]),
+        TemplateRule(Pattern("rec"), [OutApply(Select(None))], mode="w"),
+        TemplateRule(Pattern("rec"), [OutElem("leaf")]))
+    result = apply_stylesheet(sheet, DOC)
+    assert to_string(result, indent=None) == "<r><leaf/><leaf/></r>"
+
+
+def test_positional_select():
+    sheet = _sheet(
+        TemplateRule(Pattern("db"), [
+            OutElem("r", [OutApply(Select(
+                XRPath.parse("rec[position()=2]/k/text()")))])]))
+    result = apply_stylesheet(sheet, DOC)
+    assert to_string(result, indent=None) == "<r>b</r>"
+
+
+def test_missing_rule_is_error():
+    sheet = _sheet(TemplateRule(Pattern("db"), [
+        OutApply(Select(XRPath.parse("rec")))]))
+    with pytest.raises(XSLTError):
+        apply_stylesheet(sheet, DOC)
+
+
+def test_initial_mode():
+    sheet = _sheet(
+        TemplateRule(Pattern("db"), [OutElem("wrong")]),
+        TemplateRule(Pattern("db"), [OutElem("right")], mode="start"),
+        initial_mode="start")
+    result = apply_stylesheet(sheet, DOC)
+    assert result.tag == "right"
+
+
+def test_multiple_top_level_nodes_rejected():
+    sheet = _sheet(TemplateRule(Pattern("db"),
+                                [OutElem("a"), OutElem("b")]))
+    with pytest.raises(XSLTError):
+        apply_stylesheet(sheet, DOC)
+
+
+def test_select_nodes_returns_text_nodes():
+    rec = DOC.element_children()[0]
+    nodes = select_nodes(rec, Select(XRPath.parse("v/text()")))
+    assert len(nodes) == 1 and isinstance(nodes[0], TextNode)
+    assert nodes[0].value == "1"
+
+
+def test_output_text_literal():
+    sheet = _sheet(TemplateRule(Pattern("db"), [
+        OutElem("pad", [OutText("#s")])]))
+    result = apply_stylesheet(sheet, DOC)
+    assert to_string(result, indent=None) == "<pad>#s</pad>"

@@ -1,0 +1,114 @@
+"""E9: generated σd stylesheets agree with InstMap (Section 4.3)."""
+
+import pytest
+
+from repro.core.instmap import InstMap
+from repro.dtd.generate import random_instance
+from repro.dtd.validate import validate
+from repro.workloads.library import SCHEMA_LIBRARY
+from repro.workloads.noise import expand_schema
+from repro.xslt.engine import apply_stylesheet
+from repro.xslt.forward import forward_stylesheet
+from repro.xslt.serialize import stylesheet_to_xslt
+from repro.xtree.nodes import tree_equal
+from repro.xtree.parser import parse_xml
+
+
+def test_forward_matches_instmap_school(school):
+    sheet = forward_stylesheet(school.sigma1)
+    instmap = InstMap(school.sigma1)
+    for seed in range(6):
+        instance = random_instance(school.classes, seed=seed, max_depth=8)
+        via_xslt = apply_stylesheet(sheet, instance)
+        via_instmap = instmap.apply(instance).tree
+        assert tree_equal(via_xslt, via_instmap)
+
+
+def test_forward_matches_instmap_students(school):
+    sheet = forward_stylesheet(school.sigma2)
+    instmap = InstMap(school.sigma2)
+    for seed in range(6):
+        instance = random_instance(school.students, seed=seed)
+        assert tree_equal(apply_stylesheet(sheet, instance),
+                          instmap.apply(instance).tree)
+
+
+@pytest.mark.parametrize("name", ["bib", "orders", "genealogy", "parts"])
+def test_forward_matches_instmap_expansions(name):
+    expansion = expand_schema(SCHEMA_LIBRARY[name](), seed=17)
+    sheet = forward_stylesheet(expansion.embedding)
+    instmap = InstMap(expansion.embedding)
+    for seed in range(3):
+        instance = random_instance(expansion.source, seed=seed, max_depth=7)
+        assert tree_equal(apply_stylesheet(sheet, instance),
+                          instmap.apply(instance).tree)
+
+
+def test_example_4_6_template_shape(school):
+    """The class → course template embeds the mindef padding inline
+    (credit, year, term, instructor) and three apply-templates."""
+    sheet = forward_stylesheet(school.sigma1)
+    rendered = stylesheet_to_xslt(sheet)
+    assert '<xsl:template match="class">' in rendered
+    assert "<credit>#s</credit>" in rendered
+    assert '<xsl:apply-templates select="cno"/>' in rendered
+    assert '<xsl:apply-templates select="title"/>' in rendered
+    assert '<xsl:apply-templates select="type"/>' in rendered
+
+
+def test_example_4_6_disjunction_rules(school):
+    """Two templates for type: match type[regular] and type[project]."""
+    sheet = forward_stylesheet(school.sigma1)
+    rendered = stylesheet_to_xslt(sheet)
+    assert '<xsl:template match="type[regular]">' in rendered
+    assert '<xsl:template match="type[project]">' in rendered
+    assert "<mandatory>" in rendered and "<advanced>" in rendered
+
+
+def test_example_4_6_star_prefix_suffix(school):
+    """The db prefix/suffix pair with mode M-db."""
+    sheet = forward_stylesheet(school.sigma1)
+    rendered = stylesheet_to_xslt(sheet)
+    assert '<xsl:apply-templates select="class" mode="M-db"/>' in rendered
+    assert '<xsl:template match="class" mode="M-db">' in rendered
+    assert '<xsl:apply-templates select="."/>' in rendered
+
+
+def test_forward_type_safe(school):
+    sheet = forward_stylesheet(school.sigma1)
+    instance = random_instance(school.classes, seed=3, max_depth=8)
+    validate(apply_stylesheet(sheet, instance), school.school)
+
+
+def test_optional_disjunction_fallback():
+    from repro.core.embedding import build_embedding
+    from repro.dtd.parser import parse_compact
+
+    source = parse_compact("a -> b + eps\nb -> str")
+    target = parse_compact("x -> a0pad + y\na0pad -> eps\ny -> str")
+    embedding = build_embedding(
+        source, target, {"a": "x", "b": "y"},
+        {("a", "b"): "y", ("b", "str"): "text()"}).check()
+    sheet = forward_stylesheet(embedding)
+    instmap = InstMap(embedding)
+    for body in ["<a><b>v</b></a>", "<a/>"]:
+        instance = parse_xml(body)
+        assert tree_equal(apply_stylesheet(sheet, instance),
+                          instmap.apply(instance).tree)
+
+
+def test_repeated_children_via_positional_selects():
+    from repro.core.embedding import build_embedding
+    from repro.dtd.parser import parse_compact
+
+    source = parse_compact("a -> b, b\nb -> str")
+    target = parse_compact("x -> y, y\ny -> str")
+    embedding = build_embedding(
+        source, target, {"a": "x", "b": "y"},
+        {("a", "b", 1): "y[position()=1]", ("a", "b", 2): "y[position()=2]",
+         ("b", "str"): "text()"}).check()
+    sheet = forward_stylesheet(embedding)
+    instance = parse_xml("<a><b>first</b><b>second</b></a>")
+    result = apply_stylesheet(sheet, instance)
+    values = [y.child_text() for y in result.children_tagged("y")]
+    assert values == ["first", "second"]

@@ -1,0 +1,114 @@
+"""E9: generated σd⁻¹ stylesheets recover the source (Section 4.3)."""
+
+import pytest
+
+from repro.core.instmap import InstMap
+from repro.dtd.generate import random_instance
+from repro.workloads.library import SCHEMA_LIBRARY
+from repro.workloads.noise import expand_schema
+from repro.xslt.engine import apply_stylesheet
+from repro.xslt.forward import forward_stylesheet
+from repro.xslt.inverse import inverse_stylesheet
+from repro.xslt.serialize import stylesheet_to_xslt
+from repro.xtree.nodes import tree_equal
+from repro.xtree.parser import parse_xml
+
+
+def test_inverse_roundtrip_school(school):
+    forward = forward_stylesheet(school.sigma1)
+    inverse = inverse_stylesheet(school.sigma1)
+    for seed in range(6):
+        instance = random_instance(school.classes, seed=seed, max_depth=8)
+        image = apply_stylesheet(forward, instance)
+        assert tree_equal(apply_stylesheet(inverse, image), instance)
+
+
+def test_inverse_roundtrip_students(school):
+    forward = forward_stylesheet(school.sigma2)
+    inverse = inverse_stylesheet(school.sigma2)
+    for seed in range(6):
+        instance = random_instance(school.students, seed=seed)
+        image = apply_stylesheet(forward, instance)
+        assert tree_equal(apply_stylesheet(inverse, image), instance)
+
+
+@pytest.mark.parametrize("name", ["bib", "orders", "auction"])
+def test_inverse_roundtrip_expansions(name):
+    expansion = expand_schema(SCHEMA_LIBRARY[name](), seed=29)
+    instmap = InstMap(expansion.embedding)
+    inverse = inverse_stylesheet(expansion.embedding)
+    for seed in range(3):
+        instance = random_instance(expansion.source, seed=seed, max_depth=7)
+        image = instmap.apply(instance).tree
+        assert tree_equal(apply_stylesheet(inverse, image), instance)
+
+
+def test_example_4_5_course_template(school):
+    """The course → class template of Example 4.5."""
+    rendered = stylesheet_to_xslt(inverse_stylesheet(school.sigma1))
+    assert '<xsl:template match="course" mode="inv-class">' in rendered
+    assert ('<xsl:apply-templates select="basic/cno" mode="inv-cno"/>'
+            in rendered)
+    assert ('select="basic/class/semester[position()=1]/title"'
+            in rendered)
+    assert ('<xsl:apply-templates select="category" mode="inv-type"/>'
+            in rendered)
+
+
+def test_example_4_5_category_templates(school):
+    """The two qualified category templates of Example 4.5."""
+    rendered = stylesheet_to_xslt(inverse_stylesheet(school.sigma1))
+    assert ('<xsl:template match="category[mandatory/regular]" '
+            'mode="inv-type">' in rendered)
+    assert ('<xsl:template match="category[advanced/project]" '
+            'mode="inv-type">' in rendered)
+
+
+def test_noninjective_lambda_needs_modes():
+    """Fig. 3(c): λ(B) = λ(C) = y — per-source-type modes (R5) keep
+    the inverse unambiguous."""
+    from repro.core.embedding import build_embedding
+    from repro.dtd.parser import parse_compact
+
+    source = parse_compact("a -> b, c\nb -> str\nc -> str")
+    target = parse_compact("x -> y, y\ny -> str")
+    embedding = build_embedding(
+        source, target, {"a": "x", "b": "y", "c": "y"},
+        {("a", "b"): "y[position()=1]", ("a", "c"): "y[position()=2]",
+         ("b", "str"): "text()", ("c", "str"): "text()"}).check()
+    forward = forward_stylesheet(embedding)
+    inverse = inverse_stylesheet(embedding)
+    instance = parse_xml("<a><b>bee</b><c>sea</c></a>")
+    image = apply_stylesheet(forward, instance)
+    recovered = apply_stylesheet(inverse, image)
+    assert tree_equal(recovered, instance)
+    rendered = stylesheet_to_xslt(inverse)
+    assert 'mode="inv-b"' in rendered and 'mode="inv-c"' in rendered
+
+
+def test_optional_fallback_rule():
+    from repro.core.embedding import build_embedding
+    from repro.dtd.parser import parse_compact
+
+    source = parse_compact("a -> b + eps\nb -> str")
+    target = parse_compact("x -> a0pad + y\na0pad -> eps\ny -> str")
+    embedding = build_embedding(
+        source, target, {"a": "x", "b": "y"},
+        {("a", "b"): "y", ("b", "str"): "text()"}).check()
+    forward = forward_stylesheet(embedding)
+    inverse = inverse_stylesheet(embedding)
+    for body in ["<a><b>v</b></a>", "<a/>"]:
+        instance = parse_xml(body)
+        image = apply_stylesheet(forward, instance)
+        assert tree_equal(apply_stylesheet(inverse, image), instance)
+
+
+def test_inverse_agrees_with_native(school):
+    from repro.core.inverse import invert
+
+    instmap = InstMap(school.sigma1)
+    inverse = inverse_stylesheet(school.sigma1)
+    instance = random_instance(school.classes, seed=11, max_depth=8)
+    image = instmap.apply(instance).tree
+    assert tree_equal(apply_stylesheet(inverse, image),
+                      invert(school.sigma1, image))

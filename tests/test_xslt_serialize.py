@@ -1,0 +1,81 @@
+"""XSLT text rendering (the Example 4.5/4.6 presentation layer)."""
+
+from repro.xpath.paths import XRPath
+from repro.xslt.model import (
+    OutApply,
+    OutElem,
+    OutText,
+    Pattern,
+    Select,
+    Stylesheet,
+    TemplateRule,
+)
+from repro.xslt.serialize import stylesheet_to_xslt
+
+
+def _render(rule) -> str:
+    sheet = Stylesheet()
+    sheet.add(rule)
+    return stylesheet_to_xslt(sheet)
+
+
+def test_header_and_footer():
+    rendered = stylesheet_to_xslt(Stylesheet())
+    assert rendered.startswith('<xsl:stylesheet version="1.0"')
+    assert rendered.endswith("</xsl:stylesheet>")
+
+
+def test_empty_element_self_closes():
+    rendered = _render(TemplateRule(Pattern("a"), [OutElem("b")]))
+    assert "<b/>" in rendered
+
+
+def test_text_only_element_inlines():
+    rendered = _render(TemplateRule(
+        Pattern("a"), [OutElem("credit", [OutText("#s")])]))
+    assert "<credit>#s</credit>" in rendered
+
+
+def test_apply_templates_with_mode_and_position():
+    rule = TemplateRule(
+        Pattern("a"),
+        [OutElem("x", [OutApply(Select(XRPath.parse("b[position()=2]")),
+                                mode="M-a")])])
+    rendered = _render(rule)
+    assert ('<xsl:apply-templates select="b[position()=2]" mode="M-a"/>'
+            in rendered)
+
+
+def test_qualified_match_pattern():
+    rule = TemplateRule(Pattern("category",
+                                qualifier=XRPath.parse("mandatory/regular")),
+                        [OutElem("type")], mode="inv-type")
+    rendered = _render(rule)
+    assert ('<xsl:template match="category[mandatory/regular]" '
+            'mode="inv-type">' in rendered)
+
+
+def test_text_pattern_renders():
+    from repro.xslt.model import TEXT_PATTERN
+
+    rule = TemplateRule(Pattern(TEXT_PATTERN), [OutText("x")])
+    rendered = _render(rule)
+    assert '<xsl:template match="text()">' in rendered
+
+
+def test_escaping_in_literals():
+    rule = TemplateRule(Pattern("a"),
+                        [OutElem("v", [OutText("a < b & c")])])
+    rendered = _render(rule)
+    assert "a &lt; b &amp; c" in rendered
+
+
+def test_nested_structure_indents():
+    rule = TemplateRule(Pattern("a"), [
+        OutElem("outer", [OutElem("inner", [OutApply(Select(None))])])])
+    rendered = _render(rule)
+    lines = rendered.splitlines()
+    outer = next(l for l in lines if "<outer>" in l)
+    inner = next(l for l in lines if "<inner>" in l)
+    assert len(inner) - len(inner.lstrip()) > \
+        len(outer) - len(outer.lstrip())

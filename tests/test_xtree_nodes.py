@@ -1,0 +1,120 @@
+"""Unit tests: XML tree model, node ids, and the paper's tree equality."""
+
+import pytest
+
+from repro.xtree.nodes import (
+    ElementNode,
+    TextNode,
+    copy_tree,
+    document_order,
+    dom,
+    elem,
+    tree_equal,
+    tree_size,
+)
+
+
+def test_elem_builder_nests_children_and_text():
+    tree = elem("class", elem("cno", "CS331"), elem("title", "DB"))
+    assert tree.tag == "class"
+    assert [c.tag for c in tree.element_children()] == ["cno", "title"]
+    assert tree.element_children()[0].child_text() == "CS331"
+
+
+def test_node_ids_are_unique_across_a_tree():
+    tree = elem("r", elem("a", "x"), elem("a", "x"))
+    ids = [node.node_id for node in tree.iter()]
+    assert len(ids) == len(set(ids)) == 5  # r, a, text, a, text
+
+
+def test_text_nodes_carry_ids_too():
+    """Section 2.1: "a text node is also associated with a node id"."""
+    node = TextNode("hello")
+    assert isinstance(node.node_id, int)
+    assert node.is_text()
+
+
+def test_parent_pointers_and_root():
+    tree = elem("r", elem("a", elem("b")))
+    b = tree.element_children()[0].element_children()[0]
+    assert b.root() is tree
+    assert [a.tag for a in b.ancestors()] == ["a", "r"]
+    assert b.depth() == 2
+
+
+def test_tree_equal_ignores_node_ids():
+    t1 = elem("r", elem("a", "x"))
+    t2 = elem("r", elem("a", "x"))
+    assert t1.node_id != t2.node_id
+    assert tree_equal(t1, t2)
+
+
+def test_tree_equal_respects_order():
+    t1 = elem("r", elem("a"), elem("b"))
+    t2 = elem("r", elem("b"), elem("a"))
+    assert not tree_equal(t1, t2)
+
+
+def test_tree_equal_respects_string_values():
+    assert not tree_equal(elem("a", "x"), elem("a", "y"))
+
+
+def test_tree_equal_respects_arity():
+    assert not tree_equal(elem("r", elem("a")), elem("r"))
+
+
+def test_tree_equal_element_vs_text():
+    assert not tree_equal(elem("r", elem("x")), elem("r", "x"))
+
+
+def test_tree_size_counts_all_nodes():
+    assert tree_size(elem("r", elem("a", "x"), elem("b"))) == 4
+
+
+def test_document_order_is_preorder():
+    tree = elem("r", elem("a", elem("b")), elem("c"))
+    order = document_order(tree)
+    a = tree.element_children()[0]
+    b = a.element_children()[0]
+    c = tree.element_children()[1]
+    assert order[tree.node_id] < order[a.node_id] < order[b.node_id] \
+        < order[c.node_id]
+
+
+def test_copy_tree_fresh_ids_by_default():
+    tree = elem("r", elem("a", "x"))
+    copy = copy_tree(tree)
+    assert tree_equal(copy, tree)
+    assert dom(copy).isdisjoint(dom(tree))
+
+
+def test_copy_tree_can_keep_ids():
+    tree = elem("r", elem("a"))
+    copy = copy_tree(tree, fresh_ids=False)
+    assert dom(copy) == dom(tree)
+
+
+def test_replace_child_keeps_position():
+    tree = elem("r", elem("a"), elem("b"), elem("c"))
+    new = ElementNode("x")
+    tree.replace_child(tree.children[1], new)
+    assert [c.tag for c in tree.element_children()] == ["a", "x", "c"]
+    assert new.parent is tree
+
+
+def test_children_tagged_filters_and_orders():
+    tree = elem("r", elem("a", "1"), elem("b"), elem("a", "2"))
+    tagged = tree.children_tagged("a")
+    assert [c.child_text() for c in tagged] == ["1", "2"]
+
+
+def test_find_by_id():
+    tree = elem("r", elem("a"))
+    child = tree.element_children()[0]
+    assert tree.find_by_id(child.node_id) is child
+    assert tree.find_by_id(-1) is None
+
+
+def test_iter_elements_skips_text():
+    tree = elem("r", elem("a", "x"))
+    assert [n.tag for n in tree.iter_elements()] == ["r", "a"]

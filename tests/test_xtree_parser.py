@@ -1,0 +1,100 @@
+"""Unit tests: the XML parser and serializer round-trip."""
+
+import pytest
+
+from repro.xtree.nodes import tree_equal
+from repro.xtree.parser import XMLParseError, parse_xml
+from repro.xtree.serialize import to_string
+
+
+def test_basic_document():
+    tree = parse_xml("<class><cno>CS331</cno><title>DB</title></class>")
+    assert tree.tag == "class"
+    assert tree.children_tagged("cno")[0].child_text() == "CS331"
+
+
+def test_self_closing_and_empty():
+    tree = parse_xml("<r><a/><b></b></r>")
+    assert [c.tag for c in tree.element_children()] == ["a", "b"]
+    assert all(not c.children for c in tree.element_children())
+
+
+def test_entities_decoded():
+    tree = parse_xml("<a>x &amp; y &lt;z&gt; &#65;&#x42;</a>")
+    assert tree.child_text() == "x & y <z> AB"
+
+
+def test_unknown_entity_rejected():
+    with pytest.raises(XMLParseError):
+        parse_xml("<a>&nope;</a>")
+
+
+def test_whitespace_between_elements_dropped():
+    tree = parse_xml("<r>\n  <a>x</a>\n  <b>y</b>\n</r>")
+    assert [c.tag for c in tree.element_children()] == ["a", "b"]
+
+
+def test_keep_whitespace_mode():
+    tree = parse_xml("<a> x </a>", keep_whitespace=True)
+    assert tree.child_text() == " x "
+
+
+def test_comments_and_pis_skipped():
+    tree = parse_xml("<?xml version='1.0'?><!-- hi --><r><!-- x --><a/></r>")
+    assert [c.tag for c in tree.element_children()] == ["a"]
+
+
+def test_doctype_skipped():
+    tree = parse_xml("<!DOCTYPE r [<!ELEMENT r (a)>]><r><a/></r>")
+    assert tree.tag == "r"
+
+
+def test_cdata():
+    tree = parse_xml("<a><![CDATA[<raw> & stuff]]></a>")
+    assert tree.child_text() == "<raw> & stuff"
+
+
+def test_mismatched_tags_rejected():
+    with pytest.raises(XMLParseError) as err:
+        parse_xml("<a><b></a></b>")
+    assert "mismatched" in str(err.value)
+
+
+def test_unterminated_rejected():
+    with pytest.raises(XMLParseError):
+        parse_xml("<a><b>")
+
+
+def test_trailing_content_rejected():
+    with pytest.raises(XMLParseError):
+        parse_xml("<a/><b/>")
+
+
+def test_attributes_rejected_by_default():
+    with pytest.raises(XMLParseError) as err:
+        parse_xml('<a x="1"/>')
+    assert "attribute" in str(err.value)
+
+
+def test_attributes_ignored_when_allowed():
+    tree = parse_xml('<a x="1" y=\'2\'><b/></a>', allow_attributes=True)
+    assert [c.tag for c in tree.element_children()] == ["b"]
+
+
+def test_parse_error_reports_position():
+    with pytest.raises(XMLParseError) as err:
+        parse_xml("<a>\n<b>oops</a>")
+    assert "line 2" in str(err.value)
+
+
+def test_roundtrip_pretty_and_compact():
+    source = "<r><a>x &amp; y</a><b><c/></b></r>"
+    tree = parse_xml(source)
+    assert tree_equal(parse_xml(to_string(tree)), tree)
+    assert to_string(tree, indent=None) == source
+
+
+def test_serialize_show_ids():
+    tree = parse_xml("<a><b/></a>")
+    rendered = to_string(tree, show_ids=True)
+    assert f'id="{tree.node_id}"' in rendered
