@@ -294,6 +294,26 @@ class ANFA:
             self.theta[mapping[state]] = qual
         return mapping
 
+    def copy(self) -> "ANFA":
+        """An independent structural copy with identical state numbers.
+
+        Cached translations (the engine's ANFA LRU) are shared between
+        callers and must be treated as immutable; copy first if you
+        need to mutate one.  Sub-ANFAs inside θ / call specs stay
+        shared by reference, matching :meth:`embed`'s contract.
+        """
+        out = ANFA.__new__(ANFA)
+        out.name = self.name
+        out._count = self._count
+        out.start = self.start
+        out.finals = dict(self.finals)
+        out.label_edges = {s: list(v) for s, v in self.label_edges.items()}
+        out.eps_edges = {s: list(v) for s, v in self.eps_edges.items()}
+        out.str_edges = {s: list(v) for s, v in self.str_edges.items()}
+        out.call_edges = {s: list(v) for s, v in self.call_edges.items()}
+        out.theta = dict(self.theta)
+        return out
+
     # -- views ----------------------------------------------------------------
     def states(self) -> range:
         return range(self._count)

@@ -3,19 +3,37 @@
 Downstream users can depend on this module; internals may move between
 subpackages without breaking ``from repro.api import …``.
 
-Typical flow::
+Typical flow — an :class:`Engine` session compiles each schema and
+embedding once and serves every later document/query from the compiled
+artifacts::
 
     from repro import api
+
+    engine = api.Engine()
 
     source = api.parse_dtd(open("source.dtd").read())
     target = api.parse_dtd(open("target.dtd").read())
     att = api.SimilarityMatrix.from_names(source, target)
     sigma = api.find_embedding(source, target, att).embedding
 
+    # Batch mapping: one compile, many documents.
+    results = engine.map_documents(sigma, documents)
+
+    # Query serving: translations are LRU-cached per embedding.
+    anfa = engine.translate_query(sigma, "a/b/text()")
+    answer = api.evaluate_anfa_set(anfa, results[0].tree)
+
+    recovered = engine.invert(sigma, results[0].tree)
+    print(engine.describe_stats())
+
+The classic one-shot calls remain available with unchanged signatures
+— ``apply_embedding``, ``translate_query``, ``invert`` and
+``find_embedding`` delegate to a process-wide default engine, so even
+naive per-call code gets compile-once behaviour::
+
     mapped = api.apply_embedding(sigma, api.parse_xml(doc_text))
     recovered = api.invert(sigma, mapped.tree)
     anfa = api.translate_query(sigma, api.parse_xr("a/b/text()"))
-    answer = api.evaluate_anfa_set(anfa, mapped.tree)
 """
 
 from repro.anfa.evaluate import evaluate_anfa, evaluate_anfa_set
@@ -40,6 +58,14 @@ from repro.core.similarity import SimilarityMatrix, name_similarity
 from repro.core.smallmodel import check_bounds, simplify_embedding
 from repro.core.translate import Translator, translate_query
 from repro.dtd.generate import random_instance
+from repro.engine import (
+    CompiledEmbedding,
+    CompiledSchema,
+    Engine,
+    EngineConfig,
+    default_engine,
+    set_default_engine,
+)
 from repro.dtd.model import DTD
 from repro.dtd.parser import parse_compact, parse_dtd
 from repro.dtd.serialize import dtd_to_compact, dtd_to_text
@@ -58,8 +84,12 @@ from repro.xtree.parser import parse_xml
 from repro.xtree.serialize import to_string
 
 __all__ = [
+    "CompiledEmbedding",
+    "CompiledSchema",
     "DTD",
     "ElementNode",
+    "Engine",
+    "EngineConfig",
     "EmbeddingError",
     "InstMap",
     "InverseError",
@@ -83,6 +113,7 @@ __all__ = [
     "check_query_preserving",
     "check_type_safe",
     "conforms",
+    "default_engine",
     "dtd_to_compact",
     "dtd_to_text",
     "evaluate",
@@ -101,6 +132,7 @@ __all__ = [
     "parse_xml",
     "parse_xr",
     "random_instance",
+    "set_default_engine",
     "simplify_embedding",
     "simulation_mapping",
     "stylesheet_to_xslt",

@@ -9,7 +9,11 @@ Commands mirror the paper's workflow:
 * ``translate`` — translate an XR query; print the ANFA and, when
   state elimination stays small, the equivalent XR expression;
 * ``xslt``      — emit the generated σd / σd⁻¹ stylesheets;
-* ``validate``  — check a document against a DTD.
+* ``validate``  — check a document against a DTD;
+* ``batch``     — engine-backed batch serving: ``batch map`` runs σd
+  over many documents and ``batch translate`` serves many queries in
+  one process, compiling the embedding exactly once (``--stats`` prints
+  the engine's cache counters).
 
 Embeddings are (de)serialised as JSON: λ plus ``A B occ path`` rows —
 the declarative transformation-language artifact of Section 4.5.
@@ -25,6 +29,7 @@ from typing import Optional
 
 from repro.core.embedding import SchemaEmbedding, build_embedding
 from repro.core.instmap import InstMap
+from repro.engine import Engine
 from repro.core.inverse import invert
 from repro.core.similarity import SimilarityMatrix
 from repro.core.translate import translate_query
@@ -142,6 +147,74 @@ def _cmd_xslt(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch_map(args: argparse.Namespace) -> int:
+    embedding = _load_embedding(args)
+    engine = Engine()
+    out_dir = Path(args.out_dir) if args.out_dir else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    used_names: set[str] = set()
+
+    def output_name(document_path: str) -> str:
+        # Same-named inputs from different directories must not
+        # silently overwrite each other.
+        stem = Path(document_path).stem
+        name = f"{stem}.mapped.xml"
+        suffix = 2
+        while name in used_names:
+            name = f"{stem}-{suffix}.mapped.xml"
+            suffix += 1
+        used_names.add(name)
+        return name
+
+    failures = 0
+    for document_path in args.documents:
+        try:
+            document = parse_xml(Path(document_path).read_text())
+            result = engine.apply_embedding(embedding, document)
+        except Exception as exc:  # keep serving the rest of the batch
+            failures += 1
+            print(f"# {document_path}: FAILED: {exc}", file=sys.stderr)
+            continue
+        rendered = to_string(result.tree)
+        if out_dir is not None:
+            out_path = out_dir / output_name(document_path)
+            out_path.write_text(rendered + "\n")
+            print(f"# {document_path} -> {out_path}", file=sys.stderr)
+        else:
+            print(f"# {document_path}", file=sys.stderr)
+            print(rendered)
+    if args.stats:
+        print(engine.describe_stats(), file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_batch_translate(args: argparse.Namespace) -> int:
+    embedding = _load_embedding(args)
+    engine = Engine()
+    failures = 0
+    for query_text in args.queries:
+        try:
+            anfa = engine.translate_query(embedding, query_text)
+        except Exception as exc:
+            failures += 1
+            print(f"# {query_text}: FAILED: {exc}", file=sys.stderr)
+            continue
+        print(f"# query: {query_text}", file=sys.stderr)
+        if anfa.is_fail():
+            print("# the query selects nothing over the source schema",
+                  file=sys.stderr)
+        print(anfa.describe())
+        if args.regex:
+            try:
+                print(f"# as XR: {anfa_to_xr(anfa)}")
+            except RegexConversionError as exc:
+                print(f"# no small XR form: {exc}", file=sys.stderr)
+    if args.stats:
+        print(engine.describe_stats(), file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     dtd = _load_dtd(args.schema)
     document = parse_xml(Path(args.document).read_text())
@@ -206,6 +279,39 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("schema")
     check.add_argument("document")
     check.set_defaults(func=_cmd_validate)
+
+    batch = sub.add_parser(
+        "batch", help="engine-backed batch serving (compile once)")
+    batch_sub = batch.add_subparsers(dest="batch_command", required=True)
+
+    batch_map = batch_sub.add_parser(
+        "map", help="apply σd to many documents in one process")
+    batch_map.add_argument("source")
+    batch_map.add_argument("target")
+    batch_map.add_argument("embedding", help="embedding JSON from 'embed'")
+    batch_map.add_argument("documents", nargs="+",
+                           help="source documents to map")
+    batch_map.add_argument("--out-dir",
+                           help="write <name>.mapped.xml files here "
+                                "instead of stdout")
+    batch_map.add_argument("--stats", action="store_true",
+                           help="print engine cache counters to stderr")
+    batch_map.set_defaults(func=_cmd_batch_map)
+
+    batch_translate = batch_sub.add_parser(
+        "translate", help="translate many XR queries in one process")
+    batch_translate.add_argument("source")
+    batch_translate.add_argument("target")
+    batch_translate.add_argument("embedding")
+    batch_translate.add_argument("queries", nargs="+",
+                                 help="XR queries to translate")
+    batch_translate.add_argument("--regex", action="store_true",
+                                 help="also run state elimination back "
+                                      "to XR")
+    batch_translate.add_argument("--stats", action="store_true",
+                                 help="print engine cache counters to "
+                                      "stderr")
+    batch_translate.set_defaults(func=_cmd_batch_translate)
     return parser
 
 

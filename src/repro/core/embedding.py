@@ -26,6 +26,7 @@ is keyed ``(A, STR_KEY, 1)``.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Optional, Union
 
@@ -72,6 +73,8 @@ class SchemaEmbedding:
         default_factory=dict, repr=False, compare=False)
     _mindef: Optional[MinDef] = field(
         default=None, repr=False, compare=False)
+    _fp: Optional[str] = field(default=None, init=False, repr=False,
+                               compare=False)
 
     # -- accessors --------------------------------------------------------
     def path_for(self, source_type: str, child: str, occ: int = 1) -> XRPath:
@@ -126,6 +129,35 @@ class SchemaEmbedding:
     def size(self) -> int:
         """``|σ|``: total length of all paths (complexity bounds §4.5)."""
         return sum(len(path) for path in self.paths.values()) + len(self.lam)
+
+    # -- identity ----------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable content fingerprint over ``(S1, S2, λ, path)``.
+
+        Computed once and cached — embeddings are immutable by contract
+        after construction (the classification memo behind
+        :meth:`info` already depends on that); build a new embedding to
+        change λ or a path.  Equal-content embeddings rebuilt from JSON
+        share a fingerprint.
+        """
+        if self._fp is not None:
+            return self._fp
+        digest = hashlib.sha256()
+        digest.update(self.source.fingerprint().encode("ascii"))
+        digest.update(self.target.fingerprint().encode("ascii"))
+        for source_type, target_type in sorted(self.lam.items()):
+            digest.update(f"\x01{source_type}\x00{target_type}".encode("utf-8"))
+        for (a, b, occ), path in sorted(self.paths.items()):
+            digest.update(f"\x02{a}\x00{b}\x00{occ}\x00{path}".encode("utf-8"))
+        self._fp = digest.hexdigest()
+        return self._fp
+
+    def __hash__(self) -> int:
+        # Consistent with the dataclass __eq__ (dict comparisons are
+        # insertion-order insensitive, so the hash must be too).
+        return hash((hash(self.source), hash(self.target),
+                     frozenset(self.lam.items()),
+                     frozenset(self.paths.items())))
 
     def quality(self, att: SimilarityMatrix) -> float:
         """``qual(σ, att)`` (Section 4.1)."""

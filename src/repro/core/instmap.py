@@ -66,13 +66,16 @@ class MappingResult:
 class InstMap:
     """A compiled instance mapping for one (validated) embedding."""
 
-    def __init__(self, embedding: SchemaEmbedding, validate: bool = True) -> None:
+    def __init__(self, embedding: SchemaEmbedding, validate: bool = True,
+                 mindef: Optional[MinDef] = None) -> None:
         if validate:
             embedding.check()
         self.embedding = embedding
         self.source = embedding.source
         self.target = embedding.target
-        self.mindef = MinDef(self.target)
+        # A precompiled target mindef (from a CompiledSchema) can be
+        # shared across every InstMap over the same target.
+        self.mindef = mindef if mindef is not None else MinDef(self.target)
         # Pre-classify every edge path once.
         self._infos: dict[EdgeKey, PathInfo] = {
             key: embedding.info(key) for key, _ in embedding.edge_keys()}
@@ -270,5 +273,13 @@ class _FragmentBuilder:
 
 def apply_embedding(embedding: SchemaEmbedding, source_root: ElementNode,
                     validate: bool = True) -> MappingResult:
-    """One-shot ``σd(T1)``: compile and run InstMap."""
-    return InstMap(embedding, validate=validate).apply(source_root)
+    """``σd(T1)``, served by the default compilation engine.
+
+    The embedding is compiled (validated, pfrag templates prebuilt)
+    once per content fingerprint and reused for every later document —
+    see :class:`repro.engine.session.Engine` for an explicit session.
+    """
+    from repro.engine.session import default_engine
+
+    return default_engine().apply_embedding(embedding, source_root,
+                                            validate=validate)

@@ -118,9 +118,22 @@ class _Inverter:
         return node
 
 
+def run_invert(embedding: SchemaEmbedding, target_root: ElementNode,
+               strict: bool = True) -> ElementNode:
+    """The uncached inverse walk (used by the engine's compiled path)."""
+    if target_root.tag != embedding.target.root:
+        raise InverseError(
+            f"document root <{target_root.tag}> is not the target root "
+            f"<{embedding.target.root}>")
+    return _Inverter(embedding, strict).rebuild(target_root,
+                                                embedding.source.root)
+
+
 def invert(embedding: SchemaEmbedding, target_root: ElementNode,
            strict: bool = True) -> ElementNode:
-    """Reconstruct ``T1`` from ``σd(T1)``.
+    """Reconstruct ``T1`` from ``σd(T1)``, served by the default
+    compilation engine (path classifications are compiled once per
+    embedding fingerprint and shared with mapping/translation).
 
     ``strict=True`` additionally verifies disjunction unambiguity
     (useful for fault injection tests); valid embeddings can never
@@ -128,9 +141,6 @@ def invert(embedding: SchemaEmbedding, target_root: ElementNode,
 
     >>> # σd⁻¹(σd(T)) = T  — exercised throughout the test suite.
     """
-    if target_root.tag != embedding.target.root:
-        raise InverseError(
-            f"document root <{target_root.tag}> is not the target root "
-            f"<{embedding.target.root}>")
-    return _Inverter(embedding, strict).rebuild(target_root,
-                                                embedding.source.root)
+    from repro.engine.session import default_engine
+
+    return default_engine().invert(embedding, target_root, strict=strict)

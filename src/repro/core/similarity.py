@@ -14,6 +14,7 @@ matching tools when experiments need a machine-generated ``att``.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Optional
 
@@ -64,18 +65,48 @@ def name_similarity(a: str, b: str) -> float:
 
 @dataclass
 class SimilarityMatrix:
-    """The matrix ``att``, stored sparsely with a default score."""
+    """The matrix ``att``, stored sparsely with a default score.
+
+    Mutate through :meth:`set` only — it range-checks the score,
+    respects frozen shared instances, and invalidates the cached
+    content fingerprint.  Writing to ``entries`` directly bypasses all
+    three and can leave fingerprint-keyed caches stale.
+    """
 
     entries: dict[tuple[str, str], float] = field(default_factory=dict)
     default: float = 0.0
+    #: Shared instances (``permissive()`` memo) are frozen: mutating
+    #: them would silently affect every other holder.
+    _frozen: bool = field(default=False, repr=False, compare=False)
+    _fp: Optional[str] = field(default=None, init=False, repr=False,
+                               compare=False)
 
     def get(self, source_type: str, target_type: str) -> float:
         return self.entries.get((source_type, target_type), self.default)
 
     def set(self, source_type: str, target_type: str, value: float) -> None:
+        if self._frozen:
+            raise ValueError(
+                "this SimilarityMatrix is a shared frozen instance "
+                "(e.g. from permissive()); use .copy() before mutating")
         if not 0.0 <= value <= 1.0:
             raise ValueError(f"att values live in [0,1], got {value}")
         self.entries[(source_type, target_type)] = value
+        self._fp = None  # content changed: invalidate the fingerprint
+
+    def fingerprint(self) -> str:
+        """Stable content fingerprint (hex digest) for cache keys.
+
+        Cached until the next :meth:`set` (the only supported mutation
+        route — see the class docstring).
+        """
+        if self._fp is None:
+            rows = [f"default={self.default!r}"]
+            rows.extend(f"{a}\x00{b}\x00{score!r}"
+                        for (a, b), score in sorted(self.entries.items()))
+            self._fp = hashlib.sha256(
+                "\x01".join(rows).encode("utf-8")).hexdigest()
+        return self._fp
 
     def candidates(self, source_type: str, target_types: Iterable[str],
                    threshold: float = 0.0) -> list[tuple[str, float]]:
@@ -98,8 +129,18 @@ class SimilarityMatrix:
     # -- constructors ----------------------------------------------------
     @staticmethod
     def permissive(score: float = 1.0) -> "SimilarityMatrix":
-        """No restrictions: every pair scores ``score`` (Example 4.2)."""
-        return SimilarityMatrix(default=score)
+        """No restrictions: every pair scores ``score`` (Example 4.2).
+
+        Returns a shared frozen instance per ``score`` so that repeated
+        ``find_embedding`` calls key the same cache entries instead of
+        rebuilding an equal-but-distinct matrix each time.  Call
+        ``.copy()`` to obtain a mutable variant.
+        """
+        cached = _PERMISSIVE_MEMO.get(score)
+        if cached is None:
+            cached = SimilarityMatrix(default=score, _frozen=True)
+            _PERMISSIVE_MEMO[score] = cached
+        return cached
 
     @staticmethod
     def exact_names(source: DTD, target: DTD,
@@ -138,4 +179,9 @@ class SimilarityMatrix:
         return matrix
 
     def copy(self) -> "SimilarityMatrix":
+        """An independent, mutable copy (never frozen)."""
         return SimilarityMatrix(dict(self.entries), self.default)
+
+
+#: ``permissive()`` memo: score -> shared frozen matrix.
+_PERMISSIVE_MEMO: dict[float, SimilarityMatrix] = {}

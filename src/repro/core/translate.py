@@ -79,12 +79,52 @@ from repro.xpath.paths import XRPath
 
 
 class Translator:
-    """Compiled translator for one embedding (memoises ``Trl``)."""
+    """Compiled translator for one embedding (memoises ``Trl``).
+
+    The memo is keyed structurally on ``(subquery, context)`` — the XR
+    AST nodes are immutable with structural equality — so a long-lived
+    Translator (e.g. inside a
+    :class:`repro.engine.compiled.CompiledEmbedding`) reuses work
+    across *different* queries sharing subexpressions, not just within
+    one translation.  ``prime_edges`` precompiles the per-edge automata
+    every translation bottoms out in.  The memo is bounded: past
+    ``memo_limit`` entries it is flushed wholesale (entries rebuild on
+    demand), so a long-running server with high query diversity cannot
+    grow it without bound.
+    """
+
+    #: Flush threshold for the structural memo.
+    memo_limit = 4096
 
     def __init__(self, embedding: SchemaEmbedding) -> None:
         self.embedding = embedding
         self.source = embedding.source
-        self._memo: dict[tuple[int, str], ANFA] = {}
+        self._memo: dict[tuple[PathExpr, str], ANFA] = {}
+
+    def prime_edges(self) -> int:
+        """Precompile ``Trl(B, A)`` / ``Trl(text(), A)`` for every
+        schema-graph edge of the source — the per-edge ANFA translation
+        table.  Returns the number of table entries.
+
+        Edges whose paths fail to translate are skipped; the same error
+        surfaces later iff a query actually touches them (keeping
+        behaviour identical to the lazy path for broken embeddings).
+        """
+        entries = 0
+        for source_type, production in self.source.elements.items():
+            queries: list[PathExpr] = []
+            if isinstance(production, Str):
+                queries.append(TextStep())
+            else:
+                queries.extend(Label(child)
+                               for child in set(production.child_types()))
+            for query in queries:
+                try:
+                    self.trl(query, source_type)
+                    entries += 1
+                except Exception:
+                    continue
+        return entries
 
     # -- public -------------------------------------------------------------
     def translate(self, query: PathExpr,
@@ -99,10 +139,12 @@ class Translator:
 
     # -- Trl ------------------------------------------------------------------
     def trl(self, query: PathExpr, context: str) -> ANFA:
-        key = (id(query), context)
+        key = (query, context)
         cached = self._memo.get(key)
         if cached is not None:
             return cached
+        if len(self._memo) >= self.memo_limit:
+            self._memo.clear()
         built = self._trl(query, context)
         self._memo[key] = built
         return built
@@ -319,10 +361,15 @@ class Translator:
 
 def translate_query(embedding: SchemaEmbedding, query: PathExpr,
                     context_type: Optional[str] = None) -> ANFA:
-    """One-shot ``Tr(Q)`` over ``embedding`` (Theorem 4.2).
+    """``Tr(Q)`` over ``embedding`` (Theorem 4.2), served by the
+    default compilation engine.
 
-    The result is an ANFA over target documents; evaluate it with
+    Repeated translations against one embedding reuse its compiled
+    per-edge ANFA table and an LRU of whole-query results.  The result
+    is an ANFA over target documents; evaluate it with
     :func:`repro.anfa.evaluate.evaluate_anfa` and map ids back through
     ``idM`` to recover ``Q(T)``.
     """
-    return Translator(embedding).translate(query, context_type)
+    from repro.engine.session import default_engine
+
+    return default_engine().translate_query(embedding, query, context_type)

@@ -22,6 +22,7 @@ instances are validated or generated.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional
 
@@ -204,6 +205,8 @@ class DTD:
     name: str = "dtd"
     _edges: dict[str, tuple[Edge, ...]] = field(
         default=None, repr=False, compare=False)  # type: ignore[assignment]
+    _fp: Optional[str] = field(default=None, init=False, repr=False,
+                               compare=False)
 
     def __post_init__(self) -> None:
         if self.root not in self.elements:
@@ -233,6 +236,44 @@ class DTD:
     def size(self) -> int:
         """``|S|``: number of types plus total production size."""
         return len(self.elements) + sum(p.size() for p in self.elements.values())
+
+    # -- identity ---------------------------------------------------------
+    def content_key(self) -> str:
+        """A canonical text rendering of ``(E, P, r)``.
+
+        The display ``name`` is excluded: two schemas with the same
+        productions and root are interchangeable for every compiled
+        artifact (mindef, reachability, path indexes).  Definition order
+        is included — it drives candidate enumeration in the matching
+        heuristics.
+        """
+        rows = [f"root={self.root}"]
+        rows.extend(f"{element_type}->{production}"
+                    for element_type, production in self.elements.items())
+        return ";".join(rows)
+
+    def fingerprint(self) -> str:
+        """Stable content fingerprint (hex digest) for cache keys.
+
+        Computed once and cached: a DTD is immutable by contract after
+        construction — updates go through :meth:`with_production` /
+        :meth:`renamed`, which return fresh objects (and fresh
+        fingerprints).  Equal-content schemas built independently (e.g.
+        re-parsed from the same text) share a fingerprint, which is
+        what lets engine caches survive reloads.
+        """
+        if self._fp is None:
+            self._fp = hashlib.sha256(
+                self.content_key().encode("utf-8")).hexdigest()
+        return self._fp
+
+    def __hash__(self) -> int:
+        # Consistent with the dataclass __eq__, which compares
+        # ``elements`` as a dict (definition-order *insensitive*) —
+        # unlike the fingerprint, which keeps order because it also
+        # keys order-sensitive search results.
+        return hash((self.root, self.name,
+                     frozenset(self.elements.items())))
 
     # -- schema graph ----------------------------------------------------
     def edges_from(self, parent: str) -> tuple[Edge, ...]:

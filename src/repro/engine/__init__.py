@@ -1,0 +1,27 @@
+"""The compilation-and-caching layer: compile once, serve many.
+
+* :mod:`repro.engine.compiled` — :class:`CompiledSchema` and
+  :class:`CompiledEmbedding`, the immutable per-fingerprint artifacts;
+* :mod:`repro.engine.session` — the :class:`Engine` session with LRU
+  caches and the process-wide :func:`default_engine` that the classic
+  one-shot API delegates to.
+"""
+
+from repro.engine.compiled import CompiledEmbedding, CompiledSchema
+from repro.engine.session import (
+    CacheStats,
+    Engine,
+    EngineConfig,
+    default_engine,
+    set_default_engine,
+)
+
+__all__ = [
+    "CacheStats",
+    "CompiledEmbedding",
+    "CompiledSchema",
+    "Engine",
+    "EngineConfig",
+    "default_engine",
+    "set_default_engine",
+]

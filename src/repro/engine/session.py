@@ -1,0 +1,341 @@
+"""The :class:`Engine` session — fingerprint-keyed LRU caches over the
+compiled artifacts of :mod:`repro.engine.compiled`.
+
+An Engine turns the pipeline into "compile once, serve many": schemas
+and embeddings are compiled on first use and reused by content
+fingerprint; whole query translations and embedding-search results are
+LRU-cached on top.  The module-level :func:`default_engine` backs the
+classic one-shot API (``apply_embedding``, ``translate_query``,
+``invert``, ``find_embedding``), which keeps its signatures and simply
+delegates here.
+
+Cache-correctness contract:
+
+* keys are *content* fingerprints — re-parsing the same DTD text or
+  re-building an equal embedding hits; a changed schema or embedding
+  (built through the functional update paths: ``with_production``,
+  ``renamed``, ``build_embedding``) has a new fingerprint and misses.
+  Schemas and embeddings are immutable by contract after construction
+  (their own classification/edge memos already rely on this); mutating
+  one in place is unsupported and would serve stale artifacts;
+* per-cache hit/miss/eviction counters (:class:`CacheStats`) make the
+  contract testable;
+* all caches are bounded (LRUs here, a flush-on-full memo inside each
+  compiled translator), safe for long-running servers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import astuple, dataclass
+from typing import Hashable, Iterable, Optional, Sequence, Union
+
+from repro.anfa.model import ANFA
+from repro.core.embedding import SchemaEmbedding
+from repro.core.instmap import MappingResult
+from repro.core.similarity import SimilarityMatrix
+from repro.dtd.model import DTD
+from repro.engine.compiled import CompiledEmbedding, CompiledSchema
+from repro.matching.local import LocalSearchConfig
+from repro.matching.search import SearchResult, search_embedding
+from repro.xpath.ast import PathExpr
+from repro.xpath.parser import parse_xr
+from repro.xtree.nodes import ElementNode
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
+
+
+class _LRUCache:
+    """A small LRU: OrderedDict recency + shared stats counters."""
+
+    def __init__(self, maxsize: int, stats: CacheStats) -> None:
+        if maxsize < 1:
+            raise ValueError("cache size must be >= 1")
+        self.maxsize = maxsize
+        self.stats = stats
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+
+    def get(self, key: Hashable):
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.stats.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+@dataclass
+class EngineConfig:
+    """Cache bounds for one Engine session."""
+
+    schema_cache: int = 64
+    embedding_cache: int = 32
+    translation_cache: int = 1024
+    search_cache: int = 128
+
+
+QueryLike = Union[str, PathExpr]
+
+
+class Engine:
+    """A compile-once/serve-many session over the whole pipeline.
+
+    Typical server usage::
+
+        engine = Engine()
+        compiled = engine.compile_embedding(sigma)      # pay once
+        for doc in documents:
+            engine.apply_embedding(sigma, doc)          # cache hits
+        for query in queries:
+            engine.translate_query(sigma, query)        # LRU'd ANFAs
+
+    All entry points also accept the raw model objects used by the
+    classic API; compilation happens transparently behind the
+    fingerprint caches.  Thread-safe: cache bookkeeping is guarded by a
+    reentrant lock (compiles may run redundantly under contention, but
+    results are consistent).
+    """
+
+    def __init__(self, config: Optional[EngineConfig] = None) -> None:
+        self.config = config or EngineConfig()
+        self._lock = threading.RLock()
+        self.schema_stats = CacheStats()
+        self.embedding_stats = CacheStats()
+        self.translation_stats = CacheStats()
+        self.search_stats = CacheStats()
+        self._schemas = _LRUCache(self.config.schema_cache,
+                                  self.schema_stats)
+        self._embeddings = _LRUCache(self.config.embedding_cache,
+                                     self.embedding_stats)
+        self._translations = _LRUCache(self.config.translation_cache,
+                                       self.translation_stats)
+        self._searches = _LRUCache(self.config.search_cache,
+                                   self.search_stats)
+
+    # -- compilation -------------------------------------------------------
+    def compile_schema(self, dtd: DTD) -> CompiledSchema:
+        """The compiled artifact for ``dtd``, cached by fingerprint."""
+        fingerprint = dtd.fingerprint()
+        with self._lock:
+            cached = self._schemas.get(fingerprint)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        compiled = CompiledSchema(dtd)
+        with self._lock:
+            self._schemas.put(fingerprint, compiled)
+        return compiled
+
+    def compile_embedding(self, embedding: SchemaEmbedding,
+                          ensure_valid: bool = False) -> CompiledEmbedding:
+        """The compiled artifact for ``embedding``, cached by fingerprint.
+
+        Rebuilding an equal embedding (e.g. re-loading its JSON) hits;
+        any content change produces a new fingerprint and a fresh
+        compile.  With ``ensure_valid`` the Section 4.1 check runs (at
+        most once per artifact) *before* compilation, so an invalid
+        embedding raises the aggregated ``EmbeddingError`` exactly as
+        the uncompiled path always did — never a low-level
+        classification error from artifact construction.  Without it,
+        no validation happens (see the ``validate`` flags on the
+        serving methods).
+        """
+        fingerprint = embedding.fingerprint()
+        with self._lock:
+            cached = self._embeddings.get(fingerprint)
+        if cached is not None:
+            if ensure_valid:
+                cached.ensure_valid()  # type: ignore[union-attr]
+            return cached  # type: ignore[return-value]
+        if ensure_valid:
+            embedding.check()
+        compiled = CompiledEmbedding(
+            embedding,
+            source_schema=self.compile_schema(embedding.source),
+            target_schema=self.compile_schema(embedding.target))
+        if ensure_valid:
+            compiled.mark_validated()
+        with self._lock:
+            self._embeddings.put(fingerprint, compiled)
+        return compiled
+
+    # -- serving: mapping --------------------------------------------------
+    def apply_embedding(self, embedding: SchemaEmbedding,
+                        source_root: ElementNode,
+                        validate: bool = True) -> MappingResult:
+        """``σd(T1)`` through the compiled-embedding cache."""
+        compiled = self.compile_embedding(embedding, ensure_valid=validate)
+        return compiled.apply(source_root)
+
+    def map_documents(self, embedding: SchemaEmbedding,
+                      documents: Iterable[ElementNode],
+                      validate: bool = True) -> list[MappingResult]:
+        """Batch ``σd`` over many documents with one compile."""
+        compiled = self.compile_embedding(embedding, ensure_valid=validate)
+        return [compiled.apply(document) for document in documents]
+
+    # -- serving: translation ----------------------------------------------
+    def translate_query(self, embedding: SchemaEmbedding, query: QueryLike,
+                        context_type: Optional[str] = None) -> ANFA:
+        """``Tr(Q)`` with an LRU over whole-query results.
+
+        ``query`` may be an XR string or an AST.  Strings are keyed on
+        their raw text, so a repeated query is served without parsing
+        or even touching the compiled embedding; ASTs key structurally.
+        The returned ANFA is shared — treat it as immutable (evaluation
+        never mutates; use ``ANFA.copy()`` for a private mutable copy).
+        """
+        fingerprint = embedding.fingerprint()
+        if isinstance(query, str):
+            key = (fingerprint, "text", query, context_type)
+        else:
+            key = (fingerprint, "ast", query, context_type)
+        with self._lock:
+            cached = self._translations.get(key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        parsed = parse_xr(query) if isinstance(query, str) else query
+        anfa = self.compile_embedding(embedding).translate(parsed,
+                                                           context_type)
+        with self._lock:
+            self._translations.put(key, anfa)
+        return anfa
+
+    def translate_queries(self, embedding: SchemaEmbedding,
+                          queries: Sequence[QueryLike],
+                          context_type: Optional[str] = None) -> list[ANFA]:
+        """Batch ``Tr`` over many queries with one compile."""
+        return [self.translate_query(embedding, query, context_type)
+                for query in queries]
+
+    # -- serving: inversion ------------------------------------------------
+    def invert(self, embedding: SchemaEmbedding, target_root: ElementNode,
+               strict: bool = True) -> ElementNode:
+        """``σd⁻¹`` through the compiled-embedding cache (no validation,
+        matching the classic ``invert`` contract)."""
+        compiled = self.compile_embedding(embedding)
+        return compiled.invert(target_root, strict=strict)
+
+    # -- serving: embedding search -------------------------------------------
+    def find_embedding(self, source: DTD, target: DTD,
+                       att: Optional[SimilarityMatrix] = None,
+                       method: str = "auto", seed: int = 0,
+                       restarts: int = 20,
+                       config: Optional[LocalSearchConfig] = None,
+                       use_cache: bool = True) -> SearchResult:
+        """Schema-Embedding search with whole-result caching.
+
+        The search is deterministic in its arguments, so results are
+        cached on (S1, S2, att, parameters) fingerprints; the target's
+        compiled path index is shared across strategies and searches
+        either way.  ``use_cache=False`` forces a fresh search — the
+        classic ``find_embedding`` wrapper uses it so repeated calls
+        keep their per-call semantics (freshly measured ``seconds``, a
+        fresh embedding object), which benchmarks rely on.
+        """
+        att = att or SimilarityMatrix.permissive()
+        if use_cache:
+            key = (source.fingerprint(), target.fingerprint(),
+                   att.fingerprint(), method, seed, restarts,
+                   astuple(config) if config is not None else None)
+            with self._lock:
+                cached = self._searches.get(key)
+            if cached is not None:
+                return cached  # type: ignore[return-value]
+        target_index = self.compile_schema(target)
+        result = search_embedding(source, target, att, method=method,
+                                  seed=seed, restarts=restarts,
+                                  config=config, target_index=target_index)
+        if use_cache:
+            with self._lock:
+                self._searches.put(key, result)
+        return result
+
+    # -- bookkeeping ---------------------------------------------------------
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-cache hit/miss/eviction counters."""
+        return {
+            "schemas": self.schema_stats.as_dict(),
+            "embeddings": self.embedding_stats.as_dict(),
+            "translations": self.translation_stats.as_dict(),
+            "searches": self.search_stats.as_dict(),
+        }
+
+    def describe_stats(self) -> str:
+        """A one-line-per-cache rendering for CLI/--stats output."""
+        rows = []
+        for name, counters in self.stats().items():
+            rows.append(f"{name}: {counters['hits']} hits, "
+                        f"{counters['misses']} misses, "
+                        f"{counters['evictions']} evictions")
+        return "\n".join(rows)
+
+    def clear(self) -> None:
+        """Drop every cached artifact (counters are kept)."""
+        with self._lock:
+            self._schemas.clear()
+            self._embeddings.clear()
+            self._translations.clear()
+            self._searches.clear()
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            for stats in (self.schema_stats, self.embedding_stats,
+                          self.translation_stats, self.search_stats):
+                stats.hits = stats.misses = stats.evictions = 0
+
+
+# -- the default engine ------------------------------------------------------
+
+_default_engine: Optional[Engine] = None
+_default_lock = threading.Lock()
+
+
+def default_engine() -> Engine:
+    """The process-wide Engine backing the classic one-shot API."""
+    global _default_engine
+    if _default_engine is None:
+        with _default_lock:
+            if _default_engine is None:
+                _default_engine = Engine()
+    return _default_engine
+
+
+def set_default_engine(engine: Optional[Engine]) -> Optional[Engine]:
+    """Swap the process-wide Engine (``None`` resets to a fresh one on
+    next use); returns the previous engine for restoration."""
+    global _default_engine
+    with _default_lock:
+        previous = _default_engine
+        _default_engine = engine
+    return previous

@@ -43,23 +43,24 @@ def _bfs_order(source: DTD) -> list[str]:
     return order
 
 
+def _quality_order(source: DTD, target: DTD,
+                   att: SimilarityMatrix) -> list[str]:
+    """The Quality-Ordered visit order: greedy by best att score,
+    repaired so parents precede children.  Deterministic in (S1, S2,
+    att), so assemblies compute it once and reuse it across restarts."""
+    order = _bfs_order(source)
+    order.sort(key=lambda t: -max(
+        [att.get(t, c) for c in target.types] or [0.0]))
+    order.remove(source.root)
+    order.insert(0, source.root)
+    return _stable_parents_first(source, order)
+
+
 def _attempt(embedder: LocalEmbedder, source: DTD, target: DTD,
              att: SimilarityMatrix, rng: Optional[random.Random],
-             quality_ordered: bool) -> Optional[SchemaEmbedding]:
+             order: list[str]) -> Optional[SchemaEmbedding]:
     lam: dict[str, str] = {source.root: target.root}
     paths: dict[tuple[str, str, int], XRPath] = {}
-
-    order = _bfs_order(source)
-    if rng is not None and not quality_ordered:
-        # Shuffle within the constraint that parents precede children:
-        # a random topological-ish order via per-layer shuffles.
-        order = _shuffled_layers(source, rng)
-    elif quality_ordered:
-        order.sort(key=lambda t: -max(
-            [att.get(t, c) for c in target.types] or [0.0]))
-        order.remove(source.root)
-        order.insert(0, source.root)
-        order = _stable_parents_first(source, order)
 
     for source_type in order:
         if source_type not in lam:
@@ -124,13 +125,19 @@ def _stable_parents_first(source: DTD, preferred: list[str]) -> list[str]:
 def assemble_random(source: DTD, target: DTD, att: SimilarityMatrix,
                     seed: int = 0, restarts: int = 20,
                     config: Optional[LocalSearchConfig] = None,
-                    ) -> Optional[SchemaEmbedding]:
-    """The Random assembly strategy: shuffled orders, many restarts."""
-    embedder = LocalEmbedder(source, target, att, config)
+                    target_index=None) -> Optional[SchemaEmbedding]:
+    """The Random assembly strategy: shuffled orders, many restarts.
+
+    Each restart shuffles its own visit order (parents still precede
+    children); only the shuffle — not a fresh BFS — runs per restart.
+    """
+    embedder = LocalEmbedder(source, target, att, config,
+                             target_index=target_index)
     rng = random.Random(seed)
     for _attempt_index in range(max(1, restarts)):
-        result = _attempt(embedder, source, target, att,
-                          random.Random(rng.random()), quality_ordered=False)
+        attempt_rng = random.Random(rng.random())
+        order = _shuffled_layers(source, attempt_rng)
+        result = _attempt(embedder, source, target, att, attempt_rng, order)
         if result is not None:
             return result
     return None
@@ -139,18 +146,23 @@ def assemble_random(source: DTD, target: DTD, att: SimilarityMatrix,
 def assemble_quality(source: DTD, target: DTD, att: SimilarityMatrix,
                      seed: int = 0, restarts: int = 5,
                      config: Optional[LocalSearchConfig] = None,
-                     ) -> Optional[SchemaEmbedding]:
+                     target_index=None) -> Optional[SchemaEmbedding]:
     """The Quality-Ordered strategy: greedy by att, few restarts, then
-    random fallback attempts (mirroring the paper's combination)."""
-    embedder = LocalEmbedder(source, target, att, config)
-    result = _attempt(embedder, source, target, att, None,
-                      quality_ordered=True)
+    random fallback attempts (mirroring the paper's combination).
+
+    The quality order depends only on (S1, S2, att); it is computed
+    once here — not per restart — and shared by every attempt.
+    """
+    embedder = LocalEmbedder(source, target, att, config,
+                             target_index=target_index)
+    order = _quality_order(source, target, att)
+    result = _attempt(embedder, source, target, att, None, order)
     if result is not None:
         return result
     rng = random.Random(seed)
     for _attempt_index in range(max(0, restarts - 1)):
         result = _attempt(embedder, source, target, att,
-                          random.Random(rng.random()), quality_ordered=True)
+                          random.Random(rng.random()), order)
         if result is not None:
             return result
     return None

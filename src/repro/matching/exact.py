@@ -24,7 +24,7 @@ def exact_embedding(source: DTD, target: DTD, att: SimilarityMatrix,
                     max_len: int = 6, max_paths: int = 64,
                     max_candidates: int = 16,
                     node_budget: int = 200_000,
-                    ) -> Optional[SchemaEmbedding]:
+                    target_index=None) -> Optional[SchemaEmbedding]:
     """Find *some* valid embedding by complete backtracking, or ``None``.
 
     >>> from repro.workloads.library import fig3_scenarios
@@ -37,7 +37,8 @@ def exact_embedding(source: DTD, target: DTD, att: SimilarityMatrix,
     config = LocalSearchConfig(max_len=max_len, max_paths=max_paths,
                                max_candidates=max_candidates,
                                max_nodes=node_budget)
-    embedder = LocalEmbedder(source, target, att, config)
+    embedder = LocalEmbedder(source, target, att, config,
+                             target_index=target_index)
     order = _bfs_order(source)
     budget = [node_budget]
 

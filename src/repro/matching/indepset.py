@@ -70,14 +70,15 @@ def assemble_indepset(source: DTD, target: DTD, att: SimilarityMatrix,
                       seed: int = 0, restarts: int = 10,
                       per_type: int = 6,
                       config: Optional[LocalSearchConfig] = None,
-                      ) -> Optional[SchemaEmbedding]:
+                      target_index=None) -> Optional[SchemaEmbedding]:
     """Greedy max-weight independent-set assembly with restarts.
 
     Each restart re-randomises the vertex enumeration and greedy tie
     breaking; a swap pass tries replacing a committed vertex when a
     type has no compatible candidate left.
     """
-    embedder = LocalEmbedder(source, target, att, config)
+    embedder = LocalEmbedder(source, target, att, config,
+                             target_index=target_index)
     rng = random.Random(seed)
 
     for _restart in range(max(1, restarts)):

@@ -61,15 +61,25 @@ class LocalSearchConfig:
 
 
 class LocalEmbedder:
-    """Finds local mappings for productions of one (S1, S2, att) triple."""
+    """Finds local mappings for productions of one (S1, S2, att) triple.
+
+    ``target_index`` may be a :class:`repro.engine.compiled.CompiledSchema`
+    of ``target`` (or any object with compatible ``mindef`` /
+    ``paths(image, kind, end, max_len, max_paths)`` members): candidate
+    target paths and the mindef are then served from the precompiled
+    per-type index and survive across embedder instances.
+    """
 
     def __init__(self, source: DTD, target: DTD, att: SimilarityMatrix,
-                 config: Optional[LocalSearchConfig] = None) -> None:
+                 config: Optional[LocalSearchConfig] = None,
+                 target_index=None) -> None:
         self.source = source
         self.target = target
         self.att = att
         self.config = config or LocalSearchConfig()
-        self.mindef = MinDef(target)
+        self.target_index = target_index
+        self.mindef = (target_index.mindef if target_index is not None
+                       else MinDef(target))
         self._path_cache: dict[tuple[str, PathKind, Optional[str]],
                                list[XRPath]] = {}
         self._feasible_cache: dict[tuple[str, str], bool] = {}
@@ -124,6 +134,10 @@ class LocalEmbedder:
 
     def _paths(self, image: str, kind: PathKind,
                end: Optional[str]) -> list[XRPath]:
+        if self.target_index is not None:
+            return self.target_index.paths(image, kind, end,
+                                           self.config.max_len,
+                                           self.config.max_paths)
         key = (image, kind, end)
         cached = self._path_cache.get(key)
         if cached is None:

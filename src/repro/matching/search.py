@@ -43,19 +43,19 @@ class SearchResult:
         return self.embedding is not None
 
 
-def find_embedding(source: DTD, target: DTD,
-                   att: Optional[SimilarityMatrix] = None,
-                   method: str = "auto", seed: int = 0,
-                   restarts: int = 20,
-                   config: Optional[LocalSearchConfig] = None,
-                   ) -> SearchResult:
-    """Solve Schema-Embedding heuristically (or exactly).
+def search_embedding(source: DTD, target: DTD,
+                     att: Optional[SimilarityMatrix] = None,
+                     method: str = "auto", seed: int = 0,
+                     restarts: int = 20,
+                     config: Optional[LocalSearchConfig] = None,
+                     target_index=None) -> SearchResult:
+    """The uncached Schema-Embedding solver.
 
-    >>> from repro.workloads.library import school_example
-    >>> bundle = school_example()
-    >>> result = find_embedding(bundle.classes, bundle.school)
-    >>> result.found
-    True
+    ``target_index`` optionally supplies a precompiled per-type path
+    index of ``target`` (see :class:`repro.engine.compiled.CompiledSchema`)
+    shared by every strategy the dispatch tries.  Deterministic in all
+    arguments, which is what makes :class:`repro.engine.session.Engine`
+    caching of whole search results sound.
     """
     att = att or SimilarityMatrix.permissive()
     if method not in METHODS:
@@ -67,19 +67,21 @@ def find_embedding(source: DTD, target: DTD,
     if method in ("quality", "auto"):
         embedding = assemble_quality(source, target, att, seed=seed,
                                      restarts=max(1, restarts // 4),
-                                     config=config)
+                                     config=config, target_index=target_index)
         used = "quality"
     if embedding is None and method in ("random", "auto"):
         embedding = assemble_random(source, target, att, seed=seed,
-                                    restarts=restarts, config=config)
+                                    restarts=restarts, config=config,
+                                    target_index=target_index)
         used = "random"
     if embedding is None and method in ("indepset", "auto"):
         embedding = assemble_indepset(source, target, att, seed=seed,
                                       restarts=max(1, restarts // 2),
-                                      config=config)
+                                      config=config, target_index=target_index)
         used = "indepset"
     if embedding is None and method == "exact":
-        embedding = exact_embedding(source, target, att)
+        embedding = exact_embedding(source, target, att,
+                                    target_index=target_index)
         used = "exact"
 
     elapsed = time.perf_counter() - started
@@ -88,3 +90,31 @@ def find_embedding(source: DTD, target: DTD,
         embedding.check(att)
     return SearchResult(embedding, used if embedding else method,
                         elapsed, quality)
+
+
+def find_embedding(source: DTD, target: DTD,
+                   att: Optional[SimilarityMatrix] = None,
+                   method: str = "auto", seed: int = 0,
+                   restarts: int = 20,
+                   config: Optional[LocalSearchConfig] = None,
+                   ) -> SearchResult:
+    """Solve Schema-Embedding heuristically (or exactly).
+
+    Delegates to the default :class:`repro.engine.session.Engine` so
+    the target's compiled path index is built once and shared, but
+    bypasses the engine's whole-result cache: every call runs (and
+    times) a real search, as this function always did.  Use
+    ``Engine.find_embedding`` directly for cached request serving.
+
+    >>> from repro.workloads.library import school_example
+    >>> bundle = school_example()
+    >>> result = find_embedding(bundle.classes, bundle.school)
+    >>> result.found
+    True
+    """
+    from repro.engine.session import default_engine
+
+    return default_engine().find_embedding(source, target, att,
+                                           method=method, seed=seed,
+                                           restarts=restarts, config=config,
+                                           use_cache=False)

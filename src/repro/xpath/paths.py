@@ -18,6 +18,7 @@ DESIGN.md):
 
 from __future__ import annotations
 
+import hashlib
 import re
 from dataclasses import dataclass
 from typing import Optional
@@ -102,6 +103,14 @@ class XRPath:
         if self.text:
             rendered.append("text()")
         return "/".join(rendered) if rendered else "."
+
+    def fingerprint(self) -> str:
+        """Stable content fingerprint (hex digest) for cache keys.
+
+        Two paths with equal steps/text have equal fingerprints across
+        processes — ``str()`` is the canonical form already.
+        """
+        return hashlib.sha256(str(self).encode("utf-8")).hexdigest()
 
     # -- structure ------------------------------------------------------
     def __len__(self) -> int:

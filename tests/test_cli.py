@@ -106,6 +106,54 @@ def test_cli_embed_failure_exit_code(tmp_path):
     assert main(["embed", str(source), str(target)]) == 1
 
 
+def test_cli_batch_map(files, tmp_path, capsys):
+    tmp, source_path, target_path, doc_path = files
+    embedding_path = tmp / "sigma.json"
+    assert main(["embed", str(source_path), str(target_path),
+                 "--out", str(embedding_path), "--seed", "1"]) == 0
+    second = tmp / "doc2.xml"
+    second.write_text(
+        "<db><class><cno>CS351</cno><title>OS</title>"
+        "<type><project>p2</project></type></class></db>")
+    # A same-named document in another directory must not overwrite.
+    subdir = tmp_path / "other"
+    subdir.mkdir()
+    clash = subdir / "doc.xml"
+    clash.write_text(second.read_text())
+    out_dir = tmp_path / "mapped"
+    code = main(["batch", "map", str(source_path), str(target_path),
+                 str(embedding_path), str(doc_path), str(second),
+                 str(clash), "--out-dir", str(out_dir), "--stats"])
+    assert code == 0
+    written = sorted(p.name for p in out_dir.iterdir())
+    assert written == ["doc-2.mapped.xml", "doc.mapped.xml",
+                       "doc2.mapped.xml"]
+    err = capsys.readouterr().err
+    assert "embeddings: " in err  # --stats cache counters
+    # Round-trip each mapped file through invert.
+    for original, mapped_name in [(doc_path, "doc.mapped.xml"),
+                                  (second, "doc2.mapped.xml")]:
+        assert main(["invert", str(source_path), str(target_path),
+                     str(embedding_path), str(out_dir / mapped_name)]) == 0
+        recovered = parse_xml(capsys.readouterr().out)
+        assert tree_equal(recovered, parse_xml(original.read_text()))
+
+
+def test_cli_batch_translate(files, capsys):
+    tmp, source_path, target_path, _doc = files
+    embedding_path = tmp / "sigma.json"
+    assert main(["embed", str(source_path), str(target_path),
+                 "--out", str(embedding_path), "--seed", "1"]) == 0
+    code = main(["batch", "translate", str(source_path), str(target_path),
+                 str(embedding_path), "class/cno/text()", "class/cno/text()",
+                 "class", "--stats"])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert captured.out.count("ANFA") == 3
+    # The repeated query is a translation-cache hit.
+    assert "translations: 1 hits, 2 misses" in captured.err
+
+
 def test_cli_att_file(files, tmp_path):
     _tmp, source_path, target_path, _doc = files
     att_path = tmp_path / "att.json"
