@@ -34,6 +34,31 @@ naive per-call code gets compile-once behaviour::
     mapped = api.apply_embedding(sigma, api.parse_xml(doc_text))
     recovered = api.invert(sigma, mapped.tree)
     anfa = api.translate_query(sigma, api.parse_xr("a/b/text()"))
+
+Compiled artifacts also persist across processes and fan out across
+cores.  ``Engine.save_store(path)`` serialises every cached schema,
+embedding and search result into a versioned, fingerprint-keyed
+:class:`ArtifactStore` directory; ``Engine.warm_start(path)`` preloads
+a fresh process from it, so serving starts with **zero** compile
+misses.  A :class:`ParallelRunner` chunks a corpus across a
+``multiprocessing`` pool of warm-started worker engines, re-merging
+results in order (``jobs=4`` output is identical to ``jobs=1``) and
+aggregating the per-worker cache counters::
+
+    engine.save_store("artifacts/")             # once, at deploy time
+
+    runner = api.ParallelRunner(jobs=4, store="artifacts/")
+    outcomes = runner.map_corpus(sigma, "corpus.ndjson")  # or a directory
+    results = runner.map_documents(sigma, documents)
+    anfas = runner.translate_queries(sigma, queries)
+    print(runner.last_report.describe())
+
+    warm = api.Engine.warm_start("artifacts/")  # a new serving process
+
+Corpora stream lazily from directories, NDJSON files or single
+documents via :func:`iter_corpus`; the equivalent CLI surface is
+``repro batch map|translate --jobs N --store DIR`` and
+``repro store build|inspect``.
 """
 
 from repro.anfa.evaluate import evaluate_anfa, evaluate_anfa_set
@@ -59,12 +84,23 @@ from repro.core.smallmodel import check_bounds, simplify_embedding
 from repro.core.translate import Translator, translate_query
 from repro.dtd.generate import random_instance
 from repro.engine import (
+    ArtifactStore,
     CompiledEmbedding,
     CompiledSchema,
+    CorpusDocument,
+    CorpusError,
+    CorpusOutcome,
     Engine,
     EngineConfig,
+    ParallelReport,
+    ParallelRunner,
+    StoreError,
+    TranslationOutcome,
     default_engine,
+    iter_corpora,
+    iter_corpus,
     set_default_engine,
+    write_ndjson,
 )
 from repro.dtd.model import DTD
 from repro.dtd.parser import parse_compact, parse_dtd
@@ -84,8 +120,12 @@ from repro.xtree.parser import parse_xml
 from repro.xtree.serialize import to_string
 
 __all__ = [
+    "ArtifactStore",
     "CompiledEmbedding",
     "CompiledSchema",
+    "CorpusDocument",
+    "CorpusError",
+    "CorpusOutcome",
     "DTD",
     "ElementNode",
     "Engine",
@@ -94,12 +134,16 @@ __all__ = [
     "InstMap",
     "InverseError",
     "MappingResult",
+    "ParallelReport",
+    "ParallelRunner",
     "ResultSet",
     "SchemaEmbedding",
     "SearchResult",
     "SimilarityMatrix",
+    "StoreError",
     "TextNode",
     "TranslationError",
+    "TranslationOutcome",
     "Translator",
     "ValidityViolation",
     "XRPath",
@@ -125,6 +169,8 @@ __all__ = [
     "integrate",
     "inverse_stylesheet",
     "invert",
+    "iter_corpora",
+    "iter_corpus",
     "merge_dtds",
     "name_similarity",
     "parse_compact",
@@ -141,4 +187,5 @@ __all__ = [
     "tree_equal",
     "tree_size",
     "validate",
+    "write_ndjson",
 ]

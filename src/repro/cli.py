@@ -11,9 +11,16 @@ Commands mirror the paper's workflow:
 * ``xslt``      — emit the generated σd / σd⁻¹ stylesheets;
 * ``validate``  — check a document against a DTD;
 * ``batch``     — engine-backed batch serving: ``batch map`` runs σd
-  over many documents and ``batch translate`` serves many queries in
-  one process, compiling the embedding exactly once (``--stats`` prints
-  the engine's cache counters).
+  over document corpora (files, directories of ``*.xml``, or NDJSON
+  streams) and ``batch translate`` serves many queries, compiling the
+  embedding exactly once.  ``--jobs N`` fans the batch across N worker
+  processes (results stay in corpus order and are identical to
+  ``--jobs 1``); ``--store DIR`` persists the compiled artifacts so
+  workers — and future processes — warm-start with zero compile
+  misses; ``--stats`` prints the aggregated cache counters;
+* ``store``     — artifact-store management: ``store build`` compiles
+  schemas + an embedding into a store directory up front, ``store
+  inspect`` summarises a store's manifest.
 
 Embeddings are (de)serialised as JSON: λ plus ``A B occ path`` rows —
 the declarative transformation-language artifact of Section 4.5.
@@ -29,7 +36,7 @@ from typing import Optional
 
 from repro.core.embedding import SchemaEmbedding, build_embedding
 from repro.core.instmap import InstMap
-from repro.engine import Engine
+from repro.engine import ArtifactStore, Engine, ParallelRunner, iter_corpus
 from repro.core.inverse import invert
 from repro.core.similarity import SimilarityMatrix
 from repro.core.translate import translate_query
@@ -147,18 +154,39 @@ def _cmd_xslt(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_runner(args: argparse.Namespace) -> ParallelRunner:
+    return ParallelRunner(jobs=args.jobs, store=args.store)
+
+
+def _stream_corpora(paths, failures: list[tuple[str, str]]):
+    """Chain corpus paths, isolating per-path failures.
+
+    A missing file, empty directory or malformed NDJSON line is
+    recorded and the remaining corpora keep serving — one bad input
+    must not sink the batch (and must never raise from inside the
+    worker pool's lazy task generator).
+    """
+    for path in paths:
+        try:
+            yield from iter_corpus(path)
+        except OSError as exc:
+            failures.append((str(path), str(exc)))
+        except ValueError as exc:  # CorpusError and friends
+            failures.append((str(path), str(exc)))
+
+
 def _cmd_batch_map(args: argparse.Namespace) -> int:
     embedding = _load_embedding(args)
-    engine = Engine()
+    runner = _make_runner(args)
     out_dir = Path(args.out_dir) if args.out_dir else None
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
     used_names: set[str] = set()
 
-    def output_name(document_path: str) -> str:
-        # Same-named inputs from different directories must not
-        # silently overwrite each other.
-        stem = Path(document_path).stem
+    def output_name(document_name: str) -> str:
+        # Same-named inputs from different corpora must not silently
+        # overwrite each other.
+        stem = Path(document_name).stem
         name = f"{stem}.mapped.xml"
         suffix = 2
         while name in used_names:
@@ -168,39 +196,42 @@ def _cmd_batch_map(args: argparse.Namespace) -> int:
         return name
 
     failures = 0
-    for document_path in args.documents:
-        try:
-            document = parse_xml(Path(document_path).read_text())
-            result = engine.apply_embedding(embedding, document)
-        except Exception as exc:  # keep serving the rest of the batch
+    corpus_failures: list[tuple[str, str]] = []
+    corpus = _stream_corpora(args.documents, corpus_failures)
+    for outcome in runner.map_corpus(embedding, corpus):
+        if not outcome.ok:  # keep serving the rest of the batch
             failures += 1
-            print(f"# {document_path}: FAILED: {exc}", file=sys.stderr)
+            print(f"# {outcome.name}: FAILED: {outcome.output}",
+                  file=sys.stderr)
             continue
-        rendered = to_string(result.tree)
         if out_dir is not None:
-            out_path = out_dir / output_name(document_path)
-            out_path.write_text(rendered + "\n")
-            print(f"# {document_path} -> {out_path}", file=sys.stderr)
+            out_path = out_dir / output_name(outcome.name)
+            out_path.write_text(outcome.output + "\n")
+            print(f"# {outcome.name} -> {out_path}", file=sys.stderr)
         else:
-            print(f"# {document_path}", file=sys.stderr)
-            print(rendered)
-    if args.stats:
-        print(engine.describe_stats(), file=sys.stderr)
+            print(f"# {outcome.name}", file=sys.stderr)
+            print(outcome.output)
+    for path, message in corpus_failures:
+        failures += 1
+        print(f"# {path}: FAILED: {message}", file=sys.stderr)
+    if args.stats and runner.last_report is not None:
+        print(runner.last_report.describe(), file=sys.stderr)
     return 1 if failures else 0
 
 
 def _cmd_batch_translate(args: argparse.Namespace) -> int:
     embedding = _load_embedding(args)
-    engine = Engine()
+    runner = _make_runner(args)
     failures = 0
-    for query_text in args.queries:
-        try:
-            anfa = engine.translate_query(embedding, query_text)
-        except Exception as exc:
+    for outcome in runner.translate_outcomes(embedding, args.queries):
+        if not outcome.ok:
             failures += 1
-            print(f"# {query_text}: FAILED: {exc}", file=sys.stderr)
+            print(f"# {outcome.query}: FAILED: {outcome.error}",
+                  file=sys.stderr)
             continue
-        print(f"# query: {query_text}", file=sys.stderr)
+        anfa = outcome.anfa
+        assert anfa is not None
+        print(f"# query: {outcome.query}", file=sys.stderr)
         if anfa.is_fail():
             print("# the query selects nothing over the source schema",
                   file=sys.stderr)
@@ -210,9 +241,50 @@ def _cmd_batch_translate(args: argparse.Namespace) -> int:
                 print(f"# as XR: {anfa_to_xr(anfa)}")
             except RegexConversionError as exc:
                 print(f"# no small XR form: {exc}", file=sys.stderr)
-    if args.stats:
-        print(engine.describe_stats(), file=sys.stderr)
+    if args.stats and runner.last_report is not None:
+        print(runner.last_report.describe(), file=sys.stderr)
     return 1 if failures else 0
+
+
+def _cmd_store_build(args: argparse.Namespace) -> int:
+    source = _load_dtd(args.source)
+    target = _load_dtd(args.target)
+    store = ArtifactStore(args.store)
+    store.put_schema(source)
+    store.put_schema(target)
+    for embedding_path in args.embeddings:
+        embedding = embedding_from_json(Path(embedding_path).read_text(),
+                                        source, target)
+        embedding.check()
+        fingerprint = store.put_embedding(embedding, validated=True)
+        print(f"# {embedding_path} -> embedding {fingerprint[:12]}…",
+              file=sys.stderr)
+    print(store)
+    return 0
+
+
+def _cmd_store_inspect(args: argparse.Namespace) -> int:
+    store = ArtifactStore(args.store, create=False)
+    summary = store.describe()
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(f"artifact store at {summary['path']} "
+          f"(format {summary['format']} v{summary['version']})")
+    for row in summary["schemas"]:
+        print(f"  schema    {row['fingerprint'][:12]}…  "
+              f"root={row['root']}  types={row['types']}  "
+              f"name={row['name']}")
+    for row in summary["embeddings"]:
+        print(f"  embedding {row['fingerprint'][:12]}…  "
+              f"{row['source'][:12]}… -> {row['target'][:12]}…  "
+              f"edges={row['edges']}  validated={row['validated']}")
+    for row in summary["searches"]:
+        embedding = (f"{row['embedding'][:12]}…" if row["embedding"]
+                     else "not found")
+        print(f"  search    {row['digest'][:12]}…  "
+              f"method={row['method']}  embedding={embedding}")
+    return 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -281,25 +353,41 @@ def build_parser() -> argparse.ArgumentParser:
     check.set_defaults(func=_cmd_validate)
 
     batch = sub.add_parser(
-        "batch", help="engine-backed batch serving (compile once)")
+        "batch", help="engine-backed batch serving (compile once, "
+                      "optionally fan out across worker processes)")
     batch_sub = batch.add_subparsers(dest="batch_command", required=True)
 
+    def add_batch_options(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (default 1 = serial; "
+                              "results are identical at any job count)")
+        cmd.add_argument("--store",
+                         help="artifact-store directory: compiled "
+                              "schemas/embeddings are persisted there "
+                              "and workers warm-start from it with "
+                              "zero compile misses")
+        cmd.add_argument("--stats", action="store_true",
+                         help="print aggregated cache counters to "
+                              "stderr")
+
     batch_map = batch_sub.add_parser(
-        "map", help="apply σd to many documents in one process")
+        "map", help="apply σd to document corpora (files, directories "
+                    "of *.xml, or .ndjson/.jsonl streams)")
     batch_map.add_argument("source")
     batch_map.add_argument("target")
     batch_map.add_argument("embedding", help="embedding JSON from 'embed'")
     batch_map.add_argument("documents", nargs="+",
-                           help="source documents to map")
+                           help="corpus paths: XML files, directories "
+                                "of *.xml, or NDJSON streams "
+                                '({"name", "xml"} per line)')
     batch_map.add_argument("--out-dir",
                            help="write <name>.mapped.xml files here "
                                 "instead of stdout")
-    batch_map.add_argument("--stats", action="store_true",
-                           help="print engine cache counters to stderr")
+    add_batch_options(batch_map)
     batch_map.set_defaults(func=_cmd_batch_map)
 
     batch_translate = batch_sub.add_parser(
-        "translate", help="translate many XR queries in one process")
+        "translate", help="translate many XR queries")
     batch_translate.add_argument("source")
     batch_translate.add_argument("target")
     batch_translate.add_argument("embedding")
@@ -308,10 +396,31 @@ def build_parser() -> argparse.ArgumentParser:
     batch_translate.add_argument("--regex", action="store_true",
                                  help="also run state elimination back "
                                       "to XR")
-    batch_translate.add_argument("--stats", action="store_true",
-                                 help="print engine cache counters to "
-                                      "stderr")
+    add_batch_options(batch_translate)
     batch_translate.set_defaults(func=_cmd_batch_translate)
+
+    store = sub.add_parser(
+        "store", help="manage persistent artifact stores")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    store_build = store_sub.add_parser(
+        "build", help="compile schemas + embeddings into a store so "
+                      "servers warm-start with zero compile misses")
+    store_build.add_argument("store", help="store directory (created "
+                                           "if absent)")
+    store_build.add_argument("source")
+    store_build.add_argument("target")
+    store_build.add_argument("embeddings", nargs="+",
+                             help="embedding JSON files from 'embed'")
+    store_build.set_defaults(func=_cmd_store_build)
+
+    store_inspect = store_sub.add_parser(
+        "inspect", help="summarise a store's manifest")
+    store_inspect.add_argument("store")
+    store_inspect.add_argument("--json", action="store_true",
+                               help="print the raw manifest summary "
+                                    "as JSON")
+    store_inspect.set_defaults(func=_cmd_store_inspect)
     return parser
 
 

@@ -101,7 +101,16 @@ class InstMap:
         return MappingResult(target_root, id_map)
 
     def info(self, key: EdgeKey) -> PathInfo:
-        return self._infos[key]
+        try:
+            return self._infos[key]
+        except KeyError:
+            # Reached when an instance presents a child edge the schema
+            # (and hence the embedding) does not declare — a malformed
+            # document, not an internal error.
+            raise EmbeddingError(
+                f"instance edge ({key[0]}, {key[1]}, occ {key[2]}) is not "
+                "covered by the embedding (document does not conform to "
+                "the source schema)") from None
 
 
 class _FragmentBuilder:
@@ -170,7 +179,14 @@ class _FragmentBuilder:
               ) -> list[tuple[ElementNode, ElementNode]]:
         instmap = self.instmap
         source_type = source_node.tag
-        expected = instmap.embedding.lam[source_type]
+        expected = instmap.embedding.lam.get(source_type)
+        if expected is None:
+            # An element type the embedding's λ never covers: malformed
+            # corpus input, not an internal error.
+            raise EmbeddingError(
+                f"instance element <{source_type}> is not a source type "
+                "of the embedding (document does not conform to the "
+                "source schema)")
         if self.root.tag != expected:
             raise EmbeddingError(
                 f"image of <{source_type}> has tag <{self.root.tag}>, "
@@ -181,11 +197,21 @@ class _FragmentBuilder:
         if isinstance(production, Str):
             info = instmap.info((source_type, STR_KEY, 1))
             holder = self._walk(info)
-            source_text = source_node.children[0]
-            assert isinstance(source_text, TextNode)
-            text = TextNode(source_text.value)
-            holder.append(text)
-            id_map[text.node_id] = source_text.node_id
+            # An empty <A></A> is the empty string value; anything other
+            # than a single text child is a malformed instance and must
+            # surface as EmbeddingError, never IndexError.
+            if not source_node.children:
+                holder.append(TextNode(""))
+            elif (len(source_node.children) == 1
+                    and isinstance(source_node.children[0], TextNode)):
+                source_text = source_node.children[0]
+                text = TextNode(source_text.value)
+                holder.append(text)
+                id_map[text.node_id] = source_text.node_id
+            else:
+                raise EmbeddingError(
+                    f"<{source_type}> has P({source_type}) = str but does "
+                    "not contain a single text value")
         elif isinstance(production, (Empty,)):
             pass
         elif isinstance(production, Concat):

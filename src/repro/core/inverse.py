@@ -58,11 +58,23 @@ class _Inverter:
         if isinstance(production, Str):
             info = self.embedding.info((source_type, STR_KEY, 1))
             holder = _walk(image, info.path.steps)
-            if holder is None or holder.child_text() is None:
+            if holder is None:
                 raise InverseError(
                     f"text path {info.path} missing below <{image.tag}> "
                     f"(image of {source_type})")
-            node.append(TextNode(holder.child_text()))
+            # An endpoint with no (or an empty) text node is the empty
+            # string, whose canonical tree form is an empty element: XML
+            # cannot represent an explicit empty text run, so
+            # "<a></a>" must survive σd / σd⁻¹ (and a serialise +
+            # re-parse of the mapped document) unchanged.  Element
+            # content at the endpoint is still a malformed image.
+            value = holder.child_text()
+            if value is None and holder.children:
+                raise InverseError(
+                    f"text path {info.path} endpoint <{holder.tag}> holds "
+                    f"element content (image of {source_type})")
+            if value:
+                node.append(TextNode(value))
         elif isinstance(production, Empty):
             pass
         elif isinstance(production, Concat):

@@ -46,7 +46,12 @@ def _validate_node(node: ElementNode, dtd: DTD) -> None:
     production = dtd.production(node.tag)
 
     if isinstance(production, Str):
-        if len(node.children) != 1 or not isinstance(node.children[0], TextNode):
+        # Zero children means the empty string: "<a></a>" and
+        # "<a>v</a>" are both instances of A -> str (the XML parser
+        # cannot even represent an explicit empty text run).
+        if node.children and (
+                len(node.children) != 1
+                or not isinstance(node.children[0], TextNode)):
             raise ConformanceError(
                 f"<{node.tag}> must contain exactly one text node", node)
         return

@@ -1,13 +1,34 @@
-"""The compilation-and-caching layer: compile once, serve many.
+"""The compilation-and-caching layer: compile once, serve many — and
+persist/parallelise the compiled artifacts.
 
 * :mod:`repro.engine.compiled` — :class:`CompiledSchema` and
   :class:`CompiledEmbedding`, the immutable per-fingerprint artifacts;
 * :mod:`repro.engine.session` — the :class:`Engine` session with LRU
-  caches and the process-wide :func:`default_engine` that the classic
-  one-shot API delegates to.
+  caches, ``save_store``/``warm_start`` persistence, and the
+  process-wide :func:`default_engine` that the classic one-shot API
+  delegates to;
+* :mod:`repro.engine.store` — :class:`ArtifactStore`, the versioned,
+  fingerprint-keyed on-disk form of schemas/embeddings/search results;
+* :mod:`repro.engine.parallel` — :class:`ParallelRunner`, chunked
+  corpus fan-out across a pool of warm-started worker engines;
+* :mod:`repro.engine.corpus` — streaming corpus I/O (directories,
+  NDJSON files, single documents).
 """
 
 from repro.engine.compiled import CompiledEmbedding, CompiledSchema
+from repro.engine.corpus import (
+    CorpusDocument,
+    CorpusError,
+    iter_corpora,
+    iter_corpus,
+    write_ndjson,
+)
+from repro.engine.parallel import (
+    CorpusOutcome,
+    ParallelReport,
+    ParallelRunner,
+    TranslationOutcome,
+)
 from repro.engine.session import (
     CacheStats,
     Engine,
@@ -15,13 +36,25 @@ from repro.engine.session import (
     default_engine,
     set_default_engine,
 )
+from repro.engine.store import ArtifactStore, StoreError
 
 __all__ = [
+    "ArtifactStore",
     "CacheStats",
     "CompiledEmbedding",
     "CompiledSchema",
+    "CorpusDocument",
+    "CorpusError",
+    "CorpusOutcome",
     "Engine",
     "EngineConfig",
+    "ParallelReport",
+    "ParallelRunner",
+    "StoreError",
+    "TranslationOutcome",
     "default_engine",
+    "iter_corpora",
+    "iter_corpus",
     "set_default_engine",
+    "write_ndjson",
 ]

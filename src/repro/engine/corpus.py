@@ -1,0 +1,99 @@
+"""Streaming corpus I/O — feed document corpora without materialising them.
+
+A *corpus* is an ordered stream of named XML documents.  Three on-disk
+shapes are recognised, all streamed lazily so million-document corpora
+never sit in memory at once:
+
+* a **directory** — every ``*.xml`` file, in sorted name order;
+* an **NDJSON file** (``.ndjson`` / ``.jsonl``) — one JSON object per
+  line, ``{"name": …, "xml": …}`` (a bare JSON string is also accepted
+  and named by line number);
+* a **single XML file** — a one-document corpus.
+
+Documents are yielded as :class:`CorpusDocument` (name + raw text);
+parsing stays with the consumer so a parallel runner can fan the parse
+cost out to its workers too.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+
+class CorpusError(ValueError):
+    """Raised for unreadable corpus paths or malformed NDJSON rows."""
+
+
+@dataclass(frozen=True)
+class CorpusDocument:
+    """One named document: raw XML text, not yet parsed."""
+
+    name: str
+    text: str
+
+
+def _iter_directory(path: Path) -> Iterator[CorpusDocument]:
+    found = False
+    for entry in sorted(path.iterdir()):
+        if entry.is_file() and entry.suffix == ".xml":
+            found = True
+            yield CorpusDocument(entry.name, entry.read_text())
+    if not found:
+        raise CorpusError(f"no *.xml documents in directory {path}")
+
+
+def _iter_ndjson(path: Path) -> Iterator[CorpusDocument]:
+    with path.open() as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise CorpusError(
+                    f"{path}:{line_no}: not valid JSON: {exc}") from None
+            if isinstance(row, str):
+                yield CorpusDocument(f"{path.stem}-{line_no}", row)
+            elif isinstance(row, dict) and "xml" in row:
+                yield CorpusDocument(
+                    str(row.get("name", f"{path.stem}-{line_no}")),
+                    row["xml"])
+            else:
+                raise CorpusError(
+                    f"{path}:{line_no}: expected an object with an 'xml' "
+                    "field or a bare XML string")
+
+
+def iter_corpus(path: Union[str, Path]) -> Iterator[CorpusDocument]:
+    """Stream the corpus at ``path`` (directory, NDJSON, or XML file)."""
+    path = Path(path)
+    if path.is_dir():
+        return _iter_directory(path)
+    if not path.is_file():
+        raise CorpusError(f"no corpus at {path}")
+    if path.suffix in (".ndjson", ".jsonl"):
+        return _iter_ndjson(path)
+    return iter([CorpusDocument(path.name, path.read_text())])
+
+
+def iter_corpora(paths: Iterable[Union[str, Path]],
+                 ) -> Iterator[CorpusDocument]:
+    """Chain several corpus paths into one ordered stream."""
+    for path in paths:
+        yield from iter_corpus(path)
+
+
+def write_ndjson(documents: Iterable[CorpusDocument],
+                 path: Union[str, Path]) -> int:
+    """Write a corpus as NDJSON; returns the number of rows written."""
+    count = 0
+    with Path(path).open("w") as handle:
+        for document in documents:
+            handle.write(json.dumps({"name": document.name,
+                                     "xml": document.text}) + "\n")
+            count += 1
+    return count

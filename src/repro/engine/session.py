@@ -91,6 +91,11 @@ class _LRUCache:
     def __len__(self) -> int:
         return len(self._data)
 
+    def items(self) -> list[tuple[Hashable, object]]:
+        """A snapshot of (key, value) pairs, oldest first — does not
+        touch recency or the stats counters (used by store export)."""
+        return list(self._data.items())
+
     def clear(self) -> None:
         self._data.clear()
 
@@ -280,6 +285,80 @@ class Engine:
             with self._lock:
                 self._searches.put(key, result)
         return result
+
+    # -- persistence ---------------------------------------------------------
+    def save_store(self, path) -> "ArtifactStore":
+        """Persist every cached schema, embedding and search result to
+        an artifact store at ``path`` (created if absent).
+
+        The store holds the *declarative* artifacts (the Section 4.5
+        transformation-language form), not the compiled objects:
+        :meth:`warm_start` recompiles them once at load, after which a
+        new process serves with zero compile misses.
+        """
+        from repro.engine.store import ArtifactStore
+
+        store = ArtifactStore(path)
+        with self._lock:
+            schemas = self._schemas.items()
+            embeddings = self._embeddings.items()
+            searches = self._searches.items()
+        for _fp, compiled in schemas:
+            store.put_schema(compiled.dtd)  # type: ignore[union-attr]
+        for _fp, compiled in embeddings:
+            store.put_embedding(
+                compiled.embedding,  # type: ignore[union-attr]
+                validated=compiled.validated)  # type: ignore[union-attr]
+        for key, result in searches:
+            store.put_search(key, result)  # type: ignore[arg-type]
+        return store
+
+    @classmethod
+    def warm_start(cls, path, config: Optional[EngineConfig] = None,
+                   ) -> "Engine":
+        """A new Engine preloaded from the artifact store at ``path``.
+
+        Every stored schema and embedding is compiled up front (paying
+        each compile exactly once, at load time rather than on the
+        first request) and stored search results are re-inserted into
+        the search cache.  Stats are reset after loading, so a
+        warm-started engine that only sees known artifacts reports
+        **zero** compile misses while serving.
+
+        With no explicit ``config`` the cache bounds are grown to fit
+        the store: an LRU smaller than the artifact set would evict
+        during this very load and silently void the zero-miss
+        guarantee.  An explicit ``config`` is respected as given.
+        """
+        from repro.engine.store import ArtifactStore
+
+        store = ArtifactStore(path, create=False)
+        if config is None:
+            defaults = EngineConfig()
+            config = EngineConfig(
+                schema_cache=max(defaults.schema_cache,
+                                 len(store.schema_fingerprints())),
+                embedding_cache=max(defaults.embedding_cache,
+                                    len(store.embedding_fingerprints())),
+                translation_cache=defaults.translation_cache,
+                search_cache=max(defaults.search_cache,
+                                 len(store.manifest["searches"])))
+        engine = cls(config)
+        for fingerprint in store.schema_fingerprints():
+            engine.compile_schema(store.get_schema(fingerprint))
+        for fingerprint in store.embedding_fingerprints():
+            compiled = engine.compile_embedding(
+                store.get_embedding(fingerprint))
+            if store.embedding_validated(fingerprint):
+                compiled.mark_validated()
+                # Prebuild the pfrag templates too: the first mapping
+                # request should pay nothing but the walk itself.
+                compiled.instmap
+        for key, result in store.iter_searches():
+            with engine._lock:
+                engine._searches.put(key, result)
+        engine.reset_stats()
+        return engine
 
     # -- bookkeeping ---------------------------------------------------------
     def stats(self) -> dict[str, dict[str, int]]:

@@ -67,14 +67,42 @@ class _Scanner:
         return chunk
 
     def read_name(self) -> str:
+        # The name alphabet matches the DTD parser's _NAME_RE
+        # ([A-Za-z_][\w.-]*): a digit/'-'/'.'-leading tag could never be
+        # declared by any schema, so the document parser rejects it too.
         start = self.pos
+        first = self.peek()
+        if not (first.isalpha() or first == "_"):
+            raise XMLParseError("expected a name", self.pos, self.source)
         while (not self.eof()
                and (self.source[self.pos].isalnum()
                     or self.source[self.pos] in "_-.:")):
             self.pos += 1
-        if self.pos == start:
-            raise XMLParseError("expected a name", self.pos, self.source)
         return self.source[start:self.pos]
+
+
+def _decode_charref(name: str, scanner: _Scanner) -> str:
+    """Decode ``#NNN`` / ``#xHHH`` — malformed or out-of-range references
+    raise :class:`XMLParseError`, never a bare ``ValueError``."""
+    digits = name[2:] if name[1:2] in ("x", "X") else name[1:]
+    base = 16 if name[1:2] in ("x", "X") else 10
+    try:
+        code = int(digits, base)
+    except ValueError:
+        raise XMLParseError(f"malformed character reference &{name};",
+                            scanner.pos, scanner.source) from None
+    if not 0 <= code <= 0x10FFFF:
+        raise XMLParseError(
+            f"character reference &{name}; is outside the Unicode range",
+            scanner.pos, scanner.source)
+    if 0xD800 <= code <= 0xDFFF:
+        # XML's Char production excludes surrogates; chr() would accept
+        # them but the resulting string cannot be UTF-8 encoded, so a
+        # write of the mapped output would crash far from the parse.
+        raise XMLParseError(
+            f"character reference &{name}; is a surrogate code point",
+            scanner.pos, scanner.source)
+    return chr(code)
 
 
 def _decode_entities(raw: str, scanner: _Scanner) -> str:
@@ -93,10 +121,8 @@ def _decode_entities(raw: str, scanner: _Scanner) -> str:
             raise XMLParseError("unterminated entity reference",
                                 scanner.pos, scanner.source)
         name = raw[i + 1:end]
-        if name.startswith("#x") or name.startswith("#X"):
-            out.append(chr(int(name[2:], 16)))
-        elif name.startswith("#"):
-            out.append(chr(int(name[1:])))
+        if name.startswith("#"):
+            out.append(_decode_charref(name, scanner))
         elif name in _ENTITIES:
             out.append(_ENTITIES[name])
         else:

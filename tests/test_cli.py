@@ -163,3 +163,109 @@ def test_cli_att_file(files, tmp_path):
         {"source": "db", "target": "school", "score": 1.0}]))
     assert main(["embed", str(source_path), str(target_path),
                  "--att", str(att_path)]) == 1
+
+
+def test_cli_batch_map_jobs_byte_identical(files, tmp_path, capsys):
+    """--jobs 2 --store writes byte-identical files to --jobs 1."""
+    tmp, source_path, target_path, doc_path = files
+    embedding_path = tmp / "sigma.json"
+    assert main(["embed", str(source_path), str(target_path),
+                 "--out", str(embedding_path), "--seed", "1"]) == 0
+    corpus = tmp_path / "corpus"
+    corpus.mkdir()
+    for index in range(6):
+        (corpus / f"d{index}.xml").write_text(
+            f"<db><class><cno>CS{index}</cno><title>T{index}</title>"
+            "<type><project>p</project></type></class></db>")
+    store = tmp_path / "store"
+    out_serial = tmp_path / "out1"
+    out_parallel = tmp_path / "out2"
+    assert main(["batch", "map", str(source_path), str(target_path),
+                 str(embedding_path), str(corpus), "--jobs", "1",
+                 "--store", str(store), "--out-dir", str(out_serial),
+                 "--stats"]) == 0
+    err = capsys.readouterr().err
+    # Warm-started from the store: zero compile misses while serving.
+    assert "embeddings: 6 hits, 0 misses" in err
+    assert main(["batch", "map", str(source_path), str(target_path),
+                 str(embedding_path), str(corpus), "--jobs", "2",
+                 "--store", str(store), "--out-dir", str(out_parallel)]) == 0
+    capsys.readouterr()
+    serial_files = sorted(p.name for p in out_serial.iterdir())
+    parallel_files = sorted(p.name for p in out_parallel.iterdir())
+    assert serial_files == parallel_files == \
+        [f"d{i}.mapped.xml" for i in range(6)]
+    for name in serial_files:
+        assert (out_serial / name).read_bytes() == \
+            (out_parallel / name).read_bytes()
+
+
+def test_cli_batch_map_ndjson_corpus_and_failures(files, tmp_path, capsys):
+    tmp, source_path, target_path, _doc = files
+    embedding_path = tmp / "sigma.json"
+    assert main(["embed", str(source_path), str(target_path),
+                 "--out", str(embedding_path), "--seed", "1"]) == 0
+    corpus = tmp_path / "corpus.ndjson"
+    corpus.write_text(
+        json.dumps({"name": "good.xml",
+                    "xml": "<db><class><cno>CS1</cno><title>T</title>"
+                           "<type><project>p</project></type>"
+                           "</class></db>"}) + "\n"
+        + json.dumps({"name": "bad.xml", "xml": "<1abc></1abc>"}) + "\n")
+    code = main(["batch", "map", str(source_path), str(target_path),
+                 str(embedding_path), str(corpus)])
+    assert code == 1  # the bad document fails the batch exit code
+    captured = capsys.readouterr()
+    assert "# good.xml" in captured.err
+    assert "bad.xml: FAILED: XMLParseError" in captured.err
+    assert "<school>" in captured.out
+
+
+def test_cli_store_build_and_inspect(files, tmp_path, capsys):
+    tmp, source_path, target_path, _doc = files
+    embedding_path = tmp / "sigma.json"
+    assert main(["embed", str(source_path), str(target_path),
+                 "--out", str(embedding_path), "--seed", "1"]) == 0
+    store = tmp_path / "store"
+    assert main(["store", "build", str(store), str(source_path),
+                 str(target_path), str(embedding_path)]) == 0
+    capsys.readouterr()
+    assert main(["store", "inspect", str(store)]) == 0
+    text = capsys.readouterr().out
+    assert "schema" in text and "embedding" in text and "validated=True" in text
+    assert main(["store", "inspect", str(store), "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert len(summary["schemas"]) == 2
+    assert len(summary["embeddings"]) == 1
+
+
+def test_cli_batch_translate_jobs(files, capsys, tmp_path):
+    tmp, source_path, target_path, _doc = files
+    embedding_path = tmp / "sigma.json"
+    assert main(["embed", str(source_path), str(target_path),
+                 "--out", str(embedding_path), "--seed", "1"]) == 0
+    store = tmp_path / "store"
+    code = main(["batch", "translate", str(source_path), str(target_path),
+                 str(embedding_path), "class/cno/text()", "class[",
+                 "class", "--jobs", "2", "--store", str(store), "--stats"])
+    assert code == 1  # the malformed query fails the exit code
+    captured = capsys.readouterr()
+    assert captured.out.count("ANFA") == 2
+    assert "class[: FAILED" in captured.err
+
+
+def test_cli_batch_map_isolates_corpus_level_failures(files, tmp_path,
+                                                      capsys):
+    """A missing corpus path is reported and the rest keeps serving."""
+    tmp, source_path, target_path, doc_path = files
+    embedding_path = tmp / "sigma.json"
+    assert main(["embed", str(source_path), str(target_path),
+                 "--out", str(embedding_path), "--seed", "1"]) == 0
+    missing = tmp_path / "nowhere.xml"
+    code = main(["batch", "map", str(source_path), str(target_path),
+                 str(embedding_path), str(missing), str(doc_path)])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "nowhere.xml: FAILED" in captured.err
+    assert "# doc.xml" in captured.err  # the good document still served
+    assert "<school>" in captured.out

@@ -58,8 +58,20 @@ def test_concat_missing_child():
     assert not conforms(doc, DTD)
 
 
-def test_str_requires_single_text():
+def test_str_accepts_empty_element_as_empty_string():
+    # "<k></k>" is the empty string value: the XML parser cannot even
+    # represent an explicit empty text run, so P(k) = str accepts it.
     doc = elem("db", elem("rec", elem("k"), elem("v", "b"), elem("opt")))
+    assert conforms(doc, DTD)
+    assert conforms(_doc("<db><rec><k></k><v>b</v><opt/></rec></db>"), DTD)
+
+
+def test_str_rejects_multiple_text_nodes():
+    from repro.xtree.nodes import TextNode
+
+    doc = elem("db", elem("rec", elem("k", "a"), elem("v", "b"),
+                          elem("opt")))
+    doc.children[0].children[0].append(TextNode("second"))
     assert not conforms(doc, DTD)
 
 

@@ -181,3 +181,91 @@ def test_disjunction_conflict_raises():
     instmap = InstMap(embedding, validate=False)
     with pytest.raises(EmbeddingError):
         instmap.apply(parse_xml("<a><b>1</b><c>2</c></a>"))
+
+
+# -- empty PCDATA end-to-end (the "<a></a>" under A -> str contract) ---------
+
+def _str_bundle():
+    source = parse_compact("a -> str")
+    target = parse_compact("x -> wrap\nwrap -> str", name="t")
+    sigma = build_embedding(source, target, {"a": "x"},
+                            {("a", "str"): "wrap/text()"})
+    return source, target, sigma
+
+
+def test_empty_pcdata_conforms_and_maps():
+    source, target, sigma = _str_bundle()
+    document = parse_xml("<a></a>")
+    assert conforms(document, source)
+    result = InstMap(sigma).apply(document)
+    validate(result.tree, target)
+    # The image carries the empty string value.
+    wrap = result.tree.children_tagged("wrap")[0]
+    assert wrap.child_text() == ""
+
+
+def test_empty_pcdata_roundtrips_through_inversion():
+    from repro.core.inverse import run_invert
+    from repro.xtree.nodes import tree_equal
+
+    _source, _target, sigma = _str_bundle()
+    document = parse_xml("<a></a>")
+    mapped = InstMap(sigma).apply(document).tree
+    assert tree_equal(run_invert(sigma, mapped), document)
+    # ... and through a serialise + re-parse of the mapped document,
+    # which drops the empty text run entirely.
+    reparsed = parse_xml(to_string(mapped))
+    assert tree_equal(run_invert(sigma, reparsed), document)
+
+
+def test_str_with_element_child_raises_embedding_error():
+    _source, _target, sigma = _str_bundle()
+    bad = parse_xml("<a><b></b></a>")
+    with pytest.raises(EmbeddingError):  # never IndexError
+        InstMap(sigma).apply(bad)
+
+
+def test_undeclared_instance_edge_raises_embedding_error():
+    """A document with children the schema never declared must surface
+    as EmbeddingError (malformed corpus input), not a raw KeyError."""
+    source = parse_compact("a -> b\nb -> str")
+    target = parse_compact("x -> y\ny -> str", name="t")
+    sigma = build_embedding(source, target, {"a": "x", "b": "y"},
+                            {("a", "b"): "y", ("b", "str"): "text()"})
+    instmap = InstMap(sigma)
+    with pytest.raises(EmbeddingError):
+        instmap.apply(parse_xml("<a><b>ok</b><b>extra</b></a>"))
+
+
+def test_undeclared_element_type_raises_embedding_error():
+    """An element type λ never covers must not leak a raw KeyError."""
+    source = parse_compact("db -> item*\nitem -> str")
+    target = parse_compact("shop -> entry*\nentry -> str", name="t")
+    sigma = build_embedding(source, target, {"db": "shop", "item": "entry"},
+                            {("db", "item"): "entry",
+                             ("item", "str"): "text()"})
+    with pytest.raises(EmbeddingError):
+        InstMap(sigma).apply(parse_xml("<db><mystery/></db>"))
+
+
+def test_apply_embedding_never_raises_raw_valueerror_or_indexerror():
+    """The batch-ingestion contract over a hostile instance corpus."""
+    source, _target, sigma = _str_bundle()
+    hostile = ["<a><b/></a>", "<wrong></wrong>", "<a><a></a></a>"]
+    for snippet in hostile:
+        document = parse_xml(snippet)
+        try:
+            apply_embedding(sigma, document)
+        except EmbeddingError:
+            pass  # the only acceptable failure mode
+
+
+def test_strict_inversion_rejects_element_content_at_text_endpoint():
+    """Empty-string tolerance must not swallow malformed images: a text
+    endpoint holding *element* content is still an InverseError."""
+    from repro.core.errors import InverseError
+    from repro.core.inverse import run_invert
+
+    _source, _target, sigma = _str_bundle()
+    with pytest.raises(InverseError):
+        run_invert(sigma, parse_xml("<x><wrap><junk/></wrap></x>"))

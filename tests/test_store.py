@@ -1,0 +1,224 @@
+"""The persistent artifact store: fingerprint-exact round trips and
+Engine.save_store / Engine.warm_start.
+
+The contract under test:
+
+* schemas/embeddings reload with *identical* content fingerprints (so
+  a warm-started engine's caches key exactly as the saver's did);
+* a warm-started engine serves every known artifact with zero compile
+  misses and returns results identical to a fresh serial engine;
+* stored search results are served as cache hits in the new process;
+* corrupt or alien directories fail loudly with StoreError.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.embedding import build_embedding
+from repro.core.instmap import InstMap
+from repro.dtd.generate import InstanceGenerator
+from repro.dtd.model import Concat, Disjunction, Empty, Star, Str
+from repro.dtd.parser import parse_compact
+from repro.engine import ArtifactStore, Engine, StoreError
+from repro.engine.store import (
+    dtd_from_payload,
+    dtd_to_payload,
+    production_from_payload,
+    production_to_payload,
+)
+from repro.xtree.nodes import tree_equal
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+# -- structural payload round trips ------------------------------------------
+
+def test_production_payload_roundtrip():
+    for production in (Str(), Empty(), Concat(("b", "c", "b")),
+                       Disjunction(("b", "c")),
+                       Disjunction(("b",), optional=True),
+                       Disjunction(("b",)),  # ambiguous in compact text
+                       Star("b")):
+        rebuilt = production_from_payload(production_to_payload(production))
+        assert rebuilt == production
+
+
+def test_dtd_payload_is_fingerprint_exact():
+    # Definition order is content (it drives matching enumeration), so
+    # the payload must preserve it even when the root is not first.
+    dtd = parse_compact("b -> str\na -> b, c\nc -> b*", root="a", name="s")
+    rebuilt = dtd_from_payload(dtd_to_payload(dtd))
+    assert rebuilt.fingerprint() == dtd.fingerprint()
+    assert rebuilt.types == dtd.types
+    assert rebuilt.name == dtd.name
+
+
+# -- schema / embedding storage ----------------------------------------------
+
+def test_schema_store_roundtrip(store, school):
+    fingerprint = store.put_schema(school.school)
+    reloaded = ArtifactStore(store.root, create=False)
+    assert reloaded.get_schema(fingerprint).fingerprint() == fingerprint
+    assert reloaded.schema_fingerprints() == [fingerprint]
+    # Idempotent: putting again changes nothing.
+    assert store.put_schema(school.school) == fingerprint
+
+
+def test_embedding_store_roundtrip(store, school):
+    sigma = school.sigma1
+    fingerprint = store.put_embedding(sigma, validated=True)
+    reloaded = ArtifactStore(store.root, create=False)
+    rebuilt = reloaded.get_embedding(fingerprint)
+    assert rebuilt.fingerprint() == sigma.fingerprint()
+    assert rebuilt.lam == sigma.lam
+    assert rebuilt.paths == sigma.paths
+    assert reloaded.embedding_validated(fingerprint)
+    # The schemas came along automatically.
+    assert len(reloaded.schema_fingerprints()) == 2
+
+
+def test_missing_and_alien_stores_fail_loudly(tmp_path):
+    with pytest.raises(StoreError):
+        ArtifactStore(tmp_path / "nowhere", create=False)
+    alien = tmp_path / "alien"
+    alien.mkdir()
+    (alien / "manifest.json").write_text(json.dumps({"format": "other"}))
+    with pytest.raises(StoreError):
+        ArtifactStore(alien)
+
+
+def test_corrupt_artifact_detected(store, school):
+    fingerprint = store.put_schema(school.classes)
+    path = store.root / "schemas" / f"{fingerprint}.json"
+    payload = json.loads(path.read_text())
+    payload["types"][1][0] += "_tampered"
+    payload["types"][1][1] = {"kind": "str"}
+    path.write_text(json.dumps(payload))
+    fresh = ArtifactStore(store.root, create=False)
+    with pytest.raises(StoreError):
+        fresh.get_schema(fingerprint)
+
+
+# -- Engine.save_store / warm_start ------------------------------------------
+
+def _documents(source, count=4):
+    return [InstanceGenerator(source, seed=seed, max_depth=8,
+                              star_mean=1.5).generate()
+            for seed in range(count)]
+
+
+def test_warm_start_serves_with_zero_compile_misses(tmp_path, school):
+    sigma = school.sigma1
+    documents = _documents(school.classes)
+    engine = Engine()
+    baseline = [engine.apply_embedding(sigma, d) for d in documents]
+    engine.save_store(tmp_path / "store")
+
+    warm = Engine.warm_start(tmp_path / "store")
+    served = [warm.apply_embedding(sigma, d) for d in documents]
+    for fresh, again in zip(baseline, served):
+        assert tree_equal(fresh.tree, again.tree)
+    assert warm.schema_stats.misses == 0
+    assert warm.embedding_stats.misses == 0
+    assert warm.embedding_stats.hits == len(documents)
+    # Results also match a plain uncached InstMap run.
+    for document, again in zip(documents, served):
+        assert tree_equal(InstMap(sigma).apply(document).tree, again.tree)
+
+
+def test_warm_start_preserves_validated_flag(tmp_path):
+    source = parse_compact("a -> b\nb -> str")
+    target = parse_compact("x -> y\ny -> str", name="t")
+    sigma = build_embedding(source, target, {"a": "x", "b": "y"},
+                            {("a", "b"): "y", ("b", "str"): "text()"})
+    engine = Engine()
+    engine.compile_embedding(sigma, ensure_valid=True)
+    engine.save_store(tmp_path / "store")
+    warm = Engine.warm_start(tmp_path / "store")
+    assert warm.compile_embedding(sigma).validated
+    assert warm.embedding_stats.hits == 1
+
+
+def test_warm_start_serves_stored_search_results(tmp_path, school):
+    engine = Engine()
+    result = engine.find_embedding(school.classes, school.school, school.att)
+    assert result.found
+    engine.save_store(tmp_path / "store")
+
+    warm = Engine.warm_start(tmp_path / "store")
+    again = warm.find_embedding(school.classes, school.school, school.att)
+    assert warm.search_stats.hits == 1 and warm.search_stats.misses == 0
+    assert again.found and again.embedding is not None
+    assert again.embedding.fingerprint() == result.embedding.fingerprint()
+    assert again.method == result.method
+
+
+def test_save_store_is_reloadable_and_inspectable(tmp_path, school):
+    engine = Engine()
+    engine.find_embedding(school.classes, school.school, school.att)
+    store = engine.save_store(tmp_path / "store")
+    summary = store.describe()
+    assert len(summary["schemas"]) == 2
+    assert len(summary["embeddings"]) == 1
+    assert len(summary["searches"]) == 1
+    # save_store into the same directory again is idempotent.
+    engine.save_store(tmp_path / "store")
+    assert ArtifactStore(tmp_path / "store",
+                         create=False).describe() == summary
+
+
+def test_corrupt_manifest_and_artifact_json_raise_store_error(tmp_path,
+                                                              school):
+    store = ArtifactStore(tmp_path / "store")
+    fingerprint = store.put_embedding(school.sigma1)
+    (tmp_path / "store" / "manifest.json").write_text("{truncated")
+    with pytest.raises(StoreError):
+        ArtifactStore(tmp_path / "store", create=False)
+    # Repair the manifest, truncate an artifact body instead.
+    store._flush_manifest()
+    (tmp_path / "store" / "embeddings" / f"{fingerprint}.json").write_text(
+        "{truncated")
+    fresh = ArtifactStore(tmp_path / "store", create=False)
+    with pytest.raises(StoreError):
+        fresh.get_embedding(fingerprint)
+
+
+def test_concurrent_manifest_additions_merge(tmp_path, school):
+    """Two store handles adding different artifacts must not lose each
+    other's manifest entries (merge-on-flush)."""
+    first = ArtifactStore(tmp_path / "store")
+    second = ArtifactStore(tmp_path / "store")
+    fp_classes = first.put_schema(school.classes)
+    fp_school = second.put_schema(school.school)
+    merged = ArtifactStore(tmp_path / "store", create=False)
+    assert set(merged.schema_fingerprints()) == {fp_classes, fp_school}
+    assert merged.get_schema(fp_classes).fingerprint() == fp_classes
+    assert merged.get_schema(fp_school).fingerprint() == fp_school
+
+
+def test_warm_start_grows_caches_to_fit_store(tmp_path):
+    """A store larger than the default LRU bounds must not evict during
+    warm start (that would silently void the zero-miss guarantee)."""
+    from repro.dtd.model import make_dtd
+
+    engine = Engine()
+    schemas = [make_dtd("r", r="x*", x="str", **{f"t{i}": "str"})
+               for i in range(70)]  # > default schema_cache of 64
+    for schema in schemas:
+        engine.compile_schema(schema)
+    engine.save_store(tmp_path / "store")
+    # The engine's own LRU held only 64; the store holds what survived.
+    warm = Engine.warm_start(tmp_path / "store")
+    stored = ArtifactStore(tmp_path / "store",
+                           create=False).schema_fingerprints()
+    assert len(stored) == 64
+    for schema in schemas[6:]:  # the 64 survivors, oldest first
+        warm.compile_schema(schema)
+    assert warm.schema_stats.misses == 0
+    assert warm.schema_stats.evictions == 0

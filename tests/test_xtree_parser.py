@@ -98,3 +98,95 @@ def test_serialize_show_ids():
     tree = parse_xml("<a><b/></a>")
     rendered = to_string(tree, show_ids=True)
     assert f'id="{tree.node_id}"' in rendered
+
+
+# -- hostile inputs: always XMLParseError, never a raw ValueError ------------
+
+def test_malformed_charref_hex_digits():
+    with pytest.raises(XMLParseError) as err:
+        parse_xml("<a>&#xZZ;</a>")
+    assert "character reference" in str(err.value)
+    assert "line 1" in str(err.value)
+
+
+def test_malformed_charref_empty():
+    with pytest.raises(XMLParseError):
+        parse_xml("<a>&#;</a>")
+
+
+def test_charref_out_of_unicode_range():
+    with pytest.raises(XMLParseError) as err:
+        parse_xml("<a>&#x110000;</a>")
+    assert "Unicode range" in str(err.value)
+    with pytest.raises(XMLParseError):
+        parse_xml("<a>&#1114112;</a>")  # the same code point, decimal
+
+
+def test_charref_negative_rejected():
+    with pytest.raises(XMLParseError):
+        parse_xml("<a>&#-65;</a>")
+
+
+def test_charref_boundaries_accepted():
+    assert parse_xml("<a>&#x41;&#66;</a>").child_text() == "AB"
+    assert parse_xml("<a>&#x10FFFF;</a>").child_text() == "\U0010ffff"
+
+
+def test_charref_surrogates_rejected():
+    # XML's Char production excludes surrogates, and chr(0xD800) would
+    # produce a string that cannot even be UTF-8 encoded on output.
+    for snippet in ("<a>&#xD800;</a>", "<a>&#xDFFF;</a>", "<a>&#55296;</a>"):
+        with pytest.raises(XMLParseError):
+            parse_xml(snippet)
+
+
+def test_digit_leading_name_rejected():
+    # dtd/parser's _NAME_RE ([A-Za-z_][\w.-]*) can never declare <1abc>,
+    # so the document parser must reject it too.
+    with pytest.raises(XMLParseError):
+        parse_xml("<1abc></1abc>")
+
+
+def test_punctuation_leading_names_rejected():
+    for source in ("<-a/>", "<.a/>", "<a><2b/></a>"):
+        with pytest.raises(XMLParseError):
+            parse_xml(source)
+
+
+def test_underscore_leading_name_accepted():
+    assert parse_xml("<_a><b.c-d/></_a>").tag == "_a"
+
+
+HOSTILE_SNIPPETS = [
+    "<a>&#xZZ;</a>",
+    "<a>&#;</a>",
+    "<a>&#x110000;</a>",
+    "<a>&#xFFFFFFFFFFFF;</a>",
+    "<a>&#-1;</a>",
+    "<a>&#x;</a>",
+    "<a>&#xD800;</a>",
+    "<1abc></1abc>",
+    "<-x/>",
+    "<.y/>",
+    "<a><1b/></a>",
+    "<a>&nope;</a>",
+    "<a>&amp</a>",
+    "<a><b></a></b>",
+    "<a><b>",
+    "<a/><b/>",
+    "<a",
+    "",
+    "   ",
+    "plain text",
+    "<>",
+    "<a x=1/>",
+    '<a x="1"/>',
+]
+
+
+@pytest.mark.parametrize("snippet", HOSTILE_SNIPPETS)
+def test_hostile_corpus_raises_only_xmlparseerror(snippet):
+    """The ingestion contract: any malformed input is XMLParseError —
+    a bare ValueError/IndexError from parse_xml is a bug."""
+    with pytest.raises(XMLParseError):
+        parse_xml(snippet)
