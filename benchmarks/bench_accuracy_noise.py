@@ -52,3 +52,43 @@ def test_bench_search_at_noise(benchmark, method):
         return result
 
     benchmark(run)
+
+
+def main() -> int:
+    import time
+
+    import benchlib
+
+    parser = benchlib.make_parser(__doc__)
+    args = parser.parse_args()
+    if args.smoke:
+        schemas, noises = ("bib",), (0.0, 0.5)
+        methods, trials = ("random", "quality"), 1
+    else:
+        schemas = ("bib", "mondial", "orders")
+        noises = (0.0, 0.25, 0.5, 0.75, 1.0)
+        methods, trials = ("random", "quality", "indepset"), 3
+    started = time.perf_counter()
+    rows = run_accuracy(schemas=schemas, noises=noises, methods=methods,
+                        trials=trials, seed=1)
+    wall = time.perf_counter() - started
+    print(format_table([r.as_dict() for r in rows],
+                       title="[E12] success & λ-accuracy vs att noise"))
+    zero_noise_perfect = all(
+        row.success_rate == 1.0 and row.lambda_accuracy == 1.0
+        for row in rows if row.noise == 0.0)
+    overall = sum(r.success_rate for r in rows) / len(rows)
+    searches = sum(r.trials for r in rows)
+    result = benchlib.record(
+        "accuracy_noise", args,
+        ops_per_sec=searches / wall if wall > 0 else 0.0,
+        wall_time_s=wall,
+        correct=zero_noise_perfect and overall >= 0.8,
+        extra={"searches": searches,
+               "overall_success_rate": round(overall, 3),
+               "rows": [r.as_dict() for r in rows]})
+    return benchlib.finish(result, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

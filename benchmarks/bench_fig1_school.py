@@ -86,3 +86,51 @@ def test_bench_integration(benchmark, school):
         return result.tree
 
     benchmark(run)
+
+
+def main() -> int:
+    import time
+
+    import benchlib
+
+    from repro.workloads.library import school_example
+
+    parser = benchlib.make_parser(__doc__)
+    args = parser.parse_args()
+    school = school_example()
+    att = SimilarityMatrix.permissive()
+    rows = []
+    operations = 0
+    started = time.perf_counter()
+    for source, sigma, tag in [(school.classes, school.sigma1,
+                                "classes(S0)"),
+                               (school.students, school.sigma2,
+                                "students(S1)")]:
+        simulated = simulation_mapping(source, school.school) is not None
+        search = find_embedding(source, school.school, att, seed=1)
+        instance = random_instance(source, seed=3, max_depth=8)
+        mapped = InstMap(sigma).apply(instance)
+        roundtrip = tree_equal(invert(sigma, mapped.tree), instance)
+        operations += 3  # search + map + invert
+        rows.append({
+            "source": tag,
+            "simulation": "maps" if simulated else "FAILS",
+            "embedding-search": "found" if search.found else "none",
+            "|T1|": tree_size(instance),
+            "|T2|": tree_size(mapped.tree),
+            "roundtrip": roundtrip,
+        })
+    wall = time.perf_counter() - started
+    print(format_table(rows, title="[E1] Fig.1 school scenario"))
+    correct = (all(row["simulation"] == "FAILS" for row in rows)
+               and all(row["embedding-search"] == "found" for row in rows)
+               and all(row["roundtrip"] for row in rows))
+    result = benchlib.record(
+        "fig1_school", args,
+        ops_per_sec=operations / wall if wall > 0 else 0.0,
+        wall_time_s=wall, correct=correct, extra={"rows": rows})
+    return benchlib.finish(result, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

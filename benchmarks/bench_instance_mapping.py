@@ -35,3 +35,28 @@ def test_bench_instmap_sizes(benchmark, school, star_mean):
     instmap = InstMap(school.sigma1)
     result = benchmark(lambda: instmap.apply(instance))
     assert tree_size(result.tree) >= tree_size(instance)
+
+
+def main() -> int:
+    import benchlib
+
+    parser = benchlib.make_parser(__doc__)
+    args = parser.parse_args()
+    sizes = (100, 400) if args.smoke else (100, 400, 1600, 6400)
+    rows = run_instmap_growth(sizes=sizes, seed=4)
+    print(format_table(rows, title="[E14] InstMap: time vs |T| "
+                                   "(expected linear, flat us/node)"))
+    per_node = [row["us/node"] for row in rows]
+    nodes = sum(row["|T1|"] for row in rows)
+    wall = sum(row["map-sec"] for row in rows)
+    result = benchlib.record(
+        "instance_mapping", args,
+        ops_per_sec=nodes / wall if wall > 0 else 0.0,  # nodes mapped/s
+        wall_time_s=wall,
+        correct=max(per_node) <= 12 * max(0.5, min(per_node)),
+        extra={"nodes": nodes, "rows": rows})
+    return benchlib.finish(result, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,3 +44,39 @@ def test_bench_structural_inverse(benchmark, school, star_mean):
 def test_bench_query_driven_inverse(benchmark, school):
     _instance, mapped = _image(school, 2.0)
     benchmark(lambda: invert_via_queries(school.sigma1, mapped.tree))
+
+
+def main() -> int:
+    import benchlib
+
+    from repro.workloads.library import school_example
+    from repro.xtree.nodes import tree_equal, tree_size
+
+    parser = benchlib.make_parser(__doc__)
+    args = parser.parse_args()
+    sizes = (100, 400) if args.smoke else (100, 400, 1600)
+    rows = run_inverse_growth(sizes=sizes, seed=5,
+                              include_query_driven=True)
+    print(format_table(rows, title="[E14] inverse: structural vs "
+                                   "query-driven"))
+    # Semantic correctness: both inverses reconstruct the source
+    # exactly (wall-clock dominance is reported, never gated on).
+    school = school_example()
+    instance, mapped = _image(school, 4.0)
+    structural_ok = tree_equal(invert(school.sigma1, mapped.tree),
+                               instance)
+    query_driven_ok = tree_equal(
+        invert_via_queries(school.sigma1, mapped.tree), instance)
+    nodes = sum(row["|T2|"] for row in rows)
+    wall = sum(row["structural-sec"] for row in rows)
+    result = benchlib.record(
+        "inverse", args,
+        ops_per_sec=nodes / wall if wall > 0 else 0.0,  # nodes inverted/s
+        wall_time_s=wall,
+        correct=structural_ok and query_driven_ok,
+        extra={"roundtrip_size": tree_size(mapped.tree), "rows": rows})
+    return benchlib.finish(result, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

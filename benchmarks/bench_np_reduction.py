@@ -65,3 +65,37 @@ def test_bench_exact_on_reduction(benchmark, name):
 
 def test_bench_dpll(benchmark):
     benchmark(lambda: [dpll_satisfiable(f) for f in FORMULAS.values()])
+
+
+def main() -> int:
+    import time
+
+    import benchlib
+
+    parser = benchlib.make_parser(__doc__)
+    args = parser.parse_args()
+    rows = []
+    started = time.perf_counter()
+    for name, formula in FORMULAS.items():
+        sat = dpll_satisfiable(formula) is not None
+        embedding = _solve(formula)
+        rows.append({
+            "formula": name,
+            "clauses": len(formula),
+            "dpll": "SAT" if sat else "UNSAT",
+            "embedding": "found" if embedding else "none",
+            "agree": (embedding is not None) == sat,
+        })
+    wall = time.perf_counter() - started
+    print(format_table(rows, title="[E11] Theorem 5.1 reduction vs DPLL"))
+    result = benchlib.record(
+        "np_reduction", args,
+        ops_per_sec=len(rows) / wall if wall > 0 else 0.0,
+        wall_time_s=wall,
+        correct=all(row["agree"] for row in rows),
+        extra={"rows": rows})
+    return benchlib.finish(result, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -100,3 +100,45 @@ def test_bench_prefix_free_dfs(benchmark, width):
     requests = _requests(width)
     result = benchmark(lambda: prefix_free_assign(dtd, "x", requests))
     assert result is not None
+
+
+def main() -> int:
+    import benchlib
+
+    parser = benchlib.make_parser(__doc__)
+    args = parser.parse_args()
+    widths = (2, 4) if args.smoke else (2, 4, 6)
+    rows = []
+    assigned_requests = 0
+    dfs_wall = 0.0
+    for width in widths:
+        dtd = _wide_target(width)
+        requests = _requests(width)
+        started = time.perf_counter()
+        assigned = prefix_free_assign(dtd, "x", requests)
+        dfs_time = time.perf_counter() - started
+        dfs_wall += dfs_time
+        started = time.perf_counter()
+        _naive, tried = _naive_product_assign(dtd, "x", requests)
+        naive_time = time.perf_counter() - started
+        assigned_requests += len(requests)
+        rows.append({
+            "siblings": len(requests),
+            "dfs-ms": round(1e3 * dfs_time, 3),
+            "naive-ms": round(1e3 * naive_time, 3),
+            "naive-combos": tried,
+            "solved": assigned is not None,
+        })
+    print(format_table(rows, title="[E15] prefix-free assignment: "
+                                   "DFS vs product enumeration"))
+    result = benchlib.record(
+        "prefix_free_ablation", args,
+        ops_per_sec=assigned_requests / dfs_wall if dfs_wall > 0 else 0.0,
+        wall_time_s=dfs_wall,
+        correct=all(row["solved"] for row in rows),
+        extra={"rows": rows})
+    return benchlib.finish(result, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -80,3 +80,48 @@ def test_bench_anfa_evaluation(benchmark, pipeline):
 def test_bench_source_evaluation(benchmark, pipeline):
     _school, instance, _instmap, _mapped, _translator, queries = pipeline
     benchmark(lambda: [evaluate_set(q, instance) for q in queries])
+
+
+def main() -> int:
+    import time
+
+    import benchlib
+
+    from repro.workloads.library import school_example
+
+    parser = benchlib.make_parser(__doc__)
+    args = parser.parse_args()
+    school = school_example()
+    instance = InstanceGenerator(school.classes, seed=4, max_depth=10,
+                                 star_mean=3.0).generate()
+    query_count = 4 if args.smoke else 8
+    queries = random_queries(school.classes, query_count, seed=7,
+                             max_steps=6)
+    started = time.perf_counter()
+    mapped = InstMap(school.sigma1).apply(instance)
+    translator = Translator(school.sigma1)
+    preserved = 0
+    for query in queries:
+        anfa = translator.translate(query)
+        target = evaluate_anfa_set(anfa, mapped.tree).map_ids(mapped.idM)
+        source = evaluate_set(query, instance)
+        if target.ids == source.ids and target.strings == source.strings:
+            preserved += 1
+    roundtrip = tree_equal(invert(school.sigma1, mapped.tree), instance)
+    wall = time.perf_counter() - started
+    rows = [{"|T1|": tree_size(instance), "|T2|": tree_size(mapped.tree),
+             "queries": len(queries), "preserved": preserved,
+             "invertible": roundtrip}]
+    print(format_table(rows, title="[E6] information preservation, "
+                                   "end to end"))
+    result = benchlib.record(
+        "preservation", args,
+        ops_per_sec=len(queries) / wall if wall > 0 else 0.0,
+        wall_time_s=wall,
+        correct=preserved == len(queries) and roundtrip,
+        extra={"rows": rows})
+    return benchlib.finish(result, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

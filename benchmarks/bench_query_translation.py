@@ -28,7 +28,6 @@ def test_table_e14_translation_growth(capsys):
 
 
 def test_bench_translate_example_4_8(benchmark, school):
-    translator = Translator(school.sigma1)
     query = parse_xr(
         "class[cno/text()='CS331']/(type/regular/prereq/class)*")
 
@@ -54,3 +53,27 @@ def test_bench_translate_memoised(benchmark, school):
     query = parse_xr("(class/type/regular/prereq/class)*/cno/text()")
     translator.translate(query)
     benchmark(lambda: translator.translate(query))
+
+
+def main() -> int:
+    import benchlib
+
+    parser = benchlib.make_parser(__doc__)
+    args = parser.parse_args()
+    counts = (6, 12) if args.smoke else (6, 12, 24)
+    rows = run_translation_growth(counts=counts, seed=3, max_steps=8)
+    print(format_table(rows,
+                       title="[E14] |Tr(Q)| vs the O(|Q||σ||S1|) bound"))
+    wall = sum(row["trans-ms"] for row in rows) / 1e3
+    result = benchlib.record(
+        "query_translation", args,
+        ops_per_sec=len(rows) / wall if wall > 0 else 0.0,
+        wall_time_s=wall,
+        correct=all(row["within-bound"] for row in rows),
+        extra={"translations": len(rows),
+               "max_anfa_size": max(row["anfa-size"] for row in rows)})
+    return benchlib.finish(result, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

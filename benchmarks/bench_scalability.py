@@ -46,3 +46,34 @@ def test_bench_search_by_size(benchmark, size):
         return result
 
     benchmark(run)
+
+
+def main() -> int:
+    import time
+
+    import benchlib
+
+    parser = benchlib.make_parser(__doc__)
+    args = parser.parse_args()
+    if args.smoke:
+        sizes, methods = (10, 20), ("quality",)
+    else:
+        sizes, methods = (10, 20, 40, 80, 120), ("quality", "random")
+    started = time.perf_counter()
+    rows = run_scalability(sizes=sizes, methods=methods, noise=0.3,
+                           seed=2)
+    wall = time.perf_counter() - started
+    print(format_table([r.as_dict() for r in rows],
+                       title="[E13] search time vs schema size"))
+    result = benchlib.record(
+        "scalability", args,
+        ops_per_sec=len(rows) / wall if wall > 0 else 0.0,  # searches/s
+        wall_time_s=wall,
+        correct=(all(row.success for row in rows)
+                 and max(row.seconds for row in rows) < 120.0),
+        extra={"rows": [r.as_dict() for r in rows]})
+    return benchlib.finish(result, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

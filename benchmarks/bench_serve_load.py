@@ -1,0 +1,219 @@
+"""E18 — serve daemon under load: sustained req/s and tail latency.
+
+The serving scenario behind ``repro.serve``: one warm-started daemon,
+many concurrent clients mixing document mappings (``POST /v1/map``) and
+query translations (``POST /v1/translate``).  The store is built once;
+the server compiles everything before the socket opens, so the measured
+path is pure request serving.
+
+Two claims are checked on every run (including ``--smoke``):
+
+* **correctness** — every response is byte-identical to the direct
+  in-process Engine call (``to_string`` of the mapping /
+  ``canonical_describe`` of the translation), under at least 4
+  concurrent clients, and the server's engine reports **zero** compile
+  misses while serving;
+* **throughput** — sustained requests/sec plus client-observed p50 /
+  p90 / p99 / max latency are reported (and recorded via ``--json``).
+
+Run standalone for the table::
+
+    PYTHONPATH=src python benchmarks/bench_serve_load.py
+
+CI smoke (small workload, correctness asserted)::
+
+    PYTHONPATH=src python benchmarks/bench_serve_load.py --smoke --json BENCH_serve_load.json
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import benchlib
+
+from repro.dtd.generate import InstanceGenerator
+from repro.engine import Engine
+from repro.serve import ReproServer, ServeClient
+from repro.serve.metrics import percentile
+from repro.workloads.noise import expand_schema
+from repro.workloads.queries import random_queries
+from repro.workloads.synthetic import random_dtd
+from repro.xtree.parser import parse_xml
+from repro.xtree.serialize import to_string
+
+SMOKE = {"clients": 4, "requests_per_client": 24, "schema_types": 30,
+         "documents": 6, "queries": 6}
+FULL = {"clients": 8, "requests_per_client": 80, "schema_types": 60,
+        "documents": 12, "queries": 10}
+
+
+def build_workload(tmp: Path, schema_types: int, documents: int,
+                   queries: int):
+    """A store-backed embedding plus request corpora with their
+    expected (direct-engine) responses."""
+    expansion = expand_schema(random_dtd(schema_types, seed=7), seed=3)
+    sigma = expansion.embedding
+    docs = [to_string(InstanceGenerator(sigma.source, seed=seed,
+                                        max_depth=5,
+                                        star_mean=1.0).generate())
+            for seed in range(documents)]
+    query_texts = [str(q) for q in random_queries(sigma.source, queries,
+                                                  seed=11)]
+    store_path = tmp / "store"
+    engine = Engine()
+    engine.compile_embedding(sigma, ensure_valid=True)
+    engine.save_store(store_path)
+    expected_maps = [
+        to_string(engine.apply_embedding(sigma, parse_xml(xml)).tree)
+        for xml in docs]
+    expected_anfas = [
+        engine.translate_query(sigma, query).canonical_describe()
+        for query in query_texts]
+    return store_path, docs, query_texts, expected_maps, expected_anfas
+
+
+def run_load(server: ReproServer, docs, queries, expected_maps,
+             expected_anfas, clients: int, requests_per_client: int):
+    """Fire ``clients`` concurrent client threads; returns
+    (latencies_by_kind, errors, wall_seconds)."""
+    latencies: dict[str, list[float]] = {"map": [], "translate": []}
+    errors: list[str] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(offset: int) -> None:
+        client = ServeClient.for_server(server)
+        local: dict[str, list[float]] = {"map": [], "translate": []}
+        local_errors: list[str] = []
+        barrier.wait()
+        try:
+            for round_no in range(requests_per_client):
+                index = (offset + round_no) % len(docs)
+                qindex = (offset + round_no) % len(queries)
+                # 2:1 map:translate mix — mapping is the heavier call.
+                if round_no % 3 != 2:
+                    started = time.perf_counter()
+                    served = client.map(xml=docs[index])["result"]
+                    local["map"].append(time.perf_counter() - started)
+                    if not (served["ok"]
+                            and served["output"] == expected_maps[index]):
+                        local_errors.append(
+                            f"map[{index}] diverged from the direct "
+                            "engine")
+                else:
+                    started = time.perf_counter()
+                    item = client.translate(
+                        query=queries[qindex])["result"]
+                    local["translate"].append(
+                        time.perf_counter() - started)
+                    if not (item["ok"]
+                            and item["anfa"] == expected_anfas[qindex]):
+                        local_errors.append(
+                            f"translate[{qindex}] diverged from the "
+                            "direct engine")
+        except Exception as exc:
+            # A dead worker must fail the benchmark, not silently drop
+            # its share of the load from the measured sample.
+            local_errors.append(
+                f"worker {offset} died: {type(exc).__name__}: {exc}")
+        with lock:
+            latencies["map"].extend(local["map"])
+            latencies["translate"].extend(local["translate"])
+            errors.extend(local_errors)
+
+    threads = [threading.Thread(target=worker, args=(offset,))
+               for offset in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    return latencies, errors, wall
+
+
+def run_benchmark(params: dict):
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path, docs, queries, expected_maps, expected_anfas = \
+            build_workload(Path(tmp), params["schema_types"],
+                           params["documents"], params["queries"])
+        with ReproServer(store=store_path, port=0) as server:
+            latencies, errors, wall = run_load(
+                server, docs, queries, expected_maps, expected_anfas,
+                params["clients"], params["requests_per_client"])
+            engine_stats = server.state.engine.stats()
+        total = sum(len(v) for v in latencies.values())
+        expected_total = params["clients"] * params["requests_per_client"]
+        if total != expected_total:
+            errors.append(f"only {total} of {expected_total} requests "
+                          "completed")
+        zero_miss = (engine_stats["schemas"]["misses"] == 0
+                     and engine_stats["embeddings"]["misses"] == 0)
+        all_samples = latencies["map"] + latencies["translate"]
+        report = {
+            "clients": params["clients"],
+            "requests": total,
+            "req_per_sec": round(total / wall, 1) if wall > 0 else 0.0,
+            "p50_ms": round(1e3 * percentile(all_samples, 50.0), 3),
+            "p90_ms": round(1e3 * percentile(all_samples, 90.0), 3),
+            "p99_ms": round(1e3 * percentile(all_samples, 99.0), 3),
+            "max_ms": round(1e3 * max(all_samples), 3) if all_samples
+            else 0.0,
+            "identity_errors": len(errors),
+            "zero_compile_misses": zero_miss,
+        }
+        correct = not errors and zero_miss
+        return report, correct, wall, errors
+
+
+# -- pytest entry point -------------------------------------------------------
+
+def test_serve_load_smoke():
+    """Correctness bar: ≥4 concurrent clients, every response
+    byte-identical to the direct engine, zero compile misses."""
+    report, correct, _wall, errors = run_benchmark(SMOKE)
+    assert correct, (errors[:3], report)
+    assert report["clients"] >= 4
+    assert report["requests"] == SMOKE["clients"] * \
+        SMOKE["requests_per_client"]
+
+
+def main() -> int:
+    parser = benchlib.make_parser(__doc__)
+    args = parser.parse_args()
+    params = SMOKE if args.smoke else FULL
+
+    print(f"[E18] serve load: {params['clients']} concurrent clients × "
+          f"{params['requests_per_client']} requests "
+          f"(schema {params['schema_types']} types, warm store start)")
+    report, correct, wall, errors = run_benchmark(params)
+    header = (f"{'clients':>7}  {'requests':>8}  {'req/s':>8}  "
+              f"{'p50 ms':>7}  {'p90 ms':>7}  {'p99 ms':>7}  "
+              f"{'max ms':>7}")
+    print(header)
+    print("-" * len(header))
+    print(f"{report['clients']:>7}  {report['requests']:>8}  "
+          f"{report['req_per_sec']:>8.1f}  {report['p50_ms']:>7.2f}  "
+          f"{report['p90_ms']:>7.2f}  {report['p99_ms']:>7.2f}  "
+          f"{report['max_ms']:>7.2f}")
+    print()
+    if errors:
+        for message in errors[:5]:
+            print(f"  identity error: {message}")
+    print("correctness: responses byte-identical to direct engine calls "
+          f"({'OK' if not errors else 'FAILED'}), zero compile misses "
+          f"({'OK' if report['zero_compile_misses'] else 'FAILED'})")
+
+    result = benchlib.record("serve_load", args,
+                             ops_per_sec=report["req_per_sec"],
+                             wall_time_s=wall, correct=correct,
+                             extra=report)
+    return benchlib.finish(result, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -143,3 +143,51 @@ def test_bench_schema_directed_translation(benchmark, mid_expansion):
         return [translator.translate(q) for q in queries]
 
     benchmark(run)
+
+
+def main() -> int:
+    import time
+
+    import benchlib
+
+    from repro.xpath.parser import parse_xr
+    from repro.xtree.parser import parse_xml
+
+    parser = benchlib.make_parser(__doc__)
+    args = parser.parse_args()
+    widths = (2, 4) if args.smoke else (2, 4, 8)
+    rows = []
+    compared = 0
+    started = time.perf_counter()
+    for width in widths:
+        embedding = _fig7_family(width)
+        names = [f"A{i}" for i in range(1, width + 1)]
+        body = "<A1><C/></A1>" + "".join(f"<{n}/>" for n in names[1:])
+        instance = parse_xml(f"<r>{body}</r>")
+        queries = [parse_xr(f"({' | '.join(names + ['C'])})*"),
+                   parse_xr("//C")]
+        queries += [parse_xr(f"{n}/C") for n in names]
+        naive_wrong, directed_wrong = _compare(embedding, queries,
+                                               instance)
+        compared += len(queries)
+        rows.append({
+            "shared-label-width": width,
+            "queries": len(queries),
+            "naive-wrong": naive_wrong,
+            "schema-directed-wrong": directed_wrong,
+        })
+    wall = time.perf_counter() - started
+    print(format_table(rows, title="[E8] Fig.7 ablation: naive edge "
+                                   "substitution vs schema-directed Tr"))
+    correct = (all(row["schema-directed-wrong"] == 0 for row in rows)
+               and all(row["naive-wrong"] >= row["shared-label-width"]
+                       for row in rows))
+    result = benchlib.record(
+        "translation_ablation", args,
+        ops_per_sec=compared / wall if wall > 0 else 0.0,
+        wall_time_s=wall, correct=correct, extra={"rows": rows})
+    return benchlib.finish(result, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

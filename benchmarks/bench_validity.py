@@ -60,3 +60,48 @@ def test_bench_validation_large(benchmark):
         assert fresh.is_valid()
 
     benchmark(run)
+
+
+def main() -> int:
+    import time
+
+    import benchlib
+
+    from repro.core.embedding import SchemaEmbedding
+
+    parser = benchlib.make_parser(__doc__)
+    args = parser.parse_args()
+    rows = []
+    for scenario in fig3_scenarios():
+        valid = (scenario.embedding is not None
+                 and scenario.embedding.is_valid())
+        rows.append({
+            "scenario": f"Fig.3({scenario.key})",
+            "valid": valid,
+            "paper": scenario.expect_valid,
+            "agree": valid == scenario.expect_valid,
+        })
+    print(format_table(rows, title="[E4] Fig.3 validity verdicts"))
+    # Throughput: whole-embedding validation from scratch, repeated.
+    expansion = expand_schema(random_dtd(40 if args.smoke else 80,
+                                         seed=3), seed=5)
+    repeats = 3 if args.smoke else 10
+    started = time.perf_counter()
+    for _ in range(repeats):
+        fresh = SchemaEmbedding(expansion.embedding.source,
+                                expansion.embedding.target,
+                                dict(expansion.embedding.lam),
+                                dict(expansion.embedding.paths))
+        assert fresh.is_valid()
+    wall = time.perf_counter() - started
+    result = benchlib.record(
+        "validity", args,
+        ops_per_sec=repeats / wall if wall > 0 else 0.0,  # validations/s
+        wall_time_s=wall,
+        correct=all(row["agree"] for row in rows),
+        extra={"rows": rows, "validations": repeats})
+    return benchlib.finish(result, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

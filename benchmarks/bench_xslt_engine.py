@@ -74,3 +74,49 @@ def test_bench_native_inverse(benchmark, setup):
 def test_bench_stylesheet_generation(benchmark, school):
     benchmark(lambda: (forward_stylesheet(school.sigma1),
                        inverse_stylesheet(school.sigma1)))
+
+
+def main() -> int:
+    import time
+
+    import benchlib
+
+    from repro.workloads.library import school_example
+
+    parser = benchlib.make_parser(__doc__)
+    args = parser.parse_args()
+    school = school_example()
+    instance = InstanceGenerator(school.classes, seed=6,
+                                 max_depth=8 if args.smoke else 12,
+                                 star_mean=5.0).generate()
+    forward = forward_stylesheet(school.sigma1)
+    inverse = inverse_stylesheet(school.sigma1)
+    image = InstMap(school.sigma1).apply(instance).tree
+    repeats = 3 if args.smoke else 10
+    started = time.perf_counter()
+    for _ in range(repeats):
+        via_xslt = apply_stylesheet(forward, instance)
+        recovered = apply_stylesheet(inverse, image)
+    wall = time.perf_counter() - started
+    rows = [{
+        "|T1|": tree_size(instance),
+        "|T2|": tree_size(image),
+        "xslt-forward == InstMap": tree_equal(via_xslt, image),
+        "xslt-inverse == source": tree_equal(recovered, instance),
+        "forward-rules": len(forward.rules),
+        "inverse-rules": len(inverse.rules),
+    }]
+    print(format_table(rows, title="[E9] generated XSLT vs native "
+                                   "algorithms"))
+    result = benchlib.record(
+        "xslt_engine", args,
+        ops_per_sec=2 * repeats / wall if wall > 0 else 0.0,
+        wall_time_s=wall,
+        correct=(rows[0]["xslt-forward == InstMap"]
+                 and rows[0]["xslt-inverse == source"]),
+        extra={"rows": rows, "applications": 2 * repeats})
+    return benchlib.finish(result, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,158 @@
+"""Shared benchmark harness: one JSON schema for every ``bench_*.py``.
+
+Every benchmark's ``main()`` builds its record through this module, so
+CI (and any trajectory tooling reading the uploaded artifacts) sees one
+machine-readable shape per run::
+
+    {
+      "schema": 1,                  # BENCH_SCHEMA version
+      "bench": "serve_load",        # benchmark name (file stem sans bench_)
+      "git_sha": "…",               # GITHUB_SHA or `git rev-parse HEAD`
+      "mode": "smoke" | "full",
+      "ops_per_sec": 1234.5,        # headline throughput (0.0 if n/a)
+      "wall_time_s": 2.34,          # total timed wall clock
+      "correct": true,              # semantic correctness — NEVER a
+                                    #   wall-clock ratio, so CI failing
+                                    #   on it is not flaky
+      "extra": {…}                  # bench-specific detail rows
+    }
+
+Usage inside a benchmark::
+
+    parser = benchlib.make_parser(__doc__)
+    args = parser.parse_args()
+    …run, measure…
+    record = benchlib.record("my_bench", args, ops_per_sec=…,
+                             wall_time_s=…, correct=…, extra={…})
+    return benchlib.finish(record, args)
+
+``finish`` prints the one-line summary, writes ``--json PATH`` when
+given, and returns the process exit code (non-zero iff not correct).
+
+Run as a script this module is the CI gate::
+
+    python benchmarks/benchlib.py --check artifacts/BENCH_*.json
+
+which exits non-zero if any record is missing, unparseable, from a
+different schema version, or reports ``correct: false``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+from pathlib import Path
+
+BENCH_SCHEMA = 1
+
+
+def git_sha() -> str:
+    """The commit under test: CI's GITHUB_SHA, else the local HEAD."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            timeout=10, cwd=Path(__file__).resolve().parent)
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def make_parser(description: str) -> argparse.ArgumentParser:
+    """The shared CLI every benchmark exposes: ``--smoke`` + ``--json``."""
+    parser = argparse.ArgumentParser(
+        description=description,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI workload: correctness assertions "
+                             "at reduced scale")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the schema-consistent BENCH record "
+                             "to PATH")
+    return parser
+
+
+def record(bench: str, args: argparse.Namespace, *, ops_per_sec: float,
+           wall_time_s: float, correct: bool,
+           extra: dict | None = None) -> dict:
+    """One schema-consistent result record for ``bench``."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "bench": bench,
+        "git_sha": git_sha(),
+        "mode": "smoke" if getattr(args, "smoke", False) else "full",
+        "ops_per_sec": round(float(ops_per_sec), 2),
+        "wall_time_s": round(float(wall_time_s), 4),
+        "correct": bool(correct),
+        "extra": extra or {},
+    }
+
+
+def finish(result: dict, args: argparse.Namespace) -> int:
+    """Print the summary line, write ``--json``, return the exit code."""
+    verdict = "PASS" if result["correct"] else "FAIL"
+    print(f"[BENCH {result['bench']}] {verdict} mode={result['mode']} "
+          f"ops/s={result['ops_per_sec']} "
+          f"wall={result['wall_time_s']}s")
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(result, indent=2, sort_keys=True)
+                        + "\n")
+        print(f"[BENCH {result['bench']}] wrote {path}")
+    return 0 if result["correct"] else 1
+
+
+def check(paths: list[str]) -> int:
+    """The CI gate over written records; prints one line per file."""
+    if not paths:
+        print("benchlib --check: no BENCH files given")
+        return 1
+    failures = 0
+    for raw in paths:
+        path = Path(raw)
+        try:
+            result = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: UNREADABLE ({exc})")
+            failures += 1
+            continue
+        if result.get("schema") != BENCH_SCHEMA:
+            print(f"{path}: schema {result.get('schema')!r} != "
+                  f"{BENCH_SCHEMA}")
+            failures += 1
+            continue
+        if result.get("correct") is not True:
+            print(f"{path}: bench {result.get('bench')!r} reports "
+                  "correct: false")
+            failures += 1
+            continue
+        print(f"{path}: ok ({result.get('bench')}, "
+              f"{result.get('ops_per_sec')} ops/s)")
+    if failures:
+        print(f"benchlib --check: {failures} failing record(s)")
+        return 1
+    print(f"benchlib --check: all {len(paths)} record(s) correct")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", nargs="+", metavar="BENCH_JSON",
+                        help="validate written records; exit non-zero "
+                             "on any correct:false")
+    args = parser.parse_args()
+    if args.check:
+        return check(args.check)
+    parser.error("nothing to do (use --check)")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,7 +8,6 @@ the translated query — same answers, same language, per Theorem 4.3.
 Run:  python examples/p2p_query_answering.py
 """
 
-import random
 
 from repro.anfa.evaluate import evaluate_anfa_set
 from repro.core.instmap import InstMap

@@ -56,7 +56,7 @@ def main() -> None:
     query = parse_xr("class/cno/text()")
     answer = evaluate_anfa_set(translator.translate(query), mapped.tree)
     assert answer.strings == evaluate_set(query, public).strings
-    print(f"kept data recoverable and queryable "
+    print("kept data recoverable and queryable "
           f"(Q = {query} -> {sorted(answer.strings)}): OK")
 
 

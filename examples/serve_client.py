@@ -1,0 +1,105 @@
+"""Serving: run the warm-start daemon and drive it with ServeClient.
+
+The full deployment loop in one script: find an embedding, persist it
+to an artifact store, start the HTTP daemon warm from that store
+(every compile paid before the socket opens), then act as a client —
+map documents, translate queries, invert a mapping, and read the
+server's request/latency/cache metrics.
+
+Run:  PYTHONPATH=src python examples/serve_client.py
+
+The same server is what ``repro serve <store-dir>`` starts from the
+command line; anything speaking JSON-over-HTTP can be the client::
+
+    curl -s localhost:8421/healthz
+    curl -s -X POST localhost:8421/v1/map -d '{"xml": "<contacts>…</contacts>"}'
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.api import (
+    Engine,
+    ReproServer,
+    ServeClient,
+    SimilarityMatrix,
+    find_embedding,
+    parse_dtd,
+)
+
+
+def main() -> None:
+    # 1. The offline step: find the embedding and build the store.
+    source = parse_dtd("""
+        <!ELEMENT contacts (person*)>
+        <!ELEMENT person (name, email)>
+        <!ELEMENT name (#PCDATA)>
+        <!ELEMENT email (#PCDATA)>
+    """, name="contacts")
+    target = parse_dtd("""
+        <!ELEMENT directory (entries)>
+        <!ELEMENT entries (entry*)>
+        <!ELEMENT entry (name, contact)>
+        <!ELEMENT contact (email, phone?)>
+        <!ELEMENT name (#PCDATA)>
+        <!ELEMENT email (#PCDATA)>
+        <!ELEMENT phone (#PCDATA)>
+    """, name="directory")
+    att = SimilarityMatrix.permissive()
+    sigma = find_embedding(source, target, att, seed=1).embedding
+    assert sigma is not None
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = Path(tmp) / "store"
+        engine = Engine()
+        engine.compile_embedding(sigma, ensure_valid=True)
+        engine.save_store(store)
+        print(f"built artifact store at {store}")
+
+        # 2. The daemon: warm-started, compile-free serving.
+        #    (port=0 picks a free port; `repro serve` binds 8421.)
+        with ReproServer(store=store, port=0) as server:
+            print(f"serving on {server.url}")
+            client = ServeClient.for_server(server)
+            print(f"healthz: {client.healthz()}")
+
+            # 3. Map a document (single-document shorthand).
+            document = ("<contacts><person><name>Ada</name>"
+                        "<email>ada@example.org</email></person>"
+                        "</contacts>")
+            mapped = client.map(xml=document)["result"]
+            assert mapped["ok"]
+            print("mapped document:")
+            print(mapped["output"])
+
+            # 4. A batch with one bad document: per-item isolation.
+            batch = client.map(documents=[
+                {"name": "good.xml", "xml": document},
+                {"name": "bad.xml", "xml": "<oops"},
+            ])
+            print(f"batch: {batch['failures']} failure(s); "
+                  f"bad.xml -> {batch['results'][1]['error']}")
+
+            # 5. Translate queries; the repeat is served from the LRU.
+            for query in ["person/name/text()", "person/name/text()"]:
+                item = client.translate(query=query)["result"]
+                assert item["ok"]
+            print("translated person/name/text() twice "
+                  "(second hit the translation cache)")
+
+            # 6. Invert the mapped document back to the source.
+            recovered = client.invert(xml=mapped["output"])["result"]
+            assert recovered["ok"]
+            print("inverted back to the source: OK")
+
+            # 7. What the server saw.
+            metrics = client.metrics()
+            for endpoint, row in metrics["requests"].items():
+                print(f"  {endpoint}: {row['requests']} requests, "
+                      f"p50 {row['latency_ms']['p50']}ms")
+            print(f"  engine translation cache: "
+                  f"{metrics['engine']['translations']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -29,7 +29,6 @@ from repro.anfa.model import (
     QualNot,
     QualOr,
     QualTrue,
-    STR_LAB,
 )
 from repro.xpath.evaluator import ResultSet
 from repro.xtree.nodes import ElementNode, TextNode

@@ -28,7 +28,7 @@ translation to pick the continuation context.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional, Union
 
 #: lab value for text results.
@@ -461,7 +461,85 @@ class ANFA:
 
     def describe(self) -> str:
         """A readable dump used in docs/tests."""
-        lines = [f"ANFA {self.name}: start={self.start}, "
+        return self._render(None)
+
+    def canonical_describe(self) -> str:
+        """A deterministic rendering for cross-process comparison.
+
+        ``describe()`` names automata by a process-global serial
+        (``M13``), so equal translations built in different engines or
+        processes render differently.  Here the automaton is ``M0`` and
+        sub-automata are renamed ``M1``, ``M2``, … in discovery order
+        (θ qualifiers first, then call transitions, by state number),
+        and each sub-automaton's body is appended — equal translations
+        render byte-identically everywhere, which is the serving
+        layer's response contract.
+
+        The rendering is memoised on the instance: servers call this
+        per request on LRU-cached (hence immutable — see
+        :meth:`copy`) translations, and the full rename walk would
+        otherwise dominate a cache-hit response.
+        """
+        cached = getattr(self, "_canonical_cache", None)
+        if cached is not None:
+            return cached
+        names: dict[int, str] = {id(self): "M0"}
+        order: list[ANFA] = []
+
+        def visit_qual(qual: QualExpr) -> None:
+            if isinstance(qual, (QualAtomExists, QualAtomText)):
+                if id(qual.sub) not in names:
+                    names[id(qual.sub)] = f"M{len(names)}"
+                    order.append(qual.sub)
+                    visit(qual.sub)
+            elif isinstance(qual, (QualAnd, QualOr)):
+                visit_qual(qual.left)
+                visit_qual(qual.right)
+            elif isinstance(qual, QualNot):
+                visit_qual(qual.inner)
+
+        def visit(anfa: "ANFA") -> None:
+            for state in anfa.states():
+                qual = anfa.theta.get(state)
+                if qual is not None:
+                    visit_qual(qual)
+            for state in anfa.states():
+                for spec in anfa.call_edges.get(state, []):
+                    if id(spec.sub) not in names:
+                        names[id(spec.sub)] = f"M{len(names)}"
+                        order.append(spec.sub)
+                        visit(spec.sub)
+                    for _lab, qual in spec.quals:
+                        visit_qual(qual)
+
+        visit(self)
+        text = "\n\n".join(anfa._render(names)
+                           for anfa in [self] + order)
+        self._canonical_cache = text
+        return text
+
+    def _render(self, names: Optional[dict[int, str]]) -> str:
+        def name_of(anfa: "ANFA") -> str:
+            if names is None:
+                return anfa.name
+            return names.get(id(anfa), anfa.name)
+
+        def qual_str(qual: QualExpr) -> str:
+            if names is None:
+                return str(qual)
+            if isinstance(qual, QualAtomExists):
+                return f"exists({name_of(qual.sub)})"
+            if isinstance(qual, QualAtomText):
+                return f"text({name_of(qual.sub)})='{qual.value}'"
+            if isinstance(qual, QualAnd):
+                return f"({qual_str(qual.left)} and {qual_str(qual.right)})"
+            if isinstance(qual, QualOr):
+                return f"({qual_str(qual.left)} or {qual_str(qual.right)})"
+            if isinstance(qual, QualNot):
+                return f"not({qual_str(qual.inner)})"
+            return str(qual)
+
+        lines = [f"ANFA {name_of(self)}: start={self.start}, "
                  f"finals={self.finals}"]
         for state in self.states():
             for edge in self.out_edges(state):
@@ -474,10 +552,10 @@ class ANFA:
                     lines.append(f"  {state} --str--> {edge.dst}")
                 else:
                     lines.append(
-                        f"  {state} --call({edge.sub.name})--> "
+                        f"  {state} --call({name_of(edge.sub)})--> "
                         f"{dict(edge.dst_by_lab)}")
         for state, qual in self.theta.items():
-            lines.append(f"  theta({state}) = {qual}")
+            lines.append(f"  theta({state}) = {qual_str(qual)}")
         return "\n".join(lines)
 
 

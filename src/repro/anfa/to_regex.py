@@ -28,7 +28,6 @@ from repro.anfa.model import (
     QualNot,
     QualOr,
     QualTrue,
-    STR_LAB,
 )
 from repro.xpath.ast import (
     EmptyPath,

@@ -59,6 +59,20 @@ Corpora stream lazily from directories, NDJSON files or single
 documents via :func:`iter_corpus`; the equivalent CLI surface is
 ``repro batch map|translate --jobs N --store DIR`` and
 ``repro store build|inspect``.
+
+The same store also backs a long-lived serving daemon — the paper's
+"embed once, answer forever" workload as a service.  ``repro serve
+artifacts/`` (or :class:`ReproServer` in-process) warm-starts every
+stored artifact *before* the socket opens and serves JSON endpoints
+(``POST /v1/map|translate|invert|find``, ``GET /healthz|/metrics``)
+whose payload strings are byte-identical to the equivalent direct
+:class:`Engine` calls; :class:`ServeClient` is the stdlib client::
+
+    with api.ReproServer(store="artifacts/", port=0) as server:
+        client = api.ServeClient.for_server(server)
+        mapped = client.map(xml=doc_text)["result"]["output"]
+        anfas = client.translate(queries=["a/b/text()"])["results"]
+        print(client.metrics()["requests"]["/v1/map"])
 """
 
 from repro.anfa.evaluate import evaluate_anfa, evaluate_anfa_set
@@ -108,6 +122,12 @@ from repro.dtd.serialize import dtd_to_compact, dtd_to_text
 from repro.dtd.validate import conforms, validate
 from repro.matching.search import SearchResult, find_embedding
 from repro.matching.simulation import simulation_mapping
+from repro.serve import (
+    ReproServer,
+    ServeClient,
+    ServeError,
+    ServiceState,
+)
 from repro.xpath.evaluator import ResultSet, evaluate, evaluate_set
 from repro.xpath.parser import parse_xr
 from repro.xpath.paths import XRPath
@@ -136,9 +156,13 @@ __all__ = [
     "MappingResult",
     "ParallelReport",
     "ParallelRunner",
+    "ReproServer",
     "ResultSet",
     "SchemaEmbedding",
     "SearchResult",
+    "ServeClient",
+    "ServeError",
+    "ServiceState",
     "SimilarityMatrix",
     "StoreError",
     "TextNode",

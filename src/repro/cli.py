@@ -20,10 +20,18 @@ Commands mirror the paper's workflow:
   misses; ``--stats`` prints the aggregated cache counters;
 * ``store``     — artifact-store management: ``store build`` compiles
   schemas + an embedding into a store directory up front, ``store
-  inspect`` summarises a store's manifest.
+  inspect`` summarises a store's manifest;
+* ``serve``     — the long-lived HTTP daemon: warm-start from an
+  artifact store and serve ``POST /v1/map|translate|invert|find`` plus
+  ``GET /healthz|/metrics`` until interrupted (see ``repro.serve``).
 
 Embeddings are (de)serialised as JSON: λ plus ``A B occ path`` rows —
 the declarative transformation-language artifact of Section 4.5.
+
+Malformed inputs (unparseable DTDs/XML/JSON, corrupt stores, missing
+files) exit with status 2 and a one-line ``repro: error: …`` message —
+never a traceback; per-item failures inside ``batch`` keep their
+existing exit-1-and-keep-serving semantics.
 """
 
 from __future__ import annotations
@@ -36,7 +44,7 @@ from typing import Optional
 
 from repro.core.embedding import SchemaEmbedding, build_embedding
 from repro.core.instmap import InstMap
-from repro.engine import ArtifactStore, Engine, ParallelRunner, iter_corpus
+from repro.engine import ArtifactStore, ParallelRunner, iter_corpus
 from repro.core.inverse import invert
 from repro.core.similarity import SimilarityMatrix
 from repro.core.translate import translate_query
@@ -45,6 +53,7 @@ from repro.dtd.model import DTD
 from repro.dtd.parser import parse_compact, parse_dtd
 from repro.dtd.validate import ConformanceError, validate
 from repro.matching.search import find_embedding
+from repro.serve import DEFAULT_HOST, DEFAULT_PORT, ReproServer
 from repro.xpath.parser import parse_xr
 from repro.xslt.forward import forward_stylesheet
 from repro.xslt.inverse import inverse_stylesheet
@@ -55,9 +64,12 @@ from repro.xtree.serialize import to_string
 
 def _load_dtd(path: str, root: Optional[str] = None) -> DTD:
     text = Path(path).read_text()
-    if "<!ELEMENT" in text:
-        return parse_dtd(text, root=root, name=Path(path).stem)
-    return parse_compact(text, root=root, name=Path(path).stem)
+    try:
+        if "<!ELEMENT" in text:
+            return parse_dtd(text, root=root, name=Path(path).stem)
+        return parse_compact(text, root=root, name=Path(path).stem)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from exc
 
 
 def embedding_to_json(embedding: SchemaEmbedding) -> str:
@@ -72,9 +84,22 @@ def embedding_to_json(embedding: SchemaEmbedding) -> str:
 def embedding_from_json(text: str, source: DTD,
                         target: DTD) -> SchemaEmbedding:
     payload = json.loads(text)
-    paths = {(row["source"], row["child"], row.get("occ", 1)): row["path"]
-             for row in payload["paths"]}
-    return build_embedding(source, target, payload["lam"],
+    if not isinstance(payload, dict):
+        raise ValueError("embedding JSON must be an object with 'lam' "
+                         "and 'paths'")
+    lam = payload.get("lam")
+    rows = payload.get("paths")
+    if not isinstance(lam, dict) or not isinstance(rows, list):
+        raise ValueError("embedding JSON must carry a 'lam' object and "
+                         "a 'paths' list")
+    paths = {}
+    for index, row in enumerate(rows):
+        if not isinstance(row, dict) or not {"source", "child",
+                                             "path"} <= row.keys():
+            raise ValueError(f"paths[{index}] must be an object with "
+                             "'source', 'child' and 'path'")
+        paths[(row["source"], row["child"], row.get("occ", 1))] = row["path"]
+    return build_embedding(source, target, lam,
                            paths)  # type: ignore[arg-type]
 
 
@@ -83,8 +108,26 @@ def _cmd_embed(args: argparse.Namespace) -> int:
     target = _load_dtd(args.target)
     if args.att:
         att = SimilarityMatrix()
-        for row in json.loads(Path(args.att).read_text()):
-            att.set(row["source"], row["target"], row["score"])
+        try:
+            rows = json.loads(Path(args.att).read_text())
+            if not isinstance(rows, list):
+                raise ValueError("att JSON must be a list of "
+                                 '{"source", "target", "score"} rows')
+            for index, row in enumerate(rows):
+                if not isinstance(row, dict) or not {"source", "target",
+                                                     "score"} <= row.keys():
+                    raise ValueError(f"row {index} needs 'source', "
+                                     "'target' and 'score'")
+                score = row["score"]
+                if isinstance(score, bool) or \
+                        not isinstance(score, (int, float)):
+                    raise ValueError(f"row {index}: 'score' must be a "
+                                     "number")
+                att.set(row["source"], row["target"], float(score))
+        except OSError:
+            raise
+        except ValueError as exc:
+            raise ValueError(f"{args.att}: {exc}") from exc
     elif args.match_names:
         att = SimilarityMatrix.from_names(source, target)
         att.set(source.root, target.root, 1.0)
@@ -109,9 +152,14 @@ def _cmd_embed(args: argparse.Namespace) -> int:
 def _load_embedding(args: argparse.Namespace) -> SchemaEmbedding:
     source = _load_dtd(args.source)
     target = _load_dtd(args.target)
-    embedding = embedding_from_json(Path(args.embedding).read_text(),
-                                    source, target)
-    embedding.check()
+    try:
+        embedding = embedding_from_json(Path(args.embedding).read_text(),
+                                        source, target)
+        embedding.check()
+    except OSError:
+        raise
+    except ValueError as exc:
+        raise ValueError(f"{args.embedding}: {exc}") from exc
     return embedding
 
 
@@ -253,9 +301,14 @@ def _cmd_store_build(args: argparse.Namespace) -> int:
     store.put_schema(source)
     store.put_schema(target)
     for embedding_path in args.embeddings:
-        embedding = embedding_from_json(Path(embedding_path).read_text(),
-                                        source, target)
-        embedding.check()
+        try:
+            embedding = embedding_from_json(
+                Path(embedding_path).read_text(), source, target)
+            embedding.check()
+        except OSError:
+            raise
+        except ValueError as exc:
+            raise ValueError(f"{embedding_path}: {exc}") from exc
         fingerprint = store.put_embedding(embedding, validated=True)
         print(f"# {embedding_path} -> embedding {fingerprint[:12]}…",
               file=sys.stderr)
@@ -284,6 +337,19 @@ def _cmd_store_inspect(args: argparse.Namespace) -> int:
                      else "not found")
         print(f"  search    {row['digest'][:12]}…  "
               f"method={row['method']}  embedding={embedding}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    server = ReproServer(store=args.store, host=args.host, port=args.port)
+    server.start()
+    state = server.state
+    print(f"# serving {server.url} — {len(state.embeddings)} embedding(s), "
+          f"{len(state.schemas)} schema(s) warm from {args.store}",
+          file=sys.stderr)
+    print("# POST /v1/map /v1/translate /v1/invert /v1/find — "
+          "GET /healthz /metrics (Ctrl-C to stop)", file=sys.stderr)
+    server.serve_forever()
     return 0
 
 
@@ -421,13 +487,35 @@ def build_parser() -> argparse.ArgumentParser:
                                help="print the raw manifest summary "
                                     "as JSON")
     store_inspect.set_defaults(func=_cmd_store_inspect)
+
+    serve = sub.add_parser(
+        "serve", help="long-lived HTTP daemon: warm-start from an "
+                      "artifact store and serve mapping/translation/"
+                      "inversion/search over JSON endpoints")
+    serve.add_argument("store", help="artifact-store directory (from "
+                                     "'store build' or --store)")
+    serve.add_argument("--host", default=DEFAULT_HOST,
+                       help=f"bind address (default {DEFAULT_HOST})")
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                       help=f"TCP port (default {DEFAULT_PORT}; 0 picks "
+                            "a free port)")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 
 def main(argv: Optional[list[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (OSError, ValueError) as exc:
+        # Every malformed-input path (unreadable files, bad JSON/DTD/XML,
+        # corrupt stores — all ValueError subclasses here) exits with one
+        # clean line instead of a traceback.  Genuine bugs (TypeError,
+        # AssertionError, …) still surface loudly.
+        message = str(exc).strip() or type(exc).__name__
+        print(f"repro: error: {message}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

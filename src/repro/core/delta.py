@@ -19,7 +19,7 @@ as a property test in ``tests/test_delta.py``.
 
 from __future__ import annotations
 
-from repro.core.embedding import STR_KEY, SchemaEmbedding
+from repro.core.embedding import SchemaEmbedding
 from repro.core.errors import TranslationError
 from repro.dtd.model import Concat, Disjunction, Star, Str
 from repro.xpath.paths import XRPath

@@ -42,7 +42,6 @@ from repro.dtd.model import (
     Concat,
     Disjunction,
     EdgeKind,
-    Empty,
     Star,
     Str,
 )

@@ -17,7 +17,7 @@ precisely to show what the embedding framework rules out.
 
 from __future__ import annotations
 
-from repro.dtd.model import DTD, Concat, Disjunction, Empty, Star, Str
+from repro.dtd.model import DTD
 from repro.dtd.parser import parse_compact
 from repro.xpath.ast import PathExpr
 from repro.xpath.parser import parse_xr

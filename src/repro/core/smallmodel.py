@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.embedding import STR_KEY, EdgeKey, SchemaEmbedding
+from repro.core.embedding import EdgeKey, SchemaEmbedding
 from repro.dtd.model import Concat, Disjunction, Production, Star, Str
 from repro.xpath.paths import XRPath
 

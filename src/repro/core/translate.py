@@ -52,7 +52,7 @@ from repro.anfa.model import (
     qual_not,
     qual_or,
 )
-from repro.core.embedding import STR_KEY, SchemaEmbedding
+from repro.core.embedding import SchemaEmbedding
 from repro.core.errors import TranslationError
 from repro.dtd.model import Concat, Disjunction, Star as StarProd, Str
 from repro.xpath.ast import (

@@ -27,7 +27,6 @@ from repro.dtd.model import (
     Disjunction,
     Empty,
     Production,
-    SchemaError,
     Star,
     Str,
 )

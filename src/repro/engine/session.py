@@ -29,7 +29,17 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import astuple, dataclass
-from typing import Hashable, Iterable, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Hashable,
+    Iterable,
+    Optional,
+    Sequence,
+    Union,
+)
+
+if TYPE_CHECKING:  # runtime import stays inside the methods below
+    from repro.engine.store import ArtifactStore
 
 from repro.anfa.model import ANFA
 from repro.core.embedding import SchemaEmbedding
@@ -316,7 +326,9 @@ class Engine:
     @classmethod
     def warm_start(cls, path, config: Optional[EngineConfig] = None,
                    ) -> "Engine":
-        """A new Engine preloaded from the artifact store at ``path``.
+        """A new Engine preloaded from the artifact store at ``path``
+        (an already-open :class:`ArtifactStore` is also accepted — its
+        memoised artifacts are reused instead of re-reading the disk).
 
         Every stored schema and embedding is compiled up front (paying
         each compile exactly once, at load time rather than on the
@@ -332,7 +344,8 @@ class Engine:
         """
         from repro.engine.store import ArtifactStore
 
-        store = ArtifactStore(path, create=False)
+        store = (path if isinstance(path, ArtifactStore)
+                 else ArtifactStore(path, create=False))
         if config is None:
             defaults = EngineConfig()
             config = EngineConfig(

@@ -23,7 +23,7 @@ from typing import Optional
 from repro.core.embedding import SchemaEmbedding
 from repro.core.similarity import SimilarityMatrix
 from repro.dtd.model import DTD
-from repro.matching.local import LocalEmbedder, LocalMapping, LocalSearchConfig
+from repro.matching.local import LocalEmbedder, LocalSearchConfig
 from repro.xpath.paths import XRPath
 
 

@@ -13,7 +13,7 @@ quality-ordered candidates, as in the VLDB'05 heuristics.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.similarity import SimilarityMatrix

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.similarity import SimilarityMatrix
-from repro.dtd.model import DTD, Edge
+from repro.dtd.model import DTD
 
 
 def greatest_simulation(source: DTD, target: DTD, att: SimilarityMatrix,

@@ -1,0 +1,37 @@
+"""The serving layer: a long-lived, warm-started HTTP daemon over the
+engine — the paper's "compute the embedding once, answer forever"
+workload as an actual service.
+
+* :mod:`repro.serve.protocol` — JSON request/response shapes, batch
+  normalisation, structured errors;
+* :mod:`repro.serve.handlers` — :class:`ServiceState` (warm engine +
+  artifacts) and the pure endpoint logic;
+* :mod:`repro.serve.metrics`  — per-endpoint counters and latency
+  percentiles backing ``/metrics``;
+* :mod:`repro.serve.server`   — :class:`ReproServer`, the threaded
+  stdlib HTTP transport (``repro serve`` in the CLI);
+* :mod:`repro.serve.client`   — :class:`ServeClient`, the stdlib JSON
+  client used by tests, benchmarks and examples.
+
+Everything is stdlib-only and a pure transport over
+:class:`~repro.engine.session.Engine`: response payload strings are
+byte-identical to the equivalent direct engine calls.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.handlers import ServiceState, dispatch
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.protocol import ProtocolError
+from repro.serve.server import DEFAULT_HOST, DEFAULT_PORT, ReproServer
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "MetricsRegistry",
+    "ProtocolError",
+    "ReproServer",
+    "ServeClient",
+    "ServeError",
+    "ServiceState",
+    "dispatch",
+]

@@ -1,0 +1,126 @@
+"""A small stdlib client for the serve daemon — tests and benchmarks
+drive the HTTP surface through this instead of hand-rolling requests.
+
+One :class:`ServeClient` is safe to share across threads: each request
+opens its own ``http.client`` connection (the daemon is threaded, so
+concurrency comes from many in-flight requests, not connection reuse).
+Error responses raise :class:`ServeError` carrying the HTTP status and
+the structured ``error.code``/``error.message`` body.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Optional, Sequence
+
+
+class ServeError(Exception):
+    """A non-2xx response from the daemon, with its structured error."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(f"[{status}] {code}: {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class ServeClient:
+    """JSON-over-HTTP client for one serve daemon."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8421,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    @classmethod
+    def for_server(cls, server, timeout: float = 60.0) -> "ServeClient":
+        """A client bound to a running :class:`ReproServer`."""
+        return cls(server.host, server.port, timeout=timeout)
+
+    # -- transport ---------------------------------------------------------
+    def request(self, method: str, path: str,
+                payload: Optional[dict] = None) -> dict:
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout)
+        try:
+            body = (json.dumps(payload).encode("utf-8")
+                    if payload is not None else None)
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            status = response.status
+        finally:
+            connection.close()
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ServeError(status, "bad-response",
+                             f"undecodable response body: {exc}") from None
+        if status >= 400:
+            error = decoded.get("error", {}) if isinstance(decoded, dict) \
+                else {}
+            raise ServeError(status, error.get("code", "error"),
+                             error.get("message", raw.decode("utf-8",
+                                                             "replace")))
+        return decoded
+
+    # -- endpoints ---------------------------------------------------------
+    def healthz(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self.request("GET", "/metrics")
+
+    def map(self, xml: Optional[str] = None,
+            documents: Optional[Sequence[dict]] = None,
+            embedding: Optional[str] = None, validate: bool = True,
+            name: Optional[str] = None) -> dict:
+        payload: dict = {"validate": validate}
+        if embedding is not None:
+            payload["embedding"] = embedding
+        if xml is not None:
+            payload["xml"] = xml
+            if name is not None:
+                payload["name"] = name
+        if documents is not None:
+            payload["documents"] = list(documents)
+        return self.request("POST", "/v1/map", payload)
+
+    def invert(self, xml: Optional[str] = None,
+               documents: Optional[Sequence[dict]] = None,
+               embedding: Optional[str] = None, strict: bool = True,
+               name: Optional[str] = None) -> dict:
+        payload: dict = {"strict": strict}
+        if embedding is not None:
+            payload["embedding"] = embedding
+        if xml is not None:
+            payload["xml"] = xml
+            if name is not None:
+                payload["name"] = name
+        if documents is not None:
+            payload["documents"] = list(documents)
+        return self.request("POST", "/v1/invert", payload)
+
+    def translate(self, query: Optional[str] = None,
+                  queries: Optional[Sequence[str]] = None,
+                  embedding: Optional[str] = None,
+                  context_type: Optional[str] = None) -> dict:
+        payload: dict = {}
+        if embedding is not None:
+            payload["embedding"] = embedding
+        if context_type is not None:
+            payload["context_type"] = context_type
+        if query is not None:
+            payload["query"] = query
+        if queries is not None:
+            payload["queries"] = list(queries)
+        return self.request("POST", "/v1/translate", payload)
+
+    def find(self, source: str, target: str, method: str = "auto",
+             seed: int = 0, restarts: int = 20) -> dict:
+        return self.request("POST", "/v1/find", {
+            "source": source, "target": target, "method": method,
+            "seed": seed, "restarts": restarts})

@@ -1,0 +1,382 @@
+"""Endpoint logic for the serve daemon — a pure layer over the Engine.
+
+:class:`ServiceState` owns one warm :class:`~repro.engine.session.Engine`
+plus the embeddings/schemas it serves (usually loaded from an
+:class:`~repro.engine.store.ArtifactStore`); :func:`dispatch` routes one
+(method, path, body) triple to a handler and returns ``(status,
+payload)``.  No HTTP object ever reaches this layer, so tests and the
+transport drive exactly the same code.
+
+The serving contract: the service is a *transport*, not a semantic
+layer.  Every ``output``/``anfa`` string in a response is byte-identical
+to what the same :class:`Engine` call produces in-process
+(``to_string(engine.apply_embedding(…).tree)``,
+``engine.translate_query(…).canonical_describe()``, …) — tested in
+``tests/test_serve.py`` and asserted under load in
+``benchmarks/bench_serve_load.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Optional, Union
+
+from repro.core.embedding import SchemaEmbedding
+from repro.dtd.model import DTD
+from repro.dtd.parser import parse_compact, parse_dtd
+from repro.engine.session import Engine, EngineConfig
+from repro.engine.store import ArtifactStore, embedding_to_payload
+from repro.serve.metrics import OVERFLOW_ENDPOINT, MetricsRegistry
+from repro.serve.protocol import (
+    ProtocolError,
+    decode_body,
+    documents_from,
+    optional_flag,
+    optional_int,
+    optional_str,
+    queries_from,
+)
+from repro.xtree.parser import parse_xml
+from repro.xtree.serialize import to_string
+
+#: Most dynamically-registered artifacts (successful ``/v1/find``
+#: results and their schemas) kept before the oldest is evicted.
+#: Store-loaded artifacts are never evicted — a long-lived daemon's
+#: state must stay bounded no matter what clients post.
+MAX_DYNAMIC_EMBEDDINGS = 128
+MAX_DYNAMIC_SCHEMAS = 256
+
+
+class ServiceState:
+    """One daemon's state: a warm engine + the artifacts it serves.
+
+    Build from a store (``ServiceState.from_store(path)``) for the
+    warm-start deployment path, or directly from model objects for
+    tests and embedded use.  Thread-safe to the same degree as the
+    Engine: compiled artifacts are immutable, cache bookkeeping is
+    locked.
+    """
+
+    def __init__(self, engine: Optional[Engine] = None,
+                 embeddings: Optional[dict[str, SchemaEmbedding]] = None,
+                 schemas: Optional[dict[str, DTD]] = None,
+                 store_path: Optional[str] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.engine = engine or Engine()
+        self.embeddings = dict(embeddings or {})
+        self.schemas = dict(schemas or {})
+        self.store_path = store_path
+        self.metrics = metrics or MetricsRegistry()
+        self.started_at = time.time()
+        # Guards the embeddings/schemas dicts against concurrent
+        # handler threads (registration during resolution); the
+        # OrderedDicts remember insertion order of *dynamic* artifacts
+        # for bounded eviction.
+        self._lock = threading.Lock()
+        self._dynamic_embeddings: "OrderedDict[str, None]" = OrderedDict()
+        self._dynamic_schemas: "OrderedDict[str, None]" = OrderedDict()
+
+    @classmethod
+    def from_store(cls, path, config: Optional[EngineConfig] = None,
+                   ) -> "ServiceState":
+        """Warm-start: every stored artifact compiled before the first
+        request, so serving begins with zero compile misses."""
+        store = ArtifactStore(path, create=False)
+        # warm_start shares the open store, so each artifact body is
+        # read and parsed exactly once between the two of them.
+        engine = Engine.warm_start(store, config=config)
+        embeddings = {fingerprint: store.get_embedding(fingerprint)
+                      for fingerprint in store.embedding_fingerprints()}
+        schemas = {fingerprint: store.get_schema(fingerprint)
+                   for fingerprint in store.schema_fingerprints()}
+        return cls(engine, embeddings, schemas, store_path=str(path))
+
+    @classmethod
+    def from_embedding(cls, embedding: SchemaEmbedding,
+                       validate: bool = True) -> "ServiceState":
+        """An in-memory service around one embedding (tests, examples)."""
+        engine = Engine()
+        engine.compile_embedding(embedding, ensure_valid=validate)
+        state = cls(engine,
+                    {embedding.fingerprint(): embedding},
+                    {embedding.source.fingerprint(): embedding.source,
+                     embedding.target.fingerprint(): embedding.target})
+        engine.reset_stats()
+        return state
+
+    # -- resolution --------------------------------------------------------
+    def resolve_embedding(self, ref: Optional[str],
+                          ) -> tuple[str, SchemaEmbedding]:
+        """The embedding a request names (by fingerprint or unique
+        prefix); with no ``ref`` the store's sole embedding."""
+        with self._lock:
+            embeddings = dict(self.embeddings)
+        if ref is None:
+            if len(embeddings) == 1:
+                return next(iter(embeddings.items()))
+            if not embeddings:
+                raise ProtocolError(404, "no-embeddings",
+                                    "this server has no embeddings loaded")
+            raise ProtocolError(
+                400, "ambiguous-embedding",
+                "several embeddings are loaded; name one via 'embedding': "
+                + ", ".join(sorted(fp[:12] for fp in embeddings)))
+        if not isinstance(ref, str):
+            raise ProtocolError(400, "bad-request",
+                                "'embedding' must be a fingerprint string")
+        if ref in embeddings:
+            return ref, embeddings[ref]
+        matches = [fp for fp in embeddings if fp.startswith(ref)]
+        if len(matches) == 1:
+            return matches[0], embeddings[matches[0]]
+        if len(matches) > 1:
+            raise ProtocolError(400, "ambiguous-embedding",
+                                f"fingerprint prefix {ref!r} matches "
+                                f"{len(matches)} embeddings")
+        raise ProtocolError(404, "unknown-embedding",
+                            f"no embedding {ref!r} on this server")
+
+    def resolve_schema(self, value, what: str) -> DTD:
+        """A schema by stored fingerprint/prefix, or inline DTD text."""
+        if not isinstance(value, str) or not value:
+            raise ProtocolError(400, "bad-request",
+                                f"'{what}' must be a schema fingerprint "
+                                "or inline DTD text")
+        with self._lock:
+            schemas = dict(self.schemas)
+        if value in schemas:
+            return schemas[value]
+        matches = [fp for fp in schemas if fp.startswith(value)]
+        if len(matches) == 1:
+            return schemas[matches[0]]
+        if len(matches) > 1:
+            raise ProtocolError(400, "ambiguous-schema",
+                                f"'{what}' prefix matches "
+                                f"{len(matches)} schemas")
+        if "<!ELEMENT" in value or "->" in value:
+            try:
+                if "<!ELEMENT" in value:
+                    return parse_dtd(value, name=what)
+                return parse_compact(value, name=what)
+            except ValueError as exc:
+                raise ProtocolError(400, "bad-schema",
+                                    f"'{what}' is not a parseable DTD: "
+                                    f"{exc}") from None
+        raise ProtocolError(404, "unknown-schema",
+                            f"no schema {value!r} on this server")
+
+    def register_embedding(self, embedding: SchemaEmbedding) -> str:
+        """Make a freshly found embedding addressable by later calls.
+
+        Dynamic registrations are bounded: past
+        ``MAX_DYNAMIC_EMBEDDINGS``/``MAX_DYNAMIC_SCHEMAS`` the oldest
+        dynamically-added artifact is evicted (store-loaded artifacts
+        never are)."""
+        fingerprint = embedding.fingerprint()
+        with self._lock:
+            if fingerprint not in self.embeddings:
+                self.embeddings[fingerprint] = embedding
+                self._dynamic_embeddings[fingerprint] = None
+                while len(self._dynamic_embeddings) > \
+                        MAX_DYNAMIC_EMBEDDINGS:
+                    oldest, _ = self._dynamic_embeddings.popitem(
+                        last=False)
+                    self.embeddings.pop(oldest, None)
+            for schema in (embedding.source, embedding.target):
+                schema_fp = schema.fingerprint()
+                if schema_fp not in self.schemas:
+                    self.schemas[schema_fp] = schema
+                    self._dynamic_schemas[schema_fp] = None
+                    while len(self._dynamic_schemas) > \
+                            MAX_DYNAMIC_SCHEMAS:
+                        oldest, _ = self._dynamic_schemas.popitem(
+                            last=False)
+                        self.schemas.pop(oldest, None)
+        return fingerprint
+
+
+# -- handlers -----------------------------------------------------------------
+
+def _document_batch(state: ServiceState, payload: dict,
+                    apply_one: Callable[[SchemaEmbedding, str], str],
+                    ) -> dict:
+    """The shared map/invert shape: resolve the embedding, run
+    ``apply_one(embedding, xml) -> output`` per document with per-item
+    failure isolation (CLI batch semantics), and assemble the
+    single-vs-batch response.
+
+    Item shape: ``{"name", "ok", "output"}`` on success,
+    ``{"name", "ok", "error"}`` on failure — the error string is never
+    placed where document content goes, matching ``/v1/translate``.
+    """
+    fingerprint, embedding = state.resolve_embedding(
+        optional_str(payload, "embedding"))
+    items, single = documents_from(payload)
+    results = []
+    failures = 0
+    for name, xml in items:
+        try:
+            results.append({"name": name, "ok": True,
+                            "output": apply_one(embedding, xml)})
+        except Exception as exc:  # one bad document must not sink the batch
+            failures += 1
+            results.append({"name": name, "ok": False,
+                            "error": f"{type(exc).__name__}: {exc}"})
+    response = {"embedding": fingerprint, "failures": failures}
+    if single:
+        response["result"] = results[0]
+    else:
+        response["results"] = results
+    return response
+
+
+def _handle_map(state: ServiceState, payload: dict) -> dict:
+    validate = optional_flag(payload, "validate", True)
+
+    def apply_one(embedding: SchemaEmbedding, xml: str) -> str:
+        mapping = state.engine.apply_embedding(embedding, parse_xml(xml),
+                                               validate=validate)
+        return to_string(mapping.tree)
+
+    return _document_batch(state, payload, apply_one)
+
+
+def _handle_invert(state: ServiceState, payload: dict) -> dict:
+    strict = optional_flag(payload, "strict", True)
+
+    def apply_one(embedding: SchemaEmbedding, xml: str) -> str:
+        return to_string(state.engine.invert(embedding, parse_xml(xml),
+                                             strict=strict))
+
+    return _document_batch(state, payload, apply_one)
+
+
+def _handle_translate(state: ServiceState, payload: dict) -> dict:
+    fingerprint, embedding = state.resolve_embedding(
+        optional_str(payload, "embedding"))
+    context_type = optional_str(payload, "context_type")
+    queries, single = queries_from(payload)
+    results = []
+    failures = 0
+    for query in queries:
+        try:
+            anfa = state.engine.translate_query(embedding, query,
+                                                context_type)
+            results.append({"query": query, "ok": True,
+                            "anfa": anfa.canonical_describe(),
+                            "empty": anfa.is_fail()})
+        except Exception as exc:  # one bad query must not sink the batch
+            failures += 1
+            results.append({"query": query, "ok": False,
+                            "error": f"{type(exc).__name__}: {exc}"})
+    response = {"embedding": fingerprint, "failures": failures}
+    if single:
+        response["result"] = results[0]
+    else:
+        response["results"] = results
+    return response
+
+
+def _handle_find(state: ServiceState, payload: dict) -> dict:
+    source = state.resolve_schema(payload.get("source"), "source")
+    target = state.resolve_schema(payload.get("target"), "target")
+    method = optional_str(payload, "method") or "auto"
+    seed = optional_int(payload, "seed", 0)
+    restarts = optional_int(payload, "restarts", 20)
+    result = state.engine.find_embedding(source, target, method=method,
+                                         seed=seed, restarts=restarts)
+    response = {
+        "found": result.found,
+        "method": result.method,
+        "quality": result.quality,
+        "seconds": result.seconds,
+        "embedding": None,
+    }
+    if result.embedding is not None:
+        fingerprint = state.register_embedding(result.embedding)
+        response["embedding"] = fingerprint
+        response["payload"] = embedding_to_payload(result.embedding)
+    return response
+
+
+def _handle_healthz(state: ServiceState) -> dict:
+    return {
+        "ok": True,
+        "uptime_seconds": round(time.time() - state.started_at, 3),
+        "embeddings": len(state.embeddings),
+        "schemas": len(state.schemas),
+        "store": state.store_path,
+    }
+
+
+def _handle_metrics(state: ServiceState) -> dict:
+    return {
+        "requests": state.metrics.snapshot(),
+        "engine": state.engine.stats(),
+    }
+
+
+_POST_ROUTES: dict[str, Callable[[ServiceState, dict], dict]] = {
+    "/v1/map": _handle_map,
+    "/v1/invert": _handle_invert,
+    "/v1/translate": _handle_translate,
+    "/v1/find": _handle_find,
+}
+
+_GET_ROUTES: dict[str, Callable[[ServiceState], dict]] = {
+    "/healthz": _handle_healthz,
+    "/metrics": _handle_metrics,
+}
+
+
+def dispatch(state: ServiceState, method: str, path: str,
+             body: Union[bytes, dict, None] = None) -> tuple[int, dict]:
+    """Route one request; always returns ``(status, payload)``.
+
+    Request metrics (counts, errors, latency) are recorded here, so any
+    transport — HTTP, tests, an embedded caller — feeds the same
+    ``/metrics`` numbers.
+    """
+    started = time.perf_counter()
+    status, payload = _dispatch(state, method, path, body)
+    # Unknown paths share one overflow label so probing clients cannot
+    # grow the per-endpoint registry (its own cap is the backstop).
+    known = path in _POST_ROUTES or path in _GET_ROUTES
+    state.metrics.observe(path if known else OVERFLOW_ENDPOINT,
+                          time.perf_counter() - started,
+                          ok=status < 400)
+    return status, payload
+
+
+def _dispatch(state: ServiceState, method: str, path: str,
+              body: Union[bytes, dict, None]) -> tuple[int, dict]:
+    try:
+        if method == "GET":
+            handler = _GET_ROUTES.get(path)
+            if handler is None:
+                if path in _POST_ROUTES:
+                    raise ProtocolError(405, "method-not-allowed",
+                                        f"{path} expects POST")
+                raise ProtocolError(404, "not-found",
+                                    f"no endpoint {path}")
+            return 200, handler(state)
+        if method == "POST":
+            handler = _POST_ROUTES.get(path)
+            if handler is None:
+                if path in _GET_ROUTES:
+                    raise ProtocolError(405, "method-not-allowed",
+                                        f"{path} expects GET")
+                raise ProtocolError(404, "not-found",
+                                    f"no endpoint {path}")
+            payload = (body if isinstance(body, dict)
+                       else decode_body(body or b""))
+            return 200, handler(state, payload)
+        raise ProtocolError(405, "method-not-allowed",
+                            f"unsupported method {method}")
+    except ProtocolError as exc:
+        return exc.status, exc.payload()
+    except Exception as exc:  # a handler fault must not kill the thread
+        return 500, ProtocolError(500, "internal-error",
+                                  f"{type(exc).__name__}: {exc}").payload()

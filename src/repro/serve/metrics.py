@@ -1,0 +1,99 @@
+"""Request metrics for the serve daemon — counters and latency tails.
+
+One :class:`MetricsRegistry` per server, shared by every handler
+thread.  Latencies keep a bounded window of recent samples per endpoint
+(newest-wins ring), so percentiles track current behaviour and memory
+stays flat on a server that runs forever.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Optional
+
+#: Latency samples kept per endpoint; percentiles are computed over
+#: this sliding window.
+DEFAULT_WINDOW = 2048
+
+#: Distinct endpoint labels tracked before new ones collapse into
+#: ``(other)`` — unknown request paths must not grow a long-lived
+#: server's registry without bound.
+MAX_ENDPOINTS = 64
+
+OVERFLOW_ENDPOINT = "(other)"
+
+PERCENTILES = (50.0, 90.0, 99.0)
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (not assumed sorted)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class _EndpointMetrics:
+    __slots__ = ("requests", "errors", "total_seconds", "samples")
+
+    def __init__(self, window: int) -> None:
+        self.requests = 0
+        self.errors = 0
+        self.total_seconds = 0.0
+        self.samples: deque[float] = deque(maxlen=window)
+
+    def snapshot(self) -> dict:
+        samples = list(self.samples)
+        row = {
+            "requests": self.requests,
+            "errors": self.errors,
+            "total_seconds": round(self.total_seconds, 6),
+        }
+        latency = {f"p{q:g}": round(1e3 * percentile(samples, q), 3)
+                   for q in PERCENTILES}
+        latency["max"] = round(1e3 * max(samples), 3) if samples else 0.0
+        row["latency_ms"] = latency
+        return row
+
+
+class MetricsRegistry:
+    """Thread-safe per-endpoint request counters + latency windows."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        self._lock = threading.Lock()
+        self._window = window
+        self._endpoints: dict[str, _EndpointMetrics] = {}
+
+    def observe(self, endpoint: str, seconds: float, ok: bool) -> None:
+        with self._lock:
+            row = self._endpoints.get(endpoint)
+            if row is None:
+                if len(self._endpoints) >= MAX_ENDPOINTS:
+                    # Cardinality cap: unknown paths (scanners, typos)
+                    # collapse into one bucket instead of growing the
+                    # registry forever.
+                    endpoint = OVERFLOW_ENDPOINT
+                    row = self._endpoints.get(endpoint)
+            if row is None:
+                row = self._endpoints[endpoint] = _EndpointMetrics(
+                    self._window)
+            row.requests += 1
+            if not ok:
+                row.errors += 1
+            row.total_seconds += seconds
+            row.samples.append(seconds)
+
+    def requests(self, endpoint: Optional[str] = None) -> int:
+        with self._lock:
+            if endpoint is not None:
+                row = self._endpoints.get(endpoint)
+                return row.requests if row else 0
+            return sum(row.requests for row in self._endpoints.values())
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {endpoint: row.snapshot()
+                    for endpoint, row in sorted(self._endpoints.items())}

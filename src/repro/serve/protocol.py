@@ -1,0 +1,143 @@
+"""The serve wire protocol — request parsing and error shapes.
+
+Every request and response body is JSON.  The protocol layer is pure
+(bytes/dicts in, dicts out, :class:`ProtocolError` on bad input) so the
+HTTP transport stays a thin adapter and tests can exercise parsing
+without a socket.
+
+Batch semantics mirror the CLI batch surface: ``/v1/map`` and
+``/v1/invert`` accept ``{"xml": …}`` for a single document or
+``{"documents": [{"name", "xml"}, …]}`` for a batch; ``/v1/translate``
+accepts ``{"query": …}`` or ``{"queries": […]}``.  Batch items fail
+*individually* — one malformed document yields one failed item, never
+an HTTP error for the whole batch.
+
+Errors are structured: ``{"error": {"code": …, "message": …}}`` with
+the HTTP status carrying the class (400 malformed request, 404 unknown
+resource, 405 wrong method, 500 handler fault).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+
+class ProtocolError(Exception):
+    """A request the service refuses, with its HTTP status and code."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+    def payload(self) -> dict:
+        return {"error": {"code": self.code, "message": self.message}}
+
+
+def error_payload(status: int, code: str, message: str) -> dict:
+    return ProtocolError(status, code, message).payload()
+
+
+def decode_body(raw: bytes) -> dict:
+    """The request body as a JSON object, or a 400 ProtocolError."""
+    if not raw:
+        raise ProtocolError(400, "empty-body",
+                            "request body must be a JSON object")
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(400, "bad-encoding",
+                            f"request body is not UTF-8: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(400, "bad-json",
+                            f"request body is not valid JSON: {exc}"
+                            ) from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(400, "bad-request",
+                            "request body must be a JSON object, not "
+                            f"{type(payload).__name__}")
+    return payload
+
+
+def encode(payload: dict) -> bytes:
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _require_str(value, what: str) -> str:
+    if not isinstance(value, str):
+        raise ProtocolError(400, "bad-request",
+                            f"{what} must be a string, not "
+                            f"{type(value).__name__}")
+    return value
+
+
+def documents_from(payload: dict) -> tuple[list[tuple[str, str]], bool]:
+    """Normalise a map/invert body to ``[(name, xml), …]``.
+
+    Returns ``(items, single)`` — ``single`` marks the one-document
+    shorthand, whose response carries ``result`` instead of
+    ``results``.
+    """
+    if "xml" in payload and "documents" in payload:
+        raise ProtocolError(400, "bad-request",
+                            "give either 'xml' or 'documents', not both")
+    if "xml" in payload:
+        xml = _require_str(payload["xml"], "'xml'")
+        name = _require_str(payload.get("name", "document"), "'name'")
+        return [(name, xml)], True
+    documents = payload.get("documents")
+    if not isinstance(documents, list) or not documents:
+        raise ProtocolError(400, "bad-request",
+                            "expected 'xml' or a non-empty 'documents' "
+                            "list")
+    items: list[tuple[str, str]] = []
+    for index, row in enumerate(documents):
+        if not isinstance(row, dict) or "xml" not in row:
+            raise ProtocolError(400, "bad-request",
+                                f"documents[{index}] must be an object "
+                                "with an 'xml' field")
+        items.append((_require_str(row.get("name", f"document-{index}"),
+                                   f"documents[{index}].name"),
+                      _require_str(row["xml"], f"documents[{index}].xml")))
+    return items, False
+
+
+def queries_from(payload: dict) -> tuple[list[str], bool]:
+    """Normalise a translate body to a query list (plus ``single``)."""
+    if "query" in payload and "queries" in payload:
+        raise ProtocolError(400, "bad-request",
+                            "give either 'query' or 'queries', not both")
+    if "query" in payload:
+        return [_require_str(payload["query"], "'query'")], True
+    queries = payload.get("queries")
+    if not isinstance(queries, list) or not queries:
+        raise ProtocolError(400, "bad-request",
+                            "expected 'query' or a non-empty 'queries' "
+                            "list")
+    return [_require_str(query, f"queries[{index}]")
+            for index, query in enumerate(queries)], False
+
+
+def optional_flag(payload: dict, name: str, default: bool) -> bool:
+    value = payload.get(name, default)
+    if not isinstance(value, bool):
+        raise ProtocolError(400, "bad-request",
+                            f"'{name}' must be a boolean")
+    return value
+
+
+def optional_str(payload: dict, name: str) -> Optional[str]:
+    value = payload.get(name)
+    if value is None:
+        return None
+    return _require_str(value, f"'{name}'")
+
+
+def optional_int(payload: dict, name: str, default: int) -> int:
+    value = payload.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(400, "bad-request",
+                            f"'{name}' must be an integer")
+    return value

@@ -1,0 +1,186 @@
+"""The HTTP transport — a threaded stdlib server over the handlers.
+
+:class:`ReproServer` wraps ``http.server.ThreadingHTTPServer`` (one
+thread per connection, stdlib only) around a
+:class:`~repro.serve.handlers.ServiceState`.  The transport does three
+things and nothing else: read the body, call
+:func:`~repro.serve.handlers.dispatch`, write the JSON — all semantics
+(routing, batching, failure isolation, metrics) live in the pure
+handler layer.
+
+Lifecycle::
+
+    with ReproServer(store="artifacts/", port=0) as server:
+        print(server.url)          # port 0 picked a free port
+        …                          # serve until the block exits
+
+``stop()`` is graceful: in-flight requests finish, the listening socket
+closes, and the port is immediately reusable (tested).
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.embedding import SchemaEmbedding
+from repro.engine.session import EngineConfig
+from repro.serve.handlers import ServiceState, dispatch
+from repro.serve.protocol import encode, error_payload
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8421
+
+#: Refuse request bodies beyond this size (64 MiB) — a transport
+#: backstop so one request cannot exhaust server memory.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+    #: Per-connection socket timeout: a client announcing more body
+    #: bytes than it sends (or idling mid-request) must not pin a
+    #: handler thread forever.
+    timeout = 60
+
+    def _write(self, status: int, payload: dict) -> None:
+        body = encode(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _serve(self, method: str) -> None:
+        state: ServiceState = self.server.state  # type: ignore[attr-defined]
+        body: Optional[bytes] = None
+        if method == "POST":
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+            except ValueError:
+                self._write(400, error_payload(
+                    400, "bad-content-length",
+                    "Content-Length is not an integer"))
+                return
+            if length < 0 or length > MAX_BODY_BYTES:
+                # Negative lengths would make rfile.read() block until
+                # EOF and pin the handler thread; oversized ones would
+                # exhaust memory.
+                self._write(413, error_payload(
+                    413, "body-too-large",
+                    f"request body of {length} bytes is outside "
+                    f"[0, {MAX_BODY_BYTES}]"))
+                return
+            body = self.rfile.read(length)
+        status, payload = dispatch(state, method, self.path, body)
+        self._write(status, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        self._serve("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._serve("POST")
+
+    def log_message(self, format: str, *args) -> None:
+        """Silence the default per-request stderr chatter; request
+        accounting lives in /metrics instead."""
+
+
+class ReproServer:
+    """A long-lived serving daemon over one warm engine.
+
+    Construct from an artifact store (the deployment path — every
+    stored schema/embedding is compiled before the socket opens) or
+    from an in-memory embedding (tests, examples).  ``port=0`` binds an
+    ephemeral free port, published as ``.port`` after ``start()``.
+    """
+
+    def __init__(self, store: Optional[Union[str, Path]] = None,
+                 embedding: Optional[SchemaEmbedding] = None,
+                 state: Optional[ServiceState] = None,
+                 host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+                 config: Optional[EngineConfig] = None) -> None:
+        given = sum(x is not None for x in (store, embedding, state))
+        if given != 1:
+            raise ValueError("give exactly one of store=, embedding=, "
+                             "state=")
+        if state is not None:
+            self.state = state
+        elif store is not None:
+            self.state = ServiceState.from_store(store, config=config)
+        else:
+            assert embedding is not None
+            self.state = ServiceState.from_embedding(embedding)
+        self._requested = (host, port)
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "ReproServer":
+        if self._httpd is not None:
+            raise RuntimeError("server is already running")
+        httpd = ThreadingHTTPServer(self._requested, _Handler)
+        httpd.daemon_threads = True
+        httpd.state = self.state  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self._thread = threading.Thread(target=httpd.serve_forever,
+                                        name="repro-serve",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Graceful shutdown: drain in-flight requests, close the
+        listening socket, release the port."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self._httpd = None
+        self._thread = None
+
+    def serve_forever(self) -> None:
+        """Blocking serve loop for the CLI; Ctrl-C stops cleanly."""
+        if self._httpd is None:
+            self.start()
+        assert self._thread is not None
+        try:
+            while self._thread.is_alive():
+                self._thread.join(timeout=0.5)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- addressing --------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._httpd is not None
+
+    @property
+    def host(self) -> str:
+        if self._httpd is not None:
+            return self._httpd.server_address[0]
+        return self._requested[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the real one)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._requested[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"

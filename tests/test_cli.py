@@ -1,6 +1,9 @@
 """CLI round-trip tests: embed → map → translate → invert via files."""
 
 import json
+import os
+import subprocess
+import sys
 
 import pytest
 
@@ -252,6 +255,121 @@ def test_cli_batch_translate_jobs(files, capsys, tmp_path):
     captured = capsys.readouterr()
     assert captured.out.count("ANFA") == 2
     assert "class[: FAILED" in captured.err
+
+
+def _error_line(capsys) -> str:
+    """The CLI's single stderr error line (and assert it is alone)."""
+    err = capsys.readouterr().err.strip()
+    assert err.startswith("repro: error: "), err
+    assert "Traceback" not in err
+    assert len(err.splitlines()) == 1, err
+    return err
+
+
+def test_cli_malformed_embedding_json_is_clean_error(files, capsys):
+    tmp, source_path, target_path, doc_path = files
+    bad = tmp / "bad.json"
+    bad.write_text("{not json at all")
+    code = main(["map", str(source_path), str(target_path), str(bad),
+                 str(doc_path)])
+    assert code == 2
+    assert "bad.json" in _error_line(capsys)
+
+
+def test_cli_embedding_json_missing_keys_is_clean_error(files, capsys):
+    tmp, source_path, target_path, doc_path = files
+    bad = tmp / "shape.json"
+    bad.write_text(json.dumps({"lam": {}, "paths": [{"source": "db"}]}))
+    code = main(["batch", "map", str(source_path), str(target_path),
+                 str(bad), str(doc_path)])
+    assert code == 2
+    err = _error_line(capsys)
+    assert "shape.json" in err and "paths[0]" in err
+
+
+def test_cli_missing_input_file_is_clean_error(files, capsys):
+    _tmp, source_path, target_path, _doc = files
+    code = main(["batch", "translate", str(source_path), str(target_path),
+                 "/nonexistent/sigma.json", "class"])
+    assert code == 2
+    assert "sigma.json" in _error_line(capsys)
+
+
+def test_cli_malformed_dtd_is_clean_error(files, tmp_path, capsys):
+    _tmp, source_path, _target, _doc = files
+    bad = tmp_path / "broken.dtd"
+    bad.write_text("<!ELEMENT a (unclosed")
+    code = main(["validate", str(bad), str(bad)])
+    assert code == 2
+    assert "broken.dtd" in _error_line(capsys)
+
+
+def test_cli_store_inspect_corrupt_manifest_is_clean_error(tmp_path,
+                                                           capsys):
+    store = tmp_path / "store"
+    store.mkdir()
+    (store / "manifest.json").write_text("{torn write")
+    code = main(["store", "inspect", str(store)])
+    assert code == 2
+    assert "corrupt" in _error_line(capsys)
+
+
+def test_cli_store_build_malformed_embedding_is_clean_error(files,
+                                                            tmp_path,
+                                                            capsys):
+    tmp, source_path, target_path, _doc = files
+    bad = tmp / "bad.json"
+    bad.write_text(json.dumps(["not", "an", "object"]))
+    code = main(["store", "build", str(tmp_path / "store"),
+                 str(source_path), str(target_path), str(bad)])
+    assert code == 2
+    assert "bad.json" in _error_line(capsys)
+
+
+def test_cli_bad_att_file_is_clean_error(files, tmp_path, capsys):
+    _tmp, source_path, target_path, _doc = files
+    att = tmp_path / "att.json"
+    att.write_text(json.dumps({"source": "db"}))
+    code = main(["embed", str(source_path), str(target_path),
+                 "--att", str(att)])
+    assert code == 2
+    assert "att.json" in _error_line(capsys)
+
+
+def test_cli_non_numeric_att_score_is_clean_error(files, tmp_path,
+                                                  capsys):
+    _tmp, source_path, target_path, _doc = files
+    att = tmp_path / "att.json"
+    att.write_text(json.dumps([
+        {"source": "db", "target": "school", "score": "high"}]))
+    code = main(["embed", str(source_path), str(target_path),
+                 "--att", str(att)])
+    assert code == 2
+    err = _error_line(capsys)
+    assert "att.json" in err and "score" in err
+
+
+def test_cli_serve_missing_store_is_clean_error(tmp_path, capsys):
+    code = main(["serve", str(tmp_path / "nowhere")])
+    assert code == 2
+    assert "nowhere" in _error_line(capsys)
+
+
+def test_cli_no_traceback_in_subprocess(files, tmp_path):
+    """End to end through the real interpreter: exit 2, one line, no
+    traceback — what a shell user actually sees."""
+    _tmp, source_path, target_path, _doc = files
+    bad = tmp_path / "bad.json"
+    bad.write_text("][")
+    env = dict(os.environ, PYTHONPATH="src")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "map", str(source_path),
+         str(target_path), str(bad), str(bad)],
+        capture_output=True, text=True, env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    assert result.returncode == 2
+    assert result.stderr.startswith("repro: error: ")
+    assert "Traceback" not in result.stderr
 
 
 def test_cli_batch_map_isolates_corpus_level_failures(files, tmp_path,

@@ -90,7 +90,7 @@ def test_naive_union_substitution_hazard(school):
     instance = _parse(
         "<db><class><cno>1</cno><title>t</title>"
         "<type><regular><prereq/></regular></type></class></db>")
-    mapped = InstMap(school.sigma1).apply(instance)
+    InstMap(school.sigma1).apply(instance)
     # 'class' appears under db (courses/current/course) and under
     # prereq (course): naive substitution unions both paths, so at the
     # root it also matches nothing extra — but under a prereq context

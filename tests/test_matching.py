@@ -1,6 +1,5 @@
 """Matching algorithms: prefix-free paths, local embeddings, assembly."""
 
-import random
 
 import pytest
 

@@ -1,0 +1,274 @@
+"""The serve daemon: transport-layer purity over the engine.
+
+The contract under test: the HTTP service is *only* a transport —
+every payload string it returns is byte-identical to the equivalent
+direct :class:`Engine` call, including under concurrent clients; batch
+items fail individually; malformed requests get structured 4xx errors;
+``/metrics`` counts every request; shutdown releases the port.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.dtd.generate import InstanceGenerator
+from repro.engine import Engine
+from repro.serve import (
+    ProtocolError,
+    ReproServer,
+    ServeClient,
+    ServeError,
+    ServiceState,
+    dispatch,
+)
+from repro.workloads.library import school_example
+from repro.workloads.queries import random_queries
+from repro.xtree.parser import parse_xml
+from repro.xtree.serialize import to_string
+
+
+@pytest.fixture(scope="module")
+def school():
+    return school_example()
+
+
+@pytest.fixture(scope="module")
+def store_path(school, tmp_path_factory):
+    path = tmp_path_factory.mktemp("serve") / "store"
+    engine = Engine()
+    engine.compile_embedding(school.sigma1, ensure_valid=True)
+    engine.save_store(path)
+    return path
+
+
+@pytest.fixture()
+def server(store_path):
+    with ReproServer(store=store_path, port=0) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(server):
+    return ServeClient.for_server(server)
+
+
+def _documents(school, count=6):
+    return [to_string(InstanceGenerator(school.classes, seed=seed,
+                                        max_depth=8,
+                                        star_mean=2.0).generate())
+            for seed in range(count)]
+
+
+# -- byte-identity ------------------------------------------------------------
+
+def test_map_is_byte_identical_to_direct_engine(school, client):
+    engine = Engine()
+    for xml in _documents(school, 3):
+        served = client.map(xml=xml)["result"]
+        direct = to_string(
+            engine.apply_embedding(school.sigma1, parse_xml(xml)).tree)
+        assert served["ok"]
+        assert served["output"] == direct
+
+
+def test_translate_is_byte_identical_to_direct_engine(school, client):
+    engine = Engine()
+    queries = [str(q) for q in random_queries(school.classes, 5, seed=3)]
+    queries.append("class[cno/text()='CS331']/(type/regular/prereq/class)*")
+    response = client.translate(queries=queries)
+    assert response["failures"] == 0
+    for item, query in zip(response["results"], queries):
+        direct = engine.translate_query(school.sigma1,
+                                        query).canonical_describe()
+        assert item["ok"]
+        assert item["anfa"] == direct
+
+
+def test_invert_roundtrips_through_the_service(school, client):
+    for xml in _documents(school, 2):
+        mapped = client.map(xml=xml)["result"]["output"]
+        recovered = client.invert(xml=mapped)["result"]["output"]
+        engine = Engine()
+        assert recovered == to_string(
+            engine.invert(school.sigma1, parse_xml(mapped)))
+
+
+def test_concurrent_clients_see_identical_responses(school, server):
+    """≥4 concurrent clients hammering /v1/map and /v1/translate all
+    get responses byte-identical to direct Engine calls."""
+    documents = _documents(school, 4)
+    queries = [str(q) for q in random_queries(school.classes, 4, seed=9)]
+    engine = Engine()
+    expected_maps = [
+        to_string(engine.apply_embedding(school.sigma1,
+                                         parse_xml(xml)).tree)
+        for xml in documents]
+    expected_anfas = [
+        engine.translate_query(school.sigma1, query).canonical_describe()
+        for query in queries]
+
+    errors: list[str] = []
+
+    def worker(offset: int) -> None:
+        client = ServeClient.for_server(server)
+        try:
+            for round_no in range(6):
+                index = (offset + round_no) % len(documents)
+                served = client.map(xml=documents[index])["result"]
+                if not (served["ok"]
+                        and served["output"] == expected_maps[index]):
+                    errors.append(f"map[{index}] diverged")
+                qindex = (offset + round_no) % len(queries)
+                item = client.translate(query=queries[qindex])["result"]
+                if not (item["ok"]
+                        and item["anfa"] == expected_anfas[qindex]):
+                    errors.append(f"translate[{qindex}] diverged")
+        except Exception as exc:  # surface in the main thread
+            errors.append(f"worker {offset}: {type(exc).__name__}: {exc}")
+
+    threads = [threading.Thread(target=worker, args=(offset,))
+               for offset in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not errors, errors[:5]
+
+
+# -- batch semantics ----------------------------------------------------------
+
+def test_batch_items_fail_individually(school, client):
+    good = _documents(school, 1)[0]
+    response = client.map(documents=[
+        {"name": "good.xml", "xml": good},
+        {"name": "bad.xml", "xml": "<1abc></1abc>"},
+        {"name": "good2.xml", "xml": good},
+    ])
+    assert response["failures"] == 1
+    flags = [item["ok"] for item in response["results"]]
+    assert flags == [True, False, True]
+    # Failed items carry 'error', never 'output', so an error string
+    # can never be mistaken for document content.
+    assert "XMLParseError" in response["results"][1]["error"]
+    assert "output" not in response["results"][1]
+
+
+def test_translate_batch_isolates_bad_queries(client):
+    response = client.translate(queries=["class/cno/text()", "class["])
+    assert response["failures"] == 1
+    assert response["results"][0]["ok"]
+    assert not response["results"][1]["ok"]
+    assert "error" in response["results"][1]
+
+
+def test_find_makes_embedding_addressable(school, client):
+    source_fp = school.classes.fingerprint()
+    target_fp = school.school.fingerprint()
+    found = client.find(source=source_fp, target=target_fp, seed=1)
+    assert found["found"]
+    xml = _documents(school, 1)[0]
+    served = client.map(xml=xml, embedding=found["embedding"])
+    assert served["result"]["ok"]
+
+
+# -- protocol errors ----------------------------------------------------------
+
+def test_malformed_json_body_gets_structured_400(server):
+    import http.client
+
+    connection = http.client.HTTPConnection(server.host, server.port)
+    try:
+        connection.request("POST", "/v1/map", body=b"{not json",
+                           headers={"Content-Type": "application/json"})
+        response = connection.getresponse()
+        payload = json.loads(response.read())
+    finally:
+        connection.close()
+    assert response.status == 400
+    assert payload["error"]["code"] == "bad-json"
+    assert "message" in payload["error"]
+
+
+def test_protocol_error_shapes(client):
+    with pytest.raises(ServeError) as excinfo:
+        client.request("POST", "/v1/map", {})
+    assert excinfo.value.status == 400
+    with pytest.raises(ServeError) as excinfo:
+        client.request("POST", "/v1/map", {"xml": "<a/>",
+                                           "embedding": "feedface"})
+    assert excinfo.value.status == 404
+    assert excinfo.value.code == "unknown-embedding"
+    with pytest.raises(ServeError) as excinfo:
+        client.request("GET", "/v1/map")
+    assert excinfo.value.status == 405
+    with pytest.raises(ServeError) as excinfo:
+        client.request("GET", "/v1/nope")
+    assert excinfo.value.status == 404
+
+
+def test_dispatch_without_http(school):
+    """The handler layer is pure — tests can drive it with no socket."""
+    state = ServiceState.from_embedding(school.sigma1)
+    status, payload = dispatch(state, "GET", "/healthz")
+    assert status == 200 and payload["ok"]
+    status, payload = dispatch(state, "POST", "/v1/map", b"[1, 2]")
+    assert status == 400
+    assert payload["error"]["code"] == "bad-request"
+    with pytest.raises(ProtocolError):
+        state.resolve_embedding("nope")
+
+
+# -- metrics ------------------------------------------------------------------
+
+def test_metrics_counters_advance(school, client):
+    before = client.metrics()
+    base = before["requests"].get("/v1/map", {}).get("requests", 0)
+    xml = _documents(school, 1)[0]
+    for _ in range(3):
+        client.map(xml=xml)
+    after = client.metrics()
+    row = after["requests"]["/v1/map"]
+    assert row["requests"] == base + 3
+    assert row["errors"] == before["requests"].get("/v1/map", {}).get(
+        "errors", 0)
+    assert row["latency_ms"]["p50"] >= 0.0
+    assert row["latency_ms"]["max"] >= row["latency_ms"]["p50"]
+    # Warm-started from the store: serving never compiles.
+    assert after["engine"]["embeddings"]["misses"] == 0
+    assert after["engine"]["schemas"]["misses"] == 0
+
+
+def test_metrics_count_errors(client):
+    before = client.metrics()["requests"].get("/v1/map",
+                                              {}).get("errors", 0)
+    with pytest.raises(ServeError):
+        client.request("POST", "/v1/map", {})
+    after = client.metrics()["requests"]["/v1/map"]["errors"]
+    assert after == before + 1
+
+
+# -- lifecycle ----------------------------------------------------------------
+
+def test_graceful_shutdown_releases_port(store_path):
+    server = ReproServer(store=store_path, port=0).start()
+    port = server.port
+    assert ServeClient.for_server(server).healthz()["ok"]
+    server.stop()
+    assert not server.running
+    # The port is immediately bindable by a fresh server.
+    rebound = ReproServer(store=store_path, port=port).start()
+    try:
+        assert rebound.port == port
+        assert ServeClient.for_server(rebound).healthz()["ok"]
+    finally:
+        rebound.stop()
+
+
+def test_server_requires_exactly_one_source(school, store_path):
+    with pytest.raises(ValueError):
+        ReproServer()
+    with pytest.raises(ValueError):
+        ReproServer(store=store_path, embedding=school.sigma1)

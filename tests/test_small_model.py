@@ -65,7 +65,7 @@ def test_simplify_removes_pumped_cycle():
         nil -> eps
         y -> str
     """)
-    pumped = build_embedding(
+    _pumped = build_embedding(
         source, target, {"a": "x", "b": "y"},
         # x -> w -> x -> w -> x -> y : pumps the (w,x) cycle twice.
         {("a", "b"): "w/x/w/x/y", ("b", "str"): "text()"})
