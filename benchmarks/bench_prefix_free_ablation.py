@@ -13,7 +13,7 @@ import time
 
 import pytest
 
-from repro.dtd.parser import parse_compact
+from repro.schema import load_schema
 from repro.experiments.report import format_table
 from repro.matching.prefix_free import (
     PathKind,
@@ -28,7 +28,7 @@ def _wide_target(width: int):
     ``w`` children (Fig. 3(c)-style repetition), so every request's
     first candidate collides and position qualifiers must be spread."""
     w_list = ", ".join("w" for _ in range(width))
-    return parse_compact("\n".join([
+    return load_schema("\n".join([
         f"x -> {w_list}",
         "w -> y, z",
         "y -> str",

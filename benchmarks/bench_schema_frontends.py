@@ -1,0 +1,102 @@
+"""Schema-frontend throughput: per-format parse + compile ops/sec.
+
+The frontend layer must not make schema ingestion the bottleneck: this
+bench measures, for the Fig. 1 school schema (31 element types)
+expressed as DTD, compact and XSD text,
+
+* ``lower_ops_per_sec`` — ``load_schema`` with auto-detection (the
+  CLI / serve inline-schema path, parse included);
+* ``warm_compile_ops_per_sec`` — ``Engine.compile_schema(text,
+  format=…)`` against a warm fingerprint cache (the steady-state
+  serving path: the parse itself is the remaining cost).
+
+``correct`` is the parity contract, never a timing ratio: every format
+must auto-detect, lower to the same fingerprint as the original
+schema, and the warm engine must serve all repeat compiles as cache
+hits with zero misses.
+
+Run standalone for the table::
+
+    PYTHONPATH=src python benchmarks/bench_schema_frontends.py
+
+CI smoke (reduced iterations, same assertions)::
+
+    PYTHONPATH=src python benchmarks/bench_schema_frontends.py --smoke
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.dtd.serialize import dtd_to_compact, dtd_to_text
+from repro.engine import Engine
+from repro.schema import detect_format, dtd_to_xsd, load_schema
+from repro.workloads.library import school_example
+
+FORMATS = ("dtd", "compact", "xsd")
+
+
+def run(iterations: int) -> tuple[dict, bool]:
+    school = school_example().school
+    texts = {"dtd": dtd_to_text(school),
+             "compact": dtd_to_compact(school),
+             "xsd": dtd_to_xsd(school)}
+
+    correct = True
+    extra: dict = {"types": len(school.types), "iterations": iterations}
+
+    for format in FORMATS:
+        text = texts[format]
+        correct &= detect_format(text) == format
+
+        started = time.perf_counter()
+        for _ in range(iterations):
+            parsed = load_schema(text)
+        lower_wall = time.perf_counter() - started
+        correct &= parsed.fingerprint() == school.fingerprint()
+
+        engine = Engine()
+        engine.compile_schema(text, format=format)  # the one cold miss
+        engine.reset_stats()
+        started = time.perf_counter()
+        for _ in range(iterations):
+            engine.compile_schema(text, format=format)
+        compile_wall = time.perf_counter() - started
+        correct &= engine.schema_stats.misses == 0
+        correct &= engine.schema_stats.hits == iterations
+
+        extra[format] = {
+            "lower_ops_per_sec": round(
+                iterations / max(lower_wall, 1e-9), 2),
+            "warm_compile_ops_per_sec": round(
+                iterations / max(compile_wall, 1e-9), 2),
+        }
+    return extra, correct
+
+
+def main() -> int:
+    import benchlib
+
+    parser = benchlib.make_parser(__doc__)
+    args = parser.parse_args()
+    iterations = 20 if args.smoke else 300
+    started = time.perf_counter()
+    extra, correct = run(iterations)
+    wall = time.perf_counter() - started
+    for format in FORMATS:
+        row = extra[format]
+        print(f"  {format:<8} lower {row['lower_ops_per_sec']:>10} op/s"
+              f"   warm-compile {row['warm_compile_ops_per_sec']:>12}"
+              " op/s")
+    # Headline: the slowest format's lowering rate — what bounds
+    # ingestion throughput for a mixed-format schema corpus.
+    headline = min(extra[format]["lower_ops_per_sec"]
+                   for format in FORMATS)
+    record = benchlib.record("schema_frontends", args,
+                             ops_per_sec=headline, wall_time_s=wall,
+                             correct=correct, extra=extra)
+    return benchlib.finish(record, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

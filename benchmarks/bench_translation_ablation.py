@@ -54,15 +54,15 @@ def _fig7_family(width: int):
     identity and every path a single edge — the naive strategy's best
     case, still wrong."""
     from repro.core.embedding import build_embedding
-    from repro.dtd.parser import parse_compact
+    from repro.schema import load_schema
 
     names = [f"A{i}" for i in range(1, width + 1)]
     source_lines = [f"r -> {', '.join(names)}", "A1 -> C", "C -> eps"]
     source_lines += [f"{n} -> eps" for n in names[1:]]
     target_lines = [f"r -> {', '.join(names)}", "C -> eps"]
     target_lines += [f"{n} -> C" for n in names]
-    source = parse_compact("\n".join(source_lines), name="fig7-src")
-    target = parse_compact("\n".join(target_lines), name="fig7-tgt")
+    source = load_schema("\n".join(source_lines), name="fig7-src")
+    target = load_schema("\n".join(target_lines), name="fig7-tgt")
     lam = {t: t for t in source.types}
     paths = {("r", n): n for n in names}
     paths[("A1", "C")] = "C"

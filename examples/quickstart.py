@@ -8,7 +8,7 @@ from repro.core.instmap import InstMap
 from repro.core.inverse import invert
 from repro.core.similarity import SimilarityMatrix
 from repro.core.translate import translate_query
-from repro.dtd.parser import parse_dtd
+from repro.schema import load_schema
 from repro.dtd.validate import validate
 from repro.matching.search import find_embedding
 from repro.xpath.evaluator import evaluate_set
@@ -19,15 +19,17 @@ from repro.xtree.serialize import to_string
 
 
 def main() -> None:
-    # 1. Two DTDs: a lean source and a richer target (real DTD syntax).
-    source = parse_dtd("""
+    # 1. Two DTDs: a lean source and a richer target (real DTD
+    #    syntax, auto-detected by the schema-frontend layer — the same
+    #    grammars could be given as compact or XSD text).
+    source = load_schema("""
         <!ELEMENT contacts (person*)>
         <!ELEMENT person (name, email)>
         <!ELEMENT name (#PCDATA)>
         <!ELEMENT email (#PCDATA)>
     """, name="contacts")
 
-    target = parse_dtd("""
+    target = load_schema("""
         <!ELEMENT crm (customers, audit)>
         <!ELEMENT customers (entry*)>
         <!ELEMENT entry (profile, status)>

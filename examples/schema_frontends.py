@@ -1,0 +1,66 @@
+"""One grammar, three spellings, one compiled artifact.
+
+The schema-frontend layer (``repro.schema``) lowers every input format
+into the same normalized IR, so the engine's fingerprint caches, the
+artifact store and the serve daemon cannot tell — and never need to
+know — which syntax a schema arrived in.
+
+Run:  python examples/schema_frontends.py
+"""
+
+from repro.api import Engine, detect_format, load_schema
+
+DTD_TEXT = """
+<!ELEMENT db (rec*)>
+<!ELEMENT rec (key, val)>
+<!ELEMENT key (#PCDATA)>
+<!ELEMENT val (#PCDATA)>
+"""
+
+COMPACT_TEXT = """
+db -> rec*
+rec -> key, val
+key -> str
+val -> str
+"""
+
+XSD_TEXT = """
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="db"><xs:complexType><xs:sequence>
+    <xs:element ref="rec" minOccurs="0" maxOccurs="unbounded"/>
+  </xs:sequence></xs:complexType></xs:element>
+  <xs:element name="rec"><xs:complexType><xs:sequence>
+    <xs:element ref="key"/><xs:element ref="val"/>
+  </xs:sequence></xs:complexType></xs:element>
+  <xs:element name="key" type="xs:string"/>
+  <xs:element name="val" type="xs:string"/>
+</xs:schema>
+"""
+
+
+def main() -> None:
+    # 1. Auto-detection: each text names its own frontend.
+    texts = {"dtd": DTD_TEXT, "compact": COMPACT_TEXT, "xsd": XSD_TEXT}
+    for format, text in texts.items():
+        assert detect_format(text) == format
+        print(f"{format:<8} detected; fingerprint "
+              f"{load_schema(text).fingerprint()[:16]}…")
+
+    # 2. Parity: one fingerprint — and therefore ONE compiled artifact.
+    fingerprints = {load_schema(text).fingerprint()
+                    for text in texts.values()}
+    assert len(fingerprints) == 1
+    print(f"all three formats lower to {fingerprints.pop()[:16]}…")
+
+    # 3. The engine compiles once, then serves every format from cache.
+    engine = Engine()
+    for format, text in texts.items():
+        engine.compile_schema(text, format=format)
+    stats = engine.schema_stats
+    print(f"engine: {stats.misses} compile miss, {stats.hits} cache "
+          f"hits across the three formats")
+    assert (stats.misses, stats.hits) == (1, 2)
+
+
+if __name__ == "__main__":
+    main()

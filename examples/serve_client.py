@@ -24,19 +24,19 @@ from repro.api import (
     ServeClient,
     SimilarityMatrix,
     find_embedding,
-    parse_dtd,
+    load_schema,
 )
 
 
 def main() -> None:
     # 1. The offline step: find the embedding and build the store.
-    source = parse_dtd("""
+    source = load_schema("""
         <!ELEMENT contacts (person*)>
         <!ELEMENT person (name, email)>
         <!ELEMENT name (#PCDATA)>
         <!ELEMENT email (#PCDATA)>
     """, name="contacts")
-    target = parse_dtd("""
+    target = load_schema("""
         <!ELEMENT directory (entries)>
         <!ELEMENT entries (entry*)>
         <!ELEMENT entry (name, contact)>

@@ -11,8 +11,8 @@ artifacts::
 
     engine = api.Engine()
 
-    source = api.parse_dtd(open("source.dtd").read())
-    target = api.parse_dtd(open("target.dtd").read())
+    source = api.load_schema(open("source.dtd").read())   # auto-detects
+    target = api.load_schema(open("target.xsd").read(), format="xsd")
     att = api.SimilarityMatrix.from_names(source, target)
     sigma = api.find_embedding(source, target, att).embedding
 
@@ -25,6 +25,13 @@ artifacts::
 
     recovered = engine.invert(sigma, results[0].tree)
     print(engine.describe_stats())
+
+Schemas enter through the pluggable frontend layer (:mod:`repro.schema`):
+:func:`load_schema` lowers DTD, compact or XSD-subset text into one
+normalized IR (``format="auto"`` sniffs via :func:`detect_format`), and
+the same grammar in any format yields byte-identical fingerprints,
+artifacts and serve responses.  ``register_frontend`` adds new formats;
+``parse_dtd``/``parse_compact``/``parse_xsd`` remain as direct aliases.
 
 The classic one-shot calls remain available with unchanged signatures
 — ``apply_embedding``, ``translate_query``, ``invert`` and
@@ -117,11 +124,23 @@ from repro.engine import (
     write_ndjson,
 )
 from repro.dtd.model import DTD
-from repro.dtd.parser import parse_compact, parse_dtd
 from repro.dtd.serialize import dtd_to_compact, dtd_to_text
 from repro.dtd.validate import conforms, validate
 from repro.matching.search import SearchResult, find_embedding
 from repro.matching.simulation import simulation_mapping
+from repro.schema import (
+    SchemaFormatError,
+    SchemaFrontend,
+    XSDParseError,
+    available_formats,
+    detect_format,
+    dtd_to_xsd,
+    load_schema,
+    parse_compact,
+    parse_dtd,
+    parse_xsd,
+    register_frontend,
+)
 from repro.serve import (
     ReproServer,
     ServeClient,
@@ -159,6 +178,8 @@ __all__ = [
     "ReproServer",
     "ResultSet",
     "SchemaEmbedding",
+    "SchemaFormatError",
+    "SchemaFrontend",
     "SearchResult",
     "ServeClient",
     "ServeError",
@@ -171,8 +192,10 @@ __all__ = [
     "Translator",
     "ValidityViolation",
     "XRPath",
+    "XSDParseError",
     "anfa_to_xr",
     "apply_embedding",
+    "available_formats",
     "apply_stylesheet",
     "build_embedding",
     "check_bounds",
@@ -182,8 +205,10 @@ __all__ = [
     "check_type_safe",
     "conforms",
     "default_engine",
+    "detect_format",
     "dtd_to_compact",
     "dtd_to_text",
+    "dtd_to_xsd",
     "evaluate",
     "evaluate_anfa",
     "evaluate_anfa_set",
@@ -195,13 +220,16 @@ __all__ = [
     "invert",
     "iter_corpora",
     "iter_corpus",
+    "load_schema",
     "merge_dtds",
     "name_similarity",
     "parse_compact",
     "parse_dtd",
     "parse_xml",
     "parse_xr",
+    "parse_xsd",
     "random_instance",
+    "register_frontend",
     "set_default_engine",
     "simplify_embedding",
     "simulation_mapping",

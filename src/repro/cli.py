@@ -28,10 +28,20 @@ Commands mirror the paper's workflow:
 Embeddings are (de)serialised as JSON: λ plus ``A B occ path`` rows —
 the declarative transformation-language artifact of Section 4.5.
 
-Malformed inputs (unparseable DTDs/XML/JSON, corrupt stores, missing
-files) exit with status 2 and a one-line ``repro: error: …`` message —
-never a traceback; per-item failures inside ``batch`` keep their
-existing exit-1-and-keep-serving semantics.
+Schema files go through the pluggable frontend layer
+(:mod:`repro.schema`): every subcommand takes ``--format
+auto|dtd|compact|xsd`` (default ``auto`` sniffs the text), so the same
+grammar works as ``<!ELEMENT>`` declarations, compact ``type -> rhs``
+lines or an XSD-subset document — producing byte-identical artifacts
+either way.  ``serve --format`` sets the default for inline schemas in
+``/v1/find`` payloads; ``store build`` records each schema's format
+and source text as provenance, shown by ``store inspect``.
+
+Malformed inputs (unparseable schemas in any format, undetectable
+formats, bad XML/JSON, corrupt stores, missing files) exit with status
+2 and a one-line ``repro: error: …`` message — never a traceback;
+per-item failures inside ``batch`` keep their existing
+exit-1-and-keep-serving semantics.
 """
 
 from __future__ import annotations
@@ -50,8 +60,8 @@ from repro.core.similarity import SimilarityMatrix
 from repro.core.translate import translate_query
 from repro.anfa.to_regex import RegexConversionError, anfa_to_xr
 from repro.dtd.model import DTD
-from repro.dtd.parser import parse_compact, parse_dtd
 from repro.dtd.validate import ConformanceError, validate
+from repro.schema import AUTO, available_formats, detect_format, load_schema
 from repro.matching.search import find_embedding
 from repro.serve import DEFAULT_HOST, DEFAULT_PORT, ReproServer
 from repro.xpath.parser import parse_xr
@@ -62,14 +72,37 @@ from repro.xtree.parser import parse_xml
 from repro.xtree.serialize import to_string
 
 
-def _load_dtd(path: str, root: Optional[str] = None) -> DTD:
+class LoadedSchema:
+    """One schema file lowered through the frontend registry, keeping
+    the resolved format and raw text as provenance for stores."""
+
+    def __init__(self, dtd: DTD, format: str, text: str) -> None:
+        self.dtd = dtd
+        self.format = format
+        self.text = text
+
+
+def _load_schema(path: str, root: Optional[str] = None,
+                 format: str = AUTO) -> LoadedSchema:
+    """Load a schema file in any frontend format.
+
+    Malformed or undetectable inputs raise a ``ValueError`` whose
+    message is prefixed with the offending path, so every subcommand
+    exits 2 with one ``repro: error: <path>: …`` line.
+    """
     text = Path(path).read_text()
     try:
-        if "<!ELEMENT" in text:
-            return parse_dtd(text, root=root, name=Path(path).stem)
-        return parse_compact(text, root=root, name=Path(path).stem)
+        resolved = detect_format(text) if format == AUTO else format
+        dtd = load_schema(text, format=resolved, root=root,
+                          name=Path(path).stem)
     except ValueError as exc:
         raise ValueError(f"{path}: {exc}") from exc
+    return LoadedSchema(dtd, resolved, text)
+
+
+def _load_dtd(path: str, root: Optional[str] = None,
+              format: str = AUTO) -> DTD:
+    return _load_schema(path, root=root, format=format).dtd
 
 
 def embedding_to_json(embedding: SchemaEmbedding) -> str:
@@ -104,8 +137,8 @@ def embedding_from_json(text: str, source: DTD,
 
 
 def _cmd_embed(args: argparse.Namespace) -> int:
-    source = _load_dtd(args.source)
-    target = _load_dtd(args.target)
+    source = _load_dtd(args.source, format=args.format)
+    target = _load_dtd(args.target, format=args.format)
     if args.att:
         att = SimilarityMatrix()
         try:
@@ -150,8 +183,8 @@ def _cmd_embed(args: argparse.Namespace) -> int:
 
 
 def _load_embedding(args: argparse.Namespace) -> SchemaEmbedding:
-    source = _load_dtd(args.source)
-    target = _load_dtd(args.target)
+    source = _load_dtd(args.source, format=args.format)
+    target = _load_dtd(args.target, format=args.format)
     try:
         embedding = embedding_from_json(Path(args.embedding).read_text(),
                                         source, target)
@@ -295,15 +328,17 @@ def _cmd_batch_translate(args: argparse.Namespace) -> int:
 
 
 def _cmd_store_build(args: argparse.Namespace) -> int:
-    source = _load_dtd(args.source)
-    target = _load_dtd(args.target)
+    source = _load_schema(args.source, format=args.format)
+    target = _load_schema(args.target, format=args.format)
     store = ArtifactStore(args.store)
-    store.put_schema(source)
-    store.put_schema(target)
+    store.put_schema(source.dtd, format=source.format,
+                     source_text=source.text)
+    store.put_schema(target.dtd, format=target.format,
+                     source_text=target.text)
     for embedding_path in args.embeddings:
         try:
             embedding = embedding_from_json(
-                Path(embedding_path).read_text(), source, target)
+                Path(embedding_path).read_text(), source.dtd, target.dtd)
             embedding.check()
         except OSError:
             raise
@@ -325,9 +360,11 @@ def _cmd_store_inspect(args: argparse.Namespace) -> int:
     print(f"artifact store at {summary['path']} "
           f"(format {summary['format']} v{summary['version']})")
     for row in summary["schemas"]:
+        provenance = row["source"] or "none"
         print(f"  schema    {row['fingerprint'][:12]}…  "
               f"root={row['root']}  types={row['types']}  "
-              f"name={row['name']}")
+              f"name={row['name']}  format={row['format']}  "
+              f"source={provenance}")
     for row in summary["embeddings"]:
         print(f"  embedding {row['fingerprint'][:12]}…  "
               f"{row['source'][:12]}… -> {row['target'][:12]}…  "
@@ -341,7 +378,8 @@ def _cmd_store_inspect(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    server = ReproServer(store=args.store, host=args.host, port=args.port)
+    server = ReproServer(store=args.store, host=args.host, port=args.port,
+                         default_format=args.format)
     server.start()
     state = server.state
     print(f"# serving {server.url} — {len(state.embeddings)} embedding(s), "
@@ -354,7 +392,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
-    dtd = _load_dtd(args.schema)
+    dtd = _load_dtd(args.schema, format=args.format)
     document = parse_xml(Path(args.document).read_text())
     try:
         validate(document, dtd)
@@ -372,7 +410,15 @@ def build_parser() -> argparse.ArgumentParser:
                     "(Fan & Bohannon, VLDB 2005)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_format_option(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--format", default=AUTO,
+                         choices=[AUTO] + available_formats(),
+                         help="schema input format (default: auto-"
+                              "detect); 'serve' applies it to inline "
+                              "schemas in /v1/find payloads")
+
     embed = sub.add_parser("embed", help="find a schema embedding")
+    add_format_option(embed)
     embed.add_argument("source")
     embed.add_argument("target")
     embed.add_argument("--att", help="JSON similarity rows "
@@ -394,6 +440,7 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("target")
         cmd.add_argument("embedding", help="embedding JSON from 'embed'")
         cmd.add_argument("document", help=extra)
+        add_format_option(cmd)
         cmd.set_defaults(func=func)
 
     translate = sub.add_parser("translate",
@@ -404,6 +451,7 @@ def build_parser() -> argparse.ArgumentParser:
     translate.add_argument("query")
     translate.add_argument("--regex", action="store_true",
                            help="also run state elimination back to XR")
+    add_format_option(translate)
     translate.set_defaults(func=_cmd_translate)
 
     xslt = sub.add_parser("xslt", help="emit the generated stylesheet")
@@ -411,11 +459,13 @@ def build_parser() -> argparse.ArgumentParser:
     xslt.add_argument("target")
     xslt.add_argument("embedding")
     xslt.add_argument("--inverse", action="store_true")
+    add_format_option(xslt)
     xslt.set_defaults(func=_cmd_xslt)
 
     check = sub.add_parser("validate", help="validate a document")
     check.add_argument("schema")
     check.add_argument("document")
+    add_format_option(check)
     check.set_defaults(func=_cmd_validate)
 
     batch = sub.add_parser(
@@ -435,6 +485,7 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--stats", action="store_true",
                          help="print aggregated cache counters to "
                               "stderr")
+        add_format_option(cmd)
 
     batch_map = batch_sub.add_parser(
         "map", help="apply σd to document corpora (files, directories "
@@ -478,6 +529,7 @@ def build_parser() -> argparse.ArgumentParser:
     store_build.add_argument("target")
     store_build.add_argument("embeddings", nargs="+",
                              help="embedding JSON files from 'embed'")
+    add_format_option(store_build)
     store_build.set_defaults(func=_cmd_store_build)
 
     store_inspect = store_sub.add_parser(
@@ -499,6 +551,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=DEFAULT_PORT,
                        help=f"TCP port (default {DEFAULT_PORT}; 0 picks "
                             "a free port)")
+    add_format_option(serve)
     serve.set_defaults(func=_cmd_serve)
     return parser
 

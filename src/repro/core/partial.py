@@ -80,8 +80,8 @@ def _closure_of_drop(dtd: DTD, drop: set[str]) -> set[str]:
 def project_dtd(dtd: DTD, drop: Iterable[str]) -> Projection:
     """Project a DTD by forgetting the given element types.
 
-    >>> from repro.dtd.parser import parse_compact
-    >>> d = parse_compact("a -> b, c\\nb -> str\\nc -> str")
+    >>> from repro.schema import load_schema
+    >>> d = load_schema("a -> b, c\\nb -> str\\nc -> str")
     >>> project_dtd(d, ["c"]).projected.production("a")
     Concat(children=('b',))
     """

@@ -18,7 +18,7 @@ precisely to show what the embedding framework rules out.
 from __future__ import annotations
 
 from repro.dtd.model import DTD
-from repro.dtd.parser import parse_compact
+from repro.schema import load_schema
 from repro.xpath.ast import PathExpr
 from repro.xpath.parser import parse_xr
 from repro.xtree.nodes import ElementNode, TextNode
@@ -28,7 +28,7 @@ from repro.xtree.nodes import ElementNode, TextNode
 
 def fig2_source_dtd() -> DTD:
     """``S1``: r → A;  A → B, C;  B → A + ε;  C → ε."""
-    return parse_compact("""
+    return load_schema("""
         r -> A
         A -> B, C
         B -> A + eps
@@ -38,7 +38,7 @@ def fig2_source_dtd() -> DTD:
 
 def fig2_target_dtd() -> DTD:
     """``S2``: r → A;  A → A + ε."""
-    return parse_compact("""
+    return load_schema("""
         r -> A
         A -> A + eps
     """, name="fig2-target")
@@ -120,7 +120,7 @@ def fig2_source_descendant_b() -> PathExpr:
 
 def sorting_dtd() -> DTD:
     """``S1 = S2``: r → A*;  A → str."""
-    return parse_compact("""
+    return load_schema("""
         r -> A*
         A -> str
     """, name="sorting")

@@ -47,6 +47,8 @@ from repro.core.instmap import MappingResult
 from repro.core.similarity import SimilarityMatrix
 from repro.dtd.model import DTD
 from repro.engine.compiled import CompiledEmbedding, CompiledSchema
+from repro.schema import AUTO, detect_format
+from repro.schema import load_schema as _load_schema_text
 from repro.matching.local import LocalSearchConfig
 from repro.matching.search import SearchResult, search_embedding
 from repro.xpath.ast import PathExpr
@@ -157,10 +159,42 @@ class Engine:
                                        self.translation_stats)
         self._searches = _LRUCache(self.config.search_cache,
                                    self.search_stats)
+        # (format, source text) provenance per schema fingerprint, kept
+        # for save_store; bounded like the caches it shadows.
+        self._sources: "OrderedDict[str, tuple[str, str]]" = OrderedDict()
+        self._sources_bound = 4 * self.config.schema_cache
+
+    # -- schema loading ----------------------------------------------------
+    def load_schema(self, text: str, format: str = AUTO,
+                    root: Optional[str] = None, name: str = "dtd") -> DTD:
+        """Lower schema text through the frontend registry.
+
+        The resolved format and source text are remembered per
+        fingerprint, so :meth:`save_store` can persist provenance
+        alongside the schema artifact.
+        """
+        resolved = detect_format(text) if format == AUTO else format
+        dtd = _load_schema_text(text, format=resolved, root=root, name=name)
+        with self._lock:
+            self._sources[dtd.fingerprint()] = (resolved, text)
+            self._sources.move_to_end(dtd.fingerprint())
+            while len(self._sources) > self._sources_bound:
+                self._sources.popitem(last=False)
+        return dtd
 
     # -- compilation -------------------------------------------------------
-    def compile_schema(self, dtd: DTD) -> CompiledSchema:
-        """The compiled artifact for ``dtd``, cached by fingerprint."""
+    def compile_schema(self, dtd: Union[DTD, str],
+                       format: str = AUTO, name: str = "dtd",
+                       ) -> CompiledSchema:
+        """The compiled artifact for ``dtd``, cached by fingerprint.
+
+        ``dtd`` may be an already-lowered :class:`DTD` or raw schema
+        text in any registered frontend format — ``format`` selects the
+        frontend (default: auto-detect), exactly like the CLI's
+        ``--format``.
+        """
+        if isinstance(dtd, str):
+            dtd = self.load_schema(dtd, format=format, name=name)
         fingerprint = dtd.fingerprint()
         with self._lock:
             cached = self._schemas.get(fingerprint)
@@ -313,8 +347,11 @@ class Engine:
             schemas = self._schemas.items()
             embeddings = self._embeddings.items()
             searches = self._searches.items()
-        for _fp, compiled in schemas:
-            store.put_schema(compiled.dtd)  # type: ignore[union-attr]
+            sources = dict(self._sources)
+        for fp, compiled in schemas:
+            source_format, source_text = sources.get(fp, (None, None))
+            store.put_schema(compiled.dtd,  # type: ignore[union-attr]
+                             format=source_format, source_text=source_text)
         for _fp, compiled in embeddings:
             store.put_embedding(
                 compiled.embedding,  # type: ignore[union-attr]

@@ -11,7 +11,10 @@ fingerprints the engine caches use:
   search parameters);
 * ``schemas/<fp>.json`` — one DTD in a structural JSON form that
   round-trips *exactly* (definition order included, so the reloaded
-  schema has the same fingerprint);
+  schema has the same fingerprint); the manifest entry records the
+  frontend ``format`` it was ingested through (``dtd``/``compact``/
+  ``xsd``; absent in pre-frontend stores, which read back as ``dtd``)
+  and, when known, a ``sources/<fp>.txt`` copy of the input text;
 * ``embeddings/<fp>.json`` — λ and the path rows of one embedding,
   referencing its schemas by fingerprint;
 * ``searches/<digest>.json`` — one cached ``find_embedding`` result,
@@ -219,6 +222,14 @@ class ArtifactStore:
         tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         os.replace(tmp, path)
 
+    def _write_text(self, relative: str, text: str) -> None:
+        """Atomic plain-text write (schema source provenance)."""
+        path = self.root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(text)
+        os.replace(tmp, path)
+
     def _read_artifact(self, relative: str) -> dict:
         path = self.root / relative
         if not path.exists():
@@ -229,14 +240,45 @@ class ArtifactStore:
             raise StoreError(f"artifact {path} is corrupt: {exc}") from exc
 
     # -- schemas ---------------------------------------------------------------
-    def put_schema(self, dtd: DTD) -> str:
+    def put_schema(self, dtd: DTD, format: Optional[str] = None,
+                   source_text: Optional[str] = None) -> str:
+        """Store ``dtd``; idempotent per fingerprint.
+
+        ``format`` records which frontend the schema came through and
+        ``source_text`` the exact input text (written to
+        ``sources/<fp>.txt``) — the provenance that ``repro store
+        inspect`` surfaces.  Both are optional: schemas built in memory
+        store as format ``dtd`` with no source file, and stores written
+        before the frontend layer existed (no ``format`` key at all)
+        keep loading and read back as ``dtd``.
+        """
         fingerprint = dtd.fingerprint()
-        if fingerprint not in self.manifest["schemas"]:
+        entry = self.manifest["schemas"].get(fingerprint)
+        dirty = False
+        if entry is None:
             self._write_artifact(f"schemas/{fingerprint}.json",
                                  dtd_to_payload(dtd))
-            self.manifest["schemas"][fingerprint] = {
-                "name": dtd.name, "root": dtd.root,
-                "types": len(dtd.types)}
+            entry = {"name": dtd.name, "root": dtd.root,
+                     "types": len(dtd.types), "format": format or "dtd"}
+            dirty = True
+        elif format is not None and entry.get("format", "dtd") != format:
+            # A format flip must keep (format, source) consistent:
+            # accept it only when the matching source text comes along
+            # (rewriting the provenance file) or none was recorded yet.
+            if source_text is not None and entry.get("source"):
+                self._write_text(entry["source"], source_text)
+                entry = {**entry, "format": format}
+                dirty = True
+            elif not entry.get("source"):
+                entry = {**entry, "format": format}
+                dirty = True
+        if source_text is not None and not entry.get("source"):
+            relative = f"sources/{fingerprint}.txt"
+            self._write_text(relative, source_text)
+            entry = {**entry, "source": relative}
+            dirty = True
+        if dirty:
+            self.manifest["schemas"][fingerprint] = entry
             self._flush_manifest()
         self._schemas[fingerprint] = dtd
         return fingerprint
@@ -262,6 +304,30 @@ class ArtifactStore:
 
     def schema_fingerprints(self) -> list[str]:
         return sorted(self.manifest["schemas"])
+
+    def schema_format(self, fingerprint: str) -> str:
+        """The frontend format the schema was ingested through.
+
+        Pre-frontend stores carry no ``format`` key; their schemas read
+        back as ``dtd`` (the only format that existed then).
+        """
+        entry = self.manifest["schemas"].get(fingerprint)
+        if entry is None:
+            raise StoreError(f"no schema {fingerprint[:12]}… in {self.root}")
+        return entry.get("format", "dtd")
+
+    def schema_source_text(self, fingerprint: str) -> Optional[str]:
+        """The exact source text the schema was built from, if stored."""
+        entry = self.manifest["schemas"].get(fingerprint)
+        if entry is None:
+            raise StoreError(f"no schema {fingerprint[:12]}… in {self.root}")
+        relative = entry.get("source")
+        if not relative:
+            return None
+        path = self.root / relative
+        if not path.exists():
+            raise StoreError(f"missing source file {path}")
+        return path.read_text()
 
     # -- embeddings --------------------------------------------------------------
     def put_embedding(self, embedding: SchemaEmbedding,
@@ -352,7 +418,7 @@ class ArtifactStore:
             "format": FORMAT,
             "version": VERSION,
             "schemas": [
-                {"fingerprint": fp, **meta}
+                {"fingerprint": fp, "format": "dtd", "source": None, **meta}
                 for fp, meta in sorted(self.manifest["schemas"].items())],
             "embeddings": [
                 {"fingerprint": fp, **meta}

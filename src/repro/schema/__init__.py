@@ -1,0 +1,47 @@
+"""The pluggable schema-frontend layer — one normalized IR, many
+input formats.
+
+Consumers (engine, serve, CLI, workloads, examples) load schemas
+exclusively through :func:`load_schema` / :func:`detect_format`; the
+concrete parsers stay private to their format modules:
+
+* :mod:`repro.schema.frontend` — the :class:`SchemaFrontend` protocol,
+  the registry (``register_frontend`` / ``available_formats``),
+  format auto-detection and :func:`load_schema`;
+* :mod:`repro.schema.xsd` — the stdlib-only XSD structural subset and
+  the :func:`dtd_to_xsd` rendering used by the parity tests.
+
+``parse_dtd`` / ``parse_compact`` are re-exported as legacy aliases
+for existing importers; new code should call ``load_schema(text,
+format=…)`` so auto-detection, provenance and future formats apply
+uniformly.
+"""
+
+from repro.dtd.parser import parse_compact, parse_dtd  # legacy aliases
+from repro.schema.frontend import (
+    AUTO,
+    SchemaFormatError,
+    SchemaFrontend,
+    available_formats,
+    detect_format,
+    frontend_for,
+    load_schema,
+    register_frontend,
+)
+from repro.schema.xsd import XSDParseError, dtd_to_xsd, parse_xsd
+
+__all__ = [
+    "AUTO",
+    "SchemaFormatError",
+    "SchemaFrontend",
+    "XSDParseError",
+    "available_formats",
+    "detect_format",
+    "dtd_to_xsd",
+    "frontend_for",
+    "load_schema",
+    "parse_compact",
+    "parse_dtd",
+    "parse_xsd",
+    "register_frontend",
+]

@@ -1,0 +1,182 @@
+"""The schema-frontend boundary: many input formats, one normalized IR.
+
+Every layer above the parsers (engine, serve, CLI, workloads) consumes
+schemas through this module instead of calling a concrete parser.  A
+:class:`SchemaFrontend` lowers one textual format into the canonical
+compile target — the normal-form :class:`~repro.dtd.model.DTD` of
+Section 2.1 — and the registry makes formats pluggable:
+
+* ``dtd``     — real ``<!ELEMENT …>`` declarations
+  (:func:`repro.dtd.parser.parse_dtd`);
+* ``compact`` — the ``type -> production`` normal-form shorthand
+  (:func:`repro.dtd.parser.parse_compact`);
+* ``xsd``     — the stdlib-only XML Schema subset of
+  :mod:`repro.schema.xsd`.
+
+The parity contract: the same grammar expressed in any registered
+format lowers to a byte-identical normal form — same fingerprint, same
+compiled artifacts, same serve responses (``tests/test_schema_frontends
+.py``).  :func:`detect_format` sniffs undeclared input;
+:func:`load_schema` is the one entry point consumers call.
+
+Registering a new frontend is one call::
+
+    register_frontend(MyRelaxNGFrontend())
+
+after which auto-detection, ``--format`` listings and the serve
+``format`` field all pick it up.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol, runtime_checkable
+
+from repro.dtd.model import DTD
+from repro.dtd.parser import parse_compact, parse_dtd
+from repro.schema.xsd import looks_like_xsd, parse_xsd
+
+#: The pseudo-format meaning "sniff the text with :func:`detect_format`".
+AUTO = "auto"
+
+
+class SchemaFormatError(ValueError):
+    """An unknown, undetectable or unregistered schema format."""
+
+
+@runtime_checkable
+class SchemaFrontend(Protocol):
+    """One input format lowered into the normalized schema IR.
+
+    Implementations are stateless; ``parse`` must return a normal-form
+    :class:`DTD` (typically by lowering through
+    :mod:`repro.dtd.normalize`) and raise a :class:`ValueError`
+    subclass with a one-line message on malformed input — the CLI
+    renders it as ``repro: error: <path>: …``.
+    """
+
+    format: str
+    description: str
+
+    def detect(self, text: str) -> bool:
+        """Cheap sniff: does ``text`` look like this format?"""
+        ...
+
+    def parse(self, text: str, root: Optional[str] = None,
+              name: str = "dtd") -> DTD:
+        """Lower ``text`` to the canonical normal-form DTD."""
+        ...
+
+
+class _CallableFrontend:
+    """A frontend from plain functions — how the built-ins are built."""
+
+    def __init__(self, format: str, description: str,
+                 detect: Callable[[str], bool],
+                 parse: Callable[..., DTD]) -> None:
+        self.format = format
+        self.description = description
+        self._detect = detect
+        self._parse = parse
+
+    def detect(self, text: str) -> bool:
+        return self._detect(text)
+
+    def parse(self, text: str, root: Optional[str] = None,
+              name: str = "dtd") -> DTD:
+        return self._parse(text, root=root, name=name)
+
+    def __repr__(self) -> str:
+        return f"<SchemaFrontend {self.format}>"
+
+
+# -- the registry -------------------------------------------------------------
+#
+# Insertion order is detection order: DTD's "<!ELEMENT" marker is
+# unambiguous, XSD is any XML document with an xs:schema root, and the
+# compact syntax ("->" lines, no markup) comes last as the fallback.
+
+_FRONTENDS: dict[str, SchemaFrontend] = {}
+
+
+def register_frontend(frontend: SchemaFrontend,
+                      replace: bool = False) -> SchemaFrontend:
+    """Add ``frontend`` to the registry (``replace=True`` to override)."""
+    if not replace and frontend.format in _FRONTENDS:
+        raise SchemaFormatError(
+            f"a frontend for format {frontend.format!r} is already "
+            "registered (pass replace=True to override)")
+    if frontend.format == AUTO:
+        raise SchemaFormatError(f"{AUTO!r} is reserved for detection")
+    _FRONTENDS[frontend.format] = frontend
+    return frontend
+
+
+def available_formats() -> list[str]:
+    """Registered format names, in detection order."""
+    return list(_FRONTENDS)
+
+
+def frontend_for(format: str) -> SchemaFrontend:
+    """The registered frontend for ``format``."""
+    frontend = _FRONTENDS.get(format)
+    if frontend is None:
+        raise SchemaFormatError(
+            f"unknown schema format {format!r} (known formats: "
+            + ", ".join(available_formats()) + ")")
+    return frontend
+
+
+def detect_format(text: str) -> str:
+    """Sniff which registered format ``text`` is written in.
+
+    >>> detect_format("<!ELEMENT a (#PCDATA)>")
+    'dtd'
+    >>> detect_format("a -> b\\nb -> str")
+    'compact'
+    """
+    for frontend in _FRONTENDS.values():
+        if frontend.detect(text):
+            return frontend.format
+    # Built from the live registry, so a registered plugin format
+    # shows up in the diagnostic too.
+    expected = "; ".join(f"{frontend.format}: {frontend.description}"
+                         for frontend in _FRONTENDS.values())
+    raise SchemaFormatError(
+        f"cannot detect the schema format (known formats — {expected})")
+
+
+def load_schema(text: str, format: str = AUTO, root: Optional[str] = None,
+                name: str = "dtd") -> DTD:
+    """Lower schema text in any registered format to a normal-form DTD.
+
+    The single entry point for every consumer layer: ``format`` names a
+    registered frontend or :data:`AUTO` (the default) to sniff via
+    :func:`detect_format`.
+
+    >>> load_schema("db -> class*\\nclass -> str").root
+    'db'
+    """
+    if format == AUTO:
+        format = detect_format(text)
+    return frontend_for(format).parse(text, root=root, name=name)
+
+
+# -- the built-in frontends ---------------------------------------------------
+
+def _detect_dtd(text: str) -> bool:
+    return "<!ELEMENT" in text
+
+
+def _detect_compact(text: str) -> bool:
+    return "->" in text and not text.lstrip().startswith("<")
+
+
+register_frontend(_CallableFrontend(
+    "dtd", "<!ELEMENT …> declaration syntax",
+    _detect_dtd, parse_dtd))
+register_frontend(_CallableFrontend(
+    "xsd", "XML Schema structural subset (stdlib-only)",
+    looks_like_xsd, parse_xsd))
+register_frontend(_CallableFrontend(
+    "compact", "'type -> production' normal-form shorthand",
+    _detect_compact, parse_compact))

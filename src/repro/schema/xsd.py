@@ -1,0 +1,378 @@
+"""The XSD-subset frontend: lower XML Schema text to the DTD IR.
+
+Stdlib-only (``xml.etree.ElementTree``).  The supported subset is the
+structural core that maps exactly onto the paper's DTD normal form:
+
+* top-level ``<xs:element name="A">`` declarations — one per element
+  type, first one is the default root;
+* ``type="xs:string"`` leaves (``A → str``);
+* inline ``<xs:complexType>`` holding one ``<xs:sequence>`` or
+  ``<xs:choice>`` (an empty complexType or empty sequence is ``A → ε``);
+* particles: ``<xs:element ref="B"/>``, inline *named* child
+  declarations (hoisted to global productions in document order), and
+  nested ``xs:sequence``/``xs:choice`` groups;
+* ``minOccurs``/``maxOccurs`` in the four combinations 1/1, 0/1,
+  0/unbounded, 1/unbounded — exactly ``B``, ``B?``, ``B*``, ``B+``.
+
+Everything outside the subset — named type definitions, ``xs:all``,
+mixed content, numeric occurrence bounds, substitution groups,
+imports/includes, non-XSD namespaces — raises :class:`XSDParseError`
+with a **one-line** diagnostic, which the CLI surfaces as
+``repro: error: <path>: …``.  ``xs:attribute`` declarations are
+skipped, mirroring the DTD frontend's treatment of ``<!ATTLIST>``
+(the paper's data model is attribute-free).
+
+The lowering targets the same :mod:`repro.dtd.normalize` regex IR as
+the DTD frontend, so one grammar expressed as XSD, DTD or compact text
+produces a byte-identical normal form — same fingerprint, same
+compiled artifacts (``tests/test_schema_frontends.py``).
+
+:func:`dtd_to_xsd` is the inverse rendering: any parser-producible
+normal-form DTD as an equivalent document in this subset, used by the
+parity tests and benchmarks to generate the XSD spelling of every
+workload schema.
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+from typing import Optional
+
+from repro.dtd.model import (
+    DTD,
+    Concat,
+    Disjunction,
+    Empty,
+    SchemaError,
+    Star,
+    Str,
+)
+from repro.dtd.normalize import (
+    RChoice,
+    REmpty,
+    RName,
+    ROpt,
+    RPCDATA,
+    RPlus,
+    RSeq,
+    RStar,
+    Regex,
+    normalize_dtd,
+)
+
+#: The XML Schema namespace every construct must live in.
+XSD_NS = "http://www.w3.org/2001/XMLSchema"
+
+#: Same lexical space as the DTD parser's element names.
+_NAME_RE = re.compile(r"[A-Za-z_][\w.\-]*")
+
+#: Constructs skipped wherever they appear (like <!ATTLIST> in DTDs).
+_SKIPPED = frozenset({"annotation", "attribute"})
+
+
+class XSDParseError(ValueError):
+    """Raised on malformed XSD text or constructs outside the subset."""
+
+
+def looks_like_xsd(text: str) -> bool:
+    """Cheap sniff for :func:`repro.schema.frontend.detect_format`."""
+    stripped = text.lstrip()
+    if not stripped.startswith("<"):
+        return False
+    return ("XMLSchema" in text
+            or re.search(r"<(?:[\w.\-]+:)?schema[\s>]", text) is not None)
+
+
+def _one_line(value: object) -> str:
+    return " ".join(str(value).split())
+
+
+def _split_tag(tag: str) -> tuple[str, str]:
+    """``{namespace}local`` → ``(namespace, local)``."""
+    if tag.startswith("{"):
+        namespace, _, local = tag[1:].partition("}")
+        return namespace, local
+    return "", tag
+
+
+def _pretty_tag(tag: str) -> str:
+    namespace, local = _split_tag(tag)
+    return f"xs:{local}" if namespace == XSD_NS else local
+
+
+def _is_xsd(node: ET.Element, local: str) -> bool:
+    return _split_tag(node.tag) == (XSD_NS, local)
+
+
+def _is_skipped(node: ET.Element) -> bool:
+    namespace, local = _split_tag(node.tag)
+    return namespace == XSD_NS and local in _SKIPPED
+
+
+def _is_string_type(value: str) -> bool:
+    """``xs:string`` under any prefix binding (we do not track prefix
+    declarations; the subset admits no other simple type anyway)."""
+    return value.rsplit(":", 1)[-1] == "string"
+
+
+class _Lowering:
+    """Document-order collection of global element declarations."""
+
+    def __init__(self) -> None:
+        self.declared: dict[str, Regex] = {}
+
+    # -- declarations ------------------------------------------------------
+    def declare(self, element: ET.Element) -> str:
+        name = element.get("name")
+        if name is None:
+            raise XSDParseError(
+                "xs:element declaration needs a name attribute")
+        if not _NAME_RE.fullmatch(name):
+            raise XSDParseError(f"bad element name {name!r}")
+        if name in self.declared:
+            raise XSDParseError(f"duplicate declaration of element "
+                                f"{name!r}")
+        # Reserve the slot first so a declaration always precedes the
+        # inline children hoisted out of its own content — the same
+        # parent-before-fresh-types order the DTD normalizer produces.
+        self.declared[name] = REmpty()
+        self.declared[name] = self._element_content(element, name)
+        return name
+
+    def _element_content(self, element: ET.Element, owner: str) -> Regex:
+        type_attr = element.get("type")
+        children = [child for child in element if not _is_skipped(child)]
+        complex_types = [child for child in children
+                         if _is_xsd(child, "complexType")]
+        if len(complex_types) != len(children):
+            extra = next(child for child in children
+                         if not _is_xsd(child, "complexType"))
+            raise XSDParseError(
+                f"{owner!r}: unsupported construct "
+                f"<{_pretty_tag(extra.tag)}> inside xs:element (only an "
+                "inline xs:complexType)")
+        if type_attr is not None:
+            if complex_types:
+                raise XSDParseError(
+                    f"{owner!r}: give either type= or an inline "
+                    "xs:complexType, not both")
+            if not _is_string_type(type_attr):
+                raise XSDParseError(
+                    f"{owner!r}: unsupported type {type_attr!r} (only "
+                    "xs:string leaves; named complex types are outside "
+                    "the subset)")
+            return RPCDATA()
+        if not complex_types:
+            raise XSDParseError(
+                f"{owner!r}: needs type=\"xs:string\" or an inline "
+                "xs:complexType")
+        if len(complex_types) > 1:
+            raise XSDParseError(f"{owner!r}: more than one xs:complexType")
+        return self._complex_type(complex_types[0], owner)
+
+    def _complex_type(self, node: ET.Element, owner: str) -> Regex:
+        if node.get("mixed") in ("true", "1"):
+            raise XSDParseError(
+                f"{owner!r}: mixed content is outside the paper's DTD "
+                "normal form")
+        content = [child for child in node if not _is_skipped(child)]
+        if not content:
+            return REmpty()
+        if len(content) > 1:
+            raise XSDParseError(
+                f"{owner!r}: expected one xs:sequence or xs:choice "
+                f"inside xs:complexType, found {len(content)} children")
+        child = content[0]
+        namespace, local = _split_tag(child.tag)
+        if namespace != XSD_NS or local not in ("sequence", "choice"):
+            raise XSDParseError(
+                f"{owner!r}: unsupported content model "
+                f"<{_pretty_tag(child.tag)}> (only xs:sequence / "
+                "xs:choice)")
+        return self._group(child, owner)
+
+    # -- particles ---------------------------------------------------------
+    def _group(self, node: ET.Element, owner: str) -> Regex:
+        _, local = _split_tag(node.tag)
+        items: list[Regex] = []
+        for child in node:
+            if _is_skipped(child):
+                continue
+            namespace, child_local = _split_tag(child.tag)
+            if namespace == XSD_NS and child_local == "element":
+                items.append(self._element_particle(child, owner))
+            elif namespace == XSD_NS and child_local in ("sequence",
+                                                         "choice"):
+                items.append(self._group(child, owner))
+            else:
+                raise XSDParseError(
+                    f"{owner!r}: unsupported particle "
+                    f"<{_pretty_tag(child.tag)}> (only xs:element, "
+                    "xs:sequence, xs:choice)")
+        if not items:
+            if local == "choice":
+                raise XSDParseError(f"{owner!r}: empty xs:choice")
+            inner: Regex = REmpty()
+        elif len(items) == 1:
+            # A one-particle group is the particle — exactly how the
+            # DTD parser collapses a one-item parenthesised group.
+            inner = items[0]
+        elif local == "sequence":
+            inner = RSeq(tuple(items))
+        else:
+            inner = RChoice(tuple(items))
+        return self._with_occurs(node, inner, owner)
+
+    def _element_particle(self, node: ET.Element, owner: str) -> Regex:
+        ref = node.get("ref")
+        name = node.get("name")
+        if ref is not None and name is not None:
+            raise XSDParseError(
+                f"{owner!r}: xs:element takes ref= or name=, not both")
+        if ref is not None:
+            if not _NAME_RE.fullmatch(ref):
+                raise XSDParseError(f"{owner!r}: bad element ref {ref!r}")
+            if any(not _is_skipped(child) for child in node):
+                raise XSDParseError(
+                    f"{owner!r}: <xs:element ref={ref!r}> must be empty")
+            base: Regex = RName(ref)
+        elif name is not None:
+            # An inline named declaration: hoist it to a global
+            # production (document order), then reference it.
+            base = RName(self.declare(node))
+        else:
+            raise XSDParseError(
+                f"{owner!r}: xs:element particle needs ref= or name=")
+        return self._with_occurs(node, base, owner)
+
+    @staticmethod
+    def _with_occurs(node: ET.Element, regex: Regex, owner: str) -> Regex:
+        raw_min = node.get("minOccurs", "1")
+        raw_max = node.get("maxOccurs", "1")
+        try:
+            lo = int(raw_min)
+        except ValueError:
+            raise XSDParseError(
+                f"{owner!r}: minOccurs={raw_min!r} is not an integer"
+            ) from None
+        if raw_max == "unbounded":
+            hi: Optional[int] = None
+        else:
+            try:
+                hi = int(raw_max)
+            except ValueError:
+                raise XSDParseError(
+                    f"{owner!r}: maxOccurs={raw_max!r} is not an integer "
+                    "or 'unbounded'") from None
+        if (lo, hi) == (1, 1):
+            return regex
+        if (lo, hi) == (0, 1):
+            return ROpt(regex)
+        if (lo, hi) == (0, None):
+            return RStar(regex)
+        if (lo, hi) == (1, None):
+            return RPlus(regex)
+        raise XSDParseError(
+            f"{owner!r}: unsupported occurrence minOccurs={lo} "
+            f"maxOccurs={raw_max} (supported: the 0/1/unbounded "
+            "combinations ?, *, +)")
+
+
+def parse_xsd(source: str, root: Optional[str] = None,
+              name: str = "dtd") -> DTD:
+    """Parse the XSD subset into a normal-form :class:`DTD`.
+
+    >>> d = parse_xsd('''
+    ...   <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+    ...     <xs:element name="db"><xs:complexType><xs:sequence>
+    ...       <xs:element ref="class" minOccurs="0"
+    ...                   maxOccurs="unbounded"/>
+    ...     </xs:sequence></xs:complexType></xs:element>
+    ...     <xs:element name="class" type="xs:string"/>
+    ...   </xs:schema>''')
+    >>> d.root
+    'db'
+    """
+    try:
+        document = ET.fromstring(source)
+    except ET.ParseError as exc:
+        raise XSDParseError(
+            f"not well-formed XML: {_one_line(exc)}") from None
+    namespace, local = _split_tag(document.tag)
+    if local != "schema":
+        raise XSDParseError(
+            f"root element must be xs:schema, not "
+            f"<{_pretty_tag(document.tag)}>")
+    if namespace != XSD_NS:
+        raise XSDParseError(
+            f"xs:schema must use the XML Schema namespace {XSD_NS}")
+    lowering = _Lowering()
+    for child in document:
+        if _is_skipped(child):
+            continue
+        if not _is_xsd(child, "element"):
+            raise XSDParseError(
+                f"unsupported top-level construct "
+                f"<{_pretty_tag(child.tag)}> (only xs:element "
+                "declarations)")
+        if child.get("minOccurs") is not None \
+                or child.get("maxOccurs") is not None:
+            raise XSDParseError(
+                f"element {child.get('name')!r}: minOccurs/maxOccurs "
+                "belong on particles, not top-level declarations")
+        lowering.declare(child)
+    if not lowering.declared:
+        raise XSDParseError("no xs:element declarations found")
+    root = root or next(iter(lowering.declared))
+    if root not in lowering.declared:
+        raise XSDParseError(f"root {root!r} is not declared")
+    return normalize_dtd(lowering.declared, root, name)
+
+
+# -- rendering ----------------------------------------------------------------
+
+def dtd_to_xsd(dtd: DTD) -> str:
+    """A normal-form DTD as an equivalent XSD-subset document.
+
+    Root first, then the remaining types in definition order — the same
+    convention as :func:`repro.dtd.serialize.dtd_to_text`, so the three
+    renderings of one schema all parse back to the same fingerprint.
+    """
+    ordered = [dtd.root] + [t for t in dtd.types if t != dtd.root]
+    lines = ['<?xml version="1.0" encoding="UTF-8"?>',
+             f'<xs:schema xmlns:xs="{XSD_NS}">']
+    for element_type in ordered:
+        production = dtd.production(element_type)
+        if isinstance(production, Str):
+            lines.append(f'  <xs:element name="{element_type}" '
+                         'type="xs:string"/>')
+            continue
+        if isinstance(production, Empty):
+            lines.append(f'  <xs:element name="{element_type}">'
+                         '<xs:complexType/></xs:element>')
+            continue
+        if isinstance(production, Concat):
+            refs = "".join(f'<xs:element ref="{child}"/>'
+                           for child in production.children)
+            body = f"<xs:sequence>{refs}</xs:sequence>"
+        elif isinstance(production, Disjunction):
+            if len(production.children) == 1 and not production.optional:
+                raise SchemaError(
+                    f"{element_type!r}: a one-alternative mandatory "
+                    "disjunction has no XSD-subset rendering")
+            refs = "".join(f'<xs:element ref="{child}"/>'
+                           for child in production.children)
+            occurs = ' minOccurs="0"' if production.optional else ""
+            body = f"<xs:choice{occurs}>{refs}</xs:choice>"
+        elif isinstance(production, Star):
+            body = ('<xs:sequence>'
+                    f'<xs:element ref="{production.child}" minOccurs="0" '
+                    'maxOccurs="unbounded"/></xs:sequence>')
+        else:
+            raise SchemaError(f"unknown production {production!r}")
+        lines.append(f'  <xs:element name="{element_type}">'
+                     f'<xs:complexType>{body}</xs:complexType>'
+                     '</xs:element>')
+    lines.append("</xs:schema>")
+    return "\n".join(lines)

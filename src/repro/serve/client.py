@@ -120,7 +120,14 @@ class ServeClient:
         return self.request("POST", "/v1/translate", payload)
 
     def find(self, source: str, target: str, method: str = "auto",
-             seed: int = 0, restarts: int = 20) -> dict:
-        return self.request("POST", "/v1/find", {
-            "source": source, "target": target, "method": method,
-            "seed": seed, "restarts": restarts})
+             seed: int = 0, restarts: int = 20,
+             format: Optional[str] = None) -> dict:
+        """``source``/``target`` are stored fingerprints or inline
+        schema text; ``format`` names the frontend for inline text
+        (``dtd``/``compact``/``xsd``; default: server-side detection).
+        """
+        payload = {"source": source, "target": target, "method": method,
+                   "seed": seed, "restarts": restarts}
+        if format is not None:
+            payload["format"] = format
+        return self.request("POST", "/v1/find", payload)

@@ -25,9 +25,14 @@ from typing import Callable, Optional, Union
 
 from repro.core.embedding import SchemaEmbedding
 from repro.dtd.model import DTD
-from repro.dtd.parser import parse_compact, parse_dtd
 from repro.engine.session import Engine, EngineConfig
 from repro.engine.store import ArtifactStore, embedding_to_payload
+from repro.schema import (
+    SchemaFormatError,
+    available_formats,
+    detect_format,
+    load_schema,
+)
 from repro.serve.metrics import OVERFLOW_ENDPOINT, MetricsRegistry
 from repro.serve.protocol import (
     ProtocolError,
@@ -37,6 +42,7 @@ from repro.serve.protocol import (
     optional_int,
     optional_str,
     queries_from,
+    schema_format_from,
 )
 from repro.xtree.parser import parse_xml
 from repro.xtree.serialize import to_string
@@ -63,12 +69,16 @@ class ServiceState:
                  embeddings: Optional[dict[str, SchemaEmbedding]] = None,
                  schemas: Optional[dict[str, DTD]] = None,
                  store_path: Optional[str] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 default_format: str = "auto") -> None:
         self.engine = engine or Engine()
         self.embeddings = dict(embeddings or {})
         self.schemas = dict(schemas or {})
         self.store_path = store_path
         self.metrics = metrics or MetricsRegistry()
+        # Applied to inline schema text when a request carries no
+        # 'format' field (the CLI's `repro serve --format`).
+        self.default_format = default_format
         self.started_at = time.time()
         # Guards the embeddings/schemas dicts against concurrent
         # handler threads (registration during resolution); the
@@ -80,7 +90,7 @@ class ServiceState:
 
     @classmethod
     def from_store(cls, path, config: Optional[EngineConfig] = None,
-                   ) -> "ServiceState":
+                   default_format: str = "auto") -> "ServiceState":
         """Warm-start: every stored artifact compiled before the first
         request, so serving begins with zero compile misses."""
         store = ArtifactStore(path, create=False)
@@ -91,7 +101,8 @@ class ServiceState:
                       for fingerprint in store.embedding_fingerprints()}
         schemas = {fingerprint: store.get_schema(fingerprint)
                    for fingerprint in store.schema_fingerprints()}
-        return cls(engine, embeddings, schemas, store_path=str(path))
+        return cls(engine, embeddings, schemas, store_path=str(path),
+                   default_format=default_format)
 
     @classmethod
     def from_embedding(cls, embedding: SchemaEmbedding,
@@ -138,12 +149,23 @@ class ServiceState:
         raise ProtocolError(404, "unknown-embedding",
                             f"no embedding {ref!r} on this server")
 
-    def resolve_schema(self, value, what: str) -> DTD:
-        """A schema by stored fingerprint/prefix, or inline DTD text."""
+    def resolve_schema(self, value, what: str,
+                       format: Optional[str] = None) -> DTD:
+        """A schema by stored fingerprint/prefix, or inline schema text
+        in any frontend format.
+
+        ``format`` is the request's ``format`` field: ``None`` (field
+        absent) falls back to the state's ``default_format``; an
+        explicit ``"auto"`` forces sniffing even when the server was
+        started with a concrete ``--format``.  Only when the request
+        names a concrete format is undetectable text parsed anyway —
+        otherwise text no frontend recognises is treated as an unknown
+        fingerprint (404), preserving the pre-frontend contract.
+        """
         if not isinstance(value, str) or not value:
             raise ProtocolError(400, "bad-request",
                                 f"'{what}' must be a schema fingerprint "
-                                "or inline DTD text")
+                                "or inline schema text")
         with self._lock:
             schemas = dict(self.schemas)
         if value in schemas:
@@ -155,17 +177,27 @@ class ServiceState:
             raise ProtocolError(400, "ambiguous-schema",
                                 f"'{what}' prefix matches "
                                 f"{len(matches)} schemas")
-        if "<!ELEMENT" in value or "->" in value:
+        resolved = self.default_format if format is None else format
+        if format is None or format == "auto":
+            # No concrete request format: only text some frontend
+            # recognises counts as inline — anything else is an
+            # unknown fingerprint (404), whatever the server default
+            # says; an 'auto' (requested or defaulted) then parses
+            # with the detected frontend, a concrete default with that.
             try:
-                if "<!ELEMENT" in value:
-                    return parse_dtd(value, name=what)
-                return parse_compact(value, name=what)
-            except ValueError as exc:
-                raise ProtocolError(400, "bad-schema",
-                                    f"'{what}' is not a parseable DTD: "
-                                    f"{exc}") from None
-        raise ProtocolError(404, "unknown-schema",
-                            f"no schema {value!r} on this server")
+                detected = detect_format(value)
+            except SchemaFormatError:
+                raise ProtocolError(404, "unknown-schema",
+                                    f"no schema {value!r} on this server"
+                                    ) from None
+            if resolved == "auto":
+                resolved = detected
+        try:
+            return load_schema(value, format=resolved, name=what)
+        except ValueError as exc:
+            raise ProtocolError(400, "bad-schema",
+                                f"'{what}' is not a parseable {resolved} "
+                                f"schema: {exc}") from None
 
     def register_embedding(self, embedding: SchemaEmbedding) -> str:
         """Make a freshly found embedding addressable by later calls.
@@ -280,8 +312,11 @@ def _handle_translate(state: ServiceState, payload: dict) -> dict:
 
 
 def _handle_find(state: ServiceState, payload: dict) -> dict:
-    source = state.resolve_schema(payload.get("source"), "source")
-    target = state.resolve_schema(payload.get("target"), "target")
+    schema_format = schema_format_from(payload, available_formats())
+    source = state.resolve_schema(payload.get("source"), "source",
+                                  format=schema_format)
+    target = state.resolve_schema(payload.get("target"), "target",
+                                  format=schema_format)
     method = optional_str(payload, "method") or "auto"
     seed = optional_int(payload, "seed", 0)
     restarts = optional_int(payload, "restarts", 20)

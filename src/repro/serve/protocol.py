@@ -10,7 +10,9 @@ Batch semantics mirror the CLI batch surface: ``/v1/map`` and
 ``{"documents": [{"name", "xml"}, …]}`` for a batch; ``/v1/translate``
 accepts ``{"query": …}`` or ``{"queries": […]}``.  Batch items fail
 *individually* — one malformed document yields one failed item, never
-an HTTP error for the whole batch.
+an HTTP error for the whole batch.  Schema-bearing payloads
+(``/v1/find``) take an optional ``"format"`` naming the frontend for
+inline schema text (``auto``/``dtd``/``compact``/``xsd``).
 
 Errors are structured: ``{"error": {"code": …, "message": …}}`` with
 the HTTP status carrying the class (400 malformed request, 404 unknown
@@ -20,7 +22,7 @@ resource, 405 wrong method, 500 handler fault).
 from __future__ import annotations
 
 import json
-from typing import Optional
+from typing import Optional, Sequence
 
 
 class ProtocolError(Exception):
@@ -133,6 +135,30 @@ def optional_str(payload: dict, name: str) -> Optional[str]:
     if value is None:
         return None
     return _require_str(value, f"'{name}'")
+
+
+def schema_format_from(payload: dict,
+                       known: Sequence[str]) -> Optional[str]:
+    """The optional ``format`` field of a schema-bearing payload.
+
+    ``known`` is the frontend registry's format list (the protocol
+    layer stays import-pure).  Returns ``None`` when the field is
+    absent (→ the server's default applies); an explicit ``"auto"``
+    always means "sniff the text", even on a server started with a
+    concrete ``--format``.
+    """
+    value = payload.get("format")
+    if value is None:
+        return None
+    if not isinstance(value, str):
+        raise ProtocolError(400, "bad-format",
+                            "'format' must be a string")
+    if value != "auto" and value not in known:
+        raise ProtocolError(
+            400, "bad-format",
+            f"unknown schema format {value!r} (expected auto, "
+            + ", ".join(known) + ")")
+    return value
 
 
 def optional_int(payload: dict, name: str, default: int) -> int:

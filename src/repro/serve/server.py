@@ -102,18 +102,24 @@ class ReproServer:
                  embedding: Optional[SchemaEmbedding] = None,
                  state: Optional[ServiceState] = None,
                  host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
-                 config: Optional[EngineConfig] = None) -> None:
+                 config: Optional[EngineConfig] = None,
+                 default_format: str = "auto") -> None:
         given = sum(x is not None for x in (store, embedding, state))
         if given != 1:
             raise ValueError("give exactly one of store=, embedding=, "
                              "state=")
         if state is not None:
+            if default_format != "auto":
+                raise ValueError("set default_format on the "
+                                 "ServiceState when passing state=")
             self.state = state
         elif store is not None:
-            self.state = ServiceState.from_store(store, config=config)
+            self.state = ServiceState.from_store(
+                store, config=config, default_format=default_format)
         else:
             assert embedding is not None
             self.state = ServiceState.from_embedding(embedding)
+            self.state.default_format = default_format
         self._requested = (host, port)
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None

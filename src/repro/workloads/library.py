@@ -19,7 +19,15 @@ from typing import Callable, Optional
 from repro.core.embedding import SchemaEmbedding, build_embedding
 from repro.core.similarity import SimilarityMatrix
 from repro.dtd.model import DTD
-from repro.dtd.parser import parse_compact
+from repro.schema import load_schema
+
+
+def _compact(spec: str, root: Optional[str] = None,
+             name: str = "dtd") -> DTD:
+    """Workload schemas are authored in the compact normal-form
+    syntax; going through the frontend boundary keeps this module off
+    the raw parsers (and exercises the same path the CLI uses)."""
+    return load_schema(spec, format="compact", root=root, name=name)
 
 
 # -- Fig. 1: the school integration scenario --------------------------------------
@@ -43,7 +51,7 @@ def school_example() -> SchoolExample:
     >>> bundle.sigma1.is_valid() and bundle.sigma2.is_valid()
     True
     """
-    classes = parse_compact("""
+    classes = _compact("""
         db -> class*
         class -> cno, title, type
         cno -> str
@@ -54,7 +62,7 @@ def school_example() -> SchoolExample:
         project -> str
     """, name="classes-S0")
 
-    students = parse_compact("""
+    students = _compact("""
         db -> student*
         student -> ssn, name, taking
         ssn -> str
@@ -63,7 +71,7 @@ def school_example() -> SchoolExample:
         cno -> str
     """, name="students-S1")
 
-    school = parse_compact("""
+    school = _compact("""
         school -> courses, students
         courses -> current, history
         current -> course*
@@ -156,8 +164,8 @@ def fig3_scenarios() -> list[Fig3Scenario]:
 
     # (a) source A -> B, C (concat); target A' -> B' + C' (disjunction):
     # B and C must coexist but only one of B'/C' can — no valid mapping.
-    source_a = parse_compact("A -> B, C\nB -> str\nC -> str", name="fig3a-src")
-    target_a = parse_compact(
+    source_a = _compact("A -> B, C\nB -> str\nC -> str", name="fig3a-src")
+    target_a = _compact(
         "Ap -> Bp + Cp\nBp -> str\nCp -> str", name="fig3a-tgt")
     scenarios.append(Fig3Scenario(
         "a", source_a, target_a,
@@ -172,8 +180,8 @@ def fig3_scenarios() -> list[Fig3Scenario]:
 
     # (b) source A -> B* ; target A' -> B' (a single B'): the target
     # cannot accommodate multiple B elements.
-    source_b = parse_compact("A -> B*\nB -> str", name="fig3b-src")
-    target_b = parse_compact("Ap -> Bp\nBp -> str", name="fig3b-tgt")
+    source_b = _compact("A -> B*\nB -> str", name="fig3b-src")
+    target_b = _compact("Ap -> Bp\nBp -> str", name="fig3b-tgt")
     scenarios.append(Fig3Scenario(
         "b", source_b, target_b,
         build_embedding(source_b, target_b,
@@ -184,8 +192,8 @@ def fig3_scenarios() -> list[Fig3Scenario]:
 
     # (c) source A -> B, C with λ(B)=λ(C)=B'; target A' -> B', B':
     # valid via position() qualifiers.
-    source_c = parse_compact("A -> B, C\nB -> str\nC -> str", name="fig3c-src")
-    target_c = parse_compact("Ap -> Bp, Bp\nBp -> str", name="fig3c-tgt")
+    source_c = _compact("A -> B, C\nB -> str\nC -> str", name="fig3c-src")
+    target_c = _compact("Ap -> Bp, Bp\nBp -> str", name="fig3c-tgt")
     scenarios.append(Fig3Scenario(
         "c", source_c, target_c,
         build_embedding(source_c, target_c,
@@ -198,8 +206,8 @@ def fig3_scenarios() -> list[Fig3Scenario]:
         note="two source types may share a target type (Fig. 3(c))"))
 
     # (d) prefix violation: path(A,B) a prefix of path(A,C).
-    source_d = parse_compact("A -> B, C\nB -> str\nC -> str", name="fig3d-src")
-    target_d = parse_compact(
+    source_d = _compact("A -> B, C\nB -> str\nC -> str", name="fig3d-src")
+    target_d = _compact(
         "Ap -> Bp\nBp -> Cp\nCp -> str", name="fig3d-tgt")
     scenarios.append(Fig3Scenario(
         "d", source_d, target_d,
@@ -217,8 +225,8 @@ def fig3_scenarios() -> list[Fig3Scenario]:
     # stated phenomenon — a cyclic target whose cycle must be unfolded
     # once, with a position() pin making the unfolded path
     # deterministic.)
-    source_e = parse_compact("A -> B, C\nB -> str\nC -> str", name="fig3e-src")
-    target_e = parse_compact("""
+    source_e = _compact("A -> B, C\nB -> str\nC -> str", name="fig3e-src")
+    target_e = _compact("""
         Ap -> Bp, Sp
         Sp -> Ap*
         Bp -> str
@@ -241,7 +249,7 @@ def fig3_scenarios() -> list[Fig3Scenario]:
 # -- realistic schema library ------------------------------------------------------
 
 def _bib() -> DTD:
-    return parse_compact("""
+    return _compact("""
         bib -> entry*
         entry -> article + book + phd
         article -> title, authors, journal, year
@@ -258,7 +266,7 @@ def _bib() -> DTD:
 
 
 def _dblp() -> DTD:
-    return parse_compact("""
+    return _compact("""
         dblp -> record*
         record -> inproceedings + article2 + www
         inproceedings -> key, ititle, iauthors, booktitle, ipages, iyear
@@ -285,7 +293,7 @@ def _dblp() -> DTD:
 
 def _auction() -> DTD:
     """XMark-flavoured auction site."""
-    return parse_compact("""
+    return _compact("""
         site -> regions, people, auctions
         regions -> africa, asia, europe
         africa -> item*
@@ -318,7 +326,7 @@ def _auction() -> DTD:
 
 def _mondial() -> DTD:
     """Mondial-flavoured geography."""
-    return parse_compact("""
+    return _compact("""
         mondial -> country*
         country -> cname, capital, population, provinces, borders
         cname -> str
@@ -339,7 +347,7 @@ def _mondial() -> DTD:
 
 def _genealogy() -> DTD:
     """GedML-flavoured genealogy (recursive)."""
-    return parse_compact("""
+    return _compact("""
         gedcom -> indi*
         indi -> persname, birth, famc
         persname -> str
@@ -357,7 +365,7 @@ def _genealogy() -> DTD:
 
 def _orders() -> DTD:
     """TPC-flavoured orders/catalog."""
-    return parse_compact("""
+    return _compact("""
         store -> catalog, orders
         catalog -> product*
         product -> sku, prodname, price, category2
@@ -393,7 +401,7 @@ def _orders() -> DTD:
 
 def _parts() -> DTD:
     """Recursive bill-of-materials."""
-    return parse_compact("""
+    return _compact("""
         bom -> part*
         part -> pno, pdesc, subparts
         pno -> str

@@ -372,6 +372,108 @@ def test_cli_no_traceback_in_subprocess(files, tmp_path):
     assert "Traceback" not in result.stderr
 
 
+def test_cli_malformed_xsd_is_clean_error(files, tmp_path, capsys):
+    """A truncated XSD document: exit 2, one path-prefixed line."""
+    _tmp, source_path, _target, _doc = files
+    bad = tmp_path / "broken.xsd"
+    bad.write_text('<xs:schema xmlns:xs="http://www.w3.org/2001/'
+                   'XMLSchema"><xs:element name="a">')
+    code = main(["validate", str(bad), str(bad)])
+    assert code == 2
+    err = _error_line(capsys)
+    assert "broken.xsd" in err and "not well-formed" in err
+
+
+def test_cli_unsupported_xsd_construct_is_clean_error(tmp_path, capsys):
+    bad = tmp_path / "fancy.xsd"
+    bad.write_text('<xs:schema xmlns:xs="http://www.w3.org/2001/'
+                   'XMLSchema"><xs:element name="a"><xs:complexType>'
+                   '<xs:all><xs:element ref="b"/></xs:all>'
+                   '</xs:complexType></xs:element>'
+                   '<xs:element name="b" type="xs:string"/></xs:schema>')
+    code = main(["validate", str(bad), str(bad)])
+    assert code == 2
+    err = _error_line(capsys)
+    assert "fancy.xsd" in err and "xs:all" in err
+
+
+def test_cli_undetectable_format_is_clean_error(files, tmp_path, capsys):
+    _tmp, _source, target_path, _doc = files
+    mystery = tmp_path / "mystery.schema"
+    mystery.write_text("this is neither markup nor productions\n")
+    code = main(["embed", str(mystery), str(target_path)])
+    assert code == 2
+    err = _error_line(capsys)
+    assert "mystery.schema" in err and "cannot detect" in err
+
+
+def test_cli_wrong_explicit_format_is_clean_error(files, capsys):
+    """--format xsd against DTD text fails loudly, not by sniffing."""
+    _tmp, source_path, target_path, _doc = files
+    code = main(["embed", "--format", "xsd", str(source_path),
+                 str(target_path)])
+    assert code == 2
+    err = _error_line(capsys)
+    assert str(source_path.name) in err
+
+
+def test_cli_xsd_workflow_matches_dtd(files, tmp_path, capsys):
+    """The same grammar as .xsd files: embed finds the identical
+    embedding JSON, and the store records format + provenance."""
+    from repro.schema import dtd_to_xsd, load_schema
+
+    tmp, source_path, target_path, _doc = files
+    source_xsd = tmp_path / "classes.xsd"
+    source_xsd.write_text(dtd_to_xsd(load_schema(
+        source_path.read_text())))
+    target_xsd = tmp_path / "school.xsd"
+    target_xsd.write_text(dtd_to_xsd(load_schema(
+        target_path.read_text())))
+
+    sigma_dtd = tmp / "sigma-dtd.json"
+    sigma_xsd = tmp_path / "sigma-xsd.json"
+    assert main(["embed", str(source_path), str(target_path),
+                 "--out", str(sigma_dtd), "--seed", "1"]) == 0
+    assert main(["embed", "--format", "xsd", str(source_xsd),
+                 str(target_xsd), "--out", str(sigma_xsd),
+                 "--seed", "1"]) == 0
+    assert sigma_dtd.read_text() == sigma_xsd.read_text()
+
+    store = tmp_path / "store"
+    assert main(["store", "build", str(store), str(source_xsd),
+                 str(target_xsd), str(sigma_xsd)]) == 0
+    capsys.readouterr()
+    assert main(["store", "inspect", str(store)]) == 0
+    text = capsys.readouterr().out
+    assert "format=xsd" in text and "source=sources/" in text
+    assert main(["store", "inspect", str(store), "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert {row["format"] for row in summary["schemas"]} == {"xsd"}
+    assert all(row["source"] for row in summary["schemas"])
+
+
+def test_cli_store_inspect_legacy_store_reads_as_dtd(files, tmp_path,
+                                                     capsys):
+    """Stores written before the frontend layer inspect as format=dtd."""
+    tmp, source_path, target_path, _doc = files
+    embedding_path = tmp / "sigma.json"
+    assert main(["embed", str(source_path), str(target_path),
+                 "--out", str(embedding_path), "--seed", "1"]) == 0
+    store = tmp_path / "store"
+    assert main(["store", "build", str(store), str(source_path),
+                 str(target_path), str(embedding_path)]) == 0
+    manifest_path = store / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    for entry in manifest["schemas"].values():
+        entry.pop("format", None)
+        entry.pop("source", None)
+    manifest_path.write_text(json.dumps(manifest))
+    capsys.readouterr()
+    assert main(["store", "inspect", str(store)]) == 0
+    text = capsys.readouterr().out
+    assert "format=dtd" in text and "source=none" in text
+
+
 def test_cli_batch_map_isolates_corpus_level_failures(files, tmp_path,
                                                       capsys):
     """A missing corpus path is reported and the rest keeps serving."""

@@ -9,65 +9,65 @@ from repro.dtd.consistency import (
     remove_useless_types,
 )
 from repro.dtd.model import Empty, SchemaError, Star
-from repro.dtd.parser import parse_compact
+from repro.schema import load_schema
 
 
 def test_fully_consistent_schema():
-    dtd = parse_compact("r -> a*\na -> b + eps\nb -> str")
+    dtd = load_schema("r -> a*\na -> b + eps\nb -> str")
     assert is_consistent(dtd)
     assert consistent_types(dtd) == {"r", "a", "b"}
 
 
 def test_unproductive_type_detected():
     # 'loop' can never derive a finite tree: loop -> loop.
-    dtd = parse_compact("r -> a + b\na -> str\nb -> loop\nloop -> loop")
+    dtd = load_schema("r -> a + b\na -> str\nb -> loop\nloop -> loop")
     assert productive_types(dtd) == {"r", "a"}
     assert consistent_types(dtd) == {"r", "a"}
     assert not is_consistent(dtd)
 
 
 def test_unreachable_type_detected():
-    dtd = parse_compact("r -> a\na -> str\nisland -> str")
+    dtd = load_schema("r -> a\na -> str\nisland -> str")
     assert consistent_types(dtd) == {"r", "a"}
 
 
 def test_reachability_must_pass_productive_parents():
     # 'c' is only reachable through unproductive 'b'.
-    dtd = parse_compact("r -> a + b\na -> str\nb -> b2\nb2 -> b, c\nc -> str")
+    dtd = load_schema("r -> a + b\na -> str\nb -> b2\nb2 -> b, c\nc -> str")
     assert "c" not in consistent_types(dtd)
 
 
 def test_remove_useless_drops_disjunction_alternative():
-    dtd = parse_compact("r -> a + b\na -> str\nb -> loop\nloop -> loop")
+    dtd = load_schema("r -> a + b\na -> str\nb -> loop\nloop -> loop")
     cleaned = remove_useless_types(dtd)
     assert set(cleaned.types) == {"r", "a"}
     assert cleaned.production("r").children == ("a",)
 
 
 def test_remove_useless_star_child_becomes_empty():
-    dtd = parse_compact("r -> x\nx -> loop*\nloop -> loop")
+    dtd = load_schema("r -> x\nx -> loop*\nloop -> loop")
     cleaned = remove_useless_types(dtd)
     assert isinstance(cleaned.production("x"), Empty)
 
 
 def test_remove_useless_noop_on_consistent():
-    dtd = parse_compact("r -> a\na -> str")
+    dtd = load_schema("r -> a\na -> str")
     assert remove_useless_types(dtd) is dtd
 
 
 def test_remove_useless_rejects_empty_language():
-    dtd = parse_compact("r -> r2\nr2 -> r")
+    dtd = load_schema("r -> r2\nr2 -> r")
     with pytest.raises(SchemaError):
         remove_useless_types(dtd)
 
 
 def test_star_is_always_productive():
-    dtd = parse_compact("r -> loop2*\nloop2 -> loop2")
+    dtd = load_schema("r -> loop2*\nloop2 -> loop2")
     # r itself is productive (zero children) even though loop2 is not.
     assert "r" in productive_types(dtd)
     assert "loop2" not in productive_types(dtd)
 
 
 def test_optional_disjunction_is_productive():
-    dtd = parse_compact("r -> a\na -> loop + eps\nloop -> loop")
+    dtd = load_schema("r -> a\na -> loop + eps\nloop -> loop")
     assert "a" in productive_types(dtd)

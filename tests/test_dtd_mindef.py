@@ -4,25 +4,25 @@ import pytest
 
 from repro.dtd.mindef import DEFAULT_STRING, MinDef, mindef_tree
 from repro.dtd.model import SchemaError
-from repro.dtd.parser import parse_compact
+from repro.schema import load_schema
 from repro.dtd.validate import conforms
 from repro.workloads.library import school_example
 from repro.xtree.serialize import to_string
 
 
 def test_str_mindef_is_hash_s():
-    dtd = parse_compact("a -> str")
+    dtd = load_schema("a -> str")
     assert to_string(mindef_tree(dtd, "a"), indent=None) == \
         f"<a>{DEFAULT_STRING}</a>"
 
 
 def test_star_mindef_is_childless():
-    dtd = parse_compact("a -> b*\nb -> str")
+    dtd = load_schema("a -> b*\nb -> str")
     assert to_string(mindef_tree(dtd, "a"), indent=None) == "<a/>"
 
 
 def test_concat_mindef_has_all_children():
-    dtd = parse_compact("a -> b, c\nb -> str\nc -> d*\nd -> str")
+    dtd = load_schema("a -> b, c\nb -> str\nc -> d*\nd -> str")
     assert to_string(mindef_tree(dtd, "a"), indent=None) == \
         "<a><b>#s</b><c/></a>"
 
@@ -54,14 +54,14 @@ def test_example_4_3_mindef_prereq():
 
 
 def test_optional_disjunction_defaults_to_epsilon():
-    dtd = parse_compact("a -> b + eps\nb -> str")
+    dtd = load_schema("a -> b + eps\nb -> str")
     mindef = MinDef(dtd)
     assert mindef.default_choice["a"] is None
     assert to_string(mindef.template("a"), indent=None) == "<a/>"
 
 
 def test_disjunction_skips_unproductive_alternative():
-    dtd = parse_compact("r -> a\na -> zz + b\nb -> str\nzz -> zz")
+    dtd = load_schema("r -> a\na -> zz + b\nb -> str\nzz -> zz")
     # 'zz' never reaches rank 0; the DTD is inconsistent overall.
     with pytest.raises(SchemaError):
         MinDef(dtd)
@@ -72,7 +72,7 @@ def test_disjunction_skips_unproductive_alternative():
 
 
 def test_recursive_schema_mindef_terminates():
-    dtd = parse_compact("r -> a\na -> r + b\nb -> str")
+    dtd = load_schema("r -> a\na -> r + b\nb -> str")
     mindef = MinDef(dtd)
     assert to_string(mindef.template("a"), indent=None) == "<a><b>#s</b></a>"
 
@@ -89,7 +89,7 @@ def test_mindef_conforms_to_schema():
 
 
 def test_instance_returns_fresh_ids():
-    dtd = parse_compact("a -> b\nb -> str")
+    dtd = load_schema("a -> b\nb -> str")
     mindef = MinDef(dtd)
     first, second = mindef.instance("a"), mindef.instance("a")
     assert first.node_id != second.node_id
@@ -102,5 +102,5 @@ def test_rank_zero_everywhere_on_consistent_schema():
 
 
 def test_mindef_size():
-    dtd = parse_compact("a -> b, c\nb -> str\nc -> str")
+    dtd = load_schema("a -> b, c\nb -> str\nc -> str")
     assert MinDef(dtd).size("a") == 5

@@ -14,7 +14,7 @@ from repro.dtd.model import (
     Str,
     make_dtd,
 )
-from repro.dtd.parser import parse_compact
+from repro.schema import load_schema
 
 
 def test_production_shapes():
@@ -63,7 +63,7 @@ def test_undefined_root_rejected():
 
 
 def test_edges_and_kinds():
-    dtd = parse_compact("""
+    dtd = load_schema("""
         r -> a, b, a
         a -> c + d
         b -> e*
@@ -83,32 +83,32 @@ def test_edges_and_kinds():
 
 
 def test_all_edges_count():
-    dtd = parse_compact("r -> a, b\na -> str\nb -> str")
+    dtd = load_schema("r -> a, b\na -> str\nb -> str")
     assert len(list(dtd.all_edges())) == 2
 
 
 def test_recursive_detection():
-    flat = parse_compact("r -> a\na -> str")
+    flat = load_schema("r -> a\na -> str")
     assert not flat.is_recursive()
-    loop = parse_compact("r -> a\na -> r + eps")
+    loop = load_schema("r -> a\na -> r + eps")
     assert loop.is_recursive()
-    self_loop = parse_compact("r -> r*")
+    self_loop = load_schema("r -> r*")
     assert self_loop.is_recursive()
 
 
 def test_reachable_types():
-    dtd = parse_compact("r -> a\na -> str\nzzz -> str", root="r")
+    dtd = load_schema("r -> a\na -> str\nzzz -> str", root="r")
     assert dtd.reachable_types() == {"r", "a"}
 
 
 def test_size_counts_types_and_productions():
-    dtd = parse_compact("r -> a, b\na -> str\nb -> eps")
+    dtd = load_schema("r -> a, b\na -> str\nb -> eps")
     # 3 types + concat(2) + str(1) + eps(0)
     assert dtd.size() == 6
 
 
 def test_renamed():
-    dtd = parse_compact("r -> a, a\na -> b + eps\nb -> str")
+    dtd = load_schema("r -> a, a\na -> b + eps\nb -> str")
     renamed = dtd.renamed({"a": "x", "r": "root"})
     assert renamed.root == "root"
     assert renamed.production("root") == Concat(("x", "x"))
@@ -116,13 +116,13 @@ def test_renamed():
 
 
 def test_renamed_must_not_merge():
-    dtd = parse_compact("r -> a, b\na -> str\nb -> str")
+    dtd = load_schema("r -> a, b\na -> str\nb -> str")
     with pytest.raises(SchemaError):
         dtd.renamed({"a": "b"})
 
 
 def test_with_production():
-    dtd = parse_compact("r -> a\na -> str")
+    dtd = load_schema("r -> a\na -> str")
     updated = dtd.with_production("a", Empty())
     assert isinstance(updated.production("a"), Empty)
     assert isinstance(dtd.production("a"), Str)  # original untouched

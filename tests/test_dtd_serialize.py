@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.dtd.parser import parse_compact, parse_dtd
+from repro.schema import load_schema
 from repro.dtd.serialize import dtd_to_compact, dtd_to_text
 from repro.workloads.library import SCHEMA_LIBRARY, school_example
 from repro.workloads.synthetic import random_dtd
@@ -17,20 +17,20 @@ def _equivalent(a, b) -> bool:
 
 def test_school_roundtrip_text():
     school = school_example().school
-    rebuilt = parse_dtd(dtd_to_text(school), root=school.root)
+    rebuilt = load_schema(dtd_to_text(school), root=school.root)
     assert _equivalent(school, rebuilt)
 
 
 def test_school_roundtrip_compact():
     school = school_example().school
-    rebuilt = parse_compact(dtd_to_compact(school), root=school.root)
+    rebuilt = load_schema(dtd_to_compact(school), root=school.root)
     assert _equivalent(school, rebuilt)
 
 
 def test_library_roundtrips():
     for name, factory in SCHEMA_LIBRARY.items():
         dtd = factory()
-        rebuilt = parse_dtd(dtd_to_text(dtd), root=dtd.root)
+        rebuilt = load_schema(dtd_to_text(dtd), root=dtd.root)
         assert _equivalent(dtd, rebuilt), name
 
 
@@ -38,21 +38,21 @@ def test_library_roundtrips():
 @settings(max_examples=40, deadline=None)
 def test_random_dtd_roundtrip(size, seed, recursive_p):
     dtd = random_dtd(size, seed=seed, recursive_p=recursive_p)
-    rebuilt = parse_dtd(dtd_to_text(dtd), root=dtd.root)
+    rebuilt = load_schema(dtd_to_text(dtd), root=dtd.root)
     assert _equivalent(dtd, rebuilt)
-    rebuilt_compact = parse_compact(dtd_to_compact(dtd), root=dtd.root)
+    rebuilt_compact = load_schema(dtd_to_compact(dtd), root=dtd.root)
     assert _equivalent(dtd, rebuilt_compact)
 
 
 def test_optional_disjunction_rendering():
-    dtd = parse_compact("a -> b + eps\nb -> str")
+    dtd = load_schema("a -> b + eps\nb -> str")
     text = dtd_to_text(dtd)
     assert "(b)?" in text
-    rebuilt = parse_dtd(text)
+    rebuilt = load_schema(text)
     assert rebuilt.production("a").optional
 
 
 def test_repeated_children_rendering():
-    dtd = parse_compact("a -> b, b\nb -> str")
-    rebuilt = parse_dtd(dtd_to_text(dtd))
+    dtd = load_schema("a -> b, b\nb -> str")
+    rebuilt = load_schema(dtd_to_text(dtd))
     assert rebuilt.production("a").children == ("b", "b")

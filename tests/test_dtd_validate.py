@@ -2,12 +2,12 @@
 
 import pytest
 
-from repro.dtd.parser import parse_compact
+from repro.schema import load_schema
 from repro.dtd.validate import ConformanceError, conforms, validate
 from repro.xtree.nodes import elem
 from repro.xtree.parser import parse_xml
 
-DTD = parse_compact("""
+DTD = load_schema("""
     db -> rec*
     rec -> k, v, opt
     k -> str
@@ -87,7 +87,7 @@ def test_empty_production_rejects_children():
 
 
 def test_disjunction_rejects_two_children():
-    dtd = parse_compact("a -> b + c\nb -> eps\nc -> eps")
+    dtd = load_schema("a -> b + c\nb -> eps\nc -> eps")
     doc = elem("a", elem("b"), elem("c"))
     assert not conforms(doc, dtd)
 

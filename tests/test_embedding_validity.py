@@ -5,7 +5,7 @@ import pytest
 from repro.core.embedding import STR_KEY, SchemaEmbedding, build_embedding
 from repro.core.errors import EmbeddingError, ViolationCode
 from repro.core.similarity import SimilarityMatrix
-from repro.dtd.parser import parse_compact
+from repro.schema import load_schema
 
 
 def _codes(embedding, att=None):
@@ -23,31 +23,31 @@ def test_school_sigma2_valid(school):
 
 
 def test_missing_path_detected():
-    source = parse_compact("a -> b\nb -> str")
-    target = parse_compact("x -> y\ny -> str")
+    source = load_schema("a -> b\nb -> str")
+    target = load_schema("x -> y\ny -> str")
     embedding = build_embedding(source, target, {"a": "x", "b": "y"},
                                 {("a", "b"): "y"})
     assert ViolationCode.MISSING_PATH in _codes(embedding)  # b's text path
 
 
 def test_root_must_map_to_root():
-    source = parse_compact("a -> b\nb -> str")
-    target = parse_compact("x -> y\ny -> str")
+    source = load_schema("a -> b\nb -> str")
+    target = load_schema("x -> y\ny -> str")
     embedding = build_embedding(source, target, {"a": "y", "b": "y"},
                                 {("a", "b"): "y", ("b", "str"): "text()"})
     assert ViolationCode.BAD_ROOT in _codes(embedding)
 
 
 def test_lambda_total():
-    source = parse_compact("a -> b\nb -> str")
-    target = parse_compact("x -> y\ny -> str")
+    source = load_schema("a -> b\nb -> str")
+    target = load_schema("x -> y\ny -> str")
     embedding = SchemaEmbedding(source, target, {"a": "x"}, {})
     assert ViolationCode.LAMBDA_MISSING in _codes(embedding)
 
 
 def test_att_validity_threshold():
-    source = parse_compact("a -> b\nb -> str")
-    target = parse_compact("x -> y\ny -> str")
+    source = load_schema("a -> b\nb -> str")
+    target = load_schema("x -> y\ny -> str")
     embedding = build_embedding(source, target, {"a": "x", "b": "y"},
                                 {("a", "b"): "y", ("b", "str"): "text()"})
     att = SimilarityMatrix()      # all zeros
@@ -59,8 +59,8 @@ def test_att_validity_threshold():
 
 def test_and_edge_needs_and_path():
     """Fig. 3(a): concatenation onto disjunction is invalid."""
-    source = parse_compact("a -> b, c\nb -> str\nc -> str")
-    target = parse_compact("x -> y + z\ny -> str\nz -> str")
+    source = load_schema("a -> b, c\nb -> str\nc -> str")
+    target = load_schema("x -> y + z\ny -> str\nz -> str")
     embedding = build_embedding(
         source, target, {"a": "x", "b": "y", "c": "z"},
         {("a", "b"): "y", ("a", "c"): "z",
@@ -70,8 +70,8 @@ def test_and_edge_needs_and_path():
 
 def test_star_edge_needs_star_path():
     """Fig. 3(b): star onto a single child is invalid."""
-    source = parse_compact("a -> b*\nb -> str")
-    target = parse_compact("x -> y\ny -> str")
+    source = load_schema("a -> b*\nb -> str")
+    target = load_schema("x -> y\ny -> str")
     embedding = build_embedding(source, target, {"a": "x", "b": "y"},
                                 {("a", "b"): "y", ("b", "str"): "text()"})
     assert ViolationCode.NOT_STAR_PATH in _codes(embedding)
@@ -79,8 +79,8 @@ def test_star_edge_needs_star_path():
 
 def test_prefix_conflict_detected():
     """Fig. 3(d): path(A,B) a prefix of path(A,C)."""
-    source = parse_compact("a -> b, c\nb -> str\nc -> str")
-    target = parse_compact("x -> y\ny -> z\nz -> str")
+    source = load_schema("a -> b, c\nb -> str\nc -> str")
+    target = load_schema("x -> y\ny -> z\nz -> str")
     embedding = build_embedding(
         source, target, {"a": "x", "b": "y", "c": "z"},
         {("a", "b"): "y", ("a", "c"): "y/z",
@@ -89,8 +89,8 @@ def test_prefix_conflict_detected():
 
 
 def test_equal_paths_are_prefix_conflict():
-    source = parse_compact("a -> b, c\nb -> str\nc -> str")
-    target = parse_compact("x -> y, z\ny -> str\nz -> str")
+    source = load_schema("a -> b, c\nb -> str\nc -> str")
+    target = load_schema("x -> y, z\ny -> str\nz -> str")
     embedding = build_embedding(
         source, target, {"a": "x", "b": "y", "c": "y"},
         {("a", "b"): "y", ("a", "c"): "y",
@@ -101,8 +101,8 @@ def test_equal_paths_are_prefix_conflict():
 def test_or_divergence_refinement_r1():
     """Two OR paths sharing the OR edge but diverging on AND edges are
     rejected (mindef padding would fake the absent alternative)."""
-    source = parse_compact("a -> b + c\nb -> str\nc -> str")
-    target = parse_compact("x -> w + v\nw -> y, z\nv -> str\n"
+    source = load_schema("a -> b + c\nb -> str\nc -> str")
+    target = load_schema("x -> w + v\nw -> y, z\nv -> str\n"
                            "y -> str\nz -> str")
     embedding = build_embedding(
         source, target, {"a": "x", "b": "y", "c": "z"},
@@ -112,8 +112,8 @@ def test_or_divergence_refinement_r1():
 
 
 def test_or_divergence_valid_when_alternatives_differ():
-    source = parse_compact("a -> b + c\nb -> str\nc -> str")
-    target = parse_compact("x -> w + v\nw -> y\nv -> z\ny -> str\nz -> str")
+    source = load_schema("a -> b + c\nb -> str\nc -> str")
+    target = load_schema("x -> w + v\nw -> y\nv -> z\ny -> str\nz -> str")
     embedding = build_embedding(
         source, target, {"a": "x", "b": "y", "c": "z"},
         {("a", "b"): "w/y", ("a", "c"): "v/z",
@@ -124,17 +124,17 @@ def test_or_divergence_valid_when_alternatives_differ():
 def test_optional_signalling_refinement_r2():
     """An optional alternative whose path appears in the default
     completion of λ(A) is rejected."""
-    source = parse_compact("a -> b + eps\nb -> str")
+    source = load_schema("a -> b + eps\nb -> str")
     # Target disjunction is NOT optional: mindef picks an alternative,
     # and the only alternative is the path itself.
-    target = parse_compact("x -> y + z\ny -> str\nz -> str")
+    target = load_schema("x -> y + z\ny -> str\nz -> str")
     embedding = build_embedding(
         source, target, {"a": "x", "b": "y"},
         {("a", "b"): "y", ("b", "str"): "text()"})
     assert ViolationCode.OPTIONAL_SIGNAL in _codes(embedding)
     # With an alphabetically-earlier junk alternative, mindef picks the
     # junk and the signal is unambiguous.
-    target2 = parse_compact("x -> a0pad + y\na0pad -> eps\ny -> str")
+    target2 = load_schema("x -> a0pad + y\na0pad -> eps\ny -> str")
     embedding2 = build_embedding(
         source, target2, {"a": "x", "b": "y"},
         {("a", "b"): "y", ("b", "str"): "text()"})
@@ -142,8 +142,8 @@ def test_optional_signalling_refinement_r2():
 
 
 def test_wrong_endpoint_detected():
-    source = parse_compact("a -> b\nb -> str")
-    target = parse_compact("x -> y, z\ny -> str\nz -> str")
+    source = load_schema("a -> b\nb -> str")
+    target = load_schema("x -> y, z\ny -> str\nz -> str")
     embedding = build_embedding(
         source, target, {"a": "x", "b": "y"},
         {("a", "b"): "z", ("b", "str"): "text()"})
@@ -153,8 +153,8 @@ def test_wrong_endpoint_detected():
 def test_empty_path_rejected():
     from repro.xpath.paths import XRPath
 
-    source = parse_compact("a -> b\nb -> str")
-    target = parse_compact("x -> y\ny -> str")
+    source = load_schema("a -> b\nb -> str")
+    target = load_schema("x -> y\ny -> str")
     embedding = SchemaEmbedding(
         source, target, {"a": "x", "b": "y"},
         {("a", "b", 1): XRPath(()),
@@ -163,8 +163,8 @@ def test_empty_path_rejected():
 
 
 def test_text_path_must_end_in_text():
-    source = parse_compact("a -> b\nb -> str")
-    target = parse_compact("x -> y\ny -> str")
+    source = load_schema("a -> b\nb -> str")
+    target = load_schema("x -> y\ny -> str")
     embedding = build_embedding(
         source, target, {"a": "x", "b": "y"},
         {("a", "b"): "y", ("b", "str"): XRPathNoText()})
@@ -178,8 +178,8 @@ def XRPathNoText():
 
 
 def test_check_raises_with_all_violations():
-    source = parse_compact("a -> b*\nb -> str")
-    target = parse_compact("x -> y\ny -> str")
+    source = load_schema("a -> b*\nb -> str")
+    target = load_schema("x -> y\ny -> str")
     embedding = build_embedding(source, target, {"a": "x", "b": "y"},
                                 {("a", "b"): "y", ("b", "str"): "text()"})
     with pytest.raises(EmbeddingError) as err:
@@ -199,8 +199,8 @@ def test_size_metric(school):
 
 def test_repeated_children_share_paths_via_positions():
     """Fig. 3(c): two source types onto one target type."""
-    source = parse_compact("a -> b, c\nb -> str\nc -> str")
-    target = parse_compact("x -> y, y\ny -> str")
+    source = load_schema("a -> b, c\nb -> str\nc -> str")
+    target = load_schema("x -> y, y\ny -> str")
     embedding = build_embedding(
         source, target, {"a": "x", "b": "y", "c": "y"},
         {("a", "b"): "y[position()=1]", ("a", "c"): "y[position()=2]",

@@ -24,7 +24,7 @@ from repro.core.similarity import SimilarityMatrix
 from repro.core.translate import Translator, translate_query
 from repro.dtd.generate import InstanceGenerator
 from repro.dtd.model import Star, make_dtd
-from repro.dtd.parser import parse_compact
+from repro.schema import load_schema
 from repro.engine import Engine, EngineConfig, default_engine, \
     set_default_engine
 from repro.matching.search import find_embedding
@@ -57,11 +57,11 @@ def test_dtd_hashable_and_fingerprint_stable(school):
     assert school.classes.fingerprint() == school.classes.fingerprint()
     # Equal content parsed twice -> equal fingerprint and hash.
     text = "a -> b, c\nb -> str\nc -> d*\nd -> str"
-    first, second = parse_compact(text), parse_compact(text)
+    first, second = load_schema(text), load_schema(text)
     assert first.fingerprint() == second.fingerprint()
     assert hash(first) == hash(second)
     # The display name is not content.
-    renamed = parse_compact(text, name="other")
+    renamed = load_schema(text, name="other")
     assert renamed.fingerprint() == first.fingerprint()
     # A changed production is a different fingerprint.
     changed = first.with_production("c", Star("b"))
@@ -150,8 +150,8 @@ def test_compile_schema_hits_for_equal_content(engine, school):
     assert engine.schema_stats.hits == 1
     # A rebuilt equal schema (fresh object) also hits.
     rebuilt_text = "a -> b*\nb -> str"
-    one = engine.compile_schema(parse_compact(rebuilt_text))
-    two = engine.compile_schema(parse_compact(rebuilt_text))
+    one = engine.compile_schema(load_schema(rebuilt_text))
+    two = engine.compile_schema(load_schema(rebuilt_text))
     assert one is two
 
 

@@ -7,7 +7,7 @@ from repro.core.embedding import build_embedding
 from repro.core.instmap import InstMap
 from repro.core.naive import naive_translate
 from repro.core.translate import translate_query
-from repro.dtd.parser import parse_compact
+from repro.schema import load_schema
 from repro.xpath.evaluator import evaluate_set
 from repro.xpath.parser import parse_xr
 from repro.xtree.parser import parse_xml
@@ -21,13 +21,13 @@ def fig7():
     setup where "simply substituting path(Y,X) for (Y,X)" looks like it
     should work.
     """
-    source = parse_compact("""
+    source = load_schema("""
         r -> A, B
         A -> C
         B -> eps
         C -> eps
     """, name="fig7-src")
-    target = parse_compact("""
+    target = load_schema("""
         r -> A, B
         A -> C
         B -> C

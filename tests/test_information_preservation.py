@@ -143,11 +143,11 @@ def test_strict_inverse_flags_padding_confusion():
     still reconstructs correctly because OR divergence (R1) pins the
     choice structurally, not by value."""
     from repro.core.embedding import build_embedding
-    from repro.dtd.parser import parse_compact
+    from repro.schema import load_schema
     from repro.xtree.parser import parse_xml
 
-    source = parse_compact("a -> b + c\nb -> str\nc -> str")
-    target = parse_compact(
+    source = load_schema("a -> b + c\nb -> str\nc -> str")
+    target = load_schema(
         "x -> w + v\nw -> y\nv -> z\ny -> str\nz -> str")
     embedding = build_embedding(
         source, target, {"a": "x", "b": "y", "c": "z"},

@@ -6,7 +6,7 @@ from repro.core.embedding import build_embedding
 from repro.core.errors import EmbeddingError
 from repro.core.instmap import InstMap, apply_embedding
 from repro.dtd.generate import random_instance
-from repro.dtd.parser import parse_compact
+from repro.schema import load_schema
 from repro.dtd.validate import conforms, validate
 from repro.xtree.nodes import elem, tree_size
 from repro.xtree.parser import parse_xml
@@ -107,8 +107,8 @@ def test_empty_star_produces_empty_carrier(school):
 
 
 def test_invalid_embedding_rejected_at_compile_time():
-    source = parse_compact("a -> b*\nb -> str")
-    target = parse_compact("x -> y\ny -> str")
+    source = load_schema("a -> b*\nb -> str")
+    target = load_schema("x -> y\ny -> str")
     embedding = build_embedding(source, target, {"a": "x", "b": "y"},
                                 {("a", "b"): "y", ("b", "str"): "text()"})
     with pytest.raises(EmbeddingError):
@@ -169,8 +169,8 @@ def test_disjunction_conflict_raises():
     from repro.core.embedding import SchemaEmbedding
     from repro.xpath.paths import XRPath
 
-    source = parse_compact("a -> b, c\nb -> str\nc -> str")
-    target = parse_compact("x -> w\nw -> y + z\ny -> str\nz -> str")
+    source = load_schema("a -> b, c\nb -> str\nc -> str")
+    target = load_schema("x -> w\nw -> y + z\ny -> str\nz -> str")
     # Invalid on purpose: AND edges onto OR paths.
     embedding = SchemaEmbedding(
         source, target, {"a": "x", "b": "y", "c": "z"},
@@ -186,8 +186,8 @@ def test_disjunction_conflict_raises():
 # -- empty PCDATA end-to-end (the "<a></a>" under A -> str contract) ---------
 
 def _str_bundle():
-    source = parse_compact("a -> str")
-    target = parse_compact("x -> wrap\nwrap -> str", name="t")
+    source = load_schema("a -> str")
+    target = load_schema("x -> wrap\nwrap -> str", name="t")
     sigma = build_embedding(source, target, {"a": "x"},
                             {("a", "str"): "wrap/text()"})
     return source, target, sigma
@@ -228,8 +228,8 @@ def test_str_with_element_child_raises_embedding_error():
 def test_undeclared_instance_edge_raises_embedding_error():
     """A document with children the schema never declared must surface
     as EmbeddingError (malformed corpus input), not a raw KeyError."""
-    source = parse_compact("a -> b\nb -> str")
-    target = parse_compact("x -> y\ny -> str", name="t")
+    source = load_schema("a -> b\nb -> str")
+    target = load_schema("x -> y\ny -> str", name="t")
     sigma = build_embedding(source, target, {"a": "x", "b": "y"},
                             {("a", "b"): "y", ("b", "str"): "text()"})
     instmap = InstMap(sigma)
@@ -239,8 +239,8 @@ def test_undeclared_instance_edge_raises_embedding_error():
 
 def test_undeclared_element_type_raises_embedding_error():
     """An element type λ never covers must not leak a raw KeyError."""
-    source = parse_compact("db -> item*\nitem -> str")
-    target = parse_compact("shop -> entry*\nentry -> str", name="t")
+    source = load_schema("db -> item*\nitem -> str")
+    target = load_schema("shop -> entry*\nentry -> str", name="t")
     sigma = build_embedding(source, target, {"db": "shop", "item": "entry"},
                             {("db", "item"): "entry",
                              ("item", "str"): "text()"})

@@ -75,9 +75,9 @@ def test_prefix_free_assign_basic():
 
 def test_prefix_free_assign_conflicting_targets():
     """Two requests to the same end need positions or distinct routes."""
-    from repro.dtd.parser import parse_compact
+    from repro.schema import load_schema
 
-    target = parse_compact("x -> y, y\ny -> str")
+    target = load_schema("x -> y, y\ny -> str")
     requests = [PathRequest(PathKind.AND, "y"),
                 PathRequest(PathKind.AND, "y")]
     paths = prefix_free_assign(target, "x", requests)
@@ -86,9 +86,9 @@ def test_prefix_free_assign_conflicting_targets():
 
 
 def test_prefix_free_assign_impossible():
-    from repro.dtd.parser import parse_compact
+    from repro.schema import load_schema
 
-    target = parse_compact("x -> y\ny -> str")
+    target = load_schema("x -> y\ny -> str")
     requests = [PathRequest(PathKind.AND, "y"),
                 PathRequest(PathKind.AND, "y")]
     assert prefix_free_assign(target, "x", requests) is None
@@ -174,10 +174,10 @@ def test_search_unknown_method_rejected():
 
 def test_search_failure_reported():
     """A target that cannot host the source at all."""
-    from repro.dtd.parser import parse_compact
+    from repro.schema import load_schema
 
-    source = parse_compact("a -> b*\nb -> str")
-    target = parse_compact("x -> y\ny -> str")   # no star anywhere
+    source = load_schema("a -> b*\nb -> str")
+    target = load_schema("x -> y\ny -> str")   # no star anywhere
     result = find_embedding(source, target, method="auto", restarts=5)
     assert not result.found
     assert result.embedding is None

@@ -43,9 +43,9 @@ def test_project_disjunction_becomes_optional(school):
 
 
 def test_project_star_child_empties():
-    from repro.dtd.parser import parse_compact
+    from repro.schema import load_schema
 
-    dtd = parse_compact("r -> x, k\nx -> y*\ny -> str\nk -> str")
+    dtd = load_schema("r -> x, k\nx -> y*\ny -> str\nk -> str")
     projection = project_dtd(dtd, ["y"])
     assert isinstance(projection.projected.production("x"), Empty)
 

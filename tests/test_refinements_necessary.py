@@ -11,7 +11,7 @@ from repro.core.embedding import SchemaEmbedding
 from repro.core.errors import InverseError, ViolationCode
 from repro.core.instmap import InstMap
 from repro.core.inverse import invert
-from repro.dtd.parser import parse_compact
+from repro.schema import load_schema
 from repro.dtd.validate import conforms
 from repro.xpath.paths import XRPath
 from repro.xtree.nodes import tree_equal
@@ -22,8 +22,8 @@ def _r1_violating_embedding():
     """Two OR paths sharing the OR edge, diverging on AND edges:
     prefix-free and OR-typed (the paper's letter), but the absent
     alternative's path is faked by mindef padding."""
-    source = parse_compact("a -> b + c\nb -> str\nc -> str")
-    target = parse_compact(
+    source = load_schema("a -> b + c\nb -> str\nc -> str")
+    target = load_schema(
         "x -> w + v\nw -> y, z\nv -> str\ny -> str\nz -> str")
     return SchemaEmbedding(
         source, target, {"a": "x", "b": "y", "c": "z"},
@@ -64,8 +64,8 @@ def test_r1_violation_loses_information():
 def _r2_violating_embedding():
     """An optional alternative whose path coincides with the target's
     default completion: presence and absence look identical."""
-    source = parse_compact("a -> b + eps\nb -> str")
-    target = parse_compact("x -> y + z\ny -> str\nz -> str")
+    source = load_schema("a -> b + eps\nb -> str")
+    target = load_schema("x -> y + z\ny -> str\nz -> str")
     return SchemaEmbedding(
         source, target, {"a": "x", "b": "y"},
         {("a", "b", 1): XRPath.parse("y"),
@@ -108,8 +108,8 @@ def test_r3_unpinned_star_detected(school):
 
 def test_r4_star_path_shape_detected():
     """R4: a STAR path needs exactly one unpinned carrier."""
-    source = parse_compact("a -> b*\nb -> str")
-    target = parse_compact("x -> s\ns -> i*\ni -> j*\nj -> str")
+    source = load_schema("a -> b*\nb -> str")
+    target = load_schema("x -> s\ns -> i*\ni -> j*\nj -> str")
     two_stars = SchemaEmbedding(
         source, target, {"a": "x", "b": "j"},
         {("a", "b", 1): XRPath.parse("s/i/j"),

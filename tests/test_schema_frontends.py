@@ -1,0 +1,368 @@
+"""Frontend parity: one grammar, many formats, byte-identical results.
+
+The contract under test (ISSUE 4): the same grammar expressed as DTD
+declarations, compact productions or an XSD-subset document lowers to
+the *same* normalized IR — identical fingerprints, identical compiled
+artifacts, identical Engine outputs and identical serve responses —
+and no format can be distinguished downstream of the frontend layer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.embedding import build_embedding
+from repro.dtd.serialize import dtd_to_compact, dtd_to_text
+from repro.engine import ArtifactStore, Engine
+from repro.schema import (
+    SchemaFormatError,
+    XSDParseError,
+    available_formats,
+    detect_format,
+    dtd_to_xsd,
+    load_schema,
+    register_frontend,
+)
+from repro.serve import (
+    ProtocolError,
+    ReproServer,
+    ServeClient,
+    ServeError,
+    ServiceState,
+)
+from repro.workloads.library import SCHEMA_LIBRARY, school_example
+from repro.xtree.parser import parse_xml
+from repro.xtree.serialize import to_string
+
+FORMATS = ("dtd", "compact", "xsd")
+
+DOC = ("<db><class><cno>CS331</cno><title>DB</title>"
+       "<type><project>p1</project></type></class></db>")
+
+
+def renderings(dtd) -> dict[str, str]:
+    """One schema spelled in every frontend format."""
+    return {"dtd": dtd_to_text(dtd), "compact": dtd_to_compact(dtd),
+            "xsd": dtd_to_xsd(dtd)}
+
+
+@pytest.fixture(scope="module")
+def school():
+    return school_example()
+
+
+# -- fingerprints -------------------------------------------------------------
+
+def test_formats_registered():
+    assert set(available_formats()) == set(FORMATS)
+
+
+def test_fig1_fingerprint_parity_all_three_schemas(school):
+    """Fig. 1(a)/(b)/(c) in all three formats: one fingerprint each."""
+    for dtd in (school.classes, school.students, school.school):
+        fingerprints = set()
+        for format, text in renderings(dtd).items():
+            assert detect_format(text) == format
+            parsed = load_schema(text)  # auto-detection path
+            assert parsed.fingerprint() == \
+                load_schema(text, format=format).fingerprint()
+            fingerprints.add(parsed.fingerprint())
+        assert fingerprints == {dtd.fingerprint()}
+
+
+def test_whole_library_xsd_roundtrip():
+    """Every workload schema survives DTD → XSD → IR bit-for-bit."""
+    for name, factory in SCHEMA_LIBRARY.items():
+        dtd = factory()
+        reparsed = load_schema(dtd_to_xsd(dtd), format="xsd")
+        assert reparsed.fingerprint() == \
+            load_schema(dtd_to_text(dtd)).fingerprint(), name
+
+
+def test_nested_content_models_match_dtd_fresh_types():
+    """Nested XSD groups produce the same generated fresh types as the
+    equivalent nested DTD content model."""
+    from_dtd = load_schema("""
+        <!ELEMENT a (b, (c | d)?, e+)>
+        <!ELEMENT b (#PCDATA)>
+        <!ELEMENT c (#PCDATA)>
+        <!ELEMENT d (#PCDATA)>
+        <!ELEMENT e (#PCDATA)>
+    """)
+    from_xsd = load_schema("""
+        <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="a"><xs:complexType><xs:sequence>
+            <xs:element ref="b"/>
+            <xs:choice minOccurs="0">
+              <xs:element ref="c"/><xs:element ref="d"/>
+            </xs:choice>
+            <xs:element ref="e" maxOccurs="unbounded"/>
+          </xs:sequence></xs:complexType></xs:element>
+          <xs:element name="b" type="xs:string"/>
+          <xs:element name="c" type="xs:string"/>
+          <xs:element name="d" type="xs:string"/>
+          <xs:element name="e" type="xs:string"/>
+        </xs:schema>
+    """)
+    assert "a.g1" in from_xsd.types  # the hoisted choice
+    assert from_dtd.fingerprint() == from_xsd.fingerprint()
+
+
+def test_inline_named_declarations_hoist_in_document_order():
+    inline = load_schema("""
+        <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="db"><xs:complexType><xs:sequence>
+            <xs:element name="rec" minOccurs="0" maxOccurs="unbounded">
+              <xs:complexType><xs:sequence>
+                <xs:element name="k" type="xs:string"/>
+                <xs:element name="v" type="xs:string"/>
+              </xs:sequence></xs:complexType>
+            </xs:element>
+          </xs:sequence></xs:complexType></xs:element>
+        </xs:schema>
+    """)
+    flat = load_schema("db -> rec*\nrec -> k, v\nk -> str\nv -> str")
+    assert inline.fingerprint() == flat.fingerprint()
+
+
+# -- the Engine boundary ------------------------------------------------------
+
+def _sigma1_over(source, target, school):
+    """Example 4.2's σ1 rebuilt over freshly parsed schemas."""
+    return build_embedding(source, target, dict(school.sigma1.lam),
+                           dict(school.sigma1.paths))
+
+
+def test_engine_parity_map_translate_invert(school):
+    """compile_schema(text, format=…) + the serving calls produce
+    byte-identical outputs whichever format carried the grammar."""
+    source_texts = renderings(school.classes)
+    target_texts = renderings(school.school)
+    outputs = {}
+    for format in FORMATS:
+        engine = Engine()
+        source = engine.compile_schema(source_texts[format],
+                                       format=format).dtd
+        target = engine.compile_schema(target_texts[format]).dtd  # auto
+        sigma = _sigma1_over(source, target, school)
+        mapped = engine.apply_embedding(sigma, parse_xml(DOC))
+        anfa = engine.translate_query(sigma, "class/cno/text()")
+        recovered = engine.invert(sigma, mapped.tree)
+        outputs[format] = (to_string(mapped.tree),
+                           anfa.canonical_describe(),
+                           to_string(recovered))
+    assert outputs["dtd"] == outputs["compact"] == outputs["xsd"]
+
+
+def test_engine_find_parity(school):
+    """find_embedding over text-loaded schemas: one cached artifact,
+    same embedding fingerprint, regardless of input format."""
+    results = {}
+    for format in FORMATS:
+        engine = Engine()
+        source = engine.load_schema(renderings(school.classes)[format],
+                                    format=format)
+        target = engine.load_schema(renderings(school.school)[format])
+        result = engine.find_embedding(source, target, method="quality",
+                                       seed=1)
+        assert result.embedding is not None
+        results[format] = result.embedding.fingerprint()
+    assert len(set(results.values())) == 1
+
+
+# -- the serve boundary -------------------------------------------------------
+
+def _store_for(tmp_path, format, school):
+    """A store built from one format's text, provenance included."""
+    engine = Engine()
+    source = engine.load_schema(renderings(school.classes)[format],
+                                format=format)
+    target = engine.load_schema(renderings(school.school)[format],
+                                format=format)
+    sigma = _sigma1_over(source, target, school)
+    engine.compile_embedding(sigma, ensure_valid=True)
+    return engine.save_store(tmp_path / f"store-{format}")
+
+
+def test_serve_parity_across_formats(tmp_path, school):
+    """Three daemons, each warm-started from a different format's
+    store: every /v1/* response is byte-identical."""
+    responses = {}
+    for format in FORMATS:
+        store = _store_for(tmp_path, format, school)
+        # Provenance survived into the store.
+        fp = school.classes.fingerprint()
+        assert store.schema_format(fp) == format
+        assert store.schema_source_text(fp) == \
+            renderings(school.classes)[format]
+        with ReproServer(store=store.root, port=0) as server:
+            client = ServeClient.for_server(server)
+            mapped = client.map(xml=DOC)
+            translated = client.translate(query="class/cno/text()")
+            inverted = client.invert(xml=mapped["result"]["output"])
+            found = client.find(
+                source=renderings(school.classes)[format],
+                target=renderings(school.school)[format],
+                format=format, method="quality", seed=1)
+            found.pop("seconds")  # wall clock, legitimately different
+        responses[format] = (mapped, translated, inverted, found)
+    assert responses["dtd"] == responses["compact"] == responses["xsd"]
+
+
+def test_serve_find_format_field_validation(school):
+    with ReproServer(embedding=school.sigma1, port=0) as server:
+        client = ServeClient.for_server(server)
+        with pytest.raises(ServeError) as excinfo:
+            client.find(source="db -> class*", target="x -> str",
+                        format="relaxng")
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "bad-format"
+        # A format that is known but wrong for the text: bad-schema.
+        with pytest.raises(ServeError) as excinfo:
+            client.find(source="db -> class*\nclass -> str",
+                        target="x -> str", format="xsd")
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "bad-schema"
+        # Undetectable inline text keeps the 404 unknown-schema shape.
+        with pytest.raises(ServeError) as excinfo:
+            client.find(source="deadbeef", target="x -> str")
+        assert excinfo.value.status == 404
+        assert excinfo.value.code == "unknown-schema"
+
+
+def test_unknown_fingerprint_is_404_even_with_default_format(school):
+    """`serve --format dtd` must not turn unknown fingerprints into
+    400 bad-schema: only recognisable text counts as inline."""
+    state = ServiceState.from_embedding(school.sigma1)
+    state.default_format = "dtd"
+    with pytest.raises(ProtocolError) as excinfo:
+        state.resolve_schema("deadbeef1234", "source")
+    assert excinfo.value.status == 404
+    assert excinfo.value.code == "unknown-schema"
+    # Recognisable text is parsed with the default format: compact
+    # productions under a dtd default fail as a *schema* error.
+    with pytest.raises(ProtocolError) as excinfo:
+        state.resolve_schema("a -> b\nb -> str", "source")
+    assert excinfo.value.status == 400
+    assert excinfo.value.code == "bad-schema"
+    # An explicit request format always wins over the server default:
+    # "auto" re-enables sniffing, a concrete format parses directly.
+    sniffed = state.resolve_schema("a -> b\nb -> str", "source",
+                                   format="auto")
+    assert sniffed.root == "a"
+    explicit = state.resolve_schema("a -> b\nb -> str", "source",
+                                    format="compact")
+    assert explicit.fingerprint() == sniffed.fingerprint()
+
+
+def test_server_state_with_default_format_rejected(school):
+    """default_format with state= would be silently dropped — refuse."""
+    state = ServiceState.from_embedding(school.sigma1)
+    with pytest.raises(ValueError):
+        ReproServer(state=state, default_format="dtd")
+
+
+# -- diagnostics & registry ---------------------------------------------------
+
+@pytest.mark.parametrize("bad, fragment", [
+    ("<xs:schema xmlns:xs='http://www.w3.org/2001/XMLSchema'>",
+     "not well-formed"),
+    ("<xs:schema xmlns:xs='http://www.w3.org/2001/XMLSchema'>"
+     "<xs:simpleType/></xs:schema>", "unsupported top-level"),
+    ("<xs:schema xmlns:xs='http://www.w3.org/2001/XMLSchema'>"
+     "<xs:element name='a'><xs:complexType><xs:sequence>"
+     "<xs:element ref='b' maxOccurs='3'/>"
+     "</xs:sequence></xs:complexType></xs:element>"
+     "<xs:element name='b' type='xs:string'/></xs:schema>",
+     "unsupported occurrence"),
+    ("<xs:schema xmlns:xs='http://www.w3.org/2001/XMLSchema'>"
+     "<xs:element name='a' type='xs:integer'/></xs:schema>",
+     "unsupported type"),
+    ("<xs:schema xmlns:xs='http://www.w3.org/2001/XMLSchema'>"
+     "<xs:element name='a' type='xs:string'/>"
+     "<xs:element name='a' type='xs:string'/></xs:schema>",
+     "duplicate declaration"),
+    ("<schema><element name='a'/></schema>", "namespace"),
+])
+def test_xsd_diagnostics_are_one_line(bad, fragment):
+    with pytest.raises(XSDParseError) as excinfo:
+        load_schema(bad, format="xsd")
+    message = str(excinfo.value)
+    assert fragment in message
+    assert "\n" not in message
+
+
+def test_undetectable_format_raises():
+    with pytest.raises(SchemaFormatError) as excinfo:
+        detect_format("neither markup nor productions")
+    message = str(excinfo.value)
+    assert "cannot detect" in message
+    for format in FORMATS:  # the diagnostic names every frontend
+        assert format in message
+    with pytest.raises(SchemaFormatError):
+        load_schema("neither markup nor productions")
+    with pytest.raises(SchemaFormatError):
+        load_schema("a -> b", format="relaxng")
+
+
+def test_detect_diagnostic_includes_registered_plugins():
+    from repro.schema import frontend as frontend_module
+
+    class RelaxNGStub:
+        format = "rng-test"
+        description = "Relax NG compact syntax (test stub)"
+
+        def detect(self, text):
+            return False
+
+        def parse(self, text, root=None, name="dtd"):
+            raise NotImplementedError
+
+    register_frontend(RelaxNGStub())
+    try:
+        with pytest.raises(SchemaFormatError) as excinfo:
+            detect_format("still not a schema")
+        assert "rng-test" in str(excinfo.value)
+        assert "rng-test" in available_formats()
+    finally:
+        frontend_module._FRONTENDS.pop("rng-test")
+
+
+def test_register_frontend_duplicate_rejected():
+    class Fake:
+        format = "dtd"
+        description = "clash"
+
+        def detect(self, text):
+            return False
+
+        def parse(self, text, root=None, name="dtd"):
+            raise NotImplementedError
+
+    with pytest.raises(SchemaFormatError):
+        register_frontend(Fake())
+
+
+def test_store_backward_compat_schemas_without_format_key(tmp_path,
+                                                          school):
+    """Stores written before the frontend layer (no 'format' key on
+    schema records) load and inspect as format 'dtd'."""
+    engine = Engine()
+    engine.compile_schema(school.classes)
+    store = engine.save_store(tmp_path / "legacy")
+    # Simulate a pre-frontend store: strip the new keys.
+    import json
+    manifest_path = store.root / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    for entry in manifest["schemas"].values():
+        entry.pop("format", None)
+        entry.pop("source", None)
+    manifest_path.write_text(json.dumps(manifest))
+    reopened = ArtifactStore(store.root, create=False)
+    fp = school.classes.fingerprint()
+    assert reopened.schema_format(fp) == "dtd"
+    assert reopened.schema_source_text(fp) is None
+    row = [r for r in reopened.describe()["schemas"]
+           if r["fingerprint"] == fp][0]
+    assert row["format"] == "dtd" and row["source"] is None
+    assert reopened.get_schema(fp).fingerprint() == fp

@@ -3,10 +3,10 @@
 import pytest
 
 from repro.core.similarity import SimilarityMatrix, name_similarity
-from repro.dtd.parser import parse_compact
+from repro.schema import load_schema
 
-SOURCE = parse_compact("a -> b, c\nb -> str\nc -> str")
-TARGET = parse_compact("a -> b, x\nb -> str\nx -> str")
+SOURCE = load_schema("a -> b, c\nb -> str\nc -> str")
+TARGET = load_schema("a -> b, x\nb -> str\nx -> str")
 
 
 def test_get_set_and_bounds():

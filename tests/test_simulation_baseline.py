@@ -3,12 +3,12 @@
 import pytest
 
 from repro.core.similarity import SimilarityMatrix
-from repro.dtd.parser import parse_compact
+from repro.schema import load_schema
 from repro.matching.simulation import greatest_simulation, simulation_mapping
 
 
 def test_identical_schemas_simulate():
-    dtd = parse_compact("r -> a, b\na -> str\nb -> c*\nc -> str")
+    dtd = load_schema("r -> a, b\na -> str\nb -> c*\nc -> str")
     mapping = simulation_mapping(dtd, dtd)
     assert mapping == {t: t for t in dtd.types}
 
@@ -31,21 +31,21 @@ def test_embedding_succeeds_where_simulation_fails(school):
 
 
 def test_simulation_respects_edge_kinds():
-    source = parse_compact("r -> a*\na -> str")
-    target = parse_compact("r -> a\na -> str")  # AND edge, not STAR
+    source = load_schema("r -> a*\na -> str")
+    target = load_schema("r -> a\na -> str")  # AND edge, not STAR
     assert simulation_mapping(source, target) is None
 
 
 def test_simulation_respects_att():
-    dtd = parse_compact("r -> a\na -> str")
+    dtd = load_schema("r -> a\na -> str")
     att = SimilarityMatrix()
     att.set("r", "r", 1.0)   # 'a' has no admissible image
     assert simulation_mapping(dtd, dtd, att) is None
 
 
 def test_greatest_simulation_is_a_simulation():
-    source = parse_compact("r -> a\na -> b + c\nb -> str\nc -> str")
-    target = parse_compact(
+    source = load_schema("r -> a\na -> b + c\nb -> str\nc -> str")
+    target = load_schema(
         "r -> a, x\na -> b + c\nx -> str\nb -> str\nc -> str")
     att = SimilarityMatrix.permissive()
     relation = greatest_simulation(source, target, att)
@@ -57,7 +57,7 @@ def test_greatest_simulation_is_a_simulation():
 
 
 def test_simulation_into_larger_target():
-    source = parse_compact("r -> a\na -> str")
-    target = parse_compact("r -> a, b\na -> str\nb -> str")
+    source = load_schema("r -> a\na -> str")
+    target = load_schema("r -> a, b\na -> str\nb -> str")
     mapping = simulation_mapping(source, target)
     assert mapping == {"r": "r", "a": "a"}

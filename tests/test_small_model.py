@@ -9,7 +9,7 @@ from repro.core.smallmodel import (
     theorem_bound,
 )
 from repro.dtd.model import Concat, Disjunction, Star, Str
-from repro.dtd.parser import parse_compact
+from repro.schema import load_schema
 from repro.xpath.paths import XRPath
 
 
@@ -35,8 +35,8 @@ def test_expansions_within_bounds(bib_expansion, orders_expansion):
 def cyclic_target_embedding():
     """A target with a harmless cycle: paths can be artificially
     inflated by pumping the cycle."""
-    source = parse_compact("a -> b\nb -> str")
-    target = parse_compact("""
+    source = load_schema("a -> b\nb -> str")
+    target = load_schema("""
         x -> s
         s -> i*
         i -> y
@@ -58,8 +58,8 @@ def test_simplify_keeps_valid(cyclic_target_embedding):
 
 def test_simplify_removes_pumped_cycle():
     """A path that loops through the target cycle twice shrinks."""
-    source = parse_compact("a -> b\nb -> str")
-    target = parse_compact("""
+    source = load_schema("a -> b\nb -> str")
+    target = load_schema("""
         x -> w, y
         w -> x + nil
         nil -> eps
@@ -71,7 +71,7 @@ def test_simplify_removes_pumped_cycle():
         {("a", "b"): "w/x/w/x/y", ("b", "str"): "text()"})
     # w edges are OR edges (w -> x + nil), so this is not an AND path —
     # build a concat-only cyclic target instead:
-    target2 = parse_compact("""
+    target2 = load_schema("""
         x -> s
         s -> x2*
         x2 -> s2, y
@@ -92,11 +92,11 @@ def test_simplify_removes_pumped_cycle():
 def test_simplify_preserves_prefix_freeness():
     """Cycle removal must not create prefix conflicts — a cycle kept
     only to stay prefix-free is not removable."""
-    source = parse_compact("a -> b, c\nb -> str\nc -> str")
+    source = load_schema("a -> b, c\nb -> str\nc -> str")
     # Target cycle: x -> s; s -> x2*; x2 -> y, s.  path(a,b) pins one
     # unfolding; path(a,c) pins two.  Removing c's extra cycle would
     # collide with b's path.
-    target = parse_compact("""
+    target = load_schema("""
         x -> s
         s -> x2*
         x2 -> y, s

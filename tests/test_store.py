@@ -21,7 +21,7 @@ from repro.core.embedding import build_embedding
 from repro.core.instmap import InstMap
 from repro.dtd.generate import InstanceGenerator
 from repro.dtd.model import Concat, Disjunction, Empty, Star, Str
-from repro.dtd.parser import parse_compact
+from repro.schema import load_schema
 from repro.engine import ArtifactStore, Engine, StoreError
 from repro.engine.store import (
     dtd_from_payload,
@@ -52,7 +52,7 @@ def test_production_payload_roundtrip():
 def test_dtd_payload_is_fingerprint_exact():
     # Definition order is content (it drives matching enumeration), so
     # the payload must preserve it even when the root is not first.
-    dtd = parse_compact("b -> str\na -> b, c\nc -> b*", root="a", name="s")
+    dtd = load_schema("b -> str\na -> b, c\nc -> b*", root="a", name="s")
     rebuilt = dtd_from_payload(dtd_to_payload(dtd))
     assert rebuilt.fingerprint() == dtd.fingerprint()
     assert rebuilt.types == dtd.types
@@ -68,6 +68,57 @@ def test_schema_store_roundtrip(store, school):
     assert reloaded.schema_fingerprints() == [fingerprint]
     # Idempotent: putting again changes nothing.
     assert store.put_schema(school.school) == fingerprint
+    # No provenance given: records as the dtd format, no source file.
+    assert reloaded.schema_format(fingerprint) == "dtd"
+    assert reloaded.schema_source_text(fingerprint) is None
+
+
+def test_schema_store_records_format_and_source_text(store, school):
+    from repro.dtd.serialize import dtd_to_compact
+
+    text = dtd_to_compact(school.classes)
+    fingerprint = store.put_schema(school.classes, format="compact",
+                                   source_text=text)
+    reloaded = ArtifactStore(store.root, create=False)
+    assert reloaded.schema_format(fingerprint) == "compact"
+    assert reloaded.schema_source_text(fingerprint) == text
+    assert (store.root / "sources" / f"{fingerprint}.txt").exists()
+    # A later put may *add* provenance to a bare record, never lose it.
+    bare = store.put_schema(school.students)
+    assert store.schema_format(bare) == "dtd"
+    store.put_schema(school.students, format="xsd", source_text="<xsd/>")
+    assert store.schema_format(bare) == "xsd"
+    assert store.schema_source_text(bare) == "<xsd/>"
+    # A format flip without matching source text keeps (format, source)
+    # pinned and consistent …
+    store.put_schema(school.classes, format="dtd")
+    assert store.schema_format(fingerprint) == "compact"
+    assert store.schema_source_text(fingerprint) == text
+    # … while a flip WITH new text updates both together.
+    from repro.dtd.serialize import dtd_to_text
+    dtd_text = dtd_to_text(school.classes)
+    store.put_schema(school.classes, format="dtd", source_text=dtd_text)
+    assert store.schema_format(fingerprint) == "dtd"
+    assert store.schema_source_text(fingerprint) == dtd_text
+
+
+def test_engine_save_store_carries_load_schema_provenance(tmp_path,
+                                                          school):
+    """Schemas that entered the engine as text keep (format, text)
+    through save_store; schemas compiled from objects default to dtd."""
+    from repro.dtd.serialize import dtd_to_compact
+
+    engine = Engine()
+    text = dtd_to_compact(school.classes)
+    engine.compile_schema(text, format="compact")
+    engine.compile_schema(school.students)  # object path: no provenance
+    saved = engine.save_store(tmp_path / "prov")
+    classes_fp = school.classes.fingerprint()
+    students_fp = school.students.fingerprint()
+    assert saved.schema_format(classes_fp) == "compact"
+    assert saved.schema_source_text(classes_fp) == text
+    assert saved.schema_format(students_fp) == "dtd"
+    assert saved.schema_source_text(students_fp) is None
 
 
 def test_embedding_store_roundtrip(store, school):
@@ -133,8 +184,8 @@ def test_warm_start_serves_with_zero_compile_misses(tmp_path, school):
 
 
 def test_warm_start_preserves_validated_flag(tmp_path):
-    source = parse_compact("a -> b\nb -> str")
-    target = parse_compact("x -> y\ny -> str", name="t")
+    source = load_schema("a -> b\nb -> str")
+    target = load_schema("x -> y\ny -> str", name="t")
     sigma = build_embedding(source, target, {"a": "x", "b": "y"},
                             {("a", "b"): "y", ("b", "str"): "text()"})
     engine = Engine()

@@ -126,9 +126,9 @@ def test_classify_normalises_redundant_position():
 
 
 def test_classify_requires_position_on_repeated_children():
-    from repro.dtd.parser import parse_compact
+    from repro.schema import load_schema
 
-    dtd = parse_compact("a -> b, b\nb -> str")
+    dtd = load_schema("a -> b, b\nb -> str")
     with pytest.raises(PathClassError):
         classify_path(XRPath.parse("b"), dtd, "a")
     info = classify_path(XRPath.parse("b[position()=2]"), dtd, "a")
@@ -136,9 +136,9 @@ def test_classify_requires_position_on_repeated_children():
 
 
 def test_classify_out_of_range_position():
-    from repro.dtd.parser import parse_compact
+    from repro.schema import load_schema
 
-    dtd = parse_compact("a -> b, b\nb -> str")
+    dtd = load_schema("a -> b, b\nb -> str")
     with pytest.raises(PathClassError):
         classify_path(XRPath.parse("b[position()=3]"), dtd, "a")
 

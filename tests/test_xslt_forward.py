@@ -82,10 +82,10 @@ def test_forward_type_safe(school):
 
 def test_optional_disjunction_fallback():
     from repro.core.embedding import build_embedding
-    from repro.dtd.parser import parse_compact
+    from repro.schema import load_schema
 
-    source = parse_compact("a -> b + eps\nb -> str")
-    target = parse_compact("x -> a0pad + y\na0pad -> eps\ny -> str")
+    source = load_schema("a -> b + eps\nb -> str")
+    target = load_schema("x -> a0pad + y\na0pad -> eps\ny -> str")
     embedding = build_embedding(
         source, target, {"a": "x", "b": "y"},
         {("a", "b"): "y", ("b", "str"): "text()"}).check()
@@ -99,10 +99,10 @@ def test_optional_disjunction_fallback():
 
 def test_repeated_children_via_positional_selects():
     from repro.core.embedding import build_embedding
-    from repro.dtd.parser import parse_compact
+    from repro.schema import load_schema
 
-    source = parse_compact("a -> b, b\nb -> str")
-    target = parse_compact("x -> y, y\ny -> str")
+    source = load_schema("a -> b, b\nb -> str")
+    target = load_schema("x -> y, y\ny -> str")
     embedding = build_embedding(
         source, target, {"a": "x", "b": "y"},
         {("a", "b", 1): "y[position()=1]", ("a", "b", 2): "y[position()=2]",

@@ -68,10 +68,10 @@ def test_noninjective_lambda_needs_modes():
     """Fig. 3(c): λ(B) = λ(C) = y — per-source-type modes (R5) keep
     the inverse unambiguous."""
     from repro.core.embedding import build_embedding
-    from repro.dtd.parser import parse_compact
+    from repro.schema import load_schema
 
-    source = parse_compact("a -> b, c\nb -> str\nc -> str")
-    target = parse_compact("x -> y, y\ny -> str")
+    source = load_schema("a -> b, c\nb -> str\nc -> str")
+    target = load_schema("x -> y, y\ny -> str")
     embedding = build_embedding(
         source, target, {"a": "x", "b": "y", "c": "y"},
         {("a", "b"): "y[position()=1]", ("a", "c"): "y[position()=2]",
@@ -88,10 +88,10 @@ def test_noninjective_lambda_needs_modes():
 
 def test_optional_fallback_rule():
     from repro.core.embedding import build_embedding
-    from repro.dtd.parser import parse_compact
+    from repro.schema import load_schema
 
-    source = parse_compact("a -> b + eps\nb -> str")
-    target = parse_compact("x -> a0pad + y\na0pad -> eps\ny -> str")
+    source = load_schema("a -> b + eps\nb -> str")
+    target = load_schema("x -> a0pad + y\na0pad -> eps\ny -> str")
     embedding = build_embedding(
         source, target, {"a": "x", "b": "y"},
         {("a", "b"): "y", ("b", "str"): "text()"}).check()
