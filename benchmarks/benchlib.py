@@ -35,6 +35,16 @@ Run as a script this module is the CI gate::
 
 which exits non-zero if any record is missing, unparseable, from a
 different schema version, or reports ``correct: false``.
+
+With ``--compare PREV_DIR_OR_FILES`` the gate additionally diffs the
+current records against the previous run's artifacts (the benchmark
+*trajectory*): per-bench ops/sec deltas are printed, appended as a
+markdown table to ``$GITHUB_STEP_SUMMARY`` when set, and a throughput
+drop beyond ``--max-regression`` (default 30%) fails the job alongside
+any ``correct: false``::
+
+    python benchmarks/benchlib.py --check new/BENCH_*.json \
+        --compare prev-artifacts/
 """
 
 from __future__ import annotations
@@ -109,6 +119,30 @@ def finish(result: dict, args: argparse.Namespace) -> int:
     return 0 if result["correct"] else 1
 
 
+def _load_records(paths: list[str]) -> tuple[dict[str, dict], int]:
+    """Read records keyed by bench name; count unreadable files."""
+    records: dict[str, dict] = {}
+    failures = 0
+    expanded: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            expanded.extend(sorted(path.glob("BENCH_*.json")))
+        else:
+            expanded.append(path)
+    for path in expanded:
+        try:
+            result = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: UNREADABLE ({exc})")
+            failures += 1
+            continue
+        name = result.get("bench")
+        if isinstance(name, str):
+            records[name] = result
+    return records, failures
+
+
 def check(paths: list[str]) -> int:
     """The CI gate over written records; prints one line per file."""
     if not paths:
@@ -142,16 +176,122 @@ def check(paths: list[str]) -> int:
     return 0
 
 
+def compare(current_paths: list[str], previous_paths: list[str],
+            max_regression: float = 0.30) -> int:
+    """Per-bench ops/sec deltas against the previous run's artifacts.
+
+    A bench regresses when its throughput drops by more than
+    ``max_regression`` relative to the previous record *of the same
+    mode* (smoke vs full runs are never compared).  Benches with no
+    previous record, a zero previous throughput, or a changed mode are
+    reported informationally and never gate.  The delta table is echoed
+    to stdout and appended to ``$GITHUB_STEP_SUMMARY`` when that file
+    is available (the CI job summary).
+    """
+    current, cur_bad = _load_records(current_paths)
+    previous, _prev_bad = _load_records(previous_paths)
+    rows: list[tuple[str, str, str, str, str]] = []
+    regressions = 0
+    for name in sorted(current):
+        record = current[name]
+        ops = float(record.get("ops_per_sec") or 0.0)
+        prev = previous.get(name)
+        if prev is None:
+            rows.append((name, "-", f"{ops:.2f}", "new", "ok"))
+            continue
+        if (prev.get("schema") != BENCH_SCHEMA
+                or record.get("schema") != BENCH_SCHEMA):
+            # A schema bump changes what ops_per_sec measures: the
+            # records are not comparable, and gating on them would
+            # wedge CI against stale artifacts forever.
+            rows.append((name, "-", f"{ops:.2f}",
+                         f"schema changed ({prev.get('schema')} -> "
+                         f"{record.get('schema')})", "ok"))
+            continue
+        if prev.get("mode") != record.get("mode"):
+            rows.append((name, "-", f"{ops:.2f}",
+                         f"mode changed ({prev.get('mode')} -> "
+                         f"{record.get('mode')})", "ok"))
+            continue
+        prev_ops = float(prev.get("ops_per_sec") or 0.0)
+        if prev_ops <= 0.0 or ops <= 0.0:
+            rows.append((name, f"{prev_ops:.2f}", f"{ops:.2f}", "n/a", "ok"))
+            continue
+        delta = ops / prev_ops - 1.0
+        status = "ok"
+        if delta < -max_regression:
+            status = "REGRESSION"
+            regressions += 1
+        rows.append((name, f"{prev_ops:.2f}", f"{ops:.2f}",
+                     f"{delta:+.1%}", status))
+    for name in sorted(set(previous) - set(current)):
+        rows.append((name, f"{previous[name].get('ops_per_sec')}", "-",
+                     "missing from current run", "ok"))
+
+    header = ("bench", "prev ops/s", "ops/s", "delta", "status")
+    widths = [max(len(str(row[i])) for row in [header, *rows])
+              for i in range(5)]
+    lines = ["  ".join(str(cell).ljust(width)
+                       for cell, width in zip(row, widths))
+             for row in [header, *rows]]
+    print("benchlib --compare "
+          f"(gate: >{max_regression:.0%} throughput drop):")
+    for line in lines:
+        print(f"  {line}")
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        md = ["## Benchmark trajectory",
+              f"Gate: fail on a >{max_regression:.0%} ops/sec drop vs the "
+              "previous run's artifacts.", "",
+              "| " + " | ".join(header) + " |",
+              "|" + "|".join("---" for _ in header) + "|"]
+        md.extend("| " + " | ".join(str(cell) for cell in row) + " |"
+                  for row in rows)
+        md.append("")
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write("\n".join(md) + "\n")
+
+    failures = cur_bad + regressions
+    incorrect = [name for name, record in current.items()
+                 if record.get("correct") is not True]
+    if incorrect:
+        print(f"benchlib --compare: correct:false in {sorted(incorrect)}")
+        failures += len(incorrect)
+    if regressions:
+        print(f"benchlib --compare: {regressions} bench(es) regressed "
+              f"beyond {max_regression:.0%}")
+    if failures:
+        return 1
+    print(f"benchlib --compare: {len(rows)} bench(es), no regression")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--check", nargs="+", metavar="BENCH_JSON",
                         help="validate written records; exit non-zero "
                              "on any correct:false")
+    parser.add_argument("--compare", nargs="+", metavar="PREV_JSON",
+                        help="previous run's BENCH records (files or a "
+                             "directory); emit per-bench ops/sec deltas "
+                             "and fail on a throughput regression")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="relative ops/sec drop that fails the gate "
+                             "(default 0.30 = 30%%)")
     args = parser.parse_args()
+    status = 0
     if args.check:
-        return check(args.check)
-    parser.error("nothing to do (use --check)")
-    return 2
+        status = check(args.check)
+    if args.compare:
+        if not args.check:
+            parser.error("--compare needs --check CURRENT... for the "
+                         "current records")
+        status = max(status, compare(args.check, args.compare,
+                                     args.max_regression))
+    if not args.check and not args.compare:
+        parser.error("nothing to do (use --check [--compare])")
+    return status
 
 
 if __name__ == "__main__":

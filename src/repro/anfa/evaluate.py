@@ -37,10 +37,46 @@ Item = Union[ElementNode, str]
 _Labs = set
 
 
+_NO_CHILDREN: tuple = ()
+
+
 class _AnfaEvaluator:
     def __init__(self, root: ElementNode) -> None:
-        self.order: dict[int, int] = {
-            node.node_id: index for index, node in enumerate(root.iter())}
+        # One pre-order walk builds both the document order and the
+        # per-run child index: tag -> element children and the text
+        # children's values, precollected per node.  Every label / str
+        # transition is then a dict lookup instead of an O(children)
+        # rescan (``children_tagged`` / ``element_children`` built a
+        # fresh list per visited (state, node) pair).
+        order: dict[int, int] = {}
+        by_tag: dict[int, dict[str, list[ElementNode]]] = {}
+        elements: dict[int, list[ElementNode]] = {}
+        texts: dict[int, list[str]] = {}
+        for index, node in enumerate(root.iter()):
+            order[node.node_id] = index
+            if isinstance(node, TextNode):
+                continue
+            node_elements = []
+            node_by_tag: dict[str, list[ElementNode]] = {}
+            node_texts = []
+            for child in node.children:
+                if isinstance(child, ElementNode):
+                    node_elements.append(child)
+                    bucket = node_by_tag.get(child.tag)
+                    if bucket is None:
+                        node_by_tag[child.tag] = [child]
+                    else:
+                        bucket.append(child)
+                else:
+                    node_texts.append(child.value)
+            node_id = node.node_id
+            by_tag[node_id] = node_by_tag
+            elements[node_id] = node_elements
+            texts[node_id] = node_texts
+        self.order = order
+        self._by_tag = by_tag
+        self._elements = elements
+        self._texts = texts
         self._memo: dict[tuple[int, int], list[tuple[Item, frozenset]]] = {}
 
     # ------------------------------------------------------------------
@@ -88,28 +124,29 @@ class _AnfaEvaluator:
                 result_labs.setdefault(item_key, set()).add(
                     anfa.finals[state])
 
-            for edge in anfa.label_edges.get(state, []):
-                if isinstance(item, str):
+            is_node = not isinstance(item, str)
+            for edge in anfa.label_edges.get(state, _NO_CHILDREN):
+                if not is_node:
                     continue
                 if edge.label == "*":  # wildcard (source-side // coding)
-                    children = item.element_children()
+                    children = self._elements[item.node_id]
                 else:
-                    children = item.children_tagged(edge.label)
+                    children = self._by_tag[item.node_id].get(
+                        edge.label, _NO_CHILDREN)
                 if edge.pos is not None:
                     children = (children[edge.pos - 1:edge.pos]
-                                if len(children) >= edge.pos else [])
+                                if len(children) >= edge.pos else ())
                 for child in children:
                     queue.append((edge.dst, child))
-            for dst in anfa.eps_edges.get(state, []):
+            for dst in anfa.eps_edges.get(state, _NO_CHILDREN):
                 queue.append((dst, item))
-            for dst in anfa.str_edges.get(state, []):
-                if isinstance(item, str):
+            for dst in anfa.str_edges.get(state, _NO_CHILDREN):
+                if not is_node:
                     continue
-                for child in item.children:
-                    if isinstance(child, TextNode):
-                        queue.append((dst, child.value))
-            for spec in anfa.call_edges.get(state, []):
-                if isinstance(item, str):
+                for value in self._texts[item.node_id]:
+                    queue.append((dst, value))
+            for spec in anfa.call_edges.get(state, _NO_CHILDREN):
+                if not is_node:
                     continue
                 self._expand_call(spec, item, queue)
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterator, Optional, Union
+from typing import Iterator, NamedTuple, Optional, Union
 
 #: lab value for text results.
 STR_LAB = "#str"
@@ -164,21 +164,21 @@ def qual_has_position(qual: QualExpr) -> bool:
 
 
 # -- transitions -------------------------------------------------------------
+# NamedTuples, not dataclasses: the translation constructions (embed /
+# trim) re-create label edges in bulk, and tuple construction is
+# measurably cheaper than frozen-dataclass __init__ on that hot path.
 
-@dataclass(frozen=True)
-class LabelEdge:
+class LabelEdge(NamedTuple):
     label: str
     pos: Optional[int]  # local: k-th same-labelled child
     dst: int
 
 
-@dataclass(frozen=True)
-class EpsEdge:
+class EpsEdge(NamedTuple):
     dst: int
 
 
-@dataclass(frozen=True)
-class StrEdge:
+class StrEdge(NamedTuple):
     dst: int
 
 
@@ -207,6 +207,29 @@ class CallSpec:
 
 Edge = Union[LabelEdge, EpsEdge, StrEdge, CallSpec]
 
+
+class _OffsetMap:
+    """The state map returned by :meth:`ANFA.embed`: embedded states
+    are renumbered by a constant offset, so the "dict" is arithmetic."""
+
+    __slots__ = ("base", "count")
+
+    def __init__(self, base: int, count: int) -> None:
+        self.base = base
+        self.count = count
+
+    def __getitem__(self, state: int) -> int:
+        if 0 <= state < self.count:
+            return state + self.base
+        raise KeyError(state)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.count))
+
+
 _anfa_names = itertools.count(1)
 
 
@@ -221,15 +244,31 @@ class ANFA:
     """
 
     def __init__(self, name: Optional[str] = None) -> None:
-        self.name = name or f"M{next(_anfa_names)}"
-        self._count = 0
-        self.start = self.new_state()
+        self._name = name
+        self._count = 1  # state 0 is the start state
+        self.start = 0
         self.finals: dict[int, Optional[str]] = {}
         self.label_edges: dict[int, list[LabelEdge]] = {}
         self.eps_edges: dict[int, list[int]] = {}
         self.str_edges: dict[int, list[int]] = {}
         self.call_edges: dict[int, list[CallSpec]] = {}
         self.theta: dict[int, QualExpr] = {}
+        #: Construction-time trimness certificate: builders that can
+        #: prove every state is reachable *and* co-reachable set this,
+        #: letting :meth:`trim` skip its sweeps.  Conservative: False
+        #: merely means "unknown".  Mutating an automaton after setting
+        #: it is the builder's responsibility (the translation sets it
+        #: as the last construction step).
+        self._is_trim = False
+
+    @property
+    def name(self) -> str:
+        """The ν name (``M13``): generated on first use — translation
+        creates thousands of intermediate automata that are never
+        rendered, so the serial/format cost is deferred."""
+        if self._name is None:
+            self._name = f"M{next(_anfa_names)}"
+        return self._name
 
     # -- construction ------------------------------------------------------
     def new_state(self) -> int:
@@ -268,31 +307,55 @@ class ANFA:
         start state and whether to keep the copied finals.  Sub-ANFAs
         inside θ / call specs are shared by reference (they are never
         mutated after construction).
+
+        The copied states are renumbered by a constant offset (the
+        translation's inner loop embeds per-type bodies many times per
+        query, so the remap is pure arithmetic — no per-state lookups).
         """
-        mapping = {state: self.new_state() for state in range(other._count)}
+        base = self._count
+        self._count = base + other._count
+        # Offset states are fresh keys by construction, so every bucket
+        # is rebuilt wholesale (no setdefault/append churn); singleton
+        # buckets — the overwhelming case for chain-shaped automata —
+        # skip the comprehension frame, and tuple.__new__ skips the
+        # namedtuple's Python-level __new__.
+        tuple_new = tuple.__new__
+        label_edges = self.label_edges
         for src, edges in other.label_edges.items():
-            for edge in edges:
-                self.add_label(mapping[src], edge.label, mapping[edge.dst],
-                               edge.pos)
+            if len(edges) == 1:
+                label, pos, dst = edges[0]
+                label_edges[src + base] = [
+                    tuple_new(LabelEdge, (label, pos, dst + base))]
+            else:
+                label_edges[src + base] = [
+                    tuple_new(LabelEdge, (label, pos, dst + base))
+                    for label, pos, dst in edges]
+        eps_edges = self.eps_edges
         for src, dsts in other.eps_edges.items():
-            for dst in dsts:
-                self.add_eps(mapping[src], mapping[dst])
+            if len(dsts) == 1:
+                eps_edges[src + base] = [dsts[0] + base]
+            else:
+                eps_edges[src + base] = [dst + base for dst in dsts]
+        str_edges = self.str_edges
         for src, dsts in other.str_edges.items():
-            for dst in dsts:
-                self.add_str(mapping[src], mapping[dst])
+            if len(dsts) == 1:
+                str_edges[src + base] = [dsts[0] + base]
+            else:
+                str_edges[src + base] = [dst + base for dst in dsts]
+        call_edges = self.call_edges
         for src, specs in other.call_edges.items():
-            for spec in specs:
-                remapped = CallSpec(
-                    sub=spec.sub,
-                    quals=spec.quals,
-                    dst_by_lab=tuple((lab, mapping[dst])
-                                     for lab, dst in spec.dst_by_lab))
-                self.add_call(mapping[src], remapped)
+            call_edges[src + base] = [
+                CallSpec(sub=spec.sub, quals=spec.quals,
+                         dst_by_lab=tuple((lab, dst + base)
+                                          for lab, dst in spec.dst_by_lab))
+                for spec in specs]
+        finals = self.finals
         for state, lab in other.finals.items():
-            self.set_final(mapping[state], lab)
+            finals[state + base] = lab
+        theta = self.theta
         for state, qual in other.theta.items():
-            self.theta[mapping[state]] = qual
-        return mapping
+            theta[state + base] = qual
+        return _OffsetMap(base, other._count)
 
     def copy(self) -> "ANFA":
         """An independent structural copy with identical state numbers.
@@ -303,7 +366,7 @@ class ANFA:
         shared by reference, matching :meth:`embed`'s contract.
         """
         out = ANFA.__new__(ANFA)
-        out.name = self.name
+        out._name = self._name
         out._count = self._count
         out.start = self.start
         out.finals = dict(self.finals)
@@ -312,6 +375,7 @@ class ANFA:
         out.str_edges = {s: list(v) for s, v in self.str_edges.items()}
         out.call_edges = {s: list(v) for s, v in self.call_edges.items()}
         out.theta = dict(self.theta)
+        out._is_trim = self._is_trim
         return out
 
     # -- views ----------------------------------------------------------------
@@ -387,76 +451,145 @@ class ANFA:
     def trim(self) -> "ANFA":
         """Remove states that cannot reach a final state (the paper's
         "standard useless state removal"), keeping reachable-from-start
-        states only.  Returns a fresh automaton."""
-        forward: set[int] = set()
+        states only.
+
+        An automaton that is already trim is returned *as is* (treat
+        trim results as immutable, exactly like the engine's shared LRU
+        translations); only an automaton with useless states is rebuilt.
+        Most translated automata carry a construction-time trimness
+        certificate and skip the reachability sweeps entirely; for the
+        rest, both sweeps consume the sparse edge dicts directly (the
+        ``out_edges`` view allocates an ε/str wrapper per edge, and a
+        per-state adjacency pass touches every edgeless state; both
+        dominated translation time).
+        """
+        if self._is_trim:
+            return self
+        label_edges = self.label_edges
+        eps_edges = self.eps_edges
+        str_edges = self.str_edges
+        call_edges = self.call_edges
+        count = self._count
+
+        # States are dense ints: flag membership with bytearrays and
+        # index the reverse adjacency as a list (no hashing per edge).
+        in_forward = bytearray(count)
+        forward_size = 0
+        reverse: list = [None] * count
         stack = [self.start]
         while stack:
             state = stack.pop()
-            if state in forward:
+            if in_forward[state]:
                 continue
-            forward.add(state)
-            for edge in self.out_edges(state):
-                if isinstance(edge, LabelEdge):
-                    stack.append(edge.dst)
-                elif isinstance(edge, (EpsEdge, StrEdge)):
-                    stack.append(edge.dst)
-                else:
-                    stack.extend(dst for _lab, dst in edge.dst_by_lab)
+            in_forward[state] = 1
+            forward_size += 1
+            edges = label_edges.get(state)
+            if edges:
+                for edge in edges:
+                    dst = edge[2]
+                    bucket = reverse[dst]
+                    if bucket is None:
+                        reverse[dst] = [state]
+                    else:
+                        bucket.append(state)
+                    if not in_forward[dst]:
+                        stack.append(dst)
+            dsts = eps_edges.get(state)
+            if dsts:
+                for dst in dsts:
+                    bucket = reverse[dst]
+                    if bucket is None:
+                        reverse[dst] = [state]
+                    else:
+                        bucket.append(state)
+                    if not in_forward[dst]:
+                        stack.append(dst)
+            dsts = str_edges.get(state)
+            if dsts:
+                for dst in dsts:
+                    bucket = reverse[dst]
+                    if bucket is None:
+                        reverse[dst] = [state]
+                    else:
+                        bucket.append(state)
+                    if not in_forward[dst]:
+                        stack.append(dst)
+            specs = call_edges.get(state)
+            if specs:
+                for spec in specs:
+                    for _lab, dst in spec.dst_by_lab:
+                        bucket = reverse[dst]
+                        if bucket is None:
+                            reverse[dst] = [state]
+                        else:
+                            bucket.append(state)
+                        if not in_forward[dst]:
+                            stack.append(dst)
 
-        # Backward reachability from finals over reversed edges.
-        reverse: dict[int, set[int]] = {}
-
-        def link(src: int, dst: int) -> None:
-            reverse.setdefault(dst, set()).add(src)
-
-        for src in self.states():
-            for edge in self.out_edges(src):
-                if isinstance(edge, LabelEdge):
-                    link(src, edge.dst)
-                elif isinstance(edge, (EpsEdge, StrEdge)):
-                    link(src, edge.dst)
-                else:
-                    for _lab, dst in edge.dst_by_lab:
-                        link(src, dst)
-        backward: set[int] = set()
-        stack = [f for f in self.finals if f in forward]
+        in_backward = bytearray(count)
+        backward_size = 0
+        stack = [f for f in self.finals if in_forward[f]]
         while stack:
             state = stack.pop()
-            if state in backward:
+            if in_backward[state]:
                 continue
-            backward.add(state)
-            stack.extend(reverse.get(state, ()))
+            in_backward[state] = 1
+            backward_size += 1
+            bucket = reverse[state]
+            if bucket:
+                stack.extend(bucket)
 
-        keep = forward & backward
+        if backward_size == count:
+            # Nothing useless: the rebuild below would renumber states
+            # identically (ascending keep order from start=0), so the
+            # automaton is its own trim — record the certificate.
+            self._is_trim = True
+            return self
+
+        keep = {state for state in range(count)
+                if in_forward[state] and in_backward[state]}
         keep.add(self.start)
 
-        trimmed = ANFA(name=self.name)
+        trimmed = ANFA(name=self._name)
         mapping: dict[int, int] = {self.start: trimmed.start}
         for state in sorted(keep):
             if state not in mapping:
                 mapping[state] = trimmed.new_state()
         for src in keep:
-            for edge in self.out_edges(src):
-                if isinstance(edge, LabelEdge) and edge.dst in keep:
-                    trimmed.add_label(mapping[src], edge.label,
-                                      mapping[edge.dst], edge.pos)
-                elif isinstance(edge, EpsEdge) and edge.dst in keep:
-                    trimmed.add_eps(mapping[src], mapping[edge.dst])
-                elif isinstance(edge, StrEdge) and edge.dst in keep:
-                    trimmed.add_str(mapping[src], mapping[edge.dst])
-                elif isinstance(edge, CallSpec):
+            mapped_src = mapping[src]
+            edges = self.label_edges.get(src)
+            if edges:
+                kept = [tuple.__new__(LabelEdge,
+                                      (edge[0], edge[1], mapping[edge[2]]))
+                        for edge in edges if edge[2] in keep]
+                if kept:
+                    trimmed.label_edges[mapped_src] = kept
+            dsts = self.eps_edges.get(src)
+            if dsts:
+                kept_eps = [mapping[dst] for dst in dsts if dst in keep]
+                if kept_eps:
+                    trimmed.eps_edges[mapped_src] = kept_eps
+            dsts = self.str_edges.get(src)
+            if dsts:
+                kept_str = [mapping[dst] for dst in dsts if dst in keep]
+                if kept_str:
+                    trimmed.str_edges[mapped_src] = kept_str
+            specs = self.call_edges.get(src)
+            if specs:
+                for spec in specs:
                     kept_dsts = tuple((lab, mapping[dst])
-                                      for lab, dst in edge.dst_by_lab
+                                      for lab, dst in spec.dst_by_lab
                                       if dst in keep)
                     if kept_dsts:
-                        trimmed.add_call(mapping[src], CallSpec(
-                            edge.sub, edge.quals, kept_dsts))
+                        trimmed.add_call(mapped_src, CallSpec(
+                            spec.sub, spec.quals, kept_dsts))
         for state, lab in self.finals.items():
             if state in keep:
-                trimmed.set_final(mapping[state], lab)
+                trimmed.finals[mapping[state]] = lab
         for state, qual in self.theta.items():
             if state in keep:
                 trimmed.theta[mapping[state]] = qual
+        trimmed._is_trim = True
         return trimmed
 
     def describe(self) -> str:
@@ -561,4 +694,7 @@ class ANFA:
 
 def fail_anfa() -> ANFA:
     """The ``Fail`` automaton: a start state, no transitions, no finals."""
-    return ANFA(name="Fail")
+    anfa = ANFA(name="Fail")
+    # Its trim is itself (one state, kept as the start).
+    anfa._is_trim = True
+    return anfa

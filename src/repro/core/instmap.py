@@ -64,7 +64,20 @@ class MappingResult:
 
 
 class InstMap:
-    """A compiled instance mapping for one (validated) embedding."""
+    """A compiled instance mapping for one (validated) embedding.
+
+    Construction pre-classifies every edge path, then compiles the
+    per-source-type **mapping programs** of
+    :mod:`repro.engine.plan` — flat instruction sequences with slot
+    keys, path-step templates and mindef padding resolved at compile
+    time.  :meth:`apply` interprets the programs iteratively; the
+    reference builder (:class:`_FragmentBuilder`) is kept both as the
+    per-fragment fallback for documents whose shape the static program
+    does not cover and as the oracle for the fast-path equivalence
+    suite (:meth:`apply_reference`).  Embeddings the compiler rejects
+    (possible only with ``validate=False``) run entirely on the
+    reference path, preserving their error behaviour exactly.
+    """
 
     def __init__(self, embedding: SchemaEmbedding, validate: bool = True,
                  mindef: Optional[MinDef] = None) -> None:
@@ -79,13 +92,42 @@ class InstMap:
         # Pre-classify every edge path once.
         self._infos: dict[EdgeKey, PathInfo] = {
             key: embedding.info(key) for key, _ in embedding.edge_keys()}
+        # Compile the document-plane fast path (lazy import: the engine
+        # package imports this module).
+        from repro.engine.plan import MappingProgram, PlanError
+
+        try:
+            self._program = MappingProgram(embedding, self.mindef,
+                                           self._infos, self)
+        except PlanError:
+            # The compiler's own "shape is not static" signal: serve
+            # from the reference path with identical behaviour.
+            self._program = None
+        except Exception:
+            if validate:
+                # A *validated* embedding must compile — anything else
+                # is a compiler bug, and silently degrading to the
+                # reference path would hide a 4x perf loss with zero
+                # signal.  Surface it.
+                raise
+            # Unvalidated embeddings may be arbitrarily broken; the
+            # reference path keeps the seed's exact lazy error
+            # behaviour (errors surface at apply, not construction).
+            self._program = None
 
     # ------------------------------------------------------------------
     def __call__(self, source_root: ElementNode) -> MappingResult:
         return self.apply(source_root)
 
     def apply(self, source_root: ElementNode) -> MappingResult:
-        """Run InstMap on ``T1`` (Fig. 5)."""
+        """Run InstMap on ``T1`` (Fig. 5) through the compiled programs."""
+        if self._program is not None:
+            return self._program.apply(source_root)
+        return self.apply_reference(source_root)
+
+    def apply_reference(self, source_root: ElementNode) -> MappingResult:
+        """The reference builder — byte-identical oracle for the fast
+        path (``tests/test_fastpath_equivalence.py``)."""
         if source_root.tag != self.source.root:
             raise EmbeddingError(
                 f"instance root <{source_root.tag}> is not the source root "
@@ -99,6 +141,13 @@ class InstMap:
             fragment = _FragmentBuilder(self, image)
             hot.extend(fragment.build(source_node, id_map))
         return MappingResult(target_root, id_map)
+
+    def build_fragment(self, image: ElementNode, source_node: ElementNode,
+                       id_map: dict[int, int],
+                       ) -> list[tuple[ElementNode, ElementNode]]:
+        """One reference production fragment (the fast path's fallback
+        for fragments with a non-static shape)."""
+        return _FragmentBuilder(self, image).build(source_node, id_map)
 
     def info(self, key: EdgeKey) -> PathInfo:
         try:
@@ -245,56 +294,66 @@ class _FragmentBuilder:
         return new_hot
 
     # -- completion ----------------------------------------------------------
-    def _complete(self, node: ElementNode) -> None:
-        """Pad required positions with mindef and sort children by slot."""
-        if node.node_id in self.hot_ids:
-            return  # will become the root of its own fragment
-        slot_map = self.slots.get(node.node_id)
-        if slot_map is None:
-            return  # mindef filler: already complete
-        production = self.instmap.target.production(node.tag)
+    def _complete(self, root: ElementNode) -> None:
+        """Pad required positions with mindef and sort children by slot.
+
+        Iterative (explicit work stack): deep documents build fragments
+        along arbitrarily long paths and must never hit the Python
+        recursion limit.
+        """
+        target = self.instmap.target
         mindef = self.instmap.mindef
+        hot_ids = self.hot_ids
+        slots = self.slots
+        stack: list[ElementNode] = [root]
+        while stack:
+            node = stack.pop()
+            if node.node_id in hot_ids:
+                continue  # will become the root of its own fragment
+            slot_map = slots.get(node.node_id)
+            if slot_map is None:
+                continue  # mindef filler: already complete
+            production = target.production(node.tag)
 
-        if isinstance(production, Str):
-            if node.child_text() is None:
-                node.append(TextNode(DEFAULT_STRING))
-            return
-        if isinstance(production, Empty):
-            return
+            if isinstance(production, Str):
+                if node.child_text() is None:
+                    node.append(TextNode(DEFAULT_STRING))
+                continue
+            if isinstance(production, Empty):
+                continue
 
-        ordered: list[ElementNode] = []
-        if isinstance(production, Concat):
-            for index, child_type in enumerate(production.children):
-                key = ("c", index)
-                child = slot_map.get(key)
-                if child is None:
-                    child = mindef.instance(child_type)
-                    slot_map[key] = child
-                ordered.append(child)
-        elif isinstance(production, Disjunction):
-            child = slot_map.get(("o",))
-            if child is None:
-                choice = mindef.default_choice[node.tag]
-                if choice is not None:
-                    child = mindef.instance(choice)
-            if child is not None:
-                ordered.append(child)
-        elif isinstance(production, Star):
-            instances = sorted(k[1] for k in slot_map)  # type: ignore[index]
-            if instances:
-                top = max(instances)
-                for position in range(1, top + 1):
-                    child = slot_map.get(("s", position))
+            # Sort into slot order, pad, and queue in one pass.
+            ordered: list[ElementNode] = []
+            if isinstance(production, Concat):
+                for index, child_type in enumerate(production.children):
+                    child = slot_map.get(("c", index))
                     if child is None:
-                        child = mindef.instance(production.child)
-                        slot_map[("s", position)] = child
+                        child = mindef.instance(child_type)
+                        slot_map[("c", index)] = child
                     ordered.append(child)
+            elif isinstance(production, Disjunction):
+                child = slot_map.get(("o",))
+                if child is None:
+                    choice = mindef.default_choice[node.tag]
+                    if choice is not None:
+                        child = mindef.instance(choice)
+                if child is not None:
+                    ordered.append(child)
+            elif isinstance(production, Star):
+                if slot_map:
+                    top = max(key[1] for key in slot_map)  # type: ignore[index]
+                    for position in range(1, top + 1):
+                        child = slot_map.get(("s", position))
+                        if child is None:
+                            child = mindef.instance(production.child)
+                            slot_map[("s", position)] = child
+                        ordered.append(child)
 
-        node.children = []
-        for child in ordered:
-            node.append(child)
-        for child in ordered:
-            self._complete(child)
+            node.children = []
+            for child in ordered:
+                child.parent = node
+            node.children.extend(ordered)
+            stack.extend(ordered)
 
 
 def apply_embedding(embedding: SchemaEmbedding, source_root: ElementNode,

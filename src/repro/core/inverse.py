@@ -52,8 +52,26 @@ class _Inverter:
         self.strict = strict
 
     def rebuild(self, image: ElementNode, source_type: str) -> ElementNode:
-        node = ElementNode(source_type)
+        """Iterative preorder rebuild (explicit stack): children attach
+        to their parent in production order when visited, so deep
+        documents never recurse."""
+        root = ElementNode(source_type)
+        stack: list[tuple[ElementNode, str, ElementNode]] = [
+            (image, source_type, root)]
+        while stack:
+            image, source_type, node = stack.pop()
+            pending = self._rebuild_one(image, source_type, node)
+            if pending:
+                stack.extend(reversed(pending))
+        return root
+
+    def _rebuild_one(self, image: ElementNode, source_type: str,
+                     node: ElementNode,
+                     ) -> list[tuple[ElementNode, str, ElementNode]]:
+        """Rebuild one node; append (created, not yet filled) children
+        and return their work items."""
         production = self.source.production(source_type)
+        pending: list[tuple[ElementNode, str, ElementNode]] = []
 
         if isinstance(production, Str):
             info = self.embedding.info((source_type, STR_KEY, 1))
@@ -88,7 +106,9 @@ class _Inverter:
                     raise InverseError(
                         f"AND path {info.path} missing below <{image.tag}> "
                         f"(image of {source_type})")
-                node.append(self.rebuild(target, child_type))
+                child = ElementNode(child_type)
+                node.append(child)
+                pending.append((target, child_type, child))
         elif isinstance(production, Disjunction):
             matches: list[tuple[str, ElementNode]] = []
             for child_type in production.children:
@@ -109,7 +129,9 @@ class _Inverter:
                         f"<{image.tag}>")
             else:
                 child_type, target = matches[0]
-                node.append(self.rebuild(target, child_type))
+                child = ElementNode(child_type)
+                node.append(child)
+                pending.append((target, child_type, child))
         elif isinstance(production, Star):
             info = self.embedding.info((source_type, production.child, 1))
             carrier = info.carrier_index
@@ -126,8 +148,10 @@ class _Inverter:
                     raise InverseError(
                         f"STAR path suffix missing under <{label}> instance "
                         f"(image of {source_type})")
-                node.append(self.rebuild(target, production.child))
-        return node
+                child = ElementNode(production.child)
+                node.append(child)
+                pending.append((target, production.child, child))
+        return pending
 
 
 def run_invert(embedding: SchemaEmbedding, target_root: ElementNode,

@@ -96,10 +96,19 @@ class Translator:
     #: Flush threshold for the structural memo.
     memo_limit = 4096
 
-    def __init__(self, embedding: SchemaEmbedding) -> None:
+    def __init__(self, embedding: SchemaEmbedding,
+                 prime: bool = True) -> None:
         self.embedding = embedding
         self.source = embedding.source
         self._memo: dict[tuple[PathExpr, str], ANFA] = {}
+        self._qual_memo: dict[tuple[Qualifier, Optional[str]], QualExpr] = {}
+        self._translate_memo: dict[tuple[PathExpr, str], ANFA] = {}
+        if prime:
+            # Compile the per-edge table up front: every translation
+            # bottoms out in these automata, and a Translator is a
+            # compile-once artifact (CompiledEmbedding re-priming after
+            # construction is a no-op thanks to the memo).
+            self.prime_edges()
 
     def prime_edges(self) -> int:
         """Precompile ``Trl(B, A)`` / ``Trl(text(), A)`` for every
@@ -129,13 +138,27 @@ class Translator:
     # -- public -------------------------------------------------------------
     def translate(self, query: PathExpr,
                   context_type: Optional[str] = None) -> ANFA:
-        """``Tr(Q) = Trl(Q, r1)`` (or at an explicit context type)."""
+        """``Tr(Q) = Trl(Q, r1)`` (or at an explicit context type).
+
+        Whole-query results are memoised (bounded like ``Trl``'s memo):
+        repeated queries return the shared, already-trimmed automaton —
+        treat it as immutable (``ANFA.copy`` for a private copy), the
+        same contract as the engine's translation LRU one level up.
+        """
         context = context_type or self.source.root
         if context not in self.source.elements:
             raise TranslationError(f"unknown source type {context!r}")
+        key = (query, context)
+        cached = self._translate_memo.get(key)
+        if cached is not None:
+            return cached
         if contains_descendant(query):
             query = lower_descendants(query, self.source.types)
-        return self.trl(query, context).trim()
+        result = self.trl(query, context).trim()
+        if len(self._translate_memo) >= self.memo_limit:
+            self._translate_memo.clear()
+        self._translate_memo[key] = result
+        return result
 
     # -- Trl ------------------------------------------------------------------
     def trl(self, query: PathExpr, context: str) -> ANFA:
@@ -150,23 +173,16 @@ class Translator:
         return built
 
     def _trl(self, query: PathExpr, context: str) -> ANFA:
-        if isinstance(query, EmptyPath):
-            anfa = ANFA()
-            anfa.set_final(anfa.start, context)
-            return anfa
-        if isinstance(query, Label):
-            return self._trl_label(query.name, context)
-        if isinstance(query, TextStep):
-            return self._trl_text(context)
-        if isinstance(query, Union):
-            return self._trl_union(query, context)
-        if isinstance(query, Seq):
-            return self._trl_seq(query, context)
-        if isinstance(query, Qualified):
-            return self._trl_qualified(query, context)
-        if isinstance(query, Star):
-            return self._trl_star(query, context)
-        raise TranslationError(f"cannot translate {query!r}")
+        handler = _TRL_DISPATCH.get(type(query))
+        if handler is None:
+            raise TranslationError(f"cannot translate {query!r}")
+        return handler(self, query, context)
+
+    def _trl_empty(self, query: EmptyPath, context: str) -> ANFA:
+        anfa = ANFA()
+        anfa.set_final(anfa.start, context)
+        anfa._is_trim = True
+        return anfa
 
     # -- case (b): labels ------------------------------------------------------
     def _path_anfa(self, path: XRPath, lab: Optional[str]) -> ANFA:
@@ -183,6 +199,7 @@ class Translator:
             state = nxt
             lab = STR_LAB
         anfa.set_final(state, lab)
+        anfa._is_trim = True  # a chain ending in its only final
         return anfa
 
     def _trl_label(self, label: str, context: str) -> ANFA:
@@ -206,7 +223,8 @@ class Translator:
         for segment in segments:
             piece = self._path_anfa(segment, label)
             mapping = anfa.embed(piece)
-            anfa.add_eps(anfa.start, mapping[piece.start])
+            anfa.add_eps(anfa.start, mapping.base + piece.start)
+        anfa._is_trim = True  # a union of trim chains, all finals kept
         return anfa
 
     def _trl_text(self, context: str) -> ANFA:
@@ -226,8 +244,10 @@ class Translator:
         anfa = ANFA()
         left_map = anfa.embed(left)
         right_map = anfa.embed(right)
-        anfa.add_eps(anfa.start, left_map[left.start])
-        anfa.add_eps(anfa.start, right_map[right.start])
+        anfa.add_eps(anfa.start, left_map.base + left.start)
+        anfa.add_eps(anfa.start, right_map.base + right.start)
+        # Finals of both branches are kept, so trimness is inherited.
+        anfa._is_trim = left._is_trim and right._is_trim
         return anfa
 
     def _trl_seq(self, query: Seq, context: str) -> ANFA:
@@ -236,12 +256,17 @@ class Translator:
             return fail_anfa()
         anfa = ANFA()
         first_map = anfa.embed(first)
-        anfa.add_eps(anfa.start, first_map[first.start])
-        # One embedded continuation per distinct lab.
+        first_base = first_map.base
+        anfa.add_eps(anfa.start, first_base + first.start)
+        # One embedded continuation per distinct lab.  Trimness holds
+        # iff every final of ``first`` got a live, trim continuation
+        # (a dropped str/failed lab leaves its cleared finals dead).
         entries: dict[str, Optional[int]] = {}
+        all_live = first._is_trim
         for state, lab in first.finals.items():
-            anfa.clear_final(first_map[state])
+            anfa.clear_final(first_base + state)
             if lab is None or lab == STR_LAB:
+                all_live = False
                 continue  # strings have no continuation
             if lab not in entries:
                 continuation = self.trl(query.right, lab)
@@ -249,10 +274,15 @@ class Translator:
                     entries[lab] = None
                 else:
                     mapping = anfa.embed(continuation)
-                    entries[lab] = mapping[continuation.start]
+                    entries[lab] = mapping.base + continuation.start
+                    if not continuation._is_trim:
+                        all_live = False
             entry = entries[lab]
             if entry is not None:
-                anfa.add_eps(first_map[state], entry)
+                anfa.add_eps(first_base + state, entry)
+            else:
+                all_live = False
+        anfa._is_trim = all_live
         return anfa
 
     # -- case (e): qualifiers -------------------------------------------------------
@@ -271,13 +301,17 @@ class Translator:
             # transitions that the qualifier must not affect.
             anfa = ANFA()
             mapping = anfa.embed(inner)
-            anfa.add_eps(anfa.start, mapping[inner.start])
+            base = mapping.base
+            anfa.add_eps(anfa.start, base + inner.start)
             for state, lab in inner.finals.items():
-                anfa.clear_final(mapping[state])
+                anfa.clear_final(base + state)
                 accept = anfa.new_state()
-                anfa.add_eps(mapping[state], accept)
+                anfa.add_eps(base + state, accept)
                 anfa.set_final(accept, lab)
                 anfa.annotate(accept, quals[lab])
+            # Every old final gained an ε to a fresh accept state, so
+            # liveness is inherited (θ does not affect trimming).
+            anfa._is_trim = inner._is_trim
             return anfa
 
         # Positional qualifier: call transition with list-index filter.
@@ -291,10 +325,22 @@ class Translator:
             sub=inner,
             quals=tuple((lab, quals[lab]) for lab in labs),
             dst_by_lab=tuple(dst_by_lab)))
+        anfa._is_trim = True  # start -> call -> per-lab finals
         return anfa
 
     # -- cases (f)-(j): qualifier translation ------------------------------------------
     def trl_qual(self, qual: Qualifier, lab: Optional[str]) -> QualExpr:
+        key = (qual, lab)
+        cached = self._qual_memo.get(key)
+        if cached is not None:
+            return cached
+        if len(self._qual_memo) >= self.memo_limit:
+            self._qual_memo.clear()
+        built = self._trl_qual(qual, lab)
+        self._qual_memo[key] = built
+        return built
+
+    def _trl_qual(self, qual: Qualifier, lab: Optional[str]) -> QualExpr:
         if isinstance(qual, QTrue):
             return QualTrue()
         if isinstance(qual, QPos):
@@ -329,8 +375,9 @@ class Translator:
         anfa.set_final(anfa.start, context)  # p^0
 
         entries: dict[str, Optional[int]] = {}
-        copies: list[tuple[dict[int, int], ANFA]] = []
+        copies: list[tuple[int, ANFA]] = []
         pending = [context]
+        bodies_trim = True
         while pending:
             source_type = pending.pop()
             if source_type in entries:
@@ -340,8 +387,10 @@ class Translator:
                 entries[source_type] = None
                 continue
             mapping = anfa.embed(body)
-            entries[source_type] = mapping[body.start]
-            copies.append((mapping, body))
+            entries[source_type] = mapping.base + body.start
+            copies.append((mapping.base, body))
+            if not body._is_trim:
+                bodies_trim = False
             for lab in body.final_labs():
                 if lab is not None and lab != STR_LAB and lab not in entries:
                     pending.append(lab)
@@ -349,14 +398,31 @@ class Translator:
         start_entry = entries.get(context)
         if start_entry is not None:
             anfa.add_eps(anfa.start, start_entry)
-        for mapping, body in copies:
+        for base, body in copies:
             for state, lab in body.finals.items():
                 if lab is None or lab == STR_LAB:
                     continue
                 entry = entries.get(lab)
                 if entry is not None:
-                    anfa.add_eps(mapping[state], entry)
+                    anfa.add_eps(base + state, entry)
+        # Every embedded body keeps its finals (each p^k prefix is a
+        # result) and is entered from a reachable final of its
+        # discovering body, so trimness is inherited from the bodies.
+        anfa._is_trim = bodies_trim
         return anfa
+
+
+#: Type-keyed dispatch for ``Trl`` (one dict probe instead of an
+#: isinstance chain on the hottest recursion).
+_TRL_DISPATCH = {
+    EmptyPath: Translator._trl_empty,
+    Label: lambda self, query, context: self._trl_label(query.name, context),
+    TextStep: lambda self, query, context: self._trl_text(context),
+    Union: Translator._trl_union,
+    Seq: Translator._trl_seq,
+    Qualified: Translator._trl_qualified,
+    Star: Translator._trl_star,
+}
 
 
 def translate_query(embedding: SchemaEmbedding, query: PathExpr,

@@ -3,6 +3,10 @@ persist/parallelise the compiled artifacts.
 
 * :mod:`repro.engine.compiled` — :class:`CompiledSchema` and
   :class:`CompiledEmbedding`, the immutable per-fingerprint artifacts;
+* :mod:`repro.engine.plan` — the document-plane fast path:
+  :class:`MappingProgram` / :class:`InverseProgram`, flat per-type
+  instruction sequences interpreted without recursion (byte-identical
+  to the reference InstMap / inverse walkers);
 * :mod:`repro.engine.session` — the :class:`Engine` session with LRU
   caches, ``save_store``/``warm_start`` persistence, and the
   process-wide :func:`default_engine` that the classic one-shot API
@@ -16,6 +20,7 @@ persist/parallelise the compiled artifacts.
 """
 
 from repro.engine.compiled import CompiledEmbedding, CompiledSchema
+from repro.engine.plan import InverseProgram, MappingProgram, PlanError
 from repro.engine.corpus import (
     CorpusDocument,
     CorpusError,
@@ -48,7 +53,10 @@ __all__ = [
     "CorpusOutcome",
     "Engine",
     "EngineConfig",
+    "InverseProgram",
+    "MappingProgram",
     "ParallelReport",
+    "PlanError",
     "ParallelRunner",
     "StoreError",
     "TranslationOutcome",

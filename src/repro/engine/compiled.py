@@ -136,7 +136,7 @@ class CompiledEmbedding:
 
     __slots__ = ("embedding", "fingerprint", "source_schema",
                  "target_schema", "translator", "edge_table_size",
-                 "_instmap", "_validated")
+                 "_instmap", "_inverse", "_validated")
 
     def __init__(self, embedding: SchemaEmbedding,
                  source_schema: Optional[CompiledSchema] = None,
@@ -153,6 +153,7 @@ class CompiledEmbedding:
         # behaviour for broken embeddings identical to the seed's
         # lazy classification).
         self._instmap: Optional[InstMap] = None
+        self._inverse = None
         self._validated = False
 
     @property
@@ -198,7 +199,26 @@ class CompiledEmbedding:
 
     def invert(self, target_root: ElementNode,
                strict: bool = True) -> ElementNode:
-        """``σd⁻¹`` over the shared path classifications."""
+        """``σd⁻¹`` via the compiled inverse program (per-edge step
+        templates with pre-resolved occurrence indexes, iterative walk);
+        embeddings the plan compiler rejects use the reference walker
+        with its exact lazy error behaviour."""
+        if self._inverse is None:
+            from repro.engine.plan import InverseProgram, PlanError
+
+            try:
+                self._inverse = InverseProgram(self.embedding,
+                                               self.instmap._infos)
+            except PlanError:
+                self._inverse = False  # compile refused: reference path
+            except Exception:
+                if self._validated:
+                    raise  # a validated embedding must compile
+                # ``invert`` historically never validates: a broken
+                # embedding keeps the reference walker's lazy errors.
+                self._inverse = False
+        if self._inverse:
+            return self._inverse.apply(target_root, strict=strict)
         return run_invert(self.embedding, target_root, strict=strict)
 
     # -- identity -----------------------------------------------------------

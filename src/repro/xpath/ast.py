@@ -12,7 +12,24 @@ from functools import reduce
 from typing import Iterable
 
 
-class PathExpr:
+class _StructurallyHashed:
+    """Shared plumbing for the memoisable AST nodes.
+
+    Translation memoises on ``(subquery, context)`` keys, so the same
+    subtree is hashed once per memo probe — recursive structural
+    hashing makes that O(|Q|) per probe and O(|Q|²) per translation.
+    :func:`_cache_hashes` wraps each node class's generated hash to
+    compute it once per object; the cache lives in ``__dict__`` (legal
+    on frozen dataclasses) and is dropped on pickling because hash
+    values do not survive process boundaries (PYTHONHASHSEED).
+    """
+
+    def __getstate__(self):
+        return {key: value for key, value in self.__dict__.items()
+                if not key.startswith("_cached_")}
+
+
+class PathExpr(_StructurallyHashed):
     """Base class of path expressions ``p``."""
 
     def __truediv__(self, other: "PathExpr") -> "PathExpr":
@@ -28,7 +45,7 @@ class PathExpr:
         return Qualified(self, qual)
 
 
-class Qualifier:
+class Qualifier(_StructurallyHashed):
     """Base class of qualifiers ``q``."""
 
     def __and__(self, other: "Qualifier") -> "Qualifier":
@@ -193,6 +210,27 @@ class QOr(Qualifier):
 
 # -- helpers --------------------------------------------------------------
 
+def _cache_hashes() -> None:
+    """Wrap every AST node's dataclass-generated ``__hash__`` with a
+    per-object cache (see :class:`_StructurallyHashed`)."""
+    for node_class in (EmptyPath, Label, TextStep, Seq, Union, Star,
+                       DescOrSelf, Qualified, QTrue, QPath, QText, QPos,
+                       QNot, QAnd, QOr):
+        generated = node_class.__hash__
+
+        def __hash__(self, _generated=generated):
+            cached = self.__dict__.get("_cached_hash")
+            if cached is None:
+                cached = _generated(self)
+                self.__dict__["_cached_hash"] = cached
+            return cached
+
+        node_class.__hash__ = __hash__
+
+
+_cache_hashes()
+
+
 def _wrap(expr: PathExpr, kinds) -> str:
     rendered = str(expr)
     return f"({rendered})" if isinstance(expr, kinds) else rendered
@@ -244,18 +282,30 @@ def contains_star(expr: PathExpr | Qualifier) -> bool:
 
 
 def contains_descendant(expr: PathExpr | Qualifier) -> bool:
-    """Whether the expression uses ``//`` (the ``X`` fragment axis)."""
+    """Whether the expression uses ``//`` (the ``X`` fragment axis).
+
+    Cached per AST object (the translation entry point asks on every
+    call; nodes are immutable, so the answer never changes).
+    """
+    cached = expr.__dict__.get("_cached_desc")
+    if cached is not None:
+        return cached
     if isinstance(expr, DescOrSelf):
-        return True
-    if isinstance(expr, (Seq, Union, QAnd, QOr)):
-        return contains_descendant(expr.left) or contains_descendant(expr.right)
-    if isinstance(expr, Qualified):
-        return contains_descendant(expr.inner) or contains_descendant(expr.qual)
-    if isinstance(expr, QNot):
-        return contains_descendant(expr.inner)
-    if isinstance(expr, (QPath, QText)):
-        return contains_descendant(expr.path)
-    return False
+        result = True
+    elif isinstance(expr, (Seq, Union, QAnd, QOr)):
+        result = (contains_descendant(expr.left)
+                  or contains_descendant(expr.right))
+    elif isinstance(expr, Qualified):
+        result = (contains_descendant(expr.inner)
+                  or contains_descendant(expr.qual))
+    elif isinstance(expr, QNot):
+        result = contains_descendant(expr.inner)
+    elif isinstance(expr, (QPath, QText)):
+        result = contains_descendant(expr.path)
+    else:
+        result = False
+    expr.__dict__["_cached_desc"] = result
+    return result
 
 
 def lower_descendants(expr, alphabet: Iterable[str]):

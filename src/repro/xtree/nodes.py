@@ -190,23 +190,34 @@ def tree_equal(t1: Node, t2: Node) -> bool:
 
     Isomorphism that is the identity on string values: same labels, same
     child lists pairwise-equal, same PCDATA.  Node ids are ignored.
+    Iterative, so arbitrarily deep documents compare safely.
     """
-    if isinstance(t1, TextNode) and isinstance(t2, TextNode):
-        return t1.value == t2.value
-    if isinstance(t1, ElementNode) and isinstance(t2, ElementNode):
-        if t1.tag != t2.tag or len(t1.children) != len(t2.children):
+    stack: list[tuple[Node, Node]] = [(t1, t2)]
+    while stack:
+        n1, n2 = stack.pop()
+        if isinstance(n1, TextNode):
+            if not isinstance(n2, TextNode) or n1.value != n2.value:
+                return False
+            continue
+        if not isinstance(n1, ElementNode) or not isinstance(n2, ElementNode):
             return False
-        return all(tree_equal(c1, c2)
-                   for c1, c2 in zip(t1.children, t2.children))
-    return False
+        if n1.tag != n2.tag or len(n1.children) != len(n2.children):
+            return False
+        stack.extend(zip(n1.children, n2.children))
+    return True
 
 
 def tree_size(t: Node) -> int:
-    """Number of nodes (elements and text nodes) in the subtree."""
-    if isinstance(t, TextNode):
-        return 1
-    assert isinstance(t, ElementNode)
-    return 1 + sum(tree_size(c) for c in t.children)
+    """Number of nodes (elements and text nodes) in the subtree
+    (iterative: deep documents must not recurse)."""
+    count = 0
+    stack: list[Node] = [t]
+    while stack:
+        node = stack.pop()
+        count += 1
+        if isinstance(node, ElementNode):
+            stack.extend(node.children)
+    return count
 
 
 def document_order(root: ElementNode) -> dict[int, int]:
@@ -215,14 +226,28 @@ def document_order(root: ElementNode) -> dict[int, int]:
 
 
 def copy_tree(t: Node, fresh_ids: bool = True) -> Node:
-    """Deep-copy a subtree; by default the copy gets fresh node ids."""
+    """Deep-copy a subtree; by default the copy gets fresh node ids.
+    Iterative (explicit stack), so deep documents copy safely."""
     if isinstance(t, TextNode):
         return TextNode(t.value, node_id=None if fresh_ids else t.node_id)
     assert isinstance(t, ElementNode)
-    node = ElementNode(t.tag, node_id=None if fresh_ids else t.node_id)
-    for child in t.children:
-        node.append(copy_tree(child, fresh_ids=fresh_ids))
-    return node
+    root = ElementNode(t.tag, node_id=None if fresh_ids else t.node_id)
+    stack: list[tuple[ElementNode, ElementNode]] = [(t, root)]
+    while stack:
+        source, copy = stack.pop()
+        for child in source.children:
+            if isinstance(child, TextNode):
+                copy.append(TextNode(
+                    child.value, node_id=None if fresh_ids else child.node_id))
+            else:
+                assert isinstance(child, ElementNode)
+                twin = ElementNode(
+                    child.tag, node_id=None if fresh_ids else child.node_id)
+                copy.append(twin)
+                stack.append((child, twin))
+        # Children were appended in document order; deeper levels fill in
+        # as their frames pop — order within each parent is preserved.
+    return root
 
 
 def dom(root: ElementNode) -> set[int]:

@@ -180,73 +180,96 @@ def _parse_attributes(scanner: _Scanner, allow: bool) -> None:
                 scanner.pos, scanner.source)
 
 
-def _parse_element(scanner: _Scanner, allow_attributes: bool,
-                   keep_whitespace: bool) -> ElementNode:
+def _flush_text(node: ElementNode, buffer: list[tuple[str, bool]],
+                scanner: _Scanner, keep_whitespace: bool) -> None:
+    """Decode and append the buffered text run, if any.
+
+    Text segments are (content, is_cdata) — CDATA bypasses entity
+    decoding; contiguous segments are grouped so entity references
+    spanning several character chunks decode as one run.
+    """
+    if not buffer:
+        return
+    groups: list[tuple[str, bool]] = []
+    for chunk, is_cdata in buffer:
+        if groups and groups[-1][1] == is_cdata:
+            groups[-1] = (groups[-1][0] + chunk, is_cdata)
+        else:
+            groups.append((chunk, is_cdata))
+    decoded = "".join(
+        chunk if is_cdata else _decode_entities(chunk, scanner)
+        for chunk, is_cdata in groups)
+    has_cdata = any(is_cdata for _chunk, is_cdata in buffer)
+    buffer.clear()
+    if decoded and (keep_whitespace or has_cdata or decoded.strip()):
+        value = (decoded if keep_whitespace or has_cdata
+                 else decoded.strip())
+        node.append(TextNode(value))
+
+
+def _open_element(scanner: _Scanner, allow_attributes: bool,
+                  ) -> tuple[ElementNode, bool]:
+    """Parse a start tag; returns (node, closed) — closed for ``<a/>``."""
     scanner.expect("<")
     tag = scanner.read_name()
     node = ElementNode(tag)
     _parse_attributes(scanner, allow_attributes)
     if scanner.peek(2) == "/>":
         scanner.advance(2)
-        return node
+        return node, True
     scanner.expect(">")
+    return node, False
 
-    # Text segments: (content, is_cdata) — CDATA bypasses entity decoding.
-    buffer: list[tuple[str, bool]] = []
 
-    def flush_text() -> None:
-        if not buffer:
-            return
-        # Group contiguous segments so entity references spanning
-        # several character chunks decode as one run.
-        groups: list[tuple[str, bool]] = []
-        for chunk, is_cdata in buffer:
-            if groups and groups[-1][1] == is_cdata:
-                groups[-1] = (groups[-1][0] + chunk, is_cdata)
-            else:
-                groups.append((chunk, is_cdata))
-        decoded = "".join(
-            chunk if is_cdata else _decode_entities(chunk, scanner)
-            for chunk, is_cdata in groups)
-        has_cdata = any(is_cdata for _chunk, is_cdata in buffer)
-        buffer.clear()
-        if decoded and (keep_whitespace or has_cdata or decoded.strip()):
-            value = (decoded if keep_whitespace or has_cdata
-                     else decoded.strip())
-            node.append(TextNode(value))
+def _parse_element(scanner: _Scanner, allow_attributes: bool,
+                   keep_whitespace: bool) -> ElementNode:
+    """Parse one element with an explicit open-element stack.
 
-    while True:
+    Iterative on purpose: documents nest arbitrarily deep (the serving
+    daemon accepts thousand-level documents) and must never hit the
+    Python recursion limit.
+    """
+    root, closed = _open_element(scanner, allow_attributes)
+    if closed:
+        return root
+    # (node, text buffer) per open element, innermost last.
+    stack: list[tuple[ElementNode, list[tuple[str, bool]]]] = [(root, [])]
+    while stack:
+        node, buffer = stack[-1]
         if scanner.eof():
-            raise XMLParseError(f"unterminated element <{tag}>",
+            raise XMLParseError(f"unterminated element <{node.tag}>",
                                 scanner.pos, scanner.source)
         if scanner.peek(2) == "</":
-            flush_text()
+            _flush_text(node, buffer, scanner, keep_whitespace)
             scanner.advance(2)
             close = scanner.read_name()
-            if close != tag:
+            if close != node.tag:
                 raise XMLParseError(
-                    f"mismatched end tag </{close}>, expected </{tag}>",
+                    f"mismatched end tag </{close}>, expected </{node.tag}>",
                     scanner.pos, scanner.source)
             scanner.skip_ws()
             scanner.expect(">")
-            return node
-        if scanner.peek(4) == "<!--":
-            flush_text()
+            stack.pop()
+        elif scanner.peek(4) == "<!--":
+            _flush_text(node, buffer, scanner, keep_whitespace)
             scanner.advance(4)
             scanner.read_until("-->")
         elif scanner.peek(9) == "<![CDATA[":
             scanner.advance(9)
             buffer.append((scanner.read_until("]]>"), True))
         elif scanner.peek(2) == "<?":
-            flush_text()
+            _flush_text(node, buffer, scanner, keep_whitespace)
             scanner.advance(2)
             scanner.read_until("?>")
         elif scanner.peek() == "<":
-            flush_text()
-            node.append(_parse_element(scanner, allow_attributes,
-                                       keep_whitespace))
+            _flush_text(node, buffer, scanner, keep_whitespace)
+            child, closed = _open_element(scanner, allow_attributes)
+            node.append(child)
+            if not closed:
+                stack.append((child, []))
         else:
             buffer.append((scanner.advance(), False))
+    return root
 
 
 def parse_xml(source: str, allow_attributes: bool = False,

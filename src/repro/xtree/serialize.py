@@ -1,4 +1,10 @@
-"""Serialisation of XML trees back to text."""
+"""Serialisation of XML trees back to text.
+
+Rendering is iterative (explicit work stack over a single preallocated
+output buffer): deep documents — thousands of nesting levels — must
+serialize without touching the Python recursion limit, and the serving
+daemon calls this once per mapped document.
+"""
 
 from __future__ import annotations
 
@@ -22,29 +28,44 @@ def to_string(node: Node, indent: int | None = 2, show_ids: bool = False) -> str
     mirroring how the paper suggests exposing ids via ``generate-id()``.
     """
     pieces: list[str] = []
-    _render(node, pieces, 0, indent, show_ids)
+    append = pieces.append
+    # Work stack: (node, depth) to open, or (close_text, None) markers
+    # pushed beneath a node's children.
+    stack: list[tuple] = [(node, 0)]
+    pad_cache: dict[int, str] = {}
+    while stack:
+        item, depth = stack.pop()
+        if depth is None:
+            append(item)  # prebuilt closing tag line
+            continue
+        if indent is not None:
+            pad = pad_cache.get(depth)
+            if pad is None:
+                pad = " " * (indent * depth)
+                pad_cache[depth] = pad
+        else:
+            pad = ""
+        if isinstance(item, TextNode):
+            append(pad + escape_text(item.value))
+            continue
+        assert isinstance(item, ElementNode)
+        attr = f' id="{item.node_id}"' if show_ids else ""
+        children = item.children
+        if not children:
+            append(f"{pad}<{item.tag}{attr}/>")
+            continue
+        only_text = True
+        for child in children:
+            if not isinstance(child, TextNode):
+                only_text = False
+                break
+        if only_text:
+            body = "".join(escape_text(child.value) for child in children)
+            append(f"{pad}<{item.tag}{attr}>{body}</{item.tag}>")
+            continue
+        append(f"{pad}<{item.tag}{attr}>")
+        stack.append((f"{pad}</{item.tag}>", None))
+        for child in reversed(children):
+            stack.append((child, depth + 1))
     joiner = "\n" if indent is not None else ""
     return joiner.join(pieces)
-
-
-def _render(node: Node, out: list[str], depth: int, indent: int | None,
-            show_ids: bool) -> None:
-    pad = " " * (indent * depth) if indent is not None else ""
-    if isinstance(node, TextNode):
-        out.append(pad + escape_text(node.value))
-        return
-    assert isinstance(node, ElementNode)
-    attr = f' id="{node.node_id}"' if show_ids else ""
-    if not node.children:
-        out.append(f"{pad}<{node.tag}{attr}/>")
-        return
-    only_text = all(isinstance(c, TextNode) for c in node.children)
-    if only_text:
-        body = "".join(escape_text(c.value) for c in node.children
-                       if isinstance(c, TextNode))
-        out.append(f"{pad}<{node.tag}{attr}>{body}</{node.tag}>")
-        return
-    out.append(f"{pad}<{node.tag}{attr}>")
-    for child in node.children:
-        _render(child, out, depth + 1, indent, show_ids)
-    out.append(f"{pad}</{node.tag}>")

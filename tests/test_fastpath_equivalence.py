@@ -1,0 +1,130 @@
+"""Fast-path equivalence: compiled programs vs. the reference walkers.
+
+The compiled document plane (:mod:`repro.engine.plan`) must be
+**byte-identical** to the reference implementations — same serialized
+trees, same ``idM`` correspondence, same inverse, same query answers —
+on randomized corpora over every library schema pair and a set of
+synthetic random schemas.  This suite is the invariant's enforcement
+point (see ROADMAP "fast-path invariant").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.anfa.evaluate import evaluate_anfa
+from repro.core.instmap import InstMap, MappingResult
+from repro.core.inverse import run_invert
+from repro.core.translate import Translator
+from repro.dtd.generate import random_instance
+from repro.engine.plan import InverseProgram
+from repro.workloads.library import SCHEMA_LIBRARY
+from repro.workloads.noise import expand_schema
+from repro.workloads.queries import random_queries
+from repro.workloads.synthetic import random_dtd
+from repro.xtree.nodes import ElementNode, tree_equal
+from repro.xtree.serialize import to_string
+
+
+def _idm_signature(result: MappingResult) -> list[tuple[int, int]]:
+    """``idM`` rendered structurally: (pre-order index of the target
+    node, source node id).  Comparable across two runs on the same
+    source document even though target ids are globally fresh."""
+    order = {node.node_id: index
+             for index, node in enumerate(result.tree.iter())}
+    return sorted((order[target], source)
+                  for target, source in result.idM.items())
+
+
+def _answers(anfa, result: MappingResult) -> list[object]:
+    """Query answers mapped back through ``idM``: source ids for
+    elements, values for strings — comparable across runs."""
+    out = []
+    for item in evaluate_anfa(anfa, result.tree):
+        if isinstance(item, ElementNode):
+            out.append(("id", result.idM.get(item.node_id)))
+        else:
+            out.append(("str", item))
+    return out
+
+
+def _assert_equivalent(embedding, instance, queries) -> None:
+    instmap = InstMap(embedding)
+    assert instmap._program is not None, "fast path failed to compile"
+    fast = instmap.apply(instance)
+    reference = instmap.apply_reference(instance)
+
+    # Identical trees (bytes) and identical idM correspondence.
+    assert to_string(fast.tree) == to_string(reference.tree)
+    assert _idm_signature(fast) == _idm_signature(reference)
+
+    # Identical inverses, and both recover the source.
+    inverse = InverseProgram(embedding, instmap._infos)
+    recovered_fast = inverse.apply(fast.tree)
+    recovered_reference = run_invert(embedding, reference.tree)
+    assert to_string(recovered_fast) == to_string(recovered_reference)
+    assert tree_equal(recovered_fast, instance)
+
+    # Identical query answers through either mapped document.
+    translator = Translator(embedding)
+    for query in queries:
+        anfa = translator.translate(query)
+        assert _answers(anfa, fast) == _answers(anfa, reference), str(query)
+
+
+@pytest.mark.parametrize("name", sorted(SCHEMA_LIBRARY))
+def test_library_pair_equivalence(name):
+    source = SCHEMA_LIBRARY[name]()
+    expansion = expand_schema(source, seed=5)
+    queries = random_queries(source, 6, seed=21, max_steps=6)
+    for seed in range(4):
+        instance = random_instance(source, seed=seed, max_depth=8)
+        _assert_equivalent(expansion.embedding, instance, queries)
+
+
+def test_school_pair_equivalence(school):
+    bundle = school
+    for sigma, dtd in ((bundle.sigma1, bundle.classes),
+                       (bundle.sigma2, bundle.students)):
+        queries = random_queries(dtd, 8, seed=13, max_steps=7)
+        for seed in range(6):
+            instance = random_instance(dtd, seed=seed, max_depth=9)
+            _assert_equivalent(sigma, instance, queries)
+
+
+@pytest.mark.parametrize("n_types,seed", [(8, 1), (14, 2), (20, 3),
+                                          (26, 4), (12, 7)])
+def test_synthetic_pair_equivalence(n_types, seed):
+    """Random schemas from the synthetic generator, expanded into
+    embedding pairs — shapes the library does not cover (deep stars,
+    optional disjunctions, repeated concat children)."""
+    source = random_dtd(n_types, seed=seed, star_p=0.3, or_p=0.3,
+                        recursive_p=0.15)
+    expansion = expand_schema(source, seed=seed + 50)
+    queries = random_queries(source, 5, seed=seed, max_steps=6)
+    for instance_seed in range(3):
+        instance = random_instance(source, seed=instance_seed, max_depth=7)
+        _assert_equivalent(expansion.embedding, instance, queries)
+
+
+def test_partial_documents_fall_back_identically(school):
+    """Documents with missing/extra children take the per-fragment
+    reference fallback — output must still match the reference run."""
+    bundle = school
+    instmap = InstMap(bundle.sigma1)
+    from repro.xtree.parser import parse_xml
+
+    partials = [
+        # A class missing its title: concat shape mismatch -> fallback.
+        "<db><class><cno>1</cno><type><project>p</project></type>"
+        "</class></db>",
+        # Children out of production order.
+        "<db><class><title>t</title><cno>1</cno>"
+        "<type><project>p</project></type></class></db>",
+    ]
+    for xml in partials:
+        document = parse_xml(xml)
+        fast = instmap.apply(document)
+        reference = instmap.apply_reference(document)
+        assert to_string(fast.tree) == to_string(reference.tree)
+        assert _idm_signature(fast) == _idm_signature(reference)
