@@ -1,0 +1,288 @@
+"""E19 — pre-fork serve fleet: throughput ladder over worker counts.
+
+The fleet scenario behind ``repro serve --workers N``: the store is
+packed once (``repro store pack``), then a supervisor pre-forks N
+workers that each open the pack zero-copy (mmap) and serve on one
+shared port.  Concurrent keep-alive clients hammer the shared port at
+every fleet size in the ladder.
+
+Two claims are checked on every run (including ``--smoke``):
+
+* **correctness** — every response, at every fleet size, is
+  byte-identical to the direct in-process Engine call *and* to the
+  other fleet sizes (the fleet invariant: process count is invisible
+  in payloads); every worker's ``/healthz`` reports
+  ``store_json_parses == 0`` (warm start from the pack re-parses no
+  JSON artifact) and the expected pack generation; every fired request
+  completes;
+* **throughput** — req/s per fleet size; the headline ``ops_per_sec``
+  is the largest fleet's, the full ladder lands in ``extra.scaling``.
+  Scaling is *reported, not gated* — CI containers may expose a single
+  core, where extra workers cannot help.
+
+Run standalone for the table::
+
+    PYTHONPATH=src python benchmarks/bench_serve_fleet.py
+
+CI smoke (small workload, correctness asserted)::
+
+    PYTHONPATH=src python benchmarks/bench_serve_fleet.py --smoke --json BENCH_serve_fleet.json
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import benchlib
+
+from repro.dtd.generate import InstanceGenerator
+from repro.engine import Engine, pack_store
+from repro.serve import FleetServer, ServeClient
+from repro.serve.metrics import percentile
+from repro.workloads.noise import expand_schema
+from repro.workloads.queries import random_queries
+from repro.workloads.synthetic import random_dtd
+from repro.xtree.parser import parse_xml
+from repro.xtree.serialize import to_string
+
+SMOKE = {"clients": 4, "requests_per_client": 18, "schema_types": 30,
+         "documents": 6, "queries": 6, "fleet_sizes": [1, 2]}
+FULL = {"clients": 8, "requests_per_client": 60, "schema_types": 60,
+        "documents": 12, "queries": 10, "fleet_sizes": [1, 2, 4]}
+
+#: How long to wait for every forked worker to answer /healthz.
+_WORKER_READY_SECONDS = 30.0
+
+
+def build_workload(tmp: Path, schema_types: int, documents: int,
+                   queries: int):
+    """A packed store plus request corpora with their expected
+    (direct-engine) responses — same recipe as bench_serve_load, with
+    the pack step the fleet warm-starts from."""
+    expansion = expand_schema(random_dtd(schema_types, seed=7), seed=3)
+    sigma = expansion.embedding
+    docs = [to_string(InstanceGenerator(sigma.source, seed=seed,
+                                        max_depth=5,
+                                        star_mean=1.0).generate())
+            for seed in range(documents)]
+    query_texts = [str(q) for q in random_queries(sigma.source, queries,
+                                                  seed=11)]
+    store_path = tmp / "store"
+    engine = Engine()
+    engine.compile_embedding(sigma, ensure_valid=True)
+    engine.save_store(store_path)
+    pack_store(store_path)
+    expected_maps = [
+        to_string(engine.apply_embedding(sigma, parse_xml(xml)).tree)
+        for xml in docs]
+    expected_anfas = [
+        engine.translate_query(sigma, query).canonical_describe()
+        for query in query_texts]
+    return store_path, docs, query_texts, expected_maps, expected_anfas
+
+
+def wait_for_workers(fleet: FleetServer, errors: list) -> list[dict]:
+    """Block until every worker answers /healthz on its direct port;
+    returns the health rows (or records an error per dead worker)."""
+    rows = []
+    for port in fleet.worker_ports:
+        client = ServeClient(fleet.host, port, timeout=5.0)
+        deadline = time.monotonic() + _WORKER_READY_SECONDS
+        while True:
+            try:
+                rows.append(client.healthz())
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    errors.append(f"worker on port {port} never came up")
+                    break
+                time.sleep(0.05)
+        client.close()
+    return rows
+
+
+def run_load(host: str, port: int, docs, queries, expected_maps,
+             expected_anfas, clients: int, requests_per_client: int):
+    """Fire ``clients`` concurrent keep-alive clients at the shared
+    port; returns (latencies, errors, completed, wall_seconds)."""
+    latencies: list[float] = []
+    errors: list[str] = []
+    completed = [0]
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(offset: int) -> None:
+        client = ServeClient(host, port)
+        local: list[float] = []
+        local_errors: list[str] = []
+        done = 0
+        barrier.wait()
+        try:
+            for round_no in range(requests_per_client):
+                index = (offset + round_no) % len(docs)
+                qindex = (offset + round_no) % len(queries)
+                # 2:1 map:translate mix — mapping is the heavier call.
+                if round_no % 3 != 2:
+                    started = time.perf_counter()
+                    served = client.map(xml=docs[index])["result"]
+                    local.append(time.perf_counter() - started)
+                    done += 1
+                    if not (served["ok"]
+                            and served["output"] == expected_maps[index]):
+                        local_errors.append(
+                            f"map[{index}] diverged from the direct "
+                            "engine")
+                else:
+                    started = time.perf_counter()
+                    item = client.translate(
+                        query=queries[qindex])["result"]
+                    local.append(time.perf_counter() - started)
+                    done += 1
+                    if not (item["ok"]
+                            and item["anfa"] == expected_anfas[qindex]):
+                        local_errors.append(
+                            f"translate[{qindex}] diverged from the "
+                            "direct engine")
+        except Exception as exc:
+            # A dead client thread must fail the benchmark, not drop
+            # its share of the load from the measured sample.
+            local_errors.append(
+                f"client {offset} died: {type(exc).__name__}: {exc}")
+        finally:
+            client.close()
+        with lock:
+            latencies.extend(local)
+            errors.extend(local_errors)
+            completed[0] += done
+
+    threads = [threading.Thread(target=worker, args=(offset,))
+               for offset in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    return latencies, errors, completed[0], wall
+
+
+def run_benchmark(params: dict):
+    """One full fleet-size ladder; returns (report, correct, wall,
+    errors)."""
+    errors: list[str] = []
+    ladder: list[dict] = []
+    total_wall = 0.0
+    expected_total = params["clients"] * params["requests_per_client"]
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path, docs, queries, expected_maps, expected_anfas = \
+            build_workload(Path(tmp), params["schema_types"],
+                           params["documents"], params["queries"])
+        for size in params["fleet_sizes"]:
+            with FleetServer(store_path, workers=size,
+                             port=0) as fleet:
+                health = wait_for_workers(fleet, errors)
+                for row in health:
+                    if row.get("store_json_parses") != 0:
+                        errors.append(
+                            f"fleet={size} worker {row.get('worker')} "
+                            f"paid {row.get('store_json_parses')} JSON "
+                            "parses at warm start")
+                    if row.get("generation") != 1:
+                        errors.append(
+                            f"fleet={size} worker {row.get('worker')} "
+                            f"serves generation {row.get('generation')}"
+                            ", expected 1")
+                latencies, load_errors, completed, wall = run_load(
+                    fleet.host, fleet.port, docs, queries,
+                    expected_maps, expected_anfas, params["clients"],
+                    params["requests_per_client"])
+                errors.extend(f"fleet={size}: {message}"
+                              for message in load_errors)
+                if completed != expected_total:
+                    errors.append(f"fleet={size}: only {completed} of "
+                                  f"{expected_total} requests completed")
+                total_wall += wall
+                ladder.append({
+                    "workers": size,
+                    "requests": completed,
+                    "req_per_sec": round(completed / wall, 1)
+                    if wall > 0 else 0.0,
+                    "p50_ms": round(1e3 * percentile(latencies, 50.0),
+                                    3),
+                    "p99_ms": round(1e3 * percentile(latencies, 99.0),
+                                    3),
+                })
+    headline = ladder[-1]["req_per_sec"] if ladder else 0.0
+    base = ladder[0]["req_per_sec"] if ladder else 0.0
+    report = {
+        "clients": params["clients"],
+        "requests_per_fleet_size": expected_total,
+        "scaling": ladder,
+        "speedup_vs_one_worker": round(headline / base, 2)
+        if base > 0 else 0.0,
+        "identity_errors": len(errors),
+    }
+    return report, headline, not errors, total_wall, errors
+
+
+# -- pytest entry point -------------------------------------------------------
+
+def test_serve_fleet_smoke():
+    """Correctness bar: every fleet size serves byte-identical
+    responses from zero-JSON-parse warm starts, nothing dropped."""
+    report, _ops, correct, _wall, errors = run_benchmark(SMOKE)
+    assert correct, (errors[:3], report)
+    assert [row["workers"] for row in report["scaling"]] == \
+        SMOKE["fleet_sizes"]
+    assert all(row["requests"] == report["requests_per_fleet_size"]
+               for row in report["scaling"])
+
+
+def main() -> int:
+    parser = benchlib.make_parser(__doc__)
+    args = parser.parse_args()
+    params = SMOKE if args.smoke else FULL
+
+    print(f"[E19] serve fleet: {params['clients']} concurrent clients × "
+          f"{params['requests_per_client']} requests per fleet size "
+          f"{params['fleet_sizes']} (packed store, median of "
+          f"{args.repeats})")
+
+    all_errors: list[str] = []
+
+    def run_once():
+        report, ops, correct, wall, errors = run_benchmark(params)
+        all_errors.extend(errors)
+        return ops, wall, correct, report
+
+    ops, wall, correct, report = benchlib.run_repeats(run_once,
+                                                      args.repeats)
+
+    header = (f"{'workers':>7}  {'requests':>8}  {'req/s':>8}  "
+              f"{'p50 ms':>7}  {'p99 ms':>7}")
+    print(header)
+    print("-" * len(header))
+    for row in report["scaling"]:
+        print(f"{row['workers']:>7}  {row['requests']:>8}  "
+              f"{row['req_per_sec']:>8.1f}  {row['p50_ms']:>7.2f}  "
+              f"{row['p99_ms']:>7.2f}")
+    print()
+    if all_errors:
+        for message in all_errors[:5]:
+            print(f"  error: {message}")
+    print("correctness: responses byte-identical to direct engine "
+          f"calls at every fleet size ({'OK' if correct else 'FAILED'}), "
+          "zero JSON parses per worker warm start")
+
+    result = benchlib.record("serve_fleet", args, ops_per_sec=ops,
+                             wall_time_s=wall, correct=correct,
+                             extra=report)
+    return benchlib.finish(result, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -74,8 +74,15 @@ def git_sha() -> str:
     return "unknown"
 
 
+#: Timed repetitions per throughput record; the reported ops/sec is the
+#: median run, so one noisy-neighbour blip doesn't fake a trajectory
+#: regression (or an improvement).
+DEFAULT_REPEATS = 3
+
+
 def make_parser(description: str) -> argparse.ArgumentParser:
-    """The shared CLI every benchmark exposes: ``--smoke`` + ``--json``."""
+    """The shared CLI every benchmark exposes: ``--smoke`` + ``--json``
+    + ``--repeats``."""
     parser = argparse.ArgumentParser(
         description=description,
         formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -85,7 +92,31 @@ def make_parser(description: str) -> argparse.ArgumentParser:
     parser.add_argument("--json", metavar="PATH",
                         help="write the schema-consistent BENCH record "
                              "to PATH")
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS,
+                        help="timed repetitions; the record keeps the "
+                             "median run's throughput (default "
+                             f"{DEFAULT_REPEATS})")
     return parser
+
+
+def run_repeats(run_once, repeats: int = DEFAULT_REPEATS):
+    """Run ``run_once() -> (ops_per_sec, wall_s, correct, extra)``
+    ``repeats`` times; returns the same tuple shape with the
+    median-throughput run's ops/sec and extra, the *summed* wall time
+    (what the benchmark actually cost), and ``correct`` only if every
+    repetition was.  ``extra`` gains ``repeats`` and the per-run
+    ``samples_ops_per_sec`` so the spread stays visible in artifacts.
+    """
+    repeats = max(1, int(repeats))
+    samples = [run_once() for _ in range(repeats)]
+    ranked = sorted(samples, key=lambda sample: sample[0])
+    median = ranked[(len(ranked) - 1) // 2]
+    extra = dict(median[3] or {})
+    extra["repeats"] = repeats
+    extra["samples_ops_per_sec"] = [round(float(s[0]), 2)
+                                    for s in samples]
+    return (median[0], sum(s[1] for s in samples),
+            all(s[2] for s in samples), extra)
 
 
 def record(bench: str, args: argparse.Namespace, *, ops_per_sec: float,

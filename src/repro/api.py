@@ -113,13 +113,18 @@ from repro.engine import (
     CorpusOutcome,
     Engine,
     EngineConfig,
+    PackError,
     ParallelReport,
     ParallelRunner,
     StoreError,
+    StoreView,
     TranslationOutcome,
+    current_generation,
     default_engine,
     iter_corpora,
     iter_corpus,
+    open_view,
+    pack_store,
     set_default_engine,
     write_ndjson,
 )
@@ -142,6 +147,9 @@ from repro.schema import (
     register_frontend,
 )
 from repro.serve import (
+    FleetClient,
+    FleetServer,
+    HashRing,
     ReproServer,
     ServeClient,
     ServeError,
@@ -170,9 +178,13 @@ __all__ = [
     "Engine",
     "EngineConfig",
     "EmbeddingError",
+    "FleetClient",
+    "FleetServer",
+    "HashRing",
     "InstMap",
     "InverseError",
     "MappingResult",
+    "PackError",
     "ParallelReport",
     "ParallelRunner",
     "ReproServer",
@@ -186,6 +198,7 @@ __all__ = [
     "ServiceState",
     "SimilarityMatrix",
     "StoreError",
+    "StoreView",
     "TextNode",
     "TranslationError",
     "TranslationOutcome",
@@ -204,6 +217,7 @@ __all__ = [
     "check_query_preserving",
     "check_type_safe",
     "conforms",
+    "current_generation",
     "default_engine",
     "detect_format",
     "dtd_to_compact",
@@ -223,6 +237,8 @@ __all__ = [
     "load_schema",
     "merge_dtds",
     "name_similarity",
+    "open_view",
+    "pack_store",
     "parse_compact",
     "parse_dtd",
     "parse_xml",

@@ -20,10 +20,15 @@ Commands mirror the paper's workflow:
   misses; ``--stats`` prints the aggregated cache counters;
 * ``store``     — artifact-store management: ``store build`` compiles
   schemas + an embedding into a store directory up front, ``store
-  inspect`` summarises a store's manifest;
+  inspect`` summarises a store's manifest, ``store pack`` collapses the
+  store into one mmap-able binary generation (the fleet's zero-copy
+  warm-start source; repacking hot-reloads running fleets);
 * ``serve``     — the long-lived HTTP daemon: warm-start from an
   artifact store and serve ``POST /v1/map|translate|invert|find`` plus
   ``GET /healthz|/metrics`` until interrupted (see ``repro.serve``).
+  ``--workers N`` pre-forks a fleet of N worker processes over the
+  packed store (shared port + per-worker direct ports, crash
+  supervision, hot reload); SIGTERM and Ctrl-C both drain gracefully.
 
 Embeddings are (de)serialised as JSON: λ plus ``A B occ path`` rows —
 the declarative transformation-language artifact of Section 4.5.
@@ -48,13 +53,20 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 from pathlib import Path
 from typing import Optional
 
 from repro.core.embedding import SchemaEmbedding, build_embedding
 from repro.core.instmap import InstMap
-from repro.engine import ArtifactStore, ParallelRunner, iter_corpus
+from repro.engine import (
+    ArtifactStore,
+    ParallelRunner,
+    iter_corpus,
+    open_view,
+    pack_store,
+)
 from repro.core.inverse import invert
 from repro.core.similarity import SimilarityMatrix
 from repro.core.translate import translate_query
@@ -63,7 +75,13 @@ from repro.dtd.model import DTD
 from repro.dtd.validate import ConformanceError, validate
 from repro.schema import AUTO, available_formats, detect_format, load_schema
 from repro.matching.search import find_embedding
-from repro.serve import DEFAULT_HOST, DEFAULT_PORT, ReproServer
+from repro.serve import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    DEFAULT_RELOAD_INTERVAL,
+    FleetServer,
+    ReproServer,
+)
 from repro.xpath.parser import parse_xr
 from repro.xslt.forward import forward_stylesheet
 from repro.xslt.inverse import inverse_stylesheet
@@ -377,7 +395,50 @@ def _cmd_store_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _graceful_sigterm() -> None:
+    """Make SIGTERM (systemd/docker stop) take the same graceful drain
+    path as Ctrl-C: the serve loops catch KeyboardInterrupt, drain
+    in-flight requests and release the port."""
+    def handler(signum, frame):
+        raise KeyboardInterrupt
+    try:
+        signal.signal(signal.SIGTERM, handler)
+    except (ValueError, OSError):
+        pass  # not the main thread / restricted platform: Ctrl-C only
+
+
+def _cmd_store_pack(args: argparse.Namespace) -> int:
+    path = pack_store(args.store)
+    with open_view(args.store) as view:
+        stats = view.stats()
+    print(f"packed {args.store} -> {path.name} "
+          f"(generation {stats['generation']}, {stats['bytes']} bytes, "
+          f"{stats['schemas']} schema(s), "
+          f"{stats['embeddings']} embedding(s), "
+          f"{stats['searches']} search(es))")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    _graceful_sigterm()
+    if args.workers is not None and args.workers != 1:
+        fleet = FleetServer(args.store, workers=args.workers,
+                            host=args.host, port=args.port,
+                            default_format=args.format,
+                            reload_interval=args.reload_interval)
+        fleet.start()
+        print(f"# serving {fleet.url} — fleet of {fleet.workers} "
+              f"worker(s) over pack generation {fleet.generation} "
+              f"of {args.store}", file=sys.stderr)
+        print(f"# worker direct ports: "
+              f"{' '.join(map(str, fleet.worker_ports))} — "
+              "GET /fleet /metrics/fleet for topology + aggregate",
+              file=sys.stderr)
+        print("# POST /v1/map /v1/translate /v1/invert /v1/find — "
+              "GET /healthz /metrics (Ctrl-C or SIGTERM to stop)",
+              file=sys.stderr)
+        fleet.serve_forever()
+        return 0
     server = ReproServer(store=args.store, host=args.host, port=args.port,
                          default_format=args.format)
     server.start()
@@ -386,7 +447,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"{len(state.schemas)} schema(s) warm from {args.store}",
           file=sys.stderr)
     print("# POST /v1/map /v1/translate /v1/invert /v1/find — "
-          "GET /healthz /metrics (Ctrl-C to stop)", file=sys.stderr)
+          "GET /healthz /metrics (Ctrl-C or SIGTERM to stop)",
+          file=sys.stderr)
     server.serve_forever()
     return 0
 
@@ -540,6 +602,13 @@ def build_parser() -> argparse.ArgumentParser:
                                     "as JSON")
     store_inspect.set_defaults(func=_cmd_store_inspect)
 
+    store_pack = store_sub.add_parser(
+        "pack", help="pack the store into one mmap-able binary file "
+                     "(a new generation); running fleets hot-reload it "
+                     "without dropping a request")
+    store_pack.add_argument("store")
+    store_pack.set_defaults(func=_cmd_store_pack)
+
     serve = sub.add_parser(
         "serve", help="long-lived HTTP daemon: warm-start from an "
                       "artifact store and serve mapping/translation/"
@@ -551,6 +620,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=DEFAULT_PORT,
                        help=f"TCP port (default {DEFAULT_PORT}; 0 picks "
                             "a free port)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="pre-fork a fleet of N worker processes "
+                            "over the packed store (default: single "
+                            "process; the store is packed "
+                            "automatically on first use)")
+    serve.add_argument("--reload-interval", type=float,
+                       default=DEFAULT_RELOAD_INTERVAL,
+                       help="seconds between store-generation checks "
+                            "in fleet workers (default "
+                            f"{DEFAULT_RELOAD_INTERVAL})")
     add_format_option(serve)
     serve.set_defaults(func=_cmd_serve)
     return parser

@@ -13,6 +13,9 @@ persist/parallelise the compiled artifacts.
   delegates to;
 * :mod:`repro.engine.store` — :class:`ArtifactStore`, the versioned,
   fingerprint-keyed on-disk form of schemas/embeddings/search results;
+* :mod:`repro.engine.storepack` — the packed store: one mmap'd binary
+  file per generation (:func:`pack_store` / :class:`StoreView`),
+  zero-copy across a pre-fork fleet, zero JSON parses at warm start;
 * :mod:`repro.engine.parallel` — :class:`ParallelRunner`, chunked
   corpus fan-out across a pool of warm-started worker engines;
 * :mod:`repro.engine.corpus` — streaming corpus I/O (directories,
@@ -42,6 +45,13 @@ from repro.engine.session import (
     set_default_engine,
 )
 from repro.engine.store import ArtifactStore, StoreError
+from repro.engine.storepack import (
+    PackError,
+    StoreView,
+    current_generation,
+    open_view,
+    pack_store,
+)
 
 __all__ = [
     "ArtifactStore",
@@ -55,14 +65,19 @@ __all__ = [
     "EngineConfig",
     "InverseProgram",
     "MappingProgram",
+    "PackError",
     "ParallelReport",
     "PlanError",
     "ParallelRunner",
     "StoreError",
+    "StoreView",
     "TranslationOutcome",
+    "current_generation",
     "default_engine",
     "iter_corpora",
     "iter_corpus",
+    "open_view",
+    "pack_store",
     "set_default_engine",
     "write_ndjson",
 ]

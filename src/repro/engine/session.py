@@ -364,8 +364,11 @@ class Engine:
     def warm_start(cls, path, config: Optional[EngineConfig] = None,
                    ) -> "Engine":
         """A new Engine preloaded from the artifact store at ``path``
-        (an already-open :class:`ArtifactStore` is also accepted — its
-        memoised artifacts are reused instead of re-reading the disk).
+        (an already-open :class:`ArtifactStore` — or any object with
+        its read surface, e.g. a packed
+        :class:`~repro.engine.storepack.StoreView` — is also accepted;
+        its memoised artifacts are reused instead of re-reading the
+        disk).
 
         Every stored schema and embedding is compiled up front (paying
         each compile exactly once, at load time rather than on the
@@ -381,7 +384,9 @@ class Engine:
         """
         from repro.engine.store import ArtifactStore
 
-        store = (path if isinstance(path, ArtifactStore)
+        # Duck-typed: ArtifactStore and StoreView share the read
+        # surface (fingerprint lists, get_*, iter_searches, manifest).
+        store = (path if hasattr(path, "embedding_fingerprints")
                  else ArtifactStore(path, create=False))
         if config is None:
             defaults = EngineConfig()
@@ -409,6 +414,21 @@ class Engine:
                 engine._searches.put(key, result)
         engine.reset_stats()
         return engine
+
+    def ensure_capacity(self, schemas: Optional[int] = None,
+                        embeddings: Optional[int] = None) -> None:
+        """Grow (never shrink) the schema/embedding cache bounds.
+
+        Hot reload can add artifacts past the bounds a warm start was
+        sized for; growing before compiling keeps the zero-eviction
+        (hence zero-recompile) guarantee for store-loaded artifacts.
+        """
+        with self._lock:
+            if schemas is not None:
+                self._schemas.maxsize = max(self._schemas.maxsize, schemas)
+            if embeddings is not None:
+                self._embeddings.maxsize = max(self._embeddings.maxsize,
+                                               embeddings)
 
     # -- bookkeeping ---------------------------------------------------------
     def stats(self) -> dict[str, dict[str, int]]:

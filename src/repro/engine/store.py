@@ -163,6 +163,11 @@ class ArtifactStore:
 
     def __init__(self, root: Union[str, Path], create: bool = True) -> None:
         self.root = Path(root)
+        #: JSON artifact-body parses this store has performed — the
+        #: counter the packed view (`repro.engine.storepack.StoreView`,
+        #: whose equivalent stays 0 by construction) is measured
+        #: against.
+        self.parses = 0
         self._schemas: dict[str, DTD] = {}
         self._embeddings: dict[str, SchemaEmbedding] = {}
         manifest_path = self.root / "manifest.json"
@@ -234,6 +239,7 @@ class ArtifactStore:
         path = self.root / relative
         if not path.exists():
             raise StoreError(f"missing artifact file {path}")
+        self.parses += 1
         try:
             return json.loads(path.read_text())
         except json.JSONDecodeError as exc:

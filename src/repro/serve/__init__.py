@@ -10,23 +10,37 @@ workload as an actual service.
   percentiles backing ``/metrics``;
 * :mod:`repro.serve.server`   — :class:`ReproServer`, the threaded
   stdlib HTTP transport (``repro serve`` in the CLI);
-* :mod:`repro.serve.client`   — :class:`ServeClient`, the stdlib JSON
-  client used by tests, benchmarks and examples.
+* :mod:`repro.serve.fleet`    — :class:`FleetServer`, the pre-fork
+  multi-process worker fleet over one packed store (``repro serve
+  --workers N``), with crash supervision and hot reload;
+* :mod:`repro.serve.ring`     — :class:`HashRing`, consistent-hash
+  routing of embedding fingerprints onto fleet workers;
+* :mod:`repro.serve.client`   — :class:`ServeClient` (keep-alive JSON
+  client) and :class:`FleetClient` (ring-routing client), used by
+  tests, benchmarks and examples.
 
 Everything is stdlib-only and a pure transport over
 :class:`~repro.engine.session.Engine`: response payload strings are
-byte-identical to the equivalent direct engine calls.
+byte-identical to the equivalent direct engine calls — single process
+or fleet.
 """
 
-from repro.serve.client import ServeClient, ServeError
-from repro.serve.handlers import ServiceState, dispatch
+from repro.serve.client import FleetClient, ServeClient, ServeError
+from repro.serve.fleet import DEFAULT_RELOAD_INTERVAL, FleetServer
+from repro.serve.handlers import FleetInfo, ServiceState, dispatch
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.protocol import ProtocolError
+from repro.serve.ring import HashRing
 from repro.serve.server import DEFAULT_HOST, DEFAULT_PORT, ReproServer
 
 __all__ = [
     "DEFAULT_HOST",
     "DEFAULT_PORT",
+    "DEFAULT_RELOAD_INTERVAL",
+    "FleetClient",
+    "FleetInfo",
+    "FleetServer",
+    "HashRing",
     "MetricsRegistry",
     "ProtocolError",
     "ReproServer",

@@ -1,18 +1,31 @@
 """A small stdlib client for the serve daemon — tests and benchmarks
 drive the HTTP surface through this instead of hand-rolling requests.
 
-One :class:`ServeClient` is safe to share across threads: each request
-opens its own ``http.client`` connection (the daemon is threaded, so
-concurrency comes from many in-flight requests, not connection reuse).
-Error responses raise :class:`ServeError` carrying the HTTP status and
-the structured ``error.code``/``error.message`` body.
+One :class:`ServeClient` is safe to share across threads: each thread
+keeps its own persistent keep-alive connection (the daemon speaks
+HTTP/1.1), so repeated calls measure the engine rather than TCP
+connection setup.  A broken or stale connection (server restart,
+keep-alive timeout) is dropped and the request retried once on a fresh
+socket — every endpoint is read-only/deterministic, so the retry is
+safe.  Error responses raise :class:`ServeError` carrying the HTTP
+status and the structured ``error.code``/``error.message`` body.
+
+:class:`FleetClient` adds fleet awareness on top: it learns the
+topology from ``GET /fleet`` and routes embedding-addressed calls to
+the worker that owns the fingerprint on the consistent-hash ring
+(:mod:`repro.serve.ring`), so each worker's caches stay hot on its
+slice.  Calls without an embedding fingerprint go to the shared
+kernel-balanced port.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import threading
 from typing import Optional, Sequence
+
+from repro.serve.ring import HashRing
 
 
 class ServeError(Exception):
@@ -26,13 +39,19 @@ class ServeError(Exception):
 
 
 class ServeClient:
-    """JSON-over-HTTP client for one serve daemon."""
+    """JSON-over-HTTP client for one serve daemon (keep-alive)."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8421,
                  timeout: float = 60.0) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        # One persistent connection per thread: http.client connections
+        # are not thread-safe, threads must not interleave on a socket.
+        self._local = threading.local()
+        #: Reconnects paid after the initial connection per thread —
+        #: visible so benchmarks can assert connections are reused.
+        self.reconnects = 0
 
     @classmethod
     def for_server(cls, server, timeout: float = 60.0) -> "ServeClient":
@@ -40,23 +59,61 @@ class ServeClient:
         return cls(server.host, server.port, timeout=timeout)
 
     # -- transport ---------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+            if getattr(self._local, "connected_once", False):
+                self.reconnects += 1
+            self._local.connected_once = True
+            self._local.connection = connection
+        return connection
+
+    def _drop_connection(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            self._local.connection = None
+            try:
+                connection.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        """Close this thread's persistent connection (if any)."""
+        self._drop_connection()
+
     def request(self, method: str, path: str,
                 payload: Optional[dict] = None) -> dict:
-        connection = http.client.HTTPConnection(self.host, self.port,
-                                                timeout=self.timeout)
-        try:
-            body = (json.dumps(payload).encode("utf-8")
-                    if payload is not None else None)
-            headers = {"Content-Type": "application/json"} if body else {}
-            connection.request(method, path, body=body, headers=headers)
-            response = connection.getresponse()
-            raw = response.read()
-            status = response.status
-        finally:
-            connection.close()
+        body = (json.dumps(payload).encode("utf-8")
+                if payload is not None else None)
+        headers = {"Content-Type": "application/json"} if body else {}
+        last_error: Optional[Exception] = None
+        raw = b""
+        status = 0
+        for attempt in range(2):
+            connection = self._connection()
+            try:
+                connection.request(method, path, body=body,
+                                   headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+                status = response.status
+                last_error = None
+                break
+            except (http.client.HTTPException, ConnectionError,
+                    OSError) as exc:
+                # Stale keep-alive socket (server closed it between
+                # requests) or transient failure: reconnect and retry
+                # once — every endpoint is safe to replay.
+                last_error = exc
+                self._drop_connection()
+        if last_error is not None:
+            raise last_error
         try:
             decoded = json.loads(raw.decode("utf-8")) if raw else {}
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._drop_connection()
             raise ServeError(status, "bad-response",
                              f"undecodable response body: {exc}") from None
         if status >= 400:
@@ -73,6 +130,14 @@ class ServeClient:
 
     def metrics(self) -> dict:
         return self.request("GET", "/metrics")
+
+    def fleet(self) -> dict:
+        """The fleet topology (``GET /fleet``)."""
+        return self.request("GET", "/fleet")
+
+    def fleet_metrics(self) -> dict:
+        """The fleet-wide metrics aggregate (``GET /metrics/fleet``)."""
+        return self.request("GET", "/metrics/fleet")
 
     def map(self, xml: Optional[str] = None,
             documents: Optional[Sequence[dict]] = None,
@@ -131,3 +196,92 @@ class ServeClient:
         if format is not None:
             payload["format"] = format
         return self.request("POST", "/v1/find", payload)
+
+
+class FleetClient:
+    """A fleet-aware client: consistent-hash routing per embedding.
+
+    Built against the fleet's shared address; ``GET /fleet`` supplies
+    the worker ring.  ``map``/``invert``/``translate`` calls that name
+    an embedding fingerprint go to the owning worker's direct port
+    (LRU-affine); calls without one — and ``find``/``healthz``/
+    ``metrics`` — use the shared kernel-balanced port.  Against a
+    non-fleet daemon every call degrades to the shared client.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8421,
+                 timeout: float = 60.0) -> None:
+        self.shared = ServeClient(host, port, timeout=timeout)
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._workers: dict = {}
+        self._ring: Optional[HashRing] = None
+        self.refresh()
+
+    @classmethod
+    def for_server(cls, server, timeout: float = 60.0) -> "FleetClient":
+        """A client bound to a running fleet (or single) server."""
+        return cls(server.host, server.port, timeout=timeout)
+
+    def refresh(self) -> dict:
+        """Re-fetch the topology (e.g. after a fleet resize)."""
+        topology = self.shared.fleet()
+        workers = topology.get("workers") or []
+        self._workers = {
+            row["id"]: ServeClient(self.host, row["port"],
+                                   timeout=self.timeout)
+            for row in workers}
+        self._ring = (HashRing(sorted(self._workers))
+                      if self._workers else None)
+        return topology
+
+    @property
+    def workers(self) -> dict:
+        """Worker id → direct :class:`ServeClient` (empty: no fleet)."""
+        return dict(self._workers)
+
+    def route(self, embedding: Optional[str]) -> ServeClient:
+        """The client a call for ``embedding`` should use."""
+        if embedding is None or self._ring is None:
+            return self.shared
+        return self._workers[self._ring.owner(embedding)]
+
+    def owner(self, embedding: str) -> Optional[int]:
+        """The worker id owning a fingerprint (None: no fleet)."""
+        return self._ring.owner(embedding) if self._ring else None
+
+    def close(self) -> None:
+        self.shared.close()
+        for client in self._workers.values():
+            client.close()
+
+    # -- routed endpoints --------------------------------------------------
+    def map(self, *args, embedding: Optional[str] = None,
+            **kwargs) -> dict:
+        return self.route(embedding).map(*args, embedding=embedding,
+                                         **kwargs)
+
+    def invert(self, *args, embedding: Optional[str] = None,
+               **kwargs) -> dict:
+        return self.route(embedding).invert(*args, embedding=embedding,
+                                            **kwargs)
+
+    def translate(self, *args, embedding: Optional[str] = None,
+                  **kwargs) -> dict:
+        return self.route(embedding).translate(*args,
+                                               embedding=embedding,
+                                               **kwargs)
+
+    # -- shared-port endpoints ---------------------------------------------
+    def find(self, *args, **kwargs) -> dict:
+        return self.shared.find(*args, **kwargs)
+
+    def healthz(self) -> dict:
+        return self.shared.healthz()
+
+    def metrics(self) -> dict:
+        return self.shared.metrics()
+
+    def fleet_metrics(self) -> dict:
+        return self.shared.fleet_metrics()

@@ -1,0 +1,365 @@
+"""The pre-fork worker fleet — many cores behind one serve surface.
+
+:class:`FleetServer` is a supervisor: it binds every listening socket
+up front, forks N workers, and from then on only watches.  Each worker
+is a full :class:`~repro.serve.server.ReproServer` pair over one warm
+engine, started from the packed artifact store
+(:mod:`repro.engine.storepack`) — open is O(index), artifact pages are
+mmap-shared across the fleet by the kernel, and warm start performs
+zero JSON parses however many workers fork.
+
+Socket topology (all bound by the parent, before any fork):
+
+* the **shared port** — one per-worker ``SO_REUSEPORT`` socket on the
+  same address where the platform has it (the kernel load-balances
+  connections across workers), or a single inherited listener
+  otherwise (the kernel wakes one accepting worker per connection);
+* one **direct port** per worker (ephemeral) — the consistent-hash
+  routing surface (:mod:`repro.serve.ring`): a fleet-aware client
+  sends every request for one embedding fingerprint to its owning
+  worker, keeping that worker's caches hot on its slice.  Peers also
+  use direct ports for ``/metrics/fleet`` fan-out.
+
+Because the parent owns every socket, the topology is known before the
+first fork (no port-handshake with workers) and a crashed worker is
+re-forked *onto the same sockets* — the listener is never dropped, and
+connections arriving during the gap wait in the kernel backlog instead
+of being refused.
+
+Hot reload: workers poll the store's pack generation
+(:func:`~repro.engine.storepack.current_generation`, one tiny file
+read) and adopt a bump via
+:meth:`~repro.serve.handlers.ServiceState.reload_from` — new artifacts
+compile before the serving set flips, so no request is ever dropped or
+served stale past one poll interval.
+
+Shutdown: ``stop()`` (or SIGTERM/SIGINT to the parent) SIGTERMs the
+workers, which drain in-flight requests before closing — the same
+graceful path as the single-process daemon.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+import signal
+import socket
+import threading
+import time
+import warnings
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.engine.session import EngineConfig
+from repro.engine.storepack import (
+    current_generation,
+    current_pack_path,
+    open_view,
+    pack_store,
+)
+from repro.serve.handlers import FleetInfo, ServiceState
+from repro.serve.server import (
+    DEFAULT_DRAIN_SECONDS,
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    ReproServer,
+)
+
+log = logging.getLogger("repro.serve.fleet")
+
+#: How often a worker checks the store for a new pack generation.
+DEFAULT_RELOAD_INTERVAL = 0.25
+
+#: How often the supervisor's monitor thread checks worker liveness.
+_MONITOR_INTERVAL = 0.2
+
+#: Listen backlog — generous, because the backlog is what carries
+#: connections across a worker crash/restart gap.
+_BACKLOG = 128
+
+SO_REUSEPORT_AVAILABLE = hasattr(socket, "SO_REUSEPORT")
+
+
+def _listening_socket(host: str, port: int,
+                      reuse_port: bool) -> socket.socket:
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if reuse_port:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+        sock.listen(_BACKLOG)
+    except OSError:
+        sock.close()
+        raise
+    return sock
+
+
+def _worker_main(worker_id: int, store_path: str,
+                 shared_socket: socket.socket,
+                 direct_socket: socket.socket,
+                 other_sockets: list,
+                 topology: list, host: str, shared_port: int,
+                 restarts, config: Optional[EngineConfig],
+                 default_format: str, reload_interval: float) -> None:
+    """One worker process: warm-start from the pack view, serve on the
+    inherited shared + direct listeners, watch for generation bumps,
+    drain on SIGTERM."""
+    # Fork copies every parent FD; drop the listeners that belong to
+    # other workers so this process only ever accepts on its own two.
+    for sock in other_sockets:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    # Ctrl-C goes to the whole foreground process group; the parent
+    # orchestrates the graceful stop, workers must not race it.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    view = open_view(store_path)
+    state = ServiceState.from_view(view, store_path=store_path,
+                                   config=config,
+                                   default_format=default_format)
+    state.fleet = FleetInfo(worker_id=worker_id, host=host,
+                            shared_port=shared_port,
+                            workers=topology, restarts=restarts)
+
+    shared_server = ReproServer(state=state,
+                                listen_socket=shared_socket).start()
+    direct_server = ReproServer(state=state,
+                                listen_socket=direct_socket).start()
+
+    def watch_reload() -> None:
+        while not stop.wait(reload_interval):
+            try:
+                generation = current_generation(store_path)
+                if generation is not None and \
+                        generation != state.generation:
+                    adopted = state.reload_from(open_view(store_path))
+                    log.info("worker %d: reloaded to generation %s "
+                             "(%d new artifacts)", worker_id,
+                             generation, adopted)
+            except Exception as exc:
+                # A pack mid-publish or a transient read failure must
+                # not kill the watcher; the next poll retries.
+                log.warning("worker %d: reload check failed: %s",
+                            worker_id, exc)
+
+    watcher = threading.Thread(target=watch_reload,
+                               name=f"repro-reload-{worker_id}",
+                               daemon=True)
+    watcher.start()
+
+    stop.wait()
+    shared_server.stop(drain_seconds=DEFAULT_DRAIN_SECONDS)
+    direct_server.stop(drain_seconds=DEFAULT_DRAIN_SECONDS)
+
+
+class FleetServer:
+    """A pre-fork fleet of serve workers over one packed store.
+
+    ``workers`` defaults to the CPU count.  ``port=0`` binds an
+    ephemeral shared port (published as ``.port`` after ``start()``).
+    The store is packed automatically on first use if it has no pack
+    yet.  Requires a fork-capable platform (POSIX).
+    """
+
+    def __init__(self, store: Union[str, Path],
+                 workers: Optional[int] = None,
+                 host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+                 config: Optional[EngineConfig] = None,
+                 default_format: str = "auto",
+                 reload_interval: float = DEFAULT_RELOAD_INTERVAL) -> None:
+        if not hasattr(os, "fork"):
+            raise RuntimeError("the serve fleet needs a fork-capable "
+                               "platform; use a single-process "
+                               "ReproServer here")
+        self.store_path = str(store)
+        self.workers = workers or os.cpu_count() or 1
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._requested = (host, port)
+        self.config = config
+        self.default_format = default_format
+        self.reload_interval = reload_interval
+        self._ctx = multiprocessing.get_context("fork")
+        self.restarts = self._ctx.Value("Q", 0)
+        self._shared_sockets: list[socket.socket] = []
+        self._direct_sockets: list[socket.socket] = []
+        self._processes: list = []
+        self._monitor: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+    def _bind(self) -> None:
+        host, port = self._requested
+        if SO_REUSEPORT_AVAILABLE:
+            # One REUSEPORT socket per worker on the same address; the
+            # first bind resolves port 0, the rest join it.
+            first = _listening_socket(host, port, reuse_port=True)
+            bound_port = first.getsockname()[1]
+            self._shared_sockets = [first] + [
+                _listening_socket(host, bound_port, reuse_port=True)
+                for _ in range(self.workers - 1)]
+        else:
+            # Single inherited listener: every worker accepts on dup'd
+            # copies of one socket, the kernel wakes one per connection.
+            listener = _listening_socket(host, port, reuse_port=False)
+            self._shared_sockets = [listener] + [
+                socket.socket(fileno=os.dup(listener.fileno()))
+                for _ in range(self.workers - 1)]
+        self._direct_sockets = [
+            _listening_socket(host, 0, reuse_port=False)
+            for _ in range(self.workers)]
+
+    def _topology(self) -> list:
+        return [{"id": worker_id,
+                 "port": sock.getsockname()[1]}
+                for worker_id, sock in enumerate(self._direct_sockets)]
+
+    def _spawn(self, worker_id: int):
+        own = {self._shared_sockets[worker_id],
+               self._direct_sockets[worker_id]}
+        others = [sock
+                  for sock in (*self._shared_sockets,
+                               *self._direct_sockets)
+                  if sock not in own]
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(worker_id, self.store_path,
+                  self._shared_sockets[worker_id],
+                  self._direct_sockets[worker_id],
+                  others, self._topology(),
+                  self.host, self.port, self.restarts,
+                  self.config, self.default_format,
+                  self.reload_interval),
+            name=f"repro-worker-{worker_id}", daemon=True)
+        with warnings.catch_warnings():
+            # Python 3.12 warns on fork-from-threaded-process; the
+            # monitor thread re-forks crashed workers by design, and
+            # the child execs no Python-thread-dependent state.
+            warnings.simplefilter("ignore", DeprecationWarning)
+            process.start()
+        return process
+
+    def _watch(self) -> None:
+        """Reap crashed workers and re-fork them onto the same sockets
+        (which the parent still holds — the kernel backlog carries
+        connections across the gap, no listener is ever dropped)."""
+        while not self._stopping.wait(_MONITOR_INTERVAL):
+            for worker_id, process in enumerate(self._processes):
+                if process.is_alive() or self._stopping.is_set():
+                    continue
+                process.join()
+                log.warning("worker %d (pid %s) exited with code %s; "
+                            "restarting", worker_id, process.pid,
+                            process.exitcode)
+                with self.restarts.get_lock():
+                    self.restarts.value += 1
+                self._processes[worker_id] = self._spawn(worker_id)
+
+    def start(self) -> "FleetServer":
+        if self._processes:
+            raise RuntimeError("fleet is already running")
+        if current_pack_path(self.store_path) is None:
+            # First use of an unpacked store: build generation 1 so
+            # workers have a view to open.
+            pack_store(self.store_path)
+        self._stopping.clear()
+        self._bind()
+        self._processes = [self._spawn(worker_id)
+                           for worker_id in range(self.workers)]
+        self._monitor = threading.Thread(target=self._watch,
+                                         name="repro-fleet-monitor",
+                                         daemon=True)
+        self._monitor.start()
+        return self
+
+    def stop(self, drain_seconds: float = DEFAULT_DRAIN_SECONDS) -> None:
+        """Graceful fleet shutdown: SIGTERM every worker (each drains
+        its in-flight requests), reap them, release every port."""
+        if not self._processes:
+            return
+        self._stopping.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5)
+            self._monitor = None
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()  # SIGTERM → worker drains and exits
+        deadline = time.monotonic() + drain_seconds + 5.0
+        for process in self._processes:
+            process.join(timeout=max(0.1, deadline - time.monotonic()))
+        for process in self._processes:
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5)
+        self._processes = []
+        for sock in (*self._shared_sockets, *self._direct_sockets):
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._shared_sockets = []
+        self._direct_sockets = []
+
+    def serve_forever(self) -> None:
+        """Blocking supervise loop for the CLI; Ctrl-C (or a SIGTERM
+        the CLI converts to ``KeyboardInterrupt``) stops the fleet
+        gracefully."""
+        if not self._processes:
+            self.start()
+        try:
+            while self._processes:
+                time.sleep(0.5)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def __enter__(self) -> "FleetServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- addressing / inspection -------------------------------------------
+    @property
+    def running(self) -> bool:
+        return bool(self._processes)
+
+    @property
+    def host(self) -> str:
+        return self._requested[0]
+
+    @property
+    def port(self) -> int:
+        """The shared port (resolves ``port=0`` to the bound one)."""
+        if self._shared_sockets:
+            return self._shared_sockets[0].getsockname()[1]
+        return self._requested[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def worker_ports(self) -> list[int]:
+        """Each worker's direct (ring) port, by worker id."""
+        return [sock.getsockname()[1] for sock in self._direct_sockets]
+
+    @property
+    def pids(self) -> list[Optional[int]]:
+        return [process.pid for process in self._processes]
+
+    @property
+    def generation(self) -> Optional[int]:
+        """The store's current pack generation."""
+        return current_generation(self.store_path)
+
+    def restart_count(self) -> int:
+        return int(self.restarts.value)

@@ -18,9 +18,11 @@ to what the same :class:`Engine` call produces in-process
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import OrderedDict
+from dataclasses import dataclass, field
 from typing import Callable, Optional, Union
 
 from repro.core.embedding import SchemaEmbedding
@@ -33,7 +35,12 @@ from repro.schema import (
     detect_format,
     load_schema,
 )
-from repro.serve.metrics import OVERFLOW_ENDPOINT, MetricsRegistry
+from repro.serve.metrics import (
+    OVERFLOW_ENDPOINT,
+    MetricsRegistry,
+    merge_engine_stats,
+    merge_request_snapshots,
+)
 from repro.serve.protocol import (
     ProtocolError,
     decode_body,
@@ -53,6 +60,26 @@ from repro.xtree.serialize import to_string
 #: state must stay bounded no matter what clients post.
 MAX_DYNAMIC_EMBEDDINGS = 128
 MAX_DYNAMIC_SCHEMAS = 256
+
+
+@dataclass
+class FleetInfo:
+    """One worker's knowledge of its fleet: who it is, who its peers
+    are (direct per-worker ports for routed traffic and peer metrics),
+    and the supervisor's shared restart counter."""
+
+    worker_id: int
+    host: str
+    shared_port: int
+    #: ``[{"id": …, "port": …}, …]`` — every worker incl. this one.
+    workers: list = field(default_factory=list)
+    #: a ``multiprocessing.Value``-like object (``.value``) the
+    #: supervisor increments on every crashed-worker restart.
+    restarts: Optional[object] = None
+
+    def restart_count(self) -> int:
+        restarts = self.restarts
+        return int(restarts.value) if restarts is not None else 0
 
 
 class ServiceState:
@@ -80,6 +107,18 @@ class ServiceState:
         # 'format' field (the CLI's `repro serve --format`).
         self.default_format = default_format
         self.started_at = time.time()
+        #: The packed store view this state was warm-started from
+        #: (None on the JSON / in-memory paths) and its generation.
+        self.view = None
+        self.generation: Optional[int] = None
+        #: JSON artifact parses paid during warm start (0 on the packed
+        #: path — the assertable zero-reparse counter; None when no
+        #: store was involved).
+        self.store_json_parses: Optional[int] = None
+        #: Fleet membership (set by the fleet worker bootstrap).
+        self.fleet: Optional[FleetInfo] = None
+        #: Completed hot reloads (store-generation bumps picked up).
+        self.reloads = 0
         # Guards the embeddings/schemas dicts against concurrent
         # handler threads (registration during resolution); the
         # OrderedDicts remember insertion order of *dynamic* artifacts
@@ -101,8 +140,74 @@ class ServiceState:
                       for fingerprint in store.embedding_fingerprints()}
         schemas = {fingerprint: store.get_schema(fingerprint)
                    for fingerprint in store.schema_fingerprints()}
-        return cls(engine, embeddings, schemas, store_path=str(path),
-                   default_format=default_format)
+        state = cls(engine, embeddings, schemas, store_path=str(path),
+                    default_format=default_format)
+        state.store_json_parses = store.parses
+        return state
+
+    @classmethod
+    def from_view(cls, view, store_path: Optional[str] = None,
+                  config: Optional[EngineConfig] = None,
+                  default_format: str = "auto") -> "ServiceState":
+        """Warm-start from a packed store view
+        (:class:`~repro.engine.storepack.StoreView`) — the pre-fork
+        fleet's worker path: open is O(index), artifact bytes are
+        mmap-shared across workers, and **zero** JSON artifact parses
+        happen (``state.store_json_parses == 0``, asserted in tests and
+        the fleet benchmark)."""
+        engine = Engine.warm_start(view, config=config)
+        embeddings = {fingerprint: view.get_embedding(fingerprint)
+                      for fingerprint in view.embedding_fingerprints()}
+        schemas = {fingerprint: view.get_schema(fingerprint)
+                   for fingerprint in view.schema_fingerprints()}
+        state = cls(engine, embeddings, schemas,
+                    store_path=store_path or str(view.path),
+                    default_format=default_format)
+        state.view = view
+        state.generation = view.generation
+        state.store_json_parses = view.json_parses
+        return state
+
+    def reload_from(self, view) -> int:
+        """Adopt a newer pack generation without dropping a request.
+
+        New artifacts are compiled *before* the serving dicts flip, so
+        every request — including ones in flight on the old artifacts —
+        always resolves against a fully-compiled set; artifacts already
+        compiled are fingerprint-cache hits and cost nothing.  The
+        reload is additive (packs grow; an artifact removed from the
+        store keeps serving until restart).  Returns the number of new
+        artifacts adopted.
+        """
+        self.engine.ensure_capacity(
+            schemas=len(view.schema_fingerprints()),
+            embeddings=len(view.embedding_fingerprints()))
+        new_schemas: dict[str, DTD] = {}
+        new_embeddings: dict[str, SchemaEmbedding] = {}
+        for fingerprint in view.schema_fingerprints():
+            if fingerprint not in self.schemas:
+                schema = view.get_schema(fingerprint)
+                self.engine.compile_schema(schema)
+                new_schemas[fingerprint] = schema
+        for fingerprint in view.embedding_fingerprints():
+            if fingerprint not in self.embeddings:
+                embedding = view.get_embedding(fingerprint)
+                compiled = self.engine.compile_embedding(embedding)
+                if view.embedding_validated(fingerprint):
+                    compiled.mark_validated()
+                    compiled.instmap
+                new_embeddings[fingerprint] = embedding
+        with self._lock:
+            self.schemas.update(new_schemas)
+            self.embeddings.update(new_embeddings)
+            old_view, self.view = self.view, view
+            self.generation = view.generation
+            self.reloads += 1
+        if old_view is not None and old_view is not view:
+            # In-flight requests hold plain artifact objects, never the
+            # view; the old mmap can drop immediately.
+            old_view.close()
+        return len(new_schemas) + len(new_embeddings)
 
     @classmethod
     def from_embedding(cls, embedding: SchemaEmbedding,
@@ -337,19 +442,99 @@ def _handle_find(state: ServiceState, payload: dict) -> dict:
 
 
 def _handle_healthz(state: ServiceState) -> dict:
-    return {
+    payload = {
         "ok": True,
         "uptime_seconds": round(time.time() - state.started_at, 3),
         "embeddings": len(state.embeddings),
         "schemas": len(state.schemas),
         "store": state.store_path,
+        "generation": state.generation,
+        "store_json_parses": state.store_json_parses,
     }
+    if state.fleet is not None:
+        payload["worker"] = state.fleet.worker_id
+        payload["pid"] = os.getpid()
+        payload["reloads"] = state.reloads
+    return payload
 
 
 def _handle_metrics(state: ServiceState) -> dict:
-    return {
+    payload = {
         "requests": state.metrics.snapshot(),
         "engine": state.engine.stats(),
+        "generation": state.generation,
+        "reloads": state.reloads,
+    }
+    if state.fleet is not None:
+        payload["worker"] = state.fleet.worker_id
+    return payload
+
+
+def _handle_fleet(state: ServiceState) -> dict:
+    """The fleet topology — what a routing client needs: worker ids
+    with their direct ports (the consistent-hash ring nodes), the
+    shared port, and the active store generation."""
+    fleet = state.fleet
+    if fleet is None:
+        return {"fleet": False, "workers": [],
+                "generation": state.generation}
+    return {
+        "fleet": True,
+        "worker": fleet.worker_id,
+        "host": fleet.host,
+        "shared_port": fleet.shared_port,
+        "workers": [{"id": row["id"], "port": row["port"]}
+                    for row in fleet.workers],
+        "generation": state.generation,
+        "reloads": state.reloads,
+        "restarts": fleet.restart_count(),
+    }
+
+
+def _handle_fleet_metrics(state: ServiceState) -> dict:
+    """The fleet-wide ``/metrics`` aggregate: this worker fans out to
+    every peer's direct port, merges counters (sums; latency tails stay
+    per-worker, the aggregate keeps the worst), and reports per-worker
+    rows alongside.  A dead peer becomes an ``ok: false`` row — the
+    aggregate then covers the workers that answered."""
+    from repro.serve.client import ServeClient
+
+    fleet = state.fleet
+    local = {"worker": fleet.worker_id if fleet is not None else None,
+             "ok": True,
+             "requests": state.metrics.snapshot(),
+             "engine": state.engine.stats(),
+             "generation": state.generation,
+             "reloads": state.reloads}
+    rows = [local]
+    if fleet is not None:
+        for row in fleet.workers:
+            if row["id"] == fleet.worker_id:
+                continue
+            try:
+                peer = ServeClient(fleet.host, row["port"], timeout=5.0)
+                payload = peer.metrics()
+                rows.append({"worker": row["id"], "ok": True,
+                             "requests": payload.get("requests", {}),
+                             "engine": payload.get("engine", {}),
+                             "generation": payload.get("generation"),
+                             "reloads": payload.get("reloads", 0)})
+            except Exception as exc:
+                rows.append({"worker": row["id"], "ok": False,
+                             "error": f"{type(exc).__name__}: {exc}"})
+    answered = [row for row in rows if row["ok"]]
+    rows.sort(key=lambda row: (row["worker"] is None, row["worker"]))
+    return {
+        "fleet": fleet is not None,
+        "workers": rows,
+        "aggregate": {
+            "requests": merge_request_snapshots(
+                [row["requests"] for row in answered]),
+            "engine": merge_engine_stats(
+                [row["engine"] for row in answered]),
+        },
+        "restarts": (fleet.restart_count() if fleet is not None else 0),
+        "generation": state.generation,
     }
 
 
@@ -363,6 +548,8 @@ _POST_ROUTES: dict[str, Callable[[ServiceState, dict], dict]] = {
 _GET_ROUTES: dict[str, Callable[[ServiceState], dict]] = {
     "/healthz": _handle_healthz,
     "/metrics": _handle_metrics,
+    "/metrics/fleet": _handle_fleet_metrics,
+    "/fleet": _handle_fleet,
 }
 
 

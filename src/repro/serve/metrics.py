@@ -97,3 +97,41 @@ class MetricsRegistry:
         with self._lock:
             return {endpoint: row.snapshot()
                     for endpoint, row in sorted(self._endpoints.items())}
+
+
+# -- fleet aggregation --------------------------------------------------------
+#
+# Worker snapshots are merged by *summing* counters; latency
+# percentiles are not mergeable from snapshots (the raw windows stay in
+# the workers), so the aggregate keeps the worst per-percentile value
+# across workers — a conservative fleet tail, with exact per-worker
+# tails available next to it.
+
+def merge_request_snapshots(snapshots: list[dict]) -> dict:
+    """Sum per-endpoint request counters across worker snapshots."""
+    merged: dict[str, dict] = {}
+    for snapshot in snapshots:
+        for endpoint, row in snapshot.items():
+            bucket = merged.setdefault(endpoint, {
+                "requests": 0, "errors": 0, "total_seconds": 0.0,
+                "latency_ms": {}})
+            bucket["requests"] += row.get("requests", 0)
+            bucket["errors"] += row.get("errors", 0)
+            bucket["total_seconds"] += row.get("total_seconds", 0.0)
+            for label, value in row.get("latency_ms", {}).items():
+                bucket["latency_ms"][label] = max(
+                    bucket["latency_ms"].get(label, 0.0), value)
+    for bucket in merged.values():
+        bucket["total_seconds"] = round(bucket["total_seconds"], 6)
+    return dict(sorted(merged.items()))
+
+
+def merge_engine_stats(stats_list: list[dict]) -> dict:
+    """Sum per-cache hit/miss/eviction counters across workers."""
+    merged: dict[str, dict[str, int]] = {}
+    for stats in stats_list:
+        for cache, counters in stats.items():
+            bucket = merged.setdefault(cache, {})
+            for counter, value in counters.items():
+                bucket[counter] = bucket.get(counter, 0) + value
+    return merged

@@ -1,0 +1,70 @@
+"""Consistent-hash routing of fingerprints onto fleet workers.
+
+Each worker owns a slice of fingerprint space, so a routing client
+sends every request for one embedding to the same worker — that
+worker's translation LRU and compiled artifacts stay hot on its slice
+instead of every worker caching everything.  Consistent hashing keeps
+the slices stable under fleet-size changes: adding or removing one
+worker remaps only the fingerprints adjacent to its points, not the
+whole space.
+
+The ring is deterministic (SHA-256 over ``"node:replica"`` labels), so
+every client of the same worker-id set computes the same ownership —
+there is no coordination step.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Sequence, Union
+
+Node = Union[int, str]
+
+#: Virtual points per node; enough that 2–16 workers split fingerprint
+#: space within a few percent of evenly.
+DEFAULT_REPLICAS = 64
+
+
+def _point(label: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(label.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over a fixed node set."""
+
+    def __init__(self, nodes: Sequence[Node],
+                 replicas: int = DEFAULT_REPLICAS) -> None:
+        if not nodes:
+            raise ValueError("a hash ring needs at least one node")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.nodes = list(dict.fromkeys(nodes))  # de-dup, order-stable
+        points = []
+        for node in self.nodes:
+            for replica in range(replicas):
+                points.append((_point(f"{node}:{replica}"), node))
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [node for _, node in points]
+
+    def owner(self, key: str) -> Node:
+        """The node owning ``key`` (clockwise-next point on the ring)."""
+        index = bisect.bisect_right(self._points, _point(key))
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def slices(self, keys: Sequence[str]) -> dict[Node, list[str]]:
+        """Partition ``keys`` by owning node (diagnostics, tests)."""
+        partition: dict[Node, list[str]] = {node: [] for node in self.nodes}
+        for key in keys:
+            partition[self.owner(key)].append(key)
+        return partition
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:
+        return f"HashRing(nodes={self.nodes!r})"

@@ -14,12 +14,23 @@ Lifecycle::
         print(server.url)          # port 0 picked a free port
         …                          # serve until the block exits
 
-``stop()`` is graceful: in-flight requests finish, the listening socket
-closes, and the port is immediately reusable (tested).
+``stop()`` is graceful: the accept loop halts first, then in-flight
+requests drain (bounded wait on an idle event the handler maintains),
+then idle keep-alive connections are closed (their handler threads see
+EOF instead of idling out a 60 s timeout) and the listening socket is
+released, making the port immediately reusable (tested).  Connections are keep-alive (HTTP/1.1): a well-behaved client
+reuses one socket across many requests instead of paying connection
+setup per call.
+
+For the pre-fork fleet (:mod:`repro.serve.fleet`) a server can be
+built over an *already bound and listening* socket (``listen_socket=``)
+— the supervisor binds (with ``SO_REUSEPORT`` when available) and the
+forked workers serve on the inherited listeners.
 """
 
 from __future__ import annotations
 
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -36,6 +47,10 @@ DEFAULT_PORT = 8421
 #: Refuse request bodies beyond this size (64 MiB) — a transport
 #: backstop so one request cannot exhaust server memory.
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: How long ``stop()`` waits for in-flight requests to finish before
+#: closing anyway.
+DEFAULT_DRAIN_SECONDS = 10.0
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -55,7 +70,14 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _serve(self, method: str) -> None:
-        state: ServiceState = self.server.state  # type: ignore[attr-defined]
+        server: _ReproHTTPServer = self.server  # type: ignore[assignment]
+        server.request_started()
+        try:
+            self._serve_inner(method, server.state)
+        finally:
+            server.request_finished()
+
+    def _serve_inner(self, method: str, state: ServiceState) -> None:
         body: Optional[bytes] = None
         if method == "POST":
             try:
@@ -89,6 +111,86 @@ class _Handler(BaseHTTPRequestHandler):
         accounting lives in /metrics instead."""
 
 
+class _ReproHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer plus in-flight request accounting.
+
+    ``request_started``/``request_finished`` bracket every dispatched
+    request (not every *connection* — an idle keep-alive connection
+    must never block a drain), and ``drain()`` waits until the last
+    dispatched request has written its response.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, address, handler,
+                 listen_socket: Optional[socket.socket] = None) -> None:
+        if listen_socket is None:
+            super().__init__(address, handler)
+        else:
+            # Serve on a pre-bound, already-listening socket (the
+            # fleet's inherited listener): skip bind/activate and adopt
+            # the given socket in place of the auto-created one.
+            super().__init__(address, handler, bind_and_activate=False)
+            self.socket.close()
+            self.socket = listen_socket
+            self.server_address = listen_socket.getsockname()
+        self._active = 0
+        self._active_lock = threading.Lock()
+        self._idle = threading.Event()
+        self._idle.set()
+        # Open connection sockets, so shutdown can unblock idle
+        # keep-alive handler threads (they otherwise sit in readline
+        # until the 60 s connection timeout).
+        self._connections: set = set()
+        self._conn_lock = threading.Lock()
+
+    def get_request(self):
+        request, address = super().get_request()
+        with self._conn_lock:
+            self._connections.add(request)
+        return request, address
+
+    def shutdown_request(self, request) -> None:
+        with self._conn_lock:
+            self._connections.discard(request)
+        super().shutdown_request(request)
+
+    def close_connections(self) -> None:
+        """Half-close every open connection: idle keep-alive handlers
+        see EOF and exit; clients reconnect on their next request.
+        Called after ``drain()``, so completed responses are not cut."""
+        with self._conn_lock:
+            pending = list(self._connections)
+        for request in pending:
+            try:
+                # shutdown, not close: the handler thread owns the fd
+                # and will close it via shutdown_request.
+                request.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+    def request_started(self) -> None:
+        with self._active_lock:
+            self._active += 1
+            self._idle.clear()
+
+    def request_finished(self) -> None:
+        with self._active_lock:
+            self._active -= 1
+            if self._active <= 0:
+                self._idle.set()
+
+    @property
+    def in_flight(self) -> int:
+        with self._active_lock:
+            return self._active
+
+    def drain(self, timeout: float) -> bool:
+        """Wait (bounded) for in-flight requests to finish; True when
+        the server went idle within ``timeout``."""
+        return self._idle.wait(timeout)
+
+
 class ReproServer:
     """A long-lived serving daemon over one warm engine.
 
@@ -96,6 +198,9 @@ class ReproServer:
     stored schema/embedding is compiled before the socket opens) or
     from an in-memory embedding (tests, examples).  ``port=0`` binds an
     ephemeral free port, published as ``.port`` after ``start()``.
+    ``listen_socket=`` serves on an externally bound listener instead
+    (the fleet's pre-fork path); the caller keeps ownership of binding,
+    the server still closes its inherited copy on ``stop()``.
     """
 
     def __init__(self, store: Optional[Union[str, Path]] = None,
@@ -103,7 +208,8 @@ class ReproServer:
                  state: Optional[ServiceState] = None,
                  host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
                  config: Optional[EngineConfig] = None,
-                 default_format: str = "auto") -> None:
+                 default_format: str = "auto",
+                 listen_socket: Optional[socket.socket] = None) -> None:
         given = sum(x is not None for x in (store, embedding, state))
         if given != 1:
             raise ValueError("give exactly one of store=, embedding=, "
@@ -121,15 +227,16 @@ class ReproServer:
             self.state = ServiceState.from_embedding(embedding)
             self.state.default_format = default_format
         self._requested = (host, port)
-        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._listen_socket = listen_socket
+        self._httpd: Optional[_ReproHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> "ReproServer":
         if self._httpd is not None:
             raise RuntimeError("server is already running")
-        httpd = ThreadingHTTPServer(self._requested, _Handler)
-        httpd.daemon_threads = True
+        httpd = _ReproHTTPServer(self._requested, _Handler,
+                                 listen_socket=self._listen_socket)
         httpd.state = self.state  # type: ignore[attr-defined]
         self._httpd = httpd
         self._thread = threading.Thread(target=httpd.serve_forever,
@@ -138,12 +245,15 @@ class ReproServer:
         self._thread.start()
         return self
 
-    def stop(self) -> None:
-        """Graceful shutdown: drain in-flight requests, close the
-        listening socket, release the port."""
+    def stop(self, drain_seconds: float = DEFAULT_DRAIN_SECONDS) -> None:
+        """Graceful shutdown: stop accepting, drain in-flight requests
+        (bounded by ``drain_seconds``), close the listening socket,
+        release the port."""
         if self._httpd is None:
             return
         self._httpd.shutdown()
+        self._httpd.drain(drain_seconds)
+        self._httpd.close_connections()
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=10)
@@ -151,7 +261,8 @@ class ReproServer:
         self._thread = None
 
     def serve_forever(self) -> None:
-        """Blocking serve loop for the CLI; Ctrl-C stops cleanly."""
+        """Blocking serve loop for the CLI; Ctrl-C (or a SIGTERM the
+        CLI converts to ``KeyboardInterrupt``) stops cleanly."""
         if self._httpd is None:
             self.start()
         assert self._thread is not None
@@ -175,6 +286,11 @@ class ReproServer:
         return self._httpd is not None
 
     @property
+    def in_flight(self) -> int:
+        """Requests currently being dispatched (0 when idle)."""
+        return self._httpd.in_flight if self._httpd is not None else 0
+
+    @property
     def host(self) -> str:
         if self._httpd is not None:
             return self._httpd.server_address[0]
@@ -185,6 +301,8 @@ class ReproServer:
         """The bound port (resolves ``port=0`` to the real one)."""
         if self._httpd is not None:
             return self._httpd.server_address[1]
+        if self._listen_socket is not None:
+            return self._listen_socket.getsockname()[1]
         return self._requested[1]
 
     @property

@@ -242,6 +242,31 @@ def test_cli_store_build_and_inspect(files, tmp_path, capsys):
     assert len(summary["embeddings"]) == 1
 
 
+def test_cli_store_pack(files, tmp_path, capsys):
+    from repro.engine import current_generation, open_view
+
+    tmp, source_path, target_path, _doc = files
+    embedding_path = tmp / "sigma.json"
+    assert main(["embed", str(source_path), str(target_path),
+                 "--out", str(embedding_path), "--seed", "1"]) == 0
+    store = tmp_path / "store"
+    assert main(["store", "build", str(store), str(source_path),
+                 str(target_path), str(embedding_path)]) == 0
+    capsys.readouterr()
+    assert main(["store", "pack", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert "generation 1" in out and "pack-00000001.bin" in out
+    assert current_generation(store) == 1
+    with open_view(store) as view:
+        assert len(view.embedding_fingerprints()) == 1
+        assert view.json_parses == 0
+    # Repacking publishes the next generation (the hot-reload step).
+    assert main(["store", "pack", str(store)]) == 0
+    assert current_generation(store) == 2
+    # Packing a store that doesn't exist exits 2 with one clean line.
+    assert main(["store", "pack", str(tmp_path / "missing")]) == 2
+
+
 def test_cli_batch_translate_jobs(files, capsys, tmp_path):
     tmp, source_path, target_path, _doc = files
     embedding_path = tmp / "sigma.json"

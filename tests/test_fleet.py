@@ -1,0 +1,348 @@
+"""The pre-fork serve fleet: identity, routing, hot reload, crashes.
+
+The contract under test:
+
+* a fleet of N workers answers byte-identically to the single-process
+  daemon and to direct Engine calls, under concurrent clients, with
+  zero JSON parses at every worker's warm start;
+* the consistent-hash ring is deterministic and stable, and the
+  routing client really lands an embedding's requests on its owning
+  worker (observed via per-worker direct-port ``/metrics``);
+* repacking the store mid-serve hot-reloads every worker — no request
+  is dropped while the generation flips and the new artifacts serve;
+* a SIGKILL'd worker is reaped and restarted by the supervisor (shared
+  restart counter increments, service continues on the same port).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.dtd.generate import InstanceGenerator
+from repro.engine import Engine, pack_store
+from repro.serve import (
+    FleetClient,
+    FleetServer,
+    HashRing,
+    ReproServer,
+    ServeClient,
+)
+from repro.xtree.parser import parse_xml
+from repro.xtree.serialize import to_string
+
+pytestmark = pytest.mark.skipif(not hasattr(os, "fork"),
+                                reason="fleet needs fork")
+
+WORKERS = 2
+
+
+def _wait_for_fleet(fleet: FleetServer, timeout: float = 30.0) -> None:
+    """Block until every worker answers on its direct port."""
+    for port in fleet.worker_ports:
+        client = ServeClient(fleet.host, port, timeout=5.0)
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                client.healthz()
+                break
+            except OSError:
+                assert time.monotonic() < deadline, \
+                    f"worker on port {port} never came up"
+                time.sleep(0.05)
+        client.close()
+
+
+def _wait_until(predicate, timeout: float = 15.0, message: str = "") -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, message or "condition timeout"
+        time.sleep(0.05)
+
+
+@pytest.fixture(scope="module")
+def store_path(school, tmp_path_factory):
+    path = tmp_path_factory.mktemp("fleet") / "store"
+    engine = Engine()
+    engine.compile_embedding(school.sigma1, ensure_valid=True)
+    engine.save_store(path)
+    pack_store(path)
+    return path
+
+
+@pytest.fixture()
+def fleet(store_path):
+    with FleetServer(store_path, workers=WORKERS, port=0,
+                     reload_interval=0.05) as running:
+        _wait_for_fleet(running)
+        yield running
+
+
+def _documents(school, count):
+    return [to_string(InstanceGenerator(school.classes, seed=seed,
+                                        max_depth=8,
+                                        star_mean=2.0).generate())
+            for seed in range(count)]
+
+
+# -- the hash ring ------------------------------------------------------------
+
+def test_ring_is_deterministic_and_total():
+    ring_a = HashRing([0, 1, 2, 3])
+    ring_b = HashRing([0, 1, 2, 3])
+    keys = [f"fingerprint-{i}" for i in range(500)]
+    assert [ring_a.owner(k) for k in keys] == \
+        [ring_b.owner(k) for k in keys]
+    slices = ring_a.slices(keys)
+    assert sum(len(part) for part in slices.values()) == len(keys)
+    # Every node owns a non-trivial share at 64 replicas.
+    assert all(len(part) > 0 for part in slices.values())
+
+
+def test_ring_is_stable_under_node_removal():
+    """Consistent hashing: dropping one node only remaps the keys it
+    owned — every other key keeps its owner."""
+    keys = [f"fingerprint-{i}" for i in range(500)]
+    full = HashRing([0, 1, 2, 3])
+    reduced = HashRing([0, 1, 2])
+    moved = [k for k in keys
+             if full.owner(k) != 3 and reduced.owner(k) != full.owner(k)]
+    assert moved == []
+
+
+def test_ring_rejects_empty_node_set():
+    with pytest.raises(ValueError):
+        HashRing([])
+
+
+# -- identity: fleet vs single process vs direct engine -----------------------
+
+def test_fleet_is_byte_identical_to_single_process(school, store_path,
+                                                   fleet):
+    """Concurrent clients against the fleet's shared port get responses
+    byte-identical to the single-process daemon and the direct Engine —
+    and every worker warm-started with zero JSON parses."""
+    documents = _documents(school, 4)
+    engine = Engine()
+    expected = [to_string(engine.apply_embedding(school.sigma1,
+                                                 parse_xml(xml)).tree)
+                for xml in documents]
+    with ReproServer(store=store_path, port=0) as single:
+        single_client = ServeClient.for_server(single)
+        single_served = [single_client.map(xml=xml)["result"]["output"]
+                         for xml in documents]
+    assert single_served == expected
+
+    errors: list[str] = []
+
+    def hammer(offset: int) -> None:
+        client = ServeClient(fleet.host, fleet.port)
+        try:
+            for round_no in range(8):
+                index = (offset + round_no) % len(documents)
+                served = client.map(xml=documents[index])["result"]
+                if not (served["ok"]
+                        and served["output"] == expected[index]):
+                    errors.append(f"diverged on document {index}")
+        except Exception as exc:
+            errors.append(f"client {offset}: {exc}")
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=hammer, args=(offset,))
+               for offset in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+
+    for port in fleet.worker_ports:
+        health = ServeClient(fleet.host, port).healthz()
+        assert health["store_json_parses"] == 0
+        assert health["generation"] == fleet.generation
+
+
+def test_routing_client_lands_on_ring_owner(school, fleet):
+    """FleetClient sends an embedding's requests to the worker the
+    ring names — confirmed by that worker's own /metrics."""
+    client = FleetClient.for_server(fleet)
+    fingerprint = school.sigma1.fingerprint()
+    owner = client.owner(fingerprint)
+    assert owner in client.workers
+    before = {wid: c.metrics()["requests"].get("/v1/map",
+                                               {}).get("requests", 0)
+              for wid, c in client.workers.items()}
+    xml = _documents(school, 1)[0]
+    for _ in range(3):
+        served = client.map(xml=xml, embedding=fingerprint)["result"]
+        assert served["ok"]
+    after = {wid: c.metrics()["requests"].get("/v1/map",
+                                              {}).get("requests", 0)
+             for wid, c in client.workers.items()}
+    assert after[owner] - before[owner] == 3
+    assert all(after[wid] == before[wid]
+               for wid in after if wid != owner)
+    client.close()
+
+
+def test_fleet_metrics_aggregate_covers_all_workers(fleet):
+    client = FleetClient.for_server(fleet)
+    client.healthz()  # at least one countable request on the fleet
+    merged = client.fleet_metrics()
+    assert merged["fleet"] is True
+    assert len(merged["workers"]) == WORKERS
+    assert all(row["ok"] for row in merged["workers"])
+    aggregate = merged["aggregate"]["requests"]
+    assert aggregate.get("/healthz", {}).get("requests", 0) >= 1
+    client.close()
+
+
+# -- hot reload ---------------------------------------------------------------
+
+def test_hot_reload_serves_new_embedding_without_dropping(school,
+                                                          tmp_path):
+    """While concurrent clients hammer the fleet, the store gains an
+    embedding and is repacked: every worker flips to the new
+    generation, no in-flight or subsequent request fails, and the new
+    embedding serves byte-identically to a direct engine."""
+    store = tmp_path / "store"
+    engine = Engine()
+    engine.compile_embedding(school.sigma1, ensure_valid=True)
+    engine.save_store(store)
+    pack_store(store)
+
+    documents = _documents(school, 3)
+    reference = Engine()
+    expected = [to_string(reference.apply_embedding(
+        school.sigma1, parse_xml(xml)).tree) for xml in documents]
+    sigma1 = school.sigma1.fingerprint()
+    sigma2 = school.sigma2.fingerprint()
+
+    with FleetServer(store, workers=WORKERS, port=0,
+                     reload_interval=0.05) as fleet:
+        _wait_for_fleet(fleet)
+        stop = threading.Event()
+        errors: list[str] = []
+        served = [0]
+
+        def hammer(offset: int) -> None:
+            client = ServeClient(fleet.host, fleet.port)
+            count = 0
+            try:
+                while not stop.is_set():
+                    index = (offset + count) % len(documents)
+                    result = client.map(xml=documents[index],
+                                        embedding=sigma1)["result"]
+                    if not (result["ok"]
+                            and result["output"] == expected[index]):
+                        errors.append(f"diverged on document {index}")
+                    count += 1
+            except Exception as exc:
+                errors.append(f"client {offset}: {exc}")
+            finally:
+                client.close()
+            served[0] += count
+
+        threads = [threading.Thread(target=hammer, args=(offset,))
+                   for offset in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            time.sleep(0.2)  # load flowing on generation 1
+            extra = Engine()
+            extra.compile_embedding(school.sigma2, ensure_valid=True)
+            extra.save_store(store)
+            pack_store(store)  # publish generation 2 mid-serve
+
+            def all_reloaded() -> bool:
+                return all(
+                    ServeClient(fleet.host,
+                                port).healthz()["generation"] == 2
+                    for port in fleet.worker_ports)
+
+            _wait_until(all_reloaded,
+                        message="workers never adopted generation 2")
+            time.sleep(0.2)  # keep hammering across the flip
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+
+        assert errors == []          # zero dropped / stale requests
+        assert served[0] > 0
+
+        # The new embedding serves byte-identically to a direct engine.
+        student_xml = to_string(InstanceGenerator(
+            school.students, seed=1, max_depth=8,
+            star_mean=2.0).generate())
+        direct = to_string(reference.apply_embedding(
+            school.sigma2, parse_xml(student_xml)).tree)
+        client = ServeClient(fleet.host, fleet.port)
+        result = client.map(xml=student_xml, embedding=sigma2)["result"]
+        assert result["ok"] and result["output"] == direct
+        health = client.healthz()
+        assert health["generation"] == 2
+        assert health["embeddings"] == 2
+        assert health["reloads"] == 1
+        client.close()
+
+
+# -- crash supervision --------------------------------------------------------
+
+def test_supervisor_restarts_killed_worker(school, fleet):
+    """SIGKILL one worker: the supervisor reaps it, increments the
+    shared restart counter, re-forks onto the same sockets, and the
+    fleet keeps serving correct responses on the same ports."""
+    xml = _documents(school, 1)[0]
+    engine = Engine()
+    expected = to_string(engine.apply_embedding(school.sigma1,
+                                                parse_xml(xml)).tree)
+    assert fleet.restart_count() == 0
+    victim_pid = fleet.pids[0]
+    victim_port = fleet.worker_ports[0]
+    os.kill(victim_pid, signal.SIGKILL)
+
+    _wait_until(lambda: fleet.restart_count() >= 1,
+                message="supervisor never restarted the worker")
+    _wait_for_fleet(fleet)  # replacement serves on the same ports
+    assert fleet.pids[0] != victim_pid
+
+    replacement = ServeClient(fleet.host, victim_port)
+    health = replacement.healthz()
+    assert health["worker"] == 0
+    assert health["pid"] == fleet.pids[0]
+    assert health["store_json_parses"] == 0
+    served = replacement.map(xml=xml)["result"]
+    assert served["ok"] and served["output"] == expected
+    replacement.close()
+
+    # The shared port still answers too (kernel backlog carried over).
+    shared = ServeClient(fleet.host, fleet.port)
+    assert shared.map(xml=xml)["result"]["output"] == expected
+    shared.close()
+
+    # /fleet surfaces the restart to clients.
+    topology = shared.fleet()
+    assert topology["restarts"] >= 1
+
+
+# -- degradation --------------------------------------------------------------
+
+def test_fleet_client_degrades_to_single_process(school, store_path):
+    """Against a plain single-process daemon, FleetClient routes
+    everything to the shared port."""
+    with ReproServer(store=store_path, port=0) as server:
+        client = FleetClient.for_server(server)
+        assert client.workers == {}
+        assert client.owner(school.sigma1.fingerprint()) is None
+        xml = _documents(school, 1)[0]
+        engine = Engine()
+        expected = to_string(engine.apply_embedding(
+            school.sigma1, parse_xml(xml)).tree)
+        assert client.map(xml=xml)["result"]["output"] == expected
+        client.close()

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 
 import pytest
 
@@ -272,3 +273,86 @@ def test_server_requires_exactly_one_source(school, store_path):
         ReproServer()
     with pytest.raises(ValueError):
         ReproServer(store=store_path, embedding=school.sigma1)
+
+
+# -- keep-alive ---------------------------------------------------------------
+
+def test_client_reuses_one_connection(school, server):
+    """The daemon speaks HTTP/1.1 keep-alive and the client holds one
+    persistent connection per thread: many requests, zero reconnects."""
+    client = ServeClient.for_server(server)
+    xml = _documents(school, 1)[0]
+    for _ in range(10):
+        assert client.map(xml=xml)["result"]["ok"]
+        assert client.healthz()["ok"]
+    assert client.reconnects == 0
+    client.close()
+
+
+def test_client_reconnects_after_server_restart(school, store_path):
+    """A stale keep-alive socket (server bounced between requests) is
+    replayed once on a fresh connection instead of surfacing an error."""
+    server = ReproServer(store=store_path, port=0).start()
+    port = server.port
+    client = ServeClient(server.host, port)
+    assert client.healthz()["ok"]
+    server.stop()
+    rebound = ReproServer(store=store_path, port=port).start()
+    try:
+        assert client.healthz()["ok"]  # same client object, new socket
+        assert client.reconnects >= 1
+    finally:
+        client.close()
+        rebound.stop()
+
+
+# -- graceful drain -----------------------------------------------------------
+
+def test_stop_drains_in_flight_requests(school, store_path):
+    """stop() waits for dispatched requests to finish writing their
+    responses: a request racing shutdown completes instead of dying."""
+    server = ReproServer(store=store_path, port=0).start()
+    xml = _documents(school, 1)[0]
+    expected = ServeClient.for_server(server).map(
+        xml=xml)["result"]["output"]
+    results: list = []
+    started = threading.Barrier(2)
+
+    def slow_caller() -> None:
+        client = ServeClient.for_server(server)
+        started.wait()
+        try:
+            results.append(client.map(xml=xml)["result"]["output"])
+        except Exception as exc:
+            results.append(exc)
+        finally:
+            client.close()
+
+    thread = threading.Thread(target=slow_caller)
+    thread.start()
+    started.wait()
+    server.stop()  # races the in-flight map; drain must cover it
+    thread.join(timeout=15)
+    assert not thread.is_alive()
+    assert len(results) == 1
+    # Either the request was accepted (then it must have completed
+    # byte-identically) or the socket closed before accept (a clean
+    # connection error, never a half-written response).
+    if isinstance(results[0], str):
+        assert results[0] == expected
+    else:
+        assert isinstance(results[0], (ConnectionError, OSError))
+    assert server.in_flight == 0
+
+
+def test_idle_keepalive_connection_does_not_block_stop(store_path):
+    """Draining counts in-flight *requests*, not open connections: an
+    idle keep-alive client must not hold shutdown hostage."""
+    server = ReproServer(store=store_path, port=0).start()
+    client = ServeClient.for_server(server)
+    assert client.healthz()["ok"]  # connection now idles, kept alive
+    started = time.monotonic()
+    server.stop(drain_seconds=30.0)
+    assert time.monotonic() - started < 10.0
+    assert not server.running
+    client.close()

@@ -1,0 +1,190 @@
+"""The packed store: zero-copy views, generations, zero JSON parses.
+
+The contract under test:
+
+* a pack round-trips every artifact of the JSON store fingerprint-
+  exactly (schemas, embeddings with validation flags, search results);
+* opening a :class:`StoreView` performs **zero** JSON parses — the
+  assertable counter behind the fleet's warm-start guarantee — while
+  the JSON store pays one parse per artifact read;
+* ``Engine.warm_start(view)`` serves byte-identically to a warm start
+  from the JSON store, with zero compile misses;
+* generations are monotonic, published atomically via ``CURRENT``, and
+  an open view survives a repack (mmap outlives the directory entry);
+* ``ServiceState.reload_from`` adopts a new generation additively;
+* corrupt and missing packs fail loudly with :class:`PackError`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dtd.generate import InstanceGenerator
+from repro.engine import (
+    ArtifactStore,
+    Engine,
+    PackError,
+    StoreView,
+    current_generation,
+    open_view,
+    pack_store,
+)
+from repro.engine.storepack import current_pack_path
+from repro.serve import ServiceState
+from repro.xtree.parser import parse_xml
+from repro.xtree.serialize import to_string
+
+
+@pytest.fixture()
+def packed_store(tmp_path, school):
+    """A JSON store with two schemas, one validated embedding and one
+    search result — packed once (generation 1)."""
+    engine = Engine()
+    result = engine.find_embedding(school.classes, school.school,
+                                   school.att)
+    assert result.found
+    engine.compile_embedding(school.sigma1, ensure_valid=True)
+    path = tmp_path / "store"
+    engine.save_store(path)
+    pack_store(path)
+    return path
+
+
+# -- round trip ---------------------------------------------------------------
+
+def test_pack_roundtrips_every_artifact(packed_store):
+    store = ArtifactStore(packed_store, create=False)
+    with open_view(packed_store) as view:
+        assert view.schema_fingerprints() == store.schema_fingerprints()
+        assert view.embedding_fingerprints() == \
+            store.embedding_fingerprints()
+        for fingerprint in store.schema_fingerprints():
+            assert view.get_schema(fingerprint).fingerprint() == \
+                fingerprint
+            assert view.schema_format(fingerprint) == \
+                store.schema_format(fingerprint)
+        for fingerprint in store.embedding_fingerprints():
+            assert view.get_embedding(fingerprint).fingerprint() == \
+                fingerprint
+            assert view.embedding_validated(fingerprint) == \
+                store.embedding_validated(fingerprint)
+        packed = {key: result for key, result in view.iter_searches()}
+        stored = {key: result for key, result in store.iter_searches()}
+        assert packed.keys() == stored.keys()
+        for key, result in stored.items():
+            assert packed[key].method == result.method
+            assert packed[key].quality == result.quality
+            assert (packed[key].embedding.fingerprint()
+                    == result.embedding.fingerprint())
+
+
+def test_view_parses_no_json_but_json_store_does(packed_store):
+    store = ArtifactStore(packed_store, create=False)
+    for fingerprint in store.embedding_fingerprints():
+        store.get_embedding(fingerprint)
+    assert store.parses > 0  # the JSON path pays a parse per artifact
+    with open_view(packed_store) as view:
+        for fingerprint in view.embedding_fingerprints():
+            view.get_embedding(fingerprint)
+        assert view.json_parses == 0
+        assert view.stats()["json_parses"] == 0
+        assert view.unpickles > 0
+
+
+def test_warm_start_from_view_is_byte_identical(packed_store, school):
+    xml = to_string(InstanceGenerator(school.classes, seed=4,
+                                      max_depth=8,
+                                      star_mean=2.0).generate())
+    with open_view(packed_store) as view:
+        warm = Engine.warm_start(view)
+        reference = Engine.warm_start(packed_store)
+        fingerprint = school.sigma1.fingerprint()
+        sigma = view.get_embedding(fingerprint)
+        served = to_string(
+            warm.apply_embedding(sigma, parse_xml(xml)).tree)
+        direct = to_string(reference.apply_embedding(
+            school.sigma1, parse_xml(xml)).tree)
+        assert served == direct
+        stats = warm.stats()
+        assert stats["schemas"]["misses"] == 0
+        assert stats["embeddings"]["misses"] == 0
+        assert view.json_parses == 0
+
+
+# -- generations --------------------------------------------------------------
+
+def test_generations_are_monotonic_and_current(packed_store):
+    assert current_generation(packed_store) == 1
+    second = pack_store(packed_store)
+    assert current_generation(packed_store) == 2
+    assert current_pack_path(packed_store) == second
+    with open_view(packed_store) as view:
+        assert view.generation == 2
+    explicit = pack_store(packed_store, generation=9)
+    assert current_generation(packed_store) == 9
+    assert explicit.name == "pack-00000009.bin"
+
+
+def test_open_view_survives_repack(packed_store):
+    view = open_view(packed_store)
+    fingerprint = view.embedding_fingerprints()[0]
+    pack_store(packed_store)  # publishes generation 2
+    # The old view's mmap stays valid: in-flight work finishes on the
+    # old generation while new opens see the new one.
+    assert view.get_embedding(fingerprint).fingerprint() == fingerprint
+    assert view.generation == 1
+    with open_view(packed_store) as fresh:
+        assert fresh.generation == 2
+    view.close()
+
+
+def test_unpacked_store_has_no_generation(tmp_path, school):
+    engine = Engine()
+    engine.compile_embedding(school.sigma1, ensure_valid=True)
+    path = tmp_path / "store"
+    engine.save_store(path)
+    assert current_generation(path) is None
+    with pytest.raises(PackError):
+        open_view(path)
+
+
+# -- hot reload through ServiceState ------------------------------------------
+
+def test_reload_from_adopts_new_generation(packed_store, school):
+    state = ServiceState.from_view(open_view(packed_store))
+    assert state.generation == 1
+    assert state.store_json_parses == 0
+    before = dict(state.embeddings)
+
+    # A second embedding lands in the store; repack publishes gen 2.
+    extra = Engine()
+    extra.compile_embedding(school.sigma2, ensure_valid=True)
+    extra.save_store(packed_store)
+    pack_store(packed_store)
+
+    adopted = state.reload_from(open_view(packed_store))
+    assert adopted >= 1
+    assert state.generation == 2
+    assert state.reloads == 1
+    assert set(before) < set(state.embeddings)
+    assert school.sigma2.fingerprint() in state.embeddings
+    # Reloading the same generation again is a no-op adoption.
+    assert state.reload_from(open_view(packed_store)) == 0
+    assert state.reloads == 2
+    state.view.close()
+
+
+# -- failure modes ------------------------------------------------------------
+
+def test_corrupt_pack_raises_pack_error(packed_store):
+    path = current_pack_path(packed_store)
+    raw = bytearray(path.read_bytes())
+    raw[:4] = b"XXXX"
+    path.write_bytes(bytes(raw))
+    with pytest.raises(PackError):
+        StoreView(path)
+
+
+def test_missing_pack_file_raises_pack_error(tmp_path):
+    with pytest.raises(PackError):
+        StoreView(tmp_path / "nope.bin")
