@@ -21,7 +21,7 @@ from repro.core.instmap import InstMap
 from repro.core.inverse import run_invert
 from repro.core.translate import Translator
 from repro.dtd.generate import InstanceGenerator
-from repro.dtd.parser import parse_compact
+from repro.schema import load_schema
 from repro.core.embedding import build_embedding
 from repro.engine.plan import InverseProgram
 from repro.workloads.library import school_example
@@ -38,9 +38,11 @@ def _idm_signature(result):
 
 
 def _deep_bundle(depth: int):
-    source = parse_compact("node -> node*", name="chain-src")
-    target = parse_compact("wrap -> inner\ninner -> wrap*",
-                           root="wrap", name="chain-tgt")
+    source = load_schema("node -> node*", format="compact",
+                         name="chain-src")
+    target = load_schema("wrap -> inner\ninner -> wrap*",
+                         format="compact", root="wrap",
+                         name="chain-tgt")
     sigma = build_embedding(source, target, {"node": "wrap"},
                             {("node", "node"): "inner/wrap"})
     root = ElementNode("node")
@@ -90,17 +92,21 @@ def run(smoke: bool) -> tuple[list[dict], bool, float, float]:
         reference = instmap.apply_reference(document)
         identical &= to_string(fast.tree) == to_string(reference.tree)
         identical &= _idm_signature(fast) == _idm_signature(reference)
-        map_fast = _time_ops(lambda: instmap.apply(document), budget)
+        map_fast = _time_ops(
+            lambda im=instmap, doc=document: im.apply(doc), budget)
         map_ref = _time_ops(
-            lambda: instmap.apply_reference(document), budget)
+            lambda im=instmap, doc=document: im.apply_reference(doc),
+            budget)
 
         # -- invert: compiled inverse program vs reference walk ---------
         inverse = InverseProgram(sigma, instmap._infos)
         mapped = fast.tree
         identical &= (to_string(inverse.apply(mapped))
                       == to_string(run_invert(sigma, mapped)))
-        inv_fast = _time_ops(lambda: inverse.apply(mapped), budget)
-        inv_ref = _time_ops(lambda: run_invert(sigma, mapped), budget)
+        inv_fast = _time_ops(
+            lambda inv=inverse, tree=mapped: inv.apply(tree), budget)
+        inv_ref = _time_ops(
+            lambda sig=sigma, tree=mapped: run_invert(sig, tree), budget)
 
         rows.append({
             "doc": label, "nodes": nodes,

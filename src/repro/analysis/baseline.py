@@ -1,0 +1,110 @@
+"""Grandfathered findings: the committed JSON baseline.
+
+A baseline entry pairs a finding :attr:`~repro.analysis.model.Finding.key`
+(line-number-free, so unrelated edits don't invalidate it) with a
+mandatory one-line justification — an entry with no justification is a
+malformed baseline, not a silent pass.  ``repro lint`` exits non-zero
+only on findings *absent* from the baseline, and reports baseline
+entries that no longer match anything as *stale* so they get expired
+instead of rotting.
+
+Matching is multiset-aware: two identical findings in one file need
+two entries (or one entry with ``"count": 2``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.analysis.model import Finding, LintError
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class BaselineMatch:
+    """The outcome of applying a baseline to a findings list."""
+
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale: list[str] = field(default_factory=list)   #: unmatched keys
+
+
+def load_baseline(path: Union[str, Path]) -> dict[str, dict]:
+    """``key -> {"justification": …, "count": n}`` from a baseline file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise LintError(f"{path}: cannot read baseline: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise LintError(f"{path}: baseline is not valid JSON: "
+                        f"{exc}") from exc
+    if not isinstance(payload, dict) or \
+            not isinstance(payload.get("entries"), list):
+        raise LintError(f"{path}: baseline must be an object with an "
+                        "'entries' list")
+    entries: dict[str, dict] = {}
+    for index, row in enumerate(payload["entries"]):
+        if not isinstance(row, dict) or not isinstance(
+                row.get("key"), str):
+            raise LintError(f"{path}: entries[{index}] needs a string "
+                            "'key'")
+        justification = row.get("justification")
+        if not isinstance(justification, str) or not justification.strip():
+            raise LintError(
+                f"{path}: entries[{index}] ({row['key'][:60]}…) has no "
+                "justification — every grandfathered finding must say "
+                "why it is allowed to stay")
+        count = row.get("count", 1)
+        if not isinstance(count, int) or isinstance(count, bool) or \
+                count < 1:
+            raise LintError(f"{path}: entries[{index}]: 'count' must "
+                            "be a positive integer")
+        if row["key"] in entries:
+            entries[row["key"]]["count"] += count
+        else:
+            entries[row["key"]] = {"justification": justification,
+                                   "count": count}
+    return entries
+
+
+def apply_baseline(findings: Iterable[Finding],
+                   entries: dict[str, dict]) -> BaselineMatch:
+    remaining = {key: entry["count"] for key, entry in entries.items()}
+    match = BaselineMatch()
+    for finding in findings:
+        if remaining.get(finding.key, 0) > 0:
+            remaining[finding.key] -= 1
+            match.baselined.append(finding)
+        else:
+            match.new.append(finding)
+    match.stale = sorted(key for key, count in remaining.items()
+                         if count > 0)
+    return match
+
+
+def write_baseline(findings: Iterable[Finding], path: Union[str, Path],
+                   justification: str = "TODO: justify or fix") -> int:
+    """Write ``findings`` as a baseline skeleton; returns entry count.
+
+    Every entry gets the placeholder justification — committing it
+    unedited still works mechanically, but the review convention is
+    that each line gains its real reason.
+    """
+    counts: dict[str, int] = {}
+    for finding in sorted(findings, key=Finding.sort_key):
+        counts[finding.key] = counts.get(finding.key, 0) + 1
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {"key": key, "count": count, "justification": justification}
+            if count > 1 else
+            {"key": key, "justification": justification}
+            for key, count in counts.items()],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return len(counts)

@@ -1,0 +1,155 @@
+"""Module collection and the import graph — the walker infrastructure
+every checker shares.
+
+:func:`collect_modules` turns CLI paths (files or directories) into
+parsed :class:`~repro.analysis.model.Module` records with stable,
+repo-relative finding paths.  :func:`iter_imports` flattens a module's
+``import``/``from`` statements — wherever they hide (function bodies,
+``try`` blocks, ``if TYPE_CHECKING`` guards) — into
+:class:`ImportSite` records that carry the *laziness* of the site:
+an import nested inside a function only executes on call, which is
+exactly the distinction the layering checker's allowlist is about.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+from repro.analysis.model import Finding, LintError, Module
+
+
+@dataclass(frozen=True)
+class ImportSite:
+    """One imported module name at one source location."""
+
+    module: str          #: dotted module ("repro.engine.session")
+    lineno: int
+    lazy: bool           #: nested inside a function => executes on call
+    #: enclosing def/class nodes, outermost first (for marker lookup)
+    scopes: tuple
+
+
+def _module_name(path: Path) -> Optional[str]:
+    """Dotted module name for files inside a ``repro`` package tree."""
+    parts = list(path.parts)
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            # Guard against a directory merely named repro: the real
+            # package root carries __init__.py.
+            if not (Path(*parts[:index + 1]) / "__init__.py").exists():
+                return None
+            dotted = parts[index:]
+            if dotted[-1].endswith(".py"):
+                dotted[-1] = dotted[-1][:-3]
+            if dotted[-1] == "__init__":
+                dotted.pop()
+            return ".".join(dotted)
+    return None
+
+
+def _iter_files(path: Path) -> Iterator[Path]:
+    if path.is_file():
+        if path.suffix == ".py":
+            yield path
+        return
+    for candidate in sorted(path.rglob("*.py")):
+        if "__pycache__" in candidate.parts:
+            continue
+        yield candidate
+
+
+def collect_modules(paths: Iterable, root: Optional[Path] = None,
+                    ) -> tuple[list[Module], list[Finding]]:
+    """Parse every ``*.py`` under ``paths``.
+
+    Returns the parsed modules plus parse-failure findings — a file
+    the linter cannot read is itself a finding (checker ``parse``),
+    never a crash.
+    """
+    root = Path.cwd() if root is None else Path(root)
+    modules: list[Module] = []
+    failures: list[Finding] = []
+    seen: set[Path] = set()
+    any_input = False
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise LintError(f"{path}: no such file or directory")
+        for file_path in _iter_files(path):
+            any_input = True
+            resolved = file_path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            try:
+                rel = str(resolved.relative_to(root.resolve()))
+            except ValueError:
+                rel = str(file_path)
+            try:
+                source = resolved.read_text()
+            except (OSError, UnicodeDecodeError) as exc:
+                failures.append(Finding(
+                    checker="parse", code="parse/unreadable", path=rel,
+                    line=1, message=f"cannot read source: {exc}"))
+                continue
+            module = Module.parse(resolved, rel, _module_name(resolved),
+                                  source)
+            if module.tree is None:
+                failures.append(Finding(
+                    checker="parse", code="parse/syntax-error", path=rel,
+                    line=1, message="file does not parse as Python"))
+                continue
+            modules.append(module)
+    if not any_input:
+        raise LintError("no Python files under the given paths")
+    return modules, failures
+
+
+def iter_imports(module: Module) -> Iterator[ImportSite]:
+    """Every imported module name in ``module``, with laziness."""
+    if module.tree is None:
+        return
+
+    def walk(node: ast.AST, scopes: tuple, lazy: bool) -> Iterator[ImportSite]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.Import):
+                for alias in child.names:
+                    yield ImportSite(alias.name, child.lineno, lazy, scopes)
+            elif isinstance(child, ast.ImportFrom):
+                if child.module and child.level == 0:
+                    yield ImportSite(child.module, child.lineno, lazy,
+                                     scopes)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from walk(child, scopes + (child,), True)
+            elif isinstance(child, ast.ClassDef):
+                yield from walk(child, scopes + (child,), lazy)
+            else:
+                yield from walk(child, scopes, lazy)
+
+    yield from walk(module.tree, (), False)
+
+
+# -- call-name helpers shared by several checkers ---------------------------
+def call_name(node: ast.Call) -> Optional[str]:
+    """``foo(...)`` -> ``foo``; ``a.b.foo(...)`` -> ``foo``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute chains (``None`` for anything else)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

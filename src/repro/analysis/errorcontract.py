@@ -1,0 +1,142 @@
+"""Checker 5 — the error contract of the public surface.
+
+The CLI promises (PR 3): malformed input exits 2 with one
+``repro: error: …`` line, never a traceback.  Its one ``except``
+clause catches ``(OSError, ValueError)`` — so the promise only holds
+while every error type the library raises for bad input derives from
+``ValueError`` (or ``OSError``).  Two rules keep that true:
+
+* **escaping-error-type** — every exception class defined in the
+  package must resolve, through its base chain (repo classes
+  followed transitively), to ``ValueError`` or ``OSError``.  Internal
+  control-flow signals that must *not* be swallowed by the boundary
+  (e.g. the plan compiler's "shape is not static") opt out with
+  ``# lint: allow-error-type`` on the ``class`` line, with the reason
+  in the comment.
+* **entrypoint-raises-uncatchable** — the entry modules
+  (``repro.cli``, ``repro.api``) must not themselves ``raise`` a
+  builtin exception type the boundary cannot catch (``KeyError``,
+  ``RuntimeError``, bare ``Exception``, …).  ``KeyboardInterrupt``,
+  ``SystemExit`` and ``NotImplementedError`` are deliberate control
+  flow and stay legal.
+
+Base-class resolution consults the real builtins (``issubclass``), so
+e.g. ``UnicodeDecodeError`` counts as a ``ValueError`` without a
+hand-kept table.  Classes whose bases come from outside the scanned
+tree are skipped, not guessed.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterator, Optional
+
+from repro.analysis.model import Finding, Module
+
+CHECKER = "errors"
+
+ENTRY_MODULES = frozenset({"repro.cli", "repro.api"})
+
+#: Raising these from an entry module is deliberate control flow.
+_ENTRY_ALLOWED = frozenset({
+    "ValueError", "OSError", "KeyboardInterrupt", "SystemExit",
+    "NotImplementedError",
+})
+
+
+def _builtin_exception(name: str) -> Optional[type]:
+    candidate = getattr(builtins, name, None)
+    if isinstance(candidate, type) and \
+            issubclass(candidate, BaseException):
+        return candidate
+    return None
+
+
+def _base_names(node: ast.ClassDef) -> list[str]:
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def check(modules: list[Module]) -> Iterator[Finding]:
+    yield from _check_error_classes(modules)
+    for module in modules:
+        if module.name in ENTRY_MODULES:
+            yield from _check_entry_raises(module)
+
+
+def _check_error_classes(modules: list[Module]) -> Iterator[Finding]:
+    # One package-wide class table: error classes subclass each other
+    # across modules (PackError(StoreError) lives two files apart).
+    classes: dict[str, tuple[Module, ast.ClassDef]] = {}
+    for module in modules:
+        if module.tree is None or not module.name:
+            continue
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                classes.setdefault(node.name, (module, node))
+
+    def classify(name: str, trail: frozenset) -> Optional[str]:
+        """'ok' (ValueError/OSError rooted), 'bad' (other exception),
+        or None (not an exception / unresolvable)."""
+        builtin = _builtin_exception(name)
+        if builtin is not None:
+            return "ok" if issubclass(builtin, (ValueError, OSError)) \
+                else "bad"
+        if name in trail or name not in classes:
+            return None
+        _module, node = classes[name]
+        verdicts = [classify(base, trail | {name})
+                    for base in _base_names(node)]
+        if "ok" in verdicts:
+            return "ok"
+        if "bad" in verdicts:
+            return "bad"
+        return None
+
+    for name in sorted(classes):
+        module, node = classes[name]
+        verdict = classify(name, frozenset())
+        if verdict != "bad":
+            continue
+        if module.allowed(node, "error-type"):
+            continue
+        bases = ", ".join(_base_names(node)) or "object"
+        yield Finding(
+            checker=CHECKER, code="errors/escaping-error-type",
+            path=module.rel, line=node.lineno,
+            message=(f"exception {name}({bases}) does not derive from "
+                     "ValueError/OSError, so the CLI boundary cannot "
+                     "catch it — bad input would traceback instead of "
+                     "exiting 2 (derive from ValueError, or justify "
+                     "with '# lint: allow-error-type')"))
+
+
+def _check_entry_raises(module: Module) -> Iterator[Finding]:
+    assert module.tree is not None
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if not isinstance(exc, ast.Name):
+            continue
+        builtin = _builtin_exception(exc.id)
+        if builtin is None or exc.id in _ENTRY_ALLOWED:
+            continue
+        if issubclass(builtin, (ValueError, OSError)):
+            continue
+        if module.allowed(node, "uncatchable-raise"):
+            continue
+        yield Finding(
+            checker=CHECKER, code="errors/entrypoint-raises-uncatchable",
+            path=module.rel, line=node.lineno,
+            message=(f"entry module raises {exc.id}, which escapes the "
+                     "exit-2 boundary as a traceback; raise a repro "
+                     "error (ValueError) instead"))

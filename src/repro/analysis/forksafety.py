@@ -1,0 +1,317 @@
+"""Checker 4 — fork safety of the pre-fork serve fleet.
+
+``fork()`` copies exactly one thread.  Any *other* thread running in
+the parent at fork time simply vanishes in the child — together with
+whatever locks it held, which then deadlock the child forever.  The
+fleet supervisor (PR 6) is therefore built so that the parent binds
+sockets, forks the workers, and only *then* starts its monitor
+thread.  This checker keeps that ordering machine-checked:
+
+* in the fleet module, a function that forks (``os.fork``, or
+  ``.start()`` on a ``multiprocessing`` ``Process``, directly or via
+  a helper like ``_spawn``) must not **start a thread** before its
+  first fork site, and must not **hold a lock across** a fork site
+  (``with <lock>:`` containing the fork, or an ``.acquire()`` with no
+  ``.release()`` before it).  Helpers called on the pre-fork path are
+  scanned transitively.
+* ``os.fork`` itself may only appear in the supervisor module —
+  everything else goes through the supervisor or ``multiprocessing``.
+
+Constructing (not starting) threads, events or locks pre-fork is fine:
+children inherit them unlocked.  Lock detection is heuristic — a
+``with`` subject is "lockish" when it is a ``.get_lock()`` call or a
+name/attribute containing ``lock`` — which is exactly the naming
+convention the serve layer already follows.
+
+The plane is ``repro.serve.fleet`` plus any module declaring
+``# lint: fork-plane``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.collect import dotted_name
+from repro.analysis.model import Finding, Module
+
+CHECKER = "forksafety"
+
+SUPERVISOR_MODULES = frozenset({"repro.serve.fleet"})
+MODULE_MARKER = "fork-plane"
+
+
+def _is_os_fork(node: ast.Call) -> bool:
+    return dotted_name(node.func) == "os.fork"
+
+
+def _is_process_ctor(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = dotted_name(node.func)
+    return name is not None and name.split(".")[-1] == "Process"
+
+
+def _is_thread_ctor(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = dotted_name(node.func)
+    return name is not None and name.split(".")[-1] == "Thread"
+
+
+def _lockish(node: ast.AST) -> bool:
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name is not None and \
+            name.split(".")[-1] in ("get_lock", "Lock", "RLock")
+    name = dotted_name(node)
+    return name is not None and "lock" in name.split(".")[-1].lower()
+
+
+class _FunctionScan:
+    """Per-function fork/thread/lock facts, in statement order."""
+
+    def __init__(self, qualname: str, node: ast.AST,
+                 class_name: Optional[str]) -> None:
+        self.qualname = qualname
+        self.node = node
+        self.class_name = class_name
+        self.forks_directly = False
+        #: calls that might resolve to module functions/methods
+        self.callees: list[tuple[str, ast.Call]] = []
+
+
+def _functions(module: Module) -> dict[str, _FunctionScan]:
+    found: dict[str, _FunctionScan] = {}
+
+    def visit(node: ast.AST, prefix: str,
+              class_name: Optional[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                found[qual] = _FunctionScan(qual, child, class_name)
+                visit(child, f"{qual}.", class_name)
+            elif isinstance(child, ast.ClassDef):
+                visit(child, f"{child.name}.", child.name)
+            else:
+                visit(node=child, prefix=prefix, class_name=class_name)
+
+    visit(module.tree, "", None)
+    return found
+
+
+def _callee_names(call: ast.Call, scan: _FunctionScan) -> Iterator[str]:
+    func = call.func
+    if isinstance(func, ast.Name):
+        yield func.id
+    elif isinstance(func, ast.Attribute) and \
+            isinstance(func.value, ast.Name) and \
+            func.value.id in ("self", "cls") and scan.class_name:
+        yield f"{scan.class_name}.{func.attr}"
+
+
+def _forking_functions(module: Module,
+                       scans: dict[str, _FunctionScan]) -> set[str]:
+    """Fixpoint: functions that (transitively) reach a fork primitive.
+
+    Process construction and ``.start()`` usually sit in the same
+    function; treating any function that *constructs* a Process or
+    calls ``os.fork`` as forking keeps the analysis simple and errs
+    toward checking more code, never less.
+    """
+    process_attrs: set[str] = set()   # attribute names assigned Process()
+    for scan in scans.values():
+        for node in ast.walk(scan.node):
+            if isinstance(node, ast.Call) and \
+                    (_is_os_fork(node) or _is_process_ctor(node)):
+                scan.forks_directly = True
+            if isinstance(node, ast.Call):
+                for name in _callee_names(node, scan):
+                    scan.callees.append((name, node))
+            if isinstance(node, ast.Assign) and _is_process_ctor(node.value):
+                for target in node.targets:
+                    attr = dotted_name(target)
+                    if attr and attr.startswith("self."):
+                        process_attrs.add(attr.split(".", 1)[1])
+    forking = {qual for qual, scan in scans.items() if scan.forks_directly}
+    changed = True
+    while changed:
+        changed = False
+        for qual, scan in scans.items():
+            if qual in forking:
+                continue
+            for name, _call in scan.callees:
+                target = _resolve(name, scan, scans)
+                if target in forking:
+                    forking.add(qual)
+                    changed = True
+                    break
+    return forking
+
+
+def _resolve(name: str, scan: _FunctionScan,
+             scans: dict[str, _FunctionScan]) -> Optional[str]:
+    if name in scans:
+        return name
+    # A bare name may be a method called as a local helper reference.
+    if scan.class_name and f"{scan.class_name}.{name}" in scans:
+        return f"{scan.class_name}.{name}"
+    return None
+
+
+def _call_forks(call: ast.Call, scan: _FunctionScan,
+                scans: dict[str, _FunctionScan],
+                forking: set[str]) -> bool:
+    if _is_os_fork(call) or _is_process_ctor(call):
+        return True
+    for name in _callee_names(call, scan):
+        target = _resolve(name, scan, scans)
+        if target in forking:
+            return True
+    return False
+
+
+def _contains_fork(node: ast.AST, scan: _FunctionScan,
+                   scans: dict[str, _FunctionScan],
+                   forking: set[str]) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and \
+                _call_forks(sub, scan, scans, forking):
+            return True
+    return False
+
+
+def check(modules: list[Module]) -> Iterator[Finding]:
+    for module in modules:
+        if module.tree is None:
+            continue
+        in_plane = module.name in SUPERVISOR_MODULES or \
+            module.has_module_marker(MODULE_MARKER)
+        if not in_plane:
+            yield from _check_no_fork(module)
+            continue
+        scans = _functions(module)
+        forking = _forking_functions(module, scans)
+        for qual in sorted(forking):
+            yield from _check_prefork_path(module, scans[qual], scans,
+                                           forking)
+
+
+def _check_no_fork(module: Module) -> Iterator[Finding]:
+    assert module.tree is not None
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call) and _is_os_fork(node) and \
+                not module.allowed(node, "fork"):
+            yield Finding(
+                checker=CHECKER, code="forksafety/fork-outside-supervisor",
+                path=module.rel, line=node.lineno,
+                message=("os.fork() outside the fleet supervisor; all "
+                         "forking goes through repro.serve.fleet (or "
+                         "multiprocessing) so worker lifecycle stays "
+                         "supervised"))
+
+
+def _check_prefork_path(module: Module, scan: _FunctionScan,
+                        scans: dict[str, _FunctionScan],
+                        forking: set[str]) -> Iterator[Finding]:
+    """Scan one forking function's body in statement order."""
+    body = getattr(scan.node, "body", [])
+    seen_fork = False
+    #: names/attributes assigned a Thread constructor pre-fork
+    thread_names: set[str] = set()
+    for statement in body:
+        statement_forks = _contains_fork(statement, scan, scans, forking)
+        if not seen_fork:
+            yield from _scan_prefork_statement(
+                module, scan, scans, forking, statement,
+                statement_forks, thread_names)
+        if statement_forks:
+            seen_fork = True
+
+
+def _scan_prefork_statement(module: Module, scan: _FunctionScan,
+                            scans: dict[str, _FunctionScan],
+                            forking: set[str], statement: ast.AST,
+                            statement_forks: bool,
+                            thread_names: set[str]) -> Iterator[Finding]:
+    # Locks held across a fork: a `with <lockish>:` whose body forks.
+    if isinstance(statement, ast.With) and statement_forks:
+        for item in statement.items:
+            if _lockish(item.context_expr) and \
+                    not module.allowed(statement, "lock-across-fork",
+                                       enclosing=[scan.node]):
+                yield Finding(
+                    checker=CHECKER, code="forksafety/lock-across-fork",
+                    path=module.rel, line=statement.lineno,
+                    message=(f"{scan.qualname} holds a lock across a "
+                             "fork; the child inherits it locked and "
+                             "deadlocks"))
+    for node in ast.walk(statement):
+        if isinstance(node, ast.Assign) and _is_thread_ctor(node.value):
+            for target in node.targets:
+                name = dotted_name(target)
+                if name:
+                    thread_names.add(name)
+        if not isinstance(node, ast.Call):
+            continue
+        # Threads started before the fork point: Thread(...).start()
+        # inline, or x.start() on a name assigned Thread(...) earlier
+        # on the same pre-fork path.
+        started_thread = False
+        if isinstance(node.func, ast.Attribute) and \
+                node.func.attr == "start":
+            subject = node.func.value
+            started_thread = _is_thread_ctor(subject) or \
+                (dotted_name(subject) in thread_names)
+        if started_thread and not statement_forks and \
+                not module.allowed(node, "thread-before-fork",
+                                   enclosing=[scan.node]):
+            yield Finding(
+                checker=CHECKER, code="forksafety/thread-before-fork",
+                path=module.rel, line=node.lineno,
+                message=(f"{scan.qualname} starts a thread on the "
+                         "pre-fork path; forked children lose it and "
+                         "inherit its held locks"))
+        if isinstance(node.func, ast.Attribute) and \
+                node.func.attr == "acquire" and \
+                _lockish(node.func.value) and not statement_forks and \
+                not module.allowed(node, "lock-across-fork",
+                                   enclosing=[scan.node]):
+            yield Finding(
+                checker=CHECKER, code="forksafety/lock-across-fork",
+                path=module.rel, line=node.lineno,
+                message=(f"{scan.qualname} acquires a lock on the "
+                         "pre-fork path with no release before the "
+                         "fork; the child inherits it locked"))
+    # Helpers invoked pre-fork: any thread start / lock acquire inside
+    # them happens before the fork too (one transitive hop keeps the
+    # report anchored where the call is readable).
+    if statement_forks:
+        return
+    for node in ast.walk(statement):
+        if not isinstance(node, ast.Call):
+            continue
+        for name in _callee_names(node, scan):
+            target = _resolve(name, scan, scans)
+            if target is None or target in forking:
+                continue
+            yield from _scan_helper(module, scans[target], node)
+
+
+def _scan_helper(module: Module, helper: _FunctionScan,
+                 call_site: ast.Call) -> Iterator[Finding]:
+    for node in ast.walk(helper.node):
+        if not isinstance(node, ast.Call):
+            continue
+        started_thread = (
+            isinstance(node.func, ast.Attribute) and
+            node.func.attr == "start" and
+            _is_thread_ctor(node.func.value))
+        if started_thread and \
+                not module.allowed(node, "thread-before-fork",
+                                   enclosing=[helper.node]):
+            yield Finding(
+                checker=CHECKER, code="forksafety/thread-before-fork",
+                path=module.rel, line=node.lineno,
+                message=(f"{helper.qualname} (called on a pre-fork "
+                         "path) starts a thread before the fork"))

@@ -1,0 +1,108 @@
+"""Checker 1 — layering: the module import DAG and the frontend
+boundary.
+
+The plane packages (``core``, ``dtd``, ``anfa``, ``xpath``, ``xtree``,
+and the other schema/document-plane packages) implement the paper's
+algorithms; ``engine`` and ``serve`` are the upper serving layers that
+*consume* them.  An upward import from a plane module would create a
+cycle in the architecture (and, at module level, usually a literal
+import cycle).  The only sanctioned exceptions are the documented lazy
+imports — the convenience wrappers that delegate to the default
+engine — and each one must carry ``# lint: allow-lazy-import`` next
+to the ``import`` so the allowlist lives in the code.
+
+The second rule is the PR 4 frontend contract: only
+``repro.schema`` and ``repro.dtd`` may *call* ``parse_dtd`` /
+``parse_compact``; everything else goes through
+``repro.schema.load_schema`` so every input format keeps producing
+byte-identical artifacts.  (Re-exporting the names, as ``repro.api``
+does, is fine — only call sites bypass the boundary.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.collect import call_name, iter_imports
+from repro.analysis.model import Finding, Module
+
+CHECKER = "layering"
+
+#: Paper/algorithm planes: may never depend on the serving layers.
+PLANE_PACKAGES = frozenset({
+    "core", "dtd", "anfa", "xpath", "xtree", "xslt",
+    "matching", "schema", "workloads", "experiments",
+})
+
+#: The serving layers (plus the entry modules, which may import anything).
+UPPER_PREFIXES = ("repro.engine", "repro.serve")
+
+#: Only these packages may call the raw schema parsers.
+FRONTEND_PACKAGES = frozenset({"schema", "dtd"})
+FRONTEND_CALLS = frozenset({"parse_dtd", "parse_compact"})
+
+
+def _upper_target(imported: str) -> bool:
+    return any(imported == prefix or imported.startswith(prefix + ".")
+               for prefix in UPPER_PREFIXES)
+
+
+def check(modules: list[Module]) -> Iterator[Finding]:
+    for module in modules:
+        yield from _check_import_dag(module)
+        yield from _check_frontend_boundary(module)
+
+
+def _check_import_dag(module: Module) -> Iterator[Finding]:
+    package = module.top_package()
+    if package not in PLANE_PACKAGES:
+        return
+    for site in iter_imports(module):
+        if not _upper_target(site.module):
+            continue
+        if not site.lazy:
+            # No marker can excuse a module-level upward import: it is
+            # an architectural cycle whether documented or not.
+            yield Finding(
+                checker=CHECKER, code="layering/plane-imports-engine",
+                path=module.rel, line=site.lineno,
+                message=(f"plane module {module.name} imports "
+                         f"{site.module} at module level; the "
+                         f"{package}/ plane must not depend on the "
+                         "serving layers"))
+        elif not module.allowed(_line_node(site.lineno), "lazy-import",
+                                enclosing=list(site.scopes)):
+            yield Finding(
+                checker=CHECKER, code="layering/lazy-import-unmarked",
+                path=module.rel, line=site.lineno,
+                message=(f"lazy import of {site.module} from plane "
+                         f"module {module.name} needs a documented "
+                         "'# lint: allow-lazy-import' marker"))
+
+
+def _check_frontend_boundary(module: Module) -> Iterator[Finding]:
+    if module.top_package() in FRONTEND_PACKAGES:
+        return
+    assert module.tree is not None
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = call_name(node)
+        if name not in FRONTEND_CALLS:
+            continue
+        if module.allowed(node, "frontend-call"):
+            continue
+        yield Finding(
+            checker=CHECKER, code="layering/frontend-boundary",
+            path=module.rel, line=node.lineno,
+            message=(f"direct call to {name}() outside repro.schema/"
+                     "repro.dtd; go through repro.schema.load_schema "
+                     "so every frontend format stays byte-identical"))
+
+
+class _line_node:
+    """A minimal stand-in exposing ``lineno`` for marker lookups."""
+
+    def __init__(self, lineno: int) -> None:
+        self.lineno = lineno

@@ -1,0 +1,150 @@
+"""Shared vocabulary of the static-analysis pass.
+
+A :class:`Finding` is one violated invariant, attributed to a file and
+line and carrying a stable :attr:`~Finding.key` (line-number-free, so
+baselines survive unrelated edits).  A :class:`Module` is one parsed
+source file: its AST, raw lines and the ``# lint:`` marker comments
+the checkers consult.
+
+Markers are the in-code allowlist.  ``# lint: allow-<rule>`` on a
+flagged line (or the line directly above it, or the ``def``/``class``
+line of any enclosing definition) silences that rule there — the
+justification lives next to the code it excuses, not in linter
+config.  ``# lint: <plane>-plane`` at module level opts a new file
+into a plane-scoped checker (determinism, recursion, fork safety)
+without touching the checker's built-in module list.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+
+class LintError(ValueError):
+    """Unusable linter input (bad path, malformed baseline file)."""
+
+
+#: ``# lint: allow-recursion`` / ``# lint: determinism-plane`` …
+_MARKER_RE = re.compile(r"#\s*lint:\s*([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation.
+
+    ``checker`` is the pass that produced it (``layering``, …),
+    ``code`` the specific rule (``layering/plane-imports-engine``).
+    ``key`` deliberately omits the line number: a baseline entry keeps
+    matching while unrelated edits move the finding around the file.
+    """
+
+    checker: str
+    code: str
+    path: str
+    line: int
+    message: str
+
+    @property
+    def key(self) -> str:
+        return f"{self.path}::{self.code}::{self.message}"
+
+    def to_dict(self) -> dict:
+        return {"checker": self.checker, "code": self.code,
+                "path": self.path, "line": self.line,
+                "message": self.message, "key": self.key}
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.code}] {self.message}"
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.code, self.message)
+
+
+@dataclass
+class Module:
+    """One parsed source file, ready for the checkers."""
+
+    path: Path                     #: absolute path on disk
+    rel: str                       #: path as reported in findings
+    name: Optional[str]            #: dotted module name (``repro.core.…``)
+                                   #: when the file sits in the package
+    source: str
+    tree: Optional[ast.AST]        #: ``None`` when the file failed to parse
+    lines: list[str] = field(default_factory=list)
+    #: line number -> marker names on that line
+    markers: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path, rel: str, name: Optional[str],
+              source: str) -> "Module":
+        try:
+            tree = ast.parse(source, filename=rel)
+        except SyntaxError:
+            tree = None
+        lines = source.splitlines()
+        # Markers come from real COMMENT tokens only — a docstring that
+        # *mentions* "# lint: recursion-plane" must not opt the module
+        # into a plane.
+        markers: dict[int, set[str]] = {}
+        try:
+            tokens = tokenize.generate_tokens(
+                io.StringIO(source).readline)
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                match = _MARKER_RE.search(token.string)
+                if match:
+                    names = {part.strip()
+                             for part in match.group(1).split(",")}
+                    markers.setdefault(token.start[0],
+                                       set()).update(names)
+        except tokenize.TokenError:
+            pass  # unparseable tail: the ast parse reports it
+        return cls(path=path, rel=rel, name=name, source=source,
+                   tree=tree, lines=lines, markers=markers)
+
+    # -- marker queries ------------------------------------------------------
+    def marker_at(self, lineno: int, marker: str) -> bool:
+        """Marker on the line itself or the line directly above."""
+        return (marker in self.markers.get(lineno, ()) or
+                marker in self.markers.get(lineno - 1, ()))
+
+    def has_module_marker(self, marker: str) -> bool:
+        return any(marker in names for names in self.markers.values())
+
+    def allowed(self, node: ast.AST, rule: str,
+                enclosing: Optional[list[ast.AST]] = None) -> bool:
+        """Is ``allow-<rule>`` in effect for ``node``?
+
+        Checks the node's own line (and the one above), plus the
+        ``def``/``class`` header line of every enclosing definition
+        the caller tracked — a function-level marker excuses the whole
+        body, nested helpers included.
+        """
+        marker = f"allow-{rule}"
+        # A whole file can opt out of one rule (e.g. the raw parser's
+        # own unit tests live outside the frontend boundary by nature):
+        # `# lint: allow-<rule>-module` anywhere in the file.
+        if self.has_module_marker(marker + "-module"):
+            return True
+        lineno = getattr(node, "lineno", None)
+        if lineno is not None and self.marker_at(lineno, marker):
+            return True
+        for scope in enclosing or ():
+            scope_line = getattr(scope, "lineno", None)
+            if scope_line is not None and self.marker_at(scope_line, marker):
+                return True
+        return False
+
+    def top_package(self) -> Optional[str]:
+        """``repro.core.instmap`` -> ``core`` (``None`` outside repro)."""
+        if not self.name or not self.name.startswith("repro."):
+            return None
+        parts = self.name.split(".")
+        return parts[1] if len(parts) > 1 else None

@@ -596,6 +596,9 @@ class ANFA:
         """A readable dump used in docs/tests."""
         return self._render(None)
 
+    # id() keys the identity->name map only; the M0/M1/… names come
+    # from discovery order and no id value ever reaches the rendering.
+    # lint: allow-id
     def canonical_describe(self) -> str:
         """A deterministic rendering for cross-process comparison.
 
@@ -651,6 +654,9 @@ class ANFA:
         self._canonical_cache = text
         return text
 
+    # Identity lookups into the canonical name map; see
+    # canonical_describe.
+    # lint: allow-id
     def _render(self, names: Optional[dict[int, str]]) -> str:
         def name_of(anfa: "ANFA") -> str:
             if names is None:

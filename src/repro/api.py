@@ -82,6 +82,7 @@ whose payload strings are byte-identical to the equivalent direct
         print(client.metrics()["requests"]["/v1/map"])
 """
 
+from repro.analysis import Finding, LintError, run_lint
 from repro.anfa.evaluate import evaluate_anfa, evaluate_anfa_set
 from repro.anfa.to_regex import anfa_to_xr
 from repro.core.embedding import SchemaEmbedding, build_embedding
@@ -178,11 +179,13 @@ __all__ = [
     "Engine",
     "EngineConfig",
     "EmbeddingError",
+    "Finding",
     "FleetClient",
     "FleetServer",
     "HashRing",
     "InstMap",
     "InverseError",
+    "LintError",
     "MappingResult",
     "PackError",
     "ParallelReport",
@@ -246,6 +249,7 @@ __all__ = [
     "parse_xsd",
     "random_instance",
     "register_frontend",
+    "run_lint",
     "set_default_engine",
     "simplify_embedding",
     "simulation_mapping",

@@ -28,7 +28,14 @@ Commands mirror the paper's workflow:
   ``GET /healthz|/metrics`` until interrupted (see ``repro.serve``).
   ``--workers N`` pre-forks a fleet of N worker processes over the
   packed store (shared port + per-worker direct ports, crash
-  supervision, hot reload); SIGTERM and Ctrl-C both drain gracefully.
+  supervision, hot reload); SIGTERM and Ctrl-C both drain gracefully;
+* ``lint``      — the repo's own invariant linter
+  (:mod:`repro.analysis`): layering, determinism, recursion,
+  fork-safety and error-contract checkers over ``PATHS`` (default
+  ``src``).  ``--json`` emits structured findings, ``--baseline FILE``
+  suppresses grandfathered findings (and reports stale entries),
+  ``--write-baseline`` snapshots current findings, ``--checks a,b``
+  restricts the pass.  Exits 1 on new findings, 0 when clean.
 
 Embeddings are (de)serialised as JSON: λ plus ``A B occ path`` rows —
 the declarative transformation-language artifact of Section 4.5.
@@ -453,6 +460,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        apply_baseline,
+        load_baseline,
+        render_json,
+        render_text,
+        run_lint,
+        write_baseline,
+    )
+
+    checkers = None
+    if args.checks:
+        checkers = [name.strip() for name in args.checks.split(",")
+                    if name.strip()]
+    findings = run_lint(args.paths, checkers=checkers)
+    if args.write_baseline:
+        if not args.baseline:
+            raise ValueError("--write-baseline needs --baseline FILE")
+        count = write_baseline(findings, args.baseline)
+        print(f"# wrote {count} baseline entr"
+              f"{'y' if count == 1 else 'ies'} to {args.baseline} — "
+              "add a real justification to each", file=sys.stderr)
+        return 0
+    match = None
+    if args.baseline:
+        match = apply_baseline(findings, load_baseline(args.baseline))
+    render = render_json if args.json else render_text
+    print(render(findings, match))
+    new = findings if match is None else match.new
+    return 1 if new else 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     dtd = _load_dtd(args.schema, format=args.format)
     document = parse_xml(Path(args.document).read_text())
@@ -608,6 +647,27 @@ def build_parser() -> argparse.ArgumentParser:
                      "without dropping a request")
     store_pack.add_argument("store")
     store_pack.set_defaults(func=_cmd_store_pack)
+
+    lint = sub.add_parser(
+        "lint", help="run the repo-invariant static analysis "
+                     "(layering, determinism, recursion, fork safety, "
+                     "error contract) over source trees")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint "
+                           "(default: src)")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable findings on stdout")
+    lint.add_argument("--baseline",
+                      help="JSON baseline of grandfathered findings; "
+                           "only findings absent from it fail the run")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="write the current findings to --baseline "
+                           "as a skeleton (justifications required "
+                           "before it loads)")
+    lint.add_argument("--checks",
+                      help="comma-separated checker subset (default: "
+                           "all five)")
+    lint.set_defaults(func=_cmd_lint)
 
     serve = sub.add_parser(
         "serve", help="long-lived HTTP daemon: warm-start from an "

@@ -94,6 +94,7 @@ class InstMap:
             key: embedding.info(key) for key, _ in embedding.edge_keys()}
         # Compile the document-plane fast path (lazy import: the engine
         # package imports this module).
+        # lint: allow-lazy-import — breaks the instmap<->plan cycle
         from repro.engine.plan import MappingProgram, PlanError
 
         try:
@@ -364,6 +365,9 @@ def apply_embedding(embedding: SchemaEmbedding, source_root: ElementNode,
     once per content fingerprint and reused for every later document —
     see :class:`repro.engine.session.Engine` for an explicit session.
     """
+    # Convenience wrapper delegating to the default engine; the
+    # engine package imports this module.
+    # lint: allow-lazy-import
     from repro.engine.session import default_engine
 
     return default_engine().apply_embedding(embedding, source_root,

@@ -177,6 +177,9 @@ def invert(embedding: SchemaEmbedding, target_root: ElementNode,
 
     >>> # σd⁻¹(σd(T)) = T  — exercised throughout the test suite.
     """
+    # Convenience wrapper delegating to the default engine; the
+    # engine package imports this module.
+    # lint: allow-lazy-import
     from repro.engine.session import default_engine
 
     return default_engine().invert(embedding, target_root, strict=strict)

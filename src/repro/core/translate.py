@@ -125,8 +125,10 @@ class Translator:
             if isinstance(production, Str):
                 queries.append(TextStep())
             else:
-                queries.extend(Label(child)
-                               for child in set(production.child_types()))
+                # Order-preserving dedup: set() here would hand the
+                # trim-certificate plane a hash-order edge sequence.
+                queries.extend(Label(child) for child
+                               in dict.fromkeys(production.child_types()))
             for query in queries:
                 try:
                     self.trl(query, source_type)
@@ -436,6 +438,9 @@ def translate_query(embedding: SchemaEmbedding, query: PathExpr,
     :func:`repro.anfa.evaluate.evaluate_anfa` and map ids back through
     ``idM`` to recover ``Q(T)``.
     """
+    # Convenience wrapper delegating to the default engine; the
+    # engine package imports this module.
+    # lint: allow-lazy-import
     from repro.engine.session import default_engine
 
     return default_engine().translate_query(embedding, query, context_type)

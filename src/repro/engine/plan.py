@@ -79,6 +79,11 @@ OP_TEXT_COPY = 5
 LOOP_SLOT = -1
 
 
+# Deliberately NOT a ValueError: this is the compiler's internal
+# control-flow signal, caught by InstMap's constructor.  If it ever
+# escaped, the CLI boundary swallowing it into a clean exit-2 would
+# hide a compiler bug — a loud traceback is the contract here.
+# lint: allow-error-type
 class PlanError(Exception):
     """Compilation cannot prove the fragment shape static (invalid
     embedding compiled with ``validate=False``); the caller falls back
@@ -242,6 +247,10 @@ class MappingProgram:
             raise PlanError("endpoint interior to a sibling path")
         node.payload = payload
 
+    # Mutual recursion with _emit_child is bounded by the embedding's
+    # longest path (a schema artifact, tens of steps), never by
+    # document depth — compilation walks the trie, not the instance.
+    # lint: allow-recursion
     def _emit_completed(self, node: _TrieNode, ops: list) -> None:
         """Emit ``node``'s completed, production-ordered children — the
         compile-time twin of ``_FragmentBuilder._complete``."""

@@ -112,6 +112,9 @@ def find_embedding(source: DTD, target: DTD,
     >>> result.found
     True
     """
+    # Convenience wrapper delegating to the default engine; the
+    # engine package imports this module.
+    # lint: allow-lazy-import
     from repro.engine.session import default_engine
 
     return default_engine().find_embedding(source, target, att,

@@ -76,7 +76,8 @@ def simulation_mapping(source: DTD, target: DTD,
                           and (edge.child, candidate.child) in relation]
             if not candidates:
                 return None
-            best = max(candidates, key=lambda t: att.get(edge.child, t))
+            best = max(candidates,
+                       key=lambda t, child=edge.child: att.get(child, t))
             mapping[edge.child] = best
             queue.append((edge.child, best))
     return mapping

@@ -28,8 +28,12 @@ from typing import Optional, Sequence
 from repro.serve.ring import HashRing
 
 
-class ServeError(Exception):
-    """A non-2xx response from the daemon, with its structured error."""
+class ServeError(ValueError):
+    """A non-2xx response from the daemon, with its structured error.
+
+    A ``ValueError`` so client code sitting behind the package's
+    exit-2 boundary (``except (OSError, ValueError)``) reports a
+    daemon-side refusal as one clean error line, never a traceback."""
 
     def __init__(self, status: int, code: str, message: str) -> None:
         super().__init__(f"[{status}] {code}: {message}")

@@ -25,8 +25,13 @@ import json
 from typing import Optional, Sequence
 
 
-class ProtocolError(Exception):
-    """A request the service refuses, with its HTTP status and code."""
+class ProtocolError(ValueError):
+    """A request the service refuses, with its HTTP status and code.
+
+    A ``ValueError`` like every other bad-input error in the package,
+    so the CLI/API boundary's ``except (OSError, ValueError)`` catches
+    it wherever it might surface (the serve dispatch converts it to a
+    structured 4xx long before that)."""
 
     def __init__(self, status: int, code: str, message: str) -> None:
         super().__init__(message)

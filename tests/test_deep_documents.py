@@ -16,7 +16,7 @@ import pytest
 
 from repro.core.instmap import InstMap
 from repro.core.inverse import run_invert
-from repro.dtd.parser import parse_compact
+from repro.schema import load_schema
 from repro.engine import Engine
 from repro.core.embedding import build_embedding
 from repro.serve import ReproServer, ServeClient
@@ -31,9 +31,11 @@ def _chain_bundle():
     """A recursive source (``node -> node*``) whose instances form
     chains, and a target that wraps every level (so the mapped document
     is even deeper than the source)."""
-    source = parse_compact("node -> node*", name="chain-src")
-    target = parse_compact("wrap -> inner\ninner -> wrap*",
-                           root="wrap", name="chain-tgt")
+    source = load_schema("node -> node*", format="compact",
+                         name="chain-src")
+    target = load_schema("wrap -> inner\ninner -> wrap*",
+                         format="compact", root="wrap",
+                         name="chain-tgt")
     sigma = build_embedding(source, target, {"node": "wrap"},
                             {("node", "node"): "inner/wrap"})
     return source, target, sigma
@@ -89,10 +91,11 @@ def test_deep_document_serializes_and_reparses(bundle):
 
 def test_deep_text_values_survive():
     """A deep document ending in PCDATA keeps its value end to end."""
-    source = parse_compact("node -> leaf + node\nleaf -> str",
-                           name="deep-str-src")
-    target = parse_compact(
-        "wrap -> leaf + wrap\nleaf -> str", root="wrap", name="deep-str-tgt")
+    source = load_schema("node -> leaf + node\nleaf -> str",
+                         format="compact", name="deep-str-src")
+    target = load_schema("wrap -> leaf + wrap\nleaf -> str",
+                         format="compact", root="wrap",
+                         name="deep-str-tgt")
     sigma = build_embedding(
         source, target, {"node": "wrap", "leaf": "leaf"},
         {("node", "node"): "wrap", ("node", "leaf"): "leaf",

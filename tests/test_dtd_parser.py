@@ -1,8 +1,14 @@
-"""Unit tests: <!ELEMENT> parsing and the compact syntax."""
+"""Unit tests: <!ELEMENT> parsing and the compact syntax.
+
+This file tests the raw parsers *behind* the schema-frontend
+boundary, so it is the one test module allowed to call them
+directly.
+"""
+# lint: allow-frontend-call-module
 
 import pytest
 
-from repro.dtd.model import Concat, Disjunction, Empty, Star, Str
+from repro.dtd.model import Concat, Disjunction, Empty, SchemaError, Star, Str
 from repro.dtd.parser import (
     DTDParseError,
     parse_compact,
@@ -72,7 +78,7 @@ def test_parse_dtd_mixed_content_rejected():
 
 
 def test_parse_dtd_undeclared_reference_rejected():
-    with pytest.raises(Exception):
+    with pytest.raises(SchemaError, match="undeclared"):
         parse_dtd("<!ELEMENT a (ghost)>")
 
 

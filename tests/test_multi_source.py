@@ -5,6 +5,7 @@ import pytest
 from repro.core.instmap import InstMap
 from repro.core.inverse import invert
 from repro.core.multi import (
+    EmbeddingError,
     IntegrationConflict,
     integrate,
     merge_dtds,
@@ -68,7 +69,7 @@ def test_interfering_sources_detected(school, docs):
 
 
 def test_integration_requires_matching_lengths(school, docs):
-    with pytest.raises(Exception):
+    with pytest.raises(EmbeddingError, match="one instance per embedding"):
         integrate([school.sigma1], list(docs))
 
 
