@@ -1,0 +1,193 @@
+"""E20 — schema-evolution service: verdicts/sec and verdict identity.
+
+The evolution scenario behind ``repro evolve`` and ``POST /v1/evolve``:
+a schema version bump arrives while a stored query workload keeps
+serving, and every query needs a compatibility verdict — still-valid,
+translatable (with the re-translated query) or broken (with a
+structured reason).  This benchmark times the verdict pipeline over
+growing workloads and asserts its one hard contract on every run
+(including ``--smoke``):
+
+* **correctness** — the curated mutation cases
+  (:func:`repro.workloads.evolution.evolution_cases`) come back with
+  exactly their known-good verdicts; the full verdict report is
+  deterministic (two direct runs are byte-identical under sorted-key
+  JSON); and the served report — single daemon and, where ``fork``
+  exists, the pre-fork fleet — is byte-identical to the direct
+  ``Engine.evolve`` payload;
+* **throughput** — verdicts/sec over the workload ladder; the
+  headline ``ops_per_sec`` is the largest workload's, the ladder
+  lands in ``extra.scaling``.
+
+Run standalone for the table::
+
+    PYTHONPATH=src python benchmarks/bench_evolution.py
+
+CI smoke (small workload, correctness asserted)::
+
+    PYTHONPATH=src python benchmarks/bench_evolution.py --smoke --json BENCH_evolution.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import benchlib
+
+from repro.engine import Engine, pack_store
+from repro.serve import FleetServer, ReproServer, ServeClient
+from repro.workloads.evolution import evolution_cases, scaled_case
+
+SMOKE = {"workload_sizes": [4, 8], "fleet_workers": 2}
+FULL = {"workload_sizes": [10, 25, 50], "fleet_workers": 2}
+
+#: How long to wait for the forked fleet to answer /healthz.
+_FLEET_READY_SECONDS = 30.0
+
+
+def check_curated(engine: Engine, errors: list) -> int:
+    """Every curated mutation case must yield exactly its known-good
+    verdicts; returns the number of verdicts checked."""
+    checked = 0
+    for case in evolution_cases():
+        report = engine.evolve(case.old, case.new, case.queries,
+                               embedding=case.embedding)
+        for verdict in report.verdicts:
+            checked += 1
+            expected = case.expected[verdict.query]
+            if verdict.verdict != expected:
+                errors.append(
+                    f"{case.name}: {verdict.query!r} came back "
+                    f"{verdict.verdict} (reason {verdict.reason}), "
+                    f"expected {expected}")
+    return checked
+
+
+def canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def build_store(tmp: Path, case) -> Path:
+    """A store carrying the case's schemas + embedding, packed for the
+    fleet — the daemon warm-starts from it and resolves everything by
+    fingerprint, so the served evolve exercises stored artifacts."""
+    store_path = tmp / "store"
+    engine = Engine()
+    engine.compile_embedding(case.embedding, ensure_valid=True)
+    engine.save_store(store_path)
+    pack_store(store_path)
+    return store_path
+
+
+def check_served_identity(case, direct_payload: str,
+                          errors: list) -> dict:
+    """The byte-identity contract: the daemon's /v1/evolve response —
+    and the fleet's, where fork exists — equals the direct engine
+    payload under sorted-key JSON."""
+    fingerprint = case.embedding.fingerprint()
+    old_fp = case.old.fingerprint()
+    new_fp = case.new.fingerprint()
+    detail = {"daemon": False, "fleet": None}
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = build_store(Path(tmp), case)
+        with ReproServer(store=store_path, port=0) as server:
+            client = ServeClient.for_server(server)
+            served = client.evolve(old_fp, new_fp,
+                                   queries=list(case.queries),
+                                   embedding=fingerprint)
+            client.close()
+            if canonical(served.raw) != direct_payload:
+                errors.append("daemon /v1/evolve diverged from the "
+                              "direct Engine.evolve payload")
+            else:
+                detail["daemon"] = True
+        if hasattr(os, "fork"):
+            detail["fleet"] = False
+            with FleetServer(store_path, workers=SMOKE["fleet_workers"],
+                             port=0) as fleet:
+                client = ServeClient(fleet.host, fleet.port, timeout=5.0)
+                deadline = time.monotonic() + _FLEET_READY_SECONDS
+                while True:
+                    try:
+                        client.healthz()
+                        break
+                    except OSError:
+                        if time.monotonic() >= deadline:
+                            errors.append("fleet never came up")
+                            break
+                        time.sleep(0.05)
+                served = client.evolve(old_fp, new_fp,
+                                       queries=list(case.queries),
+                                       embedding=fingerprint)
+                client.close()
+                if canonical(served.raw) != direct_payload:
+                    errors.append("fleet /v1/evolve diverged from the "
+                                  "direct Engine.evolve payload")
+                else:
+                    detail["fleet"] = True
+    return detail
+
+
+def run_benchmark(params: dict):
+    """One ladder over workload sizes; returns the benchlib tuple."""
+    errors: list[str] = []
+    engine = Engine()
+    curated_verdicts = check_curated(engine, errors)
+
+    ladder = []
+    headline_ops = 0.0
+    total_wall = 0.0
+    identity = None
+    for size in params["workload_sizes"]:
+        case = scaled_case(size, seed=5)
+        # Two direct runs must agree byte-for-byte (determinism), and
+        # the second is the timed one (caches warm — the serving
+        # steady state this subsystem exists for).
+        first = engine.evolve(case.old, case.new, case.queries,
+                              embedding=case.embedding)
+        started = time.perf_counter()
+        second = engine.evolve(case.old, case.new, case.queries,
+                               embedding=case.embedding)
+        wall = time.perf_counter() - started
+        total_wall += wall
+        direct = canonical(first.to_payload())
+        if direct != canonical(second.to_payload()):
+            errors.append(f"size={size}: verdict report is not "
+                          "deterministic across runs")
+        verdicts = len(second.verdicts)
+        ops = verdicts / wall if wall > 0 else 0.0
+        headline_ops = ops
+        ladder.append({"queries": size, "verdicts": verdicts,
+                       "counts": second.counts(),
+                       "verdicts_per_sec": round(ops, 2),
+                       "seconds": round(wall, 4)})
+        if identity is None:
+            # Serve identity is checked once, on the smallest ladder
+            # rung — the payload contract does not change with size.
+            identity = check_served_identity(case, direct, errors)
+
+    extra = {"curated_verdicts": curated_verdicts,
+             "scaling": ladder,
+             "served_identity": identity,
+             "errors": errors[:10]}
+    return headline_ops, total_wall, not errors, extra
+
+
+def main() -> int:
+    parser = benchlib.make_parser(__doc__)
+    args = parser.parse_args()
+    params = SMOKE if args.smoke else FULL
+    ops, wall, correct, extra = benchlib.run_repeats(
+        lambda: run_benchmark(params), args.repeats)
+    result = benchlib.record("evolution", args, ops_per_sec=ops,
+                             wall_time_s=wall, correct=correct,
+                             extra=extra)
+    return benchlib.finish(result, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

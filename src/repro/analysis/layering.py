@@ -36,7 +36,7 @@ PLANE_PACKAGES = frozenset({
 })
 
 #: The serving layers (plus the entry modules, which may import anything).
-UPPER_PREFIXES = ("repro.engine", "repro.serve")
+UPPER_PREFIXES = ("repro.engine", "repro.serve", "repro.evolution")
 
 #: Only these packages may call the raw schema parsers.
 FRONTEND_PACKAGES = frozenset({"schema", "dtd"})

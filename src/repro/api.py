@@ -71,15 +71,44 @@ The same store also backs a long-lived serving daemon — the paper's
 "embed once, answer forever" workload as a service.  ``repro serve
 artifacts/`` (or :class:`ReproServer` in-process) warm-starts every
 stored artifact *before* the socket opens and serves JSON endpoints
-(``POST /v1/map|translate|invert|find``, ``GET /healthz|/metrics``)
-whose payload strings are byte-identical to the equivalent direct
-:class:`Engine` calls; :class:`ServeClient` is the stdlib client::
+(``POST /v1/map|translate|invert|find|evolve``, ``GET
+/healthz|/metrics``) whose payload strings are byte-identical to the
+equivalent direct :class:`Engine` calls; :class:`ServeClient` is the
+stdlib client.  Client methods return frozen :class:`ServeResult`
+views — attribute access over the decoded payload, which stays
+reachable verbatim on ``.raw`` and still compares/indexes like the
+dict it wraps::
 
     with api.ReproServer(store="artifacts/", port=0) as server:
         client = api.ServeClient.for_server(server)
-        mapped = client.map(xml=doc_text)["result"]["output"]
-        anfas = client.translate(queries=["a/b/text()"])["results"]
-        print(client.metrics()["requests"]["/v1/map"])
+        mapped = client.map(xml=doc_text).result["output"]
+        anfas = client.translate(queries=["a/b/text()"]).results
+        print(client.metrics().requests["/v1/map"])
+
+Schema evolution closes the loop: when a schema version bump arrives
+while stored queries keep serving, :func:`evolve` (or
+``Engine.evolve``, ``POST /v1/evolve``, ``repro evolve``) returns one
+:class:`QueryVerdict` per query — ``still-valid`` (answer-preserving
+as-is), ``translatable`` (the re-translated query attached) or
+``broken`` (a structured reason: parse error, no embedding,
+preservation failure) — with per-query failure isolation.
+:func:`evolve_and_record` additionally persists the bump as a
+:class:`LineageEdge` in the artifact store's lineage section
+(fingerprint → successor fingerprint + embedding + provenance), next
+to the existing artifacts; pre-lineage stores gain their first edge in
+place::
+
+    report = api.evolve(old_schema, new_schema, stored_queries)
+    for verdict in report.verdicts:
+        print(verdict.verdict, verdict.query, verdict.translation)
+
+    store = api.ArtifactStore("artifacts/")
+    report, edge = api.evolve_and_record(store, old_schema, new_schema,
+                                         stored_queries)
+    print(edge.digest, api.lineage_edges(store))
+
+    served = client.evolve(old_fp, new_fp, queries=stored_queries)
+    assert served.counts == report.counts()   # byte-identical payloads
 """
 
 from repro.analysis import Finding, LintError, run_lint
@@ -131,6 +160,19 @@ from repro.engine import (
 )
 from repro.dtd.model import DTD
 from repro.dtd.serialize import dtd_to_compact, dtd_to_text
+from repro.evolution import (
+    BROKEN,
+    STILL_VALID,
+    TRANSLATABLE,
+    EvolutionReport,
+    LineageEdge,
+    QueryVerdict,
+    evolve,
+    evolve_and_record,
+    lineage_edges,
+    record_lineage,
+    successors,
+)
 from repro.dtd.validate import conforms, validate
 from repro.matching.search import SearchResult, find_embedding
 from repro.matching.simulation import simulation_mapping
@@ -148,12 +190,14 @@ from repro.schema import (
     register_frontend,
 )
 from repro.serve import (
+    EvolveResult,
     FleetClient,
     FleetServer,
     HashRing,
     ReproServer,
     ServeClient,
     ServeError,
+    ServeResult,
     ServiceState,
 )
 from repro.xpath.evaluator import ResultSet, evaluate, evaluate_set
@@ -169,6 +213,7 @@ from repro.xtree.serialize import to_string
 
 __all__ = [
     "ArtifactStore",
+    "BROKEN",
     "CompiledEmbedding",
     "CompiledSchema",
     "CorpusDocument",
@@ -179,29 +224,36 @@ __all__ = [
     "Engine",
     "EngineConfig",
     "EmbeddingError",
+    "EvolutionReport",
+    "EvolveResult",
     "Finding",
     "FleetClient",
     "FleetServer",
     "HashRing",
     "InstMap",
     "InverseError",
+    "LineageEdge",
     "LintError",
     "MappingResult",
     "PackError",
     "ParallelReport",
     "ParallelRunner",
+    "QueryVerdict",
     "ReproServer",
     "ResultSet",
+    "STILL_VALID",
     "SchemaEmbedding",
     "SchemaFormatError",
     "SchemaFrontend",
     "SearchResult",
     "ServeClient",
     "ServeError",
+    "ServeResult",
     "ServiceState",
     "SimilarityMatrix",
     "StoreError",
     "StoreView",
+    "TRANSLATABLE",
     "TextNode",
     "TranslationError",
     "TranslationOutcome",
@@ -230,6 +282,8 @@ __all__ = [
     "evaluate_anfa",
     "evaluate_anfa_set",
     "evaluate_set",
+    "evolve",
+    "evolve_and_record",
     "find_embedding",
     "forward_stylesheet",
     "integrate",
@@ -237,6 +291,7 @@ __all__ = [
     "invert",
     "iter_corpora",
     "iter_corpus",
+    "lineage_edges",
     "load_schema",
     "merge_dtds",
     "name_similarity",
@@ -248,8 +303,10 @@ __all__ = [
     "parse_xr",
     "parse_xsd",
     "random_instance",
+    "record_lineage",
     "register_frontend",
     "run_lint",
+    "successors",
     "set_default_engine",
     "simplify_embedding",
     "simulation_mapping",

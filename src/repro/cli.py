@@ -20,12 +20,21 @@ Commands mirror the paper's workflow:
   misses; ``--stats`` prints the aggregated cache counters;
 * ``store``     — artifact-store management: ``store build`` compiles
   schemas + an embedding into a store directory up front, ``store
-  inspect`` summarises a store's manifest, ``store pack`` collapses the
-  store into one mmap-able binary generation (the fleet's zero-copy
-  warm-start source; repacking hot-reloads running fleets);
+  inspect`` summarises a store's manifest (``--json`` emits the full
+  provenance — schema formats, source text, lineage edges — machine-
+  readably), ``store pack`` collapses the store into one mmap-able
+  binary generation (the fleet's zero-copy warm-start source;
+  repacking hot-reloads running fleets);
+* ``evolve``    — schema evolution: per-query compatibility verdicts
+  across a version bump (``repro evolve OLD NEW --queries FILE``) —
+  each stored query comes back ``still-valid``, ``translatable``
+  (re-translated query attached) or ``broken`` (structured reason);
+  ``--store DIR`` records the bump as a lineage edge next to the
+  compiled artifacts.  Exits 1 when no embedding exists between the
+  versions or any query broke;
 * ``serve``     — the long-lived HTTP daemon: warm-start from an
-  artifact store and serve ``POST /v1/map|translate|invert|find`` plus
-  ``GET /healthz|/metrics`` until interrupted (see ``repro.serve``).
+  artifact store and serve ``POST /v1/map|translate|invert|find|evolve``
+  plus ``GET /healthz|/metrics`` until interrupted (see ``repro.serve``).
   ``--workers N`` pre-forks a fleet of N worker processes over the
   packed store (shared port + per-worker direct ports, crash
   supervision, hot reload); SIGTERM and Ctrl-C both drain gracefully;
@@ -77,6 +86,13 @@ from repro.engine import (
 from repro.core.inverse import invert
 from repro.core.similarity import SimilarityMatrix
 from repro.core.translate import translate_query
+from repro.evolution import (
+    BROKEN,
+    STILL_VALID,
+    TRANSLATABLE,
+    evolve,
+    evolve_and_record,
+)
 from repro.anfa.to_regex import RegexConversionError, anfa_to_xr
 from repro.dtd.model import DTD
 from repro.dtd.validate import ConformanceError, validate
@@ -376,6 +392,86 @@ def _cmd_store_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_queries(path: str) -> list[str]:
+    """A stored query workload: one XR query per line (blank lines and
+    ``#`` comments skipped), or a JSON array of strings for ``*.json``.
+    """
+    text = Path(path).read_text()
+    if path.endswith(".json"):
+        try:
+            rows = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: {exc}") from exc
+        if not isinstance(rows, list) or \
+                not all(isinstance(row, str) for row in rows):
+            raise ValueError(f"{path}: expected a JSON array of query "
+                             "strings")
+        queries = list(rows)
+    else:
+        queries = [line.strip() for line in text.splitlines()
+                   if line.strip() and not line.strip().startswith("#")]
+    if not queries:
+        raise ValueError(f"{path}: no queries found")
+    return queries
+
+
+def _cmd_evolve(args: argparse.Namespace) -> int:
+    old = _load_schema(args.old, format=args.format)
+    new = _load_schema(args.new, format=args.format)
+    queries = _read_queries(args.queries)
+    embedding: Optional[SchemaEmbedding] = None
+    if args.embedding:
+        try:
+            embedding = embedding_from_json(
+                Path(args.embedding).read_text(), old.dtd, new.dtd)
+            embedding.check()
+        except OSError:
+            raise
+        except ValueError as exc:
+            raise ValueError(f"{args.embedding}: {exc}") from exc
+    edge = None
+    if args.store:
+        store = ArtifactStore(args.store)
+        report, edge = evolve_and_record(
+            store, old.dtd, new.dtd, queries, embedding=embedding,
+            method=args.method, seed=args.seed, restarts=args.restarts,
+            samples=args.samples, old_format=old.format,
+            old_source=old.text, new_format=new.format,
+            new_source=new.text)
+    else:
+        report = evolve(old.dtd, new.dtd, queries, embedding=embedding,
+                        method=args.method, seed=args.seed,
+                        restarts=args.restarts, samples=args.samples)
+    counts = report.counts()
+    if args.json:
+        payload = report.to_payload()
+        if edge is not None:
+            payload["lineage"] = edge.digest
+        print(json.dumps(payload, indent=2))
+    else:
+        if not report.found:
+            print("# no valid schema embedding between the versions",
+                  file=sys.stderr)
+        else:
+            assert report.embedding is not None
+            print(f"# embedding {report.embedding[:12]}… "
+                  f"via {report.method}", file=sys.stderr)
+        for verdict in report.verdicts:
+            line = f"{verdict.verdict:<12} {verdict.query}"
+            if verdict.verdict == TRANSLATABLE and verdict.translation:
+                line += f"  ->  {verdict.translation}"
+            elif verdict.verdict == BROKEN:
+                line += f"  [{verdict.reason}]"
+            print(line)
+        print(f"# {counts[STILL_VALID]} still-valid, "
+              f"{counts[TRANSLATABLE]} translatable, "
+              f"{counts[BROKEN]} broken", file=sys.stderr)
+        if edge is not None:
+            print(f"# lineage edge {edge.digest[:12]}… recorded in "
+                  f"{args.store}", file=sys.stderr)
+    return 1 if (not report.found or counts[BROKEN]) else 0
+
+
 def _cmd_store_inspect(args: argparse.Namespace) -> int:
     store = ArtifactStore(args.store, create=False)
     summary = store.describe()
@@ -399,6 +495,12 @@ def _cmd_store_inspect(args: argparse.Namespace) -> int:
                      else "not found")
         print(f"  search    {row['digest'][:12]}…  "
               f"method={row['method']}  embedding={embedding}")
+    for row in summary["lineage"]:
+        embedding = (f"{row['embedding'][:12]}…" if row.get("embedding")
+                     else "none")
+        print(f"  lineage   {row['digest'][:12]}…  "
+              f"{row['old'][:12]}… -> {row['new'][:12]}…  "
+              f"embedding={embedding}")
     return 0
 
 
@@ -441,9 +543,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"{' '.join(map(str, fleet.worker_ports))} — "
               "GET /fleet /metrics/fleet for topology + aggregate",
               file=sys.stderr)
-        print("# POST /v1/map /v1/translate /v1/invert /v1/find — "
-              "GET /healthz /metrics (Ctrl-C or SIGTERM to stop)",
-              file=sys.stderr)
+        print("# POST /v1/map /v1/translate /v1/invert /v1/find "
+              "/v1/evolve — GET /healthz /metrics "
+              "(Ctrl-C or SIGTERM to stop)", file=sys.stderr)
         fleet.serve_forever()
         return 0
     server = ReproServer(store=args.store, host=args.host, port=args.port,
@@ -453,9 +555,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"# serving {server.url} — {len(state.embeddings)} embedding(s), "
           f"{len(state.schemas)} schema(s) warm from {args.store}",
           file=sys.stderr)
-    print("# POST /v1/map /v1/translate /v1/invert /v1/find — "
-          "GET /healthz /metrics (Ctrl-C or SIGTERM to stop)",
-          file=sys.stderr)
+    print("# POST /v1/map /v1/translate /v1/invert /v1/find "
+          "/v1/evolve — GET /healthz /metrics "
+          "(Ctrl-C or SIGTERM to stop)", file=sys.stderr)
     server.serve_forever()
     return 0
 
@@ -568,6 +670,37 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("document")
     add_format_option(check)
     check.set_defaults(func=_cmd_validate)
+
+    evolve_cmd = sub.add_parser(
+        "evolve", help="per-query compatibility verdicts across a "
+                       "schema version bump (still-valid / "
+                       "translatable / broken)")
+    evolve_cmd.add_argument("old", help="the current schema version")
+    evolve_cmd.add_argument("new", help="the proposed successor version")
+    evolve_cmd.add_argument("--queries", required=True,
+                            help="stored workload: one XR query per "
+                                 "line ('#' comments allowed), or a "
+                                 "JSON array for *.json")
+    evolve_cmd.add_argument("--embedding",
+                            help="embedding JSON from 'embed' carrying "
+                                 "the bump (default: search for one)")
+    evolve_cmd.add_argument("--store",
+                            help="artifact-store directory: record the "
+                                 "bump as a lineage edge (schemas + "
+                                 "embedding + verdict provenance)")
+    evolve_cmd.add_argument("--method", default="auto",
+                            choices=["auto", "random", "quality",
+                                     "indepset", "exact"])
+    evolve_cmd.add_argument("--seed", type=int, default=0)
+    evolve_cmd.add_argument("--restarts", type=int, default=20)
+    evolve_cmd.add_argument("--samples", type=int, default=None,
+                            help="sample instances per preservation "
+                                 "check (default: 3)")
+    evolve_cmd.add_argument("--json", action="store_true",
+                            help="print the full verdict report as "
+                                 "JSON")
+    add_format_option(evolve_cmd)
+    evolve_cmd.set_defaults(func=_cmd_evolve)
 
     batch = sub.add_parser(
         "batch", help="engine-backed batch serving (compile once, "

@@ -330,6 +330,31 @@ class Engine:
                 self._searches.put(key, result)
         return result
 
+    # -- serving: schema evolution -------------------------------------------
+    def evolve(self, old_schema: DTD, new_schema: DTD,
+               queries: Sequence[str],
+               embedding: Optional[SchemaEmbedding] = None,
+               validate: bool = True, method: str = "auto",
+               seed: int = 0, restarts: int = 20,
+               samples: Optional[int] = None):
+        """Per-query compatibility verdicts across a version bump.
+
+        Finds (or accepts) an embedding ``old_schema → new_schema`` and
+        classifies every query as ``still-valid``, ``translatable``
+        (re-translated query attached) or ``broken`` (structured
+        reason), with per-query failure isolation.  Returns an
+        :class:`~repro.evolution.engine.EvolutionReport`; the serve
+        layer returns its payload verbatim, so daemon and fleet
+        responses are byte-identical to this call.
+        """
+        # The evolution layer sits above the engine; importing it here
+        # (not at module top) keeps the layering acyclic.
+        from repro.evolution.engine import evolve
+        return evolve(old_schema, new_schema, queries, engine=self,
+                      embedding=embedding, validate=validate,
+                      method=method, seed=seed, restarts=restarts,
+                      samples=samples)
+
     # -- persistence ---------------------------------------------------------
     def save_store(self, path) -> "ArtifactStore":
         """Persist every cached schema, embedding and search result to

@@ -18,7 +18,14 @@ fingerprints the engine caches use:
 * ``embeddings/<fp>.json`` — λ and the path rows of one embedding,
   referencing its schemas by fingerprint;
 * ``searches/<digest>.json`` — one cached ``find_embedding`` result,
-  keyed by a digest of the engine's search-cache key.
+  keyed by a digest of the engine's search-cache key;
+* ``lineage/<digest>.json`` — one schema-evolution edge: a schema
+  fingerprint, its successor fingerprint, the embedding (by
+  fingerprint, ``null`` when none was found) and free-form provenance
+  (who recorded it, verdict counts, …).  The section is lazy: stores
+  written before it existed carry no ``lineage`` manifest key and keep
+  reading back unchanged, and recording the first edge touches only
+  the manifest and the new edge file — never the existing artifacts.
 
 A new process calls ``Engine.warm_start(path)`` and serves with zero
 schema/embedding compile misses; ``Engine.save_store(path)`` persists a
@@ -144,6 +151,13 @@ def search_key_digest(key: SearchKey) -> str:
     ).hexdigest()
 
 
+def lineage_digest(old: str, new: str,
+                   embedding: Optional[str] = None) -> str:
+    """The content key of one lineage edge (old, new, embedding)."""
+    return hashlib.sha256(
+        f"{old}\n{new}\n{embedding or ''}".encode("utf-8")).hexdigest()
+
+
 def _key_from_json(value):
     """Rebuild the engine's tuple-shaped key from its JSON list form."""
     if isinstance(value, list):
@@ -212,9 +226,17 @@ class ArtifactStore:
                 on_disk = {}
             if on_disk.get("format") == FORMAT \
                     and on_disk.get("version") == VERSION:
-                for section in ("schemas", "embeddings", "searches"):
-                    for key, meta in on_disk.get(section, {}).items():
-                        self.manifest[section].setdefault(key, meta)
+                # "lineage" is lazy — pre-lineage manifests carry no
+                # such key on either side, hence .get/setdefault on
+                # both rather than indexing.
+                for section in ("schemas", "embeddings", "searches",
+                                "lineage"):
+                    on_disk_section = on_disk.get(section)
+                    if not on_disk_section:
+                        continue
+                    ours = self.manifest.setdefault(section, {})
+                    for key, meta in on_disk_section.items():
+                        ours.setdefault(key, meta)
         tmp = self.root / "manifest.json.tmp"
         tmp.write_text(json.dumps(self.manifest, indent=2, sort_keys=True)
                        + "\n")
@@ -416,6 +438,45 @@ class ArtifactStore:
                    SearchResult(embedding, payload["method"],
                                 payload["seconds"], payload["quality"]))
 
+    # -- lineage -------------------------------------------------------------------
+    def put_lineage(self, payload: dict) -> str:
+        """Record one schema-evolution edge; idempotent per digest.
+
+        ``payload`` needs ``old``/``new`` schema fingerprints and may
+        carry ``embedding`` (an embedding fingerprint or ``None``) and
+        ``provenance`` (a free-form JSON object).  The section is
+        created on first write — a pre-lineage store gains it without
+        any existing artifact being rewritten.
+        """
+        old = payload.get("old")
+        new = payload.get("new")
+        if not isinstance(old, str) or not isinstance(new, str):
+            raise StoreError("a lineage edge needs 'old' and 'new' "
+                             "schema fingerprints")
+        embedding = payload.get("embedding")
+        digest = lineage_digest(old, new, embedding)
+        section = self.manifest.setdefault("lineage", {})
+        if digest not in section:
+            self._write_artifact(f"lineage/{digest}.json", payload)
+            section[digest] = {"old": old, "new": new,
+                               "embedding": embedding}
+            self._flush_manifest()
+        return digest
+
+    def get_lineage(self, digest: str) -> dict:
+        """One recorded edge's full payload (provenance included)."""
+        if digest not in self.manifest.get("lineage", {}):
+            raise StoreError(
+                f"no lineage edge {digest[:12]}… in {self.root}")
+        return self._read_artifact(f"lineage/{digest}.json")
+
+    def lineage_digests(self) -> list[str]:
+        return sorted(self.manifest.get("lineage", {}))
+
+    def iter_lineage(self) -> Iterator[tuple[str, dict]]:
+        for digest in self.lineage_digests():
+            yield digest, self.get_lineage(digest)
+
     # -- inspection ------------------------------------------------------------------
     def describe(self) -> dict:
         """A manifest summary for ``repro store inspect``."""
@@ -432,6 +493,10 @@ class ArtifactStore:
             "searches": [
                 {"digest": digest, **meta}
                 for digest, meta in sorted(self.manifest["searches"].items())],
+            "lineage": [
+                {"digest": digest, **meta}
+                for digest, meta in sorted(
+                    self.manifest.get("lineage", {}).items())],
         }
 
     def __repr__(self) -> str:

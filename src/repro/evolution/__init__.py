@@ -1,0 +1,58 @@
+"""The schema-evolution subsystem — version bumps under a live query
+workload.
+
+Real deployments never map between two frozen schemas: the schema
+evolves while stored queries keep arriving, and the product question
+becomes *which queries survive the bump, which can be re-translated,
+and which are broken and why*.  This package composes the existing
+machinery (``find_embedding`` between versions, the query translator,
+the preservation checks, the fingerprint-keyed artifact store) into
+that service:
+
+* :mod:`repro.evolution.engine` — :func:`evolve`: find/accept an
+  embedding from the old schema version into the new one and return a
+  per-query :class:`QueryVerdict` — ``still-valid`` (answer-preserving
+  as-is), ``translatable`` (re-translated query attached) or
+  ``broken`` (structured reason) — with per-query failure isolation;
+* :mod:`repro.evolution.lineage` — :class:`LineageEdge`, the typed
+  layer over the artifact store's ``lineage`` section: fingerprint →
+  successor fingerprint + embedding + provenance, persisted next to
+  the existing artifacts (pre-lineage stores read back cleanly).
+
+The same verdicts are served over HTTP (``POST /v1/evolve`` on the
+single daemon and the pre-fork fleet) and from the CLI (``repro evolve
+OLD NEW --queries FILE --store DIR``), byte-identical to the direct
+:func:`evolve` call.
+"""
+
+from repro.evolution.engine import (
+    BROKEN,
+    DEFAULT_SAMPLES,
+    STILL_VALID,
+    TRANSLATABLE,
+    EvolutionReport,
+    QueryVerdict,
+    evolve,
+    evolve_and_record,
+)
+from repro.evolution.lineage import (
+    LineageEdge,
+    lineage_edges,
+    record_lineage,
+    successors,
+)
+
+__all__ = [
+    "BROKEN",
+    "DEFAULT_SAMPLES",
+    "STILL_VALID",
+    "TRANSLATABLE",
+    "EvolutionReport",
+    "LineageEdge",
+    "QueryVerdict",
+    "evolve",
+    "evolve_and_record",
+    "lineage_edges",
+    "record_lineage",
+    "successors",
+]

@@ -1,0 +1,329 @@
+"""Per-query compatibility verdicts across a schema version bump.
+
+:func:`evolve` is the subsystem's engine entry point: given the old
+and new schema versions and a stored query workload, it finds (or
+accepts) an embedding ``old → new`` and classifies every query:
+
+* ``still-valid`` — the query is answer-preserving **as-is**: run
+  unchanged against mapped instances it returns the original answers
+  (structurally identical translation, or behaviourally equal on the
+  deterministic sample instances);
+* ``translatable`` — the answers survive, but only through the
+  re-translated query (attached: the XR form when state elimination
+  converges, always the canonical automaton rendering);
+* ``broken`` — with a structured reason: the query does not parse
+  (``parse-error``), no embedding between the versions exists
+  (``no-embedding``), translation failed (``untranslatable``), the
+  translated query selects nothing while the source query has answers
+  (``empty-translation``), or the sampled preservation check failed
+  (``preservation-failed``, only reachable through deliberately
+  unvalidated embeddings — Theorem 4.3(b) guarantees preservation for
+  valid ones).
+
+Verdicts have **per-query failure isolation** — one pathological
+query yields one ``broken`` row, never an aborted batch — and are
+**deterministic**: sample instances come from fixed seeds, renderings
+are canonical, and the serve layer returns
+:meth:`EvolutionReport.to_payload` verbatim, so direct calls, the
+single daemon and the pre-fork fleet produce byte-identical verdicts.
+"""
+# lint: determinism-plane
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.anfa.evaluate import evaluate_anfa_set
+from repro.anfa.to_regex import RegexConversionError, anfa_to_xr
+from repro.core.embedding import SchemaEmbedding
+from repro.core.errors import EmbeddingError
+from repro.dtd.generate import random_instance
+from repro.dtd.model import DTD
+from repro.engine.session import Engine, default_engine
+from repro.evolution.lineage import LineageEdge, record_lineage
+from repro.xpath.evaluator import evaluate_set
+from repro.xpath.parser import parse_xr
+from repro.xtree.nodes import tree_size
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.store import ArtifactStore
+
+#: The three verdict kinds.
+STILL_VALID = "still-valid"
+TRANSLATABLE = "translatable"
+BROKEN = "broken"
+
+#: Structured ``broken`` reasons.
+REASON_PARSE = "parse-error"
+REASON_NO_EMBEDDING = "no-embedding"
+REASON_UNTRANSLATABLE = "untranslatable"
+REASON_EMPTY = "empty-translation"
+REASON_PRESERVATION = "preservation-failed"
+REASON_FAULT = "verdict-fault"
+
+#: Deterministic sample instances per verdict batch (seeds 0..N-1).
+DEFAULT_SAMPLES = 3
+#: Depth cap for the sample instances (small but non-trivial trees).
+SAMPLE_MAX_DEPTH = 8
+
+
+@dataclass(frozen=True)
+class QueryVerdict:
+    """One query's fate across the version bump."""
+
+    query: str
+    verdict: str                        #: still-valid/translatable/broken
+    reason: Optional[str] = None        #: structured code when broken
+    detail: Optional[str] = None        #: human-readable specifics
+    translation: Optional[str] = None   #: re-translated XR, when it exists
+    anfa: Optional[str] = None          #: canonical automaton rendering
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict != BROKEN
+
+    def to_payload(self) -> dict:
+        """A stable JSON row — every key present, order fixed by the
+        serializer's ``sort_keys``."""
+        return {"query": self.query, "verdict": self.verdict,
+                "ok": self.ok, "reason": self.reason,
+                "detail": self.detail, "translation": self.translation,
+                "anfa": self.anfa}
+
+
+@dataclass(frozen=True)
+class EvolutionReport:
+    """The whole batch: one verdict per query, in input order."""
+
+    old: str                            #: old schema fingerprint
+    new: str                            #: new schema fingerprint
+    embedding: Optional[str]            #: embedding fingerprint (found
+                                        #: or given; None: search failed)
+    found: bool                         #: an embedding covers the bump
+    method: str                         #: search method ("given" when
+                                        #: the caller supplied one)
+    verdicts: tuple[QueryVerdict, ...] = ()
+    #: The embedding object itself, for callers that go on to record
+    #: the lineage edge; never part of the payload.
+    embedding_object: Optional[SchemaEmbedding] = field(
+        default=None, repr=False, compare=False)
+
+    def counts(self) -> dict:
+        tally = {STILL_VALID: 0, TRANSLATABLE: 0, BROKEN: 0}
+        for verdict in self.verdicts:
+            tally[verdict.verdict] += 1
+        return tally
+
+    def to_payload(self) -> dict:
+        """The wire shape ``POST /v1/evolve`` returns verbatim."""
+        return {"old": self.old, "new": self.new,
+                "embedding": self.embedding, "found": self.found,
+                "method": self.method, "counts": self.counts(),
+                "verdicts": [v.to_payload() for v in self.verdicts]}
+
+
+def evolve(old_schema: DTD, new_schema: DTD, queries: Sequence[str],
+           engine: Optional[Engine] = None,
+           embedding: Optional[SchemaEmbedding] = None,
+           validate: bool = True, method: str = "auto", seed: int = 0,
+           restarts: int = 20,
+           samples: Optional[int] = None) -> EvolutionReport:
+    """Classify every query of a workload across a version bump.
+
+    With no ``embedding``, one is searched between the versions
+    (``method``/``seed``/``restarts`` as in ``find_embedding``); a
+    failed search yields a report with ``found=False`` and every query
+    ``broken`` with reason ``no-embedding``.  A supplied embedding must
+    connect exactly these two schemas and is validity-checked unless
+    ``validate=False`` (the route by which ``preservation-failed``
+    verdicts become observable).  ``samples`` instances of the old
+    schema (fixed seeds — deterministic) back the behavioural checks.
+    """
+    engine = engine if engine is not None else default_engine()
+    query_list = [str(query) for query in queries]
+    old_fp = old_schema.fingerprint()
+    new_fp = new_schema.fingerprint()
+    method_used = method
+    if embedding is None:
+        search = engine.find_embedding(old_schema, new_schema,
+                                       method=method, seed=seed,
+                                       restarts=restarts)
+        embedding = search.embedding
+        method_used = search.method
+    else:
+        if embedding.source.fingerprint() != old_fp \
+                or embedding.target.fingerprint() != new_fp:
+            raise EmbeddingError(
+                "the supplied embedding does not connect the given "
+                "old and new schema versions")
+        method_used = "given"
+    if embedding is None:
+        detail = (f"no embedding of {old_schema.name!r} into "
+                  f"{new_schema.name!r} found (method {method!r})")
+        verdicts = tuple(
+            QueryVerdict(query, BROKEN, reason=REASON_NO_EMBEDDING,
+                         detail=detail)
+            for query in query_list)
+        return EvolutionReport(old_fp, new_fp, None, False, method_used,
+                               verdicts)
+    engine.compile_embedding(embedding, ensure_valid=validate)
+    sample_count = DEFAULT_SAMPLES if samples is None else max(1, samples)
+    instances = _sample_instances(old_schema, sample_count)
+    images = [engine.apply_embedding(embedding, instance,
+                                     validate=validate)
+              for instance in instances]
+    verdicts = tuple(
+        _query_verdict(engine, embedding, query, instances, images)
+        for query in query_list)
+    return EvolutionReport(old_fp, new_fp, embedding.fingerprint(), True,
+                           method_used, verdicts,
+                           embedding_object=embedding)
+
+
+def evolve_and_record(store: "ArtifactStore", old_schema: DTD,
+                      new_schema: DTD, queries: Sequence[str],
+                      engine: Optional[Engine] = None,
+                      embedding: Optional[SchemaEmbedding] = None,
+                      validate: bool = True, method: str = "auto",
+                      seed: int = 0, restarts: int = 20,
+                      samples: Optional[int] = None,
+                      old_format: Optional[str] = None,
+                      old_source: Optional[str] = None,
+                      new_format: Optional[str] = None,
+                      new_source: Optional[str] = None,
+                      ) -> tuple[EvolutionReport, LineageEdge]:
+    """Batch re-translation of a stored workload across a version bump,
+    recording the resulting lineage edge in the store.
+
+    Runs :func:`evolve`, then persists both schema versions (with
+    frontend provenance when given), the embedding, and a lineage edge
+    whose provenance carries the search method, workload size and
+    verdict counts.  The edge is recorded even when no embedding was
+    found — a ``broken`` bump is lineage worth remembering.
+    """
+    report = evolve(old_schema, new_schema, queries, engine=engine,
+                    embedding=embedding, validate=validate,
+                    method=method, seed=seed, restarts=restarts,
+                    samples=samples)
+    provenance = {"method": report.method,
+                  "queries": len(report.verdicts),
+                  "counts": report.counts(),
+                  "found": report.found}
+    edge = record_lineage(store, old_schema, new_schema,
+                          report.embedding_object,
+                          provenance=provenance, validated=validate,
+                          old_format=old_format, old_source=old_source,
+                          new_format=new_format, new_source=new_source)
+    return report, edge
+
+
+def _sample_instances(old_schema: DTD, count: int) -> list:
+    """``count`` deterministic sample instances of the old schema.
+
+    Seeds are scanned in order and degenerate (single-node) draws are
+    skipped — a star at the root frequently rolls zero children, and an
+    empty sample can vacuously agree with any verdict.  Schemas whose
+    every instance is trivial fall back to the first ``count`` draws.
+    """
+    chosen = []
+    fallback = []
+    for sample_seed in range(count * 16):
+        instance = random_instance(old_schema, seed=sample_seed,
+                                   max_depth=SAMPLE_MAX_DEPTH)
+        if len(fallback) < count:
+            fallback.append(instance)
+        if tree_size(instance) > 1:
+            chosen.append(instance)
+            if len(chosen) == count:
+                return chosen
+    return chosen or fallback
+
+
+# -- the per-query pipeline ----------------------------------------------------
+
+def _query_verdict(engine: Engine, embedding: SchemaEmbedding,
+                   query: str, instances: list,
+                   images: list) -> QueryVerdict:
+    """Failure isolation: whatever one query does, it yields one row."""
+    try:
+        return _classify(engine, embedding, query, instances, images)
+    except Exception as exc:  # one pathological query never sinks the batch
+        return QueryVerdict(query, BROKEN, reason=REASON_FAULT,
+                            detail=f"{type(exc).__name__}: {exc}")
+
+
+def _classify(engine: Engine, embedding: SchemaEmbedding, query: str,
+              instances: list, images: list) -> QueryVerdict:
+    try:
+        parsed = parse_xr(query)
+    except ValueError as exc:
+        return QueryVerdict(query, BROKEN, reason=REASON_PARSE,
+                            detail=str(exc))
+    source_results = [evaluate_set(parsed, instance)
+                      for instance in instances]
+    try:
+        anfa = engine.translate_query(embedding, query)
+    except ValueError as exc:
+        return QueryVerdict(query, BROKEN, reason=REASON_UNTRANSLATABLE,
+                            detail=str(exc))
+    canonical = anfa.canonical_describe()
+    try:
+        translation: Optional[str] = str(anfa_to_xr(anfa))
+    except RegexConversionError:
+        translation = None
+    if anfa.is_fail():
+        if all(result.is_empty() for result in source_results):
+            return QueryVerdict(
+                query, STILL_VALID, anfa=canonical,
+                detail="query selects nothing on either version")
+        return QueryVerdict(
+            query, BROKEN, reason=REASON_EMPTY, anfa=canonical,
+            detail="translated query selects nothing while the source "
+                   "query has answers")
+    # Preservation on the samples: Q(T) = idM(Tr(Q)(σd(T))).
+    for index, (source_result, image) in enumerate(
+            zip(source_results, images)):
+        target_result = evaluate_anfa_set(anfa, image.tree)
+        outside = sum(1 for node_id in target_result.ids
+                      if node_id not in image.idM)
+        if outside:
+            return QueryVerdict(
+                query, BROKEN, reason=REASON_PRESERVATION,
+                anfa=canonical, translation=translation,
+                detail=f"sample {index}: translated answers include "
+                       f"{outside} non-image node(s)")
+        mapped_back = target_result.map_ids(image.idM)
+        if mapped_back.ids != source_result.ids \
+                or mapped_back.strings != source_result.strings:
+            return QueryVerdict(
+                query, BROKEN, reason=REASON_PRESERVATION,
+                anfa=canonical, translation=translation,
+                detail=f"sample {index}: {len(source_result.ids)} "
+                       f"id(s)/{len(source_result.strings)} string(s) "
+                       f"expected, {len(mapped_back.ids)}/"
+                       f"{len(mapped_back.strings)} mapped back")
+    # still-valid: the *original* query, unchanged, already returns the
+    # original answers on mapped instances — structurally (translation
+    # is the identity) or behaviourally on every sample.
+    if translation is not None and translation == str(parsed):
+        return QueryVerdict(query, STILL_VALID, translation=translation,
+                            anfa=canonical)
+    if _answers_preserved_as_is(parsed, source_results, images):
+        return QueryVerdict(query, STILL_VALID, translation=translation,
+                            anfa=canonical)
+    return QueryVerdict(query, TRANSLATABLE, translation=translation,
+                        anfa=canonical)
+
+
+def _answers_preserved_as_is(parsed, source_results, images) -> bool:
+    for source_result, image in zip(source_results, images):
+        direct = evaluate_set(parsed, image.tree)
+        if any(node_id not in image.idM for node_id in direct.ids):
+            return False
+        mapped_ids = frozenset(image.idM[node_id]
+                               for node_id in direct.ids)
+        if mapped_ids != source_result.ids \
+                or direct.strings != source_result.strings:
+            return False
+    return True

@@ -1,0 +1,89 @@
+"""The typed schema-lineage layer over the artifact store.
+
+One :class:`LineageEdge` records that a schema version (by
+fingerprint) was succeeded by another, which embedding (if any)
+carries instances and queries across the bump, and free-form
+provenance — the search method, how many queries were examined, the
+verdict counts.  Edges persist in the store's lazy ``lineage``
+manifest section (:meth:`~repro.engine.store.ArtifactStore.put_lineage`):
+a store written before the section existed gains its first edge in
+place, without any existing artifact being rewritten.
+"""
+# lint: determinism-plane
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.embedding import SchemaEmbedding
+from repro.dtd.model import DTD
+from repro.engine.store import ArtifactStore, lineage_digest
+
+
+@dataclass(frozen=True)
+class LineageEdge:
+    """One version bump: ``old`` fingerprint → ``new`` fingerprint."""
+
+    old: str                       #: predecessor schema fingerprint
+    new: str                       #: successor schema fingerprint
+    #: embedding fingerprint carrying the bump (None: none was found)
+    embedding: Optional[str] = None
+    provenance: dict = field(default_factory=dict)
+
+    @property
+    def digest(self) -> str:
+        """The content key the store files this edge under."""
+        return lineage_digest(self.old, self.new, self.embedding)
+
+    def to_payload(self) -> dict:
+        return {"old": self.old, "new": self.new,
+                "embedding": self.embedding,
+                "provenance": dict(self.provenance)}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "LineageEdge":
+        return cls(old=payload["old"], new=payload["new"],
+                   embedding=payload.get("embedding"),
+                   provenance=dict(payload.get("provenance") or {}))
+
+
+def record_lineage(store: ArtifactStore, old_schema: DTD,
+                   new_schema: DTD,
+                   embedding: Optional[SchemaEmbedding] = None,
+                   provenance: Optional[dict] = None,
+                   validated: bool = True,
+                   old_format: Optional[str] = None,
+                   old_source: Optional[str] = None,
+                   new_format: Optional[str] = None,
+                   new_source: Optional[str] = None) -> LineageEdge:
+    """Persist one version bump: both schemas, the embedding (when one
+    exists) and the lineage edge tying them together.
+
+    ``old_format``/``old_source`` (and the ``new_`` pair) are the usual
+    frontend provenance for the schemas; ``validated`` marks the
+    embedding entry the same way ``/v1/find`` results are marked.
+    """
+    old_fp = store.put_schema(old_schema, format=old_format,
+                              source_text=old_source)
+    new_fp = store.put_schema(new_schema, format=new_format,
+                              source_text=new_source)
+    embedding_fp: Optional[str] = None
+    if embedding is not None:
+        embedding_fp = store.put_embedding(embedding, validated=validated)
+    edge = LineageEdge(old=old_fp, new=new_fp, embedding=embedding_fp,
+                       provenance=dict(provenance or {}))
+    store.put_lineage(edge.to_payload())
+    return edge
+
+
+def lineage_edges(store: ArtifactStore) -> list[LineageEdge]:
+    """Every recorded edge, in stable (digest-sorted) order."""
+    return [LineageEdge.from_payload(payload)
+            for _, payload in store.iter_lineage()]
+
+
+def successors(store: ArtifactStore, fingerprint: str) -> list[LineageEdge]:
+    """The recorded bumps out of one schema version."""
+    return [edge for edge in lineage_edges(store)
+            if edge.old == fingerprint]

@@ -17,7 +17,9 @@ workload as an actual service.
   routing of embedding fingerprints onto fleet workers;
 * :mod:`repro.serve.client`   — :class:`ServeClient` (keep-alive JSON
   client) and :class:`FleetClient` (ring-routing client), used by
-  tests, benchmarks and examples.
+  tests, benchmarks and examples; endpoint methods return the frozen
+  :class:`ServeResult`/:class:`EvolveResult` views (attribute access
+  plus the exact wire payload on ``.raw``).
 
 Everything is stdlib-only and a pure transport over
 :class:`~repro.engine.session.Engine`: response payload strings are
@@ -25,7 +27,13 @@ byte-identical to the equivalent direct engine calls — single process
 or fleet.
 """
 
-from repro.serve.client import FleetClient, ServeClient, ServeError
+from repro.serve.client import (
+    EvolveResult,
+    FleetClient,
+    ServeClient,
+    ServeError,
+    ServeResult,
+)
 from repro.serve.fleet import DEFAULT_RELOAD_INTERVAL, FleetServer
 from repro.serve.handlers import FleetInfo, ServiceState, dispatch
 from repro.serve.metrics import MetricsRegistry
@@ -37,6 +45,7 @@ __all__ = [
     "DEFAULT_HOST",
     "DEFAULT_PORT",
     "DEFAULT_RELOAD_INTERVAL",
+    "EvolveResult",
     "FleetClient",
     "FleetInfo",
     "FleetServer",
@@ -46,6 +55,7 @@ __all__ = [
     "ReproServer",
     "ServeClient",
     "ServeError",
+    "ServeResult",
     "ServiceState",
     "dispatch",
 ]

@@ -16,6 +16,14 @@ the worker that owns the fingerprint on the consistent-hash ring
 (:mod:`repro.serve.ring`), so each worker's caches stay hot on its
 slice.  Calls without an embedding fingerprint go to the shared
 kernel-balanced port.
+
+Endpoint methods return typed result objects — :class:`ServeResult`
+(and :class:`EvolveResult` for ``evolve``): frozen, attribute-access
+views over the decoded response (``result.failures``,
+``result.counts["broken"]``) that still behave like the mapping they
+wrap (``result["failures"]``, ``==`` against a plain dict), with the
+exact wire payload on ``result.raw``.  The wire format is unchanged —
+the wrapper exists purely client-side.
 """
 
 from __future__ import annotations
@@ -26,6 +34,95 @@ import threading
 from typing import Optional, Sequence
 
 from repro.serve.ring import HashRing
+
+
+class ServeResult:
+    """A frozen attribute-access view over one decoded response.
+
+    ``result.failures`` and ``result["failures"]`` are the same value;
+    ``result.raw`` is the decoded wire payload itself (the dict whose
+    sorted-key JSON encoding is byte-identical to what the daemon
+    sent).  Equality compares payloads, so existing ``response ==
+    {...}`` assertions keep working verbatim.
+    """
+
+    __slots__ = ("_raw",)
+
+    def __init__(self, raw: dict) -> None:
+        object.__setattr__(self, "_raw", dict(raw))
+
+    @property
+    def raw(self) -> dict:
+        """The decoded wire payload, exactly as the daemon sent it."""
+        return self._raw
+
+    def __getattr__(self, name: str):
+        try:
+            return self._raw[name]
+        except KeyError:
+            raise AttributeError(
+                f"{type(self).__name__} has no field {name!r}") from None
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __getitem__(self, key):
+        return self._raw[key]
+
+    def get(self, key, default=None):
+        return self._raw.get(key, default)
+
+    def __contains__(self, key) -> bool:
+        return key in self._raw
+
+    def __iter__(self):
+        return iter(self._raw)
+
+    def __len__(self) -> int:
+        return len(self._raw)
+
+    def keys(self):
+        return self._raw.keys()
+
+    def values(self):
+        return self._raw.values()
+
+    def items(self):
+        return self._raw.items()
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ServeResult):
+            return self._raw == other._raw
+        if isinstance(other, dict):
+            return self._raw == other
+        return NotImplemented
+
+    __hash__ = None  # mutable-mapping semantics: unhashable, like dict
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._raw!r})"
+
+
+class EvolveResult(ServeResult):
+    """The ``/v1/evolve`` response: per-query compatibility verdicts.
+
+    ``result.counts`` maps verdict → count, ``result.verdicts`` is the
+    per-query list (each row a dict with ``query``/``verdict``/``ok``/
+    ``reason``/``detail``/``translation``/``anfa``), and
+    :meth:`broken` selects the rows that did not survive the bump.
+    """
+
+    @property
+    def verdicts(self) -> list:
+        return self._raw["verdicts"]
+
+    @property
+    def counts(self) -> dict:
+        return self._raw["counts"]
+
+    def broken(self) -> list:
+        """The verdict rows whose query did not survive the bump."""
+        return [row for row in self._raw["verdicts"] if not row["ok"]]
 
 
 class ServeError(ValueError):
@@ -129,24 +226,24 @@ class ServeClient:
         return decoded
 
     # -- endpoints ---------------------------------------------------------
-    def healthz(self) -> dict:
-        return self.request("GET", "/healthz")
+    def healthz(self) -> ServeResult:
+        return ServeResult(self.request("GET", "/healthz"))
 
-    def metrics(self) -> dict:
-        return self.request("GET", "/metrics")
+    def metrics(self) -> ServeResult:
+        return ServeResult(self.request("GET", "/metrics"))
 
-    def fleet(self) -> dict:
+    def fleet(self) -> ServeResult:
         """The fleet topology (``GET /fleet``)."""
-        return self.request("GET", "/fleet")
+        return ServeResult(self.request("GET", "/fleet"))
 
-    def fleet_metrics(self) -> dict:
+    def fleet_metrics(self) -> ServeResult:
         """The fleet-wide metrics aggregate (``GET /metrics/fleet``)."""
-        return self.request("GET", "/metrics/fleet")
+        return ServeResult(self.request("GET", "/metrics/fleet"))
 
     def map(self, xml: Optional[str] = None,
             documents: Optional[Sequence[dict]] = None,
             embedding: Optional[str] = None, validate: bool = True,
-            name: Optional[str] = None) -> dict:
+            name: Optional[str] = None) -> ServeResult:
         payload: dict = {"validate": validate}
         if embedding is not None:
             payload["embedding"] = embedding
@@ -156,12 +253,12 @@ class ServeClient:
                 payload["name"] = name
         if documents is not None:
             payload["documents"] = list(documents)
-        return self.request("POST", "/v1/map", payload)
+        return ServeResult(self.request("POST", "/v1/map", payload))
 
     def invert(self, xml: Optional[str] = None,
                documents: Optional[Sequence[dict]] = None,
                embedding: Optional[str] = None, strict: bool = True,
-               name: Optional[str] = None) -> dict:
+               name: Optional[str] = None) -> ServeResult:
         payload: dict = {"strict": strict}
         if embedding is not None:
             payload["embedding"] = embedding
@@ -171,12 +268,12 @@ class ServeClient:
                 payload["name"] = name
         if documents is not None:
             payload["documents"] = list(documents)
-        return self.request("POST", "/v1/invert", payload)
+        return ServeResult(self.request("POST", "/v1/invert", payload))
 
     def translate(self, query: Optional[str] = None,
                   queries: Optional[Sequence[str]] = None,
                   embedding: Optional[str] = None,
-                  context_type: Optional[str] = None) -> dict:
+                  context_type: Optional[str] = None) -> ServeResult:
         payload: dict = {}
         if embedding is not None:
             payload["embedding"] = embedding
@@ -186,11 +283,11 @@ class ServeClient:
             payload["query"] = query
         if queries is not None:
             payload["queries"] = list(queries)
-        return self.request("POST", "/v1/translate", payload)
+        return ServeResult(self.request("POST", "/v1/translate", payload))
 
     def find(self, source: str, target: str, method: str = "auto",
              seed: int = 0, restarts: int = 20,
-             format: Optional[str] = None) -> dict:
+             format: Optional[str] = None) -> ServeResult:
         """``source``/``target`` are stored fingerprints or inline
         schema text; ``format`` names the frontend for inline text
         (``dtd``/``compact``/``xsd``; default: server-side detection).
@@ -199,7 +296,37 @@ class ServeClient:
                    "seed": seed, "restarts": restarts}
         if format is not None:
             payload["format"] = format
-        return self.request("POST", "/v1/find", payload)
+        return ServeResult(self.request("POST", "/v1/find", payload))
+
+    def evolve(self, old: str, new: str, query: Optional[str] = None,
+               queries: Optional[Sequence[str]] = None,
+               embedding: Optional[str] = None, validate: bool = True,
+               method: str = "auto", seed: int = 0, restarts: int = 20,
+               samples: Optional[int] = None,
+               format: Optional[str] = None) -> EvolveResult:
+        """Per-query compatibility verdicts across a version bump
+        (``POST /v1/evolve``).
+
+        ``old``/``new`` are stored fingerprints or inline schema text
+        (``format`` as in :meth:`find`); ``embedding`` optionally names
+        a stored embedding carrying the bump — absent, the server
+        searches for one.  The result payload is byte-identical to a
+        direct ``Engine.evolve(...).to_payload()``.
+        """
+        payload: dict = {"old": old, "new": new, "validate": validate,
+                         "method": method, "seed": seed,
+                         "restarts": restarts}
+        if query is not None:
+            payload["query"] = query
+        if queries is not None:
+            payload["queries"] = list(queries)
+        if embedding is not None:
+            payload["embedding"] = embedding
+        if samples is not None:
+            payload["samples"] = samples
+        if format is not None:
+            payload["format"] = format
+        return EvolveResult(self.request("POST", "/v1/evolve", payload))
 
 
 class FleetClient:
@@ -228,7 +355,7 @@ class FleetClient:
         """A client bound to a running fleet (or single) server."""
         return cls(server.host, server.port, timeout=timeout)
 
-    def refresh(self) -> dict:
+    def refresh(self) -> ServeResult:
         """Re-fetch the topology (e.g. after a fleet resize)."""
         topology = self.shared.fleet()
         workers = topology.get("workers") or []
@@ -262,30 +389,38 @@ class FleetClient:
 
     # -- routed endpoints --------------------------------------------------
     def map(self, *args, embedding: Optional[str] = None,
-            **kwargs) -> dict:
+            **kwargs) -> ServeResult:
         return self.route(embedding).map(*args, embedding=embedding,
                                          **kwargs)
 
     def invert(self, *args, embedding: Optional[str] = None,
-               **kwargs) -> dict:
+               **kwargs) -> ServeResult:
         return self.route(embedding).invert(*args, embedding=embedding,
                                             **kwargs)
 
     def translate(self, *args, embedding: Optional[str] = None,
-                  **kwargs) -> dict:
+                  **kwargs) -> ServeResult:
         return self.route(embedding).translate(*args,
                                                embedding=embedding,
                                                **kwargs)
 
+    def evolve(self, *args, embedding: Optional[str] = None,
+               **kwargs) -> EvolveResult:
+        """Routed like map/translate: a named embedding goes to its
+        ring owner (whose compiled caches already hold it); a search
+        request uses the shared port."""
+        return self.route(embedding).evolve(*args, embedding=embedding,
+                                            **kwargs)
+
     # -- shared-port endpoints ---------------------------------------------
-    def find(self, *args, **kwargs) -> dict:
+    def find(self, *args, **kwargs) -> ServeResult:
         return self.shared.find(*args, **kwargs)
 
-    def healthz(self) -> dict:
+    def healthz(self) -> ServeResult:
         return self.shared.healthz()
 
-    def metrics(self) -> dict:
+    def metrics(self) -> ServeResult:
         return self.shared.metrics()
 
-    def fleet_metrics(self) -> dict:
+    def fleet_metrics(self) -> ServeResult:
         return self.shared.fleet_metrics()

@@ -25,7 +25,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Union
 
-from repro.core.embedding import SchemaEmbedding
+from repro.core.embedding import EmbeddingError, SchemaEmbedding
 from repro.dtd.model import DTD
 from repro.engine.session import Engine, EngineConfig
 from repro.engine.store import ArtifactStore, embedding_to_payload
@@ -42,14 +42,12 @@ from repro.serve.metrics import (
     merge_request_snapshots,
 )
 from repro.serve.protocol import (
+    ENDPOINT_FIELDS,
     ProtocolError,
     decode_body,
     documents_from,
-    optional_flag,
-    optional_int,
-    optional_str,
+    parse_fields,
     queries_from,
-    schema_format_from,
 )
 from repro.xtree.parser import parse_xml
 from repro.xtree.serialize import to_string
@@ -338,7 +336,7 @@ class ServiceState:
 
 def _document_batch(state: ServiceState, payload: dict,
                     apply_one: Callable[[SchemaEmbedding, str], str],
-                    ) -> dict:
+                    embedding_ref: Optional[str]) -> dict:
     """The shared map/invert shape: resolve the embedding, run
     ``apply_one(embedding, xml) -> output`` per document with per-item
     failure isolation (CLI batch semantics), and assemble the
@@ -348,8 +346,7 @@ def _document_batch(state: ServiceState, payload: dict,
     ``{"name", "ok", "error"}`` on failure — the error string is never
     placed where document content goes, matching ``/v1/translate``.
     """
-    fingerprint, embedding = state.resolve_embedding(
-        optional_str(payload, "embedding"))
+    fingerprint, embedding = state.resolve_embedding(embedding_ref)
     items, single = documents_from(payload)
     results = []
     failures = 0
@@ -370,30 +367,30 @@ def _document_batch(state: ServiceState, payload: dict,
 
 
 def _handle_map(state: ServiceState, payload: dict) -> dict:
-    validate = optional_flag(payload, "validate", True)
+    options = parse_fields(payload, ENDPOINT_FIELDS["/v1/map"])
 
     def apply_one(embedding: SchemaEmbedding, xml: str) -> str:
         mapping = state.engine.apply_embedding(embedding, parse_xml(xml),
-                                               validate=validate)
+                                               validate=options["validate"])
         return to_string(mapping.tree)
 
-    return _document_batch(state, payload, apply_one)
+    return _document_batch(state, payload, apply_one, options["embedding"])
 
 
 def _handle_invert(state: ServiceState, payload: dict) -> dict:
-    strict = optional_flag(payload, "strict", True)
+    options = parse_fields(payload, ENDPOINT_FIELDS["/v1/invert"])
 
     def apply_one(embedding: SchemaEmbedding, xml: str) -> str:
         return to_string(state.engine.invert(embedding, parse_xml(xml),
-                                             strict=strict))
+                                             strict=options["strict"]))
 
-    return _document_batch(state, payload, apply_one)
+    return _document_batch(state, payload, apply_one, options["embedding"])
 
 
 def _handle_translate(state: ServiceState, payload: dict) -> dict:
-    fingerprint, embedding = state.resolve_embedding(
-        optional_str(payload, "embedding"))
-    context_type = optional_str(payload, "context_type")
+    options = parse_fields(payload, ENDPOINT_FIELDS["/v1/translate"])
+    fingerprint, embedding = state.resolve_embedding(options["embedding"])
+    context_type = options["context_type"]
     queries, single = queries_from(payload)
     results = []
     failures = 0
@@ -417,16 +414,15 @@ def _handle_translate(state: ServiceState, payload: dict) -> dict:
 
 
 def _handle_find(state: ServiceState, payload: dict) -> dict:
-    schema_format = schema_format_from(payload, available_formats())
+    options = parse_fields(payload, ENDPOINT_FIELDS["/v1/find"],
+                           available_formats())
     source = state.resolve_schema(payload.get("source"), "source",
-                                  format=schema_format)
+                                  format=options["format"])
     target = state.resolve_schema(payload.get("target"), "target",
-                                  format=schema_format)
-    method = optional_str(payload, "method") or "auto"
-    seed = optional_int(payload, "seed", 0)
-    restarts = optional_int(payload, "restarts", 20)
-    result = state.engine.find_embedding(source, target, method=method,
-                                         seed=seed, restarts=restarts)
+                                  format=options["format"])
+    result = state.engine.find_embedding(
+        source, target, method=options["method"] or "auto",
+        seed=options["seed"], restarts=options["restarts"])
     response = {
         "found": result.found,
         "method": result.method,
@@ -439,6 +435,43 @@ def _handle_find(state: ServiceState, payload: dict) -> dict:
         response["embedding"] = fingerprint
         response["payload"] = embedding_to_payload(result.embedding)
     return response
+
+
+def _handle_evolve(state: ServiceState, payload: dict) -> dict:
+    """``POST /v1/evolve`` — per-query compatibility verdicts across a
+    schema version bump.
+
+    The response is ``EvolutionReport.to_payload()`` verbatim, so the
+    served verdicts are byte-identical to a direct ``Engine.evolve``
+    call (the same contract every other endpoint honours).  A broken
+    query in the batch yields a structured ``broken`` verdict, never an
+    HTTP error.
+    """
+    options = parse_fields(payload, ENDPOINT_FIELDS["/v1/evolve"],
+                           available_formats())
+    old = state.resolve_schema(payload.get("old"), "old",
+                               format=options["format"])
+    new = state.resolve_schema(payload.get("new"), "new",
+                               format=options["format"])
+    queries, _ = queries_from(payload)
+    # An absent 'embedding' means "search between the versions" — it is
+    # NOT the translate/map shorthand for "the sole loaded embedding",
+    # which would silently pair unrelated schemas.
+    embedding: Optional[SchemaEmbedding] = None
+    if options["embedding"] is not None:
+        _, embedding = state.resolve_embedding(options["embedding"])
+    try:
+        report = state.engine.evolve(
+            old, new, queries, embedding=embedding,
+            validate=options["validate"],
+            method=options["method"] or "auto",
+            seed=options["seed"], restarts=options["restarts"],
+            samples=options["samples"])
+    except EmbeddingError as exc:
+        raise ProtocolError(400, "invalid-embedding", str(exc)) from None
+    if report.embedding_object is not None:
+        state.register_embedding(report.embedding_object)
+    return report.to_payload()
 
 
 def _handle_healthz(state: ServiceState) -> dict:
@@ -543,6 +576,7 @@ _POST_ROUTES: dict[str, Callable[[ServiceState, dict], dict]] = {
     "/v1/invert": _handle_invert,
     "/v1/translate": _handle_translate,
     "/v1/find": _handle_find,
+    "/v1/evolve": _handle_evolve,
 }
 
 _GET_ROUTES: dict[str, Callable[[ServiceState], dict]] = {

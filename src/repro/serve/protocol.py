@@ -8,11 +8,17 @@ without a socket.
 Batch semantics mirror the CLI batch surface: ``/v1/map`` and
 ``/v1/invert`` accept ``{"xml": …}`` for a single document or
 ``{"documents": [{"name", "xml"}, …]}`` for a batch; ``/v1/translate``
-accepts ``{"query": …}`` or ``{"queries": […]}``.  Batch items fail
-*individually* — one malformed document yields one failed item, never
-an HTTP error for the whole batch.  Schema-bearing payloads
-(``/v1/find``) take an optional ``"format"`` naming the frontend for
-inline schema text (``auto``/``dtd``/``compact``/``xsd``).
+and ``/v1/evolve`` accept ``{"query": …}`` or ``{"queries": […]}``.
+Batch items fail *individually* — one malformed document yields one
+failed item, never an HTTP error for the whole batch.  Schema-bearing
+payloads (``/v1/find``, ``/v1/evolve``) take an optional ``"format"``
+naming the frontend for inline schema text
+(``auto``/``dtd``/``compact``/``xsd``).
+
+The scalar option fields of every endpoint live in one declarative
+table, :data:`ENDPOINT_FIELDS` — a :class:`FieldSpec` row per field
+(name, type, required, default) — parsed by :func:`parse_fields`, so
+adding an endpoint means adding rows, not parser helpers.
 
 Errors are structured: ``{"error": {"code": …, "message": …}}`` with
 the HTTP status carrying the class (400 malformed request, 404 unknown
@@ -22,7 +28,8 @@ resource, 405 wrong method, 500 handler fault).
 from __future__ import annotations
 
 import json
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 
 class ProtocolError(ValueError):
@@ -127,48 +134,108 @@ def queries_from(payload: dict) -> tuple[list[str], bool]:
             for index, query in enumerate(queries)], False
 
 
-def optional_flag(payload: dict, name: str, default: bool) -> bool:
-    value = payload.get(name, default)
-    if not isinstance(value, bool):
-        raise ProtocolError(400, "bad-request",
-                            f"'{name}' must be a boolean")
-    return value
+# -- declarative field specs ---------------------------------------------------
 
+@dataclass(frozen=True)
+class FieldSpec:
+    """One scalar request field, declaratively.
 
-def optional_str(payload: dict, name: str) -> Optional[str]:
-    value = payload.get(name)
-    if value is None:
-        return None
-    return _require_str(value, f"'{name}'")
-
-
-def schema_format_from(payload: dict,
-                       known: Sequence[str]) -> Optional[str]:
-    """The optional ``format`` field of a schema-bearing payload.
-
-    ``known`` is the frontend registry's format list (the protocol
-    layer stays import-pure).  Returns ``None`` when the field is
-    absent (→ the server's default applies); an explicit ``"auto"``
-    always means "sniff the text", even on a server started with a
-    concrete ``--format``.
+    ``type`` is one of ``"str"``, ``"bool"``, ``"int"`` or ``"format"``
+    (a frontend-format name, validated against the registry list the
+    caller passes — the protocol layer stays import-pure).  An absent
+    field yields ``default`` (or a 400 when ``required``); a present
+    field is type-checked with the endpoint-independent error shapes.
+    JSON ``null`` counts as absent for ``"str"``/``"format"`` fields
+    and as a type error for ``"bool"``/``"int"``.
     """
-    value = payload.get("format")
-    if value is None:
-        return None
-    if not isinstance(value, str):
-        raise ProtocolError(400, "bad-format",
-                            "'format' must be a string")
-    if value != "auto" and value not in known:
-        raise ProtocolError(
-            400, "bad-format",
-            f"unknown schema format {value!r} (expected auto, "
-            + ", ".join(known) + ")")
-    return value
+
+    name: str
+    type: str
+    required: bool = False
+    default: object = None
 
 
-def optional_int(payload: dict, name: str, default: int) -> int:
-    value = payload.get(name, default)
-    if isinstance(value, bool) or not isinstance(value, int):
-        raise ProtocolError(400, "bad-request",
-                            f"'{name}' must be an integer")
-    return value
+#: Every endpoint's scalar option fields in one table.  Handlers call
+#: ``parse_fields(payload, ENDPOINT_FIELDS[path], …)``; the non-scalar
+#: shapes (documents/queries batches, inline schemas) keep their
+#: dedicated normalisers below.
+ENDPOINT_FIELDS: dict[str, tuple[FieldSpec, ...]] = {
+    "/v1/map": (
+        FieldSpec("embedding", "str"),
+        FieldSpec("validate", "bool", default=True),
+    ),
+    "/v1/invert": (
+        FieldSpec("embedding", "str"),
+        FieldSpec("strict", "bool", default=True),
+    ),
+    "/v1/translate": (
+        FieldSpec("embedding", "str"),
+        FieldSpec("context_type", "str"),
+    ),
+    "/v1/find": (
+        FieldSpec("method", "str"),
+        FieldSpec("seed", "int", default=0),
+        FieldSpec("restarts", "int", default=20),
+        FieldSpec("format", "format"),
+    ),
+    "/v1/evolve": (
+        FieldSpec("embedding", "str"),
+        FieldSpec("validate", "bool", default=True),
+        FieldSpec("method", "str"),
+        FieldSpec("seed", "int", default=0),
+        FieldSpec("restarts", "int", default=20),
+        FieldSpec("samples", "int"),
+        FieldSpec("format", "format"),
+    ),
+}
+
+
+def parse_fields(payload: dict, specs: Sequence[FieldSpec],
+                 known_formats: Sequence[str] = ()) -> dict:
+    """Parse one endpoint's scalar fields per its spec table.
+
+    Returns ``{field name: value}`` with defaults applied; raises the
+    table-independent :class:`ProtocolError` shapes on bad input.
+    """
+    return {spec.name: _parse_field(payload, spec, known_formats)
+            for spec in specs}
+
+
+def _parse_field(payload: dict, spec: FieldSpec,
+                 known_formats: Sequence[str]):
+    if spec.name not in payload:
+        if spec.required:
+            raise ProtocolError(400, "bad-request",
+                                f"'{spec.name}' is required")
+        return spec.default
+    value = payload[spec.name]
+    if spec.type == "str":
+        if value is None:
+            return spec.default
+        return _require_str(value, f"'{spec.name}'")
+    if spec.type == "bool":
+        if not isinstance(value, bool):
+            raise ProtocolError(400, "bad-request",
+                                f"'{spec.name}' must be a boolean")
+        return value
+    if spec.type == "int":
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ProtocolError(400, "bad-request",
+                                f"'{spec.name}' must be an integer")
+        return value
+    if spec.type == "format":
+        # An explicit "auto" always means "sniff the text", even on a
+        # server started with a concrete --format.
+        if value is None:
+            return spec.default
+        if not isinstance(value, str):
+            raise ProtocolError(400, "bad-format",
+                                f"'{spec.name}' must be a string")
+        if value != "auto" and value not in known_formats:
+            raise ProtocolError(
+                400, "bad-format",
+                f"unknown schema format {value!r} (expected auto, "
+                + ", ".join(known_formats) + ")")
+        return value
+    raise ProtocolError(500, "internal-error",
+                        f"unknown field type {spec.type!r}")

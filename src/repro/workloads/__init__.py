@@ -11,9 +11,22 @@
 * :mod:`repro.workloads.synthetic` — random consistent DTDs of a given
   size (scalability experiments, property tests);
 * :mod:`repro.workloads.queries` — random XR query generation over a
-  schema (query-preservation and translation experiments).
+  schema (query-preservation and translation experiments);
+* :mod:`repro.workloads.evolution` — schema version bumps (rename /
+  extend / restructure / break mutations of library schemas) with
+  known-good expected verdicts for the evolution service.
 """
 
+from repro.workloads.evolution import (
+    EvolutionCase,
+    Mutation,
+    break_mutation,
+    evolution_cases,
+    extend_mutation,
+    rename_mutation,
+    restructure_mutation,
+    scaled_case,
+)
 from repro.workloads.library import (
     SCHEMA_LIBRARY,
     SchoolExample,
@@ -25,8 +38,16 @@ from repro.workloads.synthetic import random_dtd
 from repro.workloads.queries import random_queries
 
 __all__ = [
+    "EvolutionCase",
     "Expansion",
+    "Mutation",
     "SCHEMA_LIBRARY",
+    "break_mutation",
+    "evolution_cases",
+    "extend_mutation",
+    "rename_mutation",
+    "restructure_mutation",
+    "scaled_case",
     "SchoolExample",
     "expand_schema",
     "fig3_scenarios",

@@ -1,0 +1,267 @@
+"""Schema-evolution workloads: version bumps with known-good answers.
+
+Each :class:`EvolutionCase` is one realistic schema bump over a
+library schema — a *rename* (types change names, content models
+don't), an *extend* (new optional-by-default leaf fields appended), a
+*restructure* (consecutive fields regrouped under a fresh wrapper
+type) or a *break* (a field dropped outright, so no
+information-preserving embedding exists) — together with a stored
+query workload and the verdict :func:`repro.evolution.evolve` must
+return for every query.  Tests assert the expected verdicts exactly;
+:mod:`benchmarks.bench_evolution` scales the same mutations up with
+:func:`scaled_case` and checks verdict identity across the direct
+engine call, the single daemon and the pre-fork fleet.
+
+Mutations carry their ground-truth embedding (built from identity
+paths plus the mutation's own overrides), so cases exercise the
+verdict pipeline rather than the embedding search; the *break* case
+deliberately has none.
+"""
+# lint: determinism-plane
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.embedding import SchemaEmbedding, build_embedding
+from repro.dtd.model import DTD, Concat, Disjunction, Star, Str
+from repro.workloads.library import SCHEMA_LIBRARY
+from repro.workloads.queries import random_queries
+
+# The verdict taxonomy, mirrored literally: the workloads plane sits
+# below the serving layers and must not import repro.evolution (tests
+# assert these match the canonical constants there).
+STILL_VALID = "still-valid"
+TRANSLATABLE = "translatable"
+BROKEN = "broken"
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One schema bump with its ground-truth embedding (when one
+    exists — the *break* kind has none by construction)."""
+
+    kind: str
+    old: DTD
+    new: DTD
+    embedding: Optional[SchemaEmbedding]
+
+
+@dataclass(frozen=True)
+class EvolutionCase:
+    """A mutation plus a stored workload and its expected verdicts."""
+
+    name: str
+    mutation: Mutation
+    queries: tuple[str, ...]
+    #: query → the verdict :func:`repro.evolution.evolve` must return.
+    expected: dict
+
+    @property
+    def old(self) -> DTD:
+        return self.mutation.old
+
+    @property
+    def new(self) -> DTD:
+        return self.mutation.new
+
+    @property
+    def embedding(self) -> Optional[SchemaEmbedding]:
+        return self.mutation.embedding
+
+
+def identity_paths(schema: DTD, lam: dict,
+                   overrides: Optional[dict] = None) -> dict:
+    """The path table of the structure-preserving embedding: every
+    child reached by its (λ-renamed) label, duplicate concat children
+    position-qualified, ``overrides`` replacing individual entries
+    (how restructure mutations reroute members through their wrapper).
+    """
+    paths: dict = {}
+    for element_type in schema.types:
+        production = schema.production(element_type)
+        if isinstance(production, Str):
+            paths[(element_type, "str")] = "text()"
+        elif isinstance(production, Concat):
+            totals: dict[str, int] = {}
+            for child in production.children:
+                totals[child] = totals.get(child, 0) + 1
+            seen: dict[str, int] = {}
+            for child in production.children:
+                seen[child] = seen.get(child, 0) + 1
+                step = lam.get(child, child)
+                if totals[child] > 1:
+                    step = f"{step}[position()={seen[child]}]"
+                paths[(element_type, child, seen[child])] = step
+        elif isinstance(production, Disjunction):
+            for child in production.children:
+                paths[(element_type, child)] = lam.get(child, child)
+        elif isinstance(production, Star):
+            child = production.child
+            paths[(element_type, child)] = lam.get(child, child)
+    if overrides:
+        paths.update(overrides)
+    return paths
+
+
+def rename_mutation(old: DTD, mapping: dict,
+                    name: Optional[str] = None) -> Mutation:
+    """Types change names, content models stay — the classic
+    compatibility-preserving bump.  Queries naming a renamed type are
+    ``translatable``; queries over untouched regions ``still-valid``.
+    """
+    new = old.renamed(mapping, name=name or f"{old.name}-v2")
+    lam = {t: mapping.get(t, t) for t in old.types}
+    embedding = build_embedding(old, new, lam, identity_paths(old, lam))
+    embedding.check()
+    return Mutation("rename", old, new, embedding)
+
+
+def extend_mutation(old: DTD, element_type: str,
+                    extra: Sequence[str],
+                    name: Optional[str] = None) -> Mutation:
+    """New string leaves appended to one concat production — mapped
+    documents gain default-completed fields, so every old query stays
+    ``still-valid``."""
+    production = old.production(element_type)
+    if not isinstance(production, Concat):
+        raise ValueError(f"extend_mutation needs a concat production, "
+                         f"{element_type!r} is "
+                         f"{type(production).__name__}")
+    elements = dict(old.elements)
+    for leaf in extra:
+        if leaf in elements:
+            raise ValueError(f"extend_mutation: {leaf!r} already exists")
+        elements[leaf] = Str()
+    elements[element_type] = Concat(production.children + tuple(extra))
+    new = DTD(elements, old.root, name or f"{old.name}-v2")
+    lam = {t: t for t in old.types}
+    embedding = build_embedding(old, new, lam, identity_paths(old, lam))
+    embedding.check()
+    return Mutation("extend", old, new, embedding)
+
+
+def restructure_mutation(old: DTD, parent: str, group: str,
+                         members: Sequence[str],
+                         name: Optional[str] = None) -> Mutation:
+    """A consecutive run of one concat's children regrouped under a
+    fresh wrapper type — queries stepping through a member become
+    ``translatable`` (the wrapper step is spliced in)."""
+    production = old.production(parent)
+    if not isinstance(production, Concat):
+        raise ValueError(f"restructure_mutation needs a concat "
+                         f"production, {parent!r} is "
+                         f"{type(production).__name__}")
+    members = tuple(members)
+    index = production.children.index(members[0])
+    if production.children[index:index + len(members)] != members:
+        raise ValueError(f"restructure_mutation: {members!r} is not a "
+                         f"consecutive run of {parent!r}'s children")
+    if group in old.elements:
+        raise ValueError(f"restructure_mutation: {group!r} already "
+                         "exists")
+    elements = dict(old.elements)
+    elements[group] = Concat(members)
+    elements[parent] = Concat(production.children[:index] + (group,)
+                              + production.children[index + len(members):])
+    new = DTD(elements, old.root, name or f"{old.name}-v2")
+    lam = {t: t for t in old.types}
+    overrides = {(parent, member, 1): f"{group}/{member}"
+                 for member in members}
+    embedding = build_embedding(old, new, lam,
+                                identity_paths(old, lam, overrides))
+    embedding.check()
+    return Mutation("restructure", old, new, embedding)
+
+
+def break_mutation(old: DTD, parent: str, dropped: str,
+                   name: Optional[str] = None) -> Mutation:
+    """One field dropped outright — no information-preserving
+    embedding exists, so the whole workload comes back ``broken`` with
+    reason ``no-embedding``."""
+    production = old.production(parent)
+    if not isinstance(production, Concat) or \
+            dropped not in production.children:
+        raise ValueError(f"break_mutation: {dropped!r} is not a concat "
+                         f"child of {parent!r}")
+    elements = dict(old.elements)
+    elements[parent] = Concat(tuple(c for c in production.children
+                                    if c != dropped))
+    referenced = set()
+    for prod in elements.values():
+        if isinstance(prod, (Concat, Disjunction)):
+            referenced.update(prod.children)
+        elif isinstance(prod, Star):
+            referenced.add(prod.child)
+    if dropped not in referenced:
+        del elements[dropped]
+    new = DTD(elements, old.root, name or f"{old.name}-v2")
+    return Mutation("break", old, new, None)
+
+
+def evolution_cases() -> list[EvolutionCase]:
+    """The curated bumps with known-good expected verdicts.
+
+    Queries are root-relative XR (the first step matches children of
+    the root element), matching the translator's convention.
+    """
+    mondial = SCHEMA_LIBRARY["mondial"]()
+    orders = SCHEMA_LIBRARY["orders"]()
+    cases = [
+        EvolutionCase(
+            name="mondial-rename",
+            mutation=rename_mutation(
+                mondial, {"cname": "country_name",
+                          "population": "inhabitants"}),
+            queries=("country/cname/text()",
+                     "country/capital/text()",
+                     "country/provinces/province/prname/text()",
+                     "///"),
+            expected={"country/cname/text()": TRANSLATABLE,
+                      "country/capital/text()": STILL_VALID,
+                      "country/provinces/province/prname/text()":
+                          STILL_VALID,
+                      "///": BROKEN}),
+        EvolutionCase(
+            name="orders-extend",
+            mutation=extend_mutation(orders, "product",
+                                     ("weight", "origin")),
+            queries=("order/lines/line/qty/text()",
+                     "catalog/electronics/product/prodname/text()"),
+            expected={"order/lines/line/qty/text()": STILL_VALID,
+                      "catalog/electronics/product/prodname/text()":
+                          STILL_VALID}),
+        EvolutionCase(
+            name="mondial-restructure",
+            mutation=restructure_mutation(
+                mondial, "country", "facts", ("cname", "capital")),
+            queries=("country/cname/text()",
+                     "country/provinces/province/prname/text()"),
+            expected={"country/cname/text()": TRANSLATABLE,
+                      "country/provinces/province/prname/text()":
+                          STILL_VALID}),
+        EvolutionCase(
+            name="mondial-break",
+            mutation=break_mutation(mondial, "country", "population"),
+            queries=("country/cname/text()",
+                     "country/population/text()"),
+            expected={"country/cname/text()": BROKEN,
+                      "country/population/text()": BROKEN}),
+    ]
+    return cases
+
+
+def scaled_case(count: int, seed: int = 0) -> EvolutionCase:
+    """A rename bump over mondial with ``count`` generated queries —
+    the benchmark's scaling knob.  No per-query expectation (the
+    generator mixes touched and untouched regions); determinism of the
+    full verdict report is the asserted property."""
+    mutation = rename_mutation(
+        SCHEMA_LIBRARY["mondial"](),
+        {"cname": "country_name", "population": "inhabitants",
+         "prname": "province_name"})
+    queries = tuple(str(query) for query in
+                    random_queries(mutation.old, count, seed=seed))
+    return EvolutionCase(name=f"mondial-rename-{count}",
+                         mutation=mutation, queries=queries, expected={})

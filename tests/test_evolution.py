@@ -1,0 +1,487 @@
+"""The schema-evolution service: verdict taxonomy, lineage store,
+serve/CLI surfaces and the typed client results.
+
+Invariants pinned here:
+
+* every curated mutation case (:mod:`repro.workloads.evolution`)
+  yields exactly its known-good verdicts, and one broken query in a
+  batch never fails the others;
+* the ``/v1/evolve`` response — single daemon and (where ``fork``
+  exists) pre-fork fleet — is byte-identical to the direct
+  ``Engine.evolve`` payload under sorted-key JSON;
+* a store written before the lineage section existed (the PR 2–7
+  layout) warm-starts, serves, and gains its first lineage edge *in
+  place* without any existing artifact file being rewritten;
+* the declarative protocol field specs keep the historical error
+  codes and messages byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.engine import ArtifactStore, Engine, pack_store
+from repro.engine.store import lineage_digest
+from repro.evolution import (
+    BROKEN,
+    STILL_VALID,
+    TRANSLATABLE,
+    LineageEdge,
+    evolve,
+    evolve_and_record,
+    lineage_edges,
+    record_lineage,
+    successors,
+)
+from repro.core.errors import EmbeddingError
+from repro.cli import main as cli_main
+from repro.dtd.serialize import dtd_to_text
+from repro.serve import (
+    EvolveResult,
+    FleetServer,
+    ProtocolError,
+    ReproServer,
+    ServeClient,
+    ServeError,
+    ServeResult,
+)
+from repro.serve.protocol import ENDPOINT_FIELDS, FieldSpec, parse_fields
+from repro.workloads import evolution as workloads_evolution
+from repro.workloads.evolution import evolution_cases, scaled_case
+
+CASES = {case.name: case for case in evolution_cases()}
+
+
+def canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+# -- verdict taxonomy ---------------------------------------------------------
+
+def test_workload_taxonomy_matches_canonical_constants():
+    # workloads/ sits below the serving layers and mirrors the verdict
+    # names literally; drift would silently break every expectation.
+    assert workloads_evolution.STILL_VALID == STILL_VALID
+    assert workloads_evolution.TRANSLATABLE == TRANSLATABLE
+    assert workloads_evolution.BROKEN == BROKEN
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_curated_case_verdicts(name):
+    case = CASES[name]
+    report = evolve(case.old, case.new, case.queries,
+                    embedding=case.embedding)
+    assert {v.query: v.verdict for v in report.verdicts} == case.expected
+    assert [v.query for v in report.verdicts] == list(case.queries)
+    counts = report.counts()
+    assert sum(counts.values()) == len(case.queries)
+
+
+def test_rename_attaches_translation_and_isolates_parse_error():
+    case = CASES["mondial-rename"]
+    report = evolve(case.old, case.new, case.queries,
+                    embedding=case.embedding)
+    by_query = {v.query: v for v in report.verdicts}
+    translated = by_query["country/cname/text()"]
+    assert translated.verdict == TRANSLATABLE
+    assert translated.translation == "country/country_name/text()"
+    assert translated.ok
+    # The malformed query is a structured broken verdict, not a fault,
+    # and the queries around it still got real verdicts.
+    bad = by_query["///"]
+    assert bad.verdict == BROKEN
+    assert bad.reason == "parse-error"
+    assert not bad.ok
+    assert by_query["country/capital/text()"].verdict == STILL_VALID
+
+
+def test_break_case_reports_no_embedding():
+    case = CASES["mondial-break"]
+    report = evolve(case.old, case.new, case.queries)
+    assert not report.found
+    assert report.embedding is None
+    assert all(v.verdict == BROKEN and v.reason == "no-embedding"
+               for v in report.verdicts)
+
+
+def test_mismatched_embedding_is_rejected():
+    rename = CASES["mondial-rename"]
+    extend = CASES["orders-extend"]
+    with pytest.raises(EmbeddingError):
+        evolve(rename.old, rename.new, rename.queries,
+               embedding=extend.embedding)
+
+
+def test_engine_evolve_matches_direct_call():
+    case = scaled_case(6, seed=2)
+    engine = Engine()
+    via_engine = engine.evolve(case.old, case.new, case.queries,
+                               embedding=case.embedding)
+    direct = evolve(case.old, case.new, case.queries, engine=engine,
+                    embedding=case.embedding)
+    assert canonical(via_engine.to_payload()) == \
+        canonical(direct.to_payload())
+    # Determinism: a fresh engine reproduces the bytes.
+    fresh = evolve(case.old, case.new, case.queries,
+                   embedding=case.embedding)
+    assert canonical(fresh.to_payload()) == \
+        canonical(direct.to_payload())
+
+
+# -- lineage ------------------------------------------------------------------
+
+def test_lineage_roundtrip(tmp_path):
+    case = CASES["mondial-rename"]
+    store = ArtifactStore(tmp_path / "store")
+    edge = record_lineage(store, case.old, case.new, case.embedding,
+                          provenance={"method": "given"})
+    assert edge.old == case.old.fingerprint()
+    assert edge.new == case.new.fingerprint()
+    assert edge.embedding == case.embedding.fingerprint()
+    assert edge.digest == lineage_digest(edge.old, edge.new,
+                                         edge.embedding)
+    # Reopen: the edge persists with its provenance, typed accessors
+    # agree with the raw store payload.
+    reopened = ArtifactStore(tmp_path / "store", create=False)
+    edges = lineage_edges(reopened)
+    assert edges == [edge]
+    assert successors(reopened, edge.old) == [edge]
+    assert successors(reopened, edge.new) == []
+    payload = reopened.get_lineage(edge.digest)
+    assert LineageEdge.from_payload(payload) == edge
+    assert payload["provenance"] == {"method": "given"}
+    # Idempotent: recording the same bump again adds nothing.
+    record_lineage(reopened, case.old, case.new, case.embedding,
+                   provenance={"method": "given"})
+    assert len(lineage_edges(reopened)) == 1
+
+
+def test_evolve_and_record_carries_verdict_provenance(tmp_path):
+    case = CASES["mondial-rename"]
+    store = ArtifactStore(tmp_path / "store")
+    report, edge = evolve_and_record(store, case.old, case.new,
+                                     case.queries,
+                                     embedding=case.embedding)
+    assert edge.provenance["counts"] == report.counts()
+    assert edge.provenance["queries"] == len(case.queries)
+    assert edge.provenance["found"] is True
+    # The edge ties the stored artifacts together by fingerprint.
+    assert store.get_schema(edge.old).fingerprint() == edge.old
+    assert store.get_embedding(edge.embedding).fingerprint() == \
+        edge.embedding
+    # A bump with no embedding is still lineage worth remembering.
+    broken = CASES["mondial-break"]
+    report2, edge2 = evolve_and_record(store, broken.old, broken.new,
+                                       broken.queries)
+    assert not report2.found and edge2.embedding is None
+    assert len(lineage_edges(store)) == 2
+
+
+def test_pre_lineage_store_gains_first_edge_in_place(tmp_path):
+    """A store laid out before the lineage section existed keeps
+    reading back cleanly, serves, and gains its first edge without any
+    existing artifact file being rewritten."""
+    case = CASES["mondial-rename"]
+    store_path = tmp_path / "store"
+    engine = Engine()
+    engine.compile_embedding(case.embedding, ensure_valid=True)
+    engine.save_store(store_path)
+    # The seed layout: no lineage key anywhere in the manifest (the
+    # exact PR 2-7 on-disk shape, not an empty section).
+    manifest = json.loads((store_path / "manifest.json").read_text())
+    assert "lineage" not in manifest
+    before = {path: (path.read_bytes(), path.stat().st_mtime_ns)
+              for path in sorted(store_path.rglob("*"))
+              if path.is_file() and path.name != "manifest.json"}
+    # Warm-start and serve from the pre-lineage layout.
+    warm = Engine.warm_start(store_path)
+    assert warm.compile_embedding(case.embedding) is not None
+    reopened = ArtifactStore(store_path, create=False)
+    assert lineage_edges(reopened) == []
+    assert reopened.describe()["lineage"] == []
+    # First edge lands in place.
+    report, edge = evolve_and_record(reopened, case.old, case.new,
+                                     case.queries,
+                                     embedding=case.embedding)
+    assert report.found
+    after = {path: (path.read_bytes(), path.stat().st_mtime_ns)
+             for path in sorted(store_path.rglob("*"))
+             if path.is_file() and path.name != "manifest.json"}
+    new_files = set(after) - set(before)
+    assert new_files == {store_path / "lineage" / f"{edge.digest}.json"}
+    for path, snapshot in before.items():
+        assert after[path] == snapshot, f"{path} was rewritten"
+    manifest = json.loads((store_path / "manifest.json").read_text())
+    assert list(manifest["lineage"]) == [edge.digest]
+    # And the grown store still round-trips.
+    assert lineage_edges(ArtifactStore(store_path, create=False)) == \
+        [edge]
+
+
+# -- serve surface ------------------------------------------------------------
+
+def _evolution_store(tmp_path, case):
+    store_path = tmp_path / "store"
+    engine = Engine()
+    engine.compile_embedding(case.embedding, ensure_valid=True)
+    engine.save_store(store_path)
+    return store_path
+
+
+def test_served_evolve_is_byte_identical(tmp_path):
+    case = CASES["mondial-rename"]
+    direct = canonical(Engine().evolve(case.old, case.new, case.queries,
+                                       embedding=case.embedding)
+                       .to_payload())
+    store_path = _evolution_store(tmp_path, case)
+    with ReproServer(store=store_path, port=0) as server:
+        client = ServeClient.for_server(server)
+        served = client.evolve(case.old.fingerprint(),
+                               case.new.fingerprint(),
+                               queries=list(case.queries),
+                               embedding=case.embedding.fingerprint())
+        assert isinstance(served, EvolveResult)
+        assert canonical(served.raw) == direct
+        # Inline schema text reaches the same verdicts.
+        inline = client.evolve(dtd_to_text(case.old),
+                               dtd_to_text(case.new),
+                               queries=list(case.queries),
+                               embedding=case.embedding.fingerprint(),
+                               format="dtd")
+        assert canonical(inline.raw) == direct
+        client.close()
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"),
+                    reason="pre-fork fleet needs os.fork")
+def test_fleet_evolve_is_byte_identical(tmp_path):
+    case = CASES["mondial-rename"]
+    direct = canonical(Engine().evolve(case.old, case.new, case.queries,
+                                       embedding=case.embedding)
+                       .to_payload())
+    store_path = _evolution_store(tmp_path, case)
+    pack_store(store_path)
+    with FleetServer(store_path, workers=2, port=0) as fleet:
+        client = ServeClient(fleet.host, fleet.port, timeout=30.0)
+        served = client.evolve(case.old.fingerprint(),
+                               case.new.fingerprint(),
+                               queries=list(case.queries),
+                               embedding=case.embedding.fingerprint())
+        assert canonical(served.raw) == direct
+        client.close()
+
+
+def test_served_evolve_rejects_mismatched_embedding(tmp_path):
+    # A loaded embedding whose endpoints are not the named schemas is
+    # a 400 invalid-embedding, not a 500.
+    case = CASES["mondial-rename"]
+    store_path = _evolution_store(tmp_path, case)
+    with ReproServer(store=store_path, port=0) as server:
+        client = ServeClient.for_server(server)
+        with pytest.raises(ServeError) as excinfo:
+            client.evolve(case.new.fingerprint(),
+                          case.old.fingerprint(),
+                          query="country/capital/text()",
+                          embedding=case.embedding.fingerprint())
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "invalid-embedding"
+        client.close()
+
+
+def test_evolve_field_validation_over_http(tmp_path):
+    case = CASES["mondial-rename"]
+    store_path = _evolution_store(tmp_path, case)
+    with ReproServer(store=store_path, port=0) as server:
+        client = ServeClient.for_server(server)
+        checks = [
+            ({"old": case.old.fingerprint(),
+              "new": case.new.fingerprint(),
+              "query": "country/capital/text()", "validate": "yes"},
+             "bad-request", "'validate' must be a boolean"),
+            ({"old": case.old.fingerprint(),
+              "new": case.new.fingerprint(),
+              "query": "country/capital/text()", "seed": "0"},
+             "bad-request", "'seed' must be an integer"),
+            ({"old": case.old.fingerprint(),
+              "new": case.new.fingerprint(),
+              "query": "country/capital/text()", "format": "relaxng"},
+             "bad-format", "unknown schema format 'relaxng'"),
+            ({"old": case.old.fingerprint(),
+              "new": case.new.fingerprint()},
+             "bad-request", "expected 'query' or a non-empty 'queries' "
+                            "list"),
+        ]
+        for payload, code, message in checks:
+            with pytest.raises(ServeError) as excinfo:
+                client.request("POST", "/v1/evolve", payload)
+            assert excinfo.value.status == 400
+            assert excinfo.value.code == code
+            assert excinfo.value.message.startswith(message)
+        client.close()
+
+
+# -- declarative protocol fields ----------------------------------------------
+
+def test_parse_fields_preserves_historical_error_shapes():
+    specs = ENDPOINT_FIELDS["/v1/evolve"]
+    # Defaults applied on an empty payload.
+    parsed = parse_fields({}, specs, known_formats=["dtd"])
+    assert parsed == {"embedding": None, "validate": True,
+                      "method": None, "seed": 0, "restarts": 20,
+                      "samples": None, "format": None}
+    # The historical messages, byte-for-byte.
+    with pytest.raises(ProtocolError) as excinfo:
+        parse_fields({"validate": 1}, specs)
+    assert excinfo.value.code == "bad-request"
+    assert excinfo.value.message == "'validate' must be a boolean"
+    with pytest.raises(ProtocolError) as excinfo:
+        parse_fields({"restarts": True}, specs)
+    assert excinfo.value.message == "'restarts' must be an integer"
+    with pytest.raises(ProtocolError) as excinfo:
+        parse_fields({"embedding": 7}, specs)
+    assert excinfo.value.message == \
+        "'embedding' must be a string, not int"
+    with pytest.raises(ProtocolError) as excinfo:
+        parse_fields({"format": 7}, specs, known_formats=["dtd"])
+    assert excinfo.value.code == "bad-format"
+    assert excinfo.value.message == "'format' must be a string"
+    with pytest.raises(ProtocolError) as excinfo:
+        parse_fields({"format": "relaxng"}, specs,
+                     known_formats=["dtd", "xsd"])
+    assert excinfo.value.code == "bad-format"
+    assert excinfo.value.message == \
+        "unknown schema format 'relaxng' (expected auto, dtd, xsd)"
+    # 'auto' always passes; null means absent for str/format fields.
+    assert parse_fields({"format": "auto", "embedding": None}, specs,
+                        known_formats=["dtd"])["format"] == "auto"
+    # Required fields (none in the current tables) raise bad-request.
+    with pytest.raises(ProtocolError) as excinfo:
+        parse_fields({}, (FieldSpec("name", "str", required=True),))
+    assert excinfo.value.message == "'name' is required"
+
+
+def test_every_endpoint_has_a_field_table():
+    from repro.serve.handlers import _POST_ROUTES
+    assert set(ENDPOINT_FIELDS) == set(_POST_ROUTES)
+
+
+# -- typed client results -----------------------------------------------------
+
+def test_serve_result_is_a_frozen_mapping_view():
+    raw = {"failures": 0, "result": {"ok": True, "output": "<a/>"}}
+    result = ServeResult(raw)
+    assert result.failures == 0
+    assert result["result"]["output"] == "<a/>"
+    assert result.raw == raw
+    assert result == raw and result == ServeResult(raw)
+    assert "failures" in result and len(result) == 2
+    assert sorted(result) == ["failures", "result"]
+    assert result.get("missing", 42) == 42
+    with pytest.raises(AttributeError):
+        result.failures = 1
+    with pytest.raises(AttributeError):
+        result.missing
+    assert "failures" in repr(result)
+
+
+def test_evolve_result_helpers():
+    payload = {"old": "a", "new": "b", "embedding": None, "found": True,
+               "method": "given",
+               "counts": {STILL_VALID: 1, TRANSLATABLE: 0, BROKEN: 1},
+               "verdicts": [
+                   {"query": "q1", "verdict": STILL_VALID, "ok": True},
+                   {"query": "q2", "verdict": BROKEN, "ok": False}]}
+    result = EvolveResult(payload)
+    assert result.counts[BROKEN] == 1
+    assert [row["query"] for row in result.verdicts] == ["q1", "q2"]
+    assert [row["query"] for row in result.broken()] == ["q2"]
+
+
+def test_client_methods_return_typed_results(tmp_path, school):
+    with ReproServer(embedding=school.sigma1, port=0) as server:
+        client = ServeClient.for_server(server)
+        assert isinstance(client.healthz(), ServeResult)
+        translated = client.translate(query="class/cno/text()")
+        assert isinstance(translated, ServeResult)
+        assert translated.failures == 0
+        assert translated["result"]["ok"] is True
+        client.close()
+
+
+# -- CLI ----------------------------------------------------------------------
+
+@pytest.fixture()
+def evolve_files(tmp_path):
+    case = CASES["mondial-rename"]
+    old = tmp_path / "old.dtd"
+    new = tmp_path / "new.dtd"
+    old.write_text(dtd_to_text(case.old))
+    new.write_text(dtd_to_text(case.new))
+    queries = tmp_path / "queries.txt"
+    queries.write_text("# stored workload\n"
+                       "country/cname/text()\n\n"
+                       "country/capital/text()\n")
+    from repro.cli import embedding_to_json
+    embedding = tmp_path / "embedding.json"
+    embedding.write_text(embedding_to_json(case.embedding))
+    return case, old, new, queries, embedding
+
+
+def test_cli_evolve_reports_and_records(tmp_path, capsys, evolve_files):
+    case, old, new, queries, embedding = evolve_files
+    store = tmp_path / "store"
+    exit_code = cli_main(["evolve", str(old), str(new),
+                          "--queries", str(queries),
+                          "--embedding", str(embedding),
+                          "--store", str(store), "--json"])
+    assert exit_code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["found"] is True
+    assert payload["counts"] == {STILL_VALID: 1, TRANSLATABLE: 1,
+                                 BROKEN: 0}
+    verdicts = {row["query"]: row for row in payload["verdicts"]}
+    assert verdicts["country/cname/text()"]["translation"] == \
+        "country/country_name/text()"
+    # The lineage edge landed in the store and inspect surfaces it.
+    edge_digest = payload["lineage"]
+    assert lineage_edges(ArtifactStore(store, create=False))[0].digest \
+        == edge_digest
+    assert cli_main(["store", "inspect", str(store), "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert [row["digest"] for row in summary["lineage"]] == [edge_digest]
+    assert all(row["format"] == "dtd" and row["source"]
+               for row in summary["schemas"])
+    assert cli_main(["store", "inspect", str(store)]) == 0
+    assert "lineage" in capsys.readouterr().out
+
+
+def test_cli_evolve_exit_codes(tmp_path, capsys, evolve_files):
+    case, old, new, queries, embedding = evolve_files
+    # A broken query in the workload: exit 1, others still served.
+    bad = tmp_path / "bad.txt"
+    bad.write_text("country/cname/text()\n///\n")
+    assert cli_main(["evolve", str(old), str(new), "--queries",
+                     str(bad), "--embedding", str(embedding)]) == 1
+    out = capsys.readouterr().out
+    assert "translatable" in out and "parse-error" in out
+    # Malformed inputs keep the exit-2 contract.
+    assert cli_main(["evolve", str(old), str(new), "--queries",
+                     str(tmp_path / "missing.txt")]) == 2
+    empty = tmp_path / "empty.txt"
+    empty.write_text("# nothing\n")
+    assert cli_main(["evolve", str(old), str(new), "--queries",
+                     str(empty)]) == 2
+    assert "repro: error:" in capsys.readouterr().err
+
+
+def test_cli_evolve_json_query_file(tmp_path, capsys, evolve_files):
+    case, old, new, _, embedding = evolve_files
+    queries = tmp_path / "workload.json"
+    queries.write_text(json.dumps(["country/capital/text()"]))
+    assert cli_main(["evolve", str(old), str(new), "--queries",
+                     str(queries), "--embedding", str(embedding)]) == 0
+    assert "still-valid" in capsys.readouterr().out
