@@ -53,9 +53,27 @@ import argparse
 import json
 import os
 import subprocess
+import sys
 from pathlib import Path
 
 BENCH_SCHEMA = 1
+
+
+def peak_rss_kb() -> int:
+    """This process's peak resident set size in KiB.
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS; normalised here.
+    Returns 0 on platforms without :mod:`resource` so records stay
+    schema-consistent everywhere.
+    """
+    try:
+        import resource
+    except ImportError:  # non-POSIX: no rusage
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        peak //= 1024
+    return int(peak)
 
 
 def git_sha() -> str:
@@ -122,7 +140,15 @@ def run_repeats(run_once, repeats: int = DEFAULT_REPEATS):
 def record(bench: str, args: argparse.Namespace, *, ops_per_sec: float,
            wall_time_s: float, correct: bool,
            extra: dict | None = None) -> dict:
-    """One schema-consistent result record for ``bench``."""
+    """One schema-consistent result record for ``bench``.
+
+    Every record carries a ``peak_rss_kb`` column in ``extra`` (the
+    process-wide high-water mark at record time); benches that measure
+    a tighter number themselves (e.g. an RSS *delta* around the timed
+    region) may pre-populate the key and win.
+    """
+    extra = dict(extra or {})
+    extra.setdefault("peak_rss_kb", peak_rss_kb())
     return {
         "schema": BENCH_SCHEMA,
         "bench": bench,
@@ -131,7 +157,7 @@ def record(bench: str, args: argparse.Namespace, *, ops_per_sec: float,
         "ops_per_sec": round(float(ops_per_sec), 2),
         "wall_time_s": round(float(wall_time_s), 4),
         "correct": bool(correct),
-        "extra": extra or {},
+        "extra": extra,
     }
 
 

@@ -1,0 +1,82 @@
+"""Checker 6 — codec generation determinism: byte-identical source.
+
+Generated codec modules are cached in the artifact store keyed by
+(schema fingerprints, embedding fingerprint): a cache *hit* must hand
+back exactly what a fresh generation would produce, or warm-started
+processes and cold ones serve different code for the same embedding.
+That makes the generator's output a byte contract — no dict-ordering
+drift, no gensym counters that depend on generation history, no
+environment leakage.
+
+The AST checkers in :mod:`repro.analysis.determinism` catch the usual
+*sources* of drift; this checker closes the loop behaviourally: when
+the lint run covers ``repro.engine.codegen`` it generates the codec
+for a fixture embedding twice — through two independent ``InstMap``
+instances, so no shared memo can mask order dependence — and reports a
+finding unless the two sources are byte-identical (and non-empty).
+
+There is no ``allow-`` escape hatch: a nondeterministic generator is
+never justified.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.analysis.model import Finding, Module
+
+CHECKER = "codecgen"
+
+TARGET_MODULE = "repro.engine.codegen"
+
+
+def _generate_twice() -> tuple[Optional[str], Optional[str], Optional[str]]:
+    """(first, second, error) — sources from two independent InstMaps."""
+    # Lazy imports: the checker only pays (and only needs the runtime
+    # modules importable) when the lint run actually covers codegen.
+    from repro.core.instmap import InstMap
+    from repro.engine.codegen import generate_codec_source
+    from repro.workloads.library import school_example
+
+    try:
+        bundle = school_example()
+        kwargs = dict(
+            source_fingerprint=bundle.classes.fingerprint(),
+            target_fingerprint=bundle.school.fingerprint(),
+            embedding_fingerprint=bundle.sigma1.fingerprint())
+        first = generate_codec_source(InstMap(bundle.sigma1), **kwargs)
+        second = generate_codec_source(InstMap(bundle.sigma1), **kwargs)
+    except Exception as exc:  # a broken generator is a finding, not a crash
+        return None, None, f"{type(exc).__name__}: {exc}"
+    return first, second, None
+
+
+def check(modules: list[Module]) -> Iterator[Finding]:
+    module = next((m for m in modules if m.name == TARGET_MODULE), None)
+    if module is None:
+        return
+    first, second, error = _generate_twice()
+    if error is not None:
+        yield Finding(
+            checker=CHECKER, code="codecgen/generation-failed",
+            path=module.rel, line=1,
+            message=("could not generate the fixture codec to verify "
+                     f"determinism: {error}"))
+        return
+    if not first:
+        yield Finding(
+            checker=CHECKER, code="codecgen/empty-source",
+            path=module.rel, line=1,
+            message="generated codec source is empty")
+        return
+    if first != second:
+        diverge = next((i for i, (a, b) in enumerate(
+            zip(first.splitlines(), second.splitlines())) if a != b),
+            min(len(first.splitlines()), len(second.splitlines())))
+        yield Finding(
+            checker=CHECKER, code="codecgen/source-drift",
+            path=module.rel, line=1,
+            message=("two generations of the same embedding's codec "
+                     "differ (first divergence at generated line "
+                     f"{diverge + 1}); store cache hits would serve "
+                     "different code than a fresh generation"))

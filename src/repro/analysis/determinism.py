@@ -19,7 +19,12 @@ every test passes locally:
 * ``time.time``/``datetime.now`` and friends — wall clock.
 
 The plane is the built-in module list below plus any module that
-declares ``# lint: determinism-plane``.  Justified exceptions (e.g.
+declares ``# lint: determinism-plane`` — or ``# lint: stream-plane`` /
+``# lint: codec-plane``: streamed chunks and generated codec source are
+both byte contracts (chunks must concatenate to the reference
+serialization; codec source is fingerprint-keyed in the store), so the
+streaming/codec planes opt into this checker too.  Justified
+exceptions (e.g.
 ``id()`` used only as an identity *key* whose value never reaches the
 output) carry ``# lint: allow-<rule>`` on the line or the enclosing
 ``def``.
@@ -45,6 +50,9 @@ PLANE_MODULES = frozenset({
 
 MODULE_MARKER = "determinism-plane"
 
+#: Markers that imply byte-output behaviour (see the module docstring).
+IMPLIED_MARKERS = ("stream-plane", "codec-plane")
+
 _WALL_CLOCK = frozenset({
     "time.time", "time.time_ns", "time.localtime", "time.ctime",
     "time.gmtime", "datetime.now", "datetime.utcnow", "datetime.today",
@@ -58,7 +66,8 @@ _RANDOM_CALLS = frozenset({"os.urandom"})
 def _in_plane(module: Module) -> bool:
     if module.name in PLANE_MODULES:
         return True
-    return module.has_module_marker(MODULE_MARKER)
+    return any(module.has_module_marker(marker)
+               for marker in (MODULE_MARKER, *IMPLIED_MARKERS))
 
 
 def _set_valued(node: ast.AST) -> Optional[str]:

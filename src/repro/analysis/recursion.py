@@ -14,7 +14,11 @@ but must say so: ``# lint: allow-recursion`` on the ``def`` line of
 any function in the cycle, with the bound in the comment.
 
 The plane is the module list below plus any module declaring
-``# lint: recursion-plane``.  Resolution is name-based and
+``# lint: recursion-plane`` — or ``# lint: stream-plane`` /
+``# lint: codec-plane``, the markers the streaming executor, the codec
+generator and every *generated* codec module carry: those modules walk
+documents too, so opting into their plane opts into this checker.
+Resolution is name-based and
 intra-module, so a call to another object's same-named method is only
 linked when it goes through ``self``/``cls`` — false edges are rare
 and every reported cycle names its members for a human check.
@@ -40,13 +44,18 @@ PLANE_PREFIXES = ("repro.xtree.",)
 
 MODULE_MARKER = "recursion-plane"
 
+#: Markers that imply document-plane behaviour: the streaming executor
+#: and the (generated) codec modules both walk whole documents.
+IMPLIED_MARKERS = ("stream-plane", "codec-plane")
+
 
 def _in_plane(module: Module) -> bool:
     if module.name in PLANE_MODULES:
         return True
     if module.name and module.name.startswith(PLANE_PREFIXES):
         return True
-    return module.has_module_marker(MODULE_MARKER)
+    return any(module.has_module_marker(marker)
+               for marker in (MODULE_MARKER, *IMPLIED_MARKERS))
 
 
 class _Function:

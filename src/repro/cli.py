@@ -79,9 +79,12 @@ from repro.core.instmap import InstMap
 from repro.engine import (
     ArtifactStore,
     ParallelRunner,
+    StreamStats,
     iter_corpus,
+    iter_mapped,
     open_view,
     pack_store,
+    stream_map_to_path,
 )
 from repro.core.inverse import invert
 from repro.core.similarity import SimilarityMatrix
@@ -239,9 +242,32 @@ def _load_embedding(args: argparse.Namespace) -> SchemaEmbedding:
 
 def _cmd_map(args: argparse.Namespace) -> int:
     embedding = _load_embedding(args)
+    if args.stream:
+        # Drive σd straight from parser events: memory is bounded by
+        # the largest buffered fragment, not the document.  Output is
+        # byte-identical to the buffered path below.
+        instmap = InstMap(embedding)
+        if args.out:
+            stats = stream_map_to_path(instmap, args.out,
+                                       path=args.document)
+        else:
+            stats = StreamStats()
+            for chunk in iter_mapped(instmap, path=args.document,
+                                     stats=stats):
+                sys.stdout.write(chunk)
+            sys.stdout.write("\n")
+        print(f"# streamed: {stats.chars_out} chars, "
+              f"{stats.frames_streamed} frame(s) live, "
+              f"{stats.fragments_buffered} fragment(s) buffered",
+              file=sys.stderr)
+        return 0
     document = parse_xml(Path(args.document).read_text())
     result = InstMap(embedding).apply(document)
-    print(to_string(result.tree))
+    output = to_string(result.tree)
+    if args.out:
+        Path(args.out).write_text(output + "\n")
+    else:
+        print(output)
     return 0
 
 
@@ -501,6 +527,12 @@ def _cmd_store_inspect(args: argparse.Namespace) -> int:
         print(f"  lineage   {row['digest'][:12]}…  "
               f"{row['old'][:12]}… -> {row['new'][:12]}…  "
               f"embedding={embedding}")
+    for row in summary.get("codecs", []):
+        pair = (f"{row['source'][:12]}… -> {row['target'][:12]}…"
+                if row.get("source") and row.get("target")
+                else "schema pair unknown")
+        print(f"  codec     {row['embedding'][:12]}…  {pair}  "
+              f"provenance={row.get('provenance', 'unknown')}")
     return 0
 
 
@@ -644,6 +676,13 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("embedding", help="embedding JSON from 'embed'")
         cmd.add_argument("document", help=extra)
         add_format_option(cmd)
+        if name == "map":
+            cmd.add_argument("--stream", action="store_true",
+                             help="map from parser events with bounded "
+                                  "memory (byte-identical output)")
+            cmd.add_argument("--out",
+                             help="write the mapped document to a file "
+                                  "(atomic with --stream) instead of stdout")
         cmd.set_defaults(func=func)
 
     translate = sub.add_parser("translate",

@@ -19,11 +19,30 @@ persist/parallelise the compiled artifacts.
 * :mod:`repro.engine.parallel` — :class:`ParallelRunner`, chunked
   corpus fan-out across a pool of warm-started worker engines;
 * :mod:`repro.engine.corpus` — streaming corpus I/O (directories,
-  NDJSON files, single documents).
+  NDJSON files, single documents);
+* :mod:`repro.engine.stream` — the streaming document plane: σd driven
+  directly from parser events, emitting serialized output incrementally
+  with memory bounded by the largest buffered fragment;
+* :mod:`repro.engine.codegen` — generated per-schema codecs: the flat
+  mapping program specialised to Python source (parse→map→serialize
+  fused), compiled once and cached in the artifact store.
 """
 
+from repro.engine.codegen import (
+    CodecError,
+    GeneratedCodec,
+    compile_codec,
+    generate_codec,
+    generate_codec_source,
+)
 from repro.engine.compiled import CompiledEmbedding, CompiledSchema
 from repro.engine.plan import InverseProgram, MappingProgram, PlanError
+from repro.engine.stream import (
+    StreamStats,
+    iter_mapped,
+    stream_map,
+    stream_map_to_path,
+)
 from repro.engine.corpus import (
     CorpusDocument,
     CorpusError,
@@ -56,6 +75,7 @@ from repro.engine.storepack import (
 __all__ = [
     "ArtifactStore",
     "CacheStats",
+    "CodecError",
     "CompiledEmbedding",
     "CompiledSchema",
     "CorpusDocument",
@@ -63,6 +83,7 @@ __all__ = [
     "CorpusOutcome",
     "Engine",
     "EngineConfig",
+    "GeneratedCodec",
     "InverseProgram",
     "MappingProgram",
     "PackError",
@@ -71,13 +92,20 @@ __all__ = [
     "ParallelRunner",
     "StoreError",
     "StoreView",
+    "StreamStats",
     "TranslationOutcome",
+    "compile_codec",
     "current_generation",
     "default_engine",
+    "generate_codec",
+    "generate_codec_source",
     "iter_corpora",
     "iter_corpus",
+    "iter_mapped",
     "open_view",
     "pack_store",
     "set_default_engine",
+    "stream_map",
+    "stream_map_to_path",
     "write_ndjson",
 ]

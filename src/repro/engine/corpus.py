@@ -18,6 +18,7 @@ cost out to its workers too.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, Union
@@ -36,13 +37,17 @@ class CorpusDocument:
 
 
 def _iter_directory(path: Path) -> Iterator[CorpusDocument]:
-    found = False
-    for entry in sorted(path.iterdir()):
-        if entry.is_file() and entry.suffix == ".xml":
-            found = True
-            yield CorpusDocument(entry.name, entry.read_text())
-    if not found:
+    # One scandir pass keeps only the matching *names* (the dirent type
+    # check costs no extra stat); each document body is read lazily at
+    # yield time, so a million-document corpus holds one document in
+    # memory at a time — never Path objects or file contents for all.
+    with os.scandir(path) as entries:
+        names = sorted(entry.name for entry in entries
+                       if entry.is_file() and Path(entry.name).suffix == ".xml")
+    if not names:
         raise CorpusError(f"no *.xml documents in directory {path}")
+    for name in names:
+        yield CorpusDocument(name, (path / name).read_text())
 
 
 def _iter_ndjson(path: Path) -> Iterator[CorpusDocument]:

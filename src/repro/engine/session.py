@@ -246,6 +246,16 @@ class Engine:
         compiled = self.compile_embedding(embedding, ensure_valid=validate)
         return compiled.apply(source_root)
 
+    def map_text(self, embedding: SchemaEmbedding, text: str,
+                 validate: bool = True) -> str:
+        """Serialized ``σd`` of an XML text through the generated codec
+        (parse→map→serialize fused; byte-identical to serializing
+        :meth:`apply_embedding` on the parsed document).  Embeddings
+        whose shape has no codec take the interpreted path inside
+        :meth:`CompiledEmbedding.map_text`."""
+        compiled = self.compile_embedding(embedding, ensure_valid=validate)
+        return compiled.map_text(text)
+
     def map_documents(self, embedding: SchemaEmbedding,
                       documents: Iterable[ElementNode],
                       validate: bool = True) -> list[MappingResult]:
@@ -377,10 +387,20 @@ class Engine:
             source_format, source_text = sources.get(fp, (None, None))
             store.put_schema(compiled.dtd,  # type: ignore[union-attr]
                              format=source_format, source_text=source_text)
-        for _fp, compiled in embeddings:
+        for fp, compiled in embeddings:
             store.put_embedding(
                 compiled.embedding,  # type: ignore[union-attr]
                 validated=compiled.validated)  # type: ignore[union-attr]
+            # Persist the generated codec so warm starts (daemon,
+            # pre-fork fleet) attach it with zero regeneration; shapes
+            # the generator refuses simply store no codec.
+            codec = compiled.codec  # type: ignore[union-attr]
+            if codec is not None:
+                store.put_codec(
+                    fp, codec.source,  # type: ignore[arg-type]
+                    source_schema=codec.source_fingerprint,
+                    target_schema=codec.target_fingerprint,
+                    provenance="engine-save")
         for key, result in searches:
             store.put_search(key, result)  # type: ignore[arg-type]
         return store
@@ -424,6 +444,9 @@ class Engine:
                 search_cache=max(defaults.search_cache,
                                  len(store.manifest["searches"])))
         engine = cls(config)
+        codec_fps = (frozenset(store.codec_fingerprints())
+                     if hasattr(store, "codec_fingerprints")
+                     else frozenset())
         for fingerprint in store.schema_fingerprints():
             engine.compile_schema(store.get_schema(fingerprint))
         for fingerprint in store.embedding_fingerprints():
@@ -434,6 +457,10 @@ class Engine:
                 # Prebuild the pfrag templates too: the first mapping
                 # request should pay nothing but the walk itself.
                 compiled.instmap
+            if fingerprint in codec_fps:
+                # Cached codec source: compile + bind, zero regeneration.
+                compiled.attach_codec(
+                    store.get_codec_source(fingerprint))
         for key, result in store.iter_searches():
             with engine._lock:
                 engine._searches.put(key, result)

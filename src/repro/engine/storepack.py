@@ -131,7 +131,8 @@ def pack_store(store: Union[str, Path, ArtifactStore],
         generation = 1 if active is None else active + 1
 
     index: dict = {"generation": generation,
-                   "schemas": {}, "embeddings": {}, "searches": {}}
+                   "schemas": {}, "embeddings": {}, "searches": {},
+                   "codecs": {}}
     blobs = io.BytesIO()
 
     def add(payload) -> tuple[int, int]:
@@ -153,6 +154,14 @@ def pack_store(store: Union[str, Path, ArtifactStore],
             "source": embedding.source.fingerprint(),
             "target": embedding.target.fingerprint(),
             "validated": store.embedding_validated(fingerprint)}
+    for fingerprint in store.codec_fingerprints():
+        offset, length = add(store.get_codec_source(fingerprint))
+        meta = store.manifest.get("codecs", {}).get(fingerprint, {})
+        index["codecs"][fingerprint] = {
+            "offset": offset, "length": length,
+            "source": meta.get("source", ""),
+            "target": meta.get("target", ""),
+            "provenance": meta.get("provenance", "generated")}
     for key, result in store.iter_searches():
         offset, length = add({
             "key": key,
@@ -267,7 +276,10 @@ class StoreView:
         written against the JSON store's manifest keeps working."""
         return {"schemas": self._index["schemas"],
                 "embeddings": self._index["embeddings"],
-                "searches": self._index["searches"]}
+                "searches": self._index["searches"],
+                # Packs written before the codec plane carry no
+                # "codecs" index key; they read back as empty.
+                "codecs": self._index.get("codecs", {})}
 
     def schema_fingerprints(self) -> list[str]:
         return sorted(self._index["schemas"])
@@ -310,6 +322,17 @@ class StoreView:
         entry = self._index["embeddings"].get(fingerprint)
         return bool(entry and entry.get("validated"))
 
+    def codec_fingerprints(self) -> list[str]:
+        return sorted(self._index.get("codecs", {}))
+
+    def get_codec_source(self, fingerprint: str) -> str:
+        entry = self._index.get("codecs", {}).get(fingerprint)
+        if entry is None:
+            raise PackError(
+                f"no codec for embedding {fingerprint[:12]}… in "
+                f"{self.path}")
+        return self._blob(entry)
+
     def iter_searches(self) -> Iterator[tuple[tuple, SearchResult]]:
         for digest in sorted(self._index["searches"]):
             payload = self._blob(self._index["searches"][digest])
@@ -327,6 +350,7 @@ class StoreView:
             "schemas": len(self._index["schemas"]),
             "embeddings": len(self._index["embeddings"]),
             "searches": len(self._index["searches"]),
+            "codecs": len(self._index.get("codecs", {})),
             "json_parses": self.json_parses,
             "unpickles": self.unpickles,
         }

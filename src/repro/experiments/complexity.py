@@ -60,6 +60,52 @@ def run_instmap_growth(sizes: Sequence[int] = (100, 400, 1600, 6400),
     return rows
 
 
+def run_codec_growth(sizes: Sequence[int] = (100, 400, 1600, 6400),
+                     seed: int = 0) -> list[dict]:
+    """Fused map→serialize throughput of the generated codec against
+    the interpreted InstMap, byte-identity checked per row.
+
+    Both sides start from the same parsed tree (what ``run_instmap_growth``
+    has always timed).  The codec row times ``codec.map_tree`` — map and
+    serialize fused into one pass producing the output text — while the
+    interpreted side owes ``instmap.apply`` *plus* ``to_string``; the
+    ``speedup`` column is that full tree→text ratio.
+    """
+    # The experiment measures the engine's codec against the plane's
+    # interpreter, so it must see both layers; lazy keeps the
+    # experiments plane import-clean.  # lint: allow-lazy-import
+    from repro.engine.compiled import CompiledEmbedding
+    from repro.xtree.serialize import to_string
+
+    rows = []
+    compiled = None
+    for bundle, tree, instmap in _school_instances(sizes, seed):
+        if compiled is None:
+            compiled = CompiledEmbedding(bundle.sigma1)
+            codec = compiled.codec
+            assert codec is not None, "school σ1 must have a codec"
+        source_size = tree_size(tree)
+        started = time.perf_counter()
+        result = instmap.apply(tree)
+        interp = time.perf_counter() - started
+        started = time.perf_counter()
+        reference = to_string(result.tree)
+        serialize = time.perf_counter() - started
+        started = time.perf_counter()
+        output = codec.map_tree(tree)
+        fused = time.perf_counter() - started
+        rows.append({
+            "|T1|": source_size,
+            "interp-sec": round(interp, 4),
+            "ser-sec": round(serialize, 4),
+            "codec-sec": round(fused, 4),
+            "speedup": (round((interp + serialize) / fused, 2)
+                        if fused > 0 else 0.0),
+            "identical": output == reference,
+        })
+    return rows
+
+
 def run_inverse_growth(sizes: Sequence[int] = (100, 400, 1600),
                        seed: int = 0,
                        include_query_driven: bool = True) -> list[dict]:

@@ -194,6 +194,8 @@ class ServiceState:
                 if view.embedding_validated(fingerprint):
                     compiled.mark_validated()
                     compiled.instmap
+                if fingerprint in view.codec_fingerprints():
+                    compiled.attach_codec(view.get_codec_source(fingerprint))
                 new_embeddings[fingerprint] = embedding
         with self._lock:
             self.schemas.update(new_schemas)
@@ -370,9 +372,11 @@ def _handle_map(state: ServiceState, payload: dict) -> dict:
     options = parse_fields(payload, ENDPOINT_FIELDS["/v1/map"])
 
     def apply_one(embedding: SchemaEmbedding, xml: str) -> str:
-        mapping = state.engine.apply_embedding(embedding, parse_xml(xml),
-                                               validate=options["validate"])
-        return to_string(mapping.tree)
+        # Parse→map→serialize through the generated codec when the
+        # embedding has one (byte-identical to serializing the
+        # interpreted mapping, asserted by the equivalence tests).
+        return state.engine.map_text(embedding, xml,
+                                     validate=options["validate"])
 
     return _document_batch(state, payload, apply_one, options["embedding"])
 

@@ -21,9 +21,15 @@ _ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
 
 
 class XMLParseError(ValueError):
-    """Raised on malformed input, with position information."""
+    """Raised on malformed input, with position information.
 
-    def __init__(self, message: str, pos: int, source: str) -> None:
+    ``source`` only needs ``count``/``rfind`` for the line/column
+    arithmetic, so the sliding-window buffer of the streaming scanner
+    (:class:`_TextWindow`) reports identical positions to a full
+    in-memory parse of the same document.
+    """
+
+    def __init__(self, message: str, pos: int, source) -> None:
         line = source.count("\n", 0, pos) + 1
         col = pos - source.rfind("\n", 0, pos)
         super().__init__(f"{message} at line {line}, column {col}")
@@ -79,6 +85,134 @@ class _Scanner:
                     or self.source[self.pos] in "_-.:")):
             self.pos += 1
         return self.source[start:self.pos]
+
+    def read_text_run(self) -> str:
+        """Consume character data up to (not including) the next ``<``
+        — or to end of input, leaving the unterminated-element check to
+        the caller's ``eof()`` test."""
+        end = self.source.find("<", self.pos)
+        if end < 0:
+            end = len(self.source)
+        chunk = self.source[self.pos:end]
+        self.pos = end
+        return chunk
+
+    def discard(self) -> None:
+        """Hint that everything before ``pos`` is consumed (no-op for
+        the in-memory scanner; the streaming scanner drops the prefix)."""
+
+
+class _TextWindow:
+    """A sliding, str-like window over an incrementally read text file.
+
+    Exposes exactly the string surface :class:`_Scanner` lexes against
+    (indexing, slicing, ``find``, ``startswith``, and the newline
+    ``count``/``rfind`` used for error positions), all in *absolute*
+    document coordinates, while keeping only a bounded suffix of the
+    document resident.  Newlines in the dropped prefix are counted so
+    :class:`XMLParseError` line/column numbers match an in-memory parse
+    byte for byte.
+    """
+
+    __slots__ = ("_handle", "_chunk", "_buf", "_base", "_eof",
+                 "_nl_dropped", "_last_dropped_nl")
+
+    def __init__(self, handle, chunk_chars: int = 1 << 16) -> None:
+        self._handle = handle
+        self._chunk = max(1024, int(chunk_chars))
+        self._buf = ""
+        self._base = 0
+        self._eof = False
+        self._nl_dropped = 0
+        self._last_dropped_nl = -1
+
+    def _fill(self, target: int) -> None:
+        while not self._eof and self._base + len(self._buf) < target:
+            chunk = self._handle.read(self._chunk)
+            if not chunk:
+                self._eof = True
+                break
+            self._buf += chunk
+
+    def has(self, index: int) -> bool:
+        self._fill(index + 1)
+        return index < self._base + len(self._buf)
+
+    def drop(self, upto: int) -> None:
+        """Release the window prefix before ``upto`` (batched so the
+        slice cost stays amortised-linear)."""
+        cut = upto - self._base
+        if cut < 4096:
+            return
+        dropped = self._buf[:cut]
+        newlines = dropped.count("\n")
+        if newlines:
+            self._nl_dropped += newlines
+            self._last_dropped_nl = self._base + dropped.rfind("\n")
+        self._base = upto
+        self._buf = self._buf[cut:]
+
+    # -- the str surface the scanner uses (absolute coordinates) ----------
+    def __len__(self) -> int:
+        # Only exact once the file is exhausted; the scanner reaches
+        # here solely through EOF paths (read_text_run after a failed
+        # find), which is after ``_eof`` is set.
+        return self._base + len(self._buf)
+
+    def __getitem__(self, key):
+        if isinstance(key, slice):
+            stop = key.stop if key.stop is not None else (key.start or 0) + 1
+            self._fill(stop)
+            return self._buf[(key.start or 0) - self._base:
+                             stop - self._base]
+        self._fill(key + 1)
+        return self._buf[key - self._base]
+
+    def startswith(self, literal: str, start: int) -> bool:
+        self._fill(start + len(literal))
+        return self._buf.startswith(literal, start - self._base)
+
+    def find(self, needle: str, start: int) -> int:
+        search_from = start
+        while True:
+            rel = self._buf.find(needle, search_from - self._base)
+            if rel >= 0:
+                return self._base + rel
+            if self._eof:
+                return -1
+            end = self._base + len(self._buf)
+            # Re-scan only the seam where a needle could span chunks.
+            search_from = max(start, end - len(needle) + 1)
+            self._fill(end + self._chunk)
+
+    def count(self, needle: str, start: int, stop: int) -> int:
+        # Only used for "\n" counting in error positions; the dropped
+        # prefix is always entirely before ``stop``.
+        dropped = self._nl_dropped if needle == "\n" else 0
+        return dropped + self._buf.count(needle, max(0, start - self._base),
+                                         stop - self._base)
+
+    def rfind(self, needle: str, start: int, stop: int) -> int:
+        rel = self._buf.rfind(needle, max(0, start - self._base),
+                              stop - self._base)
+        if rel >= 0:
+            return self._base + rel
+        return self._last_dropped_nl if needle == "\n" else -1
+
+
+class _StreamScanner(_Scanner):
+    """A scanner over a file handle: same lexing, same error messages,
+    but only a bounded window of the document is ever resident."""
+
+    def __init__(self, handle, chunk_chars: int = 1 << 16) -> None:
+        self.source = _TextWindow(handle, chunk_chars)  # type: ignore[assignment]
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return not self.source.has(self.pos)
+
+    def discard(self) -> None:
+        self.source.drop(self.pos)
 
 
 def _decode_charref(name: str, scanner: _Scanner) -> str:
@@ -180,16 +314,16 @@ def _parse_attributes(scanner: _Scanner, allow: bool) -> None:
                 scanner.pos, scanner.source)
 
 
-def _flush_text(node: ElementNode, buffer: list[tuple[str, bool]],
-                scanner: _Scanner, keep_whitespace: bool) -> None:
-    """Decode and append the buffered text run, if any.
+def _flush_value(buffer: list[tuple[str, bool]], scanner: _Scanner,
+                 keep_whitespace: bool) -> Optional[str]:
+    """Decode the buffered text run into its final value, or ``None``.
 
     Text segments are (content, is_cdata) — CDATA bypasses entity
     decoding; contiguous segments are grouped so entity references
     spanning several character chunks decode as one run.
     """
     if not buffer:
-        return
+        return None
     groups: list[tuple[str, bool]] = []
     for chunk, is_cdata in buffer:
         if groups and groups[-1][1] == is_cdata:
@@ -202,23 +336,36 @@ def _flush_text(node: ElementNode, buffer: list[tuple[str, bool]],
     has_cdata = any(is_cdata for _chunk, is_cdata in buffer)
     buffer.clear()
     if decoded and (keep_whitespace or has_cdata or decoded.strip()):
-        value = (decoded if keep_whitespace or has_cdata
-                 else decoded.strip())
+        return (decoded if keep_whitespace or has_cdata
+                else decoded.strip())
+    return None
+
+
+def _flush_text(node: ElementNode, buffer: list[tuple[str, bool]],
+                scanner: _Scanner, keep_whitespace: bool) -> None:
+    """Decode and append the buffered text run, if any."""
+    value = _flush_value(buffer, scanner, keep_whitespace)
+    if value is not None:
         node.append(TextNode(value))
+
+
+def _open_tag(scanner: _Scanner, allow_attributes: bool) -> tuple[str, bool]:
+    """Lex a start tag; returns (tag, closed) — closed for ``<a/>``."""
+    scanner.expect("<")
+    tag = scanner.read_name()
+    _parse_attributes(scanner, allow_attributes)
+    if scanner.peek(2) == "/>":
+        scanner.advance(2)
+        return tag, True
+    scanner.expect(">")
+    return tag, False
 
 
 def _open_element(scanner: _Scanner, allow_attributes: bool,
                   ) -> tuple[ElementNode, bool]:
     """Parse a start tag; returns (node, closed) — closed for ``<a/>``."""
-    scanner.expect("<")
-    tag = scanner.read_name()
-    node = ElementNode(tag)
-    _parse_attributes(scanner, allow_attributes)
-    if scanner.peek(2) == "/>":
-        scanner.advance(2)
-        return node, True
-    scanner.expect(">")
-    return node, False
+    tag, closed = _open_tag(scanner, allow_attributes)
+    return ElementNode(tag), closed
 
 
 def _parse_element(scanner: _Scanner, allow_attributes: bool,
@@ -297,3 +444,145 @@ def parse_fragment(source: str) -> Optional[ElementNode]:
     if not source.strip():
         return None
     return parse_xml(source)
+
+
+# -- SAX-style event mode -----------------------------------------------------
+# The streaming document plane (repro.engine.stream) drives mapping
+# programs straight from these events, never materialising the source
+# tree.  The event loop reuses the exact lexing, text grouping and
+# entity decoding of _parse_element, so a malformed document raises the
+# same XMLParseError (message, line, column) in either mode.
+
+#: Event tuples: ("start", tag) / ("text", value) / ("end", tag).
+Event = tuple[str, str]
+
+
+def _element_events(scanner: _Scanner, allow_attributes: bool,
+                    keep_whitespace: bool):
+    tag, closed = _open_tag(scanner, allow_attributes)
+    yield ("start", tag)
+    if closed:
+        yield ("end", tag)
+        return
+    # One shared text buffer is enough: it is flushed at every element
+    # boundary, so its contents always belong to the innermost open
+    # element — exactly the per-element buffers of _parse_element.
+    stack: list[str] = [tag]
+    buffer: list[tuple[str, bool]] = []
+    while stack:
+        if scanner.eof():
+            raise XMLParseError(f"unterminated element <{stack[-1]}>",
+                                scanner.pos, scanner.source)
+        if scanner.peek(2) == "</":
+            value = _flush_value(buffer, scanner, keep_whitespace)
+            if value is not None:
+                yield ("text", value)
+            scanner.advance(2)
+            close = scanner.read_name()
+            if close != stack[-1]:
+                raise XMLParseError(
+                    f"mismatched end tag </{close}>, expected "
+                    f"</{stack[-1]}>", scanner.pos, scanner.source)
+            scanner.skip_ws()
+            scanner.expect(">")
+            yield ("end", stack.pop())
+            scanner.discard()
+        elif scanner.peek(4) == "<!--":
+            value = _flush_value(buffer, scanner, keep_whitespace)
+            if value is not None:
+                yield ("text", value)
+            scanner.advance(4)
+            scanner.read_until("-->")
+        elif scanner.peek(9) == "<![CDATA[":
+            scanner.advance(9)
+            buffer.append((scanner.read_until("]]>"), True))
+        elif scanner.peek(2) == "<?":
+            value = _flush_value(buffer, scanner, keep_whitespace)
+            if value is not None:
+                yield ("text", value)
+            scanner.advance(2)
+            scanner.read_until("?>")
+        elif scanner.peek() == "<":
+            value = _flush_value(buffer, scanner, keep_whitespace)
+            if value is not None:
+                yield ("text", value)
+            tag, closed = _open_tag(scanner, allow_attributes)
+            yield ("start", tag)
+            if closed:
+                yield ("end", tag)
+            else:
+                stack.append(tag)
+        else:
+            buffer.append((scanner.read_text_run(), False))
+
+
+def _document_events(scanner: _Scanner, allow_attributes: bool,
+                     keep_whitespace: bool):
+    _skip_misc(scanner)
+    if scanner.eof() or scanner.peek() != "<":
+        raise XMLParseError("expected a root element", scanner.pos,
+                            scanner.source)
+    yield from _element_events(scanner, allow_attributes, keep_whitespace)
+    _skip_misc(scanner)
+    if not scanner.eof():
+        raise XMLParseError("trailing content after the root element",
+                            scanner.pos, scanner.source)
+
+
+def iter_events(source: str, allow_attributes: bool = False,
+                keep_whitespace: bool = False):
+    """Stream a document string as SAX-style events.
+
+    >>> list(iter_events("<a><b>x</b></a>"))
+    [('start', 'a'), ('start', 'b'), ('text', 'x'), ('end', 'b'), ('end', 'a')]
+    """
+    return _document_events(_Scanner(source), allow_attributes,
+                            keep_whitespace)
+
+
+def iter_events_path(path, allow_attributes: bool = False,
+                     keep_whitespace: bool = False,
+                     chunk_chars: int = 1 << 16):
+    """Stream a document *file* as events, reading it incrementally.
+
+    Only a bounded window of the file is resident (the consumed prefix
+    is dropped as end-tag events are emitted), so arbitrarily large
+    documents parse in memory bounded by their largest text run plus
+    the window chunk size.  Errors carry the same message/line/column
+    as an in-memory parse of the same file.
+    """
+    def _generate():
+        with open(path, "r") as handle:
+            scanner = _StreamScanner(handle, chunk_chars)
+            yield from _document_events(scanner, allow_attributes,
+                                        keep_whitespace)
+    return _generate()
+
+
+def build_tree(events) -> ElementNode:
+    """Materialise an event stream (one element's worth) into a tree.
+
+    The inverse of :func:`iter_events`; node allocation order matches
+    :func:`parse_xml` on the same document exactly (text values are
+    appended at the same boundaries the tree parser flushes them).
+    """
+    root: Optional[ElementNode] = None
+    stack: list[ElementNode] = []
+    for event in events:
+        kind = event[0]
+        if kind == "start":
+            node = ElementNode(event[1])
+            if stack:
+                stack[-1].append(node)
+            elif root is None:
+                root = node
+            stack.append(node)
+        elif kind == "text":
+            stack[-1].append(TextNode(event[1]))
+        else:  # end
+            stack.pop()
+            if not stack:
+                break
+    if root is None:
+        raise ValueError("event stream contained no element")
+    return root

@@ -19,21 +19,29 @@ def escape_text(value: str) -> str:
     return value
 
 
-def to_string(node: Node, indent: int | None = 2, show_ids: bool = False) -> str:
-    """Serialise a tree.
+def iter_serialized(node: Node, indent: int | None = 2,
+                    show_ids: bool = False, depth: int = 0):
+    """Yield the serialised pieces of ``node`` one line at a time.
 
-    ``indent=None`` produces a compact single-line form; otherwise a
-    pretty-printed form with the given indent width.  ``show_ids`` adds
-    ``id=`` pseudo-attributes — handy when inspecting ``idM`` mappings,
-    mirroring how the paper suggests exposing ids via ``generate-id()``.
+    ``"\\n".join(iter_serialized(...))`` (or ``"".join`` for
+    ``indent=None``) equals :func:`to_string` on the same node.  The
+    ``depth`` offset lets the streaming executor emit a fragment as if
+    it sat ``depth`` levels inside an enclosing document, with every
+    line padded accordingly — the fragment's bytes land identical to
+    the same subtree serialised in place.
     """
     pieces: list[str] = []
     append = pieces.append
     # Work stack: (node, depth) to open, or (close_text, None) markers
     # pushed beneath a node's children.
-    stack: list[tuple] = [(node, 0)]
+    stack: list[tuple] = [(node, depth)]
     pad_cache: dict[int, str] = {}
     while stack:
+        # Batched yields keep generator overhead off the per-line hot
+        # path while still bounding the buffer for huge documents.
+        if len(pieces) >= 64:
+            yield from pieces
+            pieces.clear()
         item, depth = stack.pop()
         if depth is None:
             append(item)  # prebuilt closing tag line
@@ -67,5 +75,16 @@ def to_string(node: Node, indent: int | None = 2, show_ids: bool = False) -> str
         stack.append((f"{pad}</{item.tag}>", None))
         for child in reversed(children):
             stack.append((child, depth + 1))
+    yield from pieces
+
+
+def to_string(node: Node, indent: int | None = 2, show_ids: bool = False) -> str:
+    """Serialise a tree.
+
+    ``indent=None`` produces a compact single-line form; otherwise a
+    pretty-printed form with the given indent width.  ``show_ids`` adds
+    ``id=`` pseudo-attributes — handy when inspecting ``idM`` mappings,
+    mirroring how the paper suggests exposing ids via ``generate-id()``.
+    """
     joiner = "\n" if indent is not None else ""
-    return joiner.join(pieces)
+    return joiner.join(iter_serialized(node, indent, show_ids))

@@ -365,11 +365,47 @@ def test_shipped_tree_has_zero_findings():
     assert findings == [], "\n".join(f.render() for f in findings)
 
 
+def test_stream_and_codec_plane_markers_opt_into_recursion(tmp_path):
+    # The streaming/codec plane markers enrol a module in the
+    # document-plane recursion checker (generated codecs carry
+    # codec-plane in their header and must land recursion-free).
+    for marker in ("stream-plane", "codec-plane"):
+        root = write_pkg(tmp_path / marker, {
+            "repro/plugin/walker.py":
+                f"# lint: {marker}\n"
+                "def walk(node):\n"
+                "    for child in node.children:\n"
+                "        walk(child)\n",
+        })
+        findings = run_lint([root], root=tmp_path / marker,
+                            checkers=["recursion"])
+        assert codes(findings) == {"recursion/document-plane-cycle"}, marker
+
+
+def test_stream_and_codec_plane_markers_opt_into_determinism(tmp_path):
+    for marker in ("stream-plane", "codec-plane"):
+        root = write_pkg(tmp_path / marker, {
+            "repro/plugin/emit.py":
+                f"# lint: {marker}\n"
+                "def emit(tags):\n"
+                "    return [t for t in {x for x in tags}]\n",
+        })
+        findings = run_lint([root], root=tmp_path / marker,
+                            checkers=["determinism"])
+        assert codes(findings) == {"determinism/set-iteration"}, marker
+
+
+def test_codecgen_checker_passes_on_the_shipped_generator():
+    findings = run_lint([REPO / "src" / "repro" / "engine" / "codegen.py"],
+                        root=REPO, checkers=["codecgen"])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
 def test_every_checker_ran_on_the_shipped_tree():
     # A checker silently dropping out of CHECKERS would make the
     # clean-tree test vacuous for its invariant.
     assert set(CHECKERS) == {"layering", "determinism", "recursion",
-                             "forksafety", "errors"}
+                             "forksafety", "errors", "codecgen"}
 
 
 # ---------------------------------------------------------------------------

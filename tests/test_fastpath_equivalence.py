@@ -1,9 +1,11 @@
 """Fast-path equivalence: compiled programs vs. the reference walkers.
 
-The compiled document plane (:mod:`repro.engine.plan`) must be
-**byte-identical** to the reference implementations — same serialized
-trees, same ``idM`` correspondence, same inverse, same query answers —
-on randomized corpora over every library schema pair and a set of
+The compiled document plane (:mod:`repro.engine.plan`), the streaming
+executor (:mod:`repro.engine.stream`) and the generated codecs
+(:mod:`repro.engine.codegen`) must all be **byte-identical** to the
+reference implementations — same serialized trees, same ``idM``
+correspondence, same inverse, same query answers, same errors — on
+randomized corpora over every library schema pair and a set of
 synthetic random schemas.  This suite is the invariant's enforcement
 point (see ROADMAP "fast-path invariant").
 """
@@ -17,12 +19,15 @@ from repro.core.instmap import InstMap, MappingResult
 from repro.core.inverse import run_invert
 from repro.core.translate import Translator
 from repro.dtd.generate import random_instance
+from repro.engine.codegen import generate_codec
 from repro.engine.plan import InverseProgram
+from repro.engine.stream import iter_mapped, stream_map_to_path
 from repro.workloads.library import SCHEMA_LIBRARY
 from repro.workloads.noise import expand_schema
 from repro.workloads.queries import random_queries
 from repro.workloads.synthetic import random_dtd
 from repro.xtree.nodes import ElementNode, tree_equal
+from repro.xtree.parser import parse_xml
 from repro.xtree.serialize import to_string
 
 
@@ -71,6 +76,19 @@ def _assert_equivalent(embedding, instance, queries) -> None:
         anfa = translator.translate(query)
         assert _answers(anfa, fast) == _answers(anfa, reference), str(query)
 
+    # Streaming mode: event-driven chunks concatenate to exactly the
+    # bytes of the buffered pipeline over the same serialized text.
+    text = to_string(instance)
+    buffered = to_string(instmap.apply(parse_xml(text)).tree)
+    assert "".join(iter_mapped(instmap, text=text)) == buffered
+
+    # Codec mode: the generated parse→map→serialize module produces the
+    # same bytes from the tree and from text.  Every corpus shape here
+    # is expected to specialise — a CodecError is a generator regression.
+    codec = generate_codec(instmap)
+    assert codec.map_tree(instance) == to_string(fast.tree)
+    assert codec.map_text(text) == buffered
+
 
 @pytest.mark.parametrize("name", sorted(SCHEMA_LIBRARY))
 def test_library_pair_equivalence(name):
@@ -107,12 +125,72 @@ def test_synthetic_pair_equivalence(n_types, seed):
         _assert_equivalent(expansion.embedding, instance, queries)
 
 
+def test_stream_and_codec_parse_errors_match_reference(school, tmp_path):
+    """A document that breaks mid-parse raises the same ValueError-
+    rooted error from the streamer and the codec as from the buffered
+    ``parse_xml`` — and the atomic streaming writer leaves no partial
+    output behind."""
+    instmap = InstMap(school.sigma1)
+    codec = generate_codec(instmap)
+    prefix = ("<db><class><cno>1</cno><title>t</title>"
+              "<type><project>p</project></type></class>")
+    bad_documents = [
+        prefix + "</dbx>",        # close tag mismatches the open root
+        prefix,                   # truncated: the root never closes
+        prefix + "<bro ken</db>",  # malformed markup mid-document
+    ]
+    for xml in bad_documents:
+        with pytest.raises(ValueError) as reference:
+            parse_xml(xml)
+        with pytest.raises(ValueError) as streamed:
+            "".join(iter_mapped(instmap, text=xml))
+        assert str(streamed.value) == str(reference.value)
+        with pytest.raises(ValueError) as generated:
+            codec.map_text(xml)
+        assert str(generated.value) == str(reference.value)
+
+        out_path = tmp_path / "mapped.xml"
+        with pytest.raises(ValueError):
+            stream_map_to_path(instmap, out_path, text=xml)
+        assert not out_path.exists()
+        assert not list(tmp_path.glob(".repro-stream-*"))
+
+
+def test_stream_and_codec_mapping_errors_match_interpreter(school):
+    """Well-formed but non-conforming documents (single defect) raise
+    the interpreter's exact error text from every execution mode."""
+    instmap = InstMap(school.sigma1)
+    codec = generate_codec(instmap)
+    bad_documents = [
+        "<dbx/>",                                   # wrong root element
+        "<db><klass><cno>1</cno></klass></db>",     # unknown source type
+    ]
+    for xml in bad_documents:
+        document = parse_xml(xml)
+        with pytest.raises(ValueError) as reference:
+            instmap.apply(document)
+        with pytest.raises(ValueError) as streamed:
+            "".join(iter_mapped(instmap, text=xml))
+        assert str(streamed.value) == str(reference.value)
+        with pytest.raises(ValueError) as generated:
+            codec.map_text(xml)
+        assert str(generated.value) == str(reference.value)
+
+
+def test_codec_source_is_deterministic(school):
+    """Two independent generations of the same embedding's codec are
+    byte-identical (the store caches source by fingerprint, so a cache
+    hit must equal a fresh generation)."""
+    first = generate_codec(InstMap(school.sigma1))
+    second = generate_codec(InstMap(school.sigma1))
+    assert first.source == second.source
+
+
 def test_partial_documents_fall_back_identically(school):
     """Documents with missing/extra children take the per-fragment
     reference fallback — output must still match the reference run."""
     bundle = school
     instmap = InstMap(bundle.sigma1)
-    from repro.xtree.parser import parse_xml
 
     partials = [
         # A class missing its title: concat shape mismatch -> fallback.

@@ -273,3 +273,62 @@ def test_warm_start_grows_caches_to_fit_store(tmp_path):
         warm.compile_schema(schema)
     assert warm.schema_stats.misses == 0
     assert warm.schema_stats.evictions == 0
+
+
+# -- generated codecs ---------------------------------------------------------
+
+_CODEC_XML = ("<db><class><cno>1</cno><title>t</title>"
+              "<type><project>p</project></type></class></db>")
+
+
+def test_save_store_persists_codec_and_warm_start_attaches(tmp_path,
+                                                           school):
+    engine = Engine()
+    compiled = engine.compile_embedding(school.sigma1, ensure_valid=True)
+    expected = compiled.map_text(_CODEC_XML)
+    fingerprint = compiled.fingerprint
+    store = engine.save_store(tmp_path / "store")
+
+    assert store.codec_fingerprints() == [fingerprint]
+    source = store.get_codec_source(fingerprint)
+    assert "# lint: codec-plane" in source
+    row, = store.describe()["codecs"]
+    assert row["embedding"] == fingerprint
+    assert row["source"] == school.classes.fingerprint()
+    assert row["target"] == school.school.fingerprint()
+    assert row["provenance"] == "engine-save"
+
+    warm = Engine.warm_start(tmp_path / "store")
+    again = warm.compile_embedding(school.sigma1)
+    # The codec was attached from stored source at warm start — the
+    # slot is already populated, no generation happened lazily.
+    assert again._codec not in (None, False)
+    assert again.map_text(_CODEC_XML) == expected
+
+
+def test_precodec_store_reads_cleanly_without_rewrite(tmp_path, school):
+    """A store written before the codec plane existed (no ``codecs``
+    manifest section, no ``codecs/`` directory) loads, inspects and
+    warm-starts — and reading it back must not rewrite its files."""
+    import shutil
+
+    engine = Engine()
+    engine.compile_embedding(school.sigma1, ensure_valid=True)
+    path = tmp_path / "store"
+    engine.save_store(path)
+    manifest = json.loads((path / "manifest.json").read_text())
+    manifest.pop("codecs")
+    (path / "manifest.json").write_text(json.dumps(manifest, indent=2,
+                                                   sort_keys=True))
+    shutil.rmtree(path / "codecs")
+    before = (path / "manifest.json").read_text()
+
+    store = ArtifactStore(path, create=False)
+    assert store.codec_fingerprints() == []
+    assert store.describe()["codecs"] == []
+    warm = Engine.warm_start(path)
+    compiled = warm.compile_embedding(school.sigma1)
+    assert compiled._codec is None  # nothing attached from the store
+    assert compiled.codec is not None  # lazy generation still works
+    assert (path / "manifest.json").read_text() == before
+    assert not (path / "codecs").exists()

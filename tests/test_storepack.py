@@ -188,3 +188,49 @@ def test_corrupt_pack_raises_pack_error(packed_store):
 def test_missing_pack_file_raises_pack_error(tmp_path):
     with pytest.raises(PackError):
         StoreView(tmp_path / "nope.bin")
+
+
+# -- generated codecs ---------------------------------------------------------
+
+def test_pack_carries_codecs_and_fleet_serves_them(packed_store, school):
+    store = ArtifactStore(packed_store, create=False)
+    fingerprint = school.sigma1.fingerprint()
+    assert store.codec_fingerprints() == [fingerprint]
+    with open_view(packed_store) as view:
+        assert view.codec_fingerprints() == [fingerprint]
+        assert view.get_codec_source(fingerprint) == \
+            store.get_codec_source(fingerprint)
+        assert view.stats()["codecs"] == 1
+        warm = Engine.warm_start(view)
+        compiled = warm.compile_embedding(view.get_embedding(fingerprint))
+        assert compiled._codec not in (None, False)  # attached from pack
+        xml = ("<db><class><cno>1</cno><title>t</title>"
+               "<type><project>p</project></type></class></db>")
+        from repro.core.instmap import InstMap
+        assert compiled.map_text(xml) == to_string(
+            InstMap(school.sigma1).apply(parse_xml(xml)).tree)
+        assert view.json_parses == 0
+
+
+def test_precodec_pack_reads_with_empty_codec_section(tmp_path, school):
+    """A pack written before the codec plane existed (no ``codecs``
+    index section) opens and serves with an empty codec table."""
+    import json as json_mod
+    import shutil
+
+    engine = Engine()
+    engine.compile_embedding(school.sigma1, ensure_valid=True)
+    path = tmp_path / "store"
+    engine.save_store(path)
+    manifest_path = path / "manifest.json"
+    manifest = json_mod.loads(manifest_path.read_text())
+    manifest.pop("codecs")
+    manifest_path.write_text(json_mod.dumps(manifest, indent=2,
+                                            sort_keys=True))
+    shutil.rmtree(path / "codecs")
+    pack_store(path)
+    with open_view(path) as view:
+        assert view.codec_fingerprints() == []
+        assert view.stats()["codecs"] == 0
+        warm = Engine.warm_start(view)
+        assert warm.compile_embedding(school.sigma1).codec is not None
