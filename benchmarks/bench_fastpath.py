@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import time
 
+from repro.core.errors import InverseError
 from repro.core.instmap import InstMap
 from repro.core.inverse import run_invert
 from repro.core.translate import Translator
@@ -77,6 +78,21 @@ def run(smoke: bool) -> tuple[list[dict], bool, float, float]:
         docs.append((label, school.sigma1, generator.generate()))
     deep_sigma, deep_doc = _deep_bundle(200 if smoke else 1000)
     docs.append(("deep", deep_sigma, deep_doc))
+    # Partial document: every <class> loses its <title> child, so every
+    # class fragment misses the static concat shape and is served by
+    # the per-signature sparse-concat program (never the reference
+    # builder — its fallback counter gates ``correct`` below).
+    generator = InstanceGenerator(school.classes, seed=8,
+                                  max_depth=14, star_mean=10.0)
+    partial_doc = generator.generate()
+    for element in partial_doc.iter_elements():
+        if element.tag != "class":
+            continue
+        for child in element.children:
+            if isinstance(child, ElementNode) and child.tag == "title":
+                element.children.remove(child)
+                break
+    docs.append(("partial", school.sigma1, partial_doc))
 
     rows: list[dict] = []
     identical = True
@@ -101,22 +117,51 @@ def run(smoke: bool) -> tuple[list[dict], bool, float, float]:
         # -- invert: compiled inverse program vs reference walk ---------
         inverse = InverseProgram(sigma, instmap._infos)
         mapped = fast.tree
-        identical &= (to_string(inverse.apply(mapped))
-                      == to_string(run_invert(sigma, mapped)))
-        inv_fast = _time_ops(
-            lambda inv=inverse, tree=mapped: inv.apply(tree), budget)
-        inv_ref = _time_ops(
-            lambda sig=sigma, tree=mapped: run_invert(sig, tree), budget)
+        if label == "partial":
+            # A dropped source child leaves no holder in the image —
+            # σd⁻¹ must refuse, with the same error text on both paths
+            # (there is nothing meaningful to time here).
+            try:
+                inverse.apply(mapped)
+                identical = False
+            except InverseError as fast_error:
+                try:
+                    run_invert(sigma, mapped)
+                    identical = False
+                except InverseError as reference_error:
+                    identical &= str(fast_error) == str(reference_error)
+            inv_fast = inv_ref = 1.0
+        else:
+            identical &= (to_string(inverse.apply(mapped))
+                          == to_string(run_invert(sigma, mapped)))
+            inv_fast = _time_ops(
+                lambda inv=inverse, tree=mapped: inv.apply(tree), budget)
+            inv_ref = _time_ops(
+                lambda sig=sigma, tree=mapped: run_invert(sig, tree),
+                budget)
 
-        rows.append({
+        row = {
             "doc": label, "nodes": nodes,
             "map-fast-ops": round(map_fast, 1),
             "map-ref-ops": round(map_ref, 1),
             "map-speedup": round(map_fast / map_ref, 2),
-            "invert-fast-ops": round(inv_fast, 1),
-            "invert-ref-ops": round(inv_ref, 1),
-            "invert-speedup": round(inv_fast / inv_ref, 2),
-        })
+        }
+        if label != "partial":
+            row.update({
+                "invert-fast-ops": round(inv_fast, 1),
+                "invert-ref-ops": round(inv_ref, 1),
+                "invert-speedup": round(inv_fast / inv_ref, 2),
+            })
+        if label == "partial":
+            # Every mismatched fragment must have been served by a
+            # sparse-concat program at compiled speed — a reference-
+            # builder fallback on these (all-declared-edges) shapes is
+            # a fast-path regression.
+            program = instmap._program
+            row["sparse-served"] = program.sparse_served
+            identical &= program.reference_fallbacks == 0
+            identical &= program.sparse_served > 0
+        rows.append(row)
         total_nodes_per_sec += map_fast * nodes
 
     # -- translate: primed/memoised translator vs per-query compile -----

@@ -20,10 +20,13 @@ every test passes locally:
 
 The plane is the built-in module list below plus any module that
 declares ``# lint: determinism-plane`` — or ``# lint: stream-plane`` /
-``# lint: codec-plane``: streamed chunks and generated codec source are
-both byte contracts (chunks must concatenate to the reference
-serialization; codec source is fingerprint-keyed in the store), so the
-streaming/codec planes opt into this checker too.  Justified
+``# lint: codec-plane`` / ``# lint: translation-plane``: streamed
+chunks and generated codec source are both byte contracts (chunks must
+concatenate to the reference serialization; codec source is
+fingerprint-keyed in the store), and translation-plane composition
+must yield byte-stable state numbering (canonical renderings feed
+serve responses and trim certificates), so those planes opt into this
+checker too.  Justified
 exceptions (e.g.
 ``id()`` used only as an identity *key* whose value never reaches the
 output) carry ``# lint: allow-<rule>`` on the line or the enclosing
@@ -51,7 +54,9 @@ PLANE_MODULES = frozenset({
 MODULE_MARKER = "determinism-plane"
 
 #: Markers that imply byte-output behaviour (see the module docstring).
-IMPLIED_MARKERS = ("stream-plane", "codec-plane")
+#: ``translation-plane`` marks ANFA composition modules whose state
+#: numbering must be byte-stable across processes.
+IMPLIED_MARKERS = ("stream-plane", "codec-plane", "translation-plane")
 
 _WALL_CLOCK = frozenset({
     "time.time", "time.time_ns", "time.localtime", "time.ctime",

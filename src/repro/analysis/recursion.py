@@ -45,8 +45,10 @@ PLANE_PREFIXES = ("repro.xtree.",)
 MODULE_MARKER = "recursion-plane"
 
 #: Markers that imply document-plane behaviour: the streaming executor
-#: and the (generated) codec modules both walk whole documents.
-IMPLIED_MARKERS = ("stream-plane", "codec-plane")
+#: and the (generated) codec modules both walk whole documents, and
+#: translation-plane composition walks query spines whose length the
+#: user controls (deep chains must not recurse).
+IMPLIED_MARKERS = ("stream-plane", "codec-plane", "translation-plane")
 
 
 def _in_plane(module: Module) -> bool:

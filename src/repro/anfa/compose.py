@@ -1,0 +1,184 @@
+# lint: translation-plane
+"""Relocation-free composition of left-nested ANFA chains.
+
+The union/concatenation cases of :mod:`repro.anfa.construct` and
+:mod:`repro.core.translate` are left-associative, so a chain query
+``B1/B2/…/Bn`` used to build its automaton bottom-up: each level
+allocated a fresh ANFA and :meth:`~repro.anfa.model.ANFA.embed`-copied
+the *entire* accumulated prefix before appending one operand —
+quadratic state copying in the chain length.  This module builds the
+same automaton in one pass: the chain's spine states are allocated up
+front, each operand is embedded exactly once, and the accumulator is
+only ever *extended* (append-only — no state is ever renumbered after
+allocation).
+
+The state-numbering discipline reproduces the recursive construction
+**exactly** (canonical renderings, trim certificates and final/θ
+insertion orders are byte-identical; enforced by the golden-rendering
+tests).  For an n-operand chain the recursive build yields::
+
+    0 .. n-2          the per-level start states, outermost first
+                      (state i is the start of the sub-chain covering
+                      operands 1..n-i), ε-linked i -> i+1;
+    n-1 ..            operand 1's states, then every later appended
+                      automaton in the order the recursion embedded it.
+
+Nothing here may introduce hash-order iteration or ``id()``-keyed
+state numbering — the whole point is deterministic byte-stable state
+numbers (the ``translation-plane`` lint marker enforces it).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.anfa.model import ANFA, STR_LAB, fail_anfa
+from repro.xpath.ast import PathExpr
+
+
+def left_spine(query: PathExpr, node_type: type) -> list[PathExpr]:
+    """The operands ``[B1, …, Bn]`` of a left-nested ``node_type``
+    chain: ``node_type(node_type(B1, B2), B3)`` → ``[B1, B2, B3]``.
+    Collected iteratively — the spine is exactly the shape that used
+    to exhaust both the stack and the allocator."""
+    parts: list[PathExpr] = []
+    node = query
+    while isinstance(node, node_type):
+        parts.append(node.right)
+        node = node.left
+    parts.append(node)
+    parts.reverse()
+    return parts
+
+
+def _chain_accumulator(n_operands: int) -> ANFA:
+    """A fresh accumulator with the chain's spine states 0..n-2
+    pre-allocated and ε-linked ``i -> i+1`` (the recursive build's
+    per-level ``start -> embedded-prefix-start`` edges, flattened).
+    The last spine state's edge to operand 1 is added by the caller
+    once operand 1's base is known (it is always ``n_operands - 1``)."""
+    anfa = ANFA()
+    for _ in range(n_operands - 2):
+        anfa.new_state()
+    for state in range(n_operands - 3 + 1):
+        anfa.add_eps(state, state + 1)
+    return anfa
+
+
+def union_operands(operands: list[ANFA]) -> ANFA:
+    """The construction-side union (case (c)) of ≥2 operand automata:
+    one spine state per level, every operand embedded once, each spine
+    state ε-ing first into the next-inner spine state and then into
+    its level's appended operand."""
+    anfa = _chain_accumulator(len(operands))
+    base = anfa.embed(operands[0]).base
+    anfa.add_eps(len(operands) - 2, base + operands[0].start)
+    for index in range(1, len(operands)):
+        mapping = anfa.embed(operands[index])
+        spine = len(operands) - 1 - index
+        anfa.add_eps(spine, mapping.base + operands[index].start)
+    return anfa
+
+
+def concat_operands(operands: list[ANFA]) -> ANFA:
+    """The construction-side concatenation (case (d)) of ≥2 operands:
+    each level clears the previous operand's finals and ε-wires the
+    non-string ones into the next operand's start."""
+    anfa = _chain_accumulator(len(operands))
+    first = operands[0]
+    mapping = anfa.embed(first)
+    anfa.add_eps(len(operands) - 2, mapping.base + first.start)
+    previous = [(mapping.base + state, lab)
+                for state, lab in first.finals.items()]
+    for index in range(1, len(operands)):
+        operand = operands[index]
+        mapping = anfa.embed(operand)
+        entry = mapping.base + operand.start
+        for state, lab in previous:
+            anfa.clear_final(state)
+            if lab != STR_LAB:  # strings have no continuation
+                anfa.add_eps(state, entry)
+        previous = [(mapping.base + state, lab)
+                    for state, lab in operand.finals.items()]
+    return anfa
+
+
+def translated_union(operands: list[ANFA]) -> ANFA:
+    """The translation-side union (case (c)) over already-translated
+    operands, reproducing the recursive fail short-circuits: with no
+    live operand the *last* operand's automaton is returned, with one
+    live operand that automaton itself — both shared memo objects, so
+    neither may be mutated here."""
+    live = [operand for operand in operands if not operand.is_fail()]
+    if not live:
+        return operands[-1]
+    if len(live) == 1:
+        return live[0]
+    anfa = _chain_accumulator(len(live))
+    base = anfa.embed(live[0]).base
+    anfa.add_eps(len(live) - 2, base + live[0].start)
+    is_trim = live[0]._is_trim
+    for index in range(1, len(live)):
+        mapping = anfa.embed(live[index])
+        spine = len(live) - 1 - index
+        anfa.add_eps(spine, mapping.base + live[index].start)
+        is_trim = is_trim and live[index]._is_trim
+    # Finals of every live branch are kept, so trimness is inherited.
+    anfa._is_trim = is_trim
+    return anfa
+
+
+def translated_concat(first: ANFA, rest: list[PathExpr],
+                      trl: Callable[[PathExpr, str], ANFA]) -> ANFA:
+    """The translation-side concatenation (case (d)) over a chain:
+    ``first`` is ``Trl(B1, context)``; each later operand is translated
+    per distinct final lab of the previous level (``trl(Bk, lab)``) and
+    embedded once, its start ε-wired from every final carrying that
+    lab.  A level whose automaton ends up final-less makes every later
+    level ``Fail`` — except the last level, which is returned as built
+    (the recursive build only converts *inputs* to ``Fail``)."""
+    if first.is_fail():
+        return fail_anfa()
+    anfa = _chain_accumulator(len(rest) + 1)
+    mapping = anfa.embed(first)
+    anfa.add_eps(len(rest) - 1, mapping.base + first.start)
+    previous = [(mapping.base + state, lab)
+                for state, lab in first.finals.items()]
+    previous_trim = first._is_trim
+    for index, right in enumerate(rest):
+        if not previous:
+            # The accumulated prefix is Fail: the recursive build
+            # returns fail_anfa() from every remaining level.
+            return fail_anfa()
+        # One embedded continuation per distinct lab.  Trimness holds
+        # iff every final of the previous level got a live, trim
+        # continuation (a dropped str/failed lab leaves dead states).
+        entries: dict[str, Optional[int]] = {}
+        all_live = previous_trim
+        next_finals: list[tuple[int, Optional[str]]] = []
+        for state, lab in previous:
+            anfa.clear_final(state)
+            if lab is None or lab == STR_LAB:
+                all_live = False
+                continue  # strings have no continuation
+            if lab not in entries:
+                continuation = trl(right, lab)
+                if continuation.is_fail():
+                    entries[lab] = None
+                else:
+                    mapping = anfa.embed(continuation)
+                    entries[lab] = mapping.base + continuation.start
+                    next_finals.extend(
+                        (mapping.base + sub_state, sub_lab)
+                        for sub_state, sub_lab in continuation.finals.items())
+                    if not continuation._is_trim:
+                        all_live = False
+            entry = entries[lab]
+            if entry is not None:
+                anfa.add_eps(state, entry)
+            else:
+                all_live = False
+        previous = next_finals
+        previous_trim = all_live
+    anfa._is_trim = previous_trim
+    return anfa

@@ -22,6 +22,11 @@ plus ``p*`` as the Kleene closure and ``//`` as a wildcard loop.
 
 from __future__ import annotations
 
+from repro.anfa.compose import (
+    concat_operands,
+    left_spine,
+    union_operands,
+)
 from repro.anfa.model import (
     ANFA,
     CallSpec,
@@ -92,24 +97,14 @@ def _build(query: PathExpr) -> ANFA:
         anfa.set_final(anfa.start, None)
         return anfa
     if isinstance(query, Union):
-        left, right = _build(query.left), _build(query.right)
-        anfa = ANFA()
-        left_map = anfa.embed(left)
-        right_map = anfa.embed(right)
-        anfa.add_eps(anfa.start, left_map[left.start])
-        anfa.add_eps(anfa.start, right_map[right.start])
-        return anfa
+        # Left-associative chains compose append-only (one embed per
+        # operand) with byte-identical state numbering; see
+        # repro.anfa.compose.
+        return union_operands([_build(part)
+                               for part in left_spine(query, Union)])
     if isinstance(query, Seq):
-        left, right = _build(query.left), _build(query.right)
-        anfa = ANFA()
-        left_map = anfa.embed(left)
-        right_map = anfa.embed(right)
-        anfa.add_eps(anfa.start, left_map[left.start])
-        for state, lab in left.finals.items():
-            anfa.clear_final(left_map[state])
-            if lab != STR_LAB:  # strings have no continuation
-                anfa.add_eps(left_map[state], right_map[right.start])
-        return anfa
+        return concat_operands([_build(part)
+                                for part in left_spine(query, Seq)])
     if isinstance(query, Star):
         inner = _build(query.inner)
         anfa = ANFA()

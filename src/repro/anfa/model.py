@@ -300,19 +300,35 @@ class ANFA:
         self.theta[state] = qual if existing is None else qual_and(existing,
                                                                    qual)
 
-    def embed(self, other: "ANFA") -> dict[int, int]:
-        """Copy ``other``'s states and transitions; return the state map.
+    def embed(self, other: "ANFA") -> "_OffsetMap":
+        """Append ``other``'s states and transitions; return the
+        offset map.
+
+        There is no per-state dict remap anywhere here: ``other``'s
+        state ``s`` becomes ``s + base`` where ``base`` is this
+        automaton's pre-embed state count, so the returned
+        :class:`_OffsetMap` is pure arithmetic and every bucket below
+        (including the ``CallSpec`` destination tuples) is rebuilt by
+        adding the same constant offset.
 
         Finals and θ are copied; the caller decides how to wire the
         start state and whether to keep the copied finals.  Sub-ANFAs
         inside θ / call specs are shared by reference (they are never
         mutated after construction).
-
-        The copied states are renumbered by a constant offset (the
-        translation's inner loop embeds per-type bodies many times per
-        query, so the remap is pure arithmetic — no per-state lookups).
         """
         base = self._count
+        if __debug__:
+            # The offset range [base, base + other._count) must be
+            # fresh: self-embedding (or a corrupted count) would remap
+            # states onto existing ones and silently merge buckets.
+            assert other is not self and other._count > 0, \
+                "embed needs a distinct, non-empty operand"
+            assert all(0 <= src < other._count
+                       for edges in (other.label_edges, other.eps_edges,
+                                     other.str_edges, other.call_edges)
+                       for src in edges), \
+                "embed operand has states outside [0, count): offset " \
+                "keys would collide with existing buckets"
         self._count = base + other._count
         # Offset states are fresh keys by construction, so every bucket
         # is rebuilt wholesale (no setdefault/append churn); singleton

@@ -549,14 +549,15 @@ def _graceful_sigterm() -> None:
 
 
 def _cmd_store_pack(args: argparse.Namespace) -> int:
-    path = pack_store(args.store)
+    path = pack_store(args.store, compact=args.compact)
     with open_view(args.store) as view:
         stats = view.stats()
     print(f"packed {args.store} -> {path.name} "
           f"(generation {stats['generation']}, {stats['bytes']} bytes, "
           f"{stats['schemas']} schema(s), "
           f"{stats['embeddings']} embedding(s), "
-          f"{stats['searches']} search(es))")
+          f"{stats['searches']} search(es), "
+          f"{stats['stale']} carried)")
     return 0
 
 
@@ -818,6 +819,11 @@ def build_parser() -> argparse.ArgumentParser:
                      "(a new generation); running fleets hot-reload it "
                      "without dropping a request")
     store_pack.add_argument("store")
+    store_pack.add_argument("--compact", action="store_true",
+                            help="drop artifacts no longer in the "
+                                 "source store instead of carrying "
+                                 "them forward from the previous "
+                                 "generation")
     store_pack.set_defaults(func=_cmd_store_pack)
 
     lint = sub.add_parser(

@@ -150,6 +150,19 @@ class InstMap:
         for fragments with a non-static shape)."""
         return _FragmentBuilder(self, image).build(source_node, id_map)
 
+    def fragment_pairs(self, image: ElementNode, source_node: ElementNode,
+                       id_map: dict[int, int],
+                       ) -> list[tuple[ElementNode, ElementNode]]:
+        """One production fragment through the compiled plane where
+        possible: static and sparse-concat shapes run at compiled
+        speed, everything else (including malformed documents, for
+        their exact error bytes) through the reference builder."""
+        if self._program is not None:
+            pairs = self._program.sparse_fragment(image, source_node, id_map)
+            if pairs is not None:
+                return pairs
+        return self.build_fragment(image, source_node, id_map)
+
     def info(self, key: EdgeKey) -> PathInfo:
         try:
             return self._infos[key]

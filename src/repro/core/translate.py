@@ -36,6 +36,11 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.anfa.compose import (
+    left_spine,
+    translated_concat,
+    translated_union,
+)
 from repro.anfa.model import (
     ANFA,
     CallSpec,
@@ -76,6 +81,22 @@ from repro.xpath.ast import (
     lower_descendants,
 )
 from repro.xpath.paths import XRPath
+
+
+def _prewarm_spine(query: PathExpr) -> None:
+    """Populate the per-node structural-hash and ``//`` caches
+    bottom-up along the left spine, so the memo probes and the
+    ``contains_descendant`` gate each descend one level instead of the
+    whole chain — a depth-512 spine would otherwise exhaust the
+    recursion limit before composition even starts."""
+    spine: list[PathExpr] = []
+    node = query
+    while isinstance(node, (Seq, Union)):
+        spine.append(node)
+        node = node.left
+    for node in reversed(spine):
+        hash(node)
+        contains_descendant(node)
 
 
 class Translator:
@@ -150,6 +171,7 @@ class Translator:
         context = context_type or self.source.root
         if context not in self.source.elements:
             raise TranslationError(f"unknown source type {context!r}")
+        _prewarm_spine(query)
         key = (query, context)
         cached = self._translate_memo.get(key)
         if cached is not None:
@@ -236,56 +258,20 @@ class Translator:
         return self._path_anfa(self.embedding.str_path(context), STR_LAB)
 
     # -- cases (c)/(d) -----------------------------------------------------------
+    # Both are left-associative, so a chain query would otherwise
+    # rebuild (re-embed) its whole accumulated prefix at every level —
+    # quadratic state copying.  The whole left spine is collected
+    # iteratively and composed append-only instead; state numbering is
+    # byte-identical to the old per-level build (see anfa.compose).
     def _trl_union(self, query: Union, context: str) -> ANFA:
-        left = self.trl(query.left, context)
-        right = self.trl(query.right, context)
-        if left.is_fail():
-            return right
-        if right.is_fail():
-            return left
-        anfa = ANFA()
-        left_map = anfa.embed(left)
-        right_map = anfa.embed(right)
-        anfa.add_eps(anfa.start, left_map.base + left.start)
-        anfa.add_eps(anfa.start, right_map.base + right.start)
-        # Finals of both branches are kept, so trimness is inherited.
-        anfa._is_trim = left._is_trim and right._is_trim
-        return anfa
+        return translated_union(
+            [self.trl(part, context)
+             for part in left_spine(query, Union)])
 
     def _trl_seq(self, query: Seq, context: str) -> ANFA:
-        first = self.trl(query.left, context)
-        if first.is_fail():
-            return fail_anfa()
-        anfa = ANFA()
-        first_map = anfa.embed(first)
-        first_base = first_map.base
-        anfa.add_eps(anfa.start, first_base + first.start)
-        # One embedded continuation per distinct lab.  Trimness holds
-        # iff every final of ``first`` got a live, trim continuation
-        # (a dropped str/failed lab leaves its cleared finals dead).
-        entries: dict[str, Optional[int]] = {}
-        all_live = first._is_trim
-        for state, lab in first.finals.items():
-            anfa.clear_final(first_base + state)
-            if lab is None or lab == STR_LAB:
-                all_live = False
-                continue  # strings have no continuation
-            if lab not in entries:
-                continuation = self.trl(query.right, lab)
-                if continuation.is_fail():
-                    entries[lab] = None
-                else:
-                    mapping = anfa.embed(continuation)
-                    entries[lab] = mapping.base + continuation.start
-                    if not continuation._is_trim:
-                        all_live = False
-            entry = entries[lab]
-            if entry is not None:
-                anfa.add_eps(first_base + state, entry)
-            else:
-                all_live = False
-        anfa._is_trim = all_live
-        return anfa
+        parts = left_spine(query, Seq)
+        return translated_concat(self.trl(parts[0], context), parts[1:],
+                                 self.trl)
 
     # -- case (e): qualifiers -------------------------------------------------------
     def _trl_qualified(self, query: Qualified, context: str) -> ANFA:

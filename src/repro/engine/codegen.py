@@ -92,12 +92,14 @@ def _blk(cache: dict, lines: tuple, depth: int) -> str:
 
 def _codec_fallback(instmap: InstMap, out: list, stack: list,
                     node: ElementNode, depth: int, image_tag: str) -> None:
-    """Serve one fragment through the reference builder and splice its
+    """Serve one fragment off the codec's static path and splice its
     serialized lines (plus dispatch items for its hot endpoints) into
     the codec's output stream — the codec twin of
-    ``MappingProgram._fallback``."""
+    ``MappingProgram._serve_sparse``: sparse-concat shapes run through
+    the compiled plane, only non-static shapes hit the reference
+    builder."""
     image = ElementNode(image_tag)
-    pairs = instmap.build_fragment(image, node, {})
+    pairs = instmap.fragment_pairs(image, node, {})
     hot = {leaf.node_id: source for leaf, source in pairs}
     items: list = []
     walk: list = [(image, depth)]

@@ -78,6 +78,16 @@ OP_TEXT_COPY = 5
 #: OP_HOT slot value meaning "the current star-loop child".
 LOOP_SLOT = -1
 
+#: Cache-miss sentinel for the sparse-concat cache (``None`` is a valid
+#: cached value: "this shape needs the reference builder").
+_UNCOMPILED = object()
+
+#: Distinct (type, child-tag signature) shapes memoised per program
+#: before a wholesale flush — partial-document shapes are usually few
+#: (a handful of optional fields), so this is a runaway-input backstop,
+#: not a working-set tune.
+SPARSE_CACHE_LIMIT = 4096
+
 
 # Deliberately NOT a ValueError: this is the compiler's internal
 # control-flow signal, caught by InstMap's constructor.  If it ever
@@ -172,6 +182,17 @@ class MappingProgram:
         self._instmap = instmap
         self.root_image = embedding.lam[self.source.root]
         self._pad_cache: dict[str, tuple] = {}
+        #: (source_type, child-tag signature) -> sparse-concat ops, or
+        #: None when that shape must use the reference fallback
+        #: (an undeclared edge, where the reference's exact error
+        #: behaviour is the contract).  Bounded like the translation
+        #: memos: flushed wholesale past the cap.
+        self._sparse_cache: dict[tuple[str, tuple[str, ...]],
+                                 Optional[tuple]] = {}
+        #: fragments served by a sparse-concat (or precompiled empty)
+        #: program vs. fragments sent to the reference builder.
+        self.sparse_served = 0
+        self.reference_fallbacks = 0
         self.programs: dict[str, TypeProgram] = {}
         for source_type in self.source.elements:
             self.programs[source_type] = self._compile_type(source_type)
@@ -362,6 +383,10 @@ class MappingProgram:
 
         assert isinstance(production, Star)
         program = TypeProgram("star", image)
+        # Zero instances: pure mindef completion of the image, the same
+        # slots the reference pads — precompiled so empty stars never
+        # leave the compiled plane.
+        program.empty_ops = self._trie_ops(image, [])
         info = self._info((source_type, production.child, 1))
         if not info.is_star_path():
             raise PlanError(f"{info.path} is not a STAR path")
@@ -427,6 +452,85 @@ class MappingProgram:
         program.head_depth = carrier
         return program
 
+    # -- sparse-concat variants --------------------------------------------
+    def _sparse_ops(self, source_type: str,
+                    signature: tuple[str, ...]) -> Optional[tuple]:
+        """Compiled ops for a *partial* concat document: the fragment a
+        concat node with exactly ``signature`` element children (in
+        document order) produces.  Occurrences are counted per tag in
+        document order — the reference builder's walk — so missing,
+        repeated-but-declared and out-of-order children all compile;
+        a child edge the embedding does not declare yields ``None``
+        (cached), and the caller replays the reference builder for its
+        exact ``EmbeddingError`` bytes.
+        """
+        key = (source_type, signature)
+        cached = self._sparse_cache.get(key, _UNCOMPILED)
+        if cached is not _UNCOMPILED:
+            return cached
+        paths: list[tuple[PathInfo, tuple]] = []
+        seen: dict[str, int] = {}
+        try:
+            for slot, tag in enumerate(signature):
+                seen[tag] = seen.get(tag, 0) + 1
+                paths.append((self._info((source_type, tag, seen[tag])),
+                              ("hot", slot)))
+            ops = self._trie_ops(self.programs[source_type].image, paths)
+        except PlanError:
+            ops = None
+        if len(self._sparse_cache) >= SPARSE_CACHE_LIMIT:
+            self._sparse_cache.clear()
+        self._sparse_cache[key] = ops
+        return ops
+
+    def _serve_sparse(self, program: TypeProgram, image: ElementNode,
+                      source_node: ElementNode, kids, id_map: dict,
+                      push, nxt) -> None:
+        """One concat fragment whose shape mismatches the static
+        program: run the per-signature sparse variant at compiled
+        speed, or fall back to the reference builder when the shape
+        cannot compile."""
+        ops = self._sparse_ops(source_node.tag,
+                               tuple(kid.tag for kid in kids))
+        if ops is not None:
+            self.sparse_served += 1
+            self._run(ops, image, kids, None, None, id_map, push, nxt)
+        else:
+            self.reference_fallbacks += 1
+            self._fallback(image, source_node, id_map, push)
+
+    def sparse_fragment(self, image: ElementNode,
+                        source_node: ElementNode, id_map: dict,
+                        ) -> Optional[list]:
+        """One fragment's hot pairs through the compiled (sparse)
+        plane, or ``None`` when only the reference builder can serve
+        the shape — the single-fragment twin of :meth:`_serve_sparse`
+        used by the generated codecs' fallback splice."""
+        program = self.programs.get(source_node.tag)
+        if program is None or program.image != image.tag:
+            return None
+        pairs: list = []
+        if program.kind == "concat":
+            kids = [c for c in source_node.children
+                    if isinstance(c, ElementNode)]
+            ops = self._sparse_ops(source_node.tag,
+                                   tuple(kid.tag for kid in kids))
+            if ops is None:
+                return None
+            self.sparse_served += 1
+            self._run(ops, image, kids, None, None, id_map,
+                      pairs.append, _ids.__next__)
+            return pairs
+        if program.kind == "star":
+            kids = [c for c in source_node.children
+                    if isinstance(c, ElementNode)]
+            if not kids:
+                self.sparse_served += 1
+                self._run(program.empty_ops, image, (), None, None,
+                          id_map, pairs.append, _ids.__next__)
+                return pairs
+        return None
+
     # -- interpretation ----------------------------------------------------
     def apply(self, source_root: ElementNode):
         """``σd(T1)`` — byte-identical to the reference InstMap."""
@@ -476,22 +580,27 @@ class MappingProgram:
                 if len(kids) == len(program.expected):
                     for kid, expected_tag in zip(kids, program.expected):
                         if kid.tag != expected_tag:
-                            self._fallback(image, source_node, id_map, push)
+                            self._serve_sparse(program, image, source_node,
+                                               kids, id_map, push, nxt)
                             break
                     else:
                         self._run(program.ops, image, kids, None, None,
                                   id_map, push, nxt)
                     continue
-                self._fallback(image, source_node, id_map, push)
+                self._serve_sparse(program, image, source_node, kids,
+                                   id_map, push, nxt)
             elif kind == "star":
                 kids = [c for c in source_node.children
                         if isinstance(c, ElementNode)]
                 if kids:
                     self._run_star(program, image, kids, id_map, push, nxt)
                 else:
-                    # No instances: byte-equal to pure mindef completion
-                    # of the image (the reference pads the same slots).
-                    self._fallback(image, source_node, id_map, push)
+                    # No instances: pure mindef completion of the image,
+                    # byte-equal to the reference's padding of the same
+                    # slots — precompiled, so empty stars stay compiled.
+                    self.sparse_served += 1
+                    self._run(program.empty_ops, image, (), None, None,
+                              id_map, push, nxt)
             elif kind == "str":
                 children = source_node.children
                 if not children:

@@ -114,7 +114,8 @@ def current_generation(store_root: Union[str, Path]) -> Optional[int]:
 
 
 def pack_store(store: Union[str, Path, ArtifactStore],
-               generation: Optional[int] = None) -> Path:
+               generation: Optional[int] = None,
+               compact: bool = False) -> Path:
     """Pack every artifact of ``store`` into a new pack file and
     atomically repoint ``CURRENT`` at it.
 
@@ -122,12 +123,22 @@ def pack_store(store: Union[str, Path, ArtifactStore],
     never-packed store) unless given explicitly.  Readers holding the
     old pack keep a valid mmap; new :class:`StoreView` opens see the
     new generation — this is the hot-reload publish step.
+
+    By default the new generation **carries forward** artifacts that
+    the previous generation served but the JSON store no longer holds
+    (raw blob bytes are copied, marked ``carried`` in the index), so a
+    hot-reloading fleet never loses an artifact a client may still
+    name — :class:`StoreView` counts serves of carried artifacts so
+    ``/metrics`` can surface the debt.  ``compact=True`` packs only the
+    store's live artifacts, dropping every carried blob.
     """
     store = (store if isinstance(store, ArtifactStore)
              else ArtifactStore(store, create=False))
     root = store.root
+    previous_path = current_pack_path(root)
     if generation is None:
-        active = current_generation(root)
+        active = (None if previous_path is None
+                  else _generation_of(previous_path.name))
         generation = 1 if active is None else active + 1
 
     index: dict = {"generation": generation,
@@ -173,6 +184,9 @@ def pack_store(store: Union[str, Path, ArtifactStore],
         index["searches"][search_key_digest(key)] = {
             "offset": offset, "length": length}
 
+    if not compact and previous_path is not None:
+        _carry_forward(index, blobs, previous_path)
+
     index_raw = pickle.dumps(index, protocol=_PICKLE_PROTOCOL)
     pack_dir = _pack_dir(root)
     pack_dir.mkdir(parents=True, exist_ok=True)
@@ -191,6 +205,30 @@ def pack_store(store: Union[str, Path, ArtifactStore],
     tmp_current.write_text(pack_path.name + "\n")
     os.replace(tmp_current, pack_dir / CURRENT)
     return pack_path
+
+
+def _carry_forward(index: dict, blobs: io.BytesIO,
+                   previous_path: Path) -> None:
+    """Copy every previous-generation artifact the new index lacks into
+    ``blobs``, marked ``carried``.  Raw blob bytes are copied verbatim
+    (no unpickle/repickle), and *every* section is carried, so a
+    carried embedding's source/target schemas — themselves absent from
+    the store — resolve within the new pack.  Entries already carried
+    keep their flag: the debt persists across generations until a
+    ``compact`` pack drops it."""
+    with StoreView(previous_path) as previous:
+        for section in ("schemas", "embeddings", "codecs", "searches"):
+            live = index[section]
+            for key, entry in previous._index.get(section, {}).items():
+                if key in live:
+                    continue
+                raw = previous._raw(entry)
+                offset = blobs.tell()
+                blobs.write(raw)
+                carried = dict(entry)
+                carried.update(offset=offset, length=len(raw),
+                               carried=True)
+                live[key] = carried
 
 
 class StoreView:
@@ -237,6 +275,15 @@ class StoreView:
             raise PackError(f"pack index of {self.path} is corrupt: "
                             f"{exc}") from None
         self._blob_base = header_end + index_len
+        #: Artifacts carried forward from older generations (absent
+        #: from the source store at pack time) and how often this view
+        #: served one — the hot-reload debt surfaced via ``/metrics``.
+        self._stale = frozenset(
+            key
+            for section in ("schemas", "embeddings", "codecs")
+            for key, entry in self._index.get(section, {}).items()
+            if entry.get("carried"))
+        self.stale_serves = 0
 
     # -- lifecycle -----------------------------------------------------------
     def close(self) -> None:
@@ -253,6 +300,11 @@ class StoreView:
         self.close()
 
     # -- raw access ----------------------------------------------------------
+    def _raw(self, entry: dict) -> bytes:
+        """One blob's raw pickled bytes (generation carry-forward)."""
+        start = self._blob_base + entry["offset"]
+        return bytes(self._map[start:start + entry["length"]])
+
     def _blob(self, entry: dict):
         start = self._blob_base + entry["offset"]
         whole = memoryview(self._map)
@@ -284,7 +336,14 @@ class StoreView:
     def schema_fingerprints(self) -> list[str]:
         return sorted(self._index["schemas"])
 
+    def stale_fingerprints(self) -> frozenset:
+        """Fingerprints served from carry-forward blobs: the latest
+        source store no longer holds them."""
+        return self._stale
+
     def get_schema(self, fingerprint: str) -> DTD:
+        if fingerprint in self._stale:
+            self.stale_serves += 1
         cached = self._schemas.get(fingerprint)
         if cached is not None:
             return cached
@@ -305,6 +364,8 @@ class StoreView:
         return sorted(self._index["embeddings"])
 
     def get_embedding(self, fingerprint: str) -> SchemaEmbedding:
+        if fingerprint in self._stale:
+            self.stale_serves += 1
         cached = self._embeddings.get(fingerprint)
         if cached is not None:
             return cached
@@ -326,6 +387,8 @@ class StoreView:
         return sorted(self._index.get("codecs", {}))
 
     def get_codec_source(self, fingerprint: str) -> str:
+        if fingerprint in self._stale:
+            self.stale_serves += 1
         entry = self._index.get("codecs", {}).get(fingerprint)
         if entry is None:
             raise PackError(
@@ -353,6 +416,8 @@ class StoreView:
             "codecs": len(self._index.get("codecs", {})),
             "json_parses": self.json_parses,
             "unpickles": self.unpickles,
+            "stale": len(self._stale),
+            "stale_serves": self.stale_serves,
         }
 
     def __repr__(self) -> str:

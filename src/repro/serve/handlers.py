@@ -117,6 +117,12 @@ class ServiceState:
         self.fleet: Optional[FleetInfo] = None
         #: Completed hot reloads (store-generation bumps picked up).
         self.reloads = 0
+        #: Artifacts the latest pack only carries forward (no longer in
+        #: the source store) and how many requests resolved one — the
+        #: `/metrics` signal that clients still depend on removed
+        #: artifacts (blocking a `store pack --compact`).
+        self.stale: frozenset = frozenset()
+        self.stale_serves = 0
         # Guards the embeddings/schemas dicts against concurrent
         # handler threads (registration during resolution); the
         # OrderedDicts remember insertion order of *dynamic* artifacts
@@ -164,6 +170,7 @@ class ServiceState:
         state.view = view
         state.generation = view.generation
         state.store_json_parses = view.json_parses
+        state.stale = view.stale_fingerprints()
         return state
 
     def reload_from(self, view) -> int:
@@ -202,6 +209,7 @@ class ServiceState:
             self.embeddings.update(new_embeddings)
             old_view, self.view = self.view, view
             self.generation = view.generation
+            self.stale = view.stale_fingerprints()
             self.reloads += 1
         if old_view is not None and old_view is not view:
             # In-flight requests hold plain artifact objects, never the
@@ -223,6 +231,12 @@ class ServiceState:
         return state
 
     # -- resolution --------------------------------------------------------
+    def _count_stale(self, fingerprint: str) -> None:
+        """One request resolved an artifact the source store dropped
+        (served from a carry-forward blob) — surfaced in `/metrics`."""
+        if fingerprint in self.stale:
+            self.stale_serves += 1
+
     def resolve_embedding(self, ref: Optional[str],
                           ) -> tuple[str, SchemaEmbedding]:
         """The embedding a request names (by fingerprint or unique
@@ -231,7 +245,9 @@ class ServiceState:
             embeddings = dict(self.embeddings)
         if ref is None:
             if len(embeddings) == 1:
-                return next(iter(embeddings.items()))
+                only = next(iter(embeddings.items()))
+                self._count_stale(only[0])
+                return only
             if not embeddings:
                 raise ProtocolError(404, "no-embeddings",
                                     "this server has no embeddings loaded")
@@ -243,9 +259,11 @@ class ServiceState:
             raise ProtocolError(400, "bad-request",
                                 "'embedding' must be a fingerprint string")
         if ref in embeddings:
+            self._count_stale(ref)
             return ref, embeddings[ref]
         matches = [fp for fp in embeddings if fp.startswith(ref)]
         if len(matches) == 1:
+            self._count_stale(matches[0])
             return matches[0], embeddings[matches[0]]
         if len(matches) > 1:
             raise ProtocolError(400, "ambiguous-embedding",
@@ -274,9 +292,11 @@ class ServiceState:
         with self._lock:
             schemas = dict(self.schemas)
         if value in schemas:
+            self._count_stale(value)
             return schemas[value]
         matches = [fp for fp in schemas if fp.startswith(value)]
         if len(matches) == 1:
+            self._count_stale(matches[0])
             return schemas[matches[0]]
         if len(matches) > 1:
             raise ProtocolError(400, "ambiguous-schema",
@@ -501,6 +521,8 @@ def _handle_metrics(state: ServiceState) -> dict:
         "engine": state.engine.stats(),
         "generation": state.generation,
         "reloads": state.reloads,
+        "stale_artifacts": len(state.stale),
+        "stale_serves": state.stale_serves,
     }
     if state.fleet is not None:
         payload["worker"] = state.fleet.worker_id

@@ -1,0 +1,206 @@
+"""Golden state numbering: relocation-free composition is byte-stable.
+
+The append-only chain composition of :mod:`repro.anfa.compose` must
+reproduce the recursive (pairwise-``embed``) construction's state
+numbers **exactly** — canonical renderings feed serve responses, trim
+certificates and store fingerprints, so a renumbering is a wire-format
+break even when the automata are isomorphic.
+
+Two enforcement angles:
+
+* a *pairwise oracle*: the old recursive algorithm is exactly the
+  2-operand case of the flattened composition, so recursing pairwise
+  over the query spine rebuilds the historical automaton — its
+  canonical rendering must equal the flattened build's, for both the
+  construction plane and the translation plane, over randomized and
+  hand-picked deep queries;
+* *frozen snapshots*: committed renderings of representative queries
+  (school σ1 translations and raw constructions), byte-compared.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.anfa.compose import (
+    concat_operands,
+    translated_concat,
+    translated_union,
+    union_operands,
+)
+from repro.anfa.construct import _build, anfa_of_query
+from repro.core.translate import Translator
+from repro.workloads.library import SCHEMA_LIBRARY
+from repro.workloads.noise import expand_schema
+from repro.workloads.queries import random_queries
+from repro.xpath.ast import PathExpr, Seq, Union
+from repro.xpath.parser import parse_xr
+
+
+def _pairwise_build(query: PathExpr):
+    """The historical recursive construction: binary union/concat via
+    one ``embed`` per level (the 2-operand case of the flattened
+    composition *is* the old algorithm, state for state)."""
+    if isinstance(query, Union):
+        return union_operands([_pairwise_build(query.left),
+                               _pairwise_build(query.right)])
+    if isinstance(query, Seq):
+        return concat_operands([_pairwise_build(query.left),
+                                _pairwise_build(query.right)])
+    return _build(query)
+
+
+def _pairwise_translate(translator: Translator, query: PathExpr,
+                        context: str):
+    """The historical recursive translation spine (leaves delegate to
+    the shared, memoised ``trl`` — identical objects either way)."""
+    if isinstance(query, Union):
+        return translated_union([
+            _pairwise_translate(translator, query.left, context),
+            _pairwise_translate(translator, query.right, context)])
+    if isinstance(query, Seq):
+        return translated_concat(
+            _pairwise_translate(translator, query.left, context),
+            [query.right], translator.trl)
+    return translator.trl(query, context)
+
+
+DEEP_QUERIES = [
+    "/".join(["node"] * 48),
+    " | ".join(["node"] * 9),
+    "(" + "/".join(["node"] * 7) + ")*",
+    "node/" + "(node | node/node)/" * 5 + "node",
+    "node/text() | " + "/".join(["node"] * 12) + "/text()",
+]
+
+
+@pytest.mark.parametrize("name", sorted(SCHEMA_LIBRARY))
+def test_construction_matches_pairwise_oracle(name):
+    source = SCHEMA_LIBRARY[name]()
+    for query in random_queries(source, 10, seed=31, max_steps=8):
+        flattened = anfa_of_query(query)
+        recursive = _pairwise_build(query).trim()
+        assert flattened.canonical_describe() \
+            == recursive.canonical_describe(), str(query)
+
+
+@pytest.mark.parametrize("name", sorted(SCHEMA_LIBRARY))
+def test_translation_matches_pairwise_oracle(name):
+    source = SCHEMA_LIBRARY[name]()
+    expansion = expand_schema(source, seed=5)
+    translator = Translator(expansion.embedding)
+    context = source.root
+    for query in random_queries(source, 10, seed=32, max_steps=8):
+        flattened = translator.translate(query)
+        oracle = Translator(expansion.embedding)
+        recursive = _pairwise_translate(oracle, query, context).trim()
+        assert flattened.canonical_describe() \
+            == recursive.canonical_describe(), str(query)
+
+
+def test_deep_chain_numbering_matches_pairwise_oracle():
+    """The exact shapes the flattening exists for: deep left spines."""
+    from repro.core.embedding import build_embedding
+    from repro.schema import load_schema
+
+    source = load_schema("node -> node*", format="compact",
+                         name="chain-src")
+    target = load_schema("wrap -> inner\ninner -> wrap*",
+                         format="compact", root="wrap",
+                         name="chain-tgt")
+    sigma = build_embedding(source, target, {"node": "wrap"},
+                            {("node", "node"): "inner/wrap"})
+    for text in DEEP_QUERIES:
+        query = parse_xr(text)
+        assert anfa_of_query(query).canonical_describe() \
+            == _pairwise_build(query).trim().canonical_describe()
+        flattened = Translator(sigma).translate(query)
+        oracle = Translator(sigma)
+        recursive = _pairwise_translate(oracle, query, "node").trim()
+        assert flattened.canonical_describe() \
+            == recursive.canonical_describe()
+
+
+# Frozen renderings: any renumbering (even isomorphic) breaks these.
+CONSTRUCTION_SNAPSHOTS = {
+    "A/B/C/D": (
+        "ANFA M0: start=0, finals={10: None}\n"
+        "  0 --eps--> 1\n"
+        "  1 --eps--> 2\n"
+        "  2 --eps--> 3\n"
+        "  3 --A--> 4\n"
+        "  4 --eps--> 5\n"
+        "  5 --B--> 6\n"
+        "  6 --eps--> 7\n"
+        "  7 --C--> 8\n"
+        "  8 --eps--> 9\n"
+        "  9 --D--> 10"),
+    "A|B|C|D": (
+        "ANFA M0: start=0, finals={4: None, 6: None, 8: None, 10: None}\n"
+        "  0 --eps--> 1\n"
+        "  0 --eps--> 9\n"
+        "  1 --eps--> 2\n"
+        "  1 --eps--> 7\n"
+        "  2 --eps--> 3\n"
+        "  2 --eps--> 5\n"
+        "  3 --A--> 4\n"
+        "  5 --B--> 6\n"
+        "  7 --C--> 8\n"
+        "  9 --D--> 10"),
+}
+
+TRANSLATION_SNAPSHOTS = {
+    "class/cno/text()": (
+        "ANFA M0: start=0, finals={10: '#str'}\n"
+        "  0 --eps--> 1\n"
+        "  1 --eps--> 2\n"
+        "  2 --courses--> 3\n"
+        "  3 --current--> 4\n"
+        "  4 --course--> 5\n"
+        "  5 --eps--> 6\n"
+        "  6 --basic--> 7\n"
+        "  7 --cno--> 8\n"
+        "  8 --eps--> 9\n"
+        "  9 --str--> 10"),
+    "class/type/regular/prereq/class/title/text()": (
+        "ANFA M0: start=0, finals={26: '#str'}\n"
+        "  0 --eps--> 1\n"
+        "  1 --eps--> 2\n"
+        "  2 --eps--> 3\n"
+        "  3 --eps--> 4\n"
+        "  4 --eps--> 5\n"
+        "  5 --eps--> 6\n"
+        "  6 --courses--> 7\n"
+        "  7 --current--> 8\n"
+        "  8 --course--> 9\n"
+        "  9 --eps--> 10\n"
+        "  10 --category--> 11\n"
+        "  11 --eps--> 12\n"
+        "  12 --mandatory--> 13\n"
+        "  13 --regular--> 14\n"
+        "  14 --eps--> 15\n"
+        "  15 --required--> 16\n"
+        "  16 --prereq--> 17\n"
+        "  17 --eps--> 18\n"
+        "  18 --course--> 19\n"
+        "  19 --eps--> 20\n"
+        "  20 --basic--> 21\n"
+        "  21 --class--> 22\n"
+        "  22 --semester[1]--> 23\n"
+        "  23 --title--> 24\n"
+        "  24 --eps--> 25\n"
+        "  25 --str--> 26"),
+}
+
+
+def test_construction_rendering_snapshots():
+    for text, expected in CONSTRUCTION_SNAPSHOTS.items():
+        assert anfa_of_query(parse_xr(text)).canonical_describe() \
+            == expected, text
+
+
+def test_translation_rendering_snapshots(school):
+    translator = Translator(school.sigma1)
+    for text, expected in TRANSLATION_SNAPSHOTS.items():
+        assert translator.translate(parse_xr(text)).canonical_describe() \
+            == expected, text

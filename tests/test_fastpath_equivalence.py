@@ -187,13 +187,15 @@ def test_codec_source_is_deterministic(school):
 
 
 def test_partial_documents_fall_back_identically(school):
-    """Documents with missing/extra children take the per-fragment
-    reference fallback — output must still match the reference run."""
+    """Documents with missing/extra children are served by the
+    sparse-concat programs — output must still match the reference run,
+    and no declared-edge shape may reach the reference builder."""
     bundle = school
     instmap = InstMap(bundle.sigma1)
+    program = instmap._program
 
     partials = [
-        # A class missing its title: concat shape mismatch -> fallback.
+        # A class missing its title: concat shape mismatch -> sparse.
         "<db><class><cno>1</cno><type><project>p</project></type>"
         "</class></db>",
         # Children out of production order.
@@ -202,7 +204,85 @@ def test_partial_documents_fall_back_identically(school):
     ]
     for xml in partials:
         document = parse_xml(xml)
+        before = program.reference_fallbacks
         fast = instmap.apply(document)
         reference = instmap.apply_reference(document)
         assert to_string(fast.tree) == to_string(reference.tree)
         assert _idm_signature(fast) == _idm_signature(reference)
+        assert program.reference_fallbacks == before
+    assert program.sparse_served > 0
+
+
+def _mutate_partial(document, rng):
+    """Deterministically drop and shuffle element children: every
+    resulting instance-edge key stays declared (occurrence counts only
+    drop), so the sparse plane must serve every fragment."""
+    import copy
+
+    mutated = copy.deepcopy(document)
+    changed = False
+    for element in mutated.iter_elements():
+        kids = element.element_children()
+        if len(kids) >= 2 and rng.random() < 0.4:
+            order = list(element.children)
+            rng.shuffle(order)
+            element.children[:] = order
+            changed = True
+        kids = element.element_children()
+        if kids and rng.random() < 0.4:
+            element.children.remove(rng.choice(kids))
+            changed = True
+    return mutated, changed
+
+
+def _inverse_parity(embedding, instmap, fast, reference) -> None:
+    """σd⁻¹ on a partial image either succeeds with identical bytes on
+    the compiled and reference paths, or refuses with identical error
+    text (dropped children can leave no holder to invert)."""
+    from repro.core.errors import InverseError
+
+    inverse = InverseProgram(embedding, instmap._infos)
+    try:
+        fast_inverse = to_string(inverse.apply(fast.tree))
+    except InverseError as error:
+        with pytest.raises(InverseError) as reference_error:
+            run_invert(embedding, reference.tree)
+        assert str(reference_error.value) == str(error)
+    else:
+        assert to_string(run_invert(embedding, reference.tree)) \
+            == fast_inverse
+
+
+@pytest.mark.parametrize("name", ["bib", "orders", "mondial"])
+def test_partial_document_corpora_sparse_identical(name):
+    """Randomized partial-document corpora: children dropped and
+    shuffled at random.  The sparse-concat plane must serve every
+    fragment (no reference fallback — all edges stay declared) with
+    byte-identical trees, idM signatures, inverse behaviour and codec
+    output."""
+    import random
+
+    source = SCHEMA_LIBRARY[name]()
+    expansion = expand_schema(source, seed=5)
+    instmap = InstMap(expansion.embedding)
+    program = instmap._program
+    assert program is not None
+    codec = generate_codec(instmap)
+    rng = random.Random(97)
+    served_any = False
+    for seed in range(6):
+        instance = random_instance(source, seed=seed, max_depth=8)
+        mutated, changed = _mutate_partial(instance, rng)
+        before = program.reference_fallbacks
+        fast = instmap.apply(mutated)
+        reference = instmap.apply_reference(mutated)
+        assert to_string(fast.tree) == to_string(reference.tree)
+        assert _idm_signature(fast) == _idm_signature(reference)
+        # Declared-edge shapes never reach the reference builder.
+        assert program.reference_fallbacks == before, \
+            f"reference fallback on a declared shape (seed {seed})"
+        _inverse_parity(expansion.embedding, instmap, fast, reference)
+        # The generated codec's splice path serves the same bytes.
+        assert codec.map_tree(mutated) == to_string(reference.tree)
+        served_any |= changed
+    assert served_any and program.sparse_served > 0

@@ -234,3 +234,73 @@ def test_precodec_pack_reads_with_empty_codec_section(tmp_path, school):
         assert view.stats()["codecs"] == 0
         warm = Engine.warm_start(view)
         assert warm.compile_embedding(school.sigma1).codec is not None
+
+
+# -- generation carry-forward and compaction ----------------------------------
+
+def _drop_embedding_from_store(store_root, fingerprint: str) -> None:
+    """Simulate an artifact removed from the JSON store (the manifest
+    entry disappears; the pack must decide what happens to it)."""
+    import json as json_mod
+
+    manifest_path = store_root / "manifest.json"
+    manifest = json_mod.loads(manifest_path.read_text())
+    del manifest["embeddings"][fingerprint]
+    manifest.get("codecs", {}).pop(fingerprint, None)
+    manifest_path.write_text(json_mod.dumps(manifest, indent=2,
+                                            sort_keys=True))
+
+
+def test_pack_carries_forward_dropped_artifacts(packed_store, school):
+    """The default repack keeps serving artifacts the source store
+    dropped (raw blobs copied from the previous generation, flagged
+    stale); ``compact=True`` finally drops them."""
+    dropped = school.sigma1.fingerprint()
+    _drop_embedding_from_store(packed_store, dropped)
+
+    pack_store(packed_store)  # generation 2: carry-forward by default
+    with open_view(packed_store) as view:
+        assert dropped in view.embedding_fingerprints()
+        assert dropped in view.stale_fingerprints()
+        assert view.embedding_validated(dropped)
+        assert view.get_embedding(dropped).fingerprint() == dropped
+        assert view.stale_serves >= 1
+        assert view.stats()["stale"] >= 1
+
+    # The debt persists across further carry-forward generations...
+    pack_store(packed_store)  # generation 3
+    with open_view(packed_store) as view:
+        assert dropped in view.stale_fingerprints()
+
+    # ...until a compact pack drops every carried blob.
+    pack_store(packed_store, compact=True)  # generation 4
+    with open_view(packed_store) as view:
+        assert dropped not in view.embedding_fingerprints()
+        assert not view.stale_fingerprints()
+        assert view.stats()["stale"] == 0
+
+
+def test_stale_serves_surface_in_metrics(packed_store, school):
+    """A serving state counts requests that resolve carried artifacts
+    and reports them via the ``/metrics`` payload."""
+    from repro.serve.handlers import _handle_metrics
+
+    dropped = school.sigma1.fingerprint()
+    _drop_embedding_from_store(packed_store, dropped)
+    pack_store(packed_store)
+
+    state = ServiceState.from_view(open_view(packed_store))
+    assert dropped in state.stale
+    assert state.stale_serves == 0
+    fingerprint, embedding = state.resolve_embedding(dropped[:12])
+    assert fingerprint == dropped
+    assert embedding.fingerprint() == dropped
+    assert state.stale_serves == 1
+    # Live artifacts do not count.
+    state.resolve_schema(school.classes.fingerprint(), "source")
+    assert state.stale_serves == 1
+
+    payload = _handle_metrics(state)
+    assert payload["stale_artifacts"] == len(state.stale) >= 1
+    assert payload["stale_serves"] == 1
+    state.view.close()
